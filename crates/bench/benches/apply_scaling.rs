@@ -1,0 +1,69 @@
+//! Experiment E6: the `O(|f|·|g|)` complexity claim for Algorithm 1
+//! (§IV-A2) — apply runtime versus operand sizes, plus the trivial-case
+//! and computed-table short-circuits.
+
+use bbdd::{Bbdd, BoolOp, Edge};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Deterministic pseudo-random function over `n` vars with roughly
+/// size-controllable structure.
+fn random_function(mgr: &mut Bbdd, n: usize, seed: u64, ops: usize) -> Edge {
+    let vs: Vec<Edge> = (0..n).map(|v| mgr.var(v)).collect();
+    let table = [
+        BoolOp::XOR,
+        BoolOp::AND,
+        BoolOp::OR,
+        BoolOp::XNOR,
+        BoolOp::NAND,
+    ];
+    let mut state = seed | 1;
+    let mut f = vs[0];
+    for _ in 0..ops {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let op = table[(state >> 33) as usize % table.len()];
+        let v = vs[(state >> 18) as usize % n];
+        f = mgr.apply(op, f, v);
+    }
+    f
+}
+
+fn bench_apply_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apply_product_scaling");
+    group.sample_size(20);
+    for &n in &[12usize, 16, 20] {
+        group.bench_with_input(BenchmarkId::new("and_of_randoms", n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let mut mgr = Bbdd::new(n);
+                    let f = random_function(&mut mgr, n, 0xAAAA, 4 * n);
+                    let g = random_function(&mut mgr, n, 0x5555, 4 * n);
+                    (mgr, f, g)
+                },
+                |(mut mgr, f, g)| mgr.and(f, g),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("apply_short_circuits");
+    group.sample_size(30);
+    group.bench_function("terminal_case_f_and_not_f", |b| {
+        let mut mgr = Bbdd::new(16);
+        let f = random_function(&mut mgr, 16, 0x1234, 48);
+        b.iter(|| mgr.and(f, !f));
+    });
+    group.bench_function("computed_table_hit", |b| {
+        let mut mgr = Bbdd::new(16);
+        let f = random_function(&mut mgr, 16, 0x9876, 48);
+        let g = random_function(&mut mgr, 16, 0x1357, 48);
+        let _ = mgr.xor(f, g); // warm the cache
+        b.iter(|| mgr.xor(f, g));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_apply_scaling);
+criterion_main!(benches);

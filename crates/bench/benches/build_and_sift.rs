@@ -1,0 +1,64 @@
+//! Experiment E1 (criterion form): per-benchmark build and sift times for
+//! both packages on representative MCNC stand-ins — the timing columns of
+//! Table I as repeatable micro-benchmarks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use logicnet::build::build_network;
+
+/// The quick subset: every class represented, no multi-second rows.
+const QUICK: [&str; 6] = ["my_adder", "comp", "misex1", "9symml", "parity", "cordic"];
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build");
+    group.sample_size(10);
+    for name in QUICK {
+        let net = benchgen::mcnc::generate(name).unwrap();
+        group.bench_with_input(BenchmarkId::new("bbdd", name), &net, |b, net| {
+            b.iter(|| {
+                let mut mgr = bbdd::Bbdd::new(net.num_inputs());
+                build_network(&mut mgr, net)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("robdd", name), &net, |b, net| {
+            b.iter(|| {
+                let mut mgr = robdd::Robdd::new(net.num_inputs());
+                build_network(&mut mgr, net)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sift(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sift");
+    group.sample_size(10);
+    for name in ["my_adder", "misex1", "comp"] {
+        let net = benchgen::mcnc::generate(name).unwrap();
+        group.bench_with_input(BenchmarkId::new("bbdd", name), &net, |b, net| {
+            b.iter_batched(
+                || {
+                    let mut mgr = bbdd::Bbdd::new(net.num_inputs());
+                    let roots = build_network(&mut mgr, net);
+                    (mgr, roots)
+                },
+                |(mut mgr, roots)| mgr.sift(&roots),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("robdd", name), &net, |b, net| {
+            b.iter_batched(
+                || {
+                    let mut mgr = robdd::Robdd::new(net.num_inputs());
+                    let roots = build_network(&mut mgr, net);
+                    (mgr, roots)
+                },
+                |(mut mgr, roots)| mgr.sift(&roots),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_sift);
+criterion_main!(benches);

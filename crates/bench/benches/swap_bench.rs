@@ -1,0 +1,66 @@
+//! Experiment E4 (criterion form): CVO swap cost (Fig. 2) for the BBDD
+//! package against the classic BDD adjacent swap, on matched workloads.
+
+use bbdd_bench::fig2::random_function;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_swap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adjacent_swap_sweep");
+    group.sample_size(10);
+    for &n in &[12usize, 16, 20] {
+        group.bench_with_input(BenchmarkId::new("bbdd", n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let mut mgr = bbdd::Bbdd::new(n);
+                    let f = random_function(&mut mgr, n, 77);
+                    mgr.gc(&[f]);
+                    (mgr, f)
+                },
+                |(mut mgr, f)| {
+                    for pos in 0..n - 1 {
+                        mgr.swap_adjacent(pos);
+                        mgr.gc(&[f]);
+                    }
+                    mgr.live_nodes()
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("robdd", n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let mut mgr = robdd::Robdd::new(n);
+                    let vs: Vec<robdd::Edge> = (0..n).map(|v| mgr.var(v)).collect();
+                    let mut f = vs[0];
+                    let mut state = 77u64;
+                    for _ in 0..3 * n {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        let v = vs[(state >> 18) as usize % n];
+                        f = match (state >> 40) % 4 {
+                            0 => mgr.and(f, v),
+                            1 => mgr.or(f, v),
+                            2 => mgr.xor(f, v),
+                            _ => mgr.nand(f, v),
+                        };
+                    }
+                    mgr.gc(&[f]);
+                    (mgr, f)
+                },
+                |(mut mgr, f)| {
+                    for pos in 0..n - 1 {
+                        mgr.swap_adjacent(pos);
+                        mgr.gc(&[f]);
+                    }
+                    mgr.live_nodes()
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_swap);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Experiment E2 (criterion form): runtime of the two Table-II synthesis
+//! flows on mid-size datapaths (the paper reports quality, not runtime;
+//! this bench guards the harness against regressions).
+
+use benchgen::datapath::Datapath;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use synthkit::cells::CellLibrary;
+use synthkit::flow::{synthesize_bbdd_first_with, synthesize_direct_with};
+use synthkit::mapper::MapStyle;
+
+fn bench_flows(c: &mut Criterion) {
+    let lib = CellLibrary::paper_22nm();
+    let mut group = c.benchmark_group("table2_flows");
+    group.sample_size(10);
+    for dp in [
+        Datapath::Adder { width: 16 },
+        Datapath::Magnitude { width: 16 },
+        Datapath::Equality { width: 16 },
+    ] {
+        let net = dp.commercial_implementation();
+        group.bench_with_input(
+            BenchmarkId::new("direct", dp.label()),
+            &net,
+            |b, net| {
+                b.iter(|| synthesize_direct_with(net, &lib, MapStyle::TreeLocal).gate_count);
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bbdd_front_end", dp.label()),
+            &net,
+            |b, net| {
+                b.iter(|| {
+                    synthesize_bbdd_first_with(net, &lib, true, MapStyle::TreeLocal)
+                        .0
+                        .gate_count
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flows);
+criterion_main!(benches);

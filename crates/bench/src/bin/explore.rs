@@ -1,0 +1,32 @@
+//! Scratch measurement tool: print BBDD vs ROBDD sizes (built and sifted)
+//! for any Table-I benchmark. Usage:
+//!   cargo run --release -p bbdd-bench --bin explore [bench-name …]
+use logicnet::build::build_network;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let names: Vec<&str> = if args.is_empty() {
+        vec!["my_adder", "comp", "parity", "9symml"]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    println!("{:<10} {:>12} {:>12} {:>12} {:>12}", "bench", "BBDD built", "BBDD sifted", "BDD built", "BDD sifted");
+    for name in names {
+        let Some(net) = benchgen::mcnc::generate(name) else {
+            eprintln!("unknown benchmark {name}");
+            continue;
+        };
+        let mut bb = bbdd::Bbdd::new(net.num_inputs());
+        let rb = build_network(&mut bb, &net);
+        let bb_built = bb.shared_node_count(&rb);
+        bb.sift(&rb);
+        let mut bd = robdd::Robdd::new(net.num_inputs());
+        let rd = build_network(&mut bd, &net);
+        let bd_built = bd.shared_node_count(&rd);
+        bd.sift(&rd);
+        println!(
+            "{:<10} {:>12} {:>12} {:>12} {:>12}",
+            name, bb_built, bb.shared_node_count(&rb), bd_built, bd.shared_node_count(&rd)
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerate the paper's Table I. Usage:
+//!   cargo run --release -p bbdd-bench --bin table1 [bench-name …]
+use bbdd_bench::table1;
+use benchgen::mcnc::TABLE1;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let rows: Vec<table1::Row> = if args.is_empty() {
+        println!("Table I: BBDD package vs BDD package (17 MCNC stand-ins)");
+        println!("(build with file order, then sift; times are wall-clock seconds)\n");
+        table1::run_all()
+    } else {
+        TABLE1
+            .iter()
+            .filter(|b| args.iter().any(|a| a == b.name))
+            .map(table1::run_row)
+            .collect()
+    };
+    print!("{}", table1::render(&rows));
+}

@@ -1,0 +1,10 @@
+//! Regenerate the paper's Table II. Usage:
+//!   cargo run --release -p bbdd-bench --bin table2
+use bbdd_bench::table2;
+
+fn main() {
+    println!("Table II: BBDD-based datapath synthesis vs direct synthesis");
+    println!("(operator-expanded netlists; same tree-local back-end for both flows)\n");
+    let rows = table2::run_all();
+    print!("{}", table2::render(&rows));
+}

@@ -1,0 +1,31 @@
+//! # bbdd-bench — the experiment harness of the reproduction
+//!
+//! One module per paper artefact, shared by the runnable binaries and the
+//! integration tests:
+//!
+//! * [`table1`] — the Table-I comparison (BBDD package vs ROBDD package
+//!   over the 17 MCNC stand-ins; node counts and build/sift wall-clock
+//!   times), including the paper's full I/O pipeline: each network is
+//!   serialized to flattened Verilog for the BBDD package and to BLIF for
+//!   the BDD package, then re-parsed (§IV-B).
+//! * [`table2`] — the Table-II datapath synthesis comparison (BBDD
+//!   rewriting + back-end vs the same back-end alone, §V-B).
+//! * [`fig2`] — swap-correctness and swap-throughput measurements backing
+//!   the Fig. 2 swap theory.
+//!
+//! Binaries: `table1`, `table2`, `fig2_swap` (plus `explore`, a scratch
+//! measurement tool). Criterion benches live in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig2;
+pub mod table1;
+pub mod table2;
+
+/// Wall-clock seconds of `f`, returned with its result.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = std::time::Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}

@@ -1,0 +1,48 @@
+//! Smoke tests of the experiment harness itself: each table row runs end
+//! to end on a quick benchmark and produces sane measurements.
+
+use bbdd_bench::{fig2, table1, table2, timed};
+
+#[test]
+fn table1_row_runs_the_full_pipeline() {
+    let bench = benchgen::mcnc::TABLE1
+        .iter()
+        .find(|b| b.name == "misex1")
+        .unwrap();
+    let row = table1::run_row(bench);
+    assert_eq!(row.inputs, 8);
+    assert_eq!(row.outputs, 7);
+    assert!(row.bbdd_nodes > 0 && row.bdd_nodes > 0);
+    assert!(row.node_ratio() > 0.0);
+    let rendered = table1::render(std::slice::from_ref(&row));
+    assert!(rendered.contains("misex1"));
+    let s = table1::summarize(std::slice::from_ref(&row));
+    assert!(s.speedup.is_finite());
+}
+
+#[test]
+fn table2_row_runs_both_flows() {
+    let dp = benchgen::datapath::Datapath::Equality { width: 8 };
+    let row = table2::run_row(&dp);
+    assert_eq!(row.inputs, 16);
+    assert_eq!(row.outputs, 1);
+    assert!(row.bbdd.0 > 0.0 && row.direct.0 > 0.0);
+    assert!(row.bbdd_nodes.1 <= row.bbdd_nodes.0);
+    let rendered = table2::render(std::slice::from_ref(&row));
+    assert!(rendered.contains("Equality 8"));
+}
+
+#[test]
+fn fig2_throughput_measures_something() {
+    let t = fig2::swap_throughput(8, 42);
+    assert_eq!(t.vars, 8);
+    assert!(t.swaps > 0);
+    assert!(t.seconds >= 0.0);
+}
+
+#[test]
+fn timed_returns_result_and_duration() {
+    let (v, secs) = timed(|| 2 + 2);
+    assert_eq!(v, 4);
+    assert!(secs >= 0.0);
+}

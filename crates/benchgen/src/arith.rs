@@ -1,0 +1,380 @@
+//! Reusable arithmetic building blocks (bit vectors are LSB-first).
+
+use logicnet::{GateOp, Network, Signal};
+
+/// Full adder; returns `(sum, carry)`.
+pub fn full_adder(net: &mut Network, a: Signal, b: Signal, c: Signal) -> (Signal, Signal) {
+    let ab = net.add_gate(GateOp::Xor, &[a, b]);
+    let sum = net.add_gate(GateOp::Xor, &[ab, c]);
+    let carry = net.add_gate(GateOp::Maj, &[a, b, c]);
+    (sum, carry)
+}
+
+/// Ripple-carry addition of equal-width vectors; returns `(sum, carry_out)`.
+///
+/// # Panics
+/// Panics if the widths differ or are zero.
+pub fn ripple_add(
+    net: &mut Network,
+    a: &[Signal],
+    b: &[Signal],
+    cin: Option<Signal>,
+) -> (Vec<Signal>, Signal) {
+    assert_eq!(a.len(), b.len(), "operand widths must match");
+    assert!(!a.is_empty(), "zero-width addition");
+    let mut carry = match cin {
+        Some(c) => c,
+        None => net.add_gate(GateOp::Const0, &[]),
+    };
+    let mut sum = Vec::with_capacity(a.len());
+    for i in 0..a.len() {
+        let (s, c) = full_adder(net, a[i], b[i], carry);
+        sum.push(s);
+        carry = c;
+    }
+    (sum, carry)
+}
+
+/// Two's-complement subtraction `a - b` via `a + ¬b + 1`; returns
+/// `(difference, carry_out)` (carry-out set ⇔ no borrow ⇔ `a ≥ b`).
+pub fn ripple_sub(net: &mut Network, a: &[Signal], b: &[Signal]) -> (Vec<Signal>, Signal) {
+    let nb: Vec<Signal> = b
+        .iter()
+        .map(|&x| net.add_gate(GateOp::Not, &[x]))
+        .collect();
+    let one = net.add_gate(GateOp::Const1, &[]);
+    ripple_add(net, a, &nb, Some(one))
+}
+
+/// Word equality: `AND` of per-bit `XNOR`s.
+///
+/// # Panics
+/// Panics if the widths differ or are zero.
+pub fn equality(net: &mut Network, a: &[Signal], b: &[Signal]) -> Signal {
+    assert_eq!(a.len(), b.len(), "operand widths must match");
+    let bits: Vec<Signal> = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| net.add_gate(GateOp::Xnor, &[x, y]))
+        .collect();
+    match bits.len() {
+        1 => bits[0],
+        _ => net.add_gate(GateOp::And, &bits),
+    }
+}
+
+/// Unsigned magnitude comparison `a > b` (LSB-first ripple).
+pub fn greater_than(net: &mut Network, a: &[Signal], b: &[Signal]) -> Signal {
+    assert_eq!(a.len(), b.len(), "operand widths must match");
+    // gt_i = (a_i & !b_i) | (a_i ≡ b_i) & gt_{i-1}, rippled from the LSB.
+    let mut gt = net.add_gate(GateOp::Const0, &[]);
+    for i in 0..a.len() {
+        let nb = net.add_gate(GateOp::Not, &[b[i]]);
+        let here = net.add_gate(GateOp::And, &[a[i], nb]);
+        let same = net.add_gate(GateOp::Xnor, &[a[i], b[i]]);
+        let keep = net.add_gate(GateOp::And, &[same, gt]);
+        gt = net.add_gate(GateOp::Or, &[here, keep]);
+    }
+    gt
+}
+
+/// Rotate-left barrel network: stage `j` rotates by `2^j` when `sh[j]`.
+///
+/// # Panics
+/// Panics unless `data.len() == 2^sh.len()`.
+pub fn barrel_rotate_left(net: &mut Network, data: &[Signal], sh: &[Signal]) -> Vec<Signal> {
+    assert_eq!(data.len(), 1usize << sh.len(), "width must be 2^stages");
+    let n = data.len();
+    let mut cur: Vec<Signal> = data.to_vec();
+    for (j, &s) in sh.iter().enumerate() {
+        let k = 1usize << j;
+        let mut next = Vec::with_capacity(n);
+        for i in 0..n {
+            // Rotated-left output bit i comes from input bit (i - k) mod n.
+            let src = (i + n - k) % n;
+            next.push(net.add_gate(GateOp::Mux, &[s, cur[src], cur[i]]));
+        }
+        cur = next;
+    }
+    cur
+}
+
+/// Logical/arithmetic left/right barrel shifter.
+///
+/// `dir = 0`: shift left (fill 0); `dir = 1`: shift right, filling with 0
+/// (`arith = 0`) or the sign bit (`arith = 1`).
+pub fn barrel_shift(
+    net: &mut Network,
+    data: &[Signal],
+    sh: &[Signal],
+    dir: Signal,
+    arith: Signal,
+) -> Vec<Signal> {
+    assert_eq!(data.len(), 1usize << sh.len(), "width must be 2^stages");
+    let n = data.len();
+    let zero = net.add_gate(GateOp::Const0, &[]);
+    let msb = data[n - 1];
+    let fill_right = net.add_gate(GateOp::Mux, &[arith, msb, zero]);
+    let mut cur: Vec<Signal> = data.to_vec();
+    for (j, &s) in sh.iter().enumerate() {
+        let k = 1usize << j;
+        let mut next = Vec::with_capacity(n);
+        for i in 0..n {
+            // Left-shift source: bit i-k (0 fill); right-shift: bit i+k.
+            let left_src = if i >= k { cur[i - k] } else { zero };
+            let right_src = if i + k < n { cur[i + k] } else { fill_right };
+            let shifted = net.add_gate(GateOp::Mux, &[dir, right_src, left_src]);
+            next.push(net.add_gate(GateOp::Mux, &[s, shifted, cur[i]]));
+        }
+        cur = next;
+    }
+    cur
+}
+
+/// `2^k`-output one-hot decoder with enable.
+pub fn decoder(net: &mut Network, sel: &[Signal], en: Signal) -> Vec<Signal> {
+    let k = sel.len();
+    let nsel: Vec<Signal> = sel
+        .iter()
+        .map(|&s| net.add_gate(GateOp::Not, &[s]))
+        .collect();
+    (0..1usize << k)
+        .map(|m| {
+            let mut lits: Vec<Signal> = Vec::with_capacity(k + 1);
+            for j in 0..k {
+                lits.push(if (m >> j) & 1 == 1 { sel[j] } else { nsel[j] });
+            }
+            lits.push(en);
+            net.add_gate(GateOp::And, &lits)
+        })
+        .collect()
+}
+
+/// Population count as a binary word (adder-tree construction).
+pub fn popcount(net: &mut Network, bits: &[Signal]) -> Vec<Signal> {
+    // Reduce triples with full adders until every weight has ≤ 1 signal.
+    let mut columns: Vec<Vec<Signal>> = vec![bits.to_vec()];
+    loop {
+        let mut done = true;
+        let mut next: Vec<Vec<Signal>> = vec![Vec::new(); columns.len() + 1];
+        for (w, col) in columns.iter().enumerate() {
+            let mut i = 0;
+            while col.len() - i >= 3 {
+                let (s, c) = full_adder_ref(net, col[i], col[i + 1], col[i + 2]);
+                next[w].push(s);
+                next[w + 1].push(c);
+                i += 3;
+                done = false;
+            }
+            if col.len() - i == 2 {
+                let s = net.add_gate(GateOp::Xor, &[col[i], col[i + 1]]);
+                let c = net.add_gate(GateOp::And, &[col[i], col[i + 1]]);
+                next[w].push(s);
+                next[w + 1].push(c);
+                done = false;
+            } else if col.len() - i == 1 {
+                next[w].push(col[i]);
+            }
+        }
+        while next.last().is_some_and(Vec::is_empty) {
+            next.pop();
+        }
+        columns = next;
+        if done {
+            break;
+        }
+    }
+    columns
+        .into_iter()
+        .map(|col| {
+            debug_assert!(col.len() <= 1);
+            col.first().copied().unwrap_or_else(|| {
+                // impossible: empty columns were trimmed
+                unreachable!("empty popcount column")
+            })
+        })
+        .collect()
+}
+
+fn full_adder_ref(net: &mut Network, a: Signal, b: Signal, c: Signal) -> (Signal, Signal) {
+    full_adder(net, a, b, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(net: &mut Network, prefix: &str, n: usize) -> Vec<Signal> {
+        (0..n)
+            .map(|i| net.add_input(&format!("{prefix}{i}")))
+            .collect()
+    }
+
+    fn to_bits(x: u64, n: usize) -> Vec<bool> {
+        (0..n).map(|i| (x >> i) & 1 == 1).collect()
+    }
+
+    fn from_bits(bits: &[bool]) -> u64 {
+        bits.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+    }
+
+    #[test]
+    fn ripple_add_small_exhaustive() {
+        let w = 4;
+        let mut net = Network::new("add");
+        let a = inputs(&mut net, "a", w);
+        let b = inputs(&mut net, "b", w);
+        let (sum, cout) = ripple_add(&mut net, &a, &b, None);
+        for (i, s) in sum.iter().enumerate() {
+            net.set_output(&format!("s{i}"), *s);
+        }
+        net.set_output("cout", cout);
+        net.check().unwrap();
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let mut v = to_bits(x, w);
+                v.extend(to_bits(y, w));
+                let out = net.simulate(&v);
+                let got = from_bits(&out);
+                assert_eq!(got, x + y, "{x}+{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn subtraction_and_borrow() {
+        let w = 4;
+        let mut net = Network::new("sub");
+        let a = inputs(&mut net, "a", w);
+        let b = inputs(&mut net, "b", w);
+        let (diff, no_borrow) = ripple_sub(&mut net, &a, &b);
+        for (i, s) in diff.iter().enumerate() {
+            net.set_output(&format!("d{i}"), *s);
+        }
+        net.set_output("nb", no_borrow);
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let mut v = to_bits(x, w);
+                v.extend(to_bits(y, w));
+                let out = net.simulate(&v);
+                let d = from_bits(&out[..w]);
+                assert_eq!(d, (x.wrapping_sub(y)) & 0xF, "{x}-{y}");
+                assert_eq!(out[w], x >= y, "borrow for {x}-{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparators() {
+        let w = 4;
+        let mut net = Network::new("cmp");
+        let a = inputs(&mut net, "a", w);
+        let b = inputs(&mut net, "b", w);
+        let eq = equality(&mut net, &a, &b);
+        let gt = greater_than(&mut net, &a, &b);
+        net.set_output("eq", eq);
+        net.set_output("gt", gt);
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let mut v = to_bits(x, w);
+                v.extend(to_bits(y, w));
+                let out = net.simulate(&v);
+                assert_eq!(out[0], x == y);
+                assert_eq!(out[1], x > y);
+            }
+        }
+    }
+
+    #[test]
+    fn rotate_left_matches_reference() {
+        let mut net = Network::new("rot");
+        let d = inputs(&mut net, "d", 8);
+        let s = inputs(&mut net, "s", 3);
+        let r = barrel_rotate_left(&mut net, &d, &s);
+        for (i, x) in r.iter().enumerate() {
+            net.set_output(&format!("r{i}"), *x);
+        }
+        for data in [0x5Au64, 0x01, 0x80, 0xF3] {
+            for sh in 0..8u64 {
+                let mut v = to_bits(data, 8);
+                v.extend(to_bits(sh, 3));
+                let out = from_bits(&net.simulate(&v));
+                let expect = ((data << sh) | (data >> (8 - sh))) & 0xFF;
+                let expect = if sh == 0 { data } else { expect };
+                assert_eq!(out, expect, "rot {data:#x} by {sh}");
+            }
+        }
+    }
+
+    #[test]
+    fn barrel_shift_directions() {
+        let mut net = Network::new("bs");
+        let d = inputs(&mut net, "d", 8);
+        let s = inputs(&mut net, "s", 3);
+        let dir = net.add_input("dir");
+        let arith = net.add_input("ar");
+        let r = barrel_shift(&mut net, &d, &s, dir, arith);
+        for (i, x) in r.iter().enumerate() {
+            net.set_output(&format!("r{i}"), *x);
+        }
+        for data in [0xB4u64, 0x81] {
+            for sh in 0..8u64 {
+                for (dirv, arithv) in [(false, false), (true, false), (true, true)] {
+                    let mut v = to_bits(data, 8);
+                    v.extend(to_bits(sh, 3));
+                    v.push(dirv);
+                    v.push(arithv);
+                    let out = from_bits(&net.simulate(&v));
+                    let expect = if !dirv {
+                        (data << sh) & 0xFF
+                    } else if arithv {
+                        let x = data as u8 as i8;
+                        ((x >> sh) as u8) as u64
+                    } else {
+                        data >> sh
+                    };
+                    assert_eq!(out, expect, "data {data:#x} sh {sh} dir {dirv} ar {arithv}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decoder_one_hot() {
+        let mut net = Network::new("dec");
+        let sel = inputs(&mut net, "s", 3);
+        let en = net.add_input("en");
+        let outs = decoder(&mut net, &sel, en);
+        for (i, o) in outs.iter().enumerate() {
+            net.set_output(&format!("o{i}"), *o);
+        }
+        for m in 0..8u64 {
+            for e in [false, true] {
+                let mut v = to_bits(m, 3);
+                v.push(e);
+                let out = net.simulate(&v);
+                for (i, &bit) in out.iter().enumerate() {
+                    assert_eq!(bit, e && i as u64 == m);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn popcount_counts() {
+        let mut net = Network::new("pc");
+        let bits = inputs(&mut net, "b", 9);
+        let cnt = popcount(&mut net, &bits);
+        assert_eq!(cnt.len(), 4, "9 bits count to 4-bit result");
+        for (i, c) in cnt.iter().enumerate() {
+            net.set_output(&format!("c{i}"), *c);
+        }
+        for m in 0..512u64 {
+            let v = to_bits(m, 9);
+            let out = from_bits(&net.simulate(&v));
+            assert_eq!(out, m.count_ones() as u64, "popcount {m:#b}");
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # benchgen — benchmark circuits for the BBDD reproduction
+//!
+//! Two families, matching the paper's two experiments:
+//!
+//! * [`mcnc`] — stand-ins for the 17 MCNC benchmarks of Table I, with the
+//!   exact PI/PO counts of the paper and the documented function class of
+//!   each original (XOR-dominated ECC logic for the `C*` circuits,
+//!   arithmetic for `my_adder`/`comp`/`z4ml`, symmetric/decoder/parity
+//!   functions, and seeded PLA-style control logic where the original
+//!   function is not public — see `DESIGN.md` §5 for the substitution
+//!   table);
+//! * [`datapath`] — the adder / equality / magnitude / barrel-shifter
+//!   datapaths of Table II in 32- and 64-bit operand widths.
+//!
+//! All generators are deterministic; PLA stand-ins take an explicit seed.
+//!
+//! ```
+//! let net = benchgen::mcnc::generate("parity").unwrap();
+//! assert_eq!(net.num_inputs(), 16);
+//! assert_eq!(net.num_outputs(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arith;
+pub mod datapath;
+pub mod mcnc;
+pub mod pla;

@@ -1,0 +1,221 @@
+//! Seeded PLA-style two-level network generator — the stand-in for MCNC
+//! control benchmarks whose exact functions are not public (`seq`, `frg1`,
+//! `misex1`, `misex3`).
+//!
+//! The generator draws a fixed number of product terms (cubes) with a
+//! 2-in-3 chance of each input being a don't-care and shares cubes across
+//! outputs, mimicking the structure of two-level PLA dumps. Everything is
+//! deterministic in the seed.
+
+use logicnet::sim::SplitMix64;
+use logicnet::{GateOp, Network, Signal};
+
+/// Shape parameters of a synthetic PLA.
+#[derive(Debug, Clone, Copy)]
+pub struct PlaSpec {
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Product terms.
+    pub cubes: usize,
+    /// RNG seed (the benchmark identity).
+    pub seed: u64,
+    /// Number of cube *templates*. Real MCNC control logic is far more
+    /// structured than uniformly random cubes: product terms cluster into
+    /// families that differ in a few literals. `0` disables templating
+    /// (fully random cubes).
+    pub templates: usize,
+    /// The first `xor_outputs` outputs are the XOR of two cube groups —
+    /// the parity-flavoured outputs typical of sequential-control dumps
+    /// such as `seq`.
+    pub xor_outputs: usize,
+    /// Per-cube probability (in percent) of swapping a literal pair for a
+    /// *comparison factor* over an adjacent input pair (`x ⊙ y` / `x ⊕ y`).
+    /// Control logic compares state fields against encodings, which is
+    /// where real MCNC benchmarks get the adjacent-variable affinity that
+    /// biconditional diagrams absorb.
+    pub pair_factor_pct: u64,
+}
+
+/// Generate the two-level network for `spec`.
+///
+/// # Panics
+/// Panics if any dimension is zero.
+#[must_use]
+pub fn generate_pla(name: &str, spec: &PlaSpec) -> Network {
+    assert!(spec.inputs > 0 && spec.outputs > 0 && spec.cubes > 0);
+    let mut rng = SplitMix64::new(spec.seed ^ PLA_MAGIC);
+    let mut net = Network::new(name);
+    let ins: Vec<Signal> = (0..spec.inputs)
+        .map(|i| net.add_input(&format!("x{i}")))
+        .collect();
+    let nins: Vec<Signal> = ins
+        .iter()
+        .map(|&s| net.add_gate(GateOp::Not, &[s]))
+        .collect();
+
+    // Product plane. Cube encoding per input: 0 = positive literal,
+    // 1 = negative literal, 2 = don't care.
+    let draw_mask = |rng: &mut SplitMix64| -> Vec<u8> {
+        (0..spec.inputs).map(|_| (rng.next_u64() % 3) as u8).collect()
+    };
+    let templates: Vec<Vec<u8>> = (0..spec.templates).map(|_| draw_mask(&mut rng)).collect();
+    let mut terms: Vec<Signal> = Vec::with_capacity(spec.cubes);
+    for _ in 0..spec.cubes {
+        let mask: Vec<u8> = if templates.is_empty() {
+            draw_mask(&mut rng)
+        } else {
+            // Mutate a template in a couple of positions: cube families
+            // share most of their literals, like real control PLAs.
+            let mut m = templates[(rng.next_u64() % templates.len() as u64) as usize].clone();
+            let mutations = 1 + (rng.next_u64() % 3) as usize;
+            for _ in 0..mutations {
+                let pos = (rng.next_u64() % spec.inputs as u64) as usize;
+                m[pos] = (rng.next_u64() % 3) as u8;
+            }
+            m
+        };
+        let mut lits: Vec<Signal> = Vec::new();
+        let mut i = 0usize;
+        while i < mask.len() {
+            // Comparison factor over the adjacent pair (i, i+1)?
+            if i + 1 < mask.len()
+                && mask[i] != 2
+                && rng.next_u64() % 100 < spec.pair_factor_pct
+            {
+                let op = if rng.next_u64() & 1 == 0 {
+                    GateOp::Xnor
+                } else {
+                    GateOp::Xor
+                };
+                lits.push(net.add_gate(op, &[ins[i], ins[i + 1]]));
+                i += 2;
+                continue;
+            }
+            match mask[i] {
+                0 => lits.push(ins[i]),
+                1 => lits.push(nins[i]),
+                _ => {}
+            }
+            i += 1;
+        }
+        let t = match lits.len() {
+            0 => net.add_gate(GateOp::Const1, &[]),
+            1 => lits[0],
+            _ => net.add_gate(GateOp::And, &lits),
+        };
+        terms.push(t);
+    }
+
+    // Or plane: every output picks ~ cubes/3 terms (at least one); the
+    // first `xor_outputs` outputs combine two groups with XOR.
+    fn pick_group(
+        net: &mut Network,
+        terms: &[Signal],
+        rng: &mut SplitMix64,
+    ) -> Signal {
+        let chosen: Vec<Signal> = terms
+            .iter()
+            .copied()
+            .filter(|_| rng.next_u64() % 3 == 0)
+            .collect();
+        match chosen.len() {
+            0 => terms[(rng.next_u64() % terms.len() as u64) as usize],
+            1 => chosen[0],
+            _ => net.add_gate(GateOp::Or, &chosen),
+        }
+    }
+    for o in 0..spec.outputs {
+        let g1 = pick_group(&mut net, &terms, &mut rng);
+        let out = if o < spec.xor_outputs {
+            let g2 = pick_group(&mut net, &terms, &mut rng);
+            if g1 == g2 {
+                g1
+            } else {
+                net.add_gate(GateOp::Xor, &[g1, g2])
+            }
+        } else {
+            g1
+        };
+        net.set_output(&format!("y{o}"), out);
+    }
+    net.check().expect("generated PLA must be valid");
+    net
+}
+
+/// Domain-separation constant so PLA seeds do not collide with other
+/// seeded generators in the workspace.
+const PLA_MAGIC: u64 = 0x504C_4147_454E_0001;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let spec = PlaSpec {
+            inputs: 8,
+            outputs: 7,
+            cubes: 20,
+            seed: 42,
+            templates: 4,
+            xor_outputs: 2,
+            pair_factor_pct: 30,
+        };
+        let a = generate_pla("p", &spec);
+        let b = generate_pla("p", &spec);
+        assert_eq!(a.num_gates(), b.num_gates());
+        for m in 0..256u32 {
+            let v: Vec<bool> = (0..8).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(a.simulate(&v), b.simulate(&v));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mk = |seed| {
+            generate_pla(
+                "p",
+                &PlaSpec {
+                    inputs: 8,
+                    outputs: 4,
+                    cubes: 16,
+                    seed,
+                    templates: 0,
+                    xor_outputs: 0,
+                    pair_factor_pct: 0,
+                },
+            )
+        };
+        let a = mk(1);
+        let b = mk(2);
+        let mut differs = false;
+        for m in 0..256u32 {
+            let v: Vec<bool> = (0..8).map(|i| (m >> i) & 1 == 1).collect();
+            if a.simulate(&v) != b.simulate(&v) {
+                differs = true;
+                break;
+            }
+        }
+        assert!(differs, "seeds should give distinct functions");
+    }
+
+    #[test]
+    fn interface_matches_spec() {
+        let net = generate_pla(
+            "iface",
+            &PlaSpec {
+                inputs: 14,
+                outputs: 14,
+                cubes: 40,
+                seed: 9,
+                templates: 5,
+                xor_outputs: 3,
+                pair_factor_pct: 25,
+            },
+        );
+        assert_eq!(net.num_inputs(), 14);
+        assert_eq!(net.num_outputs(), 14);
+    }
+}

@@ -1,0 +1,128 @@
+//! Edges with complement attributes.
+//!
+//! A BBDD function is referenced by an [`Edge`]: a node id plus a
+//! *complement attribute*. The paper's canonicity rule (§III-D) admits only
+//! the 1 sink node and allows the attribute on `PV≠SV` edges; constant 0 is
+//! therefore the complemented edge to the 1 sink, and negation is a free,
+//! O(1) bit flip.
+
+/// Index of a node in the manager's arena.
+pub(crate) type NodeIndex = u32;
+
+/// A directed edge to a BBDD node, carrying the complement attribute.
+///
+/// `Edge` is the public handle for Boolean functions: every manager
+/// operation consumes and produces edges. Edges are plain 32-bit values and
+/// are only meaningful together with the [`Bbdd`](crate::Bbdd) manager that
+/// created them.
+///
+/// ```
+/// use bbdd::Edge;
+/// assert_eq!(!Edge::ONE, Edge::ZERO);
+/// assert_eq!(!Edge::ZERO, Edge::ONE);
+/// assert!(Edge::ZERO.is_complemented());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge(u32);
+
+impl Edge {
+    /// The constant-true function: the regular edge to the 1 sink.
+    pub const ONE: Edge = Edge(0);
+    /// The constant-false function: the complemented edge to the 1 sink.
+    pub const ZERO: Edge = Edge(1);
+
+    #[inline]
+    pub(crate) fn new(node: NodeIndex, complemented: bool) -> Self {
+        Edge((node << 1) | complemented as u32)
+    }
+
+    /// Arena index of the target node.
+    #[inline]
+    pub(crate) fn node(self) -> NodeIndex {
+        self.0 >> 1
+    }
+
+    /// Whether the complement attribute is set.
+    #[inline]
+    #[must_use]
+    pub fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The same edge with the attribute cleared (the *regular* edge).
+    #[inline]
+    #[must_use]
+    pub fn regular(self) -> Self {
+        Edge(self.0 & !1)
+    }
+
+    /// Complement this edge if `c` is true.
+    #[inline]
+    #[must_use]
+    pub fn complement_if(self, c: bool) -> Self {
+        Edge(self.0 ^ c as u32)
+    }
+
+    /// `true` when this edge points at the 1 sink (constant function).
+    #[inline]
+    #[must_use]
+    pub fn is_constant(self) -> bool {
+        self.0 <= 1
+    }
+
+    /// The raw packed representation, used as a computed-table key.
+    #[inline]
+    pub(crate) fn bits(self) -> u32 {
+        self.0
+    }
+
+    #[inline]
+    pub(crate) fn from_bits(bits: u32) -> Self {
+        Edge(bits)
+    }
+}
+
+impl std::ops::Not for Edge {
+    type Output = Edge;
+
+    /// Complement the function — a free operation thanks to edge attributes.
+    #[inline]
+    fn not(self) -> Edge {
+        Edge(self.0 ^ 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_complements() {
+        assert_eq!(!Edge::ONE, Edge::ZERO);
+        assert_eq!(Edge::ONE.node(), Edge::ZERO.node());
+        assert!(Edge::ONE.is_constant() && Edge::ZERO.is_constant());
+        assert!(!Edge::ONE.is_complemented());
+        assert!(Edge::ZERO.is_complemented());
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for id in [0u32, 1, 2, 1000, (1 << 30) - 1] {
+            for c in [false, true] {
+                let e = Edge::new(id, c);
+                assert_eq!(e.node(), id);
+                assert_eq!(e.is_complemented(), c);
+                assert_eq!(e.regular().node(), id);
+                assert!(!e.regular().is_complemented());
+                assert_eq!(e.complement_if(true), !e);
+                assert_eq!(e.complement_if(false), e);
+            }
+        }
+    }
+
+    #[test]
+    fn double_complement_is_identity() {
+        let e = Edge::new(42, true);
+        assert_eq!(!!e, e);
+    }
+}

@@ -1,0 +1,630 @@
+//! The BBDD manager: node arena, per-level unique tables, the chain
+//! variable order, node construction with reduction rules, and garbage
+//! collection.
+
+use crate::edge::Edge;
+use crate::node::{Node, NodeKey, TERMINAL_LEVEL};
+use ddcore::cache::ComputedCache;
+use ddcore::table::BucketTable;
+
+/// Statistics counters exposed for the benchmark harness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BbddStats {
+    /// Recursive `apply` invocations (Algorithm 1 entries).
+    pub apply_calls: u64,
+    /// Recursive `ite` invocations.
+    pub ite_calls: u64,
+    /// Nodes created (unique-table inserts).
+    pub nodes_created: u64,
+    /// Garbage-collection runs.
+    pub gc_runs: u64,
+    /// Nodes reclaimed by garbage collection.
+    pub nodes_freed: u64,
+    /// Adjacent CVO swaps performed.
+    pub swaps: u64,
+    /// Peak number of live nodes observed.
+    pub peak_live_nodes: usize,
+}
+
+/// Public structural view of one BBDD node (see [`Bbdd::node_info`]).
+///
+/// `sv` is `None` for Shannon (R4) nodes and for the bottom level, whose
+/// secondary variable is the fictitious constant 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeInfo {
+    /// Bottom-based CVO level.
+    pub level: usize,
+    /// `true` for a Shannon (reduction rule R4) node.
+    pub shannon: bool,
+    /// The `PV ≠ SV` child edge.
+    pub neq: Edge,
+    /// The `PV = SV` child edge (always regular).
+    pub eq: Edge,
+    /// Primary variable of the node's level.
+    pub pv: usize,
+    /// Secondary variable (chain neighbour), when it exists.
+    pub sv: Option<usize>,
+}
+
+/// A manager for Biconditional Binary Decision Diagrams over a fixed set of
+/// variables.
+///
+/// Variables are identified by indices `0..num_vars`. The *chain variable
+/// order* (CVO, paper Eq. 2) is derived from the current variable order
+/// `π`: the node level holding `PV = π_t` has `SV = π_{t+1}`, and the
+/// bottom level has the fictitious `SV = 1`. Levels are stored bottom-based
+/// (level `n-1` is the root level), matching Algorithm 1's
+/// `i = maxlevel{f, g}`.
+///
+/// ```
+/// use bbdd::{Bbdd, BoolOp};
+/// let mut mgr = Bbdd::new(3);
+/// let (a, b) = (mgr.var(0), mgr.var(1));
+/// let f = mgr.apply(BoolOp::XOR, a, b);
+/// assert!(mgr.eval(f, &[true, false, false]));
+/// assert!(!mgr.eval(f, &[true, true, false]));
+/// ```
+#[derive(Debug)]
+pub struct Bbdd {
+    pub(crate) nodes: Vec<Node>,
+    free: Vec<u32>,
+    /// One unique subtable per bottom-based level.
+    pub(crate) subtables: Vec<BucketTable<NodeKey>>,
+    /// `var_at_level[l]` = variable whose PV sits at level `l`.
+    pub(crate) var_at_level: Vec<u32>,
+    /// Inverse map: `level_of_var[v]` = bottom-based level of variable `v`.
+    pub(crate) level_of_var: Vec<u32>,
+    pub(crate) cache: ComputedCache,
+    pub(crate) stats: BbddStats,
+    /// Reusable staging buffers for the CVO swap (allocation-churn
+    /// avoidance; see `swap.rs`).
+    pub(crate) swap_scratch: Option<crate::swap::SwapCtx>,
+    /// Live-node threshold that arms automatic reordering (0 = disabled).
+    auto_reorder_at: usize,
+}
+
+impl Bbdd {
+    /// Create a manager for `num_vars` variables with the identity order
+    /// `π = (0, 1, …, n-1)` (variable 0 on top).
+    ///
+    /// # Panics
+    /// Panics if `num_vars` is 0 or exceeds `u16::MAX - 1` levels.
+    #[must_use]
+    pub fn new(num_vars: usize) -> Self {
+        assert!(num_vars > 0, "a BBDD manager needs at least one variable");
+        assert!(
+            num_vars < TERMINAL_LEVEL as usize,
+            "too many variables for 16-bit levels"
+        );
+        let n = num_vars;
+        // Variable t (top-based position t) sits at bottom-based level n-1-t.
+        let var_at_level: Vec<u32> = (0..n).map(|l| (n - 1 - l) as u32).collect();
+        let mut level_of_var = vec![0u32; n];
+        for (l, &v) in var_at_level.iter().enumerate() {
+            level_of_var[v as usize] = l as u32;
+        }
+        Bbdd {
+            nodes: vec![Node::terminal()],
+            free: Vec::new(),
+            subtables: (0..n).map(|_| BucketTable::new(64)).collect(),
+            var_at_level,
+            level_of_var,
+            cache: ComputedCache::default(),
+            stats: BbddStats::default(),
+            swap_scratch: None,
+            auto_reorder_at: 0,
+        }
+    }
+
+    /// Number of variables managed.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.var_at_level.len()
+    }
+
+    /// The current variable order `π`, top of the diagram first.
+    #[must_use]
+    pub fn order(&self) -> Vec<usize> {
+        self.var_at_level.iter().rev().map(|&v| v as usize).collect()
+    }
+
+    /// Top-based position of `var` in the current order (0 = root level).
+    ///
+    /// # Panics
+    /// Panics if `var >= num_vars()`.
+    #[must_use]
+    pub fn position_of(&self, var: usize) -> usize {
+        self.num_vars() - 1 - self.level_of_var[var] as usize
+    }
+
+    /// The constant-true function.
+    #[must_use]
+    pub fn one(&self) -> Edge {
+        Edge::ONE
+    }
+
+    /// The constant-false function.
+    #[must_use]
+    pub fn zero(&self) -> Edge {
+        Edge::ZERO
+    }
+
+    /// The positive literal of `var` (reduction rule R4: a single node with
+    /// `SV = 1`).
+    ///
+    /// # Panics
+    /// Panics if `var >= num_vars()`.
+    pub fn var(&mut self, var: usize) -> Edge {
+        let level = self.level_of_var[var] as u16;
+        self.shannon_node(level)
+    }
+
+    /// The negative literal of `var`.
+    ///
+    /// # Panics
+    /// Panics if `var >= num_vars()`.
+    pub fn nvar(&mut self, var: usize) -> Edge {
+        !self.var(var)
+    }
+
+    /// Current number of live (stored) nodes, excluding the sink.
+    #[must_use]
+    pub fn live_nodes(&self) -> usize {
+        self.subtables.iter().map(BucketTable::len).sum()
+    }
+
+    /// Nodes stored at each level, bottom level first (used by sifting).
+    #[must_use]
+    pub fn level_sizes(&self) -> Vec<usize> {
+        self.subtables.iter().map(BucketTable::len).collect()
+    }
+
+    /// Counters accumulated since the manager was created.
+    #[must_use]
+    pub fn stats(&self) -> BbddStats {
+        self.stats
+    }
+
+    /// A stable identifier of the node an edge points to (`None` for the
+    /// constants). Two edges with equal ids point at the same stored node;
+    /// the id is usable as a map key by exporters.
+    #[must_use]
+    pub fn edge_id(&self, e: Edge) -> Option<u32> {
+        if e.is_constant() {
+            None
+        } else {
+            Some(e.node())
+        }
+    }
+
+    /// Structural view of the node `e` points to (`None` for constants) —
+    /// the public introspection hook used by the DOT exporter and the
+    /// BBDD-to-netlist rewriter.
+    #[must_use]
+    pub fn node_info(&self, e: Edge) -> Option<NodeInfo> {
+        if e.is_constant() {
+            return None;
+        }
+        let n = self.node(e.node());
+        let level = n.level as usize;
+        let pv = self.var_at_level[level] as usize;
+        let sv = if n.is_shannon() || level == 0 {
+            None
+        } else {
+            Some(self.var_at_level[level - 1] as usize)
+        };
+        Some(NodeInfo {
+            level,
+            shannon: n.is_shannon(),
+            neq: n.neq,
+            eq: n.eq,
+            pv,
+            sv,
+        })
+    }
+
+    #[inline]
+    pub(crate) fn node(&self, idx: u32) -> &Node {
+        &self.nodes[idx as usize]
+    }
+
+    /// Take a reusable slot from the free list (used by swap commits).
+    pub(crate) fn pop_free(&mut self) -> Option<u32> {
+        self.free.pop()
+    }
+
+    /// Arm automatic reordering: once the live node count crosses
+    /// `threshold`, the next [`Bbdd::reorder_if_needed`] call (issued by
+    /// the network builders between gates) garbage-collects, sifts and
+    /// doubles the threshold — the dynamic-reordering discipline packages
+    /// use to survive order-hostile construction. `0` disables.
+    pub fn set_auto_reorder(&mut self, threshold: usize) {
+        self.auto_reorder_at = threshold;
+    }
+
+    /// Collect against `roots` and, if armed and past the threshold, sift.
+    /// Returns `true` when a reorder ran.
+    pub fn reorder_if_needed(&mut self, roots: &[Edge]) -> bool {
+        if self.auto_reorder_at == 0 {
+            return false;
+        }
+        if self.live_nodes() < self.auto_reorder_at {
+            return false;
+        }
+        self.gc(roots);
+        if self.live_nodes() < self.auto_reorder_at {
+            return false;
+        }
+        self.sift(roots);
+        // Re-arm above the post-sift size so repeated triggers pay off.
+        self.auto_reorder_at = (self.live_nodes() * 2).max(self.auto_reorder_at);
+        true
+    }
+
+    /// Bottom-based level of the node an edge points to (`-1`-like sentinel
+    /// `i32::MIN` is avoided by returning `None` for constants).
+    #[inline]
+    pub(crate) fn edge_level(&self, e: Edge) -> Option<u16> {
+        if e.is_constant() {
+            None
+        } else {
+            Some(self.node(e.node()).level)
+        }
+    }
+
+    /// The Shannon (R4) node of the given level — the positive literal of
+    /// that level's PV.
+    pub(crate) fn shannon_node(&mut self, level: u16) -> Edge {
+        let key = NodeKey {
+            shannon: true,
+            neq: Edge::ZERO,
+            eq: Edge::ONE,
+        };
+        Edge::new(self.find_or_insert(level, key), false)
+    }
+
+    /// The positive literal of the level *below* `level` — `Edge::ONE` for
+    /// the fictitious `SV = 1` of the bottom level.
+    pub(crate) fn lit_below(&mut self, level: u16) -> Edge {
+        if level == 0 {
+            Edge::ONE
+        } else {
+            self.shannon_node(level - 1)
+        }
+    }
+
+    /// Is `e` exactly the regular positive literal of the level below
+    /// `level`? (The R4 detection pattern; no node is created.)
+    fn is_lit_below(&self, e: Edge, level: u16) -> bool {
+        if e.is_complemented() {
+            return false;
+        }
+        if level == 0 {
+            return e == Edge::ONE;
+        }
+        if e.is_constant() {
+            return false;
+        }
+        let n = self.node(e.node());
+        n.is_shannon() && n.level == level - 1
+    }
+
+    /// Find-or-create the biconditional node `(level, neq, eq)` applying
+    /// reduction rules R2 (identical children) and R4 (single-variable
+    /// degeneration) and the complement-attribute normalization (regular
+    /// =-edge).
+    pub(crate) fn make_node(&mut self, level: u16, mut neq: Edge, mut eq: Edge) -> Edge {
+        if neq == eq {
+            return eq; // R2
+        }
+        let mut out_c = false;
+        if eq.is_complemented() {
+            neq = !neq;
+            eq = !eq;
+            out_c = true;
+        }
+        // R4: (v ⊕ w)·w' + (v ⊙ w)·w  ≡  the literal v.
+        if neq == !eq && self.is_lit_below(eq, level) {
+            return self.shannon_node(level).complement_if(out_c);
+        }
+        debug_assert!(self.child_level_ok(neq, level) && self.child_level_ok(eq, level));
+        let key = NodeKey {
+            shannon: false,
+            neq,
+            eq,
+        };
+        Edge::new(self.find_or_insert(level, key), out_c)
+    }
+
+    fn child_level_ok(&self, child: Edge, level: u16) -> bool {
+        match self.edge_level(child) {
+            None => true,
+            Some(l) => l < level,
+        }
+    }
+
+    fn find_or_insert(&mut self, level: u16, key: NodeKey) -> u32 {
+        if let Some(id) = self.subtables[level as usize].get(&key) {
+            return id;
+        }
+        let node = Node::new(level, key.shannon, key.neq, key.eq);
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.nodes[id as usize] = node;
+                id
+            }
+            None => {
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        };
+        self.subtables[level as usize].insert(key, id);
+        self.stats.nodes_created += 1;
+        let live = self.live_nodes();
+        if live > self.stats.peak_live_nodes {
+            self.stats.peak_live_nodes = live;
+        }
+        id
+    }
+
+    /// Biconditional cofactors `(f_{v≠w}, f_{v=w})` of `e` with respect to
+    /// the (PV, SV) pair of `level`. `level` must be at or above the edge's
+    /// top node. Single-variable (Shannon) operands are expanded on the fly
+    /// — the lazy equivalent of Algorithm 1's `chain-transform`.
+    pub(crate) fn cofactors(&mut self, e: Edge, level: u16) -> (Edge, Edge) {
+        if e.is_constant() {
+            return (e, e);
+        }
+        let n = *self.node(e.node());
+        if n.level < level {
+            return (e, e);
+        }
+        debug_assert_eq!(n.level, level, "cofactor below the node's own level");
+        let c = e.is_complemented();
+        if n.is_shannon() {
+            // f = v:  f_{v≠w} = w',  f_{v=w} = w.
+            let lw = self.lit_below(level);
+            ((!lw).complement_if(c), lw.complement_if(c))
+        } else {
+            (n.neq.complement_if(c), n.eq.complement_if(c))
+        }
+    }
+
+    /// Garbage-collect every node not reachable from `roots`; returns the
+    /// number of nodes reclaimed. The computed table is invalidated because
+    /// freed ids may be re-used.
+    pub fn gc(&mut self, roots: &[Edge]) -> usize {
+        self.stats.gc_runs += 1;
+        // Mark.
+        let mut stack: Vec<u32> = roots
+            .iter()
+            .filter(|e| !e.is_constant())
+            .map(|e| e.node())
+            .collect();
+        while let Some(id) = stack.pop() {
+            let n = &mut self.nodes[id as usize];
+            if n.is_marked() {
+                continue;
+            }
+            n.set_mark(true);
+            let (neq, eq) = (n.neq, n.eq);
+            if !neq.is_constant() {
+                stack.push(neq.node());
+            }
+            if !eq.is_constant() {
+                stack.push(eq.node());
+            }
+        }
+        // Sweep; survivors drop their mark bit in the same pass.
+        let mut freed: Vec<u32> = Vec::new();
+        for table in &mut self.subtables {
+            let nodes = &mut self.nodes;
+            table.retain(|_, id| {
+                let n = &mut nodes[id as usize];
+                if n.is_marked() {
+                    n.set_mark(false);
+                    true
+                } else {
+                    freed.push(id);
+                    false
+                }
+            });
+        }
+        for &id in &freed {
+            self.nodes[id as usize].set_free(true);
+            self.free.push(id);
+        }
+        self.cache.invalidate();
+        self.stats.nodes_freed += freed.len() as u64;
+        freed.len()
+    }
+
+    /// Validate every canonical-form invariant of the stored forest.
+    ///
+    /// Intended for tests and debugging; cost is linear in the number of
+    /// stored nodes.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        use std::collections::HashSet;
+        let mut present: HashSet<u32> = HashSet::new();
+        for (lvl, table) in self.subtables.iter().enumerate() {
+            let mut err: Option<String> = None;
+            table.for_each(|key, id| {
+                if err.is_some() {
+                    return;
+                }
+                if !present.insert(id) {
+                    err = Some(format!("node {id} stored in two subtables"));
+                    return;
+                }
+                let n = self.node(id);
+                if n.is_free() {
+                    err = Some(format!("free node {id} still in subtable {lvl}"));
+                    return;
+                }
+                if n.level as usize != lvl {
+                    err = Some(format!(
+                        "node {id} at subtable {lvl} has level {}",
+                        n.level
+                    ));
+                    return;
+                }
+                if n.key() != *key {
+                    err = Some(format!("node {id} key mismatch"));
+                    return;
+                }
+                if n.eq.is_complemented() {
+                    err = Some(format!("node {id} has complemented =-edge"));
+                    return;
+                }
+                if n.neq == n.eq {
+                    err = Some(format!("node {id} violates R2"));
+                    return;
+                }
+                if n.is_shannon() {
+                    if n.neq != Edge::ZERO || n.eq != Edge::ONE {
+                        err = Some(format!("shannon node {id} with non-literal children"));
+                        return;
+                    }
+                } else {
+                    if n.neq == !n.eq && self.is_lit_below(n.eq, n.level) {
+                        err = Some(format!("node {id} violates R4"));
+                        return;
+                    }
+                    for child in [n.neq, n.eq] {
+                        if let Some(cl) = self.edge_level(child) {
+                            if cl >= n.level {
+                                err = Some(format!(
+                                    "node {id} child level {cl} >= own level {}",
+                                    n.level
+                                ));
+                                return;
+                            }
+                        }
+                    }
+                }
+            });
+            if let Some(e) = err {
+                return Err(e);
+            }
+        }
+        // Every child of a stored node must itself be stored.
+        for (lvl, table) in self.subtables.iter().enumerate() {
+            let mut err: Option<String> = None;
+            table.for_each(|_, id| {
+                if err.is_some() {
+                    return;
+                }
+                let n = self.node(id);
+                for child in [n.neq, n.eq] {
+                    if !child.is_constant() && !present.contains(&child.node()) {
+                        err = Some(format!(
+                            "node {id} at level {lvl} references unstored node {}",
+                            child.node()
+                        ));
+                        return;
+                    }
+                }
+            });
+            if let Some(e) = err {
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_manager_identity_order() {
+        let mgr = Bbdd::new(4);
+        assert_eq!(mgr.num_vars(), 4);
+        assert_eq!(mgr.order(), vec![0, 1, 2, 3]);
+        assert_eq!(mgr.position_of(0), 0);
+        assert_eq!(mgr.position_of(3), 3);
+        assert_eq!(mgr.live_nodes(), 0);
+    }
+
+    #[test]
+    fn literal_nodes_are_shared() {
+        let mut mgr = Bbdd::new(3);
+        let a1 = mgr.var(0);
+        let a2 = mgr.var(0);
+        assert_eq!(a1, a2);
+        assert_eq!(mgr.live_nodes(), 1);
+        let na = mgr.nvar(0);
+        assert_eq!(na, !a1);
+        assert_eq!(mgr.live_nodes(), 1, "negative literal shares the node");
+    }
+
+    #[test]
+    fn make_node_applies_r2() {
+        let mut mgr = Bbdd::new(3);
+        let b = mgr.var(1);
+        let n = mgr.make_node(2, b, b);
+        assert_eq!(n, b);
+    }
+
+    #[test]
+    fn make_node_applies_r4() {
+        let mut mgr = Bbdd::new(3);
+        // At the top level (2), children (w', w) must degenerate to the
+        // literal of the top variable (R4).
+        let w = mgr.var(1); // level 1 literal
+        let v = mgr.make_node(2, !w, w);
+        let expect = mgr.var(0);
+        assert_eq!(v, expect);
+        assert!(mgr.validate().is_ok());
+    }
+
+    #[test]
+    fn make_node_normalizes_complemented_eq_edge() {
+        let mut mgr = Bbdd::new(2);
+        // node(level1, neq=1, eq=0) has complemented =-child → must come
+        // back as a complemented edge to node(level1, neq=0, eq=1) (which
+        // is XNOR(v,w) — here XOR of the two variables).
+        let n = mgr.make_node(1, Edge::ONE, Edge::ZERO);
+        assert!(n.is_complemented());
+        let m = mgr.make_node(1, Edge::ZERO, Edge::ONE);
+        assert_eq!(n, !m);
+        assert!(mgr.validate().is_ok());
+    }
+
+    #[test]
+    fn xnor_and_literal_do_not_collide() {
+        let mut mgr = Bbdd::new(2);
+        let lit = mgr.var(0); // Shannon node at level 1
+        let xnor = mgr.make_node(1, Edge::ZERO, Edge::ONE); // biconditional
+        assert_ne!(lit, xnor);
+        assert_eq!(mgr.live_nodes(), 2);
+    }
+
+    #[test]
+    fn gc_reclaims_unreachable() {
+        let mut mgr = Bbdd::new(4);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let keep = mgr.make_node(3, !b, b.regular()); // something at top... keep a real node
+        let _dead1 = mgr.make_node(2, Edge::ZERO, Edge::ONE);
+        let before = mgr.live_nodes();
+        let freed = mgr.gc(&[keep, a]);
+        assert!(freed > 0);
+        assert_eq!(mgr.live_nodes(), before - freed);
+        assert!(mgr.validate().is_ok());
+        // Freed slots are reused.
+        let again = mgr.make_node(2, Edge::ZERO, Edge::ONE);
+        assert!(!again.is_constant());
+        assert!(mgr.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one variable")]
+    fn zero_vars_rejected() {
+        let _ = Bbdd::new(0);
+    }
+}

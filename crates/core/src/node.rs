@@ -1,0 +1,151 @@
+//! BBDD node storage and the strong-canonical unique-table key.
+//!
+//! A stored node is uniquely labelled by the tuple
+//! `{CVO-level, ≠-child, ≠-attribute, =-child}` (paper §IV-A1) plus one
+//! *mode* bit distinguishing reduction-rule-R4 degenerate nodes (Shannon
+//! nodes, `SV = 1`) from ordinary biconditional nodes: the literal `v` and
+//! the function `XNOR(v, w)` both have constant children, and only the mode
+//! bit tells them apart.
+
+use crate::edge::Edge;
+use ddcore::cantor::CantorHasher;
+use ddcore::table::TableKey;
+
+/// Level value reserved for the 1 sink.
+pub(crate) const TERMINAL_LEVEL: u16 = u16::MAX;
+
+const FLAG_SHANNON: u8 = 1;
+const FLAG_MARK: u8 = 2;
+const FLAG_FREE: u8 = 4;
+
+/// One arena slot. 12 bytes; levels are bottom-based (level 0 = the CVO
+/// level with the fictitious `SV = 1`, level `n-1` = the root level).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Node {
+    /// The `PV ≠ SV` child (may carry the complement attribute).
+    pub neq: Edge,
+    /// The `PV = SV` child (always a regular edge — canonicity invariant).
+    pub eq: Edge,
+    /// Bottom-based CVO level of this node.
+    pub level: u16,
+    flags: u8,
+    _pad: u8,
+}
+
+impl Node {
+    pub(crate) fn terminal() -> Self {
+        Node {
+            neq: Edge::ONE,
+            eq: Edge::ONE,
+            level: TERMINAL_LEVEL,
+            flags: 0,
+            _pad: 0,
+        }
+    }
+
+    pub(crate) fn new(level: u16, shannon: bool, neq: Edge, eq: Edge) -> Self {
+        Node {
+            neq,
+            eq,
+            level,
+            flags: if shannon { FLAG_SHANNON } else { 0 },
+            _pad: 0,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn is_shannon(&self) -> bool {
+        self.flags & FLAG_SHANNON != 0
+    }
+
+    #[inline]
+    pub(crate) fn is_marked(&self) -> bool {
+        self.flags & FLAG_MARK != 0
+    }
+
+    #[inline]
+    pub(crate) fn set_mark(&mut self, on: bool) {
+        if on {
+            self.flags |= FLAG_MARK;
+        } else {
+            self.flags &= !FLAG_MARK;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn is_free(&self) -> bool {
+        self.flags & FLAG_FREE != 0
+    }
+
+    #[inline]
+    pub(crate) fn set_free(&mut self, on: bool) {
+        if on {
+            self.flags |= FLAG_FREE;
+        } else {
+            self.flags &= !FLAG_FREE;
+        }
+    }
+
+    /// The unique-table key of this node (level is implied by the subtable).
+    #[inline]
+    pub(crate) fn key(&self) -> NodeKey {
+        NodeKey {
+            shannon: self.is_shannon(),
+            neq: self.neq,
+            eq: self.eq,
+        }
+    }
+}
+
+/// Unique-table key within one level's subtable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct NodeKey {
+    pub shannon: bool,
+    pub neq: Edge,
+    pub eq: Edge,
+}
+
+impl TableKey for NodeKey {
+    #[inline]
+    fn table_hash(&self, hasher: &CantorHasher) -> u64 {
+        // Nested Cantor pairing over the tuple elements (paper §IV-A3):
+        // the ≠-attribute travels inside the packed edge word.
+        hasher.hash3(
+            self.neq.bits() as u64,
+            self.eq.bits() as u64,
+            self.shannon as u64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_is_12_bytes() {
+        assert_eq!(std::mem::size_of::<Node>(), 12);
+    }
+
+    #[test]
+    fn flags_are_independent() {
+        let mut n = Node::new(3, true, Edge::ZERO, Edge::ONE);
+        assert!(n.is_shannon());
+        assert!(!n.is_marked());
+        n.set_mark(true);
+        assert!(n.is_marked() && n.is_shannon());
+        n.set_free(true);
+        assert!(n.is_free() && n.is_marked() && n.is_shannon());
+        n.set_mark(false);
+        assert!(!n.is_marked() && n.is_free() && n.is_shannon());
+        n.set_free(false);
+        assert!(!n.is_free());
+    }
+
+    #[test]
+    fn key_distinguishes_modes() {
+        let bicond = Node::new(3, false, Edge::ZERO, Edge::ONE);
+        let shannon = Node::new(3, true, Edge::ZERO, Edge::ONE);
+        assert_ne!(bicond.key(), shannon.key());
+    }
+}

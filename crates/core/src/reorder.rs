@@ -1,0 +1,240 @@
+//! Chain variable re-ordering: Rudell's sifting algorithm extended to the
+//! CVO (paper §IV-A4).
+//!
+//! Each variable is considered in succession (largest level first, the
+//! classic heuristic); adjacent [`Bbdd::swap_adjacent`] operations move it
+//! through all order positions while the sizes encountered are recorded,
+//! and it is parked back at the best position seen. A growth bound aborts
+//! unpromising directions early. `O(n²)` swaps in total.
+
+use crate::edge::Edge;
+use crate::manager::Bbdd;
+
+/// Tuning knobs for [`Bbdd::sift_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct SiftConfig {
+    /// Abort a direction when the diagram grows beyond
+    /// `max_growth × best_size` (CUDD's classic 1.2).
+    pub max_growth: f64,
+    /// Number of complete sifting passes over all variables.
+    pub passes: usize,
+}
+
+impl Default for SiftConfig {
+    fn default() -> Self {
+        SiftConfig {
+            max_growth: 1.2,
+            passes: 1,
+        }
+    }
+}
+
+impl Bbdd {
+    /// Sift all variables once with default settings, keeping `roots`
+    /// alive; returns the resulting live node count.
+    ///
+    /// ```
+    /// use bbdd::Bbdd;
+    /// let mut mgr = Bbdd::new(6);
+    /// // Equality of (v0,v1,v2) with (v3,v4,v5): terrible in this order,
+    /// // linear once sifting interleaves the operand bits.
+    /// let mut f = mgr.one();
+    /// for i in 0..3 {
+    ///     let (a, b) = (mgr.var(i), mgr.var(i + 3));
+    ///     let eq = mgr.xnor(a, b);
+    ///     f = mgr.and(f, eq);
+    /// }
+    /// let before = mgr.node_count(f);
+    /// mgr.sift(&[f]);
+    /// assert!(mgr.node_count(f) <= before);
+    /// ```
+    pub fn sift(&mut self, roots: &[Edge]) -> usize {
+        self.sift_with(roots, &SiftConfig::default())
+    }
+
+    /// Sift with explicit [`SiftConfig`].
+    pub fn sift_with(&mut self, roots: &[Edge], cfg: &SiftConfig) -> usize {
+        for _ in 0..cfg.passes.max(1) {
+            self.gc(roots);
+            let n = self.num_vars();
+            if n < 2 {
+                break;
+            }
+            // Process variables by decreasing level population.
+            let mut vars: Vec<usize> = (0..n).collect();
+            vars.sort_by_key(|&v| {
+                std::cmp::Reverse(self.subtables[self.level_of_var[v] as usize].len())
+            });
+            for var in vars {
+                self.sift_one(var, cfg, roots);
+            }
+            self.gc(roots);
+        }
+        self.live_nodes()
+    }
+
+    /// Move `var` through every position, then park it at the best one.
+    ///
+    /// Swaps leave behind nodes that are no longer reachable from the
+    /// roots; sizes are measured after a sweep so that position decisions
+    /// use exact live counts.
+    fn sift_one(&mut self, var: usize, cfg: &SiftConfig, roots: &[Edge]) {
+        let n = self.num_vars();
+        let start = self.position_of(var);
+        self.gc(roots);
+        let mut best_size = self.live_nodes();
+        let mut best_pos = start;
+        let limit = |best: usize| (best as f64 * cfg.max_growth) as usize + 2;
+
+        // Visit the nearer end first to minimize swap work.
+        let down_first = start >= n / 2;
+        let directions: [bool; 2] = if down_first {
+            [true, false]
+        } else {
+            [false, true]
+        };
+        for &down in &directions {
+            loop {
+                let pos = self.position_of(var);
+                if down {
+                    if pos + 1 >= n {
+                        break;
+                    }
+                    self.swap_adjacent(pos);
+                } else {
+                    if pos == 0 {
+                        break;
+                    }
+                    self.swap_adjacent(pos - 1);
+                }
+                self.gc(roots);
+                let size = self.live_nodes();
+                if size < best_size {
+                    best_size = size;
+                    best_pos = self.position_of(var);
+                }
+                if size > limit(best_size) {
+                    break;
+                }
+            }
+        }
+        // Return to the best position.
+        loop {
+            let pos = self.position_of(var);
+            match pos.cmp(&best_pos) {
+                std::cmp::Ordering::Less => self.swap_adjacent(pos),
+                std::cmp::Ordering::Greater => self.swap_adjacent(pos - 1),
+                std::cmp::Ordering::Equal => break,
+            }
+        }
+        self.gc(roots);
+    }
+
+    /// Re-order the variables to the given order `π` (top first) by
+    /// adjacent swaps (insertion-sort style). Mainly used by tests and the
+    /// benchmark harness to replay known-good orders.
+    ///
+    /// # Panics
+    /// Panics if `target` is not a permutation of `0..num_vars()`.
+    pub fn reorder_to(&mut self, target: &[usize]) {
+        let n = self.num_vars();
+        assert_eq!(target.len(), n, "order must mention every variable once");
+        let mut seen = vec![false; n];
+        for &v in target {
+            assert!(v < n && !seen[v], "order must be a permutation");
+            seen[v] = true;
+        }
+        for (goal_pos, &v) in target.iter().enumerate() {
+            let mut pos = self.position_of(v);
+            debug_assert!(pos >= goal_pos);
+            while pos > goal_pos {
+                self.swap_adjacent(pos - 1);
+                pos -= 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth_of(mgr: &Bbdd, f: Edge, n: usize) -> Vec<bool> {
+        (0..1u32 << n)
+            .map(|m| {
+                let a: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
+                mgr.eval(f, &a)
+            })
+            .collect()
+    }
+
+    /// The standard sifting showcase: equality comparator with the worst
+    /// order (all A bits above all B bits) is exponential; interleaved it
+    /// is linear.
+    fn equality_bad_order(mgr: &mut Bbdd, k: usize) -> Edge {
+        let mut f = mgr.one();
+        for i in 0..k {
+            let (a, b) = (mgr.var(i), mgr.var(i + k));
+            let eq = mgr.xnor(a, b);
+            f = mgr.and(f, eq);
+        }
+        f
+    }
+
+    #[test]
+    fn sifting_shrinks_equality_comparator() {
+        let k = 5;
+        let mut mgr = Bbdd::new(2 * k);
+        let f = equality_bad_order(&mut mgr, k);
+        let tf = truth_of(&mgr, f, 2 * k);
+        let before = mgr.node_count(f);
+        mgr.sift(&[f]);
+        let after = mgr.node_count(f);
+        assert!(after < before, "sift must shrink: {before} -> {after}");
+        // Interleaved equality is k XNOR nodes ANDed: exactly 2k-1 … allow
+        // a little slack for a near-optimal order.
+        assert!(after <= 2 * k, "near-linear size expected, got {after}");
+        assert_eq!(truth_of(&mgr, f, 2 * k), tf, "functions preserved");
+        mgr.validate().unwrap();
+    }
+
+    #[test]
+    fn reorder_to_restores_identity() {
+        let n = 5;
+        let mut mgr = Bbdd::new(n);
+        let f = equality_bad_order(&mut mgr, 2);
+        let tf = truth_of(&mgr, f, n);
+        mgr.reorder_to(&[4, 2, 0, 3, 1]);
+        assert_eq!(mgr.order(), vec![4, 2, 0, 3, 1]);
+        assert_eq!(truth_of(&mgr, f, n), tf);
+        mgr.reorder_to(&[0, 1, 2, 3, 4]);
+        assert_eq!(mgr.order(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(truth_of(&mgr, f, n), tf);
+        mgr.validate().unwrap();
+    }
+
+    #[test]
+    fn sift_respects_multiple_roots() {
+        let n = 6;
+        let mut mgr = Bbdd::new(n);
+        let f = equality_bad_order(&mut mgr, 3);
+        let g = {
+            let a = mgr.var(0);
+            let b = mgr.var(5);
+            mgr.xor(a, b)
+        };
+        let (tf, tg) = (truth_of(&mgr, f, n), truth_of(&mgr, g, n));
+        mgr.sift(&[f, g]);
+        assert_eq!(truth_of(&mgr, f, n), tf);
+        assert_eq!(truth_of(&mgr, g, n), tg);
+        mgr.validate().unwrap();
+    }
+
+    #[test]
+    fn single_variable_manager_sift_is_noop() {
+        let mut mgr = Bbdd::new(1);
+        let a = mgr.var(0);
+        assert_eq!(mgr.sift(&[a]), 1);
+        assert!(mgr.eval(a, &[true]));
+    }
+}

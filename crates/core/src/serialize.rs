@@ -1,0 +1,310 @@
+//! Plain-text serialization of BBDD forests.
+//!
+//! The format stores the manager's variable count and current order plus a
+//! bottom-up node list and the root edges. Loading replays the nodes
+//! through `make_node`, so a reloaded forest is re-canonicalized — loading
+//! can only shrink a diagram, never corrupt it, and edge identities are
+//! remapped safely.
+//!
+//! ```text
+//! bbdd 1              # magic + format version
+//! vars 4
+//! order 0 1 2 3       # top-based variable order
+//! node 5 0 B 1:1 0:0  # id level mode(B/S) neq(id:compl) eq(id:compl)
+//! …
+//! root f0 5:0
+//! end
+//! ```
+//! Node id 0 is the 1-sink.
+
+use crate::edge::Edge;
+use crate::manager::Bbdd;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Problems encountered while parsing a serialized forest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadError {
+    /// 1-based line number (0 when the input ended early).
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BBDD load error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+fn err(line: usize, message: &str) -> LoadError {
+    LoadError {
+        line,
+        message: message.to_string(),
+    }
+}
+
+impl Bbdd {
+    /// Serialize the diagrams rooted at `roots` (named per `names`, or
+    /// `f{i}`) into the textual format above.
+    #[must_use]
+    pub fn save(&self, roots: &[Edge], names: &[&str]) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "bbdd 1");
+        let _ = writeln!(out, "vars {}", self.num_vars());
+        let order: Vec<String> = self.order().iter().map(ToString::to_string).collect();
+        let _ = writeln!(out, "order {}", order.join(" "));
+
+        // Collect reachable nodes, emitted bottom-up (children first).
+        let mut nodes: Vec<u32> = Vec::new();
+        {
+            let mut seen = std::collections::HashSet::new();
+            let mut stack: Vec<u32> = roots.iter().filter_map(|e| self.edge_id(*e)).collect();
+            while let Some(id) = stack.pop() {
+                if !seen.insert(id) {
+                    continue;
+                }
+                nodes.push(id);
+                let info = self.node_info(Edge::new(id, false)).expect("reachable");
+                for child in [info.neq, info.eq] {
+                    if let Some(c) = self.edge_id(child) {
+                        stack.push(c);
+                    }
+                }
+            }
+            nodes.sort_by_key(|&id| self.node_info(Edge::new(id, false)).expect("node").level);
+        }
+        let fmt_edge = |e: Edge| -> String {
+            let id = self.edge_id(e).unwrap_or(0);
+            format!("{}:{}", id, u8::from(e.is_complemented()))
+        };
+        for &id in &nodes {
+            let info = self.node_info(Edge::new(id, false)).expect("node");
+            let _ = writeln!(
+                out,
+                "node {} {} {} {} {}",
+                id,
+                info.level,
+                if info.shannon { 'S' } else { 'B' },
+                fmt_edge(info.neq),
+                fmt_edge(info.eq)
+            );
+        }
+        for (i, r) in roots.iter().enumerate() {
+            let name = names.get(i).copied().unwrap_or("");
+            let label = if name.is_empty() {
+                format!("f{i}")
+            } else {
+                name.to_string()
+            };
+            let _ = writeln!(out, "root {label} {}", fmt_edge(*r));
+        }
+        let _ = writeln!(out, "end");
+        out
+    }
+
+    /// Reconstruct a forest saved by [`Bbdd::save`] into a fresh manager.
+    /// Returns the manager plus the named root edges in file order.
+    ///
+    /// # Errors
+    /// Returns a [`LoadError`] for malformed input, out-of-range levels or
+    /// forward references.
+    pub fn load(text: &str) -> Result<(Bbdd, Vec<(String, Edge)>), LoadError> {
+        let mut mgr: Option<Bbdd> = None;
+        let mut saw_magic = false;
+        let mut vars: Option<usize> = None;
+        let mut remap: HashMap<u32, Edge> = HashMap::new();
+        let mut roots: Vec<(String, Edge)> = Vec::new();
+        let mut finished = false;
+
+        let parse_edge =
+            |tok: &str, remap: &HashMap<u32, Edge>, line: usize| -> Result<Edge, LoadError> {
+                let (id_s, c_s) = tok
+                    .split_once(':')
+                    .ok_or_else(|| err(line, "edge must be id:compl"))?;
+                let id: u32 = id_s.parse().map_err(|_| err(line, "bad edge id"))?;
+                let c = match c_s {
+                    "0" => false,
+                    "1" => true,
+                    _ => return Err(err(line, "edge complement must be 0 or 1")),
+                };
+                if id == 0 {
+                    return Ok(Edge::ONE.complement_if(c));
+                }
+                remap
+                    .get(&id)
+                    .map(|e| e.complement_if(c))
+                    .ok_or_else(|| err(line, &format!("node {id} referenced before definition")))
+            };
+
+        for (i, raw) in text.lines().enumerate() {
+            let line = i + 1;
+            let s = match raw.find('#') {
+                Some(p) => raw[..p].trim(),
+                None => raw.trim(),
+            };
+            if s.is_empty() || finished {
+                continue;
+            }
+            let toks: Vec<&str> = s.split_whitespace().collect();
+            match toks[0] {
+                "bbdd" => {
+                    if toks.get(1) != Some(&"1") {
+                        return Err(err(line, "unsupported format version"));
+                    }
+                    saw_magic = true;
+                }
+                "vars" => {
+                    let n: usize = toks
+                        .get(1)
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err(line, "bad vars line"))?;
+                    if n == 0 {
+                        return Err(err(line, "vars must be positive"));
+                    }
+                    vars = Some(n);
+                    mgr = Some(Bbdd::new(n));
+                }
+                "order" => {
+                    let n = vars.ok_or_else(|| err(line, "order before vars"))?;
+                    let order: Vec<usize> = toks[1..]
+                        .iter()
+                        .map(|t| t.parse::<usize>())
+                        .collect::<Result<_, _>>()
+                        .map_err(|_| err(line, "bad order line"))?;
+                    if order.len() != n {
+                        return Err(err(line, "order length does not match vars"));
+                    }
+                    mgr.as_mut()
+                        .ok_or_else(|| err(line, "order before vars"))?
+                        .reorder_to(&order);
+                }
+                "node" => {
+                    let m = mgr.as_mut().ok_or_else(|| err(line, "node before vars"))?;
+                    if toks.len() != 6 {
+                        return Err(err(line, "node needs: id level mode neq eq"));
+                    }
+                    let id: u32 = toks[1].parse().map_err(|_| err(line, "bad node id"))?;
+                    let level: u16 = toks[2].parse().map_err(|_| err(line, "bad level"))?;
+                    if level as usize >= m.num_vars() {
+                        return Err(err(line, "level out of range"));
+                    }
+                    let edge = match toks[3] {
+                        "S" => {
+                            // Shannon nodes are exactly the level's literal.
+                            let pv = m.order()[m.num_vars() - 1 - level as usize];
+                            m.var(pv)
+                        }
+                        "B" => {
+                            let neq = parse_edge(toks[4], &remap, line)?;
+                            let eq = parse_edge(toks[5], &remap, line)?;
+                            m.make_node(level, neq, eq)
+                        }
+                        _ => return Err(err(line, "mode must be B or S")),
+                    };
+                    remap.insert(id, edge);
+                }
+                "root" => {
+                    if toks.len() != 3 {
+                        return Err(err(line, "root needs: name edge"));
+                    }
+                    let e = parse_edge(toks[2], &remap, line)?;
+                    roots.push((toks[1].to_string(), e));
+                }
+                "end" => finished = true,
+                _ => return Err(err(line, &format!("unknown directive {}", toks[0]))),
+            }
+        }
+        if !saw_magic {
+            return Err(err(0, "missing bbdd magic line"));
+        }
+        let mgr = mgr.ok_or_else(|| err(0, "missing vars line"))?;
+        if !finished {
+            return Err(err(0, "missing end line"));
+        }
+        Ok((mgr, roots))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(mgr: &mut Bbdd) -> Vec<Edge> {
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let c = mgr.var(2);
+        let x = mgr.xor(a, b);
+        let f = mgr.and(x, c);
+        let g = mgr.xnor(b, c);
+        vec![f, !g]
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_functions() {
+        let mut mgr = Bbdd::new(4);
+        let roots = sample(&mut mgr);
+        let text = mgr.save(&roots, &["f", "ng"]);
+        let (mut loaded, lroots) = Bbdd::load(&text).unwrap();
+        assert_eq!(lroots.len(), 2);
+        assert_eq!(lroots[0].0, "f");
+        assert_eq!(lroots[1].0, "ng");
+        for m in 0..16u32 {
+            let v: Vec<bool> = (0..4).map(|i| (m >> i) & 1 == 1).collect();
+            for (orig, (_, copy)) in roots.iter().zip(&lroots) {
+                assert_eq!(mgr.eval(*orig, &v), loaded.eval(*copy, &v), "{v:?}");
+            }
+        }
+        assert!(loaded.validate().is_ok());
+        // Canonicity: same node counts after the round-trip.
+        assert_eq!(
+            mgr.shared_node_count(&roots),
+            loaded.shared_node_count(&[lroots[0].1, lroots[1].1])
+        );
+        let _ = loaded.sift(&[lroots[0].1, lroots[1].1]);
+    }
+
+    #[test]
+    fn save_load_keeps_nonidentity_orders() {
+        let mut mgr = Bbdd::new(4);
+        let roots = sample(&mut mgr);
+        mgr.reorder_to(&[2, 0, 3, 1]);
+        let text = mgr.save(&roots, &[]);
+        let (loaded, lroots) = Bbdd::load(&text).unwrap();
+        assert_eq!(loaded.order(), vec![2, 0, 3, 1]);
+        for m in 0..16u32 {
+            let v: Vec<bool> = (0..4).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(mgr.eval(roots[0], &v), loaded.eval(lroots[0].1, &v));
+        }
+    }
+
+    #[test]
+    fn constants_and_literals_roundtrip() {
+        let mut mgr = Bbdd::new(2);
+        let a = mgr.var(1);
+        let text = mgr.save(&[Edge::ONE, Edge::ZERO, a, !a], &["t", "f", "a", "na"]);
+        let (mut loaded, lroots) = Bbdd::load(&text).unwrap();
+        assert_eq!(lroots[0].1, Edge::ONE);
+        assert_eq!(lroots[1].1, Edge::ZERO);
+        assert!(loaded.eval(lroots[2].1, &[false, true]));
+        assert!(!loaded.eval(lroots[3].1, &[false, true]));
+    }
+
+    #[test]
+    fn load_rejects_malformed_input() {
+        assert!(Bbdd::load("").is_err());
+        assert!(Bbdd::load("bbdd 2\nvars 1\nend\n").is_err());
+        assert!(Bbdd::load("bbdd 1\nvars 0\nend\n").is_err());
+        assert!(Bbdd::load("bbdd 1\nvars 2\norder 0\nend\n").is_err());
+        // Forward reference.
+        let fwd = "bbdd 1\nvars 2\norder 0 1\nnode 5 1 B 9:0 0:0\nend\n";
+        assert!(Bbdd::load(fwd).is_err());
+        // Missing end.
+        assert!(Bbdd::load("bbdd 1\nvars 1\norder 0\n").is_err());
+        // Unknown directive.
+        assert!(Bbdd::load("bbdd 1\nvars 1\norder 0\nbogus\nend\n").is_err());
+    }
+}

@@ -1,0 +1,770 @@
+//! Adjacent variable swap in the chain variable order — the paper's Fig. 2
+//! swap theory (§IV-A4).
+//!
+//! Swapping the order positions of two adjacent variables `x` (level `i+1`)
+//! and `y` (level `i`) involves **three** CVO levels, because the level
+//! above (`i+2`, pair `(w, x)`) holds the out-going variable as its SV:
+//!
+//! ```text
+//!   before:  (w ⋆ x) @ i+2,   (x ⋆ y) @ i+1,   (y ⋆ z) @ i
+//!   after:   (w ⋆ y) @ i+2,   (y ⋆ x) @ i+1,   (x ⋆ z) @ i
+//! ```
+//!
+//! With path conditions `a=[w⊕x], b=[x⊕y], c=[y⊕z]` before the swap and
+//! `a'=[w⊕y], b'=[y⊕x], c'=[x⊕z]` after, transitivity of equality in the
+//! binary domain (the paper's Eq. 5) gives the grand-children remap
+//!
+//! ```text
+//!   (a, b, c) = (a' ⊕ b',  b',  b' ⊕ c')
+//! ```
+//!
+//! Every affected node is rebuilt and **overwritten in place** so that all
+//! edges from the BBDD above the swap window keep pointing at the same
+//! logical function (the paper's locality requirement). The rebuild runs in
+//! a *staging area*: new tuples are deduplicated there, surviving old nodes
+//! *adopt* their new tuple (keeping their pointer), fresh intermediate
+//! nodes receive new slots, and only then is everything re-inserted into
+//! the per-level unique tables.
+//!
+//! Two structural facts make in-place overwriting sound (asserted in
+//! debug builds and exercised by the property tests):
+//!
+//! * a node's function always keeps a root *inside* the window — a node at
+//!   level `ℓ` depends on its PV, so the rebuilt representation is rooted at
+//!   the level where that variable lands (possibly one level up or down,
+//!   trading places with other nodes, never colliding: distinct functions
+//!   have distinct canonical tuples);
+//! * polarity never flips: the all-`=`-edges spine of a node is regular by
+//!   the canonical form, the remap maps the all-equal path to the all-equal
+//!   path (`(0,0,0) ↦ (0,0,0)`), and `=`-children of restaged nodes are
+//!   rebuilt from that spine, so a claimed tuple always carries a regular
+//!   `=`-edge.
+
+use crate::edge::Edge;
+use crate::manager::Bbdd;
+use crate::node::{Node, NodeKey};
+use ddcore::fxhash::FxHashMap;
+
+/// Reference to either a committed arena node or a staged node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum SRef {
+    Final(u32),
+    Staged(u32),
+}
+
+/// Edge in staging space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SEdge {
+    r: SRef,
+    c: bool,
+}
+
+impl SEdge {
+    const ONE: SEdge = SEdge {
+        r: SRef::Final(0),
+        c: false,
+    };
+    const ZERO: SEdge = SEdge {
+        r: SRef::Final(0),
+        c: true,
+    };
+
+    #[inline]
+    fn flip(self) -> SEdge {
+        SEdge {
+            r: self.r,
+            c: !self.c,
+        }
+    }
+
+    #[inline]
+    fn complement_if(self, c: bool) -> SEdge {
+        if c {
+            self.flip()
+        } else {
+            self
+        }
+    }
+
+    #[inline]
+    fn from_edge(e: Edge) -> SEdge {
+        SEdge {
+            r: SRef::Final(e.node()),
+            c: e.is_complemented(),
+        }
+    }
+}
+
+/// A node being rebuilt or freshly created during a swap.
+#[derive(Debug, Clone, Copy)]
+struct StagedNode {
+    level: u16,
+    shannon: bool,
+    neq: SEdge,
+    eq: SEdge,
+    /// `Some(id)`: this tuple is the new content of existing arena node
+    /// `id` (pointer-preserving overwrite).
+    owner: Option<u32>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SKey {
+    level: u16,
+    shannon: bool,
+    neq: SEdge,
+    eq: SEdge,
+}
+
+/// Cofactor value in *old* semantics: either a real edge (stable region) or
+/// the virtual positive literal of an old PV inside the swap window.
+#[derive(Debug, Clone, Copy)]
+enum VEdge {
+    Real(Edge),
+    OldLit { level: u16, c: bool },
+}
+
+#[derive(Debug)]
+pub(crate) struct SwapCtx {
+    staged: Vec<StagedNode>,
+    tab: FxHashMap<SKey, u32>,
+    /// Bottom level of the swap window (`L0`); final nodes may only be
+    /// referenced below it.
+    l0: u16,
+}
+
+impl SwapCtx {
+    fn new(l0: u16) -> Self {
+        SwapCtx {
+            staged: Vec::new(),
+            tab: FxHashMap::default(),
+            l0,
+        }
+    }
+
+    fn reset(&mut self, l0: u16) {
+        self.staged.clear();
+        self.tab.clear();
+        self.l0 = l0;
+    }
+
+    fn intern(&mut self, key: SKey, owner: Option<u32>) -> u32 {
+        if let Some(&k) = self.tab.get(&key) {
+            if let Some(id) = owner {
+                assert!(
+                    self.staged[k as usize].owner.is_none(),
+                    "BBDD swap: two surviving nodes claim one canonical tuple"
+                );
+                self.staged[k as usize].owner = Some(id);
+            }
+            return k;
+        }
+        let k = self.staged.len() as u32;
+        self.staged.push(StagedNode {
+            level: key.level,
+            shannon: key.shannon,
+            neq: key.neq,
+            eq: key.eq,
+            owner,
+        });
+        self.tab.insert(key, k);
+        k
+    }
+}
+
+impl Bbdd {
+    /// Swap the variables at adjacent top-based order positions `pos` and
+    /// `pos + 1`, updating the CVO and rewriting the (up to) three affected
+    /// levels in place. All existing [`Edge`]s keep denoting the same
+    /// Boolean functions.
+    ///
+    /// # Panics
+    /// Panics if `pos + 1 >= num_vars()`.
+    pub fn swap_adjacent(&mut self, pos: usize) {
+        let n = self.num_vars();
+        assert!(pos + 1 < n, "swap position out of range");
+        let hi = (n - 1 - pos) as u16; // bottom-based level of π_pos
+        self.swap_levels(hi - 1);
+    }
+
+    /// Swap the PVs of bottom-based levels `lo+1` and `lo`.
+    pub(crate) fn swap_levels(&mut self, lo: u16) {
+        let l0 = lo;
+        let l1 = lo + 1;
+        assert!((l1 as usize) < self.num_vars());
+        let l2 = if (l1 as usize) + 1 < self.num_vars() {
+            Some(lo + 2)
+        } else {
+            None
+        };
+
+        let ids0 = self.subtables[l0 as usize].values();
+        let ids1 = self.subtables[l1 as usize].values();
+        let ids2 = l2.map(|l| self.subtables[l as usize].values());
+
+        let mut ctx = self.take_swap_scratch(l0);
+        for &id in &ids0 {
+            self.rebuild_l0(&mut ctx, id, l0, l1);
+        }
+        for &id in &ids1 {
+            self.rebuild_l1(&mut ctx, id, l0, l1);
+        }
+        if let (Some(l2), Some(ids2)) = (l2, &ids2) {
+            for &id in ids2 {
+                self.rebuild_l2(&mut ctx, id, l0, l1, l2);
+            }
+        }
+        let claimed = ctx.staged.iter().filter(|s| s.owner.is_some()).count();
+        debug_assert_eq!(
+            claimed,
+            ids0.len() + ids1.len() + ids2.as_ref().map_or(0, Vec::len),
+            "every old node must adopt exactly one new tuple"
+        );
+
+        self.commit(&mut ctx, l0, l1, l2);
+        self.put_swap_scratch(ctx);
+        self.var_at_level.swap(l0 as usize, l1 as usize);
+        self.level_of_var[self.var_at_level[l0 as usize] as usize] = l0 as u32;
+        self.level_of_var[self.var_at_level[l1 as usize] as usize] = l1 as u32;
+        self.stats.swaps += 1;
+    }
+
+    /// Old level-`i` node `p` (pair `(y, z)`): its variable `y` moves up, so
+    /// `p` re-roots at `L1` over the new pair `(y, x)` with children over
+    /// `(x, z)` whose branches swap (Fig. 2c):
+    /// `p(y:=x') = node(L0, ≠: P_E, =: P_D)`,
+    /// `p(y:=x)  = node(L0, ≠: P_D, =: P_E)`.
+    fn rebuild_l0(&mut self, ctx: &mut SwapCtx, id: u32, l0: u16, l1: u16) {
+        let nd = *self.node(id);
+        if nd.is_shannon() {
+            self.claim(ctx, id, l1, true, SEdge::ZERO, SEdge::ONE);
+            return;
+        }
+        let pd = SEdge::from_edge(nd.neq);
+        let pe = SEdge::from_edge(nd.eq);
+        let c_neq = self.stage(ctx, l0, pe, pd);
+        let c_eq = self.stage(ctx, l0, pd, pe);
+        self.claim(ctx, id, l1, false, c_neq, c_eq);
+    }
+
+    /// Old level-`i+1` node `m` (pair `(x, y)`): expand to the four
+    /// grand-cofactors `m_{b,c}` and reassemble under the remap
+    /// `m'_{b',c'} = m_{b', b'⊕c'}` (Fig. 2b). If the two new children
+    /// coincide, `m` does not depend on `y` and migrates down to `L0`.
+    fn rebuild_l1(&mut self, ctx: &mut SwapCtx, id: u32, l0: u16, l1: u16) {
+        let nd = *self.node(id);
+        if nd.is_shannon() {
+            self.claim(ctx, id, l0, true, SEdge::ZERO, SEdge::ONE);
+            return;
+        }
+        // Fast path: both children below the window. The node's condition
+        // [x ⊕ y] is symmetric in the swapped pair, so the tuple is
+        // invariant — re-claim it unchanged.
+        if self.below_window(nd.neq, l0) && self.below_window(nd.eq, l0) {
+            self.claim(
+                ctx,
+                id,
+                l1,
+                false,
+                SEdge::from_edge(nd.neq),
+                SEdge::from_edge(nd.eq),
+            );
+            return;
+        }
+        // (m_{b,1}, m_{b,0}) for b = 1 (≠-child) and b = 0 (=-child).
+        let (m11, m10) = self.cofactors(nd.neq, l0);
+        let (m01, m00) = self.cofactors(nd.eq, l0);
+        let child1 = self.stage(ctx, l0, SEdge::from_edge(m10), SEdge::from_edge(m11));
+        let child0 = self.stage(ctx, l0, SEdge::from_edge(m01), SEdge::from_edge(m00));
+        self.claim(ctx, id, l1, false, child1, child0);
+    }
+
+    /// Old level-`i+2` node `N` (pair `(w, x)`): expand to the eight
+    /// grand-cofactors `N_{a,b,c}` (Fig. 2a) and reassemble under
+    /// `N'_{a',b',c'} = N_{a'⊕b', b', b'⊕c'}`. Uses virtual literals so
+    /// that cofactoring through the window never materializes nodes with
+    /// stale (pre-swap) semantics.
+    fn rebuild_l2(&mut self, ctx: &mut SwapCtx, id: u32, l0: u16, l1: u16, l2: u16) {
+        let nd = *self.node(id);
+        if nd.is_shannon() {
+            self.claim(ctx, id, l2, true, SEdge::ZERO, SEdge::ONE);
+            return;
+        }
+        // Fast path: both children below the window. Only the SV of the
+        // node's condition changes (x → y), which re-roots the children
+        // one level down with swapped branches and no grand-cofactoring:
+        //   f_{w≠y} = node(L1, ≠: E, =: D),  f_{w=y} = node(L1, ≠: D, =: E).
+        if self.below_window(nd.neq, l0) && self.below_window(nd.eq, l0) {
+            let d = SEdge::from_edge(nd.neq);
+            let e = SEdge::from_edge(nd.eq);
+            let mid1 = self.stage(ctx, l1, e, d);
+            let mid0 = self.stage(ctx, l1, d, e);
+            self.claim(ctx, id, l2, false, mid1, mid0);
+            return;
+        }
+        // First expansion: condition b over the old pair (x, y) at L1.
+        let (n1_1, n1_0) = self.vcof(ctx, VEdge::Real(nd.neq), l1);
+        let (n0_1, n0_0) = self.vcof(ctx, VEdge::Real(nd.eq), l1);
+        // Second expansion: condition c over the old pair (y, z) at L0.
+        let mut nabc = [[[SEdge::ZERO; 2]; 2]; 2];
+        for (a, b, v) in [
+            (1usize, 1usize, n1_1),
+            (1, 0, n1_0),
+            (0, 1, n0_1),
+            (0, 0, n0_0),
+        ] {
+            let (c1, c0) = self.vcof(ctx, v, l0);
+            nabc[a][b][1] = SEdge::from_edge(Self::as_real(c1));
+            nabc[a][b][0] = SEdge::from_edge(Self::as_real(c0));
+        }
+        // Remap and reassemble bottom-up.
+        let inner = |mgr: &mut Self, ctx: &mut SwapCtx, ap: usize, bp: usize| {
+            let neq = nabc[ap ^ bp][bp][bp ^ 1];
+            let eq = nabc[ap ^ bp][bp][bp];
+            mgr.stage(ctx, l0, neq, eq)
+        };
+        let i11 = inner(self, ctx, 1, 1);
+        let i10 = inner(self, ctx, 1, 0);
+        let i01 = inner(self, ctx, 0, 1);
+        let i00 = inner(self, ctx, 0, 0);
+        let mid1 = self.stage(ctx, l1, i11, i10);
+        let mid0 = self.stage(ctx, l1, i01, i00);
+        self.claim(ctx, id, l2, false, mid1, mid0);
+    }
+
+    fn as_real(v: VEdge) -> Edge {
+        match v {
+            VEdge::Real(e) => e,
+            VEdge::OldLit { .. } => {
+                unreachable!("BBDD swap: virtual literal survived below the window")
+            }
+        }
+    }
+
+    /// Old-semantics biconditional cofactors of a possibly-virtual edge at
+    /// `level`.
+    fn vcof(&mut self, ctx: &SwapCtx, v: VEdge, level: u16) -> (VEdge, VEdge) {
+        match v {
+            VEdge::Real(e) => {
+                if e.is_constant() {
+                    return (v, v);
+                }
+                let n = *self.node(e.node());
+                if n.level < level {
+                    return (v, v);
+                }
+                debug_assert_eq!(n.level, level);
+                let c = e.is_complemented();
+                if n.is_shannon() {
+                    self.old_lit_pair(ctx, level, c)
+                } else {
+                    (
+                        VEdge::Real(n.neq.complement_if(c)),
+                        VEdge::Real(n.eq.complement_if(c)),
+                    )
+                }
+            }
+            VEdge::OldLit { level: k, c } => {
+                if k < level {
+                    (v, v)
+                } else {
+                    debug_assert_eq!(k, level);
+                    self.old_lit_pair(ctx, level, c)
+                }
+            }
+        }
+    }
+
+    /// Cofactors of the (old) positive literal of `level`'s PV:
+    /// `(SV', SV)`, where the SV literal is virtual while it lies inside
+    /// the swap window.
+    fn old_lit_pair(&mut self, ctx: &SwapCtx, level: u16, c: bool) -> (VEdge, VEdge) {
+        if level == 0 {
+            return (
+                VEdge::Real(Edge::ZERO.complement_if(c)),
+                VEdge::Real(Edge::ONE.complement_if(c)),
+            );
+        }
+        let k = level - 1;
+        if k < ctx.l0 {
+            let lit = self.shannon_node(k); // stable region: safe to create
+            (
+                VEdge::Real((!lit).complement_if(c)),
+                VEdge::Real(lit.complement_if(c)),
+            )
+        } else {
+            (
+                VEdge::OldLit { level: k, c: !c },
+                VEdge::OldLit { level: k, c },
+            )
+        }
+    }
+
+    /// Stage the biconditional tuple `(level, neq, eq)` applying R2, the
+    /// complement normalization and R4 in *new* semantics.
+    fn stage(&mut self, ctx: &mut SwapCtx, level: u16, mut neq: SEdge, mut eq: SEdge) -> SEdge {
+        if neq == eq {
+            return eq; // R2
+        }
+        let mut out_c = false;
+        if eq.c {
+            neq = neq.flip();
+            eq = eq.flip();
+            out_c = true;
+        }
+        if neq == eq.flip() && self.is_new_lit_below(ctx, eq, level) {
+            let lit = self.stage_shannon(ctx, level);
+            return lit.complement_if(out_c); // R4
+        }
+        let key = SKey {
+            level,
+            shannon: false,
+            neq,
+            eq,
+        };
+        let k = ctx.intern(key, None);
+        SEdge {
+            r: SRef::Staged(k),
+            c: out_c,
+        }
+    }
+
+    fn stage_shannon(&mut self, ctx: &mut SwapCtx, level: u16) -> SEdge {
+        let key = SKey {
+            level,
+            shannon: true,
+            neq: SEdge::ZERO,
+            eq: SEdge::ONE,
+        };
+        let k = ctx.intern(key, None);
+        SEdge {
+            r: SRef::Staged(k),
+            c: false,
+        }
+    }
+
+    /// Is `e` the regular positive literal of the level below `level`, in
+    /// post-swap semantics?
+    fn is_new_lit_below(&self, ctx: &SwapCtx, e: SEdge, level: u16) -> bool {
+        if e.c {
+            return false;
+        }
+        if level == 0 {
+            return e == SEdge::ONE;
+        }
+        let below = level - 1;
+        match e.r {
+            SRef::Final(id) => {
+                if id == 0 {
+                    return false;
+                }
+                // Final nodes keep their semantics only below the window.
+                below < ctx.l0 && {
+                    let n = self.node(id);
+                    n.is_shannon() && n.level == below
+                }
+            }
+            SRef::Staged(k) => {
+                let s = &ctx.staged[k as usize];
+                s.shannon && s.level == below
+            }
+        }
+    }
+
+    /// Register the new tuple of surviving old node `id` (pointer-
+    /// preserving adoption), handling the level-migration (R2) case.
+    fn claim(
+        &mut self,
+        ctx: &mut SwapCtx,
+        id: u32,
+        level: u16,
+        shannon: bool,
+        neq: SEdge,
+        eq: SEdge,
+    ) {
+        if neq == eq {
+            // The node's function does not depend on the new PV of `level`:
+            // it migrates to the root of its (single) child, which is
+            // always a regular staged node — see the module docs.
+            match (neq.r, neq.c) {
+                (SRef::Staged(k), false) => {
+                    assert!(
+                        ctx.staged[k as usize].owner.is_none(),
+                        "BBDD swap: migrated node collides with an owned tuple"
+                    );
+                    ctx.staged[k as usize].owner = Some(id);
+                }
+                _ => panic!("BBDD swap: migrated node collapsed outside the staging area"),
+            }
+            return;
+        }
+        assert!(
+            !eq.c,
+            "BBDD swap: claim with complemented =-edge (polarity flip)"
+        );
+        debug_assert!(
+            shannon || !(neq == eq.flip() && self.is_new_lit_below(ctx, eq, level)),
+            "BBDD swap: surviving biconditional node degenerated to a literal"
+        );
+        let key = SKey {
+            level,
+            shannon,
+            neq,
+            eq,
+        };
+        ctx.intern(key, Some(id));
+    }
+
+    /// Is the edge's target strictly below the swap window?
+    #[inline]
+    fn below_window(&self, e: Edge, l0: u16) -> bool {
+        match self.edge_level(e) {
+            None => true,
+            Some(l) => l < l0,
+        }
+    }
+
+    fn take_swap_scratch(&mut self, l0: u16) -> SwapCtx {
+        match self.swap_scratch.take() {
+            Some(mut ctx) => {
+                ctx.reset(l0);
+                ctx
+            }
+            None => SwapCtx::new(l0),
+        }
+    }
+
+    fn put_swap_scratch(&mut self, ctx: SwapCtx) {
+        self.swap_scratch = Some(ctx);
+    }
+
+    /// Write the staged forest back: reuse owned slots, allocate fresh ones
+    /// for reachable unowned nodes, refill the three subtables.
+    fn commit(&mut self, ctx: &mut SwapCtx, l0: u16, l1: u16, l2: Option<u16>) {
+        let staged = &ctx.staged;
+        // Reachability from owned (adopted) nodes; unreferenced fresh
+        // intermediates are dropped instead of becoming instant garbage.
+        let mut used = vec![false; staged.len()];
+        let mut stack: Vec<u32> = (0..staged.len() as u32)
+            .filter(|&k| staged[k as usize].owner.is_some())
+            .collect();
+        while let Some(k) = stack.pop() {
+            if used[k as usize] {
+                continue;
+            }
+            used[k as usize] = true;
+            for e in [staged[k as usize].neq, staged[k as usize].eq] {
+                if let SRef::Staged(j) = e.r {
+                    stack.push(j);
+                }
+            }
+        }
+
+        self.subtables[l0 as usize].clear();
+        self.subtables[l1 as usize].clear();
+        if let Some(l2) = l2 {
+            self.subtables[l2 as usize].clear();
+        }
+
+        let mut final_id = vec![u32::MAX; staged.len()];
+        for (k, s) in staged.iter().enumerate() {
+            if !used[k] {
+                continue;
+            }
+            final_id[k] = match s.owner {
+                Some(id) => id,
+                None =>
+
+                {
+                    // Fresh slot for a genuinely new node.
+                    if let Some(id) = self.free_slot() {
+                        id
+                    } else {
+                        self.nodes.push(Node::terminal());
+                        (self.nodes.len() - 1) as u32
+                    }
+                }
+            };
+        }
+
+        let resolve = |e: SEdge| -> Edge {
+            match e.r {
+                SRef::Final(id) => Edge::new(id, e.c),
+                SRef::Staged(k) => {
+                    debug_assert_ne!(final_id[k as usize], u32::MAX);
+                    Edge::new(final_id[k as usize], e.c)
+                }
+            }
+        };
+
+        for (k, s) in staged.iter().enumerate() {
+            if !used[k] {
+                continue;
+            }
+            let id = final_id[k];
+            let neq = resolve(s.neq);
+            let eq = resolve(s.eq);
+            self.nodes[id as usize] = Node::new(s.level, s.shannon, neq, eq);
+            let key = NodeKey {
+                shannon: s.shannon,
+                neq,
+                eq,
+            };
+            debug_assert!(
+                self.subtables[s.level as usize].get(&key).is_none(),
+                "BBDD swap: duplicate canonical tuple after commit"
+            );
+            self.subtables[s.level as usize].insert(key, id);
+            self.stats.nodes_created += u64::from(s.owner.is_none());
+        }
+    }
+
+    fn free_slot(&mut self) -> Option<u32> {
+        self.pop_free()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddcore::boolop::BoolOp;
+
+    /// Build a moderately entangled function over `n` variables.
+    fn build_mixed(mgr: &mut Bbdd, n: usize, seed: u64) -> Edge {
+        let vs: Vec<Edge> = (0..n).map(|v| mgr.var(v)).collect();
+        let ops = [
+            BoolOp::XOR,
+            BoolOp::AND,
+            BoolOp::OR,
+            BoolOp::XNOR,
+            BoolOp::NAND,
+            BoolOp::NOR,
+        ];
+        let mut f = vs[(seed % n as u64) as usize];
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        for i in 0..2 * n {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let op = ops[(state >> 33) as usize % ops.len()];
+            let v = vs[(state >> 20) as usize % n];
+            let _ = i;
+            f = mgr.apply(op, f, v);
+        }
+        f
+    }
+
+    fn truth_of(mgr: &Bbdd, f: Edge, n: usize) -> Vec<bool> {
+        (0..1u32 << n)
+            .map(|m| {
+                let a: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
+                mgr.eval(f, &a)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn swap_two_variables_preserves_all_functions() {
+        for seed in 0..20u64 {
+            let n = 4;
+            let mut mgr = Bbdd::new(n);
+            let f = build_mixed(&mut mgr, n, seed);
+            let g = build_mixed(&mut mgr, n, seed + 100);
+            let tf = truth_of(&mgr, f, n);
+            let tg = truth_of(&mgr, g, n);
+            for pos in 0..n - 1 {
+                mgr.swap_adjacent(pos);
+                assert_eq!(truth_of(&mgr, f, n), tf, "seed {seed} pos {pos} (f)");
+                assert_eq!(truth_of(&mgr, g, n), tg, "seed {seed} pos {pos} (g)");
+                mgr.validate().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn swap_at_top_has_no_level_above() {
+        let n = 3;
+        let mut mgr = Bbdd::new(n);
+        let f = build_mixed(&mut mgr, n, 7);
+        let tf = truth_of(&mgr, f, n);
+        mgr.swap_adjacent(0); // swaps the two topmost variables
+        assert_eq!(truth_of(&mgr, f, n), tf);
+        mgr.validate().unwrap();
+        assert_eq!(mgr.order(), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn swap_twice_restores_order_and_sizes() {
+        let n = 6;
+        let mut mgr = Bbdd::new(n);
+        let f = build_mixed(&mut mgr, n, 3);
+        mgr.gc(&[f]);
+        let order0 = mgr.order();
+        let size0 = mgr.live_nodes();
+        for pos in 0..n - 1 {
+            mgr.swap_adjacent(pos);
+            mgr.swap_adjacent(pos);
+            mgr.gc(&[f]);
+            assert_eq!(mgr.order(), order0, "pos {pos}");
+            assert_eq!(mgr.live_nodes(), size0, "pos {pos}: double swap must be identity");
+            mgr.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn xor_pair_trades_places() {
+        // f = x ⊕ z over order (w, x, y, z) exercises the level-migration
+        // case: the (x,y)-level node and the (y,z)-level XNOR node trade
+        // levels under swap(x, y).
+        let mut mgr = Bbdd::new(4);
+        let (x, z) = (mgr.var(1), mgr.var(3));
+        let f = mgr.xor(x, z);
+        let y_related = {
+            let y = mgr.var(2);
+            let zz = mgr.var(3);
+            mgr.xor(y, zz)
+        };
+        let tf = truth_of(&mgr, f, 4);
+        let tg = truth_of(&mgr, y_related, 4);
+        mgr.swap_adjacent(1); // swap x and y
+        assert_eq!(truth_of(&mgr, f, 4), tf);
+        assert_eq!(truth_of(&mgr, y_related, 4), tg);
+        mgr.validate().unwrap();
+        // After the swap f = x⊕z is adjacent (x above z? order w,y,x,z) →
+        // single XNOR node (complemented): 1 internal node.
+        assert_eq!(mgr.node_count(f), 1);
+    }
+
+    #[test]
+    fn literal_nodes_swap_levels() {
+        let mut mgr = Bbdd::new(3);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let ta = truth_of(&mgr, a, 3);
+        let tb = truth_of(&mgr, b, 3);
+        mgr.swap_adjacent(0);
+        assert_eq!(truth_of(&mgr, a, 3), ta);
+        assert_eq!(truth_of(&mgr, b, 3), tb);
+        assert_eq!(mgr.order(), vec![1, 0, 2]);
+        mgr.validate().unwrap();
+    }
+
+    #[test]
+    fn random_walks_of_swaps_preserve_semantics() {
+        let n = 7;
+        for seed in 0..6u64 {
+            let mut mgr = Bbdd::new(n);
+            let f = build_mixed(&mut mgr, n, seed);
+            let tf = truth_of(&mgr, f, n);
+            let mut state = seed | 1;
+            for step in 0..40 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let pos = (state >> 33) as usize % (n - 1);
+                mgr.swap_adjacent(pos);
+                assert_eq!(truth_of(&mgr, f, n), tf, "seed {seed} step {step}");
+                mgr.validate().unwrap();
+            }
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Property-based tests of the BBDD package's core invariants:
+//! construction semantics, canonicity, counting, restriction, swap and
+//! sifting — all compared against brute-force evaluation of random
+//! expression trees.
+
+use bbdd::{Bbdd, BoolOp, Edge};
+use proptest::prelude::*;
+
+/// A small random expression AST over `n` variables.
+#[derive(Debug, Clone)]
+enum Expr {
+    Var(usize),
+    Const(bool),
+    Not(Box<Expr>),
+    Bin(u8, Box<Expr>, Box<Expr>),
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+fn arb_expr(nvars: usize, depth: u32) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0..nvars).prop_map(Expr::Var),
+        any::<bool>().prop_map(Expr::Const),
+    ];
+    leaf.prop_recursive(depth, 64, 3, move |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (0u8..16, inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| Expr::Bin(op, Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(s, a, b)| Expr::Ite(Box::new(s), Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn build(mgr: &mut Bbdd, e: &Expr) -> Edge {
+    match e {
+        Expr::Var(v) => mgr.var(*v),
+        Expr::Const(b) => {
+            if *b {
+                mgr.one()
+            } else {
+                mgr.zero()
+            }
+        }
+        Expr::Not(x) => {
+            let inner = build(mgr, x);
+            !inner
+        }
+        Expr::Bin(op, a, b) => {
+            let ea = build(mgr, a);
+            let eb = build(mgr, b);
+            mgr.apply(BoolOp::from_table(*op), ea, eb)
+        }
+        Expr::Ite(s, a, b) => {
+            let es = build(mgr, s);
+            let ea = build(mgr, a);
+            let eb = build(mgr, b);
+            mgr.ite(es, ea, eb)
+        }
+    }
+}
+
+fn eval_expr(e: &Expr, v: &[bool]) -> bool {
+    match e {
+        Expr::Var(i) => v[*i],
+        Expr::Const(b) => *b,
+        Expr::Not(x) => !eval_expr(x, v),
+        Expr::Bin(op, a, b) => {
+            BoolOp::from_table(*op).eval(eval_expr(a, v), eval_expr(b, v))
+        }
+        Expr::Ite(s, a, b) => {
+            if eval_expr(s, v) {
+                eval_expr(a, v)
+            } else {
+                eval_expr(b, v)
+            }
+        }
+    }
+}
+
+const NVARS: usize = 5;
+
+fn assignments() -> impl Iterator<Item = Vec<bool>> {
+    (0..1u32 << NVARS).map(|m| (0..NVARS).map(|i| (m >> i) & 1 == 1).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn build_matches_brute_force(e in arb_expr(NVARS, 5)) {
+        let mut mgr = Bbdd::new(NVARS);
+        let f = build(&mut mgr, &e);
+        mgr.validate().unwrap();
+        for v in assignments() {
+            prop_assert_eq!(mgr.eval(f, &v), eval_expr(&e, &v));
+        }
+    }
+
+    #[test]
+    fn canonicity_equal_functions_equal_edges(e in arb_expr(NVARS, 4)) {
+        let mut mgr = Bbdd::new(NVARS);
+        let f = build(&mut mgr, &e);
+        // Rebuild through a double negation and through ite(f, 1, 0).
+        let g0 = build(&mut mgr, &Expr::Not(Box::new(Expr::Not(Box::new(e.clone())))));
+        let one = mgr.one();
+        let zero = mgr.zero();
+        let g1 = mgr.ite(f, one, zero);
+        prop_assert_eq!(f, g0);
+        prop_assert_eq!(f, g1);
+    }
+
+    #[test]
+    fn sat_count_matches_brute_force(e in arb_expr(NVARS, 4)) {
+        let mut mgr = Bbdd::new(NVARS);
+        let f = build(&mut mgr, &e);
+        let brute = assignments().filter(|v| eval_expr(&e, v)).count() as u128;
+        prop_assert_eq!(mgr.sat_count(f), brute);
+        let frac = mgr.sat_fraction(f);
+        prop_assert!((frac - brute as f64 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restrict_and_quantifiers_match(e in arb_expr(NVARS, 4), var in 0..NVARS) {
+        let mut mgr = Bbdd::new(NVARS);
+        let f = build(&mut mgr, &e);
+        let f0 = mgr.restrict(f, var, false);
+        let f1 = mgr.restrict(f, var, true);
+        let ex = mgr.exists(f, &[var]);
+        let fa = mgr.forall(f, &[var]);
+        for v in assignments() {
+            let mut v0 = v.clone();
+            v0[var] = false;
+            let mut v1 = v.clone();
+            v1[var] = true;
+            let (r0, r1) = (eval_expr(&e, &v0), eval_expr(&e, &v1));
+            prop_assert_eq!(mgr.eval(f0, &v), r0);
+            prop_assert_eq!(mgr.eval(f1, &v), r1);
+            prop_assert_eq!(mgr.eval(ex, &v), r0 || r1);
+            prop_assert_eq!(mgr.eval(fa, &v), r0 && r1);
+        }
+    }
+
+    #[test]
+    fn swap_walks_preserve_functions(
+        e in arb_expr(NVARS, 4),
+        walk in proptest::collection::vec(0..NVARS - 1, 1..24),
+    ) {
+        let mut mgr = Bbdd::new(NVARS);
+        let f = build(&mut mgr, &e);
+        let reference: Vec<bool> = assignments().map(|v| mgr.eval(f, &v)).collect();
+        for pos in walk {
+            mgr.swap_adjacent(pos);
+            mgr.validate().unwrap();
+            let now: Vec<bool> = assignments().map(|v| mgr.eval(f, &v)).collect();
+            prop_assert_eq!(&now, &reference);
+        }
+    }
+
+    #[test]
+    fn sift_preserves_and_never_grows(e in arb_expr(NVARS, 5)) {
+        let mut mgr = Bbdd::new(NVARS);
+        let f = build(&mut mgr, &e);
+        let reference: Vec<bool> = assignments().map(|v| mgr.eval(f, &v)).collect();
+        mgr.gc(&[f]);
+        let before = mgr.live_nodes();
+        mgr.sift(&[f]);
+        mgr.validate().unwrap();
+        prop_assert!(mgr.live_nodes() <= before, "sifting must not grow the diagram");
+        let now: Vec<bool> = assignments().map(|v| mgr.eval(f, &v)).collect();
+        prop_assert_eq!(&now, &reference);
+    }
+
+    #[test]
+    fn gc_keeps_roots_intact(e1 in arb_expr(NVARS, 4), e2 in arb_expr(NVARS, 4)) {
+        let mut mgr = Bbdd::new(NVARS);
+        let f = build(&mut mgr, &e1);
+        let g = build(&mut mgr, &e2);
+        mgr.gc(&[f]); // g may die; f must survive
+        mgr.validate().unwrap();
+        for v in assignments() {
+            prop_assert_eq!(mgr.eval(f, &v), eval_expr(&e1, &v));
+        }
+        // Rebuilding g afterwards must still be correct.
+        let g2 = build(&mut mgr, &e2);
+        let _ = g;
+        for v in assignments() {
+            prop_assert_eq!(mgr.eval(g2, &v), eval_expr(&e2, &v));
+        }
+    }
+
+    #[test]
+    fn compose_matches_substitution(e in arb_expr(4, 3), g in arb_expr(4, 3), var in 0..4usize) {
+        let mut mgr = Bbdd::new(4);
+        let ef = build(&mut mgr, &e);
+        let eg = build(&mut mgr, &g);
+        let h = mgr.compose(ef, var, eg);
+        for m in 0..16u32 {
+            let v: Vec<bool> = (0..4).map(|i| (m >> i) & 1 == 1).collect();
+            let mut vs = v.clone();
+            vs[var] = eval_expr(&g, &v);
+            prop_assert_eq!(mgr.eval(h, &v), eval_expr(&e, &vs));
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Two-operand Boolean operators `⊗` as 4-bit truth tables.
+//!
+//! Algorithm 1 of the paper computes `f ⊗ g` for *any* Boolean function of
+//! two operands and adapts the operator when complement attributes appear on
+//! the traversed edges (`⊗_D = updateop(⊗, attrs)`). Representing `⊗` as a
+//! 4-bit truth table makes `updateop` a constant-time bit permutation:
+//!
+//! * complementing the **output** complements the table;
+//! * complementing operand **f** swaps the table rows;
+//! * complementing operand **g** swaps the table columns;
+//! * swapping the **operands** transposes the table.
+//!
+//! These rewrites are used by `apply` to bring every recursive call into a
+//! *strong canonical operand form* (regular operands, smaller id first),
+//! which maximizes computed-table hit rates exactly as the paper intends.
+
+/// A two-input Boolean operator encoded as a truth table.
+///
+/// Bit `(f << 1) | g` of the table holds the value of `f ⊗ g`.
+///
+/// ```
+/// use ddcore::BoolOp;
+/// assert!(BoolOp::AND.eval(true, true));
+/// assert!(!BoolOp::AND.eval(true, false));
+/// assert!(BoolOp::XOR.eval(true, false));
+/// assert_eq!(BoolOp::NAND, BoolOp::AND.complement_output());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BoolOp(u8);
+
+impl BoolOp {
+    /// Constant false.
+    pub const FALSE: BoolOp = BoolOp(0b0000);
+    /// Logical conjunction.
+    pub const AND: BoolOp = BoolOp(0b1000);
+    /// `f ∧ ¬g`.
+    pub const AND_NOT: BoolOp = BoolOp(0b0100);
+    /// Projection on `f`.
+    pub const FIRST: BoolOp = BoolOp(0b1100);
+    /// `¬f ∧ g`.
+    pub const NOT_AND: BoolOp = BoolOp(0b0010);
+    /// Projection on `g`.
+    pub const SECOND: BoolOp = BoolOp(0b1010);
+    /// Exclusive or.
+    pub const XOR: BoolOp = BoolOp(0b0110);
+    /// Logical disjunction.
+    pub const OR: BoolOp = BoolOp(0b1110);
+    /// Negated disjunction.
+    pub const NOR: BoolOp = BoolOp(0b0001);
+    /// Equivalence (biconditional, XNOR).
+    pub const XNOR: BoolOp = BoolOp(0b1001);
+    /// `¬g`.
+    pub const NOT_SECOND: BoolOp = BoolOp(0b0101);
+    /// Reverse implication `f ∨ ¬g`.
+    pub const OR_NOT: BoolOp = BoolOp(0b1101);
+    /// `¬f`.
+    pub const NOT_FIRST: BoolOp = BoolOp(0b0011);
+    /// Implication `¬f ∨ g`.
+    pub const IMPLIES: BoolOp = BoolOp(0b1011);
+    /// Negated conjunction.
+    pub const NAND: BoolOp = BoolOp(0b0111);
+    /// Constant true.
+    pub const TRUE: BoolOp = BoolOp(0b1111);
+
+    /// Build an operator from its 4-bit truth table.
+    ///
+    /// # Panics
+    /// Panics if `tt > 0b1111`.
+    #[must_use]
+    pub fn from_table(tt: u8) -> Self {
+        assert!(tt <= 0b1111, "truth table must fit in 4 bits");
+        BoolOp(tt)
+    }
+
+    /// The raw 4-bit truth table.
+    #[must_use]
+    pub fn table(self) -> u8 {
+        self.0
+    }
+
+    /// Evaluate `f ⊗ g`.
+    #[inline]
+    #[must_use]
+    pub fn eval(self, f: bool, g: bool) -> bool {
+        (self.0 >> (((f as u8) << 1) | g as u8)) & 1 == 1
+    }
+
+    /// `updateop` for a complemented result: `¬(f ⊗ g)`.
+    #[inline]
+    #[must_use]
+    pub fn complement_output(self) -> Self {
+        BoolOp(self.0 ^ 0b1111)
+    }
+
+    /// `updateop` for a complemented first operand: `op'` with
+    /// `f op' g = (¬f) op g`.
+    #[inline]
+    #[must_use]
+    pub fn complement_first(self) -> Self {
+        BoolOp(((self.0 & 0b0011) << 2) | ((self.0 & 0b1100) >> 2))
+    }
+
+    /// `updateop` for a complemented second operand.
+    #[inline]
+    #[must_use]
+    pub fn complement_second(self) -> Self {
+        BoolOp(((self.0 & 0b0101) << 1) | ((self.0 & 0b1010) >> 1))
+    }
+
+    /// `updateop` for swapped operands: `op'` with `f op' g = g op f`.
+    #[inline]
+    #[must_use]
+    pub fn swap_operands(self) -> Self {
+        let b1 = (self.0 >> 1) & 1;
+        let b2 = (self.0 >> 2) & 1;
+        BoolOp((self.0 & 0b1001) | (b1 << 2) | (b2 << 1))
+    }
+
+    /// The unary function obtained when both operands are the same edge
+    /// (`f ⊗ f`), expressed on that operand.
+    #[inline]
+    #[must_use]
+    pub fn on_equal_operands(self) -> Unary {
+        Unary::from_bits(self.eval(false, false), self.eval(true, true))
+    }
+
+    /// The unary function obtained when `g == ¬f`, expressed on `f`.
+    #[inline]
+    #[must_use]
+    pub fn on_complement_operands(self) -> Unary {
+        Unary::from_bits(self.eval(false, true), self.eval(true, false))
+    }
+
+    /// The unary function on `g` obtained when `f` is the constant `c`.
+    #[inline]
+    #[must_use]
+    pub fn on_first_const(self, c: bool) -> Unary {
+        Unary::from_bits(self.eval(c, false), self.eval(c, true))
+    }
+
+    /// The unary function on `f` obtained when `g` is the constant `c`.
+    #[inline]
+    #[must_use]
+    pub fn on_second_const(self, c: bool) -> Unary {
+        Unary::from_bits(self.eval(false, c), self.eval(true, c))
+    }
+
+    /// All sixteen operators, for exhaustive tests and benches.
+    #[must_use]
+    pub fn all() -> [BoolOp; 16] {
+        let mut out = [BoolOp(0); 16];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = BoolOp(i as u8);
+        }
+        out
+    }
+}
+
+/// Result shape of a trivially reducible `apply` call (the paper's
+/// `identical_terminal` list): a unary function of one remaining operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unary {
+    /// Constant false.
+    Zero,
+    /// Constant true.
+    One,
+    /// The operand itself.
+    Identity,
+    /// The complement of the operand.
+    Complement,
+}
+
+impl Unary {
+    #[inline]
+    fn from_bits(at_false: bool, at_true: bool) -> Self {
+        match (at_false, at_true) {
+            (false, false) => Unary::Zero,
+            (true, true) => Unary::One,
+            (false, true) => Unary::Identity,
+            (true, false) => Unary::Complement,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bools() -> [bool; 2] {
+        [false, true]
+    }
+
+    #[test]
+    fn named_ops_evaluate_correctly() {
+        for f in bools() {
+            for g in bools() {
+                assert_eq!(BoolOp::AND.eval(f, g), f && g);
+                assert_eq!(BoolOp::OR.eval(f, g), f || g);
+                assert_eq!(BoolOp::XOR.eval(f, g), f ^ g);
+                assert_eq!(BoolOp::XNOR.eval(f, g), !(f ^ g));
+                assert_eq!(BoolOp::NAND.eval(f, g), !(f && g));
+                assert_eq!(BoolOp::NOR.eval(f, g), !(f || g));
+                assert_eq!(BoolOp::IMPLIES.eval(f, g), !f || g);
+                assert_eq!(BoolOp::AND_NOT.eval(f, g), f && !g);
+                assert_eq!(BoolOp::FIRST.eval(f, g), f);
+                assert_eq!(BoolOp::SECOND.eval(f, g), g);
+            }
+        }
+    }
+
+    #[test]
+    fn updateop_rewrites_are_semantic() {
+        for op in BoolOp::all() {
+            for f in bools() {
+                for g in bools() {
+                    assert_eq!(op.complement_output().eval(f, g), !op.eval(f, g));
+                    assert_eq!(op.complement_first().eval(f, g), op.eval(!f, g));
+                    assert_eq!(op.complement_second().eval(f, g), op.eval(f, !g));
+                    assert_eq!(op.swap_operands().eval(f, g), op.eval(g, f));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rewrites_are_involutions() {
+        for op in BoolOp::all() {
+            assert_eq!(op.complement_output().complement_output(), op);
+            assert_eq!(op.complement_first().complement_first(), op);
+            assert_eq!(op.complement_second().complement_second(), op);
+            assert_eq!(op.swap_operands().swap_operands(), op);
+        }
+    }
+
+    #[test]
+    fn trivial_reductions_match_semantics() {
+        for op in BoolOp::all() {
+            for x in bools() {
+                let expect = op.eval(x, x);
+                let got = match op.on_equal_operands() {
+                    Unary::Zero => false,
+                    Unary::One => true,
+                    Unary::Identity => x,
+                    Unary::Complement => !x,
+                };
+                assert_eq!(got, expect, "{op:?} on equal operands");
+
+                let expect = op.eval(x, !x);
+                let got = match op.on_complement_operands() {
+                    Unary::Zero => false,
+                    Unary::One => true,
+                    Unary::Identity => x,
+                    Unary::Complement => !x,
+                };
+                assert_eq!(got, expect, "{op:?} on complement operands");
+
+                for c in bools() {
+                    let expect = op.eval(c, x);
+                    let got = match op.on_first_const(c) {
+                        Unary::Zero => false,
+                        Unary::One => true,
+                        Unary::Identity => x,
+                        Unary::Complement => !x,
+                    };
+                    assert_eq!(got, expect, "{op:?} with f={c}");
+
+                    let expect = op.eval(x, c);
+                    let got = match op.on_second_const(c) {
+                        Unary::Zero => false,
+                        Unary::One => true,
+                        Unary::Identity => x,
+                        Unary::Complement => !x,
+                    };
+                    assert_eq!(got, expect, "{op:?} with g={c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_table_rejects_wide_tables() {
+        assert!(std::panic::catch_unwind(|| BoolOp::from_table(16)).is_err());
+    }
+
+    #[test]
+    fn all_returns_distinct_ops() {
+        let ops = BoolOp::all();
+        for (i, a) in ops.iter().enumerate() {
+            for b in &ops[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Cantor-pairing hash functions (paper §IV-A3, Eq. 4).
+//!
+//! The core hashing function for all BBDD tables is the Cantor pairing
+//! function between two integers,
+//!
+//! ```text
+//! C(i, j) = ½ · (i + j) · (i + j + 1) + i
+//! ```
+//!
+//! a bijection `ℕ₀ × ℕ₀ → ℕ₀` (a *perfect* hash on unbounded integers).
+//! To fit machine tables, the paper applies a first modulo with a large
+//! prime `m` (e.g. `m = 15485863`) "for statistical reasons", then a final
+//! modulo with the current table size. Wider tuples are hashed by *nesting*
+//! pairings. When collision statistics degrade, the paper re-arranges the
+//! nesting order and re-sizes the prime — [`HashArrangement`] captures those
+//! degrees of freedom.
+
+/// The large prime used by the paper for the first modulo reduction.
+pub const DEFAULT_PRIME: u64 = 15_485_863;
+
+/// Alternative primes cycled through when the hash function is re-arranged
+/// (the paper's "re-sizing of the prime number m").
+pub const PRIME_POOL: [u64; 4] = [15_485_863, 32_452_843, 49_979_687, 67_867_967];
+
+/// The Cantor pairing of two integers, exact in 128-bit arithmetic.
+///
+/// # Panics
+/// Panics (in debug builds) on overflow when `i + j >= 2^64 - 1`; callers
+/// hashing arbitrary 64-bit words should pre-reduce operands (as
+/// [`CantorHasher`] does with its prime).
+///
+/// ```
+/// use ddcore::cantor_pair;
+/// assert_eq!(cantor_pair(0, 0), 0);
+/// assert_eq!(cantor_pair(1, 0), 2);
+/// assert_eq!(cantor_pair(0, 1), 1);
+/// assert_eq!(cantor_pair(2, 3), 17);
+/// ```
+#[inline]
+pub fn cantor_pair(i: u64, j: u64) -> u128 {
+    let s = i as u128 + j as u128;
+    s * (s + 1) / 2 + i as u128
+}
+
+/// Inverse of [`cantor_pair`] (used in tests to demonstrate bijectivity).
+#[inline]
+pub fn cantor_unpair(z: u128) -> (u64, u64) {
+    // w = floor((sqrt(8z+1) - 1) / 2)
+    let w = {
+        let mut w = (((8.0 * z as f64 + 1.0).sqrt() - 1.0) / 2.0) as u128;
+        // float rounding can be off by one either way; correct exactly
+        while (w + 1) * (w + 2) / 2 <= z {
+            w += 1;
+        }
+        while w * (w + 1) / 2 > z {
+            w -= 1;
+        }
+        w
+    };
+    let t = w * (w + 1) / 2;
+    let i = z - t;
+    let j = w - i;
+    (i as u64, j as u64)
+}
+
+/// Order in which a tuple's elements are folded through nested Cantor
+/// pairings. Swapping the order "re-arranges the elements in the table"
+/// (paper §IV-A3) without changing correctness, because the table always
+/// compares full keys on lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HashArrangement {
+    /// `C(C(a, b), c)` — left-nested, the default.
+    #[default]
+    LeftNested,
+    /// `C(a, C(b, c))` — right-nested alternative.
+    RightNested,
+    /// `C(C(b, a), c)` — first pair swapped.
+    SwappedPair,
+}
+
+impl HashArrangement {
+    /// The next arrangement in the rotation used when the table adapts.
+    #[must_use]
+    pub fn next(self) -> Self {
+        match self {
+            Self::LeftNested => Self::RightNested,
+            Self::RightNested => Self::SwappedPair,
+            Self::SwappedPair => Self::LeftNested,
+        }
+    }
+}
+
+/// A configurable nested-Cantor hasher for up to four-element tuples.
+///
+/// The hasher owns the prime `m` and the nesting [`HashArrangement`]; both
+/// can be rotated at run time by the adaptive unique table.
+#[derive(Debug, Clone, Copy)]
+pub struct CantorHasher {
+    prime: u64,
+    prime_idx: usize,
+    arrangement: HashArrangement,
+}
+
+impl Default for CantorHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CantorHasher {
+    /// A hasher with the paper's default prime and left-nested pairing.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            prime: DEFAULT_PRIME,
+            prime_idx: 0,
+            arrangement: HashArrangement::LeftNested,
+        }
+    }
+
+    /// Currently selected prime `m`.
+    #[must_use]
+    pub fn prime(&self) -> u64 {
+        self.prime
+    }
+
+    /// Currently selected nesting arrangement.
+    #[must_use]
+    pub fn arrangement(&self) -> HashArrangement {
+        self.arrangement
+    }
+
+    /// Rotate to the next (arrangement, prime) combination. Returns the new
+    /// configuration for logging.
+    pub fn rearrange(&mut self) -> (HashArrangement, u64) {
+        self.arrangement = self.arrangement.next();
+        if self.arrangement == HashArrangement::LeftNested {
+            self.prime_idx = (self.prime_idx + 1) % PRIME_POOL.len();
+            self.prime = PRIME_POOL[self.prime_idx];
+        }
+        (self.arrangement, self.prime)
+    }
+
+    #[inline]
+    fn reduce(&self, z: u128) -> u64 {
+        (z % self.prime as u128) as u64
+    }
+
+    /// Pre-reduce an arbitrary 64-bit operand so that nested pairings can
+    /// never overflow 128-bit arithmetic. Mixing in the upper half keeps
+    /// wide operands distinguishable after the modulo.
+    #[inline]
+    fn pre(&self, a: u64) -> u64 {
+        if a < self.prime {
+            a
+        } else {
+            (a % self.prime) ^ (a >> 32)
+        }
+    }
+
+    /// Hash a pair.
+    #[inline]
+    pub fn hash2(&self, a: u64, b: u64) -> u64 {
+        let (a, b) = (self.pre(a), self.pre(b));
+        match self.arrangement {
+            HashArrangement::SwappedPair => self.reduce(cantor_pair(b, a)),
+            _ => self.reduce(cantor_pair(a, b)),
+        }
+    }
+
+    /// Hash a triple by nesting two pairings according to the arrangement.
+    #[inline]
+    pub fn hash3(&self, a: u64, b: u64, c: u64) -> u64 {
+        let (a, b, c) = (self.pre(a), self.pre(b), self.pre(c));
+        match self.arrangement {
+            HashArrangement::LeftNested => {
+                let inner = self.reduce(cantor_pair(a, b));
+                self.reduce(cantor_pair(inner, c))
+            }
+            HashArrangement::RightNested => {
+                let inner = self.reduce(cantor_pair(b, c));
+                self.reduce(cantor_pair(a, inner))
+            }
+            HashArrangement::SwappedPair => {
+                let inner = self.reduce(cantor_pair(b, a));
+                self.reduce(cantor_pair(inner, c))
+            }
+        }
+    }
+
+    /// Hash a quadruple by nesting three pairings.
+    #[inline]
+    pub fn hash4(&self, a: u64, b: u64, c: u64, d: u64) -> u64 {
+        let abc = self.hash3(a, b, c);
+        self.reduce(cantor_pair(abc, self.pre(d)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairing_matches_closed_form_small_values() {
+        // First few diagonals of the Cantor enumeration.
+        let expected: [((u64, u64), u128); 10] = [
+            ((0, 0), 0),
+            ((0, 1), 1),
+            ((1, 0), 2),
+            ((0, 2), 3),
+            ((1, 1), 4),
+            ((2, 0), 5),
+            ((0, 3), 6),
+            ((1, 2), 7),
+            ((2, 1), 8),
+            ((3, 0), 9),
+        ];
+        for ((i, j), z) in expected {
+            assert_eq!(cantor_pair(i, j), z, "C({i},{j})");
+        }
+    }
+
+    #[test]
+    fn pairing_is_injective_on_grid() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64u64 {
+            for j in 0..64u64 {
+                assert!(seen.insert(cantor_pair(i, j)), "collision at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn unpair_inverts_pair() {
+        for i in (0..5000u64).step_by(97) {
+            for j in (0..5000u64).step_by(89) {
+                assert_eq!(cantor_unpair(cantor_pair(i, j)), (i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_prime_is_default() {
+        assert_eq!(DEFAULT_PRIME, 15485863);
+        assert_eq!(CantorHasher::new().prime(), DEFAULT_PRIME);
+    }
+
+    #[test]
+    fn rearrange_cycles_arrangements_and_primes() {
+        let mut h = CantorHasher::new();
+        let a0 = h.arrangement();
+        let p0 = h.prime();
+        h.rearrange();
+        assert_ne!(h.arrangement(), a0);
+        assert_eq!(h.prime(), p0, "prime only rotates on full arrangement cycle");
+        h.rearrange();
+        h.rearrange();
+        assert_eq!(h.arrangement(), HashArrangement::LeftNested);
+        assert_ne!(h.prime(), p0);
+    }
+
+    #[test]
+    fn arrangements_give_distinct_hashes() {
+        let mut h = CantorHasher::new();
+        let x0 = h.hash3(12, 34, 56);
+        h.rearrange();
+        let x1 = h.hash3(12, 34, 56);
+        assert_ne!(x0, x1);
+    }
+
+    #[test]
+    fn hash_no_overflow_on_large_inputs() {
+        let h = CantorHasher::new();
+        // Must not panic / wrap incorrectly near u64::MAX.
+        let v = h.hash4(u64::MAX, u64::MAX - 1, u64::MAX / 2, 3);
+        assert!(v < DEFAULT_PRIME);
+    }
+}

@@ -1,0 +1,31 @@
+//! Shared infrastructure for the decision-diagram packages in this workspace.
+//!
+//! The DATE 2014 BBDD paper (§IV-A3, *Memory Management*) describes three
+//! implementation ingredients that are independent of the diagram type:
+//!
+//! 1. a **Cantor-pairing hash** family, `C(i,j) = ½(i+j)(i+j+1) + i`, nested
+//!    for wider tuples and reduced modulo a large prime before the final
+//!    table-size modulo ([`cantor`]);
+//! 2. an **adaptive chained hash table** used as the *unique table*, which
+//!    resizes on load and can re-arrange its hash function when collision
+//!    statistics degrade ([`table`]);
+//! 3. a **direct-mapped overwrite-on-collision cache** used as the
+//!    *computed table* ([`cache`]).
+//!
+//! Both the BBDD package (`bbdd` crate) and the ROBDD baseline (`robdd`
+//! crate) are built on these primitives, so the Table-I runtime comparison
+//! measures the *algorithms*, not incidental infrastructure differences.
+
+pub mod boolop;
+pub mod cache;
+pub mod fxhash;
+pub mod cantor;
+pub mod stats;
+pub mod table;
+
+pub use boolop::{BoolOp, Unary};
+pub use cache::ComputedCache;
+pub use fxhash::{FxHashMap, FxHashSet};
+pub use cantor::{cantor_pair, CantorHasher, HashArrangement};
+pub use stats::TableStats;
+pub use table::{BucketTable, NIL};

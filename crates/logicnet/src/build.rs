@@ -1,0 +1,349 @@
+//! Building decision diagrams (or any Boolean algebra) from a network.
+//!
+//! [`BoolAlgebra`] abstracts the handful of operations a topological
+//! traversal needs; it is implemented for [`bbdd::Bbdd`], [`robdd::Robdd`]
+//! and a bit-parallel truth-table algebra used for equivalence checks, so
+//! the same walk drives every backend — exactly how the paper feeds one
+//! benchmark network to both packages.
+
+use crate::ir::{GateOp, Network};
+
+/// A Boolean function algebra a network can be interpreted into.
+pub trait BoolAlgebra {
+    /// Function handles (edges, truth tables, …).
+    type Repr: Copy;
+
+    /// The constant function.
+    fn constant(&mut self, value: bool) -> Self::Repr;
+    /// The `idx`-th primary input (position in `Network::inputs()`).
+    fn input(&mut self, idx: usize) -> Self::Repr;
+    /// Complement.
+    fn not(&mut self, a: Self::Repr) -> Self::Repr;
+    /// Conjunction.
+    fn and2(&mut self, a: Self::Repr, b: Self::Repr) -> Self::Repr;
+    /// Disjunction.
+    fn or2(&mut self, a: Self::Repr, b: Self::Repr) -> Self::Repr;
+    /// Parity.
+    fn xor2(&mut self, a: Self::Repr, b: Self::Repr) -> Self::Repr;
+
+    /// Multiplexer; backends with a native `ite` should override.
+    fn mux(&mut self, s: Self::Repr, a: Self::Repr, b: Self::Repr) -> Self::Repr {
+        let t1 = self.and2(s, a);
+        let ns = self.not(s);
+        let t2 = self.and2(ns, b);
+        self.or2(t1, t2)
+    }
+
+    /// Reclaim intermediate storage, keeping `live` handles valid
+    /// (a garbage-collection hook; default no-op).
+    fn collect(&mut self, live: &[Self::Repr]) {
+        let _ = live;
+    }
+}
+
+impl BoolAlgebra for bbdd::Bbdd {
+    type Repr = bbdd::Edge;
+
+    fn constant(&mut self, value: bool) -> Self::Repr {
+        if value {
+            self.one()
+        } else {
+            self.zero()
+        }
+    }
+
+    fn input(&mut self, idx: usize) -> Self::Repr {
+        self.var(idx)
+    }
+
+    fn not(&mut self, a: Self::Repr) -> Self::Repr {
+        !a
+    }
+
+    fn and2(&mut self, a: Self::Repr, b: Self::Repr) -> Self::Repr {
+        self.and(a, b)
+    }
+
+    fn or2(&mut self, a: Self::Repr, b: Self::Repr) -> Self::Repr {
+        self.or(a, b)
+    }
+
+    fn xor2(&mut self, a: Self::Repr, b: Self::Repr) -> Self::Repr {
+        self.xor(a, b)
+    }
+
+    fn mux(&mut self, s: Self::Repr, a: Self::Repr, b: Self::Repr) -> Self::Repr {
+        self.ite(s, a, b)
+    }
+
+    fn collect(&mut self, live: &[Self::Repr]) {
+        if !self.reorder_if_needed(live) {
+            self.gc(live);
+        }
+    }
+}
+
+impl BoolAlgebra for robdd::Robdd {
+    type Repr = robdd::Edge;
+
+    fn constant(&mut self, value: bool) -> Self::Repr {
+        if value {
+            self.one()
+        } else {
+            self.zero()
+        }
+    }
+
+    fn input(&mut self, idx: usize) -> Self::Repr {
+        self.var(idx)
+    }
+
+    fn not(&mut self, a: Self::Repr) -> Self::Repr {
+        !a
+    }
+
+    fn and2(&mut self, a: Self::Repr, b: Self::Repr) -> Self::Repr {
+        self.and(a, b)
+    }
+
+    fn or2(&mut self, a: Self::Repr, b: Self::Repr) -> Self::Repr {
+        self.or(a, b)
+    }
+
+    fn xor2(&mut self, a: Self::Repr, b: Self::Repr) -> Self::Repr {
+        self.xor(a, b)
+    }
+
+    fn mux(&mut self, s: Self::Repr, a: Self::Repr, b: Self::Repr) -> Self::Repr {
+        self.ite(s, a, b)
+    }
+
+    fn collect(&mut self, live: &[Self::Repr]) {
+        self.gc(live);
+    }
+}
+
+/// Gate-count interval between garbage-collection / dynamic-reordering
+/// opportunities while building large networks.
+const GC_STRIDE: usize = 1024;
+
+/// Interpret `net` into `alg`, returning one representation per output
+/// port (in `Network::outputs()` order).
+///
+/// Input `i` of the network is mapped to algebra input `i`; for the
+/// decision-diagram backends that means network inputs bind to manager
+/// variables in declaration order — "the initial order provided in the
+/// file" of the paper's experimental setup.
+///
+/// # Panics
+/// Panics if the network fails [`Network::check`].
+pub fn build_network<A: BoolAlgebra>(alg: &mut A, net: &Network) -> Vec<A::Repr> {
+    net.check().expect("network must be structurally valid");
+    let mut wire: Vec<Option<A::Repr>> = vec![None; net.num_signals()];
+    for (i, s) in net.inputs().iter().enumerate() {
+        wire[s.index()] = Some(alg.input(i));
+    }
+    // Last-use positions so intermediate handles can be dropped and the
+    // backend GC'd against the exact live set.
+    let mut last_use = vec![usize::MAX; net.num_signals()];
+    for (gi, g) in net.gates().iter().enumerate() {
+        for inp in &g.inputs {
+            last_use[inp.index()] = gi;
+        }
+    }
+    for (_, s) in net.outputs() {
+        last_use[s.index()] = usize::MAX;
+    }
+    for s in net.inputs() {
+        last_use[s.index()] = usize::MAX; // keep manager variables alive
+    }
+
+    for (gi, g) in net.gates().iter().enumerate() {
+        let ins: Vec<A::Repr> = g
+            .inputs
+            .iter()
+            .map(|s| wire[s.index()].expect("topological order"))
+            .collect();
+        let out = match g.op {
+            GateOp::Const0 => alg.constant(false),
+            GateOp::Const1 => alg.constant(true),
+            GateOp::Buf => ins[0],
+            GateOp::Not => alg.not(ins[0]),
+            GateOp::And | GateOp::Nand => {
+                let mut acc = ins[0];
+                for &x in &ins[1..] {
+                    acc = alg.and2(acc, x);
+                }
+                if g.op == GateOp::Nand {
+                    alg.not(acc)
+                } else {
+                    acc
+                }
+            }
+            GateOp::Or | GateOp::Nor => {
+                let mut acc = ins[0];
+                for &x in &ins[1..] {
+                    acc = alg.or2(acc, x);
+                }
+                if g.op == GateOp::Nor {
+                    alg.not(acc)
+                } else {
+                    acc
+                }
+            }
+            GateOp::Xor | GateOp::Xnor => {
+                let mut acc = ins[0];
+                for &x in &ins[1..] {
+                    acc = alg.xor2(acc, x);
+                }
+                if g.op == GateOp::Xnor {
+                    alg.not(acc)
+                } else {
+                    acc
+                }
+            }
+            GateOp::Maj => {
+                let ab = alg.and2(ins[0], ins[1]);
+                let bc = alg.and2(ins[1], ins[2]);
+                let ac = alg.and2(ins[0], ins[2]);
+                let t = alg.or2(ab, bc);
+                alg.or2(t, ac)
+            }
+            GateOp::Mux => alg.mux(ins[0], ins[1], ins[2]),
+        };
+        wire[g.output.index()] = Some(out);
+        // Drop dead intermediates and give the backend a GC opportunity.
+        if (gi + 1) % GC_STRIDE == 0 {
+            for (idx, slot) in wire.iter_mut().enumerate() {
+                if last_use[idx] <= gi {
+                    *slot = None;
+                }
+            }
+            let live: Vec<A::Repr> = wire.iter().flatten().copied().collect();
+            alg.collect(&live);
+        }
+    }
+    net.outputs()
+        .iter()
+        .map(|(_, s)| wire[s.index()].expect("outputs are driven"))
+        .collect()
+}
+
+/// A 64-bit-word truth-table algebra over up to 6 variables, plus a
+/// *sampled* variant that interprets each word as 64 random assignment
+/// lanes — used for randomized cross-checks of large networks.
+#[derive(Debug, Clone)]
+pub struct WordAlgebra {
+    /// One 64-bit lane-word per primary input.
+    pub input_words: Vec<u64>,
+}
+
+impl BoolAlgebra for WordAlgebra {
+    type Repr = u64;
+
+    fn constant(&mut self, value: bool) -> u64 {
+        if value {
+            !0
+        } else {
+            0
+        }
+    }
+
+    fn input(&mut self, idx: usize) -> u64 {
+        self.input_words[idx]
+    }
+
+    fn not(&mut self, a: u64) -> u64 {
+        !a
+    }
+
+    fn and2(&mut self, a: u64, b: u64) -> u64 {
+        a & b
+    }
+
+    fn or2(&mut self, a: u64, b: u64) -> u64 {
+        a | b
+    }
+
+    fn xor2(&mut self, a: u64, b: u64) -> u64 {
+        a ^ b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Network;
+
+    fn ripple2() -> Network {
+        let mut net = Network::new("add2");
+        let a0 = net.add_input("a0");
+        let a1 = net.add_input("a1");
+        let b0 = net.add_input("b0");
+        let b1 = net.add_input("b1");
+        let s0 = net.add_gate(GateOp::Xor, &[a0, b0]);
+        let c0 = net.add_gate(GateOp::And, &[a0, b0]);
+        let s1p = net.add_gate(GateOp::Xor, &[a1, b1]);
+        let s1 = net.add_gate(GateOp::Xor, &[s1p, c0]);
+        let c1 = net.add_gate(GateOp::Maj, &[a1, b1, c0]);
+        net.set_output("s0", s0);
+        net.set_output("s1", s1);
+        net.set_output("c", c1);
+        net
+    }
+
+    #[test]
+    fn bbdd_build_matches_simulation() {
+        let net = ripple2();
+        let mut mgr = bbdd::Bbdd::new(net.num_inputs());
+        let outs = build_network(&mut mgr, &net);
+        for m in 0..16u32 {
+            let v: Vec<bool> = (0..4).map(|i| (m >> i) & 1 == 1).collect();
+            let expect = net.simulate(&v);
+            for (o, e) in outs.iter().zip(&expect) {
+                assert_eq!(mgr.eval(*o, &v), *e, "vector {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn robdd_build_matches_simulation() {
+        let net = ripple2();
+        let mut mgr = robdd::Robdd::new(net.num_inputs());
+        let outs = build_network(&mut mgr, &net);
+        for m in 0..16u32 {
+            let v: Vec<bool> = (0..4).map(|i| (m >> i) & 1 == 1).collect();
+            let expect = net.simulate(&v);
+            for (o, e) in outs.iter().zip(&expect) {
+                assert_eq!(mgr.eval(*o, &v), *e, "vector {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn word_algebra_matches_simulation() {
+        let net = ripple2();
+        // Lane l of input i = bit i of l (exhaustive 16 lanes).
+        let mut alg = WordAlgebra {
+            input_words: (0..4)
+                .map(|i| {
+                    let mut w = 0u64;
+                    for lane in 0..16u64 {
+                        if (lane >> i) & 1 == 1 {
+                            w |= 1 << lane;
+                        }
+                    }
+                    w
+                })
+                .collect(),
+        };
+        let outs = build_network(&mut alg, &net);
+        for lane in 0..16u32 {
+            let v: Vec<bool> = (0..4).map(|i| (lane >> i) & 1 == 1).collect();
+            let expect = net.simulate(&v);
+            for (o, e) in outs.iter().zip(&expect) {
+                assert_eq!((o >> lane) & 1 == 1, *e, "lane {lane}");
+            }
+        }
+    }
+}

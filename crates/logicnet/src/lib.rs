@@ -1,0 +1,44 @@
+//! # logicnet — combinational logic networks for the BBDD reproduction
+//!
+//! The DATE 2014 BBDD package consumes "a Verilog description of a
+//! combinational logic network, flattened onto primitive Boolean operations
+//! (XOR, AND, OR, INV, BUF)", while the CUDD baseline consumes BLIF
+//! (§IV-B). This crate provides the corresponding substrate:
+//!
+//! * a gate-level **network IR** ([`Network`], [`Gate`], [`GateOp`]) with
+//!   structural validation and topological evaluation;
+//! * a **BLIF** reader/writer ([`blif`]);
+//! * a flattened **structural-Verilog** reader/writer ([`verilog`]);
+//! * **bit-parallel simulation** (64 vectors per word) and randomized
+//!   equivalence checking ([`sim`]);
+//! * generic **decision-diagram builders**: the [`build::BoolAlgebra`]
+//!   trait is implemented for both [`bbdd::Bbdd`] and [`robdd::Robdd`], so
+//!   one traversal builds either diagram (plus a truth-table algebra used
+//!   for cross-checks).
+//!
+//! ```
+//! use logicnet::{Network, GateOp};
+//! use logicnet::build::build_network;
+//!
+//! let mut net = Network::new("toy");
+//! let a = net.add_input("a");
+//! let b = net.add_input("b");
+//! let g = net.add_gate(GateOp::Xor, &[a, b]);
+//! net.set_output("y", g);
+//! net.check().unwrap();
+//!
+//! let mut mgr = bbdd::Bbdd::new(net.num_inputs());
+//! let outs = build_network(&mut mgr, &net);
+//! assert!(mgr.eval(outs[0], &[true, false]));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blif;
+pub mod build;
+mod ir;
+pub mod sim;
+pub mod verilog;
+
+pub use ir::{Gate, GateOp, Network, NetworkError, Signal};

@@ -1,0 +1,100 @@
+//! Edges with complement attributes (ROBDD flavour).
+//!
+//! Identical packing to the BBDD package: node index shifted left by one,
+//! low bit = complement attribute. Only the 1 sink exists; `0` is its
+//! complemented edge and negation is free.
+
+pub(crate) type NodeIndex = u32;
+
+/// A directed edge to a BDD node, carrying the complement attribute.
+///
+/// ```
+/// use robdd::Edge;
+/// assert_eq!(!Edge::ONE, Edge::ZERO);
+/// assert!(Edge::ZERO.is_complemented());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge(u32);
+
+impl Edge {
+    /// The constant-true function.
+    pub const ONE: Edge = Edge(0);
+    /// The constant-false function.
+    pub const ZERO: Edge = Edge(1);
+
+    #[inline]
+    pub(crate) fn new(node: NodeIndex, complemented: bool) -> Self {
+        Edge((node << 1) | complemented as u32)
+    }
+
+    #[inline]
+    pub(crate) fn node(self) -> NodeIndex {
+        self.0 >> 1
+    }
+
+    /// Whether the complement attribute is set.
+    #[inline]
+    #[must_use]
+    pub fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The same edge without the attribute.
+    #[inline]
+    #[must_use]
+    pub fn regular(self) -> Self {
+        Edge(self.0 & !1)
+    }
+
+    /// Complement when `c` holds.
+    #[inline]
+    #[must_use]
+    pub fn complement_if(self, c: bool) -> Self {
+        Edge(self.0 ^ c as u32)
+    }
+
+    /// `true` for the two constant functions.
+    #[inline]
+    #[must_use]
+    pub fn is_constant(self) -> bool {
+        self.0 <= 1
+    }
+
+    #[inline]
+    pub(crate) fn bits(self) -> u32 {
+        self.0
+    }
+
+    #[inline]
+    pub(crate) fn from_bits(bits: u32) -> Self {
+        Edge(bits)
+    }
+}
+
+impl std::ops::Not for Edge {
+    type Output = Edge;
+
+    #[inline]
+    fn not(self) -> Edge {
+        Edge(self.0 ^ 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packing_roundtrip() {
+        for id in [0u32, 1, 77, 1 << 20] {
+            for c in [false, true] {
+                let e = Edge::new(id, c);
+                assert_eq!(e.node(), id);
+                assert_eq!(e.is_complemented(), c);
+                assert_eq!(!!e, e);
+            }
+        }
+        assert!(Edge::ONE.is_constant());
+        assert_eq!(!Edge::ONE, Edge::ZERO);
+    }
+}

@@ -1,0 +1,364 @@
+//! The ROBDD manager: arena, per-variable unique tables, the variable
+//! order, node construction and garbage collection.
+
+use crate::edge::Edge;
+use crate::node::{BddKey, Node, TERMINAL_VAR};
+use ddcore::cache::ComputedCache;
+use ddcore::table::BucketTable;
+
+/// Counters exposed for the benchmark harness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RobddStats {
+    /// Recursive apply/ite invocations.
+    pub apply_calls: u64,
+    /// Nodes created (unique-table inserts).
+    pub nodes_created: u64,
+    /// Garbage-collection runs.
+    pub gc_runs: u64,
+    /// Nodes reclaimed.
+    pub nodes_freed: u64,
+    /// Adjacent swaps performed.
+    pub swaps: u64,
+    /// Peak live node count.
+    pub peak_live_nodes: usize,
+}
+
+/// A manager for Reduced Ordered BDDs with complement edges over a fixed
+/// variable set, CUDD-style.
+///
+/// ```
+/// use robdd::Robdd;
+/// let mut mgr = Robdd::new(2);
+/// let (a, b) = (mgr.var(0), mgr.var(1));
+/// let f = mgr.xor(a, b);
+/// assert!(mgr.eval(f, &[true, false]));
+/// assert_eq!(mgr.node_count(f), 2, "XOR takes two BDD nodes");
+/// ```
+#[derive(Debug)]
+pub struct Robdd {
+    pub(crate) nodes: Vec<Node>,
+    free: Vec<u32>,
+    /// One subtable per *variable* (indices never move during reordering).
+    pub(crate) subtables: Vec<BucketTable<BddKey>>,
+    /// `var_at_pos[p]` = variable at top-based order position `p`.
+    pub(crate) var_at_pos: Vec<u32>,
+    /// Inverse permutation.
+    pub(crate) pos_of_var: Vec<u32>,
+    pub(crate) cache: ComputedCache,
+    pub(crate) stats: RobddStats,
+}
+
+impl Robdd {
+    /// Create a manager for `num_vars` variables with the identity order.
+    ///
+    /// # Panics
+    /// Panics if `num_vars` is 0 or too large for 16-bit variable indices.
+    #[must_use]
+    pub fn new(num_vars: usize) -> Self {
+        assert!(num_vars > 0, "a BDD manager needs at least one variable");
+        assert!(
+            num_vars < TERMINAL_VAR as usize,
+            "too many variables for 16-bit indices"
+        );
+        Robdd {
+            nodes: vec![Node::terminal()],
+            free: Vec::new(),
+            subtables: (0..num_vars).map(|_| BucketTable::new(64)).collect(),
+            var_at_pos: (0..num_vars as u32).collect(),
+            pos_of_var: (0..num_vars as u32).collect(),
+            cache: ComputedCache::default(),
+            stats: RobddStats::default(),
+        }
+    }
+
+    /// Number of variables managed.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.var_at_pos.len()
+    }
+
+    /// The current variable order, top first.
+    #[must_use]
+    pub fn order(&self) -> Vec<usize> {
+        self.var_at_pos.iter().map(|&v| v as usize).collect()
+    }
+
+    /// Top-based position of `var`.
+    ///
+    /// # Panics
+    /// Panics if `var >= num_vars()`.
+    #[must_use]
+    pub fn position_of(&self, var: usize) -> usize {
+        self.pos_of_var[var] as usize
+    }
+
+    /// Constant true.
+    #[must_use]
+    pub fn one(&self) -> Edge {
+        Edge::ONE
+    }
+
+    /// Constant false.
+    #[must_use]
+    pub fn zero(&self) -> Edge {
+        Edge::ZERO
+    }
+
+    /// The positive literal of `var`.
+    ///
+    /// # Panics
+    /// Panics if `var >= num_vars()`.
+    pub fn var(&mut self, var: usize) -> Edge {
+        self.make_node(var as u16, Edge::ONE, Edge::ZERO)
+    }
+
+    /// The negative literal of `var`.
+    ///
+    /// # Panics
+    /// Panics if `var >= num_vars()`.
+    pub fn nvar(&mut self, var: usize) -> Edge {
+        !self.var(var)
+    }
+
+    /// Total stored nodes (excluding the sink).
+    #[must_use]
+    pub fn live_nodes(&self) -> usize {
+        self.subtables.iter().map(BucketTable::len).sum()
+    }
+
+    /// Counters accumulated since creation.
+    #[must_use]
+    pub fn stats(&self) -> RobddStats {
+        self.stats
+    }
+
+    #[inline]
+    pub(crate) fn node(&self, idx: u32) -> &Node {
+        &self.nodes[idx as usize]
+    }
+
+    /// Top-based position of the node an edge points to (`usize::MAX` for
+    /// constants, i.e. "below everything").
+    #[inline]
+    pub(crate) fn edge_pos(&self, e: Edge) -> usize {
+        if e.is_constant() {
+            usize::MAX
+        } else {
+            self.pos_of_var[self.node(e.node()).var as usize] as usize
+        }
+    }
+
+    /// Find-or-create `ite(var, then, else)` with the reduction rule and
+    /// the regular-*then* normalization.
+    pub(crate) fn make_node(&mut self, var: u16, mut then_: Edge, mut else_: Edge) -> Edge {
+        if then_ == else_ {
+            return then_;
+        }
+        let mut out_c = false;
+        if then_.is_complemented() {
+            then_ = !then_;
+            else_ = !else_;
+            out_c = true;
+        }
+        debug_assert!(self.child_below(then_, var) && self.child_below(else_, var));
+        let key = BddKey { then_, else_ };
+        if let Some(id) = self.subtables[var as usize].get(&key) {
+            return Edge::new(id, out_c);
+        }
+        let node = Node::new(var, then_, else_);
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.nodes[id as usize] = node;
+                id
+            }
+            None => {
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        };
+        self.subtables[var as usize].insert(key, id);
+        self.stats.nodes_created += 1;
+        let live = self.live_nodes();
+        if live > self.stats.peak_live_nodes {
+            self.stats.peak_live_nodes = live;
+        }
+        Edge::new(id, out_c)
+    }
+
+    fn child_below(&self, child: Edge, var: u16) -> bool {
+        child.is_constant()
+            || self.pos_of_var[self.node(child.node()).var as usize]
+                > self.pos_of_var[var as usize]
+    }
+
+    /// Shannon cofactors of `e` with respect to `var` (which must be at or
+    /// above `e`'s top variable in the order).
+    pub(crate) fn cofactors(&self, e: Edge, var: u16) -> (Edge, Edge) {
+        if e.is_constant() {
+            return (e, e);
+        }
+        let n = self.node(e.node());
+        if n.var != var {
+            return (e, e);
+        }
+        let c = e.is_complemented();
+        (n.then_.complement_if(c), n.else_.complement_if(c))
+    }
+
+    /// Garbage-collect everything unreachable from `roots`.
+    pub fn gc(&mut self, roots: &[Edge]) -> usize {
+        self.stats.gc_runs += 1;
+        let mut stack: Vec<u32> = roots
+            .iter()
+            .filter(|e| !e.is_constant())
+            .map(|e| e.node())
+            .collect();
+        while let Some(id) = stack.pop() {
+            let n = &mut self.nodes[id as usize];
+            if n.is_marked() {
+                continue;
+            }
+            n.set_mark(true);
+            let (t, e) = (n.then_, n.else_);
+            if !t.is_constant() {
+                stack.push(t.node());
+            }
+            if !e.is_constant() {
+                stack.push(e.node());
+            }
+        }
+        let mut freed: Vec<u32> = Vec::new();
+        for table in &mut self.subtables {
+            let nodes = &mut self.nodes;
+            table.retain(|_, id| {
+                let n = &mut nodes[id as usize];
+                if n.is_marked() {
+                    n.set_mark(false);
+                    true
+                } else {
+                    freed.push(id);
+                    false
+                }
+            });
+        }
+        for &id in &freed {
+            self.nodes[id as usize].set_free(true);
+            self.free.push(id);
+        }
+        self.cache.invalidate();
+        self.stats.nodes_freed += freed.len() as u64;
+        freed.len()
+    }
+
+    /// Validate the canonical-form invariants (tests/debugging).
+    ///
+    /// # Errors
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        use std::collections::HashSet;
+        let mut present: HashSet<u32> = HashSet::new();
+        for (var, table) in self.subtables.iter().enumerate() {
+            let mut err: Option<String> = None;
+            table.for_each(|key, id| {
+                if err.is_some() {
+                    return;
+                }
+                if !present.insert(id) {
+                    err = Some(format!("node {id} stored twice"));
+                    return;
+                }
+                let n = self.node(id);
+                if n.is_free() {
+                    err = Some(format!("free node {id} still stored"));
+                    return;
+                }
+                if n.var as usize != var {
+                    err = Some(format!("node {id} in wrong subtable"));
+                    return;
+                }
+                if n.key() != *key {
+                    err = Some(format!("node {id} key mismatch"));
+                    return;
+                }
+                if n.then_.is_complemented() {
+                    err = Some(format!("node {id} has complemented then-edge"));
+                    return;
+                }
+                if n.then_ == n.else_ {
+                    err = Some(format!("node {id} is redundant"));
+                    return;
+                }
+                for child in [n.then_, n.else_] {
+                    if !self.child_below(child, n.var) {
+                        err = Some(format!("node {id} breaks the order"));
+                        return;
+                    }
+                }
+            });
+            if let Some(e) = err {
+                return Err(e);
+            }
+        }
+        for table in &self.subtables {
+            let mut err: Option<String> = None;
+            table.for_each(|_, id| {
+                if err.is_some() {
+                    return;
+                }
+                let n = self.node(id);
+                for child in [n.then_, n.else_] {
+                    if !child.is_constant() && !present.contains(&child.node()) {
+                        err = Some(format!("node {id} references unstored node"));
+                        return;
+                    }
+                }
+            });
+            if let Some(e) = err {
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literals_and_reduction() {
+        let mut mgr = Robdd::new(3);
+        let a1 = mgr.var(0);
+        let a2 = mgr.var(0);
+        assert_eq!(a1, a2);
+        assert_eq!(mgr.live_nodes(), 1);
+        let r = mgr.make_node(1, a1, a1);
+        assert_eq!(r, a1, "redundant node reduced");
+        assert!(mgr.validate().is_ok());
+    }
+
+    #[test]
+    fn complement_normalization() {
+        let mut mgr = Robdd::new(2);
+        let b = mgr.var(1);
+        let n1 = mgr.make_node(0, b, !b);
+        let n2 = mgr.make_node(0, !b, b);
+        assert_eq!(n1, !n2, "complement pairs share one node");
+        assert_eq!(mgr.live_nodes(), 2);
+        assert!(mgr.validate().is_ok());
+    }
+
+    #[test]
+    fn gc_frees_and_reuses() {
+        let mut mgr = Robdd::new(3);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let keep = mgr.make_node(0, b, !b);
+        let freed = mgr.gc(&[keep]);
+        assert!(freed >= 1, "the bare literal {a:?} should die");
+        assert!(mgr.validate().is_ok());
+        let a2 = mgr.var(0);
+        assert!(!a2.is_constant());
+        assert!(mgr.validate().is_ok());
+    }
+}

@@ -1,0 +1,113 @@
+//! ROBDD node storage and unique-table keys.
+
+use crate::edge::Edge;
+use ddcore::cantor::CantorHasher;
+use ddcore::table::TableKey;
+
+pub(crate) const TERMINAL_VAR: u16 = u16::MAX;
+
+const FLAG_MARK: u8 = 1;
+const FLAG_FREE: u8 = 2;
+
+/// One arena slot: a Shannon node `ite(var, then, else)`. The *then*-edge
+/// is kept regular (canonical complement-attribute convention).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Node {
+    pub then_: Edge,
+    pub else_: Edge,
+    pub var: u16,
+    flags: u8,
+    _pad: u8,
+}
+
+impl Node {
+    pub(crate) fn terminal() -> Self {
+        Node {
+            then_: Edge::ONE,
+            else_: Edge::ONE,
+            var: TERMINAL_VAR,
+            flags: 0,
+            _pad: 0,
+        }
+    }
+
+    pub(crate) fn new(var: u16, then_: Edge, else_: Edge) -> Self {
+        Node {
+            then_,
+            else_,
+            var,
+            flags: 0,
+            _pad: 0,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn is_marked(&self) -> bool {
+        self.flags & FLAG_MARK != 0
+    }
+
+    #[inline]
+    pub(crate) fn set_mark(&mut self, on: bool) {
+        if on {
+            self.flags |= FLAG_MARK;
+        } else {
+            self.flags &= !FLAG_MARK;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn is_free(&self) -> bool {
+        self.flags & FLAG_FREE != 0
+    }
+
+    #[inline]
+    pub(crate) fn set_free(&mut self, on: bool) {
+        if on {
+            self.flags |= FLAG_FREE;
+        } else {
+            self.flags &= !FLAG_FREE;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn key(&self) -> BddKey {
+        BddKey {
+            then_: self.then_,
+            else_: self.else_,
+        }
+    }
+}
+
+/// Unique-table key within one variable's subtable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct BddKey {
+    pub then_: Edge,
+    pub else_: Edge,
+}
+
+impl TableKey for BddKey {
+    #[inline]
+    fn table_hash(&self, hasher: &CantorHasher) -> u64 {
+        hasher.hash2(self.then_.bits() as u64, self.else_.bits() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_is_12_bytes() {
+        assert_eq!(std::mem::size_of::<Node>(), 12);
+    }
+
+    #[test]
+    fn mark_and_free_flags() {
+        let mut n = Node::new(2, Edge::ONE, Edge::ZERO);
+        n.set_mark(true);
+        n.set_free(true);
+        assert!(n.is_marked() && n.is_free());
+        n.set_mark(false);
+        assert!(!n.is_marked() && n.is_free());
+    }
+}

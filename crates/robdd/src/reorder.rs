@@ -1,0 +1,296 @@
+//! Dynamic variable ordering: the classic in-place adjacent swap and
+//! Rudell's sifting algorithm (the `sift` of CUDD used in Table I).
+
+use crate::edge::Edge;
+use crate::manager::Robdd;
+use crate::node::Node;
+
+/// Tuning knobs for [`Robdd::sift_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct SiftConfig {
+    /// Abort a direction when the diagram grows beyond
+    /// `max_growth × best_size`.
+    pub max_growth: f64,
+    /// Complete passes over all variables.
+    pub passes: usize,
+}
+
+impl Default for SiftConfig {
+    fn default() -> Self {
+        SiftConfig {
+            max_growth: 1.2,
+            passes: 1,
+        }
+    }
+}
+
+impl Robdd {
+    /// Swap the variables at order positions `pos` and `pos + 1` in place.
+    ///
+    /// Nodes of the upper variable whose cofactors involve the lower
+    /// variable are rewritten (keeping their pointers) to test the lower
+    /// variable first; all other nodes are untouched. Every existing
+    /// [`Edge`] keeps denoting the same function.
+    ///
+    /// # Panics
+    /// Panics if `pos + 1 >= num_vars()`.
+    pub fn swap_adjacent(&mut self, pos: usize) {
+        let n = self.num_vars();
+        assert!(pos + 1 < n, "swap position out of range");
+        let x = self.var_at_pos[pos] as u16;
+        let y = self.var_at_pos[pos + 1] as u16;
+
+        let ids = self.subtables[x as usize].values();
+        for id in ids {
+            let nd = *self.node(id);
+            let (t, e) = (nd.then_, nd.else_);
+            let t_dep = !t.is_constant() && self.node(t.node()).var == y;
+            let e_dep = !e.is_constant() && self.node(e.node()).var == y;
+            if !t_dep && !e_dep {
+                // Does not involve y: stays a valid x-node (now below y).
+                continue;
+            }
+            // Grand-cofactors with respect to y. The then-edge is regular,
+            // so t1 is regular and the rebuilt node keeps its polarity.
+            let (t1, t0) = if t_dep {
+                let tn = self.node(t.node());
+                let c = t.is_complemented();
+                (tn.then_.complement_if(c), tn.else_.complement_if(c))
+            } else {
+                (t, t)
+            };
+            let (e1, e0) = if e_dep {
+                let en = self.node(e.node());
+                let c = e.is_complemented();
+                (en.then_.complement_if(c), en.else_.complement_if(c))
+            } else {
+                (e, e)
+            };
+            let new_t = self.make_node(x, t1, e1); // f_{y=1}
+            let new_e = self.make_node(x, t0, e0); // f_{y=0}
+            debug_assert_ne!(new_t, new_e, "swap produced a redundant node");
+            debug_assert!(!new_t.is_complemented(), "polarity flip in swap");
+            let old_key = nd.key();
+            let removed = self.subtables[x as usize].remove(&old_key);
+            debug_assert_eq!(removed, Some(id));
+            self.nodes[id as usize] = Node::new(y, new_t, new_e);
+            let new_key = self.node(id).key();
+            debug_assert!(self.subtables[y as usize].get(&new_key).is_none());
+            self.subtables[y as usize].insert(new_key, id);
+        }
+        self.var_at_pos.swap(pos, pos + 1);
+        self.pos_of_var[self.var_at_pos[pos] as usize] = pos as u32;
+        self.pos_of_var[self.var_at_pos[pos + 1] as usize] = (pos + 1) as u32;
+        self.stats.swaps += 1;
+    }
+
+    /// Sift all variables once with default settings; returns the live
+    /// node count.
+    pub fn sift(&mut self, roots: &[Edge]) -> usize {
+        self.sift_with(roots, &SiftConfig::default())
+    }
+
+    /// Sift with an explicit [`SiftConfig`].
+    pub fn sift_with(&mut self, roots: &[Edge], cfg: &SiftConfig) -> usize {
+        for _ in 0..cfg.passes.max(1) {
+            self.gc(roots);
+            let n = self.num_vars();
+            if n < 2 {
+                break;
+            }
+            let mut vars: Vec<usize> = (0..n).collect();
+            vars.sort_by_key(|&v| std::cmp::Reverse(self.subtables[v].len()));
+            for var in vars {
+                self.sift_one(var, cfg, roots);
+            }
+            self.gc(roots);
+        }
+        self.live_nodes()
+    }
+
+    fn sift_one(&mut self, var: usize, cfg: &SiftConfig, roots: &[Edge]) {
+        let n = self.num_vars();
+        let start = self.position_of(var);
+        self.gc(roots);
+        let mut best_size = self.live_nodes();
+        let mut best_pos = start;
+        let limit = |best: usize| (best as f64 * cfg.max_growth) as usize + 2;
+        // Swaps leave garbage behind, and garbage *compounds*: every swap
+        // rebuilds all nodes of the affected levels, dead or alive. A
+        // sweep per swap keeps the work proportional to the live size
+        // (invalidating the computed table is O(1) via its epoch).
+        const GC_STRIDE: usize = 1;
+        let mut since_gc = 0usize;
+
+        let down_first = start >= n / 2;
+        let directions: [bool; 2] = if down_first {
+            [true, false]
+        } else {
+            [false, true]
+        };
+        for &down in &directions {
+            loop {
+                let pos = self.position_of(var);
+                if down {
+                    if pos + 1 >= n {
+                        break;
+                    }
+                    self.swap_adjacent(pos);
+                } else {
+                    if pos == 0 {
+                        break;
+                    }
+                    self.swap_adjacent(pos - 1);
+                }
+                since_gc += 1;
+                if since_gc >= GC_STRIDE || self.live_nodes() > limit(best_size) {
+                    self.gc(roots);
+                    since_gc = 0;
+                }
+                let size = self.live_nodes();
+                if size < best_size {
+                    best_size = size;
+                    best_pos = self.position_of(var);
+                }
+                if size > limit(best_size) {
+                    break;
+                }
+            }
+            self.gc(roots);
+            since_gc = 0;
+        }
+        loop {
+            let pos = self.position_of(var);
+            match pos.cmp(&best_pos) {
+                std::cmp::Ordering::Less => self.swap_adjacent(pos),
+                std::cmp::Ordering::Greater => self.swap_adjacent(pos - 1),
+                std::cmp::Ordering::Equal => break,
+            }
+        }
+        self.gc(roots);
+    }
+
+    /// Re-order to the given permutation (top first) by adjacent swaps.
+    ///
+    /// # Panics
+    /// Panics if `target` is not a permutation of `0..num_vars()`.
+    pub fn reorder_to(&mut self, target: &[usize]) {
+        let n = self.num_vars();
+        assert_eq!(target.len(), n, "order must mention every variable once");
+        let mut seen = vec![false; n];
+        for &v in target {
+            assert!(v < n && !seen[v], "order must be a permutation");
+            seen[v] = true;
+        }
+        for (goal_pos, &v) in target.iter().enumerate() {
+            let mut pos = self.position_of(v);
+            while pos > goal_pos {
+                self.swap_adjacent(pos - 1);
+                pos -= 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth_of(mgr: &Robdd, f: Edge, n: usize) -> Vec<bool> {
+        (0..1u32 << n)
+            .map(|m| {
+                let a: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
+                mgr.eval(f, &a)
+            })
+            .collect()
+    }
+
+    fn equality_bad_order(mgr: &mut Robdd, k: usize) -> Edge {
+        let mut f = mgr.one();
+        for i in 0..k {
+            let (a, b) = (mgr.var(i), mgr.var(i + k));
+            let eq = mgr.xnor(a, b);
+            f = mgr.and(f, eq);
+        }
+        f
+    }
+
+    #[test]
+    fn swap_preserves_functions() {
+        let n = 5;
+        let mut mgr = Robdd::new(n);
+        let f = equality_bad_order(&mut mgr, 2);
+        let g = {
+            let a = mgr.var(4);
+            let b = mgr.var(0);
+            mgr.xor(a, b)
+        };
+        let (tf, tg) = (truth_of(&mgr, f, n), truth_of(&mgr, g, n));
+        for pos in 0..n - 1 {
+            mgr.swap_adjacent(pos);
+            assert_eq!(truth_of(&mgr, f, n), tf, "pos {pos}");
+            assert_eq!(truth_of(&mgr, g, n), tg, "pos {pos}");
+            mgr.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn random_swap_walks() {
+        let n = 7;
+        for seed in 0..6u64 {
+            let mut mgr = Robdd::new(n);
+            let vs: Vec<Edge> = (0..n).map(|v| mgr.var(v)).collect();
+            let mut f = vs[0];
+            let mut state = seed | 1;
+            for _ in 0..2 * n {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let v = vs[(state >> 33) as usize % n];
+                f = match (state >> 20) % 4 {
+                    0 => mgr.and(f, v),
+                    1 => mgr.or(f, v),
+                    2 => mgr.xor(f, v),
+                    _ => mgr.nand(f, v),
+                };
+            }
+            let tf = truth_of(&mgr, f, n);
+            for step in 0..40 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let pos = (state >> 33) as usize % (n - 1);
+                mgr.swap_adjacent(pos);
+                assert_eq!(truth_of(&mgr, f, n), tf, "seed {seed} step {step}");
+                mgr.validate().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn sifting_shrinks_equality() {
+        let k = 5;
+        let mut mgr = Robdd::new(2 * k);
+        let f = equality_bad_order(&mut mgr, k);
+        let tf = truth_of(&mgr, f, 2 * k);
+        let before = mgr.node_count(f);
+        mgr.sift(&[f]);
+        let after = mgr.node_count(f);
+        assert!(after < before, "sift must shrink: {before} -> {after}");
+        assert!(after <= 3 * k + 1, "near-linear size expected, got {after}");
+        assert_eq!(truth_of(&mgr, f, 2 * k), tf);
+        mgr.validate().unwrap();
+    }
+
+    #[test]
+    fn reorder_to_target() {
+        let n = 5;
+        let mut mgr = Robdd::new(n);
+        let f = equality_bad_order(&mut mgr, 2);
+        let tf = truth_of(&mgr, f, n);
+        mgr.reorder_to(&[3, 1, 4, 0, 2]);
+        assert_eq!(mgr.order(), vec![3, 1, 4, 0, 2]);
+        assert_eq!(truth_of(&mgr, f, n), tf);
+        mgr.validate().unwrap();
+    }
+}

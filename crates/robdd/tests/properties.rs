@@ -1,0 +1,188 @@
+//! Property-based tests of the ROBDD baseline, mirroring the BBDD suite:
+//! the two packages must satisfy the same algebraic contracts.
+
+use proptest::prelude::*;
+use robdd::{BoolOp, Edge, Robdd};
+
+#[derive(Debug, Clone)]
+enum Expr {
+    Var(usize),
+    Const(bool),
+    Not(Box<Expr>),
+    Bin(u8, Box<Expr>, Box<Expr>),
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+fn arb_expr(nvars: usize, depth: u32) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0..nvars).prop_map(Expr::Var),
+        any::<bool>().prop_map(Expr::Const),
+    ];
+    leaf.prop_recursive(depth, 64, 3, move |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (0u8..16, inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| Expr::Bin(op, Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(s, a, b)| Expr::Ite(Box::new(s), Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn build(mgr: &mut Robdd, e: &Expr) -> Edge {
+    match e {
+        Expr::Var(v) => mgr.var(*v),
+        Expr::Const(b) => {
+            if *b {
+                mgr.one()
+            } else {
+                mgr.zero()
+            }
+        }
+        Expr::Not(x) => {
+            let inner = build(mgr, x);
+            !inner
+        }
+        Expr::Bin(op, a, b) => {
+            let ea = build(mgr, a);
+            let eb = build(mgr, b);
+            mgr.apply(BoolOp::from_table(*op), ea, eb)
+        }
+        Expr::Ite(s, a, b) => {
+            let es = build(mgr, s);
+            let ea = build(mgr, a);
+            let eb = build(mgr, b);
+            mgr.ite(es, ea, eb)
+        }
+    }
+}
+
+fn eval_expr(e: &Expr, v: &[bool]) -> bool {
+    match e {
+        Expr::Var(i) => v[*i],
+        Expr::Const(b) => *b,
+        Expr::Not(x) => !eval_expr(x, v),
+        Expr::Bin(op, a, b) => BoolOp::from_table(*op).eval(eval_expr(a, v), eval_expr(b, v)),
+        Expr::Ite(s, a, b) => {
+            if eval_expr(s, v) {
+                eval_expr(a, v)
+            } else {
+                eval_expr(b, v)
+            }
+        }
+    }
+}
+
+const NVARS: usize = 5;
+
+fn assignments() -> impl Iterator<Item = Vec<bool>> {
+    (0..1u32 << NVARS).map(|m| (0..NVARS).map(|i| (m >> i) & 1 == 1).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn build_matches_brute_force(e in arb_expr(NVARS, 5)) {
+        let mut mgr = Robdd::new(NVARS);
+        let f = build(&mut mgr, &e);
+        mgr.validate().unwrap();
+        for v in assignments() {
+            prop_assert_eq!(mgr.eval(f, &v), eval_expr(&e, &v));
+        }
+    }
+
+    #[test]
+    fn canonicity_and_sat_count(e in arb_expr(NVARS, 4)) {
+        let mut mgr = Robdd::new(NVARS);
+        let f = build(&mut mgr, &e);
+        let g = build(&mut mgr, &e);
+        prop_assert_eq!(f, g);
+        let brute = assignments().filter(|v| eval_expr(&e, v)).count() as u128;
+        prop_assert_eq!(mgr.sat_count(f), brute);
+    }
+
+    #[test]
+    fn restrict_matches(e in arb_expr(NVARS, 4), var in 0..NVARS, val in any::<bool>()) {
+        let mut mgr = Robdd::new(NVARS);
+        let f = build(&mut mgr, &e);
+        let r = mgr.restrict(f, var, val);
+        for v in assignments() {
+            let mut vv = v.clone();
+            vv[var] = val;
+            prop_assert_eq!(mgr.eval(r, &v), eval_expr(&e, &vv));
+        }
+        prop_assert!(!mgr.depends_on(r, var));
+    }
+
+    #[test]
+    fn swap_walks_preserve_functions(
+        e in arb_expr(NVARS, 4),
+        walk in proptest::collection::vec(0..NVARS - 1, 1..24),
+    ) {
+        let mut mgr = Robdd::new(NVARS);
+        let f = build(&mut mgr, &e);
+        let reference: Vec<bool> = assignments().map(|v| mgr.eval(f, &v)).collect();
+        for pos in walk {
+            mgr.swap_adjacent(pos);
+            mgr.validate().unwrap();
+            let now: Vec<bool> = assignments().map(|v| mgr.eval(f, &v)).collect();
+            prop_assert_eq!(&now, &reference);
+        }
+    }
+
+    #[test]
+    fn sift_preserves_and_never_grows(e in arb_expr(NVARS, 5)) {
+        let mut mgr = Robdd::new(NVARS);
+        let f = build(&mut mgr, &e);
+        let reference: Vec<bool> = assignments().map(|v| mgr.eval(f, &v)).collect();
+        mgr.gc(&[f]);
+        let before = mgr.live_nodes();
+        mgr.sift(&[f]);
+        mgr.validate().unwrap();
+        prop_assert!(mgr.live_nodes() <= before);
+        let now: Vec<bool> = assignments().map(|v| mgr.eval(f, &v)).collect();
+        prop_assert_eq!(&now, &reference);
+    }
+
+    #[test]
+    fn packages_agree_on_everything(e in arb_expr(NVARS, 5)) {
+        // The decisive cross-package property: identical semantics.
+        let mut bd = Robdd::new(NVARS);
+        let fd = build(&mut bd, &e);
+        let mut bb = bbdd::Bbdd::new(NVARS);
+        let fb = build_bbdd(&mut bb, &e);
+        for v in assignments() {
+            prop_assert_eq!(bd.eval(fd, &v), bb.eval(fb, &v));
+        }
+        prop_assert_eq!(bd.sat_count(fd), bb.sat_count(fb));
+    }
+}
+
+fn build_bbdd(mgr: &mut bbdd::Bbdd, e: &Expr) -> bbdd::Edge {
+    match e {
+        Expr::Var(v) => mgr.var(*v),
+        Expr::Const(b) => {
+            if *b {
+                mgr.one()
+            } else {
+                mgr.zero()
+            }
+        }
+        Expr::Not(x) => {
+            let inner = build_bbdd(mgr, x);
+            !inner
+        }
+        Expr::Bin(op, a, b) => {
+            let ea = build_bbdd(mgr, a);
+            let eb = build_bbdd(mgr, b);
+            mgr.apply(bbdd::BoolOp::from_table(*op), ea, eb)
+        }
+        Expr::Ite(s, a, b) => {
+            let es = build_bbdd(mgr, s);
+            let ea = build_bbdd(mgr, a);
+            let eb = build_bbdd(mgr, b);
+            mgr.ite(es, ea, eb)
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! And-Inverter Graph: the technology-independent optimization layer of
+//! the synthesis back-end (structural hashing, constant folding, level
+//! bounds).
+
+use logicnet::{GateOp, Network};
+use std::collections::HashMap;
+
+/// An AIG literal: node index with a complement bit. Node 0 is the
+/// constant **false**, so literal 0 = `0` and literal 1 = `1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(pub u32);
+
+impl Lit {
+    /// The constant-false literal.
+    pub const FALSE: Lit = Lit(0);
+    /// The constant-true literal.
+    pub const TRUE: Lit = Lit(1);
+
+    /// Make a literal from node index and complement flag.
+    #[must_use]
+    pub fn new(node: u32, compl: bool) -> Self {
+        Lit((node << 1) | compl as u32)
+    }
+
+    /// Target node index.
+    #[must_use]
+    pub fn node(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// Complement flag.
+    #[must_use]
+    pub fn compl(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// `true` for the two constant literals.
+    #[must_use]
+    pub fn is_const(self) -> bool {
+        self.0 <= 1
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum AigNode {
+    Const,
+    Input(usize),
+    And(Lit, Lit),
+}
+
+/// A structurally hashed And-Inverter Graph.
+#[derive(Debug, Clone)]
+pub struct Aig {
+    nodes: Vec<AigNode>,
+    strash: HashMap<(Lit, Lit), u32>,
+    num_inputs: usize,
+    outputs: Vec<(String, Lit)>,
+    name: String,
+}
+
+impl Aig {
+    /// An empty AIG with `num_inputs` primary inputs.
+    #[must_use]
+    pub fn new(name: &str, num_inputs: usize) -> Self {
+        let mut nodes = vec![AigNode::Const];
+        for i in 0..num_inputs {
+            nodes.push(AigNode::Input(i));
+        }
+        Aig {
+            nodes,
+            strash: HashMap::new(),
+            num_inputs,
+            outputs: Vec::new(),
+            name: name.to_string(),
+        }
+    }
+
+    /// Model name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Primary-input count.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Total node count (constant + inputs + ands).
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of AND nodes (the optimization metric).
+    #[must_use]
+    pub fn num_ands(&self) -> usize {
+        self.nodes.len() - 1 - self.num_inputs
+    }
+
+    /// The literal of primary input `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= num_inputs()`.
+    #[must_use]
+    pub fn input(&self, i: usize) -> Lit {
+        assert!(i < self.num_inputs);
+        Lit::new(1 + i as u32, false)
+    }
+
+    /// Declared outputs.
+    #[must_use]
+    pub fn outputs(&self) -> &[(String, Lit)] {
+        &self.outputs
+    }
+
+    /// Declare an output.
+    pub fn set_output(&mut self, name: &str, lit: Lit) {
+        self.outputs.push((name.to_string(), lit));
+    }
+
+    /// Fanins of an AND node, if `node` is one.
+    #[must_use]
+    pub fn and_fanins(&self, node: u32) -> Option<(Lit, Lit)> {
+        match self.nodes[node as usize] {
+            AigNode::And(a, b) => Some((a, b)),
+            _ => None,
+        }
+    }
+
+    /// Is `node` a primary input?
+    #[must_use]
+    pub fn is_input(&self, node: u32) -> bool {
+        matches!(self.nodes[node as usize], AigNode::Input(_))
+    }
+
+    /// Input index of an input node.
+    #[must_use]
+    pub fn input_index(&self, node: u32) -> Option<usize> {
+        match self.nodes[node as usize] {
+            AigNode::Input(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Conjunction with constant folding and structural hashing.
+    pub fn and(&mut self, mut a: Lit, mut b: Lit) -> Lit {
+        if a == Lit::FALSE || b == Lit::FALSE || a == !b {
+            return Lit::FALSE;
+        }
+        if a == Lit::TRUE {
+            return b;
+        }
+        if b == Lit::TRUE || a == b {
+            return a;
+        }
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        if let Some(&n) = self.strash.get(&(a, b)) {
+            return Lit::new(n, false);
+        }
+        let n = self.nodes.len() as u32;
+        self.nodes.push(AigNode::And(a, b));
+        self.strash.insert((a, b), n);
+        Lit::new(n, false)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.and(!a, !b)
+    }
+
+    /// Parity.
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let t0 = self.and(a, !b);
+        let t1 = self.and(!a, b);
+        self.or(t0, t1)
+    }
+
+    /// Multiplexer `s ? a : b`.
+    pub fn mux(&mut self, s: Lit, a: Lit, b: Lit) -> Lit {
+        let t0 = self.and(s, a);
+        let t1 = self.and(!s, b);
+        self.or(t0, t1)
+    }
+
+    /// Evaluate all outputs on an input vector (reference semantics for
+    /// tests and equivalence checks).
+    ///
+    /// # Panics
+    /// Panics if `values.len() != num_inputs()`.
+    #[must_use]
+    pub fn simulate(&self, values: &[bool]) -> Vec<bool> {
+        assert_eq!(values.len(), self.num_inputs);
+        let mut val = vec![false; self.nodes.len()];
+        for (n, node) in self.nodes.iter().enumerate() {
+            val[n] = match *node {
+                AigNode::Const => false,
+                AigNode::Input(i) => values[i],
+                AigNode::And(a, b) => {
+                    let va = val[a.node() as usize] ^ a.compl();
+                    let vb = val[b.node() as usize] ^ b.compl();
+                    va && vb
+                }
+            };
+        }
+        self.outputs
+            .iter()
+            .map(|(_, l)| val[l.node() as usize] ^ l.compl())
+            .collect()
+    }
+
+    /// Logic depth in AND levels (ignoring inverters).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        let mut lvl = vec![0usize; self.nodes.len()];
+        let mut max = 0;
+        for (n, node) in self.nodes.iter().enumerate() {
+            if let AigNode::And(a, b) = *node {
+                lvl[n] = 1 + lvl[a.node() as usize].max(lvl[b.node() as usize]);
+                max = max.max(lvl[n]);
+            }
+        }
+        max
+    }
+
+    /// Convert a gate network into a structurally hashed AIG.
+    ///
+    /// # Panics
+    /// Panics if the network fails its structural check.
+    #[must_use]
+    pub fn from_network(net: &Network) -> Self {
+        net.check().expect("network must be valid");
+        let mut aig = Aig::new(net.name(), net.num_inputs());
+        let mut wire: Vec<Option<Lit>> = vec![None; net.num_signals()];
+        for (i, s) in net.inputs().iter().enumerate() {
+            wire[s.index()] = Some(aig.input(i));
+        }
+        for g in net.gates() {
+            let ins: Vec<Lit> = g
+                .inputs
+                .iter()
+                .map(|s| wire[s.index()].expect("topological"))
+                .collect();
+            let out = match g.op {
+                GateOp::Const0 => Lit::FALSE,
+                GateOp::Const1 => Lit::TRUE,
+                GateOp::Buf => ins[0],
+                GateOp::Not => !ins[0],
+                GateOp::And | GateOp::Nand => {
+                    let mut acc = ins[0];
+                    for &x in &ins[1..] {
+                        acc = aig.and(acc, x);
+                    }
+                    if g.op == GateOp::Nand {
+                        !acc
+                    } else {
+                        acc
+                    }
+                }
+                GateOp::Or | GateOp::Nor => {
+                    let mut acc = ins[0];
+                    for &x in &ins[1..] {
+                        acc = aig.or(acc, x);
+                    }
+                    if g.op == GateOp::Nor {
+                        !acc
+                    } else {
+                        acc
+                    }
+                }
+                GateOp::Xor | GateOp::Xnor => {
+                    let mut acc = ins[0];
+                    for &x in &ins[1..] {
+                        acc = aig.xor(acc, x);
+                    }
+                    if g.op == GateOp::Xnor {
+                        !acc
+                    } else {
+                        acc
+                    }
+                }
+                GateOp::Maj => {
+                    let ab = aig.and(ins[0], ins[1]);
+                    let bc = aig.and(ins[1], ins[2]);
+                    let ac = aig.and(ins[0], ins[2]);
+                    let t = aig.or(ab, bc);
+                    aig.or(t, ac)
+                }
+                GateOp::Mux => aig.mux(ins[0], ins[1], ins[2]),
+            };
+            wire[g.output.index()] = Some(out);
+        }
+        for (port, s) in net.outputs() {
+            aig.set_output(port, wire[s.index()].expect("driven output"));
+        }
+        aig
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logicnet::{GateOp, Network};
+
+    #[test]
+    fn constant_folding_rules() {
+        let mut aig = Aig::new("t", 2);
+        let a = aig.input(0);
+        let b = aig.input(1);
+        assert_eq!(aig.and(a, Lit::FALSE), Lit::FALSE);
+        assert_eq!(aig.and(a, Lit::TRUE), a);
+        assert_eq!(aig.and(a, a), a);
+        assert_eq!(aig.and(a, !a), Lit::FALSE);
+        let ab1 = aig.and(a, b);
+        let ab2 = aig.and(b, a);
+        assert_eq!(ab1, ab2, "structural hashing is order-insensitive");
+        assert_eq!(aig.num_ands(), 1);
+    }
+
+    #[test]
+    fn simulate_mux_and_xor() {
+        let mut aig = Aig::new("t", 3);
+        let (s, a, b) = (aig.input(0), aig.input(1), aig.input(2));
+        let m = aig.mux(s, a, b);
+        let x = aig.xor(a, b);
+        aig.set_output("m", m);
+        aig.set_output("x", x);
+        for i in 0..8u32 {
+            let v: Vec<bool> = (0..3).map(|k| (i >> k) & 1 == 1).collect();
+            let o = aig.simulate(&v);
+            assert_eq!(o[0], if v[0] { v[1] } else { v[2] });
+            assert_eq!(o[1], v[1] ^ v[2]);
+        }
+    }
+
+    #[test]
+    fn from_network_preserves_function() {
+        let mut net = Network::new("fa");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let x = net.add_gate(GateOp::Xor, &[a, b, c]);
+        let m = net.add_gate(GateOp::Maj, &[a, b, c]);
+        let k = net.add_gate(GateOp::Nor, &[x, m]);
+        net.set_output("x", x);
+        net.set_output("m", m);
+        net.set_output("k", k);
+        let aig = Aig::from_network(&net);
+        for i in 0..8u32 {
+            let v: Vec<bool> = (0..3).map(|k| (i >> k) & 1 == 1).collect();
+            assert_eq!(aig.simulate(&v), net.simulate(&v), "{v:?}");
+        }
+        assert!(aig.depth() > 0);
+    }
+
+    #[test]
+    fn strash_shares_across_gates() {
+        let mut net = Network::new("share");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g1 = net.add_gate(GateOp::And, &[a, b]);
+        let g2 = net.add_gate(GateOp::And, &[b, a]); // same function
+        let o = net.add_gate(GateOp::Xor, &[g1, g2]); // constant 0
+        net.set_output("o", o);
+        let aig = Aig::from_network(&net);
+        assert_eq!(aig.outputs()[0].1, Lit::FALSE, "x ^ x folds to 0");
+    }
+}

@@ -1,0 +1,172 @@
+//! The standard-cell library of the paper's synthesis case study (§V-B):
+//! `MAJ-3, XOR-2, XNOR-2, NAND-2, NOR-2, INV`, characterized for a 22 nm
+//! CMOS technology.
+//!
+//! The original characterization used the ASU Predictive Technology Model;
+//! that data is not redistributable, so the numbers here are a documented,
+//! internally consistent stand-in on the same technology scale (areas in
+//! µm², pin-to-pin delays in ns). Because Table II compares two flows
+//! through the *same* library, its area/delay *ratios* depend only on the
+//! mapped structures, not on the absolute characterization.
+
+use logicnet::GateOp;
+
+/// One combinational standard cell.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Library name (e.g. `NAND2`).
+    pub name: &'static str,
+    /// Number of input pins (1–3).
+    pub arity: usize,
+    /// Function as a truth table over `arity` inputs; bit `m` is the
+    /// output for the input minterm `m` (input 0 = LSB of `m`).
+    pub table: u8,
+    /// Cell area in µm².
+    pub area_um2: f64,
+    /// Worst pin-to-pin delay in ns.
+    pub delay_ns: f64,
+    /// Network operator used when exporting mapped netlists.
+    pub op: GateOp,
+}
+
+impl Cell {
+    /// Evaluate the cell on an input minterm.
+    #[must_use]
+    pub fn eval(&self, minterm: usize) -> bool {
+        (self.table >> minterm) & 1 == 1
+    }
+}
+
+/// An immutable cell library.
+#[derive(Debug, Clone)]
+pub struct CellLibrary {
+    cells: Vec<Cell>,
+    inv_index: usize,
+}
+
+impl CellLibrary {
+    /// The paper's six-cell 22 nm library.
+    #[must_use]
+    pub fn paper_22nm() -> Self {
+        let cells = vec![
+            Cell {
+                name: "INV",
+                arity: 1,
+                table: 0b01, // out = !a
+                area_um2: 0.131,
+                delay_ns: 0.009,
+                op: GateOp::Not,
+            },
+            Cell {
+                name: "NAND2",
+                arity: 2,
+                table: 0b0111,
+                area_um2: 0.196,
+                delay_ns: 0.013,
+                op: GateOp::Nand,
+            },
+            Cell {
+                name: "NOR2",
+                arity: 2,
+                table: 0b0001,
+                area_um2: 0.196,
+                delay_ns: 0.015,
+                op: GateOp::Nor,
+            },
+            Cell {
+                name: "XOR2",
+                arity: 2,
+                table: 0b0110,
+                area_um2: 0.392,
+                delay_ns: 0.021,
+                op: GateOp::Xor,
+            },
+            Cell {
+                name: "XNOR2",
+                arity: 2,
+                table: 0b1001,
+                area_um2: 0.392,
+                delay_ns: 0.021,
+                op: GateOp::Xnor,
+            },
+            Cell {
+                name: "MAJ3",
+                arity: 3,
+                table: 0b1110_1000,
+                area_um2: 0.588,
+                delay_ns: 0.027,
+                op: GateOp::Maj,
+            },
+        ];
+        let inv_index = 0;
+        CellLibrary { cells, inv_index }
+    }
+
+    /// All cells.
+    #[must_use]
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// The inverter (used by the polarity-aware mapper).
+    #[must_use]
+    pub fn inverter(&self) -> &Cell {
+        &self.cells[self.inv_index]
+    }
+
+    /// Index of the inverter in [`CellLibrary::cells`].
+    #[must_use]
+    pub fn inverter_index(&self) -> usize {
+        self.inv_index
+    }
+
+    /// Look a cell up by name.
+    #[must_use]
+    pub fn by_name(&self, name: &str) -> Option<&Cell> {
+        self.cells.iter().find(|c| c.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_has_the_papers_six_cells() {
+        let lib = CellLibrary::paper_22nm();
+        for name in ["INV", "NAND2", "NOR2", "XOR2", "XNOR2", "MAJ3"] {
+            assert!(lib.by_name(name).is_some(), "{name} missing");
+        }
+        assert_eq!(lib.cells().len(), 6);
+        assert_eq!(lib.inverter().name, "INV");
+    }
+
+    #[test]
+    fn cell_functions_are_correct() {
+        let lib = CellLibrary::paper_22nm();
+        let nand = lib.by_name("NAND2").unwrap();
+        assert!(nand.eval(0b00) && nand.eval(0b01) && nand.eval(0b10));
+        assert!(!nand.eval(0b11));
+        let maj = lib.by_name("MAJ3").unwrap();
+        for m in 0..8usize {
+            assert_eq!(maj.eval(m), m.count_ones() >= 2, "maj({m:03b})");
+        }
+        let xor = lib.by_name("XOR2").unwrap();
+        for m in 0..4usize {
+            assert_eq!(xor.eval(m), m.count_ones() % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn areas_and_delays_are_positive_and_ordered() {
+        let lib = CellLibrary::paper_22nm();
+        for c in lib.cells() {
+            assert!(c.area_um2 > 0.0 && c.delay_ns > 0.0, "{}", c.name);
+        }
+        // Sanity of the characterization scale: INV < NAND2 < XOR2 < MAJ3.
+        let a = |n: &str| lib.by_name(n).unwrap().area_um2;
+        assert!(a("INV") < a("NAND2"));
+        assert!(a("NAND2") < a("XOR2"));
+        assert!(a("XOR2") < a("MAJ3"));
+    }
+}

@@ -1,0 +1,216 @@
+//! The two competing synthesis flows of Table II.
+//!
+//! * [`synthesize_direct`] — the *commercial-flow stand-in*: the RTL
+//!   netlist goes straight through technology-independent optimization
+//!   (AIG structural hashing + constant folding) and technology mapping.
+//! * [`synthesize_bbdd_first`] — the paper's proposal: the netlist is
+//!   first rewritten through the BBDD package (built with the file order,
+//!   then sifted), dumped back as a comparator/mux netlist, and *the same*
+//!   back-end maps it. Any area/delay difference is attributable to the
+//!   BBDD restructuring, exactly as in the paper's §V-B methodology.
+
+use crate::aig::Aig;
+use crate::bbdd_rewrite::bbdd_to_network;
+use crate::cells::CellLibrary;
+use crate::mapper::{map_with, MapStyle, MappedNetlist};
+use bbdd::Bbdd;
+use logicnet::build::build_network;
+use logicnet::Network;
+
+/// Outcome of one synthesis run (one Table-II cell triple).
+#[derive(Debug, Clone)]
+pub struct FlowResult {
+    /// Total cell area (µm²).
+    pub area_um2: f64,
+    /// Critical-path delay (ns).
+    pub delay_ns: f64,
+    /// Number of placed cells.
+    pub gate_count: usize,
+    /// The mapped netlist (for verification and export).
+    pub mapped: MappedNetlist,
+}
+
+/// Extra information from the BBDD front-end run.
+#[derive(Debug, Clone, Copy)]
+pub struct BbddFrontendInfo {
+    /// Shared node count after build (file variable order).
+    pub nodes_built: usize,
+    /// Shared node count after sifting.
+    pub nodes_sifted: usize,
+}
+
+/// Synthesize `net` directly (the commercial-flow stand-in), DAG-aware.
+#[must_use]
+pub fn synthesize_direct(net: &Network, lib: &CellLibrary) -> FlowResult {
+    synthesize_direct_with(net, lib, MapStyle::DagAware)
+}
+
+/// Synthesize `net` directly with an explicit mapping style.
+/// `MapStyle::TreeLocal` models the 2014-era structural back-end of the
+/// paper's Table II (tree covering, no reconvergence across fanout).
+#[must_use]
+pub fn synthesize_direct_with(net: &Network, lib: &CellLibrary, style: MapStyle) -> FlowResult {
+    let aig = Aig::from_network(net);
+    let mapped = map_with(&aig, lib, style);
+    FlowResult {
+        area_um2: mapped.area_um2,
+        delay_ns: mapped.delay_ns,
+        gate_count: mapped.gate_count(),
+        mapped,
+    }
+}
+
+/// Synthesize `net` with the BBDD re-writing front-end, then the same
+/// back-end. `sift` enables chain-variable reordering before the dump.
+#[must_use]
+pub fn synthesize_bbdd_first(
+    net: &Network,
+    lib: &CellLibrary,
+    sift: bool,
+) -> (FlowResult, BbddFrontendInfo) {
+    synthesize_bbdd_first_with(net, lib, sift, MapStyle::DagAware)
+}
+
+/// BBDD front-end + back-end with an explicit mapping style.
+#[must_use]
+pub fn synthesize_bbdd_first_with(
+    net: &Network,
+    lib: &CellLibrary,
+    sift: bool,
+    style: MapStyle,
+) -> (FlowResult, BbddFrontendInfo) {
+    let mut mgr = Bbdd::new(net.num_inputs());
+    let roots = build_network(&mut mgr, net);
+    let nodes_built = mgr.shared_node_count(&roots);
+    if sift {
+        mgr.sift(&roots);
+    }
+    let nodes_sifted = mgr.shared_node_count(&roots);
+    let in_names: Vec<String> = net
+        .inputs()
+        .iter()
+        .map(|&s| net.signal_name(s).to_string())
+        .collect();
+    let out_names: Vec<String> = net.outputs().iter().map(|(n, _)| n.clone()).collect();
+    let rewritten = bbdd_to_network(&mgr, &roots, &in_names, &out_names);
+    let result = synthesize_direct_with(&rewritten, lib, style);
+    (
+        result,
+        BbddFrontendInfo {
+            nodes_built,
+            nodes_sifted,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logicnet::sim::{random_equivalence, Equivalence};
+
+    fn verify_flow(net: &Network, lib: &CellLibrary, result: &FlowResult) {
+        let names: Vec<String> = net
+            .inputs()
+            .iter()
+            .map(|&s| net.signal_name(s).to_string())
+            .collect();
+        let back = result.mapped.to_network(lib, &names);
+        assert_eq!(
+            random_equivalence(net, &back, 16, 0xF10F),
+            Equivalence::Indistinguishable,
+            "synthesis must preserve the function"
+        );
+    }
+
+    #[test]
+    fn direct_flow_is_functionally_correct() {
+        let lib = CellLibrary::paper_22nm();
+        for net in [
+            benchgen::datapath::adder(8),
+            benchgen::datapath::magnitude(8),
+            benchgen::datapath::equality(8),
+        ] {
+            let r = synthesize_direct(&net, &lib);
+            assert!(r.gate_count > 0);
+            verify_flow(&net, &lib, &r);
+        }
+    }
+
+    #[test]
+    fn bbdd_flow_is_functionally_correct() {
+        let lib = CellLibrary::paper_22nm();
+        for net in [
+            benchgen::datapath::adder(8),
+            benchgen::datapath::magnitude(8),
+            benchgen::datapath::equality(8),
+        ] {
+            let (r, info) = synthesize_bbdd_first(&net, &lib, true);
+            assert!(r.gate_count > 0);
+            assert!(info.nodes_sifted <= info.nodes_built);
+            verify_flow(&net, &lib, &r);
+        }
+    }
+
+    #[test]
+    fn bbdd_flow_wins_on_cla_adder() {
+        // The Table-II effect measured with the paper's methodology: the
+        // operator-expanded netlist (here the carry-lookahead structure an
+        // arithmetic generator instantiates for `+`) is fed to both flows
+        // and mapped by the same tree-local structural back-end. The BBDD
+        // front-end canonicalizes the lookahead bloat into the compact
+        // comparator/mux structure and wins on area, as in the paper.
+        let lib = CellLibrary::paper_22nm();
+        let net = benchgen::datapath::Datapath::Adder { width: 16 }.commercial_implementation();
+        let direct = synthesize_direct_with(&net, &lib, MapStyle::TreeLocal);
+        let (bbdd_flow, _) = synthesize_bbdd_first_with(&net, &lib, true, MapStyle::TreeLocal);
+        assert!(
+            bbdd_flow.area_um2 < direct.area_um2,
+            "BBDD flow {:.2} µm² must beat direct {:.2} µm²",
+            bbdd_flow.area_um2,
+            direct.area_um2
+        );
+        assert!(
+            bbdd_flow.gate_count < direct.gate_count,
+            "BBDD flow {} gates must beat direct {}",
+            bbdd_flow.gate_count,
+            direct.gate_count
+        );
+        verify_flow(&net, &lib, &bbdd_flow);
+    }
+
+    #[test]
+    fn magnitude_flows_are_both_compact_and_correct() {
+        // Divergence from the paper, documented in EXPERIMENTS.md: our
+        // baseline's dead-logic elimination already prunes the subtractor
+        // down to the optimal borrow chain, so the commercial bloat the
+        // paper measured (186 gates) does not occur and the BBDD flow has
+        // nothing left to win; both flows stay within a small factor.
+        let lib = CellLibrary::paper_22nm();
+        let net = benchgen::datapath::Datapath::Magnitude { width: 16 }
+            .commercial_implementation();
+        let direct = synthesize_direct_with(&net, &lib, MapStyle::TreeLocal);
+        let (bbdd_flow, _) = synthesize_bbdd_first_with(&net, &lib, true, MapStyle::TreeLocal);
+        verify_flow(&net, &lib, &direct);
+        verify_flow(&net, &lib, &bbdd_flow);
+        assert!(bbdd_flow.area_um2 <= 3.0 * direct.area_um2);
+    }
+
+    #[test]
+    fn tree_local_mapping_is_correct_on_arithmetic() {
+        // Neither mapping style strictly dominates the other in area (both
+        // covers come from a heuristic, leaf-double-counting DP), so the
+        // invariants are functional correctness and a sane cost envelope.
+        let lib = CellLibrary::paper_22nm();
+        for net in [
+            benchgen::datapath::adder_cla(8),
+            benchgen::datapath::barrel(8),
+        ] {
+            let dag = synthesize_direct_with(&net, &lib, MapStyle::DagAware);
+            let tree = synthesize_direct_with(&net, &lib, MapStyle::TreeLocal);
+            assert!(tree.area_um2 <= 4.0 * dag.area_um2,
+                "{}: dag {} vs tree {}", net.name(), dag.area_um2, tree.area_um2);
+            verify_flow(&net, &lib, &dag);
+            verify_flow(&net, &lib, &tree);
+        }
+    }
+}

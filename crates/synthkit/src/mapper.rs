@@ -1,0 +1,590 @@
+//! Priority-cut technology mapping onto the standard-cell library, with
+//! polarity-aware area-oriented covering and topological static timing —
+//! the back-end both Table-II flows share.
+//!
+//! The mapper enumerates 3-feasible cuts per AIG node, matches each cut's
+//! local function against every library cell under all pin permutations
+//! (both output polarities, complements being free in the AIG), and covers
+//! the graph by dynamic programming on `(node, polarity)` with inverter
+//! insertion where no complemented match exists.
+
+use crate::aig::{Aig, Lit};
+use crate::cells::CellLibrary;
+use logicnet::{GateOp, Network, Signal};
+use std::collections::HashMap;
+
+const MAX_LEAVES: usize = 3;
+const CUTS_PER_NODE: usize = 8;
+
+/// Truth-table patterns of the three cut variables.
+const VAR_TT: [u8; 3] = [0xAA, 0xCC, 0xF0];
+
+/// A mapped signal: an AIG node in a polarity (`true` = complemented).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MSig {
+    /// AIG node index.
+    pub node: u32,
+    /// `true` when this signal is the complement of the node's function.
+    pub negated: bool,
+}
+
+/// One placed cell.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Index into the library's cell list.
+    pub cell: usize,
+    /// Input connections (produced signals or primary inputs in positive
+    /// polarity).
+    pub inputs: Vec<MSig>,
+    /// The signal this instance produces.
+    pub output: MSig,
+}
+
+/// The result of technology mapping.
+#[derive(Debug, Clone)]
+pub struct MappedNetlist {
+    /// Placed instances in topological order.
+    pub instances: Vec<Instance>,
+    /// Output ports: name, driving signal, or constant.
+    pub outputs: Vec<(String, MappedOutput)>,
+    /// Number of primary inputs of the mapped design.
+    pub num_inputs: usize,
+    /// Total cell area (µm²).
+    pub area_um2: f64,
+    /// Critical-path delay (ns) from the topological STA.
+    pub delay_ns: f64,
+}
+
+/// What drives an output port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MappedOutput {
+    /// A mapped signal.
+    Sig(MSig),
+    /// A constant.
+    Const(bool),
+}
+
+impl MappedNetlist {
+    /// Number of placed cells.
+    #[must_use]
+    pub fn gate_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Export as a gate [`Network`] (for equivalence checking); input `i`
+    /// is named `x{i}` unless `input_names` provides a name.
+    ///
+    /// # Panics
+    /// Panics on malformed instance graphs (internal error).
+    #[must_use]
+    pub fn to_network(&self, lib: &CellLibrary, input_names: &[String]) -> Network {
+        let mut net = Network::new("mapped");
+        let mut pi: Vec<Signal> = Vec::with_capacity(self.num_inputs);
+        for i in 0..self.num_inputs {
+            let default = format!("x{i}");
+            let name = input_names.get(i).cloned().unwrap_or(default);
+            pi.push(net.add_input(&name));
+        }
+        let mut produced: HashMap<MSig, Signal> = HashMap::new();
+        for (i, s) in pi.iter().enumerate() {
+            // Primary inputs are available in positive polarity for free.
+            produced.insert(
+                MSig {
+                    node: (i + 1) as u32,
+                    negated: false,
+                },
+                *s,
+            );
+        }
+        for inst in &self.instances {
+            let cell = &lib.cells()[inst.cell];
+            let ins: Vec<Signal> = inst
+                .inputs
+                .iter()
+                .map(|m| *produced.get(m).expect("instance inputs precede outputs"))
+                .collect();
+            let sig = net.add_gate(cell.op, &ins);
+            produced.insert(inst.output, sig);
+        }
+        for (name, out) in &self.outputs {
+            let sig = match out {
+                MappedOutput::Const(b) => net.add_gate(
+                    if *b { GateOp::Const1 } else { GateOp::Const0 },
+                    &[],
+                ),
+                MappedOutput::Sig(m) => *produced.get(m).expect("driven output"),
+            };
+            net.set_output(name, sig);
+        }
+        net.check().expect("mapped network must be valid");
+        net
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CutMatch {
+    cut: Vec<u32>,
+    cell: usize,
+    /// `perm[j]` = index (into `cut`) of the leaf wired to cell pin `j`.
+    perm: Vec<usize>,
+    /// `neg[j]` = cell pin `j` reads the complemented leaf (costs an
+    /// inverter on that leaf, shared across the cover).
+    neg: Vec<bool>,
+}
+
+#[derive(Debug, Clone)]
+enum Choice {
+    /// Free: a primary input in positive polarity.
+    Wire,
+    /// An inverter on the opposite polarity.
+    Inv,
+    /// A matched cut.
+    Match(CutMatch),
+}
+
+/// Structural scope of the mapper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MapStyle {
+    /// Cuts may cross fanout boundaries (modern DAG-aware mapping).
+    #[default]
+    DagAware,
+    /// Cuts must be fanout-free trees — the behaviour of classic
+    /// tree-covering structural mappers (DAGON lineage), which is how the
+    /// 2014-era commercial back-end of the paper's Table II behaves: logic
+    /// reconvergence hidden behind a fanout point is never re-discovered.
+    TreeLocal,
+}
+
+/// Map `aig` onto `lib` (area-oriented, DAG-aware).
+///
+/// # Panics
+/// Panics if some node function cannot be implemented, which cannot happen
+/// with a library containing an inverter and a complete 2-input cell
+/// (NAND2 is universal).
+#[must_use]
+pub fn map(aig: &Aig, lib: &CellLibrary) -> MappedNetlist {
+    map_with(aig, lib, MapStyle::DagAware)
+}
+
+/// Map with an explicit [`MapStyle`].
+///
+/// # Panics
+/// See [`map`].
+#[must_use]
+pub fn map_with(aig: &Aig, lib: &CellLibrary, style: MapStyle) -> MappedNetlist {
+    let n = aig.num_nodes();
+    let inv_area = lib.inverter().area_um2;
+
+    // Fanout counts (tree-local mode rejects cuts hiding multi-fanout
+    // internal nodes).
+    let mut fanout = vec![0u32; n];
+    for node in 0..n as u32 {
+        if let Some((a, b)) = aig.and_fanins(node) {
+            fanout[a.node() as usize] += 1;
+            fanout[b.node() as usize] += 1;
+        }
+    }
+    for (_, l) in aig.outputs() {
+        if !l.is_const() {
+            fanout[l.node() as usize] += 1;
+        }
+    }
+
+    // ---- cut enumeration -------------------------------------------------
+    let mut cuts: Vec<Vec<Vec<u32>>> = vec![Vec::new(); n];
+    for node in 0..n as u32 {
+        if aig.and_fanins(node).is_none() {
+            cuts[node as usize] = vec![vec![node]];
+            continue;
+        }
+        let (a, b) = aig.and_fanins(node).expect("and node");
+        let mut set: Vec<Vec<u32>> = Vec::new();
+        for ca in &cuts[a.node() as usize] {
+            for cb in &cuts[b.node() as usize] {
+                let mut merged: Vec<u32> = ca.clone();
+                for &l in cb {
+                    if !merged.contains(&l) {
+                        merged.push(l);
+                    }
+                }
+                if merged.len() <= MAX_LEAVES {
+                    merged.sort_unstable();
+                    if !set.contains(&merged) {
+                        set.push(merged);
+                    }
+                }
+            }
+        }
+        set.push(vec![node]);
+        set.sort_by_key(Vec::len);
+        set.truncate(CUTS_PER_NODE);
+        cuts[node as usize] = set;
+    }
+
+    // ---- matching + covering DP ------------------------------------------
+    // best[node][pol]: pol 0 = positive, 1 = negated.
+    let mut best = vec![[f64::INFINITY; 2]; n];
+    let mut choice: Vec<[Option<Choice>; 2]> = vec![[None, None]; n];
+    // Constant node: implemented by the output-port constant path.
+    best[0] = [0.0, 0.0];
+    for node in 1..n as u32 {
+        let ni = node as usize;
+        if aig.is_input(node) {
+            best[ni][0] = 0.0;
+            choice[ni][0] = Some(Choice::Wire);
+            best[ni][1] = inv_area;
+            choice[ni][1] = Some(Choice::Inv);
+            continue;
+        }
+        for cut in &cuts[ni] {
+            if cut.len() == 1 && cut[0] == node {
+                continue; // the trivial cut has no structure to match
+            }
+            if style == MapStyle::TreeLocal && !cone_is_tree(aig, node, cut, &fanout) {
+                continue;
+            }
+            let tt = cut_function(aig, node, cut);
+            let k = cut.len();
+            for (ci, cell) in lib.cells().iter().enumerate() {
+                if cell.arity != k {
+                    continue;
+                }
+                for perm in permutations(k) {
+                    for mask in 0..(1u32 << k) {
+                        let neg: Vec<bool> = (0..k).map(|j| (mask >> j) & 1 == 1).collect();
+                        let ctt = cell_tt3(cell.table, cell.arity, &perm, &neg);
+                        // Cost of the leaves in the polarity each pin needs.
+                        let mut leaf_cost = 0.0f64;
+                        for j in 0..k {
+                            let leaf = cut[perm[j]] as usize;
+                            leaf_cost += best[leaf][neg[j] as usize];
+                        }
+                        for pol in 0..2usize {
+                            let want = if pol == 0 { tt } else { !tt };
+                            if ctt == want {
+                                let cost = cell.area_um2 + leaf_cost;
+                                if cost < best[ni][pol] {
+                                    best[ni][pol] = cost;
+                                    choice[ni][pol] = Some(Choice::Match(CutMatch {
+                                        cut: cut.clone(),
+                                        cell: ci,
+                                        perm: perm.clone(),
+                                        neg: neg.clone(),
+                                    }));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Inverter relaxation between the two polarities.
+        for _ in 0..2 {
+            if best[ni][0] + inv_area < best[ni][1] {
+                best[ni][1] = best[ni][0] + inv_area;
+                choice[ni][1] = Some(Choice::Inv);
+            }
+            if best[ni][1] + inv_area < best[ni][0] {
+                best[ni][0] = best[ni][1] + inv_area;
+                choice[ni][0] = Some(Choice::Inv);
+            }
+        }
+        assert!(
+            best[ni][0].is_finite() && best[ni][1].is_finite(),
+            "unmappable node {node}: library must contain NAND2 + INV"
+        );
+    }
+
+    // ---- cover extraction -------------------------------------------------
+    let mut instances: Vec<Instance> = Vec::new();
+    let mut emitted: HashMap<MSig, usize> = HashMap::new();
+    let mut outputs: Vec<(String, MappedOutput)> = Vec::new();
+
+    fn emit(
+        aig: &Aig,
+        lib: &CellLibrary,
+        choice: &[[Option<Choice>; 2]],
+        want: MSig,
+        instances: &mut Vec<Instance>,
+        emitted: &mut HashMap<MSig, usize>,
+    ) {
+        if emitted.contains_key(&want) {
+            return;
+        }
+        if aig.is_input(want.node) && !want.negated {
+            return; // free wire
+        }
+        let ch = choice[want.node as usize][want.negated as usize]
+            .as_ref()
+            .expect("mapped choice");
+        match ch {
+            Choice::Wire => {}
+            Choice::Inv => {
+                let src = MSig {
+                    node: want.node,
+                    negated: !want.negated,
+                };
+                emit(aig, lib, choice, src, instances, emitted);
+                instances.push(Instance {
+                    cell: lib.inverter_index(),
+                    inputs: vec![src],
+                    output: want,
+                });
+                emitted.insert(want, instances.len() - 1);
+            }
+            Choice::Match(m) => {
+                let pins: Vec<MSig> = m
+                    .perm
+                    .iter()
+                    .zip(&m.neg)
+                    .map(|(&pi, &ng)| MSig {
+                        node: m.cut[pi],
+                        negated: ng,
+                    })
+                    .collect();
+                for p in &pins {
+                    emit(aig, lib, choice, *p, instances, emitted);
+                }
+                instances.push(Instance {
+                    cell: m.cell,
+                    inputs: pins,
+                    output: want,
+                });
+                emitted.insert(want, instances.len() - 1);
+            }
+        }
+    }
+
+    for (name, lit) in aig.outputs() {
+        if lit.is_const() {
+            outputs.push((name.clone(), MappedOutput::Const(*lit == Lit::TRUE)));
+            continue;
+        }
+        let want = MSig {
+            node: lit.node(),
+            negated: lit.compl(),
+        };
+        emit(aig, lib, &choice, want, &mut instances, &mut emitted);
+        outputs.push((name.clone(), MappedOutput::Sig(want)));
+    }
+
+    // ---- area + static timing ----------------------------------------------
+    let area_um2: f64 = instances
+        .iter()
+        .map(|i| lib.cells()[i.cell].area_um2)
+        .sum();
+    let mut arrival: HashMap<MSig, f64> = HashMap::new();
+    let mut delay_ns: f64 = 0.0;
+    for inst in &instances {
+        let cell = &lib.cells()[inst.cell];
+        let in_arr = inst
+            .inputs
+            .iter()
+            .map(|m| arrival.get(m).copied().unwrap_or(0.0))
+            .fold(0.0f64, f64::max);
+        let t = in_arr + cell.delay_ns;
+        arrival.insert(inst.output, t);
+        delay_ns = delay_ns.max(t);
+    }
+
+    MappedNetlist {
+        instances,
+        outputs,
+        num_inputs: aig.num_inputs(),
+        area_um2,
+        delay_ns,
+    }
+}
+
+/// Does the cone of `cut` under `node` form a fanout-free tree? (Every
+/// internal cone node except the root must have a single fanout.)
+fn cone_is_tree(aig: &Aig, node: u32, cut: &[u32], fanout: &[u32]) -> bool {
+    fn go(aig: &Aig, n: u32, root: u32, cut: &[u32], fanout: &[u32]) -> bool {
+        if cut.contains(&n) {
+            return true;
+        }
+        if n != root && fanout[n as usize] > 1 {
+            return false;
+        }
+        match aig.and_fanins(n) {
+            Some((a, b)) => {
+                go(aig, a.node(), root, cut, fanout) && go(aig, b.node(), root, cut, fanout)
+            }
+            None => true,
+        }
+    }
+    go(aig, node, node, cut, fanout)
+}
+
+/// Truth table (3-var, 8-bit) of `node`'s function over the leaves of
+/// `cut` (positive leaf variables).
+fn cut_function(aig: &Aig, node: u32, cut: &[u32]) -> u8 {
+    fn go(aig: &Aig, node: u32, cut: &[u32], memo: &mut HashMap<u32, u8>) -> u8 {
+        if let Some(pos) = cut.iter().position(|&l| l == node) {
+            return VAR_TT[pos];
+        }
+        if let Some(&tt) = memo.get(&node) {
+            return tt;
+        }
+        let (a, b) = aig
+            .and_fanins(node)
+            .expect("cut leaves must cover the cone");
+        let ta = go(aig, a.node(), cut, memo) ^ if a.compl() { 0xFF } else { 0 };
+        let tb = go(aig, b.node(), cut, memo) ^ if b.compl() { 0xFF } else { 0 };
+        let tt = ta & tb;
+        memo.insert(node, tt);
+        tt
+    }
+    let mut memo = HashMap::new();
+    go(aig, node, cut, &mut memo)
+}
+
+/// Expand a cell's truth table to the 3-variable domain with cell pin `j`
+/// reading cut variable `perm[j]`, complemented when `neg[j]`.
+fn cell_tt3(table: u8, arity: usize, perm: &[usize], neg: &[bool]) -> u8 {
+    let mut out = 0u8;
+    for m in 0..8usize {
+        let mut pins = 0usize;
+        for (j, &src) in perm.iter().enumerate().take(arity) {
+            if ((m >> src) & 1 == 1) != neg[j] {
+                pins |= 1 << j;
+            }
+        }
+        if (table >> pins) & 1 == 1 {
+            out |= 1 << m;
+        }
+    }
+    out
+}
+
+fn permutations(k: usize) -> Vec<Vec<usize>> {
+    match k {
+        1 => vec![vec![0]],
+        2 => vec![vec![0, 1], vec![1, 0]],
+        3 => vec![
+            vec![0, 1, 2],
+            vec![0, 2, 1],
+            vec![1, 0, 2],
+            vec![1, 2, 0],
+            vec![2, 0, 1],
+            vec![2, 1, 0],
+        ],
+        _ => unreachable!("cut width limited to 3"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logicnet::sim::{exhaustive_equivalence, Equivalence};
+    use logicnet::Network;
+
+    fn map_and_verify(net: &Network) -> MappedNetlist {
+        let lib = CellLibrary::paper_22nm();
+        let aig = Aig::from_network(net);
+        let mapped = map(&aig, &lib);
+        let names: Vec<String> = net
+            .inputs()
+            .iter()
+            .map(|&s| net.signal_name(s).to_string())
+            .collect();
+        let back = mapped.to_network(&lib, &names);
+        assert_eq!(
+            exhaustive_equivalence(net, &back),
+            Equivalence::Indistinguishable,
+            "mapping must preserve the function"
+        );
+        mapped
+    }
+
+    #[test]
+    fn maps_xor_to_single_cell() {
+        let mut net = Network::new("x");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let y = net.add_gate(GateOp::Xor, &[a, b]);
+        net.set_output("y", y);
+        let mapped = map_and_verify(&net);
+        assert_eq!(mapped.gate_count(), 1, "XOR2 should cover the cone");
+        let lib = CellLibrary::paper_22nm();
+        assert_eq!(lib.cells()[mapped.instances[0].cell].name, "XOR2");
+    }
+
+    #[test]
+    fn maps_majority_to_single_cell() {
+        let mut net = Network::new("m");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let y = net.add_gate(GateOp::Maj, &[a, b, c]);
+        net.set_output("y", y);
+        let mapped = map_and_verify(&net);
+        assert_eq!(mapped.gate_count(), 1, "MAJ3 should cover the cone");
+    }
+
+    #[test]
+    fn maps_full_adder_compactly() {
+        let mut net = Network::new("fa");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let ab = net.add_gate(GateOp::Xor, &[a, b]);
+        let s = net.add_gate(GateOp::Xor, &[ab, c]);
+        let m = net.add_gate(GateOp::Maj, &[a, b, c]);
+        net.set_output("s", s);
+        net.set_output("co", m);
+        let mapped = map_and_verify(&net);
+        assert!(
+            mapped.gate_count() <= 3,
+            "2×XOR2 + MAJ3 expected, got {}",
+            mapped.gate_count()
+        );
+        assert!(mapped.area_um2 > 0.0 && mapped.delay_ns > 0.0);
+    }
+
+    #[test]
+    fn maps_inverted_and_constant_outputs() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let y = net.add_gate(GateOp::Nand, &[a, b]);
+        let z = net.add_gate(GateOp::Not, &[a]);
+        let k = net.add_gate(GateOp::Const1, &[]);
+        net.set_output("y", y);
+        net.set_output("z", z);
+        net.set_output("k", k);
+        let mapped = map_and_verify(&net);
+        assert!(mapped.gate_count() <= 2, "NAND2 + INV expected");
+    }
+
+    #[test]
+    fn sta_delay_grows_with_chains() {
+        let lib = CellLibrary::paper_22nm();
+        // XOR chain over *distinct* inputs: cannot collapse, so deeper
+        // chains must report longer critical paths.
+        let mk = |len: usize| {
+            let mut net = Network::new("chain");
+            let mut s = net.add_input("a");
+            for i in 0..len {
+                let x = net.add_input(&format!("x{i}"));
+                s = net.add_gate(GateOp::Xor, &[s, x]);
+            }
+            net.set_output("y", s);
+            let aig = Aig::from_network(&net);
+            map(&aig, &lib).delay_ns
+        };
+        assert!(mk(9) > mk(1), "longer chains must be slower");
+    }
+
+    #[test]
+    fn shared_nodes_are_emitted_once() {
+        let mut net = Network::new("share");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let x = net.add_gate(GateOp::Xor, &[a, b]);
+        net.set_output("y1", x);
+        net.set_output("y2", x);
+        let mapped = map_and_verify(&net);
+        assert_eq!(mapped.gate_count(), 1, "shared output emitted once");
+    }
+}

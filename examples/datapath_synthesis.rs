@@ -1,0 +1,65 @@
+//! The paper's §V case study in miniature: use the BBDD package as a
+//! front-end to a standard-cell synthesis flow and compare against the
+//! same back-end without it.
+//!
+//! Run with: `cargo run --release --example datapath_synthesis`
+
+use benchgen::datapath::Datapath;
+use logicnet::sim::{random_equivalence, Equivalence};
+use synthkit::cells::CellLibrary;
+use synthkit::flow::{synthesize_bbdd_first_with, synthesize_direct_with};
+use synthkit::mapper::MapStyle;
+
+fn main() {
+    let lib = CellLibrary::paper_22nm();
+    println!("Library: {} cells (22 nm characterization)", lib.cells().len());
+    for cell in lib.cells() {
+        println!(
+            "  {:<6} area {:.3} um2, delay {:.3} ns",
+            cell.name, cell.area_um2, cell.delay_ns
+        );
+    }
+
+    println!(
+        "\n{:<14} | {:>26} | {:>26}",
+        "datapath", "BBDD front-end + backend", "backend alone"
+    );
+    println!("{}", "-".repeat(76));
+    for dp in [
+        Datapath::Adder { width: 16 },
+        Datapath::Equality { width: 16 },
+        Datapath::Magnitude { width: 16 },
+    ] {
+        // The operator-expanded netlist a commercial generator produces.
+        let net = dp.commercial_implementation();
+        let direct = synthesize_direct_with(&net, &lib, MapStyle::TreeLocal);
+        let (bbdd_flow, info) = synthesize_bbdd_first_with(&net, &lib, true, MapStyle::TreeLocal);
+
+        // Both results must implement the original function.
+        let names: Vec<String> = net
+            .inputs()
+            .iter()
+            .map(|&s| net.signal_name(s).to_string())
+            .collect();
+        for mapped in [&direct.mapped, &bbdd_flow.mapped] {
+            assert_eq!(
+                random_equivalence(&net, &mapped.to_network(&lib, &names), 8, 7),
+                Equivalence::Indistinguishable
+            );
+        }
+
+        println!(
+            "{:<14} | {:>7.2} um2 {:>6.3} ns {:>4}g | {:>7.2} um2 {:>6.3} ns {:>4}g   (BBDD {}→{} nodes)",
+            dp.label(),
+            bbdd_flow.area_um2,
+            bbdd_flow.delay_ns,
+            bbdd_flow.gate_count,
+            direct.area_um2,
+            direct.delay_ns,
+            direct.gate_count,
+            info.nodes_built,
+            info.nodes_sifted,
+        );
+    }
+    println!("\nBoth flows verified equivalent to the RTL by randomized simulation.");
+}

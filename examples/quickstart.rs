@@ -1,0 +1,61 @@
+//! Quickstart: build, query, reorder and export Biconditional BDDs.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use bbdd::{Bbdd, BoolOp};
+
+fn main() {
+    // A manager over 6 variables: a 3-bit equality comparator
+    // (a2=b2)∧(a1=b1)∧(a0=b0) with operands interleaved.
+    let mut mgr = Bbdd::new(6);
+    let mut eq = mgr.one();
+    for i in (0..3).rev() {
+        let a = mgr.var(2 * i);
+        let b = mgr.var(2 * i + 1);
+        let bit_eq = mgr.xnor(a, b);
+        eq = mgr.and(eq, bit_eq);
+    }
+
+    println!("3-bit equality comparator");
+    println!("  node count      : {}", mgr.node_count(eq));
+    println!("  satisfying assignments: {} of 64", mgr.sat_count(eq));
+    println!(
+        "  eval a=5,b=5    : {}",
+        mgr.eval(eq, &[true, true, false, false, true, true])
+    );
+    println!(
+        "  eval a=5,b=4    : {}",
+        mgr.eval(eq, &[true, true, false, false, true, false])
+    );
+
+    // Negation is free (complement edges), and the representation is
+    // canonical: same function ⟹ same edge.
+    let neq_direct = !eq;
+    let one = mgr.one();
+    let neq_built = mgr.apply(BoolOp::XOR, eq, one);
+    assert_eq!(neq_direct, neq_built);
+    println!("  canonicity      : ¬f built two ways is one edge ✓");
+
+    // The biconditional expansion makes parity linear — half the size a
+    // BDD needs.
+    let mut parity = mgr.zero();
+    for v in 0..6 {
+        let lit = mgr.var(v);
+        parity = mgr.xor(parity, lit);
+    }
+    println!("6-input parity");
+    println!("  node count      : {} (a BDD needs 6)", mgr.node_count(parity));
+
+    // Reordering: scramble the order, then let sifting recover it.
+    mgr.reorder_to(&[0, 2, 4, 1, 3, 5]);
+    let scrambled = mgr.node_count(eq);
+    mgr.sift(&[eq, parity]);
+    println!("comparator after scramble: {scrambled} nodes; after sifting: {} nodes", mgr.node_count(eq));
+
+    // Export for graphviz.
+    let dot = mgr.to_dot(&[eq, parity], &["eq3", "parity6"]);
+    println!(
+        "\nDOT export: {} bytes (pipe into `dot -Tpng` to render)",
+        dot.len()
+    );
+}

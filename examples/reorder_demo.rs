@@ -1,0 +1,48 @@
+//! Chain-variable reordering in action: a comparator built with a hostile
+//! variable order shrinks by orders of magnitude under sifting (§IV-A4).
+//!
+//! Run with: `cargo run --release --example reorder_demo`
+
+use bbdd::Bbdd;
+use robdd::Robdd;
+
+fn main() {
+    let k = 8; // operand width
+    println!("{k}-bit equality comparator, hostile order (all a-bits above all b-bits)\n");
+
+    // BBDD.
+    let mut mgr = Bbdd::new(2 * k);
+    let mut eq = mgr.one();
+    for i in 0..k {
+        let a = mgr.var(i);
+        let b = mgr.var(i + k);
+        let x = mgr.xnor(a, b);
+        eq = mgr.and(eq, x);
+    }
+    let before = mgr.node_count(eq);
+    mgr.sift(&[eq]);
+    let after = mgr.node_count(eq);
+    println!("BBDD : {before:>6} nodes → {after:>4} nodes after sifting");
+    println!("       final order: {:?}", mgr.order());
+
+    // ROBDD, for contrast.
+    let mut bdd = Robdd::new(2 * k);
+    let mut beq = bdd.one();
+    for i in 0..k {
+        let a = bdd.var(i);
+        let b = bdd.var(i + k);
+        let x = bdd.xnor(a, b);
+        beq = bdd.and(beq, x);
+    }
+    let bbefore = bdd.node_count(beq);
+    bdd.sift(&[beq]);
+    let bafter = bdd.node_count(beq);
+    println!("ROBDD: {bbefore:>6} nodes → {bafter:>4} nodes after sifting");
+
+    println!(
+        "\nWith interleaved operands the equality BBDD is one XNOR-chain node per \
+         bit ({k} nodes) — the biconditional expansion absorbs each (aᵢ,bᵢ) pair, \
+         which is why comparators are the paper's flagship workload."
+    );
+    assert!(after <= bafter, "BBDD must not lose to the BDD here");
+}

@@ -1,0 +1,24 @@
+//! Umbrella crate for the BBDD reproduction suite.
+//!
+//! This crate re-exports the workspace members so that the runnable
+//! `examples/` and the cross-crate integration `tests/` at the repository
+//! root can exercise the whole system through one dependency:
+//!
+//! * [`bbdd`] — the Biconditional BDD manipulation package (the paper's
+//!   primary contribution);
+//! * [`robdd`] — the CUDD-style ROBDD baseline package;
+//! * [`logicnet`] — logic-network IR with BLIF / structural-Verilog I/O;
+//! * [`benchgen`] — MCNC stand-in and datapath benchmark generators;
+//! * [`synthkit`] — cell library, technology mapper, static timing and the
+//!   BBDD datapath-rewriting front-end;
+//! * [`ddcore`] — shared table/cache/hash infrastructure.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+
+pub use bbdd;
+pub use benchgen;
+pub use ddcore;
+pub use logicnet;
+pub use robdd;
+pub use synthkit;
