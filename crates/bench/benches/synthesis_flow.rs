@@ -18,13 +18,9 @@ fn bench_flows(c: &mut Criterion) {
         Datapath::Equality { width: 16 },
     ] {
         let net = dp.commercial_implementation();
-        group.bench_with_input(
-            BenchmarkId::new("direct", dp.label()),
-            &net,
-            |b, net| {
-                b.iter(|| synthesize_direct_with(net, &lib, MapStyle::TreeLocal).gate_count);
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("direct", dp.label()), &net, |b, net| {
+            b.iter(|| synthesize_direct_with(net, &lib, MapStyle::TreeLocal).gate_count);
+        });
         group.bench_with_input(
             BenchmarkId::new("bbdd_front_end", dp.label()),
             &net,

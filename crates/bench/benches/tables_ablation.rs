@@ -6,11 +6,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ddcore::cantor::CantorHasher;
 use ddcore::fxhash::FxHasher;
-use ddcore::table::{BucketTable, TableKey};
+use ddcore::table::{BucketTable, OpenTable, TableKey};
 use ddcore::ComputedCache;
 use std::hash::Hasher as _;
 
-#[derive(Clone, Copy, PartialEq, Eq)]
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
 struct CantorKey(u32, u32, u32);
 impl TableKey for CantorKey {
     fn table_hash(&self, h: &CantorHasher) -> u64 {
@@ -20,7 +20,7 @@ impl TableKey for CantorKey {
 
 /// The same key hashed with the Fx multiplicative hash instead of the
 /// paper's nested Cantor pairing.
-#[derive(Clone, Copy, PartialEq, Eq)]
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
 struct FxKey(u32, u32, u32);
 impl TableKey for FxKey {
     fn table_hash(&self, _h: &CantorHasher) -> u64 {
@@ -35,7 +35,7 @@ impl TableKey for FxKey {
 /// Node-tuple-like key distribution: children ids clustered (locality) with
 /// occasional far references, complement bits in the low bit.
 fn keys(n: usize) -> Vec<(u32, u32, u32)> {
-    let mut state = 0x1234_5678_9ABC_DEFu64 | 1;
+    let mut state = 0x0123_4567_89AB_CDEFu64 | 1;
     (0..n)
         .map(|i| {
             state = state
@@ -43,7 +43,11 @@ fn keys(n: usize) -> Vec<(u32, u32, u32)> {
                 .wrapping_add(1442695040888963407);
             let near = (i as u32).saturating_sub((state >> 40) as u32 % 64);
             let far = (state >> 20) as u32 % (i as u32 + 1);
-            (near << 1 | (state >> 5 & 1) as u32, far << 1, (state >> 60) as u32 & 1)
+            (
+                near << 1 | (state >> 5 & 1) as u32,
+                far << 1,
+                (state >> 60) as u32 & 1,
+            )
         })
         .collect()
 }
@@ -69,6 +73,39 @@ fn bench_unique_table_hashing(c: &mut Criterion) {
             let mut t: BucketTable<FxKey> = BucketTable::new(64);
             for (i, &(x, y, z)) in data.iter().enumerate() {
                 let k = FxKey(x, y, z);
+                if t.get(&k).is_none() {
+                    t.insert(k, i as u32);
+                }
+            }
+            t.len()
+        });
+    });
+    group.finish();
+}
+
+/// Chained vs open-addressed unique table on the same key trace — the
+/// head-to-head behind the `chained_tables` feature flag.
+fn bench_table_layout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unique_table_layout");
+    group.sample_size(20);
+    let data = keys(100_000);
+    group.bench_function("chained_bucket", |b| {
+        b.iter(|| {
+            let mut t: BucketTable<CantorKey> = BucketTable::new(64);
+            for (i, &(x, y, z)) in data.iter().enumerate() {
+                let k = CantorKey(x, y, z);
+                if t.get(&k).is_none() {
+                    t.insert(k, i as u32);
+                }
+            }
+            t.len()
+        });
+    });
+    group.bench_function("open_addressed", |b| {
+        b.iter(|| {
+            let mut t: OpenTable<CantorKey> = OpenTable::new(64);
+            for (i, &(x, y, z)) in data.iter().enumerate() {
+                let k = CantorKey(x, y, z);
                 if t.get(&k).is_none() {
                     t.insert(k, i as u32);
                 }
@@ -121,6 +158,7 @@ fn bench_end_to_end_build(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_unique_table_hashing,
+    bench_table_layout,
     bench_cache_size_sensitivity,
     bench_end_to_end_build
 );

@@ -1,0 +1,177 @@
+//! Machine-readable performance baseline for the storage layer.
+//!
+//! Runs the Table-I quick subset (build + sift for both packages), the
+//! Fig.-2 swap-throughput harness and two apply-throughput workloads (one
+//! cache-resident, one far past it), then writes `BENCH_ops.json` so later
+//! PRs have a perf trajectory to compare against.
+//!
+//! Usage: `cargo run --release -p bbdd-bench --bin baseline [-- out.json]`
+//! (add `--features chained_tables` for the seed-table ablation variant).
+
+use bbdd::{Bbdd, BoolOp, Edge};
+use bbdd_bench::{fig2, table1, timed};
+use benchgen::mcnc;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Repeat `f`, keeping the minimum wall-clock seconds.
+fn min_time(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..reps {
+        let (_, s) = timed(&mut f);
+        best = best.min(s);
+    }
+    best
+}
+
+fn random_function(mgr: &mut Bbdd, n: usize, seed: u64, ops: usize) -> Edge {
+    let vs: Vec<Edge> = (0..n).map(|v| mgr.var(v)).collect();
+    let table = [
+        BoolOp::XOR,
+        BoolOp::AND,
+        BoolOp::OR,
+        BoolOp::XNOR,
+        BoolOp::NAND,
+    ];
+    let mut state = seed | 1;
+    let mut f = vs[0];
+    for _ in 0..ops {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let op = table[(state >> 33) as usize % table.len()];
+        let v = vs[(state >> 18) as usize % n];
+        f = mgr.apply(op, f, v);
+    }
+    f
+}
+
+/// Sustained pairwise-AND throughput over 24 random 20-variable functions.
+fn apply_throughput_ns() -> f64 {
+    let n = 20;
+    let t0 = Instant::now();
+    let mut total = 0u64;
+    while t0.elapsed().as_secs_f64() < 2.0 {
+        let mut mgr = Bbdd::new(n);
+        let fs: Vec<Edge> = (0..24)
+            .map(|k| random_function(&mut mgr, n, 0x1111 * (k + 1) as u64, 4 * n))
+            .collect();
+        for i in 0..fs.len() {
+            for j in (i + 1)..fs.len() {
+                std::hint::black_box(mgr.and(fs[i], fs[j]));
+                total += 1;
+            }
+        }
+    }
+    t0.elapsed().as_secs_f64() * 1e9 / total as f64
+}
+
+/// XOR-accumulation over 26 variables: ~650k live nodes, tables far past
+/// the cache hierarchy.
+fn big_apply_ms() -> (f64, usize) {
+    let n = 26;
+    let mut best = f64::MAX;
+    let mut live = 0;
+    for round in 0..2u64 {
+        let t = Instant::now();
+        let mut mgr = Bbdd::new(n);
+        let mut acc = random_function(&mut mgr, n, 0xF00D + round, 12 * n);
+        for k in 0..12u64 {
+            let g = random_function(&mut mgr, n, 0xBEEF * (k + 1) + round, 12 * n);
+            acc = mgr.xor(acc, g);
+        }
+        std::hint::black_box(acc);
+        live = mgr.live_nodes();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    (best * 1e3, live)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_ops.json".to_string());
+    let variant = if cfg!(feature = "chained_tables") {
+        "chained_tables"
+    } else {
+        "open_tables"
+    };
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"variant\": \"{variant}\",");
+
+    // Quick Table-I subset: build + sift, both packages.
+    let quick = ["my_adder", "comp", "misex1", "9symml", "parity", "cordic"];
+    let _ = writeln!(json, "  \"table1_quick\": [");
+    for (idx, name) in quick.iter().enumerate() {
+        let net = mcnc::generate(name).expect("known benchmark");
+        let build_bbdd = min_time(5, || {
+            let mut mgr = Bbdd::new(net.num_inputs());
+            std::hint::black_box(logicnet::build::build_network(&mut mgr, &net));
+        });
+        let build_robdd = min_time(5, || {
+            let mut mgr = robdd::Robdd::new(net.num_inputs());
+            std::hint::black_box(logicnet::build::build_network(&mut mgr, &net));
+        });
+        let sift_bbdd = min_time(5, || {
+            let mut mgr = Bbdd::new(net.num_inputs());
+            let roots = logicnet::build::build_network(&mut mgr, &net);
+            mgr.sift(&roots);
+        });
+        let sift_robdd = min_time(5, || {
+            let mut mgr = robdd::Robdd::new(net.num_inputs());
+            let roots = logicnet::build::build_network(&mut mgr, &net);
+            mgr.sift(&roots);
+        });
+        let comma = if idx + 1 < quick.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{name}\", \"bbdd_build_us\": {:.2}, \"robdd_build_us\": {:.2}, \
+             \"bbdd_build_sift_us\": {:.2}, \"robdd_build_sift_us\": {:.2}}}{comma}",
+            build_bbdd * 1e6,
+            build_robdd * 1e6,
+            sift_bbdd * 1e6,
+            sift_robdd * 1e6,
+        );
+        eprintln!("table1 {name}: done");
+    }
+    let _ = writeln!(json, "  ],");
+
+    // One full Table-I row through the serialization pipeline, for node
+    // counts (sizes are deterministic; timing is covered above).
+    let row = table1::run_row(&mcnc::TABLE1[0]);
+    let _ = writeln!(
+        json,
+        "  \"table1_row_{}\": {{\"bbdd_nodes\": {}, \"bdd_nodes\": {}, \"ratio\": {:.4}}},",
+        row.name,
+        row.bbdd_nodes,
+        row.bdd_nodes,
+        row.node_ratio()
+    );
+
+    // Fig. 2 swap throughput.
+    let sw = fig2::swap_throughput(16, 0xDA7E);
+    let _ = writeln!(
+        json,
+        "  \"fig2_swap\": {{\"vars\": {}, \"live_nodes\": {}, \"swaps_per_s\": {:.0}}},",
+        sw.vars,
+        sw.live_nodes,
+        sw.swaps as f64 / sw.seconds
+    );
+
+    // Apply throughput, small and large scale.
+    let ns = apply_throughput_ns();
+    let _ = writeln!(json, "  \"apply_and_n20_ns\": {ns:.1},");
+    eprintln!("apply throughput: done");
+    let (ms, live) = big_apply_ms();
+    let _ = writeln!(
+        json,
+        "  \"big_apply_n26\": {{\"ms\": {ms:.1}, \"live_nodes\": {live}}}"
+    );
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&out_path, &json).expect("write baseline json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

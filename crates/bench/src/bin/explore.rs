@@ -10,7 +10,10 @@ fn main() {
     } else {
         args.iter().map(String::as_str).collect()
     };
-    println!("{:<10} {:>12} {:>12} {:>12} {:>12}", "bench", "BBDD built", "BBDD sifted", "BDD built", "BDD sifted");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12}",
+        "bench", "BBDD built", "BBDD sifted", "BDD built", "BDD sifted"
+    );
     for name in names {
         let Some(net) = benchgen::mcnc::generate(name) else {
             eprintln!("unknown benchmark {name}");
@@ -26,7 +29,11 @@ fn main() {
         bd.sift(&rd);
         println!(
             "{:<10} {:>12} {:>12} {:>12} {:>12}",
-            name, bb_built, bb.shared_node_count(&rb), bd_built, bd.shared_node_count(&rd)
+            name,
+            bb_built,
+            bb.shared_node_count(&rb),
+            bd_built,
+            bd.shared_node_count(&rd)
         );
     }
 }

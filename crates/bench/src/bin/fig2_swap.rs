@@ -7,15 +7,25 @@ fn main() {
     if exhaustive {
         println!("Exhaustive 4-variable window check (all 65536 functions)…");
         let c = fig2::exhaustive_window_check();
-        println!("ok: {} functions, {} swaps, all functions preserved", c.functions, c.swaps);
+        println!(
+            "ok: {} functions, {} swaps, all functions preserved",
+            c.functions, c.swaps
+        );
     }
     println!("\nSwap throughput (two full sweeps of one variable):");
-    println!("{:>6} {:>10} {:>8} {:>10} {:>12}", "vars", "live", "swaps", "secs", "swaps/s");
+    println!(
+        "{:>6} {:>10} {:>8} {:>10} {:>12}",
+        "vars", "live", "swaps", "secs", "swaps/s"
+    );
     for n in [8usize, 12, 16, 20, 24] {
         let t = fig2::swap_throughput(n, 0xF16 + n as u64);
         println!(
             "{:>6} {:>10} {:>8} {:>10.4} {:>12.0}",
-            t.vars, t.live_nodes, t.swaps, t.seconds, t.swaps as f64 / t.seconds
+            t.vars,
+            t.live_nodes,
+            t.swaps,
+            t.seconds,
+            t.swaps as f64 / t.seconds
         );
     }
 }

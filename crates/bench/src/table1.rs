@@ -136,7 +136,15 @@ pub fn render(rows: &[Row]) -> String {
     let _ = writeln!(
         out,
         "{:<10} {:>4} {:>4} | {:>10} {:>9} {:>9} | {:>10} {:>9} {:>9}",
-        "Benchmark", "PI", "PO", "BBDD nodes", "build(s)", "sift(s)", "BDD nodes", "build(s)", "sift(s)"
+        "Benchmark",
+        "PI",
+        "PO",
+        "BBDD nodes",
+        "build(s)",
+        "sift(s)",
+        "BDD nodes",
+        "build(s)",
+        "sift(s)"
     );
     let _ = writeln!(out, "{}", "-".repeat(96));
     for r in rows {

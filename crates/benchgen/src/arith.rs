@@ -38,10 +38,7 @@ pub fn ripple_add(
 /// Two's-complement subtraction `a - b` via `a + ¬b + 1`; returns
 /// `(difference, carry_out)` (carry-out set ⇔ no borrow ⇔ `a ≥ b`).
 pub fn ripple_sub(net: &mut Network, a: &[Signal], b: &[Signal]) -> (Vec<Signal>, Signal) {
-    let nb: Vec<Signal> = b
-        .iter()
-        .map(|&x| net.add_gate(GateOp::Not, &[x]))
-        .collect();
+    let nb: Vec<Signal> = b.iter().map(|&x| net.add_gate(GateOp::Not, &[x])).collect();
     let one = net.add_gate(GateOp::Const1, &[]);
     ripple_add(net, a, &nb, Some(one))
 }

@@ -161,7 +161,10 @@ pub fn magnitude(width: usize) -> Network {
 /// Panics unless `width` is a power of two ≥ 4.
 #[must_use]
 pub fn barrel(width: usize) -> Network {
-    assert!(width.is_power_of_two() && width >= 4, "width must be 2^k ≥ 4");
+    assert!(
+        width.is_power_of_two() && width >= 4,
+        "width must be 2^k ≥ 4"
+    );
     let stages = width.trailing_zeros() as usize;
     let mut net = Network::new(&format!("barrel{width}"));
     // Shift controls first: decision diagrams branch on the select tree
@@ -239,10 +242,7 @@ pub fn magnitude_via_subtractor(width: usize) -> Network {
     let mut net = Network::new(&format!("magnitude_sub{width}"));
     let (a, b) = operands_interleaved(&mut net, "a", "b", width);
     // b - a = b + ¬a + 1; carry-out == 1 ⇔ b ≥ a, so gt = ¬carry.
-    let na: Vec<Signal> = a
-        .iter()
-        .map(|&x| net.add_gate(GateOp::Not, &[x]))
-        .collect();
+    let na: Vec<Signal> = a.iter().map(|&x| net.add_gate(GateOp::Not, &[x])).collect();
     let one = net.add_gate(GateOp::Const1, &[]);
     let (_diff, cout) = arith::ripple_add(&mut net, &b, &na, Some(one));
     let gt = net.add_gate(GateOp::Not, &[cout]);

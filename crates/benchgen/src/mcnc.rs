@@ -24,23 +24,91 @@ pub struct McncBench {
 
 /// The 17 benchmarks of Table I in paper order.
 pub const TABLE1: [McncBench; 17] = [
-    McncBench { name: "C1355", inputs: 41, outputs: 32 },
-    McncBench { name: "C1908", inputs: 33, outputs: 25 },
-    McncBench { name: "C499", inputs: 41, outputs: 32 },
-    McncBench { name: "seq", inputs: 41, outputs: 35 },
-    McncBench { name: "my_adder", inputs: 33, outputs: 17 },
-    McncBench { name: "frg1", inputs: 28, outputs: 3 },
-    McncBench { name: "misex3", inputs: 14, outputs: 14 },
-    McncBench { name: "misex1", inputs: 8, outputs: 7 },
-    McncBench { name: "comp", inputs: 32, outputs: 3 },
-    McncBench { name: "count", inputs: 35, outputs: 16 },
-    McncBench { name: "cordic", inputs: 23, outputs: 2 },
-    McncBench { name: "alu4", inputs: 14, outputs: 8 },
-    McncBench { name: "C17", inputs: 5, outputs: 2 },
-    McncBench { name: "9symml", inputs: 9, outputs: 1 },
-    McncBench { name: "z4ml", inputs: 7, outputs: 4 },
-    McncBench { name: "decod", inputs: 5, outputs: 16 },
-    McncBench { name: "parity", inputs: 16, outputs: 1 },
+    McncBench {
+        name: "C1355",
+        inputs: 41,
+        outputs: 32,
+    },
+    McncBench {
+        name: "C1908",
+        inputs: 33,
+        outputs: 25,
+    },
+    McncBench {
+        name: "C499",
+        inputs: 41,
+        outputs: 32,
+    },
+    McncBench {
+        name: "seq",
+        inputs: 41,
+        outputs: 35,
+    },
+    McncBench {
+        name: "my_adder",
+        inputs: 33,
+        outputs: 17,
+    },
+    McncBench {
+        name: "frg1",
+        inputs: 28,
+        outputs: 3,
+    },
+    McncBench {
+        name: "misex3",
+        inputs: 14,
+        outputs: 14,
+    },
+    McncBench {
+        name: "misex1",
+        inputs: 8,
+        outputs: 7,
+    },
+    McncBench {
+        name: "comp",
+        inputs: 32,
+        outputs: 3,
+    },
+    McncBench {
+        name: "count",
+        inputs: 35,
+        outputs: 16,
+    },
+    McncBench {
+        name: "cordic",
+        inputs: 23,
+        outputs: 2,
+    },
+    McncBench {
+        name: "alu4",
+        inputs: 14,
+        outputs: 8,
+    },
+    McncBench {
+        name: "C17",
+        inputs: 5,
+        outputs: 2,
+    },
+    McncBench {
+        name: "9symml",
+        inputs: 9,
+        outputs: 1,
+    },
+    McncBench {
+        name: "z4ml",
+        inputs: 7,
+        outputs: 4,
+    },
+    McncBench {
+        name: "decod",
+        inputs: 5,
+        outputs: 16,
+    },
+    McncBench {
+        name: "parity",
+        inputs: 16,
+        outputs: 1,
+    },
 ];
 
 /// Generate a benchmark by name; `None` for unknown names.
@@ -52,20 +120,52 @@ pub fn generate(name: &str) -> Option<Network> {
         "C1908" => c1908(),
         "seq" => generate_pla(
             "seq",
-            &PlaSpec { inputs: 41, outputs: 35, cubes: 120, seed: 0x5EC, templates: 10, xor_outputs: 14, pair_factor_pct: 0 },
+            &PlaSpec {
+                inputs: 41,
+                outputs: 35,
+                cubes: 120,
+                seed: 0x5EC,
+                templates: 10,
+                xor_outputs: 14,
+                pair_factor_pct: 0,
+            },
         ),
         "my_adder" => my_adder(),
         "frg1" => generate_pla(
             "frg1",
-            &PlaSpec { inputs: 28, outputs: 3, cubes: 60, seed: 0xF261, templates: 6, xor_outputs: 1, pair_factor_pct: 0 },
+            &PlaSpec {
+                inputs: 28,
+                outputs: 3,
+                cubes: 60,
+                seed: 0xF261,
+                templates: 6,
+                xor_outputs: 1,
+                pair_factor_pct: 0,
+            },
         ),
         "misex3" => generate_pla(
             "misex3",
-            &PlaSpec { inputs: 14, outputs: 14, cubes: 80, seed: 0x3153, templates: 8, xor_outputs: 2, pair_factor_pct: 0 },
+            &PlaSpec {
+                inputs: 14,
+                outputs: 14,
+                cubes: 80,
+                seed: 0x3153,
+                templates: 8,
+                xor_outputs: 2,
+                pair_factor_pct: 0,
+            },
         ),
         "misex1" => generate_pla(
             "misex1",
-            &PlaSpec { inputs: 8, outputs: 7, cubes: 20, seed: 0x3151, templates: 4, xor_outputs: 1, pair_factor_pct: 0 },
+            &PlaSpec {
+                inputs: 8,
+                outputs: 7,
+                cubes: 20,
+                seed: 0x3151,
+                templates: 4,
+                xor_outputs: 1,
+                pair_factor_pct: 0,
+            },
         ),
         "comp" => comp(),
         "count" => count(),
@@ -142,6 +242,7 @@ fn c499_like(name: &str, nand_expanded: bool) -> Network {
         .map(|&s| net.add_gate(GateOp::Not, &[s]))
         .collect();
     // Correct data bit i when the syndrome equals its codeword.
+    #[allow(clippy::needless_range_loop)]
     for i in 0..32 {
         let cw = codeword(i);
         let mut lits: Vec<Signal> = (0..8)
@@ -185,10 +286,17 @@ fn c1908() -> Network {
         .iter()
         .map(|&s| net.add_gate(GateOp::Not, &[s]))
         .collect();
+    #[allow(clippy::needless_range_loop)]
     for i in 0..16 {
         let cw = code(i);
         let mut lits: Vec<Signal> = (0..8)
-            .map(|j| if (cw >> j) & 1 == 1 { syndrome[j] } else { nsyndrome[j] })
+            .map(|j| {
+                if (cw >> j) & 1 == 1 {
+                    syndrome[j]
+                } else {
+                    nsyndrome[j]
+                }
+            })
             .collect();
         lits.push(ctl[8]);
         let hit = net.add_gate(GateOp::And, &lits);

@@ -58,7 +58,9 @@ pub fn generate_pla(name: &str, spec: &PlaSpec) -> Network {
     // Product plane. Cube encoding per input: 0 = positive literal,
     // 1 = negative literal, 2 = don't care.
     let draw_mask = |rng: &mut SplitMix64| -> Vec<u8> {
-        (0..spec.inputs).map(|_| (rng.next_u64() % 3) as u8).collect()
+        (0..spec.inputs)
+            .map(|_| (rng.next_u64() % 3) as u8)
+            .collect()
     };
     let templates: Vec<Vec<u8>> = (0..spec.templates).map(|_| draw_mask(&mut rng)).collect();
     let mut terms: Vec<Signal> = Vec::with_capacity(spec.cubes);
@@ -80,10 +82,7 @@ pub fn generate_pla(name: &str, spec: &PlaSpec) -> Network {
         let mut i = 0usize;
         while i < mask.len() {
             // Comparison factor over the adjacent pair (i, i+1)?
-            if i + 1 < mask.len()
-                && mask[i] != 2
-                && rng.next_u64() % 100 < spec.pair_factor_pct
-            {
+            if i + 1 < mask.len() && mask[i] != 2 && rng.next_u64() % 100 < spec.pair_factor_pct {
                 let op = if rng.next_u64() & 1 == 0 {
                     GateOp::Xnor
                 } else {
@@ -110,15 +109,11 @@ pub fn generate_pla(name: &str, spec: &PlaSpec) -> Network {
 
     // Or plane: every output picks ~ cubes/3 terms (at least one); the
     // first `xor_outputs` outputs combine two groups with XOR.
-    fn pick_group(
-        net: &mut Network,
-        terms: &[Signal],
-        rng: &mut SplitMix64,
-    ) -> Signal {
+    fn pick_group(net: &mut Network, terms: &[Signal], rng: &mut SplitMix64) -> Signal {
         let chosen: Vec<Signal> = terms
             .iter()
             .copied()
-            .filter(|_| rng.next_u64() % 3 == 0)
+            .filter(|_| rng.next_u64().is_multiple_of(3))
             .collect();
         match chosen.len() {
             0 => terms[(rng.next_u64() % terms.len() as u64) as usize],

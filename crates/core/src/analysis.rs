@@ -28,6 +28,7 @@ impl Bbdd {
         let mut assignment = vec![false; n];
         let mut g = f;
         // Restrict variable by variable, keeping a satisfiable branch.
+        #[allow(clippy::needless_range_loop)]
         for v in 0..n {
             let g1 = self.restrict(g, v, true);
             if g1 != Edge::ZERO {
@@ -52,13 +53,17 @@ impl Bbdd {
         let n = self.num_vars();
         assert!(n <= 24, "truth tables limited to 24 variables");
         let bits = 1usize << n;
-        assert!(table.len() * 64 >= bits, "table too short for {n} variables");
+        assert!(
+            table.len() * 64 >= bits,
+            "table too short for {n} variables"
+        );
         self.from_tt_rec(table, 0, bits)
     }
 
     /// Build the function of table segment `[lo, lo+len)` over the
     /// variables `0..log2(len)` — Shannon decomposition on the highest
     /// variable of the segment.
+    #[allow(clippy::wrong_self_convention)]
     fn from_tt_rec(&mut self, table: &[u64], lo: usize, len: usize) -> Edge {
         if len == 1 {
             let bit = (table[lo / 64] >> (lo % 64)) & 1 == 1;
@@ -111,8 +116,8 @@ impl Bbdd {
                 continue;
             }
             let n = self.node(id);
-            profile[n.level as usize] += 1;
-            for child in [n.neq, n.eq] {
+            profile[n.level() as usize] += 1;
+            for child in [n.neq(), n.eq()] {
                 if !child.is_constant() {
                     stack.push(child.node());
                 }
@@ -153,7 +158,13 @@ mod tests {
         // maj(a, b, c) ⊕ d as a 16-bit table.
         let mut table = 0u64;
         for m in 0..16u64 {
-            let (a, b, c, d) = (m & 1 == 1, m >> 1 & 1 == 1, m >> 2 & 1 == 1, m >> 3 & 1 == 1);
+            let (a, b, c, d) = (
+                m & 1 == 1,
+                m >> 1 & 1 == 1,
+                m >> 2 & 1 == 1,
+                m >> 3 & 1 == 1,
+            );
+            #[allow(clippy::nonminimal_bool)]
             let maj = (a && b) || (b && c) || (a && c);
             if maj ^ d {
                 table |= 1 << m;
@@ -218,8 +229,10 @@ mod auto_reorder_tests {
         // Re-armed above the new size: an immediate second call is a no-op.
         assert!(!mgr.reorder_if_needed(&[f]));
         // Function intact.
-        assert!(mgr.eval(f, &[true, false, true, false, true, false,
-                             true, false, true, false, true, false]));
+        assert!(mgr.eval(
+            f,
+            &[true, false, true, false, true, false, true, false, true, false, true, false]
+        ));
     }
 
     #[test]

@@ -16,9 +16,9 @@
 //! Negation is free (complement attribute), and `ite` provides the ternary
 //! operator used by `restrict` and the netlist builders.
 
-use ddcore::boolop::{BoolOp, Unary};
 use crate::edge::Edge;
 use crate::manager::Bbdd;
+use ddcore::boolop::{BoolOp, Unary};
 
 /// Computed-table tag space: 0..=15 for `apply` (the operator table), 16
 /// for `ite`.
@@ -135,8 +135,8 @@ impl Bbdd {
         }
 
         // (γ) recurse on the biconditional expansion at the top level.
-        let lf = self.node(f.node()).level;
-        let lg = self.node(g.node()).level;
+        let lf = self.node(f.node()).level();
+        let lg = self.node(g.node()).level();
         let i = lf.max(lg);
         let (fd, fe) = self.cofactors(f, i);
         let (gd, ge) = self.cofactors(g, i);
@@ -209,7 +209,7 @@ impl Bbdd {
         if let Some(r) = self.cache.get(k1, k2, TAG_ITE) {
             return Edge::from_bits(r as u32).complement_if(out_c);
         }
-        let mut i = self.node(f.node()).level;
+        let mut i = self.node(f.node()).level();
         for e in [g, h] {
             if let Some(l) = self.edge_level(e) {
                 i = i.max(l);
@@ -274,7 +274,7 @@ mod tests {
         let (a, b, c) = (mgr.var(0), mgr.var(1), mgr.var(2));
         let t0 = mgr.and(b, c);
         let f = mgr.xor(a, t0);
-        let top = mgr.node(f.node()).level;
+        let top = mgr.node(f.node()).level();
         let (fd, fe) = mgr.cofactors(f, top);
         let vw_neq = mgr.xor(a, b);
         let t1 = mgr.and(vw_neq, fd);

@@ -31,10 +31,7 @@ impl Bbdd {
             } else {
                 name.to_string()
             };
-            let _ = writeln!(
-                out,
-                "  root{i} [shape=plaintext, label=\"{label}\"];"
-            );
+            let _ = writeln!(out, "  root{i} [shape=plaintext, label=\"{label}\"];");
             let style = if r.is_complemented() {
                 ", style=dotted, color=red"
             } else {
@@ -52,7 +49,7 @@ impl Bbdd {
                 continue;
             }
             let n = self.node(id);
-            let lvl = n.level as usize;
+            let lvl = n.level() as usize;
             let pv = self.var_at_level[lvl];
             let label = if n.is_shannon() {
                 format!("x{pv}")
@@ -61,7 +58,7 @@ impl Bbdd {
                 format!("x{pv}⊕x{sv}")
             };
             let _ = writeln!(out, "  n{id} [label=\"{label}\"];");
-            for (child, dashed) in [(n.eq, false), (n.neq, true)] {
+            for (child, dashed) in [(n.eq(), false), (n.neq(), true)] {
                 let mut attrs = Vec::new();
                 if dashed {
                     attrs.push("style=dashed".to_string());

@@ -5,7 +5,7 @@
 use crate::edge::Edge;
 use crate::node::{Node, NodeKey, TERMINAL_LEVEL};
 use ddcore::cache::ComputedCache;
-use ddcore::table::BucketTable;
+use ddcore::table::UniqueTable;
 
 /// Statistics counters exposed for the benchmark harness.
 #[derive(Debug, Clone, Copy, Default)]
@@ -24,6 +24,21 @@ pub struct BbddStats {
     pub swaps: u64,
     /// Peak number of live nodes observed.
     pub peak_live_nodes: usize,
+    /// Computed-table lookups (filled from the cache when the snapshot is
+    /// taken by [`Bbdd::stats`]).
+    pub cache_lookups: u64,
+    /// Computed-table hits.
+    pub cache_hits: u64,
+    /// Computed-table evictions (inserts that overwrote a live entry).
+    pub cache_evictions: u64,
+}
+
+impl BbddStats {
+    /// Computed-table misses.
+    #[must_use]
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_lookups - self.cache_hits
+    }
 }
 
 /// Public structural view of one BBDD node (see [`Bbdd::node_info`]).
@@ -69,7 +84,7 @@ pub struct Bbdd {
     pub(crate) nodes: Vec<Node>,
     free: Vec<u32>,
     /// One unique subtable per bottom-based level.
-    pub(crate) subtables: Vec<BucketTable<NodeKey>>,
+    pub(crate) subtables: Vec<UniqueTable<NodeKey>>,
     /// `var_at_level[l]` = variable whose PV sits at level `l`.
     pub(crate) var_at_level: Vec<u32>,
     /// Inverse map: `level_of_var[v]` = bottom-based level of variable `v`.
@@ -106,7 +121,7 @@ impl Bbdd {
         Bbdd {
             nodes: vec![Node::terminal()],
             free: Vec::new(),
-            subtables: (0..n).map(|_| BucketTable::new(64)).collect(),
+            subtables: (0..n).map(|_| UniqueTable::new(64)).collect(),
             var_at_level,
             level_of_var,
             cache: ComputedCache::default(),
@@ -125,7 +140,11 @@ impl Bbdd {
     /// The current variable order `π`, top of the diagram first.
     #[must_use]
     pub fn order(&self) -> Vec<usize> {
-        self.var_at_level.iter().rev().map(|&v| v as usize).collect()
+        self.var_at_level
+            .iter()
+            .rev()
+            .map(|&v| v as usize)
+            .collect()
     }
 
     /// Top-based position of `var` in the current order (0 = root level).
@@ -170,19 +189,35 @@ impl Bbdd {
     /// Current number of live (stored) nodes, excluding the sink.
     #[must_use]
     pub fn live_nodes(&self) -> usize {
-        self.subtables.iter().map(BucketTable::len).sum()
+        self.subtables.iter().map(UniqueTable::len).sum()
     }
 
     /// Nodes stored at each level, bottom level first (used by sifting).
     #[must_use]
     pub fn level_sizes(&self) -> Vec<usize> {
-        self.subtables.iter().map(BucketTable::len).collect()
+        self.subtables.iter().map(UniqueTable::len).collect()
     }
 
-    /// Counters accumulated since the manager was created.
+    /// Aggregate unique-table statistics summed over all level subtables.
+    #[must_use]
+    pub fn table_stats(&self) -> ddcore::TableStats {
+        let mut agg = ddcore::TableStats::default();
+        for t in &self.subtables {
+            agg.absorb(t.stats());
+        }
+        agg
+    }
+
+    /// Counters accumulated since the manager was created, including a
+    /// snapshot of the computed-table hit/miss/eviction counters.
     #[must_use]
     pub fn stats(&self) -> BbddStats {
-        self.stats
+        let mut s = self.stats;
+        let c = self.cache.stats();
+        s.cache_lookups = c.lookups;
+        s.cache_hits = c.hits;
+        s.cache_evictions = c.evictions;
+        s
     }
 
     /// A stable identifier of the node an edge points to (`None` for the
@@ -206,7 +241,7 @@ impl Bbdd {
             return None;
         }
         let n = self.node(e.node());
-        let level = n.level as usize;
+        let level = n.level() as usize;
         let pv = self.var_at_level[level] as usize;
         let sv = if n.is_shannon() || level == 0 {
             None
@@ -216,8 +251,8 @@ impl Bbdd {
         Some(NodeInfo {
             level,
             shannon: n.is_shannon(),
-            neq: n.neq,
-            eq: n.eq,
+            neq: n.neq(),
+            eq: n.eq(),
             pv,
             sv,
         })
@@ -268,18 +303,14 @@ impl Bbdd {
         if e.is_constant() {
             None
         } else {
-            Some(self.node(e.node()).level)
+            Some(self.node(e.node()).level())
         }
     }
 
     /// The Shannon (R4) node of the given level — the positive literal of
     /// that level's PV.
     pub(crate) fn shannon_node(&mut self, level: u16) -> Edge {
-        let key = NodeKey {
-            shannon: true,
-            neq: Edge::ZERO,
-            eq: Edge::ONE,
-        };
+        let key = NodeKey::new(true, Edge::ZERO, Edge::ONE);
         Edge::new(self.find_or_insert(level, key), false)
     }
 
@@ -306,7 +337,7 @@ impl Bbdd {
             return false;
         }
         let n = self.node(e.node());
-        n.is_shannon() && n.level == level - 1
+        n.is_shannon() && n.level() == level - 1
     }
 
     /// Find-or-create the biconditional node `(level, neq, eq)` applying
@@ -328,11 +359,7 @@ impl Bbdd {
             return self.shannon_node(level).complement_if(out_c);
         }
         debug_assert!(self.child_level_ok(neq, level) && self.child_level_ok(eq, level));
-        let key = NodeKey {
-            shannon: false,
-            neq,
-            eq,
-        };
+        let key = NodeKey::new(false, neq, eq);
         Edge::new(self.find_or_insert(level, key), out_c)
     }
 
@@ -344,25 +371,29 @@ impl Bbdd {
     }
 
     fn find_or_insert(&mut self, level: u16, key: NodeKey) -> u32 {
-        if let Some(id) = self.subtables[level as usize].get(&key) {
-            return id;
-        }
-        let node = Node::new(level, key.shannon, key.neq, key.eq);
-        let id = match self.free.pop() {
-            Some(id) => {
-                self.nodes[id as usize] = node;
-                id
+        let nodes = &mut self.nodes;
+        let free = &mut self.free;
+        let mut created = false;
+        let id = self.subtables[level as usize].get_or_insert_with(key, || {
+            created = true;
+            let node = Node::new(level, key.shannon(), key.neq(), key.eq());
+            match free.pop() {
+                Some(id) => {
+                    nodes[id as usize] = node;
+                    id
+                }
+                None => {
+                    nodes.push(node);
+                    (nodes.len() - 1) as u32
+                }
             }
-            None => {
-                self.nodes.push(node);
-                (self.nodes.len() - 1) as u32
+        });
+        if created {
+            self.stats.nodes_created += 1;
+            let live = self.live_nodes();
+            if live > self.stats.peak_live_nodes {
+                self.stats.peak_live_nodes = live;
             }
-        };
-        self.subtables[level as usize].insert(key, id);
-        self.stats.nodes_created += 1;
-        let live = self.live_nodes();
-        if live > self.stats.peak_live_nodes {
-            self.stats.peak_live_nodes = live;
         }
         id
     }
@@ -376,17 +407,17 @@ impl Bbdd {
             return (e, e);
         }
         let n = *self.node(e.node());
-        if n.level < level {
+        if n.level() < level {
             return (e, e);
         }
-        debug_assert_eq!(n.level, level, "cofactor below the node's own level");
+        debug_assert_eq!(n.level(), level, "cofactor below the node's own level");
         let c = e.is_complemented();
         if n.is_shannon() {
             // f = v:  f_{v≠w} = w',  f_{v=w} = w.
             let lw = self.lit_below(level);
             ((!lw).complement_if(c), lw.complement_if(c))
         } else {
-            (n.neq.complement_if(c), n.eq.complement_if(c))
+            (n.neq().complement_if(c), n.eq().complement_if(c))
         }
     }
 
@@ -407,7 +438,7 @@ impl Bbdd {
                 continue;
             }
             n.set_mark(true);
-            let (neq, eq) = (n.neq, n.eq);
+            let (neq, eq) = (n.neq(), n.eq());
             if !neq.is_constant() {
                 stack.push(neq.node());
             }
@@ -415,28 +446,28 @@ impl Bbdd {
                 stack.push(eq.node());
             }
         }
-        // Sweep; survivors drop their mark bit in the same pass.
-        let mut freed: Vec<u32> = Vec::new();
+        // Sweep; survivors drop their mark bit in the same pass (the
+        // tables call the closure exactly once per stored entry).
+        let nodes = &mut self.nodes;
+        let free = &mut self.free;
+        let mut freed = 0usize;
         for table in &mut self.subtables {
-            let nodes = &mut self.nodes;
             table.retain(|_, id| {
                 let n = &mut nodes[id as usize];
                 if n.is_marked() {
                     n.set_mark(false);
                     true
                 } else {
-                    freed.push(id);
+                    n.set_free(true);
+                    free.push(id);
+                    freed += 1;
                     false
                 }
             });
         }
-        for &id in &freed {
-            self.nodes[id as usize].set_free(true);
-            self.free.push(id);
-        }
         self.cache.invalidate();
-        self.stats.nodes_freed += freed.len() as u64;
-        freed.len()
+        self.stats.nodes_freed += freed as u64;
+        freed
     }
 
     /// Validate every canonical-form invariant of the stored forest.
@@ -464,10 +495,10 @@ impl Bbdd {
                     err = Some(format!("free node {id} still in subtable {lvl}"));
                     return;
                 }
-                if n.level as usize != lvl {
+                if n.level() as usize != lvl {
                     err = Some(format!(
                         "node {id} at subtable {lvl} has level {}",
-                        n.level
+                        n.level()
                     ));
                     return;
                 }
@@ -475,30 +506,29 @@ impl Bbdd {
                     err = Some(format!("node {id} key mismatch"));
                     return;
                 }
-                if n.eq.is_complemented() {
+                if n.eq().is_complemented() {
                     err = Some(format!("node {id} has complemented =-edge"));
                     return;
                 }
-                if n.neq == n.eq {
+                if n.neq() == n.eq() {
                     err = Some(format!("node {id} violates R2"));
                     return;
                 }
                 if n.is_shannon() {
-                    if n.neq != Edge::ZERO || n.eq != Edge::ONE {
+                    if n.neq() != Edge::ZERO || n.eq() != Edge::ONE {
                         err = Some(format!("shannon node {id} with non-literal children"));
-                        return;
                     }
                 } else {
-                    if n.neq == !n.eq && self.is_lit_below(n.eq, n.level) {
+                    if n.neq() == !n.eq() && self.is_lit_below(n.eq(), n.level()) {
                         err = Some(format!("node {id} violates R4"));
                         return;
                     }
-                    for child in [n.neq, n.eq] {
+                    for child in [n.neq(), n.eq()] {
                         if let Some(cl) = self.edge_level(child) {
-                            if cl >= n.level {
+                            if cl >= n.level() {
                                 err = Some(format!(
                                     "node {id} child level {cl} >= own level {}",
-                                    n.level
+                                    n.level()
                                 ));
                                 return;
                             }
@@ -518,7 +548,7 @@ impl Bbdd {
                     return;
                 }
                 let n = self.node(id);
-                for child in [n.neq, n.eq] {
+                for child in [n.neq(), n.eq()] {
                     if !child.is_constant() && !present.contains(&child.node()) {
                         err = Some(format!(
                             "node {id} at level {lvl} references unstored node {}",

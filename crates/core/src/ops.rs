@@ -25,7 +25,7 @@ impl Bbdd {
                 return e == Edge::ONE;
             }
             let n = self.node(e.node());
-            let level = n.level;
+            let level = n.level();
             let v = assignment[self.var_at_level[level as usize] as usize];
             let w = if n.is_shannon() {
                 true // fictitious SV = 1
@@ -33,7 +33,7 @@ impl Bbdd {
                 debug_assert!(level > 0, "level-0 nodes are Shannon by construction");
                 assignment[self.var_at_level[level as usize - 1] as usize]
             };
-            let child = if v != w { n.neq } else { n.eq };
+            let child = if v != w { n.neq() } else { n.eq() };
             e = child.complement_if(e.is_complemented());
         }
     }
@@ -60,7 +60,7 @@ impl Bbdd {
                 continue;
             }
             let n = self.node(id);
-            for child in [n.neq, n.eq] {
+            for child in [n.neq(), n.eq()] {
                 if !child.is_constant() {
                     stack.push(child.node());
                 }
@@ -99,7 +99,7 @@ impl Bbdd {
                 r
             } else {
                 let n = *mgr.node(id);
-                let r = 0.5 * (frac(mgr, n.neq, memo) + frac(mgr, n.eq, memo));
+                let r = 0.5 * (frac(mgr, n.neq(), memo) + frac(mgr, n.eq(), memo));
                 memo.insert(id, r);
                 r
             };
@@ -119,7 +119,7 @@ impl Bbdd {
             return if e == Edge::ONE { 1u128 << k } else { 0 };
         }
         let id = e.node();
-        let level = self.node(id).level as u32;
+        let level = self.node(id).level() as u32;
         debug_assert!(level < k);
         let raw = if let Some(&r) = memo.get(&id) {
             r
@@ -127,7 +127,7 @@ impl Bbdd {
             let n = *self.node(id);
             // Children live over `level` variables; each branch determines
             // the PV from the SV, so the two branch counts add up.
-            let r = self.sat_edge(n.neq, level, memo) + self.sat_edge(n.eq, level, memo);
+            let r = self.sat_edge(n.neq(), level, memo) + self.sat_edge(n.eq(), level, memo);
             memo.insert(id, r);
             r
         };
@@ -166,13 +166,13 @@ impl Bbdd {
         let id = f.node();
         let c = f.is_complemented();
         let n = *self.node(id);
-        if n.level < lv {
+        if n.level() < lv {
             return f; // entirely below var: independent of it
         }
         if let Some(&r) = memo.get(&id) {
             return r.complement_if(c);
         }
-        let r = if n.level == lv {
+        let r = if n.level() == lv {
             if n.is_shannon() {
                 // The literal itself.
                 if value {
@@ -185,28 +185,28 @@ impl Bbdd {
                 //                    f|_{v=0} = ite(w, f_neq, f_eq).
                 let w = self.lit_below(lv);
                 if value {
-                    self.ite(w, n.eq, n.neq)
+                    self.ite(w, n.eq(), n.neq())
                 } else {
-                    self.ite(w, n.neq, n.eq)
+                    self.ite(w, n.neq(), n.eq())
                 }
             }
         } else if n.is_shannon() {
             // A literal of a higher variable: independent of var.
             Edge::new(id, false)
         } else {
-            let rd = self.restrict_rec(n.neq, lv, value, memo);
-            let re = self.restrict_rec(n.eq, lv, value, memo);
-            if n.level == lv + 1 {
+            let rd = self.restrict_rec(n.neq(), lv, value, memo);
+            let re = self.restrict_rec(n.eq(), lv, value, memo);
+            if n.level() == lv + 1 {
                 // Branching condition (u, v) mentions var as SV:
                 // f|_{v=1} = ite(u, E', D'),  f|_{v=0} = ite(u, D', E').
-                let u = self.shannon_node(n.level);
+                let u = self.shannon_node(n.level());
                 if value {
                     self.ite(u, re, rd)
                 } else {
                     self.ite(u, rd, re)
                 }
             } else {
-                self.make_node(n.level, rd, re)
+                self.make_node(n.level(), rd, re)
             }
         };
         memo.insert(id, r);
@@ -365,7 +365,13 @@ mod tests {
         let vs: Vec<Edge> = (0..n).map(|v| mgr.var(v)).collect();
         // A function touching all variables with mixed operators.
         let mut f = vs[0];
-        let ops = [BoolOp::XOR, BoolOp::AND, BoolOp::OR, BoolOp::XNOR, BoolOp::NAND];
+        let ops = [
+            BoolOp::XOR,
+            BoolOp::AND,
+            BoolOp::OR,
+            BoolOp::XNOR,
+            BoolOp::NAND,
+        ];
         for i in 1..n {
             f = mgr.apply(ops[(i - 1) % ops.len()], f, vs[i]);
         }

@@ -286,7 +286,7 @@ mod tests {
         let mut mgr = Bbdd::new(2);
         let a = mgr.var(1);
         let text = mgr.save(&[Edge::ONE, Edge::ZERO, a, !a], &["t", "f", "a", "na"]);
-        let (mut loaded, lroots) = Bbdd::load(&text).unwrap();
+        let (loaded, lroots) = Bbdd::load(&text).unwrap();
         assert_eq!(lroots[0].1, Edge::ONE);
         assert_eq!(lroots[1].1, Edge::ZERO);
         assert!(loaded.eval(lroots[2].1, &[false, true]));

@@ -239,8 +239,8 @@ impl Bbdd {
             self.claim(ctx, id, l1, true, SEdge::ZERO, SEdge::ONE);
             return;
         }
-        let pd = SEdge::from_edge(nd.neq);
-        let pe = SEdge::from_edge(nd.eq);
+        let pd = SEdge::from_edge(nd.neq());
+        let pe = SEdge::from_edge(nd.eq());
         let c_neq = self.stage(ctx, l0, pe, pd);
         let c_eq = self.stage(ctx, l0, pd, pe);
         self.claim(ctx, id, l1, false, c_neq, c_eq);
@@ -259,20 +259,20 @@ impl Bbdd {
         // Fast path: both children below the window. The node's condition
         // [x ⊕ y] is symmetric in the swapped pair, so the tuple is
         // invariant — re-claim it unchanged.
-        if self.below_window(nd.neq, l0) && self.below_window(nd.eq, l0) {
+        if self.below_window(nd.neq(), l0) && self.below_window(nd.eq(), l0) {
             self.claim(
                 ctx,
                 id,
                 l1,
                 false,
-                SEdge::from_edge(nd.neq),
-                SEdge::from_edge(nd.eq),
+                SEdge::from_edge(nd.neq()),
+                SEdge::from_edge(nd.eq()),
             );
             return;
         }
         // (m_{b,1}, m_{b,0}) for b = 1 (≠-child) and b = 0 (=-child).
-        let (m11, m10) = self.cofactors(nd.neq, l0);
-        let (m01, m00) = self.cofactors(nd.eq, l0);
+        let (m11, m10) = self.cofactors(nd.neq(), l0);
+        let (m01, m00) = self.cofactors(nd.eq(), l0);
         let child1 = self.stage(ctx, l0, SEdge::from_edge(m10), SEdge::from_edge(m11));
         let child0 = self.stage(ctx, l0, SEdge::from_edge(m01), SEdge::from_edge(m00));
         self.claim(ctx, id, l1, false, child1, child0);
@@ -293,17 +293,17 @@ impl Bbdd {
         // node's condition changes (x → y), which re-roots the children
         // one level down with swapped branches and no grand-cofactoring:
         //   f_{w≠y} = node(L1, ≠: E, =: D),  f_{w=y} = node(L1, ≠: D, =: E).
-        if self.below_window(nd.neq, l0) && self.below_window(nd.eq, l0) {
-            let d = SEdge::from_edge(nd.neq);
-            let e = SEdge::from_edge(nd.eq);
+        if self.below_window(nd.neq(), l0) && self.below_window(nd.eq(), l0) {
+            let d = SEdge::from_edge(nd.neq());
+            let e = SEdge::from_edge(nd.eq());
             let mid1 = self.stage(ctx, l1, e, d);
             let mid0 = self.stage(ctx, l1, d, e);
             self.claim(ctx, id, l2, false, mid1, mid0);
             return;
         }
         // First expansion: condition b over the old pair (x, y) at L1.
-        let (n1_1, n1_0) = self.vcof(ctx, VEdge::Real(nd.neq), l1);
-        let (n0_1, n0_0) = self.vcof(ctx, VEdge::Real(nd.eq), l1);
+        let (n1_1, n1_0) = self.vcof(ctx, VEdge::Real(nd.neq()), l1);
+        let (n0_1, n0_0) = self.vcof(ctx, VEdge::Real(nd.eq()), l1);
         // Second expansion: condition c over the old pair (y, z) at L0.
         let mut nabc = [[[SEdge::ZERO; 2]; 2]; 2];
         for (a, b, v) in [
@@ -349,17 +349,17 @@ impl Bbdd {
                     return (v, v);
                 }
                 let n = *self.node(e.node());
-                if n.level < level {
+                if n.level() < level {
                     return (v, v);
                 }
-                debug_assert_eq!(n.level, level);
+                debug_assert_eq!(n.level(), level);
                 let c = e.is_complemented();
                 if n.is_shannon() {
                     self.old_lit_pair(ctx, level, c)
                 } else {
                     (
-                        VEdge::Real(n.neq.complement_if(c)),
-                        VEdge::Real(n.eq.complement_if(c)),
+                        VEdge::Real(n.neq().complement_if(c)),
+                        VEdge::Real(n.eq().complement_if(c)),
                     )
                 }
             }
@@ -460,7 +460,7 @@ impl Bbdd {
                 // Final nodes keep their semantics only below the window.
                 below < ctx.l0 && {
                     let n = self.node(id);
-                    n.is_shannon() && n.level == below
+                    n.is_shannon() && n.level() == below
                 }
             }
             SRef::Staged(k) => {
@@ -572,9 +572,7 @@ impl Bbdd {
             }
             final_id[k] = match s.owner {
                 Some(id) => id,
-                None =>
-
-                {
+                None => {
                     // Fresh slot for a genuinely new node.
                     if let Some(id) = self.free_slot() {
                         id
@@ -604,11 +602,7 @@ impl Bbdd {
             let neq = resolve(s.neq);
             let eq = resolve(s.eq);
             self.nodes[id as usize] = Node::new(s.level, s.shannon, neq, eq);
-            let key = NodeKey {
-                shannon: s.shannon,
-                neq,
-                eq,
-            };
+            let key = NodeKey::new(s.shannon, neq, eq);
             debug_assert!(
                 self.subtables[s.level as usize].get(&key).is_none(),
                 "BBDD swap: duplicate canonical tuple after commit"
@@ -705,7 +699,11 @@ mod tests {
             mgr.swap_adjacent(pos);
             mgr.gc(&[f]);
             assert_eq!(mgr.order(), order0, "pos {pos}");
-            assert_eq!(mgr.live_nodes(), size0, "pos {pos}: double swap must be identity");
+            assert_eq!(
+                mgr.live_nodes(),
+                size0,
+                "pos {pos}: double swap must be identity"
+            );
             mgr.validate().unwrap();
         }
     }

@@ -24,10 +24,16 @@ fn arb_expr(nvars: usize, depth: u32) -> impl Strategy<Value = Expr> {
     leaf.prop_recursive(depth, 64, 3, move |inner| {
         prop_oneof![
             inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
-            (0u8..16, inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| Expr::Bin(op, Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(s, a, b)| Expr::Ite(Box::new(s), Box::new(a), Box::new(b))),
+            (0u8..16, inner.clone(), inner.clone()).prop_map(|(op, a, b)| Expr::Bin(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (inner.clone(), inner.clone(), inner).prop_map(|(s, a, b)| Expr::Ite(
+                Box::new(s),
+                Box::new(a),
+                Box::new(b)
+            )),
         ]
     })
 }
@@ -65,9 +71,7 @@ fn eval_expr(e: &Expr, v: &[bool]) -> bool {
         Expr::Var(i) => v[*i],
         Expr::Const(b) => *b,
         Expr::Not(x) => !eval_expr(x, v),
-        Expr::Bin(op, a, b) => {
-            BoolOp::from_table(*op).eval(eval_expr(a, v), eval_expr(b, v))
-        }
+        Expr::Bin(op, a, b) => BoolOp::from_table(*op).eval(eval_expr(a, v), eval_expr(b, v)),
         Expr::Ite(s, a, b) => {
             if eval_expr(s, v) {
                 eval_expr(a, v)

@@ -1,11 +1,17 @@
-//! The *computed table*: a direct-mapped, overwrite-on-collision cache of
-//! performed Boolean operations (paper §IV-A3: "in the computed table, the
-//! cache-like approach overwrites an entry when collision occurs").
+//! The *computed table*: a 2-way set-associative, overwrite-on-collision
+//! cache of performed Boolean operations (paper §IV-A3: "in the computed
+//! table, the cache-like approach overwrites an entry when collision
+//! occurs").
 //!
 //! Entries are keyed by two 64-bit operand words plus a small operation tag,
 //! which is wide enough for binary `apply` (two edges + operator truth
-//! table) and ternary `ite` (edge + two packed edges). The cache grows
-//! geometrically while it is being used productively, up to a cap.
+//! table) and ternary `ite` (edge + two packed edges). Each set holds two
+//! 32-byte slots — one cache line — and a one-bit insertion age (stored in
+//! a spare tag bit of the set's first way, so no extra memory is touched)
+//! picks the victim on collision: a recent result is no longer destroyed
+//! by a single conflicting insert, the failure mode of the seed's
+//! direct-mapped cache. The cache grows geometrically while it is being
+//! used productively, up to a cap.
 
 use crate::cantor::CantorHasher;
 
@@ -20,7 +26,56 @@ struct Slot {
 
 const EMPTY_TAG: u32 = u32::MAX;
 
-/// Direct-mapped computed table.
+/// Spare bit in way 0's stored tag recording which way is older (set =
+/// way 0 was written before way 1). Caller tags must stay below this bit.
+const AGE_BIT: u32 = 1 << 30;
+/// Mask clearing only the age bit. Bit 31 is deliberately kept: an empty
+/// slot's tag (`u32::MAX`) must never compare equal to a caller tag, and
+/// legal tags have bit 31 clear.
+const TAG_MASK: u32 = !AGE_BIT;
+
+const EMPTY_SLOT: Slot = Slot {
+    k1: 0,
+    k2: 0,
+    tag: EMPTY_TAG,
+    epoch: 0,
+    val: 0,
+};
+
+/// Hit/miss/eviction counters for one computed table.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// Lookup operations performed.
+    pub lookups: u64,
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Results recorded.
+    pub inserts: u64,
+    /// Inserts that overwrote a *live* entry (both ways occupied).
+    pub evictions: u64,
+    /// Epoch bumps (whole-cache invalidations after GC).
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Lookups that missed.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.lookups - self.hits
+    }
+
+    /// Lifetime hit rate.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// Two-way set-associative computed table.
 ///
 /// ```
 /// use ddcore::ComputedCache;
@@ -31,11 +86,11 @@ const EMPTY_TAG: u32 = u32::MAX;
 /// ```
 #[derive(Debug, Clone)]
 pub struct ComputedCache {
+    /// `2 * sets` slots; set `s` owns slots `2s` and `2s + 1`.
     slots: Vec<Slot>,
     hasher: CantorHasher,
     epoch: u32,
-    lookups: u64,
-    hits: u64,
+    stats: CacheStats,
     inserts_since_resize: u64,
     max_slots: usize,
 }
@@ -50,25 +105,16 @@ impl ComputedCache {
     /// Hard cap on cache size (slots); 2^22 slots ≈ 128 MiB.
     pub const DEFAULT_MAX_SLOTS: usize = 1 << 22;
 
-    /// Create a cache with `slots` entries (rounded up to a power of two).
+    /// Create a cache with `slots` entries (rounded up to a power of two,
+    /// minimum 16).
     #[must_use]
     pub fn new(slots: usize) -> Self {
         let n = slots.next_power_of_two().max(16);
         Self {
-            slots: vec![
-                Slot {
-                    k1: 0,
-                    k2: 0,
-                    tag: EMPTY_TAG,
-                    epoch: 0,
-                    val: 0
-                };
-                n
-            ],
+            slots: vec![EMPTY_SLOT; n],
             hasher: CantorHasher::new(),
             epoch: 0,
-            lookups: 0,
-            hits: 0,
+            stats: CacheStats::default(),
             inserts_since_resize: 0,
             max_slots: Self::DEFAULT_MAX_SLOTS,
         }
@@ -88,50 +134,90 @@ impl ComputedCache {
         self.slots.len()
     }
 
+    /// Hit/miss/eviction counters since creation.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
     /// Lifetime hit rate.
     #[must_use]
     pub fn hit_rate(&self) -> f64 {
-        if self.lookups == 0 {
-            0.0
-        } else {
-            self.hits as f64 / self.lookups as f64
-        }
+        self.stats.hit_rate()
     }
 
+    /// Base slot index of the set for a key.
     #[inline]
-    fn index(&self, k1: u64, k2: u64, tag: u32) -> usize {
-        (self.hasher.hash3(k1, k2, tag as u64) % self.slots.len() as u64) as usize
+    fn set_base(&self, k1: u64, k2: u64, tag: u32) -> usize {
+        let sets = self.slots.len() / 2;
+        (self.hasher.hash3(k1, k2, tag as u64) as usize & (sets - 1)) * 2
     }
 
     /// Look up a previously computed result.
     #[inline]
     pub fn get(&mut self, k1: u64, k2: u64, tag: u32) -> Option<u64> {
-        self.lookups += 1;
-        let s = &self.slots[self.index(k1, k2, tag)];
-        if s.tag == tag && s.epoch == self.epoch && s.k1 == k1 && s.k2 == k2 {
-            self.hits += 1;
-            Some(s.val)
-        } else {
-            None
+        self.stats.lookups += 1;
+        let base = self.set_base(k1, k2, tag);
+        let epoch = self.epoch;
+        let s0 = &self.slots[base];
+        if s0.tag & TAG_MASK == tag && s0.epoch == epoch && s0.k1 == k1 && s0.k2 == k2 {
+            self.stats.hits += 1;
+            return Some(s0.val);
         }
+        let s1 = &self.slots[base + 1];
+        if s1.tag == tag && s1.epoch == epoch && s1.k1 == k1 && s1.k2 == k2 {
+            self.stats.hits += 1;
+            return Some(s1.val);
+        }
+        None
     }
 
-    /// Record a computed result, overwriting whatever the slot held.
+    /// Record a computed result. Prefers an empty or stale way; otherwise
+    /// evicts the way that was written longer ago (the set's age bit).
     ///
     /// # Panics
-    /// Panics if `tag == u32::MAX`, which is reserved for empty slots.
+    /// Panics if `tag >= 2^30` (the top tag bits are reserved).
     #[inline]
     pub fn insert(&mut self, k1: u64, k2: u64, tag: u32, val: u64) {
-        assert_ne!(tag, EMPTY_TAG, "tag u32::MAX is reserved");
-        let idx = self.index(k1, k2, tag);
+        assert!(tag < AGE_BIT, "tags above 2^30 are reserved");
+        let base = self.set_base(k1, k2, tag);
         let epoch = self.epoch;
-        self.slots[idx] = Slot {
-            k1,
-            k2,
-            tag,
-            epoch,
-            val,
+        let way0 = self.slots[base];
+        let way = if way0.tag == EMPTY_TAG || way0.epoch != epoch {
+            0
+        } else {
+            let way1 = &self.slots[base + 1];
+            if way1.tag == EMPTY_TAG || way1.epoch != epoch {
+                1
+            } else {
+                self.stats.evictions += 1;
+                usize::from(way0.tag & AGE_BIT == 0)
+            }
         };
+        if way == 0 {
+            // Writing way 0: it is now the newer way; leave its age bit
+            // clear.
+            self.slots[base] = Slot {
+                k1,
+                k2,
+                tag,
+                epoch,
+                val,
+            };
+        } else {
+            self.slots[base + 1] = Slot {
+                k1,
+                k2,
+                tag,
+                epoch,
+                val,
+            };
+            // Way 0 is now the older way.
+            if way0.tag != EMPTY_TAG {
+                self.slots[base].tag = way0.tag | AGE_BIT;
+            }
+        }
+        self.stats.inserts += 1;
         self.inserts_since_resize += 1;
         if self.inserts_since_resize > 4 * self.slots.len() as u64
             && self.slots.len() < self.max_slots
@@ -146,27 +232,24 @@ impl ComputedCache {
     pub fn invalidate(&mut self) {
         self.epoch = self.epoch.wrapping_add(1);
         self.inserts_since_resize = 0;
+        self.stats.invalidations += 1;
     }
 
     fn grow(&mut self) {
         let new_len = self.slots.len() * 2;
-        let old = std::mem::replace(
-            &mut self.slots,
-            vec![
-                Slot {
-                    k1: 0,
-                    k2: 0,
-                    tag: EMPTY_TAG,
-                    epoch: 0,
-                    val: 0
-                };
-                new_len
-            ],
-        );
-        for s in old {
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY_SLOT; new_len]);
+        for mut s in old {
             if s.tag != EMPTY_TAG && s.epoch == self.epoch {
-                let idx = self.index(s.k1, s.k2, s.tag);
-                self.slots[idx] = s;
+                s.tag &= !AGE_BIT;
+                let base = self.set_base(s.k1, s.k2, s.tag);
+                let way = usize::from(
+                    self.slots[base].tag != EMPTY_TAG && self.slots[base].epoch == self.epoch,
+                );
+                if way == 1 {
+                    let t = self.slots[base].tag;
+                    self.slots[base].tag = t | AGE_BIT;
+                }
+                self.slots[base + way] = s;
             }
         }
         self.inserts_since_resize = 0;
@@ -183,7 +266,8 @@ mod tests {
         for i in 0..1000u64 {
             c.insert(i, i * 3, (i % 7) as u32, i + 42);
         }
-        // Direct-mapped: *some* entries survive; whatever survives is correct.
+        // Set-associative overwrite-on-collision: *some* entries survive;
+        // whatever survives is correct.
         let mut survived = 0;
         for i in 0..1000u64 {
             if let Some(v) = c.get(i, i * 3, (i % 7) as u32) {
@@ -202,6 +286,7 @@ mod tests {
             c.insert(i, i, 1, i);
         }
         assert_eq!(c.capacity(), 16);
+        assert!(c.stats().evictions > 0, "full sets must evict");
     }
 
     #[test]
@@ -220,6 +305,7 @@ mod tests {
         assert_eq!(c.get(1, 2, 3), Some(4));
         c.invalidate();
         assert_eq!(c.get(1, 2, 3), None);
+        assert_eq!(c.stats().invalidations, 1);
     }
 
     #[test]
@@ -234,5 +320,54 @@ mod tests {
             assert_eq!(v, 100);
         }
         assert_eq!(c.get(7, 8, 2), Some(200));
+    }
+
+    #[test]
+    fn two_way_keeps_conflicting_pair_alive() {
+        // Two keys forced into the same set must both survive — the seed's
+        // direct-mapped cache lost one of them.
+        let mut c = ComputedCache::with_max(16, 16);
+        let mut pair: Option<(u64, u64)> = None;
+        'outer: for a in 0..64u64 {
+            for b in (a + 1)..64u64 {
+                let probe = ComputedCache::with_max(16, 16);
+                if probe.set_base(a, a, 1) == probe.set_base(b, b, 1) {
+                    pair = Some((a, b));
+                    break 'outer;
+                }
+            }
+        }
+        let (a, b) = pair.expect("some pair must collide in 8 sets");
+        c.insert(a, a, 1, 10);
+        c.insert(b, b, 1, 20);
+        assert_eq!(c.get(a, a, 1), Some(10));
+        assert_eq!(c.get(b, b, 1), Some(20));
+    }
+
+    #[test]
+    fn empty_slots_never_alias_a_legal_tag() {
+        // Regression: an empty slot's tag is u32::MAX; masking the age bit
+        // out of way 0's stored tag must not make it equal a legal caller
+        // tag (the largest one is AGE_BIT - 1).
+        let mut c = ComputedCache::new(64);
+        for k in 0..64u64 {
+            assert_eq!(c.get(k, k, AGE_BIT - 1), None, "false hit on empty slot");
+        }
+        c.insert(3, 4, AGE_BIT - 1, 77);
+        assert_eq!(c.get(3, 4, AGE_BIT - 1), Some(77));
+    }
+
+    #[test]
+    fn counters_track_hits_and_misses() {
+        let mut c = ComputedCache::new(64);
+        c.insert(1, 2, 3, 4);
+        assert_eq!(c.get(1, 2, 3), Some(4));
+        assert_eq!(c.get(9, 9, 3), None);
+        let s = c.stats();
+        assert_eq!(s.lookups, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses(), 1);
+        assert_eq!(s.inserts, 1);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
     }
 }

@@ -6,11 +6,14 @@
 //! 1. a **Cantor-pairing hash** family, `C(i,j) = ½(i+j)(i+j+1) + i`, nested
 //!    for wider tuples and reduced modulo a large prime before the final
 //!    table-size modulo ([`cantor`]);
-//! 2. an **adaptive chained hash table** used as the *unique table*, which
-//!    resizes on load and can re-arrange its hash function when collision
-//!    statistics degrade ([`table`]);
-//! 3. a **direct-mapped overwrite-on-collision cache** used as the
-//!    *computed table* ([`cache`]).
+//! 2. an **adaptive hash table** used as the *unique table*, which resizes
+//!    on load and can re-arrange its hash function when collision
+//!    statistics degrade ([`table`]). Two implementations exist: the
+//!    cache-friendly open-addressed [`table::OpenTable`] (default) and the
+//!    seed's chained [`table::BucketTable`] (the `chained_tables` ablation
+//!    feature); [`table::UniqueTable`] aliases the selected one;
+//! 3. an **overwrite-on-collision cache** used as the *computed table*,
+//!    2-way set-associative with an age-based victim bit ([`cache`]).
 //!
 //! Both the BBDD package (`bbdd` crate) and the ROBDD baseline (`robdd`
 //! crate) are built on these primitives, so the Table-I runtime comparison
@@ -18,14 +21,14 @@
 
 pub mod boolop;
 pub mod cache;
-pub mod fxhash;
 pub mod cantor;
+pub mod fxhash;
 pub mod stats;
 pub mod table;
 
 pub use boolop::{BoolOp, Unary};
-pub use cache::ComputedCache;
-pub use fxhash::{FxHashMap, FxHashSet};
+pub use cache::{CacheStats, ComputedCache};
 pub use cantor::{cantor_pair, CantorHasher, HashArrangement};
+pub use fxhash::{FxHashMap, FxHashSet};
 pub use stats::TableStats;
-pub use table::{BucketTable, NIL};
+pub use table::{BucketTable, OpenTable, UniqueTable, NIL};

@@ -38,6 +38,16 @@ impl TableStats {
         }
     }
 
+    /// Accumulate another table's counters into this one (used by the
+    /// managers to aggregate across per-level subtables).
+    pub fn absorb(&mut self, other: &TableStats) {
+        self.lookups += other.lookups;
+        self.probes += other.probes;
+        self.hits += other.hits;
+        self.resizes += other.resizes;
+        self.rearrangements += other.rearrangements;
+    }
+
     /// Reset the windowed counters (kept: resizes, rearrangements).
     pub fn reset_window(&mut self) {
         self.lookups = 0;

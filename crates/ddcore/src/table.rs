@@ -1,24 +1,48 @@
-//! The adaptive chained hash table backing the *unique tables* of both
+//! The adaptive hash tables backing the *unique tables* of both
 //! decision-diagram packages (paper §IV-A1, §IV-A3).
 //!
-//! Collisions are handled by per-bucket linked lists (the paper's choice for
-//! the unique table). The table resizes when the load factor exceeds one and,
-//! if the average chain length stays poor *after* resizing, it re-arranges
-//! its hash function — rotating the Cantor-pairing nesting order and the
-//! reduction prime — and rehashes in place. This reproduces the paper's
-//! dynamic `{size × access-time}` adaptation.
+//! Two implementations share one API and the paper's adaptive behaviour
+//! (resize on load; rotate the Cantor-pairing nesting order and reduction
+//! prime, then rehash, when collision statistics stay poor after a resize):
+//!
+//! * [`OpenTable`] — the default: an open-addressed linear-probing table
+//!   split swiss-table-style into a dense control array of cached hashes
+//!   and a parallel inline key/value array, so a probe sequence is one
+//!   compact memory stream instead of a pointer chase. Deletion is
+//!   tombstone-free (backward shift), keeping probe sequences short across
+//!   the GC sweeps that sifting issues after every swap.
+//! * [`BucketTable`] — the seed implementation: per-bucket linked lists
+//!   threaded through a side `entries` array. Kept for the
+//!   `chained_tables` ablation feature and the `tables_ablation` bench.
+//!
+//! [`UniqueTable`] aliases the implementation selected by the feature flag;
+//! the managers build against the alias.
 
 use crate::cantor::CantorHasher;
 use crate::stats::TableStats;
 
-/// Sentinel for "no entry" in bucket chains.
+/// Sentinel for "no entry" in bucket chains and open-addressed slots.
 pub const NIL: u32 = u32::MAX;
 
-/// Keys stored in a [`BucketTable`] must expose Cantor-hashable content.
-pub trait TableKey: Copy + Eq {
+/// Keys stored in a unique table must expose Cantor-hashable content.
+///
+/// `Default` supplies the placeholder stored in empty open-addressed slots
+/// (never read as a key); `Copy + Eq` are what probing needs.
+pub trait TableKey: Copy + Eq + Default {
     /// Hash the key with the table's current hasher configuration.
     fn table_hash(&self, hasher: &CantorHasher) -> u64;
 }
+
+/// The unique-table implementation managers compile against: the
+/// open-addressed [`OpenTable`] by default, the chained [`BucketTable`]
+/// under the `chained_tables` feature (ablation baseline).
+#[cfg(not(feature = "chained_tables"))]
+pub type UniqueTable<K> = OpenTable<K>;
+
+/// The unique-table implementation managers compile against (chained
+/// variant selected).
+#[cfg(feature = "chained_tables")]
+pub type UniqueTable<K> = BucketTable<K>;
 
 #[derive(Debug, Clone, Copy)]
 struct Entry<K> {
@@ -34,7 +58,7 @@ struct Entry<K> {
 /// use ddcore::table::{BucketTable, TableKey};
 /// use ddcore::cantor::CantorHasher;
 ///
-/// #[derive(Clone, Copy, PartialEq, Eq)]
+/// #[derive(Clone, Copy, PartialEq, Eq, Default)]
 /// struct Pair(u32, u32);
 /// impl TableKey for Pair {
 ///     fn table_hash(&self, h: &CantorHasher) -> u64 {
@@ -141,6 +165,54 @@ impl<K: TableKey> BucketTable<K> {
         self.stats.probes += probes;
         self.probes_since_adapt += probes;
         None
+    }
+
+    /// Combined lookup-or-insert: walks the chain once, calling `make`
+    /// only on a miss. Equivalent to `get` followed by `insert`, but the
+    /// key is hashed a single time — the shape of `make_node`'s hot path.
+    pub fn get_or_insert_with(&mut self, key: K, make: impl FnOnce() -> u32) -> u32 {
+        if self.len >= self.buckets.len() {
+            self.grow();
+        }
+        let b = self.bucket_of(&key);
+        let mut cur = self.buckets[b];
+        let mut probes = 1u64;
+        self.stats.lookups += 1;
+        self.lookups_since_adapt += 1;
+        while cur != NIL {
+            let e = &self.entries[cur as usize];
+            if e.key == key {
+                self.stats.probes += probes;
+                self.probes_since_adapt += probes;
+                self.stats.hits += 1;
+                return e.val;
+            }
+            probes += 1;
+            cur = e.next;
+        }
+        self.stats.probes += probes;
+        self.probes_since_adapt += probes;
+        let val = make();
+        let slot = if self.free != NIL {
+            let s = self.free;
+            self.free = self.entries[s as usize].next;
+            s
+        } else {
+            self.entries.push(Entry {
+                key,
+                val,
+                next: NIL,
+            });
+            (self.entries.len() - 1) as u32
+        };
+        let e = &mut self.entries[slot as usize];
+        e.key = key;
+        e.val = val;
+        e.next = self.buckets[b];
+        self.buckets[b] = slot;
+        self.len += 1;
+        self.maybe_adapt();
+        val
     }
 
     /// Insert `key -> val`. The caller must ensure the key is not already
@@ -309,11 +381,445 @@ impl<K: TableKey> BucketTable<K> {
     }
 }
 
+/// Marker bit keeping decorated hashes nonzero (`0` = empty slot in the
+/// control array).
+const HASH_TAG: u32 = 1 << 31;
+
+/// An open-addressed linear-probing hash map `K -> u32` with Cantor-pairing
+/// hashing and the same adaptive resize/rearrange behaviour as
+/// [`BucketTable`].
+///
+/// Layout is split swiss-table-style into two parallel arrays:
+///
+/// * a dense **control array** of decorated 32-bit hashes (`0` = empty) —
+///   the only memory a probe sequence touches until a hash matches, eight
+///   or more slots per cache line;
+/// * a **data array** of `(key, value)` pairs, read only to confirm a hash
+///   match and written only on insert.
+///
+/// Misses therefore scan a compact stream (instead of chasing `entries`
+/// pointers as the chained table does), and the hot `get`-then-`insert`
+/// pattern of `make_node` stays within one or two cache lines per table
+/// touch. Deletion is tombstone-free: the displaced run following the hole
+/// is backward-shifted, so probe sequences never grow stale.
+///
+/// ```
+/// use ddcore::table::{OpenTable, TableKey};
+/// use ddcore::cantor::CantorHasher;
+///
+/// #[derive(Clone, Copy, PartialEq, Eq, Default)]
+/// struct Pair(u32, u32);
+/// impl TableKey for Pair {
+///     fn table_hash(&self, h: &CantorHasher) -> u64 {
+///         h.hash2(self.0 as u64, self.1 as u64)
+///     }
+/// }
+///
+/// let mut t = OpenTable::new(4);
+/// t.insert(Pair(1, 2), 42);
+/// assert_eq!(t.get(&Pair(1, 2)), Some(42));
+/// assert_eq!(t.get(&Pair(2, 1)), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OpenTable<K> {
+    /// Decorated hash per slot; `0` marks the slot empty.
+    ctrl: Vec<u32>,
+    /// Key/value payload, parallel to `ctrl`; only meaningful where
+    /// `ctrl != 0`.
+    data: Vec<(K, u32)>,
+    /// `ctrl.len() - 1`; capacity is always a power of two.
+    mask: usize,
+    len: usize,
+    hasher: CantorHasher,
+    stats: TableStats,
+    probes_since_adapt: u64,
+    lookups_since_adapt: u64,
+    /// Reused survivor buffer for [`OpenTable::retain`] /
+    /// [`OpenTable::grow`], so the per-swap GC sweeps issued by sifting
+    /// allocate nothing in steady state.
+    scratch: Vec<(u32, K, u32)>,
+}
+
+impl<K: TableKey> Default for OpenTable<K> {
+    fn default() -> Self {
+        Self::new(64)
+    }
+}
+
+impl<K: TableKey> OpenTable<K> {
+    /// Probe length (per lookup) above which the table adapts. Probes scan
+    /// only the dense control array, so the threshold tolerates the longer
+    /// runs a 75% load implies and triggers only on genuine clustering.
+    const ADAPT_PROBE_THRESHOLD: f64 = 6.0;
+    /// Minimum lookups in a window before adaptation decisions are made.
+    const ADAPT_WINDOW: u64 = 4096;
+
+    /// Create a table with room for at least `initial_capacity` entries
+    /// before the first resize.
+    #[must_use]
+    pub fn new(initial_capacity: usize) -> Self {
+        let n = (initial_capacity.max(4) * 4 / 3).next_power_of_two().max(8);
+        Self {
+            ctrl: vec![0; n],
+            data: vec![(K::default(), NIL); n],
+            mask: n - 1,
+            len: 0,
+            hasher: CantorHasher::new(),
+            stats: TableStats::default(),
+            probes_since_adapt: 0,
+            lookups_since_adapt: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Number of key/value pairs stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the table holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Access the collision/access statistics.
+    #[must_use]
+    pub fn stats(&self) -> &TableStats {
+        &self.stats
+    }
+
+    /// The hasher currently in use (exposed for diagnostics and benches).
+    #[must_use]
+    pub fn hasher(&self) -> &CantorHasher {
+        &self.hasher
+    }
+
+    /// Decorate the (possibly 64-bit) Cantor hash into the nonzero 32-bit
+    /// form cached in the control array. Cantor hashes are already
+    /// `< m < 2^32`, so the fold is lossless for them.
+    #[inline]
+    fn fold(h: u64) -> u32 {
+        ((h ^ (h >> 32)) as u32) | HASH_TAG
+    }
+
+    /// Home slot of a decorated hash: a Fibonacci multiply spreads the
+    /// prime-bounded Cantor range over all power-of-two capacities (a bare
+    /// modulo would leave slots beyond the prime permanently cold).
+    #[inline]
+    fn home(&self, h: u32) -> usize {
+        (((h as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) & self.mask
+    }
+
+    /// Look up `key`, returning the stored value if present.
+    pub fn get(&mut self, key: &K) -> Option<u32> {
+        let h = Self::fold(key.table_hash(&self.hasher));
+        let mut i = self.home(h);
+        let mut probes = 1u64;
+        self.stats.lookups += 1;
+        self.lookups_since_adapt += 1;
+        loop {
+            let c = self.ctrl[i];
+            if c == 0 {
+                break;
+            }
+            if c == h && self.data[i].0 == *key {
+                self.stats.probes += probes;
+                self.probes_since_adapt += probes;
+                self.stats.hits += 1;
+                return Some(self.data[i].1);
+            }
+            i = (i + 1) & self.mask;
+            probes += 1;
+        }
+        self.stats.probes += probes;
+        self.probes_since_adapt += probes;
+        None
+    }
+
+    /// Combined lookup-or-insert: probes once, calling `make` only on a
+    /// miss and placing its value at the probe's terminal empty slot.
+    /// Equivalent to `get` followed by `insert`, but the key is hashed and
+    /// the table probed a single time — the shape of `make_node`'s hot
+    /// path.
+    pub fn get_or_insert_with(&mut self, key: K, make: impl FnOnce() -> u32) -> u32 {
+        // Growing up front keeps the terminal probe slot valid for the
+        // insert; the wasted grow on a would-be hit is amortized away.
+        if (self.len + 1) * 4 > self.ctrl.len() * 3 {
+            self.grow();
+        }
+        let h = Self::fold(key.table_hash(&self.hasher));
+        let mut i = self.home(h);
+        let mut probes = 1u64;
+        self.stats.lookups += 1;
+        self.lookups_since_adapt += 1;
+        loop {
+            let c = self.ctrl[i];
+            if c == 0 {
+                break;
+            }
+            if c == h && self.data[i].0 == key {
+                self.stats.probes += probes;
+                self.probes_since_adapt += probes;
+                self.stats.hits += 1;
+                return self.data[i].1;
+            }
+            i = (i + 1) & self.mask;
+            probes += 1;
+        }
+        self.stats.probes += probes;
+        self.probes_since_adapt += probes;
+        let val = make();
+        self.ctrl[i] = h;
+        self.data[i] = (key, val);
+        self.len += 1;
+        self.maybe_adapt();
+        val
+    }
+
+    /// Insert `key -> val`. The caller must ensure the key is not already
+    /// present (unique-table discipline: always `get` first).
+    pub fn insert(&mut self, key: K, val: u32) {
+        if (self.len + 1) * 4 > self.ctrl.len() * 3 {
+            self.grow();
+        }
+        let h = Self::fold(key.table_hash(&self.hasher));
+        self.insert_raw(h, key, val);
+        self.len += 1;
+        self.maybe_adapt();
+    }
+
+    /// First-come-first-served placement of a pre-hashed entry (no growth,
+    /// no counting).
+    #[inline]
+    fn insert_raw(&mut self, h: u32, key: K, val: u32) {
+        let mut i = self.home(h);
+        while self.ctrl[i] != 0 {
+            i = (i + 1) & self.mask;
+        }
+        self.ctrl[i] = h;
+        self.data[i] = (key, val);
+    }
+
+    /// Remove `key`, returning its value if it was present. Backward-shifts
+    /// the displaced run that follows, so no tombstone is left behind.
+    pub fn remove(&mut self, key: &K) -> Option<u32> {
+        let h = Self::fold(key.table_hash(&self.hasher));
+        let mut i = self.home(h);
+        loop {
+            let c = self.ctrl[i];
+            if c == 0 {
+                return None;
+            }
+            if c == h && self.data[i].0 == *key {
+                break;
+            }
+            i = (i + 1) & self.mask;
+        }
+        let val = self.data[i].1;
+        self.backward_shift(i);
+        self.len -= 1;
+        Some(val)
+    }
+
+    /// Close the hole at `i` by relocating every later entry of the
+    /// contiguous run whose probe path crosses the hole (Knuth's
+    /// tombstone-free deletion for linear probing). The scan must continue
+    /// past entries that sit at their home: an entry further down the run
+    /// may still hash before the hole.
+    fn backward_shift(&mut self, mut i: usize) {
+        let mut j = i;
+        loop {
+            j = (j + 1) & self.mask;
+            let c = self.ctrl[j];
+            if c == 0 {
+                break;
+            }
+            // Move `j`'s entry into the hole iff its home is cyclically
+            // outside (i, j] — i.e. its probe path reaches `j` only
+            // through `i`.
+            let hole_dist = j.wrapping_sub(i) & self.mask;
+            let displacement = j.wrapping_sub(self.home(c)) & self.mask;
+            if displacement >= hole_dist {
+                self.ctrl[i] = c;
+                self.data[i] = self.data[j];
+                i = j;
+            }
+        }
+        self.ctrl[i] = 0;
+        self.data[i] = (K::default(), NIL);
+    }
+
+    /// Keep only the entries for which `keep(key, value)` holds
+    /// (garbage-collection sweep), in place and judging each entry exactly
+    /// once: pass 1 punches holes, pass 2 restores probe-path reachability
+    /// by sliding displaced survivors back toward their homes — no
+    /// copying, no rehashing, and a sweep that removes nothing writes
+    /// nothing. Shrinks the table when occupancy has dropped far below
+    /// capacity.
+    pub fn retain(&mut self, mut keep: impl FnMut(&K, u32) -> bool) {
+        // The anchor must be a slot that is empty *before* any hole is
+        // punched, so that no entry's original probe path wraps across it;
+        // one always exists because load is capped at 75%.
+        let anchor = self
+            .ctrl
+            .iter()
+            .position(|&c| c == 0)
+            .expect("open table is never full");
+        // Pass 1: judge every entry exactly once, punching holes in place.
+        // A sweep that removes nothing (the common case between adjacent
+        // sifting swaps) ends here, having written nothing.
+        let mut dead = 0usize;
+        for (c, kv) in self.ctrl.iter_mut().zip(&self.data) {
+            if *c != 0 && !keep(&kv.0, kv.1) {
+                *c = 0;
+                dead += 1;
+            }
+        }
+        if dead == 0 {
+            return;
+        }
+        self.len -= dead;
+        let mut target = self.ctrl.len();
+        while target > 16 && self.len * 4 < target {
+            target /= 2;
+        }
+        if target < self.ctrl.len() {
+            // Occupancy collapsed: shrink through the scratch buffer
+            // (entries are already judged — this just compacts).
+            let mut survivors = std::mem::take(&mut self.scratch);
+            survivors.clear();
+            survivors.extend(
+                self.ctrl
+                    .iter()
+                    .zip(&self.data)
+                    .filter(|(&c, _)| c != 0)
+                    .map(|(&c, &(k, v))| (c, k, v)),
+            );
+            self.rebuild_into(target, &mut survivors);
+            self.scratch = survivors;
+            return;
+        }
+        // Pass 2: repair reachability in place. Visiting slots in anchored
+        // cyclic order, move each survivor back to the first empty slot on
+        // its probe path (its FCFS position under current occupancy).
+        // Because original probe paths never cross the anchor, any slot a
+        // move vacates lies strictly after every already-repaired entry's
+        // path, so repaired entries stay reachable.
+        for k in 1..=self.ctrl.len() {
+            let i = (anchor + k) & self.mask;
+            let c = self.ctrl[i];
+            if c == 0 {
+                continue;
+            }
+            let mut j = self.home(c);
+            while j != i && self.ctrl[j] != 0 {
+                j = (j + 1) & self.mask;
+            }
+            if j != i {
+                self.ctrl[j] = c;
+                self.data[j] = self.data[i];
+                self.ctrl[i] = 0;
+            }
+        }
+    }
+
+    /// Iterate over all `(key, value)` pairs (order unspecified).
+    pub fn for_each(&self, mut f: impl FnMut(&K, u32)) {
+        for (c, kv) in self.ctrl.iter().zip(&self.data) {
+            if *c != 0 {
+                f(&kv.0, kv.1);
+            }
+        }
+    }
+
+    /// Collect all stored values.
+    #[must_use]
+    pub fn values(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.len);
+        self.for_each(|_, v| out.push(v));
+        out
+    }
+
+    /// Drop all entries, keeping allocation and hasher configuration.
+    pub fn clear(&mut self) {
+        self.ctrl.fill(0);
+        self.len = 0;
+    }
+
+    fn grow(&mut self) {
+        let mut live = std::mem::take(&mut self.scratch);
+        live.clear();
+        live.extend(
+            self.ctrl
+                .iter()
+                .zip(&self.data)
+                .filter(|(&c, _)| c != 0)
+                .map(|(&c, &(k, v))| (c, k, v)),
+        );
+        let target = self.ctrl.len() * 2;
+        self.rebuild_into(target, &mut live);
+        self.scratch = live;
+        self.stats.resizes += 1;
+    }
+
+    /// The adaptive step shared with [`BucketTable`]: if the average probe
+    /// length in the current window exceeds the threshold, rotate the hash
+    /// arrangement / prime and rehash every key (paper §IV-A3).
+    fn maybe_adapt(&mut self) {
+        if self.lookups_since_adapt < Self::ADAPT_WINDOW {
+            return;
+        }
+        let avg = self.probes_since_adapt as f64 / self.lookups_since_adapt as f64;
+        self.probes_since_adapt = 0;
+        self.lookups_since_adapt = 0;
+        if avg > Self::ADAPT_PROBE_THRESHOLD {
+            self.hasher.rearrange();
+            let mut live = std::mem::take(&mut self.scratch);
+            live.clear();
+            live.extend(
+                self.ctrl
+                    .iter()
+                    .zip(&self.data)
+                    .filter(|(&c, _)| c != 0)
+                    .map(|(&c, &(k, v))| (c, k, v)),
+            );
+            for e in &mut live {
+                e.0 = Self::fold(e.1.table_hash(&self.hasher));
+            }
+            let target = self.ctrl.len();
+            self.rebuild_into(target, &mut live);
+            self.scratch = live;
+            self.stats.rearrangements += 1;
+        }
+    }
+
+    /// Reset the arrays to `capacity` empty slots and re-place the drained
+    /// `entries` (decorated hashes assumed current). Reuses the existing
+    /// allocations when the capacity is unchanged.
+    fn rebuild_into(&mut self, capacity: usize, entries: &mut Vec<(u32, K, u32)>) {
+        let capacity = capacity.max(8).next_power_of_two();
+        self.ctrl.clear();
+        self.ctrl.resize(capacity, 0);
+        // The control array gates every read of `data`, so stale payloads
+        // are harmless: only the newly appended region needs initializing,
+        // which keeps a growth step from memsetting the whole payload
+        // array inside someone's timed hot path.
+        self.data.resize(capacity, (K::default(), NIL));
+        self.mask = capacity - 1;
+        self.len = entries.len();
+        for (h, k, v) in entries.drain(..) {
+            self.insert_raw(h, k, v);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+    #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
     struct K3(u32, u32, u32);
     impl TableKey for K3 {
         fn table_hash(&self, h: &CantorHasher) -> u64 {

@@ -116,7 +116,10 @@ pub fn parse_blif(text: &str) -> Result<Network, BlifError> {
                 }
                 ".end" => {}
                 ".latch" | ".subckt" | ".gate" | ".mlatch" => {
-                    return Err(err(line, "only combinational single-model BLIF is supported"))
+                    return Err(err(
+                        line,
+                        "only combinational single-model BLIF is supported",
+                    ))
                 }
                 _ => return Err(err(line, &format!("unknown directive {}", tokens[0]))),
             }
@@ -450,19 +453,20 @@ mod tests {
         let a = net.add_input("a");
         let b = net.add_input("b");
         let c = net.add_input("c");
-        let mut outs = Vec::new();
-        outs.push(net.add_gate(GateOp::And, &[a, b]));
-        outs.push(net.add_gate(GateOp::Or, &[a, b, c]));
-        outs.push(net.add_gate(GateOp::Nand, &[a, c]));
-        outs.push(net.add_gate(GateOp::Nor, &[a, b]));
-        outs.push(net.add_gate(GateOp::Xor, &[a, b, c]));
-        outs.push(net.add_gate(GateOp::Xnor, &[a, b]));
-        outs.push(net.add_gate(GateOp::Not, &[c]));
-        outs.push(net.add_gate(GateOp::Buf, &[a]));
-        outs.push(net.add_gate(GateOp::Maj, &[a, b, c]));
-        outs.push(net.add_gate(GateOp::Mux, &[a, b, c]));
-        outs.push(net.add_gate(GateOp::Const1, &[]));
-        outs.push(net.add_gate(GateOp::Const0, &[]));
+        let outs = vec![
+            net.add_gate(GateOp::And, &[a, b]),
+            net.add_gate(GateOp::Or, &[a, b, c]),
+            net.add_gate(GateOp::Nand, &[a, c]),
+            net.add_gate(GateOp::Nor, &[a, b]),
+            net.add_gate(GateOp::Xor, &[a, b, c]),
+            net.add_gate(GateOp::Xnor, &[a, b]),
+            net.add_gate(GateOp::Not, &[c]),
+            net.add_gate(GateOp::Buf, &[a]),
+            net.add_gate(GateOp::Maj, &[a, b, c]),
+            net.add_gate(GateOp::Mux, &[a, b, c]),
+            net.add_gate(GateOp::Const1, &[]),
+            net.add_gate(GateOp::Const0, &[]),
+        ];
         for (i, s) in outs.iter().enumerate() {
             net.set_output(&format!("o{i}"), *s);
         }

@@ -71,8 +71,7 @@ pub fn random_equivalence(a: &Network, b: &Network, words: usize, seed: u64) -> 
             let diff = wa ^ wb;
             if diff != 0 {
                 let lane = diff.trailing_zeros();
-                let inputs: Vec<bool> =
-                    (0..n).map(|i| (input_words[i] >> lane) & 1 == 1).collect();
+                let inputs: Vec<bool> = (0..n).map(|i| (input_words[i] >> lane) & 1 == 1).collect();
                 return Equivalence::Differs { inputs, output: oi };
             }
         }
@@ -134,7 +133,10 @@ mod tests {
             random_equivalence(&a, &b, 4, 42),
             Equivalence::Indistinguishable
         );
-        assert_eq!(exhaustive_equivalence(&a, &b), Equivalence::Indistinguishable);
+        assert_eq!(
+            exhaustive_equivalence(&a, &b),
+            Equivalence::Indistinguishable
+        );
     }
 
     #[test]

@@ -44,7 +44,12 @@ pub fn write_verilog(net: &Network) -> String {
     let outs: Vec<&str> = net.outputs().iter().map(|(n, _)| n.as_str()).collect();
     let mut ports: Vec<&str> = ins.clone();
     ports.extend(outs.iter().copied());
-    let _ = writeln!(out, "module {} ({});", sanitize(net.name()), ports.join(", "));
+    let _ = writeln!(
+        out,
+        "module {} ({});",
+        sanitize(net.name()),
+        ports.join(", ")
+    );
     for i in &ins {
         let _ = writeln!(out, "  input {i};");
     }
@@ -74,8 +79,7 @@ pub fn write_verilog(net: &Network) -> String {
             GateOp::Not => {
                 let _ = writeln!(out, "  not g{idx} ({o}, {});", ins[0]);
             }
-            GateOp::And | GateOp::Or | GateOp::Nand | GateOp::Nor | GateOp::Xor
-            | GateOp::Xnor => {
+            GateOp::And | GateOp::Or | GateOp::Nand | GateOp::Nor | GateOp::Xor | GateOp::Xnor => {
                 let prim = match g.op {
                     GateOp::And => "and",
                     GateOp::Or => "or",
@@ -113,7 +117,13 @@ pub fn write_verilog(net: &Network) -> String {
 fn sanitize(name: &str) -> String {
     let mut s: String = name
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if s.is_empty() || s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
         s.insert(0, 'm');
@@ -632,10 +642,7 @@ fn emit_expr(net: &mut Network, e: &Expr, line: usize) -> Result<Signal, Verilog
             line,
             message: format!("undriven signal {n}"),
         }),
-        Expr::Const(b) => Ok(net.add_gate(
-            if *b { GateOp::Const1 } else { GateOp::Const0 },
-            &[],
-        )),
+        Expr::Const(b) => Ok(net.add_gate(if *b { GateOp::Const1 } else { GateOp::Const0 }, &[])),
         Expr::Not(inner) => {
             let s = emit_expr(net, inner, line)?;
             Ok(net.add_gate(GateOp::Not, &[s]))

@@ -110,9 +110,9 @@ impl Robdd {
         // Shannon expansion at the top variable (minimal order position).
         let (pf, pg) = (self.edge_pos(f), self.edge_pos(g));
         let var = if pf <= pg {
-            self.node(f.node()).var
+            self.node(f.node()).var()
         } else {
-            self.node(g.node()).var
+            self.node(g.node()).var()
         };
         let (f1, f0) = self.cofactors(f, var);
         let (g1, g0) = self.cofactors(g, var);

@@ -44,8 +44,8 @@ impl Robdd {
                 continue;
             }
             let n = self.node(id);
-            let _ = writeln!(out, "  n{id} [label=\"x{}\"];", n.var);
-            for (child, dashed) in [(n.then_, false), (n.else_, true)] {
+            let _ = writeln!(out, "  n{id} [label=\"x{}\"];", n.var());
+            for (child, dashed) in [(n.then_(), false), (n.else_(), true)] {
                 let mut attrs = Vec::new();
                 if dashed {
                     attrs.push("style=dashed");
@@ -78,6 +78,7 @@ impl Robdd {
         let n = self.num_vars();
         let mut assignment = vec![false; n];
         let mut g = f;
+        #[allow(clippy::needless_range_loop)]
         for v in 0..n {
             let g1 = self.restrict(g, v, true);
             if g1 != Edge::ZERO {

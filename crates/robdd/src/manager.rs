@@ -4,7 +4,7 @@
 use crate::edge::Edge;
 use crate::node::{BddKey, Node, TERMINAL_VAR};
 use ddcore::cache::ComputedCache;
-use ddcore::table::BucketTable;
+use ddcore::table::UniqueTable;
 
 /// Counters exposed for the benchmark harness.
 #[derive(Debug, Clone, Copy, Default)]
@@ -21,6 +21,20 @@ pub struct RobddStats {
     pub swaps: u64,
     /// Peak live node count.
     pub peak_live_nodes: usize,
+    /// Computed-table lookups (snapshot taken by [`Robdd::stats`]).
+    pub cache_lookups: u64,
+    /// Computed-table hits.
+    pub cache_hits: u64,
+    /// Computed-table evictions (inserts that overwrote a live entry).
+    pub cache_evictions: u64,
+}
+
+impl RobddStats {
+    /// Computed-table misses.
+    #[must_use]
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_lookups - self.cache_hits
+    }
 }
 
 /// A manager for Reduced Ordered BDDs with complement edges over a fixed
@@ -39,7 +53,7 @@ pub struct Robdd {
     pub(crate) nodes: Vec<Node>,
     free: Vec<u32>,
     /// One subtable per *variable* (indices never move during reordering).
-    pub(crate) subtables: Vec<BucketTable<BddKey>>,
+    pub(crate) subtables: Vec<UniqueTable<BddKey>>,
     /// `var_at_pos[p]` = variable at top-based order position `p`.
     pub(crate) var_at_pos: Vec<u32>,
     /// Inverse permutation.
@@ -63,7 +77,7 @@ impl Robdd {
         Robdd {
             nodes: vec![Node::terminal()],
             free: Vec::new(),
-            subtables: (0..num_vars).map(|_| BucketTable::new(64)).collect(),
+            subtables: (0..num_vars).map(|_| UniqueTable::new(64)).collect(),
             var_at_pos: (0..num_vars as u32).collect(),
             pos_of_var: (0..num_vars as u32).collect(),
             cache: ComputedCache::default(),
@@ -123,13 +137,30 @@ impl Robdd {
     /// Total stored nodes (excluding the sink).
     #[must_use]
     pub fn live_nodes(&self) -> usize {
-        self.subtables.iter().map(BucketTable::len).sum()
+        self.subtables.iter().map(UniqueTable::len).sum()
     }
 
-    /// Counters accumulated since creation.
+    /// Aggregate unique-table statistics summed over all variable
+    /// subtables.
+    #[must_use]
+    pub fn table_stats(&self) -> ddcore::TableStats {
+        let mut agg = ddcore::TableStats::default();
+        for t in &self.subtables {
+            agg.absorb(t.stats());
+        }
+        agg
+    }
+
+    /// Counters accumulated since creation, including a snapshot of the
+    /// computed-table hit/miss/eviction counters.
     #[must_use]
     pub fn stats(&self) -> RobddStats {
-        self.stats
+        let mut s = self.stats;
+        let c = self.cache.stats();
+        s.cache_lookups = c.lookups;
+        s.cache_hits = c.hits;
+        s.cache_evictions = c.evictions;
+        s
     }
 
     #[inline]
@@ -144,7 +175,7 @@ impl Robdd {
         if e.is_constant() {
             usize::MAX
         } else {
-            self.pos_of_var[self.node(e.node()).var as usize] as usize
+            self.pos_of_var[self.node(e.node()).var() as usize] as usize
         }
     }
 
@@ -161,33 +192,37 @@ impl Robdd {
             out_c = true;
         }
         debug_assert!(self.child_below(then_, var) && self.child_below(else_, var));
-        let key = BddKey { then_, else_ };
-        if let Some(id) = self.subtables[var as usize].get(&key) {
-            return Edge::new(id, out_c);
-        }
-        let node = Node::new(var, then_, else_);
-        let id = match self.free.pop() {
-            Some(id) => {
-                self.nodes[id as usize] = node;
-                id
+        let key = BddKey::new(then_, else_);
+        let nodes = &mut self.nodes;
+        let free = &mut self.free;
+        let mut created = false;
+        let id = self.subtables[var as usize].get_or_insert_with(key, || {
+            created = true;
+            let node = Node::new(var, then_, else_);
+            match free.pop() {
+                Some(id) => {
+                    nodes[id as usize] = node;
+                    id
+                }
+                None => {
+                    nodes.push(node);
+                    (nodes.len() - 1) as u32
+                }
             }
-            None => {
-                self.nodes.push(node);
-                (self.nodes.len() - 1) as u32
+        });
+        if created {
+            self.stats.nodes_created += 1;
+            let live = self.live_nodes();
+            if live > self.stats.peak_live_nodes {
+                self.stats.peak_live_nodes = live;
             }
-        };
-        self.subtables[var as usize].insert(key, id);
-        self.stats.nodes_created += 1;
-        let live = self.live_nodes();
-        if live > self.stats.peak_live_nodes {
-            self.stats.peak_live_nodes = live;
         }
         Edge::new(id, out_c)
     }
 
     fn child_below(&self, child: Edge, var: u16) -> bool {
         child.is_constant()
-            || self.pos_of_var[self.node(child.node()).var as usize]
+            || self.pos_of_var[self.node(child.node()).var() as usize]
                 > self.pos_of_var[var as usize]
     }
 
@@ -198,11 +233,11 @@ impl Robdd {
             return (e, e);
         }
         let n = self.node(e.node());
-        if n.var != var {
+        if n.var() != var {
             return (e, e);
         }
         let c = e.is_complemented();
-        (n.then_.complement_if(c), n.else_.complement_if(c))
+        (n.then_().complement_if(c), n.else_().complement_if(c))
     }
 
     /// Garbage-collect everything unreachable from `roots`.
@@ -219,7 +254,7 @@ impl Robdd {
                 continue;
             }
             n.set_mark(true);
-            let (t, e) = (n.then_, n.else_);
+            let (t, e) = (n.then_(), n.else_());
             if !t.is_constant() {
                 stack.push(t.node());
             }
@@ -227,27 +262,28 @@ impl Robdd {
                 stack.push(e.node());
             }
         }
-        let mut freed: Vec<u32> = Vec::new();
+        // Sweep; survivors drop their mark bit in the same pass (the
+        // tables call the closure exactly once per stored entry).
+        let nodes = &mut self.nodes;
+        let free = &mut self.free;
+        let mut freed = 0usize;
         for table in &mut self.subtables {
-            let nodes = &mut self.nodes;
             table.retain(|_, id| {
                 let n = &mut nodes[id as usize];
                 if n.is_marked() {
                     n.set_mark(false);
                     true
                 } else {
-                    freed.push(id);
+                    n.set_free(true);
+                    free.push(id);
+                    freed += 1;
                     false
                 }
             });
         }
-        for &id in &freed {
-            self.nodes[id as usize].set_free(true);
-            self.free.push(id);
-        }
         self.cache.invalidate();
-        self.stats.nodes_freed += freed.len() as u64;
-        freed.len()
+        self.stats.nodes_freed += freed as u64;
+        freed
     }
 
     /// Validate the canonical-form invariants (tests/debugging).
@@ -272,7 +308,7 @@ impl Robdd {
                     err = Some(format!("free node {id} still stored"));
                     return;
                 }
-                if n.var as usize != var {
+                if n.var() as usize != var {
                     err = Some(format!("node {id} in wrong subtable"));
                     return;
                 }
@@ -280,16 +316,16 @@ impl Robdd {
                     err = Some(format!("node {id} key mismatch"));
                     return;
                 }
-                if n.then_.is_complemented() {
+                if n.then_().is_complemented() {
                     err = Some(format!("node {id} has complemented then-edge"));
                     return;
                 }
-                if n.then_ == n.else_ {
+                if n.then_() == n.else_() {
                     err = Some(format!("node {id} is redundant"));
                     return;
                 }
-                for child in [n.then_, n.else_] {
-                    if !self.child_below(child, n.var) {
+                for child in [n.then_(), n.else_()] {
+                    if !self.child_below(child, n.var()) {
                         err = Some(format!("node {id} breaks the order"));
                         return;
                     }
@@ -306,7 +342,7 @@ impl Robdd {
                     return;
                 }
                 let n = self.node(id);
-                for child in [n.then_, n.else_] {
+                for child in [n.then_(), n.else_()] {
                     if !child.is_constant() && !present.contains(&child.node()) {
                         err = Some(format!("node {id} references unstored node"));
                         return;

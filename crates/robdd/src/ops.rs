@@ -23,10 +23,10 @@ impl Robdd {
                 return e == Edge::ONE;
             }
             let n = self.node(e.node());
-            let child = if assignment[n.var as usize] {
-                n.then_
+            let child = if assignment[n.var() as usize] {
+                n.then_()
             } else {
-                n.else_
+                n.else_()
             };
             e = child.complement_if(e.is_complemented());
         }
@@ -52,7 +52,7 @@ impl Robdd {
                 continue;
             }
             let n = self.node(id);
-            for child in [n.then_, n.else_] {
+            for child in [n.then_(), n.else_()] {
                 if !child.is_constant() {
                     stack.push(child.node());
                 }
@@ -82,12 +82,12 @@ impl Robdd {
         let id = e.node();
         let n = *self.node(id);
         // Universe of the node: its variable plus everything below it.
-        let u = (self.num_vars() - self.pos_of_var[n.var as usize] as usize) as u32;
+        let u = (self.num_vars() - self.pos_of_var[n.var() as usize] as usize) as u32;
         debug_assert!(u <= k);
         let raw = if let Some(&r) = memo.get(&id) {
             r
         } else {
-            let r = self.sat_edge(n.then_, u - 1, memo) + self.sat_edge(n.else_, u - 1, memo);
+            let r = self.sat_edge(n.then_(), u - 1, memo) + self.sat_edge(n.else_(), u - 1, memo);
             memo.insert(id, r);
             r
         };
@@ -126,16 +126,16 @@ impl Robdd {
             return r.complement_if(c);
         }
         let n = *self.node(id);
-        let r = if n.var == var {
+        let r = if n.var() == var {
             if value {
-                n.then_
+                n.then_()
             } else {
-                n.else_
+                n.else_()
             }
         } else {
-            let t = self.restrict_rec(n.then_, var, target_pos, value, memo);
-            let e = self.restrict_rec(n.else_, var, target_pos, value, memo);
-            self.make_node(n.var, t, e)
+            let t = self.restrict_rec(n.then_(), var, target_pos, value, memo);
+            let e = self.restrict_rec(n.else_(), var, target_pos, value, memo);
+            self.make_node(n.var(), t, e)
         };
         memo.insert(id, r);
         r.complement_if(c)
@@ -163,8 +163,8 @@ impl Robdd {
                 continue;
             }
             let n = self.node(id);
-            vars.insert(n.var as usize);
-            for child in [n.then_, n.else_] {
+            vars.insert(n.var() as usize);
+            for child in [n.then_(), n.else_()] {
                 if !child.is_constant() {
                     stack.push(child.node());
                 }

@@ -43,9 +43,9 @@ impl Robdd {
         let ids = self.subtables[x as usize].values();
         for id in ids {
             let nd = *self.node(id);
-            let (t, e) = (nd.then_, nd.else_);
-            let t_dep = !t.is_constant() && self.node(t.node()).var == y;
-            let e_dep = !e.is_constant() && self.node(e.node()).var == y;
+            let (t, e) = (nd.then_(), nd.else_());
+            let t_dep = !t.is_constant() && self.node(t.node()).var() == y;
+            let e_dep = !e.is_constant() && self.node(e.node()).var() == y;
             if !t_dep && !e_dep {
                 // Does not involve y: stays a valid x-node (now below y).
                 continue;
@@ -55,14 +55,14 @@ impl Robdd {
             let (t1, t0) = if t_dep {
                 let tn = self.node(t.node());
                 let c = t.is_complemented();
-                (tn.then_.complement_if(c), tn.else_.complement_if(c))
+                (tn.then_().complement_if(c), tn.else_().complement_if(c))
             } else {
                 (t, t)
             };
             let (e1, e0) = if e_dep {
                 let en = self.node(e.node());
                 let c = e.is_complemented();
-                (en.then_.complement_if(c), en.else_.complement_if(c))
+                (en.then_().complement_if(c), en.else_().complement_if(c))
             } else {
                 (e, e)
             };

@@ -21,10 +21,16 @@ fn arb_expr(nvars: usize, depth: u32) -> impl Strategy<Value = Expr> {
     leaf.prop_recursive(depth, 64, 3, move |inner| {
         prop_oneof![
             inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
-            (0u8..16, inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| Expr::Bin(op, Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(s, a, b)| Expr::Ite(Box::new(s), Box::new(a), Box::new(b))),
+            (0u8..16, inner.clone(), inner.clone()).prop_map(|(op, a, b)| Expr::Bin(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (inner.clone(), inner.clone(), inner).prop_map(|(s, a, b)| Expr::Ite(
+                Box::new(s),
+                Box::new(a),
+                Box::new(b)
+            )),
         ]
     })
 }

@@ -82,7 +82,14 @@ pub fn bbdd_to_network(
             // structural hashing, which measurably beats per-node
             // peepholing (e.g. 99 vs 141 cells on the 16-bit CLA adder).
             let t = edge_signal(&mut net, mgr, info.eq, &node_sig, &mut inv_sig, &mut const1);
-            let f = edge_signal(&mut net, mgr, info.neq, &node_sig, &mut inv_sig, &mut const1);
+            let f = edge_signal(
+                &mut net,
+                mgr,
+                info.neq,
+                &node_sig,
+                &mut inv_sig,
+                &mut const1,
+            );
             net.add_gate(GateOp::Mux, &[sel, t, f])
         };
         node_sig.insert(id, sig);

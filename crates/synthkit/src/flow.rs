@@ -180,14 +180,13 @@ mod tests {
 
     #[test]
     fn magnitude_flows_are_both_compact_and_correct() {
-        // Divergence from the paper, documented in EXPERIMENTS.md: our
+        // Divergence from the paper (see the notes in CHANGES.md): our
         // baseline's dead-logic elimination already prunes the subtractor
         // down to the optimal borrow chain, so the commercial bloat the
         // paper measured (186 gates) does not occur and the BBDD flow has
         // nothing left to win; both flows stay within a small factor.
         let lib = CellLibrary::paper_22nm();
-        let net = benchgen::datapath::Datapath::Magnitude { width: 16 }
-            .commercial_implementation();
+        let net = benchgen::datapath::Datapath::Magnitude { width: 16 }.commercial_implementation();
         let direct = synthesize_direct_with(&net, &lib, MapStyle::TreeLocal);
         let (bbdd_flow, _) = synthesize_bbdd_first_with(&net, &lib, true, MapStyle::TreeLocal);
         verify_flow(&net, &lib, &direct);
@@ -207,8 +206,13 @@ mod tests {
         ] {
             let dag = synthesize_direct_with(&net, &lib, MapStyle::DagAware);
             let tree = synthesize_direct_with(&net, &lib, MapStyle::TreeLocal);
-            assert!(tree.area_um2 <= 4.0 * dag.area_um2,
-                "{}: dag {} vs tree {}", net.name(), dag.area_um2, tree.area_um2);
+            assert!(
+                tree.area_um2 <= 4.0 * dag.area_um2,
+                "{}: dag {} vs tree {}",
+                net.name(),
+                dag.area_um2,
+                tree.area_um2
+            );
             verify_flow(&net, &lib, &dag);
             verify_flow(&net, &lib, &tree);
         }

@@ -108,10 +108,9 @@ impl MappedNetlist {
         }
         for (name, out) in &self.outputs {
             let sig = match out {
-                MappedOutput::Const(b) => net.add_gate(
-                    if *b { GateOp::Const1 } else { GateOp::Const0 },
-                    &[],
-                ),
+                MappedOutput::Const(b) => {
+                    net.add_gate(if *b { GateOp::Const1 } else { GateOp::Const0 }, &[])
+                }
                 MappedOutput::Sig(m) => *produced.get(m).expect("driven output"),
             };
             net.set_output(name, sig);
@@ -369,10 +368,7 @@ pub fn map_with(aig: &Aig, lib: &CellLibrary, style: MapStyle) -> MappedNetlist 
     }
 
     // ---- area + static timing ----------------------------------------------
-    let area_um2: f64 = instances
-        .iter()
-        .map(|i| lib.cells()[i.cell].area_um2)
-        .sum();
+    let area_um2: f64 = instances.iter().map(|i| lib.cells()[i.cell].area_um2).sum();
     let mut arrival: HashMap<MSig, f64> = HashMap::new();
     let mut delay_ns: f64 = 0.0;
     for inst in &instances {

@@ -12,7 +12,10 @@ use synthkit::mapper::MapStyle;
 
 fn main() {
     let lib = CellLibrary::paper_22nm();
-    println!("Library: {} cells (22 nm characterization)", lib.cells().len());
+    println!(
+        "Library: {} cells (22 nm characterization)",
+        lib.cells().len()
+    );
     for cell in lib.cells() {
         println!(
             "  {:<6} area {:.3} um2, delay {:.3} ns",

@@ -74,6 +74,7 @@ fn main() {
     // Walk up a satisfying assignment by restriction.
     let mut assignment = vec![false; ripple.num_inputs()];
     let mut f = diff;
+    #[allow(clippy::needless_range_loop)]
     for v in 0..ripple.num_inputs() {
         let f1 = mgr.restrict(f, v, true);
         if mgr.sat_count(f1) > 0 {

@@ -44,13 +44,19 @@ fn main() {
         parity = mgr.xor(parity, lit);
     }
     println!("6-input parity");
-    println!("  node count      : {} (a BDD needs 6)", mgr.node_count(parity));
+    println!(
+        "  node count      : {} (a BDD needs 6)",
+        mgr.node_count(parity)
+    );
 
     // Reordering: scramble the order, then let sifting recover it.
     mgr.reorder_to(&[0, 2, 4, 1, 3, 5]);
     let scrambled = mgr.node_count(eq);
     mgr.sift(&[eq, parity]);
-    println!("comparator after scramble: {scrambled} nodes; after sifting: {} nodes", mgr.node_count(eq));
+    println!(
+        "comparator after scramble: {scrambled} nodes; after sifting: {} nodes",
+        mgr.node_count(eq)
+    );
 
     // Export for graphviz.
     let dot = mgr.to_dot(&[eq, parity], &["eq3", "parity6"]);

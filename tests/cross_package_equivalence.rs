@@ -61,8 +61,7 @@ fn file_format_pipeline_preserves_functions() {
     for name in ["C17", "z4ml", "9symml", "misex1", "decod", "parity"] {
         let net = benchgen::mcnc::generate(name).unwrap();
         let via_verilog = verilog::parse_verilog(&verilog::write_verilog(&net)).unwrap();
-        let via_both =
-            blif::parse_blif(&blif::write_blif(&via_verilog)).unwrap();
+        let via_both = blif::parse_blif(&blif::write_blif(&via_verilog)).unwrap();
         assert_eq!(
             logicnet::sim::exhaustive_equivalence(&net, &via_both),
             logicnet::sim::Equivalence::Indistinguishable,
@@ -98,7 +97,9 @@ fn agree_after_sift(net: &Network, mgr: &bbdd::Bbdd, roots: &[bbdd::Edge]) {
 
 #[test]
 fn sift_preserves_all_benchmark_functions() {
-    for name in ["C17", "misex1", "z4ml", "decod", "9symml", "parity", "cordic"] {
+    for name in [
+        "C17", "misex1", "z4ml", "decod", "9symml", "parity", "cordic",
+    ] {
         let net = benchgen::mcnc::generate(name).unwrap();
         let mut mgr = bbdd::Bbdd::new(net.num_inputs());
         let roots = build_network(&mut mgr, &net);
