@@ -1,0 +1,146 @@
+//! Benchmarks for the verification ops layer: cube quantification, the
+//! fused and-exists, satisfiability counting, composition and the full
+//! combinational equivalence check — on both managers, over real circuit
+//! functions (MCNC stand-ins and datapath generators).
+
+use bbdd::Bbdd;
+use benchgen::{datapath, mcnc};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use logicnet::build::build_network;
+use logicnet::cec::{check_equivalence_bbdd, check_equivalence_robdd};
+use robdd::Robdd;
+
+/// Every other input — a realistic "state variables" cube for image-style
+/// quantification.
+fn half_cube(n: usize) -> Vec<usize> {
+    (0..n).filter(|v| v % 2 == 0).collect()
+}
+
+fn bench_quantification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantify");
+    group.sample_size(20);
+    for name in ["comp", "my_adder", "9symml"] {
+        let net = mcnc::generate(name).expect("known benchmark");
+        let cube = half_cube(net.num_inputs());
+        group.bench_with_input(BenchmarkId::new("exists_bbdd", name), name, |b, _| {
+            b.iter_batched(
+                || {
+                    let mut mgr = Bbdd::new(net.num_inputs());
+                    let roots = build_network(&mut mgr, &net);
+                    (mgr, roots)
+                },
+                |(mut mgr, roots)| {
+                    for &r in &roots {
+                        criterion::black_box(mgr.exists(r, &cube));
+                    }
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("exists_robdd", name), name, |b, _| {
+            b.iter_batched(
+                || {
+                    let mut mgr = Robdd::new(net.num_inputs());
+                    let roots = build_network(&mut mgr, &net);
+                    (mgr, roots)
+                },
+                |(mut mgr, roots)| {
+                    for &r in &roots {
+                        criterion::black_box(mgr.exists(r, &cube));
+                    }
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_and_exists(c: &mut Criterion) {
+    let mut group = c.benchmark_group("and_exists");
+    group.sample_size(20);
+    // Relational-product shape: conjoin two outputs of the comparator and
+    // quantify half the inputs — fused vs. materialize-then-quantify.
+    let net = mcnc::generate("comp").expect("known benchmark");
+    let cube = half_cube(net.num_inputs());
+    group.bench_function("fused_bbdd", |b| {
+        b.iter_batched(
+            || {
+                let mut mgr = Bbdd::new(net.num_inputs());
+                let roots = build_network(&mut mgr, &net);
+                (mgr, roots)
+            },
+            |(mut mgr, roots)| criterion::black_box(mgr.and_exists(roots[0], roots[1], &cube)),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("materialized_bbdd", |b| {
+        b.iter_batched(
+            || {
+                let mut mgr = Bbdd::new(net.num_inputs());
+                let roots = build_network(&mut mgr, &net);
+                (mgr, roots)
+            },
+            |(mut mgr, roots)| {
+                let conj = mgr.and(roots[0], roots[1]);
+                criterion::black_box(mgr.exists(conj, &cube))
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_satcount(c: &mut Criterion) {
+    let mut group = c.benchmark_group("satcount");
+    group.sample_size(30);
+    let net = datapath::adder_cla(16);
+    let mut bb = Bbdd::new(net.num_inputs());
+    let bb_roots = build_network(&mut bb, &net);
+    let mut rb = Robdd::new(net.num_inputs());
+    let rb_roots = build_network(&mut rb, &net);
+    group.bench_function("bbdd_cla16_all_outputs", |b| {
+        b.iter(|| {
+            let mut acc = 0u128;
+            for &r in &bb_roots {
+                acc = acc.wrapping_add(bb.sat_count(r));
+            }
+            criterion::black_box(acc)
+        });
+    });
+    group.bench_function("robdd_cla16_all_outputs", |b| {
+        b.iter(|| {
+            let mut acc = 0u128;
+            for &r in &rb_roots {
+                acc = acc.wrapping_add(rb.sat_count(r));
+            }
+            criterion::black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+fn bench_cec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cec");
+    group.sample_size(10);
+    for w in [8usize, 12] {
+        let ripple = datapath::adder(w);
+        let cla = datapath::adder_cla(w);
+        group.bench_with_input(BenchmarkId::new("adder_pair_bbdd", w), &w, |b, _| {
+            b.iter(|| criterion::black_box(check_equivalence_bbdd(&ripple, &cla)));
+        });
+        group.bench_with_input(BenchmarkId::new("adder_pair_robdd", w), &w, |b, _| {
+            b.iter(|| criterion::black_box(check_equivalence_robdd(&ripple, &cla)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_quantification,
+    bench_and_exists,
+    bench_satcount,
+    bench_cec
+);
+criterion_main!(benches);

@@ -160,6 +160,59 @@ fn main() {
         sw.swaps as f64 / sw.seconds
     );
 
+    // Verification ops layer: cube quantification over half the inputs of
+    // `comp` (all outputs), satcount over the 16-bit CLA adder, and the
+    // full CEC of the 12-bit ripple-vs-lookahead adder pair — each on both
+    // managers, matching the `verification_ops` criterion bench.
+    {
+        let comp = mcnc::generate("comp").expect("known benchmark");
+        let cube: Vec<usize> = (0..comp.num_inputs()).filter(|v| v % 2 == 0).collect();
+        let exists_bbdd = min_time(5, || {
+            let mut mgr = Bbdd::new(comp.num_inputs());
+            let roots = logicnet::build::build_network(&mut mgr, &comp);
+            for &r in &roots {
+                std::hint::black_box(mgr.exists(r, &cube));
+            }
+        });
+        let exists_robdd = min_time(5, || {
+            let mut mgr = robdd::Robdd::new(comp.num_inputs());
+            let roots = logicnet::build::build_network(&mut mgr, &comp);
+            for &r in &roots {
+                std::hint::black_box(mgr.exists(r, &cube));
+            }
+        });
+        let cla = benchgen::datapath::adder_cla(16);
+        let satcount_bbdd = min_time(5, || {
+            let mut mgr = Bbdd::new(cla.num_inputs());
+            let roots = logicnet::build::build_network(&mut mgr, &cla);
+            let mut acc = 0u128;
+            for &r in &roots {
+                acc = acc.wrapping_add(mgr.sat_count(r));
+            }
+            std::hint::black_box(acc);
+        });
+        let ripple = benchgen::datapath::adder(12);
+        let cla12 = benchgen::datapath::adder_cla(12);
+        let cec_bbdd = min_time(5, || {
+            std::hint::black_box(logicnet::cec::check_equivalence_bbdd(&ripple, &cla12));
+        });
+        let cec_robdd = min_time(5, || {
+            std::hint::black_box(logicnet::cec::check_equivalence_robdd(&ripple, &cla12));
+        });
+        let _ = writeln!(
+            json,
+            "  \"verification\": {{\"exists_comp_bbdd_us\": {:.2}, \"exists_comp_robdd_us\": {:.2}, \
+             \"satcount_cla16_build_bbdd_us\": {:.2}, \"cec_adder12_bbdd_us\": {:.2}, \
+             \"cec_adder12_robdd_us\": {:.2}}},",
+            exists_bbdd * 1e6,
+            exists_robdd * 1e6,
+            satcount_bbdd * 1e6,
+            cec_bbdd * 1e6,
+            cec_robdd * 1e6,
+        );
+        eprintln!("verification ops: done");
+    }
+
     // Apply throughput, small and large scale.
     let ns = apply_throughput_ns();
     let _ = writeln!(json, "  \"apply_and_n20_ns\": {ns:.1},");

@@ -1,0 +1,83 @@
+//! Scratch measurement: decompose robdd sift cost on one benchmark into
+//! swap work vs. per-swap GC work (root-causing the misex1 open-table
+//! sift regression). Usage:
+//!   cargo run --release -p bbdd-bench --bin sift_anatomy [bench-name]
+//!   cargo run --release -p bbdd-bench --bin sift_anatomy --features chained_tables ...
+
+use logicnet::build::build_network;
+use std::time::Instant;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "misex1".into());
+    let variant = if cfg!(feature = "chained_tables") {
+        "chained"
+    } else {
+        "open"
+    };
+    let net = benchgen::mcnc::generate(&name).expect("known benchmark");
+    let n = net.num_inputs();
+
+    // Reference sift time.
+    let mut best_sift = f64::MAX;
+    for _ in 0..7 {
+        let mut mgr = robdd::Robdd::new(n);
+        let roots = build_network(&mut mgr, &net);
+        let t = Instant::now();
+        mgr.sift(&roots);
+        best_sift = best_sift.min(t.elapsed().as_secs_f64());
+    }
+
+    // Swap-only walk (no GC besides what swap itself does): sweep every
+    // variable down and back up once, repeated.
+    let mut mgr = robdd::Robdd::new(n);
+    let roots = build_network(&mut mgr, &net);
+    mgr.gc(&roots);
+    let reps = 200;
+    let t = Instant::now();
+    let mut swaps = 0u64;
+    for _ in 0..reps {
+        for p in 0..n - 1 {
+            mgr.swap_adjacent(p);
+            swaps += 1;
+        }
+        for p in (0..n - 1).rev() {
+            mgr.swap_adjacent(p);
+            swaps += 1;
+        }
+    }
+    let swap_ns = t.elapsed().as_secs_f64() * 1e9 / swaps as f64;
+
+    // GC-only: same diagram, repeated collections (nothing dies after the
+    // first), measuring the fixed sweep cost.
+    mgr.gc(&roots);
+    let t = Instant::now();
+    let gcs = 4000u64;
+    for _ in 0..gcs {
+        mgr.gc(&roots);
+    }
+    let gc_ns = t.elapsed().as_secs_f64() * 1e9 / gcs as f64;
+
+    // Swap + per-swap GC (the sift inner loop shape).
+    let t = Instant::now();
+    let mut both = 0u64;
+    for _ in 0..reps {
+        for p in 0..n - 1 {
+            mgr.swap_adjacent(p);
+            mgr.gc(&roots);
+            both += 1;
+        }
+        for p in (0..n - 1).rev() {
+            mgr.swap_adjacent(p);
+            mgr.gc(&roots);
+            both += 1;
+        }
+    }
+    let both_ns = t.elapsed().as_secs_f64() * 1e9 / both as f64;
+
+    println!(
+        "{name} [{variant}] vars={n} live={} | sift {:.1} µs | swap {swap_ns:.0} ns | \
+         gc {gc_ns:.0} ns | swap+gc {both_ns:.0} ns",
+        mgr.live_nodes(),
+        best_sift * 1e6,
+    );
+}

@@ -19,10 +19,11 @@
 use crate::edge::Edge;
 use crate::manager::Bbdd;
 use ddcore::boolop::{BoolOp, Unary};
+use ddcore::optag;
 
-/// Computed-table tag space: 0..=15 for `apply` (the operator table), 16
-/// for `ite`.
-const TAG_ITE: u32 = 16;
+/// Computed-table tag for `ite` (the `apply` range uses the operator's own
+/// truth table as its tag; see [`ddcore::optag`] for the full registry).
+const TAG_ITE: u32 = optag::ITE;
 
 impl Bbdd {
     /// Compute `f ⊗ g` for an arbitrary two-operand Boolean operator.

@@ -56,6 +56,7 @@ mod edge;
 mod manager;
 mod node;
 mod ops;
+mod quant;
 mod reorder;
 mod serialize;
 mod swap;
@@ -63,6 +64,7 @@ mod swap;
 pub mod dot;
 
 pub use ddcore::boolop::{BoolOp, Unary};
+pub use ddcore::nary::NaryOp;
 pub use edge::Edge;
 pub use manager::{Bbdd, BbddStats, NodeInfo};
 pub use reorder::SiftConfig;

@@ -14,6 +14,13 @@ pub struct BbddStats {
     pub apply_calls: u64,
     /// Recursive `ite` invocations.
     pub ite_calls: u64,
+    /// Recursive quantification entries (`exists`/`forall`/`and_exists`).
+    pub quant_calls: u64,
+    /// Composition operations (`compose` calls and `vector_compose`
+    /// recursion entries).
+    pub compose_calls: u64,
+    /// Recursive n-ary `apply` entries.
+    pub nary_calls: u64,
     /// Nodes created (unique-table inserts).
     pub nodes_created: u64,
     /// Garbage-collection runs.

@@ -1,6 +1,9 @@
 //! Queries and structural operations on BBDD functions: evaluation,
 //! counting, satisfiability counting, cofactoring by a single variable
-//! (`restrict`), quantification and semantic support.
+//! (`restrict`), single-variable composition and semantic support.
+//!
+//! The cube quantification / simultaneous-composition / model-enumeration
+//! suite lives in `quant.rs` (the verification ops layer).
 
 use crate::edge::Edge;
 use crate::manager::Bbdd;
@@ -231,31 +234,11 @@ impl Bbdd {
             .collect()
     }
 
-    /// Existential quantification `∃ vars . f`.
-    pub fn exists(&mut self, f: Edge, vars: &[usize]) -> Edge {
-        let mut acc = f;
-        for &v in vars {
-            let f0 = self.restrict(acc, v, false);
-            let f1 = self.restrict(acc, v, true);
-            acc = self.or(f0, f1);
-        }
-        acc
-    }
-
-    /// Universal quantification `∀ vars . f`.
-    pub fn forall(&mut self, f: Edge, vars: &[usize]) -> Edge {
-        let mut acc = f;
-        for &v in vars {
-            let f0 = self.restrict(acc, v, false);
-            let f1 = self.restrict(acc, v, true);
-            acc = self.and(f0, f1);
-        }
-        acc
-    }
-
     /// Substitute `var := g` in `f` (Boolean composition), computed as
-    /// `(g ∧ f|_{var=1}) ∨ (¬g ∧ f|_{var=0})`.
+    /// `(g ∧ f|_{var=1}) ∨ (¬g ∧ f|_{var=0})`. For simultaneous
+    /// substitution of several variables see [`Bbdd::vector_compose`].
     pub fn compose(&mut self, f: Edge, var: usize, g: Edge) -> Edge {
+        self.stats.compose_calls += 1;
         let f1 = self.restrict(f, var, true);
         let f0 = self.restrict(f, var, false);
         self.ite(g, f1, f0)

@@ -18,11 +18,22 @@
 //! Both the BBDD package (`bbdd` crate) and the ROBDD baseline (`robdd`
 //! crate) are built on these primitives, so the Table-I runtime comparison
 //! measures the *algorithms*, not incidental infrastructure differences.
+//!
+//! On top of the storage primitives, two pieces of shared *operation*
+//! infrastructure keep the managers' op suites aligned: the computed-table
+//! tag registry ([`optag`]) naming every cached operation (apply, ite,
+//! quantification, composition), and the n-ary operator tables ([`nary`])
+//! backing the generic n-ary `apply`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod boolop;
 pub mod cache;
 pub mod cantor;
 pub mod fxhash;
+pub mod nary;
+pub mod optag;
 pub mod stats;
 pub mod table;
 
@@ -30,5 +41,6 @@ pub use boolop::{BoolOp, Unary};
 pub use cache::{CacheStats, ComputedCache};
 pub use cantor::{cantor_pair, CantorHasher, HashArrangement};
 pub use fxhash::{FxHashMap, FxHashSet};
+pub use nary::NaryOp;
 pub use stats::TableStats;
 pub use table::{BucketTable, OpenTable, UniqueTable, NIL};

@@ -1,0 +1,263 @@
+//! N-ary Boolean operators as packed truth tables (up to 6 operands).
+//!
+//! The generic n-ary `apply` of the verification ops layer recurses on a
+//! *vector* of operands under one operator. Like the binary
+//! [`BoolOp`](crate::BoolOp), the operator is a truth table so that operand
+//! rewrites are constant-time bit permutations: constants *restrict* the
+//! table (dropping an operand), complemented operands swap bit planes, and
+//! a table that degenerates to a constant terminates the recursion — the
+//! n-ary generalization of the paper's `updateop` canonicalization.
+//!
+//! Bit `m` of the table is the operator's value on the input vector whose
+//! operand `i` equals bit `i` of `m`, so a 6-ary operator fills exactly one
+//! `u64`.
+
+/// A Boolean operator of up to 6 operands, encoded as a packed truth table.
+///
+/// ```
+/// use ddcore::NaryOp;
+/// let maj = NaryOp::majority3();
+/// assert!(maj.eval(0b011));
+/// assert!(!maj.eval(0b100));
+/// // Restricting an operand to a constant yields the (k-1)-ary cofactor:
+/// let or2 = maj.restrict(2, true); // maj(a, b, 1) = a ∨ b
+/// assert_eq!(or2, NaryOp::disjunction(2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NaryOp {
+    arity: u8,
+    table: u64,
+}
+
+impl NaryOp {
+    /// Maximum supported operand count (the table must fit in a `u64`).
+    pub const MAX_ARITY: usize = 6;
+
+    /// An operator over `arity` operands with the given packed truth table
+    /// (bits above `2^arity` are ignored).
+    ///
+    /// # Panics
+    /// Panics if `arity` is 0 or exceeds [`NaryOp::MAX_ARITY`].
+    #[must_use]
+    pub fn new(arity: usize, table: u64) -> Self {
+        assert!(
+            (1..=Self::MAX_ARITY).contains(&arity),
+            "NaryOp arity must be 1..=6"
+        );
+        NaryOp {
+            arity: arity as u8,
+            table: table & Self::mask(arity),
+        }
+    }
+
+    /// Build the table by evaluating `f` on every input vector.
+    #[must_use]
+    pub fn from_fn(arity: usize, f: impl Fn(u32) -> bool) -> Self {
+        assert!(
+            (1..=Self::MAX_ARITY).contains(&arity),
+            "NaryOp arity must be 1..=6"
+        );
+        let mut table = 0u64;
+        for m in 0..(1u32 << arity) {
+            if f(m) {
+                table |= 1 << m;
+            }
+        }
+        NaryOp {
+            arity: arity as u8,
+            table,
+        }
+    }
+
+    /// `a₀ ∧ a₁ ∧ … ∧ a_{k-1}`.
+    #[must_use]
+    pub fn conjunction(arity: usize) -> Self {
+        Self::from_fn(arity, |m| m == (1u32 << arity) - 1)
+    }
+
+    /// `a₀ ∨ a₁ ∨ … ∨ a_{k-1}`.
+    #[must_use]
+    pub fn disjunction(arity: usize) -> Self {
+        Self::from_fn(arity, |m| m != 0)
+    }
+
+    /// `a₀ ⊕ a₁ ⊕ … ⊕ a_{k-1}`.
+    #[must_use]
+    pub fn parity(arity: usize) -> Self {
+        Self::from_fn(arity, |m| m.count_ones() % 2 == 1)
+    }
+
+    /// The three-input majority function.
+    #[must_use]
+    pub fn majority3() -> Self {
+        Self::from_fn(3, |m| m.count_ones() >= 2)
+    }
+
+    /// Number of operands.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.arity as usize
+    }
+
+    /// The packed truth table (defined bits only).
+    #[must_use]
+    pub fn table(&self) -> u64 {
+        self.table
+    }
+
+    /// The operator's value on the input vector `m` (operand `i` = bit `i`).
+    #[must_use]
+    pub fn eval(&self, m: u32) -> bool {
+        debug_assert!(m < (1u32 << self.arity));
+        (self.table >> m) & 1 == 1
+    }
+
+    /// `Some(value)` when the operator ignores all operands.
+    #[must_use]
+    pub fn as_constant(&self) -> Option<bool> {
+        if self.table == 0 {
+            Some(false)
+        } else if self.table == Self::mask(self.arity as usize) {
+            Some(true)
+        } else {
+            None
+        }
+    }
+
+    /// The `(k-1)`-ary cofactor fixing operand `i` to `value`; operands
+    /// above `i` shift down one position.
+    ///
+    /// # Panics
+    /// Panics if the operator is unary or `i` is out of range.
+    #[must_use]
+    pub fn restrict(&self, i: usize, value: bool) -> Self {
+        let a = self.arity as usize;
+        assert!(a > 1, "cannot restrict a unary operator");
+        assert!(i < a, "operand index out of range");
+        let mut table = 0u64;
+        for m2 in 0..(1u32 << (a - 1)) {
+            let low = m2 & ((1 << i) - 1);
+            let high = (m2 >> i) << (i + 1);
+            let m = high | ((value as u32) << i) | low;
+            if self.eval(m) {
+                table |= 1 << m2;
+            }
+        }
+        NaryOp {
+            arity: (a - 1) as u8,
+            table,
+        }
+    }
+
+    /// The operator with operand `i` complemented (the n-ary `updateop`:
+    /// folding a complement attribute into the table keeps operands in
+    /// regular form, maximizing memo hits).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn complement_operand(&self, i: usize) -> Self {
+        let a = self.arity as usize;
+        assert!(i < a, "operand index out of range");
+        let mut table = 0u64;
+        for m in 0..(1u32 << a) {
+            if self.eval(m ^ (1 << i)) {
+                table |= 1 << m;
+            }
+        }
+        NaryOp {
+            arity: self.arity,
+            table,
+        }
+    }
+
+    /// The complemented operator (`¬(f ⊗ …)`).
+    #[must_use]
+    pub fn complement_output(&self) -> Self {
+        NaryOp {
+            arity: self.arity,
+            table: !self.table & Self::mask(self.arity as usize),
+        }
+    }
+
+    fn mask(arity: usize) -> u64 {
+        if arity >= 6 {
+            u64::MAX
+        } else {
+            (1u64 << (1usize << arity)) - 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_operators_evaluate() {
+        let and3 = NaryOp::conjunction(3);
+        let or3 = NaryOp::disjunction(3);
+        let xor4 = NaryOp::parity(4);
+        for m in 0..8u32 {
+            assert_eq!(and3.eval(m), m == 7);
+            assert_eq!(or3.eval(m), m != 0);
+        }
+        for m in 0..16u32 {
+            assert_eq!(xor4.eval(m), m.count_ones() % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn restrict_matches_cofactor() {
+        let maj = NaryOp::majority3();
+        for i in 0..3 {
+            for value in [false, true] {
+                let r = maj.restrict(i, value);
+                assert_eq!(r.arity(), 2);
+                for m2 in 0..4u32 {
+                    let low = m2 & ((1 << i) - 1);
+                    let high = (m2 >> i) << (i + 1);
+                    let m = high | ((value as u32) << i) | low;
+                    assert_eq!(r.eval(m2), maj.eval(m), "i={i} value={value} m2={m2}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn complement_operand_swaps_planes() {
+        let maj = NaryOp::majority3();
+        let c = maj.complement_operand(1);
+        for m in 0..8u32 {
+            assert_eq!(c.eval(m), maj.eval(m ^ 0b010));
+        }
+        assert_eq!(c.complement_operand(1), maj, "involution");
+    }
+
+    #[test]
+    fn constants_detected() {
+        assert_eq!(NaryOp::new(3, 0).as_constant(), Some(false));
+        assert_eq!(NaryOp::new(3, 0xFF).as_constant(), Some(true));
+        assert_eq!(NaryOp::majority3().as_constant(), None);
+        // A restricted chain bottoms out at arity 1; AND(1, b) = b.
+        let one_left = NaryOp::conjunction(2).restrict(0, true);
+        assert_eq!(one_left.arity(), 1);
+        assert!(one_left.eval(1) && !one_left.eval(0));
+        assert_eq!(
+            NaryOp::conjunction(2).restrict(0, false).as_constant(),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn six_ary_uses_full_word() {
+        let p = NaryOp::parity(6);
+        assert_eq!(p.complement_output().table() ^ p.table(), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity must be")]
+    fn arity_zero_rejected() {
+        let _ = NaryOp::new(0, 0);
+    }
+}

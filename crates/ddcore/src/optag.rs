@@ -1,0 +1,70 @@
+//! Registry of computed-table operation tags.
+//!
+//! Every result stored in the shared [`ComputedCache`](crate::ComputedCache)
+//! is keyed by two 64-bit operand words *plus* a small operation tag so that
+//! different operations on the same operands never alias. The seed package
+//! used only the binary-`apply` tags (the operator's 4-bit truth table,
+//! `0..=15`) and one ad-hoc `ite` tag defined privately by each manager;
+//! with the verification ops layer the tag space is shared infrastructure,
+//! so it lives here and both the BBDD and ROBDD packages draw from the same
+//! registry.
+//!
+//! Layout (all tags must stay below [`MAX_TAG`], the cache reserves the top
+//! bits):
+//!
+//! | tag          | operation                                   | key words |
+//! |--------------|---------------------------------------------|-----------|
+//! | `0..=15`     | binary `apply`, tag = `BoolOp` truth table  | `f`, `g` |
+//! | [`ITE`]      | ternary if-then-else                        | `f`, `g:h` packed |
+//! | [`EXISTS`]   | existential cube quantification `∃C.f`      | `f`, cube |
+//! | [`FORALL`]   | universal cube quantification `∀C.f`        | `f`, cube |
+//! | [`AND_EXISTS`]| fused relational product `∃C.(f ∧ g)`      | `f`, `g:cube` packed |
+//! | [`COMPOSE`]  | single-variable composition `f[var := g]`   | `f`, `g:var` packed |
+//!
+//! The "cube" word is the packed edge of the conjunction of the quantified
+//! variables' positive literals — canonical in each manager, so equal cubes
+//! always produce equal key words.
+
+/// First tag of the binary-`apply` range; the operator's 4-bit truth table
+/// is the tag itself (`0..=15`).
+pub const APPLY_BASE: u32 = 0;
+
+/// Ternary if-then-else (`ite(f, g, h)`).
+pub const ITE: u32 = 16;
+
+/// Existential cube quantification (`∃C.f`).
+pub const EXISTS: u32 = 17;
+
+/// Universal cube quantification (`∀C.f`).
+pub const FORALL: u32 = 18;
+
+/// Fused and-exists / relational product (`∃C.(f ∧ g)`).
+pub const AND_EXISTS: u32 = 19;
+
+/// Single-variable composition (`f[var := g]`).
+pub const COMPOSE: u32 = 20;
+
+/// First tag available to downstream experiments; everything below is
+/// reserved for the operations in this registry.
+pub const USER_BASE: u32 = 64;
+
+/// Exclusive upper bound of the legal tag space (the cache reserves tag
+/// bits 30 and 31 for its age/empty encodings).
+pub const MAX_TAG: u32 = 1 << 30;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_distinct_and_legal() {
+        let tags = [ITE, EXISTS, FORALL, AND_EXISTS, COMPOSE, USER_BASE];
+        for (i, &a) in tags.iter().enumerate() {
+            assert!(a >= 16, "registry tags must not alias the apply range");
+            assert!(a < MAX_TAG);
+            for &b in &tags[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

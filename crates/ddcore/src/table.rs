@@ -438,6 +438,9 @@ pub struct OpenTable<K> {
     /// [`OpenTable::grow`], so the per-swap GC sweeps issued by sifting
     /// allocate nothing in steady state.
     scratch: Vec<(u32, K, u32)>,
+    /// Reused punched-hole index buffer for [`OpenTable::retain`]'s
+    /// sparse-death fast path (same no-allocation rationale).
+    holes: Vec<usize>,
 }
 
 impl<K: TableKey> Default for OpenTable<K> {
@@ -469,6 +472,7 @@ impl<K: TableKey> OpenTable<K> {
             probes_since_adapt: 0,
             lookups_since_adapt: 0,
             scratch: Vec::new(),
+            holes: Vec::new(),
         }
     }
 
@@ -659,6 +663,12 @@ impl<K: TableKey> OpenTable<K> {
     /// nothing. Shrinks the table when occupancy has dropped far below
     /// capacity.
     pub fn retain(&mut self, mut keep: impl FnMut(&K, u32) -> bool) {
+        // Per-swap GC sweeps visit every subtable; empty ones (common
+        // while a variable sifts through foreign levels) must cost nothing
+        // rather than a full control-array scan.
+        if self.len == 0 {
+            return;
+        }
         // The anchor must be a slot that is empty *before* any hole is
         // punched, so that no entry's original probe path wraps across it;
         // one always exists because load is capped at 75%.
@@ -667,16 +677,29 @@ impl<K: TableKey> OpenTable<K> {
             .iter()
             .position(|&c| c == 0)
             .expect("open table is never full");
-        // Pass 1: judge every entry exactly once, punching holes in place.
-        // A sweep that removes nothing (the common case between adjacent
-        // sifting swaps) ends here, having written nothing.
-        let mut dead = 0usize;
-        for (c, kv) in self.ctrl.iter_mut().zip(&self.data) {
-            if *c != 0 && !keep(&kv.0, kv.1) {
-                *c = 0;
-                dead += 1;
+        // Pass 1: judge every entry exactly once, punching holes in place,
+        // stopping as soon as all `len` live entries have been judged (the
+        // control tail past the last entry is never touched). A sweep that
+        // removes nothing (the common case between adjacent sifting swaps)
+        // ends here, having written nothing.
+        let mut holes = std::mem::take(&mut self.holes);
+        holes.clear();
+        let mut judged = 0usize;
+        let live = self.len;
+        for (i, (c, kv)) in self.ctrl.iter_mut().zip(&self.data).enumerate() {
+            if *c != 0 {
+                if !keep(&kv.0, kv.1) {
+                    *c = 0;
+                    holes.push(i);
+                }
+                judged += 1;
+                if judged == live {
+                    break;
+                }
             }
         }
+        let dead = holes.len();
+        self.holes = holes;
         if dead == 0 {
             return;
         }
@@ -699,6 +722,63 @@ impl<K: TableKey> OpenTable<K> {
             );
             self.rebuild_into(target, &mut survivors);
             self.scratch = survivors;
+            return;
+        }
+        if dead * 8 < self.ctrl.len() {
+            // Sparse deaths (the per-swap GC sweeps issued by sifting kill
+            // a handful of nodes at a time): run the pass-2 FCFS repair
+            // *locally*, only over the cluster containing each hole —
+            // O(dead × cluster length) instead of the O(capacity)
+            // whole-table sweep below. A cluster is bounded by slots that
+            // were empty before this sweep; pre-punch probe paths never
+            // cross such a slot, so it is a valid local anchor, and
+            // entries beyond the cluster's far boundary need no repair.
+            // (Two holes sharing a cluster repair it twice; the second
+            // sweep moves nothing.) Pass 1 records holes in ascending slot
+            // order, so membership checks are binary searches — the guard
+            // admits up to capacity/8 deaths, where a linear `contains`
+            // per probed slot would dominate.
+            let holes = std::mem::take(&mut self.holes);
+            debug_assert!(holes.windows(2).all(|w| w[0] < w[1]));
+            for &h in &holes {
+                // Local anchor: nearest slot at or before `h` that is
+                // empty and is not itself a punched hole. One exists: load
+                // is capped at 75%, so at least capacity/4 slots are empty
+                // while fewer than capacity/8 are punched holes.
+                let mut a = h;
+                loop {
+                    a = a.wrapping_sub(1) & self.mask;
+                    if self.ctrl[a] == 0 && holes.binary_search(&a).is_err() {
+                        break;
+                    }
+                }
+                // FCFS repair from the anchor to the cluster's far
+                // boundary (the first empty slot that is not a punched
+                // hole). Moves only vacate slots behind the frontier.
+                let mut k = a;
+                loop {
+                    k = (k + 1) & self.mask;
+                    let c = self.ctrl[k];
+                    if c == 0 {
+                        if holes.binary_search(&k).is_ok() {
+                            continue;
+                        }
+                        break;
+                    }
+                    let mut j = self.home(c);
+                    while j != k && self.ctrl[j] != 0 {
+                        j = (j + 1) & self.mask;
+                    }
+                    if j != k {
+                        self.ctrl[j] = c;
+                        self.data[j] = self.data[k];
+                        self.ctrl[k] = 0;
+                        self.data[k] = (K::default(), NIL);
+                    }
+                }
+            }
+            self.holes = holes;
+            self.holes.clear();
             return;
         }
         // Pass 2: repair reachability in place. Visiting slots in anchored
@@ -727,9 +807,14 @@ impl<K: TableKey> OpenTable<K> {
 
     /// Iterate over all `(key, value)` pairs (order unspecified).
     pub fn for_each(&self, mut f: impl FnMut(&K, u32)) {
+        let mut seen = 0usize;
         for (c, kv) in self.ctrl.iter().zip(&self.data) {
             if *c != 0 {
                 f(&kv.0, kv.1);
+                seen += 1;
+                if seen == self.len {
+                    break;
+                }
             }
         }
     }
@@ -825,6 +910,51 @@ mod tests {
         fn table_hash(&self, h: &CantorHasher) -> u64 {
             h.hash3(self.0 as u64, self.1 as u64, self.2 as u64)
         }
+    }
+
+    #[test]
+    fn open_retain_sparse_deaths_keeps_survivors_reachable() {
+        // Exercises retain's local-cluster repair path (dead ≪ capacity):
+        // repeated sweeps each killing a small pseudo-random subset — the
+        // per-swap GC shape — must leave every survivor reachable,
+        // including entries whose probe runs contained several holes.
+        let mut t: OpenTable<K3> = OpenTable::new(256);
+        let mut live: std::collections::HashSet<u32> = (0..500u32).collect();
+        for i in 0..500u32 {
+            t.insert(K3(i, i.wrapping_mul(2654435761), i ^ 0xABCD), i);
+        }
+        let mut state = 0x5EEDu64;
+        for round in 0..200 {
+            // Kill ~1% per sweep so dead*8 < capacity holds.
+            let mut killed: Vec<u32> = Vec::new();
+            t.retain(|_, v| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(round as u64);
+                if state >> 57 == 0 && killed.len() < 8 {
+                    killed.push(v);
+                    false
+                } else {
+                    true
+                }
+            });
+            for v in killed {
+                live.remove(&v);
+            }
+            assert_eq!(t.len(), live.len(), "round {round}");
+            for &i in &live {
+                assert_eq!(
+                    t.get(&K3(i, i.wrapping_mul(2654435761), i ^ 0xABCD)),
+                    Some(i),
+                    "round {round}: survivor {i} lost"
+                );
+            }
+        }
+        assert!(
+            !live.is_empty(),
+            "the sweeps must not have killed everything"
+        );
+        assert!(live.len() < 500, "the sweeps must have killed something");
     }
 
     #[test]

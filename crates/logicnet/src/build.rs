@@ -138,10 +138,38 @@ const GC_STRIDE: usize = 1024;
 /// # Panics
 /// Panics if the network fails [`Network::check`].
 pub fn build_network<A: BoolAlgebra>(alg: &mut A, net: &Network) -> Vec<A::Repr> {
+    let inputs: Vec<A::Repr> = (0..net.num_inputs()).map(|i| alg.input(i)).collect();
+    build_network_with_inputs(alg, net, &inputs, &[])
+}
+
+/// Interpret `net` into `alg` with pre-bound input handles: network input
+/// `i` reads `inputs[i]` instead of `alg.input(i)`.
+///
+/// This is how the equivalence checker ([`crate::cec`]) builds two
+/// networks over *one* variable space, aligning their inputs by name even
+/// when the declaration orders differ. `keep_alive` lists handles built
+/// *before* this call that must survive the builder's periodic
+/// garbage-collection opportunities (e.g. the first network's outputs
+/// while the second network builds) — without it, a backend GC against
+/// only this build's live wires would reclaim them.
+///
+/// # Panics
+/// Panics if the network fails [`Network::check`] or `inputs` is shorter
+/// than the network's input list.
+pub fn build_network_with_inputs<A: BoolAlgebra>(
+    alg: &mut A,
+    net: &Network,
+    inputs: &[A::Repr],
+    keep_alive: &[A::Repr],
+) -> Vec<A::Repr> {
     net.check().expect("network must be structurally valid");
+    assert!(
+        inputs.len() >= net.num_inputs(),
+        "one pre-bound handle per network input required"
+    );
     let mut wire: Vec<Option<A::Repr>> = vec![None; net.num_signals()];
     for (i, s) in net.inputs().iter().enumerate() {
-        wire[s.index()] = Some(alg.input(i));
+        wire[s.index()] = Some(inputs[i]);
     }
     // Last-use positions so intermediate handles can be dropped and the
     // backend GC'd against the exact live set.
@@ -219,7 +247,8 @@ pub fn build_network<A: BoolAlgebra>(alg: &mut A, net: &Network) -> Vec<A::Repr>
                     *slot = None;
                 }
             }
-            let live: Vec<A::Repr> = wire.iter().flatten().copied().collect();
+            let mut live: Vec<A::Repr> = wire.iter().flatten().copied().collect();
+            live.extend_from_slice(keep_alive);
             alg.collect(&live);
         }
     }

@@ -1,0 +1,366 @@
+//! Combinational equivalence checking (CEC) over decision diagrams.
+//!
+//! The driver builds *two* networks into **one** manager (shared variable
+//! space, inputs aligned by name), forms the per-output miter
+//! `m_k = f_k ⊕ g_k`, and proves each output by existentially quantifying
+//! every input: `∃X. m_k` is the constant **false** exactly when the
+//! outputs agree on all assignments. On a refuted output the miter itself
+//! yields a concrete distinguishing assignment ([`VerifyAlgebra::model`])
+//! and the number of distinguishing assignments.
+//!
+//! Canonicity alone would let the check be a pointer comparison
+//! (`f_k == g_k`); routing the proof through XOR + quantification keeps
+//! the driver generic over backends whose representation is *not*
+//! canonical and exercises the quantification path end-to-end — the same
+//! structure used by SAT-based CEC, where the miter goes to a solver
+//! instead.
+//!
+//! ```
+//! use logicnet::{Network, GateOp};
+//! use logicnet::cec::{check_equivalence, CecVerdict};
+//!
+//! // Two XOR implementations: native, and AND/OR decomposed.
+//! let mut a = Network::new("xor_native");
+//! let (x, y) = (a.add_input("x"), a.add_input("y"));
+//! let g = a.add_gate(GateOp::Xor, &[x, y]);
+//! a.set_output("f", g);
+//!
+//! let mut b = Network::new("xor_decomposed");
+//! let (x, y) = (b.add_input("x"), b.add_input("y"));
+//! let nx = b.add_gate(GateOp::Not, &[x]);
+//! let ny = b.add_gate(GateOp::Not, &[y]);
+//! let t1 = b.add_gate(GateOp::And, &[x, ny]);
+//! let t2 = b.add_gate(GateOp::And, &[nx, y]);
+//! let g = b.add_gate(GateOp::Or, &[t1, t2]);
+//! b.set_output("f", g);
+//!
+//! let mut mgr = bbdd::Bbdd::new(2);
+//! assert_eq!(check_equivalence(&mut mgr, &a, &b), CecVerdict::Equivalent);
+//! ```
+
+use crate::build::{build_network_with_inputs, BoolAlgebra};
+use crate::ir::Network;
+use std::collections::HashMap;
+
+/// The decision-diagram operations the CEC driver needs beyond plain
+/// network building — implemented by both `bbdd::Bbdd` and `robdd::Robdd`.
+pub trait VerifyAlgebra: BoolAlgebra {
+    /// Existential quantification `∃ vars . f`.
+    fn quantify_exists(&mut self, f: Self::Repr, vars: &[usize]) -> Self::Repr;
+    /// Is `f` the constant-false function?
+    fn is_false(&self, f: Self::Repr) -> bool;
+    /// One satisfying assignment over all manager variables, or `None`.
+    fn model(&self, f: Self::Repr) -> Option<Vec<bool>>;
+    /// Number of satisfying assignments; `None` when the variable count
+    /// makes the exact count unrepresentable.
+    fn model_count(&self, f: Self::Repr) -> Option<u128>;
+}
+
+impl VerifyAlgebra for bbdd::Bbdd {
+    fn quantify_exists(&mut self, f: Self::Repr, vars: &[usize]) -> Self::Repr {
+        self.exists(f, vars)
+    }
+
+    fn is_false(&self, f: Self::Repr) -> bool {
+        f == bbdd::Edge::ZERO
+    }
+
+    fn model(&self, f: Self::Repr) -> Option<Vec<bool>> {
+        self.any_sat(f)
+    }
+
+    fn model_count(&self, f: Self::Repr) -> Option<u128> {
+        (self.num_vars() <= 127).then(|| self.sat_count(f))
+    }
+}
+
+impl VerifyAlgebra for robdd::Robdd {
+    fn quantify_exists(&mut self, f: Self::Repr, vars: &[usize]) -> Self::Repr {
+        self.exists(f, vars)
+    }
+
+    fn is_false(&self, f: Self::Repr) -> bool {
+        f == robdd::Edge::ZERO
+    }
+
+    fn model(&self, f: Self::Repr) -> Option<Vec<bool>> {
+        self.any_sat(f)
+    }
+
+    fn model_count(&self, f: Self::Repr) -> Option<u128> {
+        (self.num_vars() <= 127).then(|| self.sat_count(f))
+    }
+}
+
+/// A concrete refutation of one output pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// Index of the differing output (in the first network's port order).
+    pub output: usize,
+    /// Name of the differing output port.
+    pub output_name: String,
+    /// A distinguishing input assignment, in the **first** network's input
+    /// order.
+    pub inputs: Vec<bool>,
+    /// Number of distinguishing assignments (`None` when uncountable in
+    /// 128 bits).
+    pub distinguishing: Option<u128>,
+}
+
+/// Outcome of a combinational equivalence check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CecVerdict {
+    /// Every matched output pair agrees on every input assignment.
+    Equivalent,
+    /// At least one output pair differs; the first refuted pair's evidence.
+    Inequivalent(Counterexample),
+}
+
+impl CecVerdict {
+    /// `true` for [`CecVerdict::Equivalent`].
+    #[must_use]
+    pub fn is_equivalent(&self) -> bool {
+        matches!(self, CecVerdict::Equivalent)
+    }
+}
+
+/// How the two interfaces were matched (by name or positionally) — mostly
+/// diagnostic, returned by [`match_interfaces`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortMatching {
+    /// Both port name sets are identical: matched name-to-name.
+    ByName,
+    /// Name sets differ: matched by position.
+    Positional,
+}
+
+/// Compute the input permutation and output pairing between two networks.
+///
+/// Returns `(input_map, output_map, how)` where `input_map[i]` is the
+/// index of `a`'s input that `b`'s input `i` corresponds to, and
+/// `output_map[k]` is the index of `b`'s output matching `a`'s output `k`.
+///
+/// # Panics
+/// Panics if the interfaces have different arities, or if name sets match
+/// but contain duplicates.
+#[must_use]
+pub fn match_interfaces(a: &Network, b: &Network) -> (Vec<usize>, Vec<usize>, PortMatching) {
+    assert_eq!(a.num_inputs(), b.num_inputs(), "input arity mismatch");
+    assert_eq!(a.num_outputs(), b.num_outputs(), "output arity mismatch");
+    let a_in: Vec<&str> = a.inputs().iter().map(|&s| a.signal_name(s)).collect();
+    let b_in: Vec<&str> = b.inputs().iter().map(|&s| b.signal_name(s)).collect();
+    let a_out: Vec<&str> = a.outputs().iter().map(|(n, _)| n.as_str()).collect();
+    let b_out: Vec<&str> = b.outputs().iter().map(|(n, _)| n.as_str()).collect();
+
+    let same_sets = |x: &[&str], y: &[&str]| {
+        let mut xs = x.to_vec();
+        let mut ys = y.to_vec();
+        xs.sort_unstable();
+        ys.sort_unstable();
+        xs == ys
+    };
+    if same_sets(&a_in, &b_in) && same_sets(&a_out, &b_out) {
+        let index_of = |names: &[&str]| -> HashMap<String, usize> {
+            let mut m = HashMap::new();
+            for (i, n) in names.iter().enumerate() {
+                assert!(
+                    m.insert((*n).to_string(), i).is_none(),
+                    "duplicate port name {n}"
+                );
+            }
+            m
+        };
+        let a_in_idx = index_of(&a_in);
+        let b_out_idx = index_of(&b_out);
+        let input_map: Vec<usize> = b_in.iter().map(|n| a_in_idx[*n]).collect();
+        let output_map: Vec<usize> = a_out.iter().map(|n| b_out_idx[*n]).collect();
+        (input_map, output_map, PortMatching::ByName)
+    } else {
+        let n = a.num_inputs();
+        let m = a.num_outputs();
+        ((0..n).collect(), (0..m).collect(), PortMatching::Positional)
+    }
+}
+
+/// Check two combinational networks for equivalence in `mgr`.
+///
+/// Inputs and outputs are matched by name when both networks carry the
+/// same port-name sets, positionally otherwise. The manager must have at
+/// least `a.num_inputs()` variables; variable `i` is bound to `a`'s input
+/// `i` (so counterexamples read in `a`'s input order).
+///
+/// # Panics
+/// Panics if the interfaces have different arities or the manager has too
+/// few variables.
+pub fn check_equivalence<A: VerifyAlgebra>(mgr: &mut A, a: &Network, b: &Network) -> CecVerdict {
+    let n = a.num_inputs();
+    let (input_map, output_map, _) = match_interfaces(a, b);
+    let vars: Vec<A::Repr> = (0..n).map(|i| mgr.input(i)).collect();
+    let a_outs = build_network_with_inputs(mgr, a, &vars, &vars);
+    let b_inputs: Vec<A::Repr> = input_map.iter().map(|&i| vars[i]).collect();
+    // The first network's outputs (and every shared variable) must survive
+    // any GC the second build triggers.
+    let mut protect: Vec<A::Repr> = a_outs.clone();
+    protect.extend_from_slice(&vars);
+    let b_outs = build_network_with_inputs(mgr, b, &b_inputs, &protect);
+
+    let all_inputs: Vec<usize> = (0..n).collect();
+    for (k, (name, _)) in a.outputs().iter().enumerate() {
+        let miter = mgr.xor2(a_outs[k], b_outs[output_map[k]]);
+        let quantified = mgr.quantify_exists(miter, &all_inputs);
+        if !mgr.is_false(quantified) {
+            let inputs = mgr
+                .model(miter)
+                .map(|m| m[..n].to_vec())
+                .expect("a non-false miter has a model");
+            return CecVerdict::Inequivalent(Counterexample {
+                output: k,
+                output_name: name.clone(),
+                inputs,
+                distinguishing: mgr.model_count(miter),
+            });
+        }
+    }
+    CecVerdict::Equivalent
+}
+
+/// [`check_equivalence`] in a fresh BBDD manager.
+///
+/// # Panics
+/// Panics if the interfaces have different arities.
+#[must_use]
+pub fn check_equivalence_bbdd(a: &Network, b: &Network) -> CecVerdict {
+    let mut mgr = bbdd::Bbdd::new(a.num_inputs().max(1));
+    check_equivalence(&mut mgr, a, b)
+}
+
+/// [`check_equivalence`] in a fresh ROBDD manager.
+///
+/// # Panics
+/// Panics if the interfaces have different arities.
+#[must_use]
+pub fn check_equivalence_robdd(a: &Network, b: &Network) -> CecVerdict {
+    let mut mgr = robdd::Robdd::new(a.num_inputs().max(1));
+    check_equivalence(&mut mgr, a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::GateOp;
+
+    fn half_adder(name: &str, decomposed_xor: bool) -> Network {
+        let mut net = Network::new(name);
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let s = if decomposed_xor {
+            let na = net.add_gate(GateOp::Not, &[a]);
+            let nb = net.add_gate(GateOp::Not, &[b]);
+            let t1 = net.add_gate(GateOp::And, &[a, nb]);
+            let t2 = net.add_gate(GateOp::And, &[na, b]);
+            net.add_gate(GateOp::Or, &[t1, t2])
+        } else {
+            net.add_gate(GateOp::Xor, &[a, b])
+        };
+        let c = net.add_gate(GateOp::And, &[a, b]);
+        net.set_output("s", s);
+        net.set_output("c", c);
+        net
+    }
+
+    #[test]
+    fn equivalent_implementations_verify_on_both_backends() {
+        let x = half_adder("x", false);
+        let y = half_adder("y", true);
+        assert_eq!(check_equivalence_bbdd(&x, &y), CecVerdict::Equivalent);
+        assert_eq!(check_equivalence_robdd(&x, &y), CecVerdict::Equivalent);
+    }
+
+    #[test]
+    fn mutation_is_detected_with_counterexample() {
+        let good = half_adder("good", false);
+        let mut bad = Network::new("bad");
+        let a = bad.add_input("a");
+        let b = bad.add_input("b");
+        let s = bad.add_gate(GateOp::Xor, &[a, b]);
+        let c = bad.add_gate(GateOp::Or, &[a, b]); // BUG: OR carry
+        bad.set_output("s", s);
+        bad.set_output("c", c);
+
+        for verdict in [
+            check_equivalence_bbdd(&good, &bad),
+            check_equivalence_robdd(&good, &bad),
+        ] {
+            match verdict {
+                CecVerdict::Inequivalent(cex) => {
+                    assert_eq!(cex.output_name, "c");
+                    // The carry differs exactly on a ≠ b: two assignments.
+                    assert_eq!(cex.distinguishing, Some(2));
+                    let [a_val, b_val] = cex.inputs[..] else {
+                        panic!("two inputs expected")
+                    };
+                    assert_ne!(a_val, b_val, "counterexample must distinguish");
+                }
+                CecVerdict::Equivalent => panic!("mutation missed"),
+            }
+        }
+    }
+
+    #[test]
+    fn inputs_matched_by_name_across_declaration_orders() {
+        // Same function, inputs declared in opposite order: positional
+        // matching would mistake x∧¬y for y∧¬x.
+        let mut p = Network::new("p");
+        let x = p.add_input("x");
+        let y = p.add_input("y");
+        let ny = p.add_gate(GateOp::Not, &[y]);
+        let g = p.add_gate(GateOp::And, &[x, ny]);
+        p.set_output("f", g);
+
+        let mut q = Network::new("q");
+        let y2 = q.add_input("y");
+        let x2 = q.add_input("x");
+        let ny2 = q.add_gate(GateOp::Not, &[y2]);
+        let g2 = q.add_gate(GateOp::And, &[x2, ny2]);
+        q.set_output("f", g2);
+
+        assert_eq!(check_equivalence_bbdd(&p, &q), CecVerdict::Equivalent);
+        assert_eq!(check_equivalence_robdd(&p, &q), CecVerdict::Equivalent);
+        let (input_map, _, how) = match_interfaces(&p, &q);
+        assert_eq!(how, PortMatching::ByName);
+        assert_eq!(input_map, vec![1, 0]);
+    }
+
+    #[test]
+    fn large_networks_survive_the_builders_gc_stride() {
+        // Regression: building the second network used to GC against only
+        // its own live wires once past the builder's GC stride (1024
+        // gates), reclaiming the first network's output nodes — a
+        // 2500-gate network then compared unequal to itself.
+        let mut big = Network::new("big");
+        let a = big.add_input("a");
+        let b = big.add_input("b");
+        let mut acc = big.add_gate(GateOp::Xor, &[a, b]);
+        for _ in 0..2500 {
+            acc = big.add_gate(GateOp::Xor, &[acc, a]);
+        }
+        let m = big.add_gate(GateOp::Maj, &[a, b, acc]);
+        big.set_output("f", m);
+        assert_eq!(check_equivalence_bbdd(&big, &big), CecVerdict::Equivalent);
+        assert_eq!(check_equivalence_robdd(&big, &big), CecVerdict::Equivalent);
+    }
+
+    #[test]
+    fn constant_outputs_are_handled() {
+        let mut p = Network::new("p");
+        let a = p.add_input("a");
+        let na = p.add_gate(GateOp::Not, &[a]);
+        let t = p.add_gate(GateOp::Or, &[a, na]);
+        p.set_output("f", t);
+        let mut q = Network::new("q");
+        let _ = q.add_input("a");
+        let one = q.add_gate(GateOp::Const1, &[]);
+        q.set_output("f", one);
+        assert_eq!(check_equivalence_bbdd(&p, &q), CecVerdict::Equivalent);
+    }
+}

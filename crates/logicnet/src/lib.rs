@@ -11,6 +11,9 @@
 //! * a flattened **structural-Verilog** reader/writer ([`verilog`]);
 //! * **bit-parallel simulation** (64 vectors per word) and randomized
 //!   equivalence checking ([`sim`]);
+//! * a **combinational equivalence checker** ([`cec`]) proving two
+//!   networks equal through XOR miters + existential quantification on
+//!   either decision-diagram backend;
 //! * generic **decision-diagram builders**: the [`build::BoolAlgebra`]
 //!   trait is implemented for both [`bbdd::Bbdd`] and [`robdd::Robdd`], so
 //!   one traversal builds either diagram (plus a truth-table algebra used
@@ -37,6 +40,7 @@
 
 pub mod blif;
 pub mod build;
+pub mod cec;
 mod ir;
 pub mod sim;
 pub mod verilog;

@@ -1,7 +1,7 @@
 //! Bit-parallel simulation and randomized equivalence checking.
 //!
 //! Networks are compared 64 assignments at a time through the
-//! [`WordAlgebra`](crate::build::WordAlgebra); small networks can be
+//! [`WordAlgebra`]; small networks can be
 //! checked exhaustively. Used throughout the test suite to cross-validate
 //! parsers, generators, decision diagrams and the synthesis flow.
 

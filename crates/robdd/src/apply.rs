@@ -8,8 +8,9 @@
 use crate::edge::Edge;
 use crate::manager::Robdd;
 use ddcore::boolop::{BoolOp, Unary};
+use ddcore::optag;
 
-const TAG_ITE: u32 = 16;
+const TAG_ITE: u32 = optag::ITE;
 
 impl Robdd {
     /// Compute `f ⊗ g` for an arbitrary two-operand Boolean operator.

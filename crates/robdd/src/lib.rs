@@ -35,9 +35,11 @@ mod edge;
 mod manager;
 mod node;
 mod ops;
+mod quant;
 mod reorder;
 
 pub use ddcore::boolop::{BoolOp, Unary};
+pub use ddcore::nary::NaryOp;
 pub use edge::Edge;
 pub use manager::{Robdd, RobddStats};
 pub use reorder::SiftConfig;

@@ -11,6 +11,13 @@ use ddcore::table::UniqueTable;
 pub struct RobddStats {
     /// Recursive apply/ite invocations.
     pub apply_calls: u64,
+    /// Recursive quantification entries (`exists`/`forall`/`and_exists`).
+    pub quant_calls: u64,
+    /// Composition operations (`compose` and `vector_compose` recursion
+    /// entries).
+    pub compose_calls: u64,
+    /// Recursive n-ary `apply` entries.
+    pub nary_calls: u64,
     /// Nodes created (unique-table inserts).
     pub nodes_created: u64,
     /// Garbage-collection runs.

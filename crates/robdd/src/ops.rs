@@ -1,5 +1,6 @@
-//! Queries on ROBDD functions: evaluation, counting, restriction,
-//! quantification, support and truth tables.
+//! Queries on ROBDD functions: evaluation, counting, restriction, support
+//! and truth tables. The quantification / composition / model-enumeration
+//! suite lives in `quant.rs` (the verification ops layer).
 
 use crate::edge::Edge;
 use crate::manager::Robdd;
@@ -173,35 +174,6 @@ impl Robdd {
         let mut out: Vec<usize> = vars.into_iter().collect();
         out.sort_unstable();
         out
-    }
-
-    /// Existential quantification.
-    pub fn exists(&mut self, f: Edge, vars: &[usize]) -> Edge {
-        let mut acc = f;
-        for &v in vars {
-            let f0 = self.restrict(acc, v, false);
-            let f1 = self.restrict(acc, v, true);
-            acc = self.or(f0, f1);
-        }
-        acc
-    }
-
-    /// Universal quantification.
-    pub fn forall(&mut self, f: Edge, vars: &[usize]) -> Edge {
-        let mut acc = f;
-        for &v in vars {
-            let f0 = self.restrict(acc, v, false);
-            let f1 = self.restrict(acc, v, true);
-            acc = self.and(f0, f1);
-        }
-        acc
-    }
-
-    /// Substitute `var := g` in `f`.
-    pub fn compose(&mut self, f: Edge, var: usize, g: Edge) -> Edge {
-        let f1 = self.restrict(f, var, true);
-        let f0 = self.restrict(f, var, false);
-        self.ite(g, f1, f0)
     }
 
     /// Packed truth table (same convention as the BBDD package).

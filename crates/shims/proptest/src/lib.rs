@@ -210,7 +210,14 @@ macro_rules! tuple_strategy {
     )+};
 }
 
-tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+tuple_strategy!(
+    (A),
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, F)
+);
 
 /// Types with a canonical "any value" strategy.
 pub trait ArbitraryValue: Sized + std::fmt::Debug {

@@ -1,0 +1,363 @@
+//! Property tests for the verification ops layer: random expression trees
+//! over up to 12 variables are checked against brute-force truth-table
+//! references on **both** managers (`bbdd::Bbdd` and `robdd::Robdd`), plus
+//! a CEC positive/negative pair on real netlists.
+
+use ddcore::NaryOp;
+use logicnet::cec::{check_equivalence_bbdd, check_equivalence_robdd, CecVerdict};
+use logicnet::{GateOp, Network};
+use proptest::prelude::*;
+
+/// A random Boolean expression over variables `0..n`.
+#[derive(Debug, Clone)]
+enum Expr {
+    V(usize),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    fn eval(&self, a: &[bool]) -> bool {
+        match self {
+            Expr::V(v) => a[*v],
+            Expr::Not(e) => !e.eval(a),
+            Expr::And(x, y) => x.eval(a) && y.eval(a),
+            Expr::Or(x, y) => x.eval(a) || y.eval(a),
+            Expr::Xor(x, y) => x.eval(a) ^ y.eval(a),
+        }
+    }
+
+    fn build_bbdd(&self, mgr: &mut bbdd::Bbdd) -> bbdd::Edge {
+        match self {
+            Expr::V(v) => mgr.var(*v),
+            Expr::Not(e) => !e.build_bbdd(mgr),
+            Expr::And(x, y) => {
+                let (a, b) = (x.build_bbdd(mgr), y.build_bbdd(mgr));
+                mgr.and(a, b)
+            }
+            Expr::Or(x, y) => {
+                let (a, b) = (x.build_bbdd(mgr), y.build_bbdd(mgr));
+                mgr.or(a, b)
+            }
+            Expr::Xor(x, y) => {
+                let (a, b) = (x.build_bbdd(mgr), y.build_bbdd(mgr));
+                mgr.xor(a, b)
+            }
+        }
+    }
+
+    fn build_robdd(&self, mgr: &mut robdd::Robdd) -> robdd::Edge {
+        match self {
+            Expr::V(v) => mgr.var(*v),
+            Expr::Not(e) => !e.build_robdd(mgr),
+            Expr::And(x, y) => {
+                let (a, b) = (x.build_robdd(mgr), y.build_robdd(mgr));
+                mgr.and(a, b)
+            }
+            Expr::Or(x, y) => {
+                let (a, b) = (x.build_robdd(mgr), y.build_robdd(mgr));
+                mgr.or(a, b)
+            }
+            Expr::Xor(x, y) => {
+                let (a, b) = (x.build_robdd(mgr), y.build_robdd(mgr));
+                mgr.xor(a, b)
+            }
+        }
+    }
+}
+
+fn expr_strategy(n: usize) -> BoxedStrategy<Expr> {
+    let leaf = (0..n).prop_map(Expr::V).boxed();
+    leaf.prop_recursive::<BoxedStrategy<Expr>, _>(5, 48, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+        ]
+        .boxed()
+    })
+}
+
+/// One random scenario: variable count, three expressions, a quantified
+/// cube and a composition target variable.
+#[derive(Debug, Clone)]
+struct Scenario {
+    n: usize,
+    f: Expr,
+    g: Expr,
+    h: Expr,
+    cube_mask: Vec<bool>,
+    var: usize,
+}
+
+fn scenario_strategy() -> BoxedStrategy<Scenario> {
+    (3usize..13)
+        .prop_flat_map(|n| {
+            (
+                Just(n),
+                expr_strategy(n),
+                expr_strategy(n),
+                expr_strategy(n),
+                proptest::collection::vec(any::<bool>(), n),
+                0..n,
+            )
+        })
+        .prop_map(|(n, f, g, h, cube_mask, var)| Scenario {
+            n,
+            f,
+            g,
+            h,
+            cube_mask,
+            var,
+        })
+        .boxed()
+}
+
+/// Brute-force truth table of an expression: bit `m` ↦ value on the
+/// assignment whose bit `i` is variable `i`.
+fn table_of(e: &Expr, n: usize) -> Vec<bool> {
+    let mut a = vec![false; n];
+    (0..1usize << n)
+        .map(|m| {
+            for (i, slot) in a.iter_mut().enumerate() {
+                *slot = (m >> i) & 1 == 1;
+            }
+            e.eval(&a)
+        })
+        .collect()
+}
+
+/// Quantify a truth table over `cube` with `or` (∃) or `and` (∀).
+fn table_quantify(tt: &[bool], n: usize, cube: &[usize], exists: bool) -> Vec<bool> {
+    let mut out = tt.to_vec();
+    for &v in cube {
+        let bit = 1usize << v;
+        for m in 0..1usize << n {
+            let pair = out[m ^ bit];
+            out[m] = if exists {
+                out[m] || pair
+            } else {
+                out[m] && pair
+            };
+        }
+    }
+    out
+}
+
+/// Simultaneous substitution on truth tables: variable `v` of `f` reads
+/// `subs[v]`'s value (identity when `None`).
+fn table_compose(f_tt: &[bool], n: usize, subs: &[Option<&[bool]>]) -> Vec<bool> {
+    (0..1usize << n)
+        .map(|m| {
+            let mut m2 = 0usize;
+            for v in 0..n {
+                let bit = match subs.get(v).copied().flatten() {
+                    Some(g_tt) => g_tt[m],
+                    None => (m >> v) & 1 == 1,
+                };
+                m2 |= usize::from(bit) << v;
+            }
+            f_tt[m2]
+        })
+        .collect()
+}
+
+/// Unpack a manager truth table (packed u64 words) into per-row booleans.
+fn unpack(words: &[u64], n: usize) -> Vec<bool> {
+    (0..1usize << n)
+        .map(|m| (words[m / 64] >> (m % 64)) & 1 == 1)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn verification_ops_match_truth_tables(sc in scenario_strategy()) {
+        let Scenario { n, f, g, h, cube_mask, var } = sc;
+        let cube: Vec<usize> = (0..n).filter(|&v| cube_mask[v]).collect();
+        let f_tt = table_of(&f, n);
+        let g_tt = table_of(&g, n);
+        let h_tt = table_of(&h, n);
+
+        let mut bb = bbdd::Bbdd::new(n);
+        let fb = f.build_bbdd(&mut bb);
+        let gb = g.build_bbdd(&mut bb);
+        let hb = h.build_bbdd(&mut bb);
+        let mut rb = robdd::Robdd::new(n);
+        let fr = f.build_robdd(&mut rb);
+        let gr = g.build_robdd(&mut rb);
+        let hr = h.build_robdd(&mut rb);
+
+        // Sanity: both managers agree with the reference function.
+        prop_assert_eq!(&unpack(&bb.truth_table(fb), n), &f_tt);
+        prop_assert_eq!(&unpack(&rb.truth_table(fr), n), &f_tt);
+
+        // exists / forall over the cube.
+        let ex_ref = table_quantify(&f_tt, n, &cube, true);
+        let fa_ref = table_quantify(&f_tt, n, &cube, false);
+        let e = bb.exists(fb, &cube);
+        prop_assert_eq!(&unpack(&bb.truth_table(e), n), &ex_ref, "bbdd exists");
+        let e = rb.exists(fr, &cube);
+        prop_assert_eq!(&unpack(&rb.truth_table(e), n), &ex_ref, "robdd exists");
+        let a = bb.forall(fb, &cube);
+        prop_assert_eq!(&unpack(&bb.truth_table(a), n), &fa_ref, "bbdd forall");
+        let a = rb.forall(fr, &cube);
+        prop_assert_eq!(&unpack(&rb.truth_table(a), n), &fa_ref, "robdd forall");
+
+        // Fused and-exists against the composed reference.
+        let conj: Vec<bool> = f_tt.iter().zip(&g_tt).map(|(&x, &y)| x && y).collect();
+        let ae_ref = table_quantify(&conj, n, &cube, true);
+        let ae = bb.and_exists(fb, gb, &cube);
+        prop_assert_eq!(&unpack(&bb.truth_table(ae), n), &ae_ref, "bbdd and_exists");
+        let ae = rb.and_exists(fr, gr, &cube);
+        prop_assert_eq!(&unpack(&rb.truth_table(ae), n), &ae_ref, "robdd and_exists");
+
+        // Single-variable composition f[var := g].
+        let mut subs_ref: Vec<Option<&[bool]>> = vec![None; n];
+        subs_ref[var] = Some(&g_tt);
+        let comp_ref = table_compose(&f_tt, n, &subs_ref);
+        let c = bb.compose(fb, var, gb);
+        prop_assert_eq!(&unpack(&bb.truth_table(c), n), &comp_ref, "bbdd compose");
+        let c = rb.compose(fr, var, gr);
+        prop_assert_eq!(&unpack(&rb.truth_table(c), n), &comp_ref, "robdd compose");
+
+        // Simultaneous two-variable composition (var := g, w := h) where
+        // w is a different variable — the cyclic case iterated compose
+        // gets wrong.
+        let w = (var + 1) % n;
+        let mut subs_ref: Vec<Option<&[bool]>> = vec![None; n];
+        subs_ref[var] = Some(&g_tt);
+        subs_ref[w] = Some(&h_tt);
+        let vc_ref = table_compose(&f_tt, n, &subs_ref);
+        let mut subs_b: Vec<Option<bbdd::Edge>> = vec![None; n];
+        subs_b[var] = Some(gb);
+        subs_b[w] = Some(hb);
+        let vc = bb.vector_compose(fb, &subs_b);
+        prop_assert_eq!(&unpack(&bb.truth_table(vc), n), &vc_ref, "bbdd vector_compose");
+        let mut subs_r: Vec<Option<robdd::Edge>> = vec![None; n];
+        subs_r[var] = Some(gr);
+        subs_r[w] = Some(hr);
+        let vc = rb.vector_compose(fr, &subs_r);
+        prop_assert_eq!(&unpack(&rb.truth_table(vc), n), &vc_ref, "robdd vector_compose");
+
+        // satcount = popcount of the table.
+        let pop = f_tt.iter().filter(|&&b| b).count() as u128;
+        prop_assert_eq!(bb.sat_count(fb), pop, "bbdd sat_count");
+        prop_assert_eq!(rb.sat_count(fr), pop, "robdd sat_count");
+
+        // Generic n-ary apply: majority of the three functions.
+        let maj_ref: Vec<bool> = (0..1usize << n)
+            .map(|m| {
+                let c = usize::from(f_tt[m]) + usize::from(g_tt[m]) + usize::from(h_tt[m]);
+                c >= 2
+            })
+            .collect();
+        let maj = bb.apply_n(NaryOp::majority3(), &[fb, gb, hb]);
+        prop_assert_eq!(&unpack(&bb.truth_table(maj), n), &maj_ref, "bbdd apply_n");
+        let maj = rb.apply_n(NaryOp::majority3(), &[fr, gr, hr]);
+        prop_assert_eq!(&unpack(&rb.truth_table(maj), n), &maj_ref, "robdd apply_n");
+
+        // Model enumeration agrees with the count; any_sat satisfies.
+        if let Some(m) = bb.any_sat(fb) {
+            prop_assert!(bb.eval(fb, &m), "bbdd any_sat model");
+        } else {
+            prop_assert_eq!(pop, 0);
+        }
+        if let Some(m) = rb.any_sat(fr) {
+            prop_assert!(rb.eval(fr, &m), "robdd any_sat model");
+        } else {
+            prop_assert_eq!(pop, 0);
+        }
+        if pop <= 512 {
+            prop_assert_eq!(bb.all_sat(fb, 1024).len() as u128, pop, "bbdd all_sat");
+            prop_assert_eq!(rb.all_sat(fr, 1024).len() as u128, pop, "robdd all_sat");
+        }
+
+        // Both managers stay structurally sound under the new ops.
+        prop_assert!(bb.validate().is_ok());
+        prop_assert!(rb.validate().is_ok());
+    }
+}
+
+/// CEC positive pair: two structurally different adders are proven
+/// equivalent on both backends.
+#[test]
+fn cec_accepts_equivalent_adder_implementations() {
+    let ripple = benchgen::datapath::adder(8);
+    let cla = benchgen::datapath::adder_cla(8);
+    assert_eq!(
+        check_equivalence_bbdd(&ripple, &cla),
+        CecVerdict::Equivalent
+    );
+    assert_eq!(
+        check_equivalence_robdd(&ripple, &cla),
+        CecVerdict::Equivalent
+    );
+}
+
+/// CEC negative pair: a seeded single-gate mutation must be refuted with a
+/// real counterexample.
+#[test]
+fn cec_refutes_seeded_mutation() {
+    let good = benchgen::datapath::adder(6);
+    // Rebuild the same adder but sabotage one carry: Maj → Or.
+    let w = 6;
+    let mut bad = Network::new("mutated_adder");
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    for i in (0..w).rev() {
+        a.push(bad.add_input(&format!("a{i}")));
+        b.push(bad.add_input(&format!("b{i}")));
+    }
+    a.reverse();
+    b.reverse();
+    let mut carry = bad.add_gate(GateOp::Const0, &[]);
+    for i in 0..w {
+        let p = bad.add_gate(GateOp::Xor, &[a[i], b[i]]);
+        let s = bad.add_gate(GateOp::Xor, &[p, carry]);
+        bad.set_output(&format!("s{i}"), s);
+        carry = if i == 3 {
+            bad.add_gate(GateOp::Or, &[a[i], b[i]]) // seeded bug
+        } else {
+            bad.add_gate(GateOp::Maj, &[a[i], b[i], carry])
+        };
+    }
+    bad.set_output("cout", carry);
+    bad.check().unwrap();
+
+    for verdict in [
+        check_equivalence_bbdd(&good, &bad),
+        check_equivalence_robdd(&good, &bad),
+    ] {
+        let CecVerdict::Inequivalent(cex) = verdict else {
+            panic!("mutation must be refuted");
+        };
+        // The counterexample really distinguishes the two networks.
+        let out_good = good.simulate(&cex.inputs);
+        let out_bad = bad.simulate(&cex.inputs);
+        assert_ne!(out_good, out_bad, "counterexample must distinguish");
+        assert!(cex.distinguishing.unwrap() > 0);
+    }
+}
+
+/// The BBDD-rewritten netlist of a datapath block is proven equivalent to
+/// its source (the tentpole end-to-end flow as a test).
+#[test]
+fn rewrite_flow_is_self_verifying() {
+    for net in [
+        benchgen::datapath::adder(8),
+        benchgen::datapath::equality(6),
+    ] {
+        let (rewritten, verdict) = synthkit::bbdd_rewrite::rewrite_and_verify(&net, true);
+        assert!(verdict.is_equivalent(), "{}", net.name());
+        assert_eq!(
+            check_equivalence_robdd(&net, &rewritten),
+            CecVerdict::Equivalent,
+            "cross-check on the ROBDD backend"
+        );
+    }
+}
