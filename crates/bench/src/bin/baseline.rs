@@ -24,8 +24,15 @@ fn min_time(reps: usize, mut f: impl FnMut()) -> f64 {
     best
 }
 
-fn random_function(mgr: &mut Bbdd, n: usize, seed: u64, ops: usize) -> Edge {
-    let vs: Vec<Edge> = (0..n).map(|v| mgr.var(v)).collect();
+/// One deterministic random-op stream over pre-built literals, generic in
+/// the manager: the sequential and parallel workloads feed the *same*
+/// stream through `apply`, so their JSON rows compare identical work.
+fn random_function(
+    apply: &mut impl FnMut(BoolOp, Edge, Edge) -> Edge,
+    vs: &[Edge],
+    seed: u64,
+    ops: usize,
+) -> Edge {
     let table = [
         BoolOp::XOR,
         BoolOp::AND,
@@ -33,6 +40,7 @@ fn random_function(mgr: &mut Bbdd, n: usize, seed: u64, ops: usize) -> Edge {
         BoolOp::XNOR,
         BoolOp::NAND,
     ];
+    let n = vs.len();
     let mut state = seed | 1;
     let mut f = vs[0];
     for _ in 0..ops {
@@ -41,7 +49,7 @@ fn random_function(mgr: &mut Bbdd, n: usize, seed: u64, ops: usize) -> Edge {
             .wrapping_add(1442695040888963407);
         let op = table[(state >> 33) as usize % table.len()];
         let v = vs[(state >> 18) as usize % n];
-        f = mgr.apply(op, f, v);
+        f = apply(op, f, v);
     }
     f
 }
@@ -53,8 +61,16 @@ fn apply_throughput_ns() -> f64 {
     let mut total = 0u64;
     while t0.elapsed().as_secs_f64() < 2.0 {
         let mut mgr = Bbdd::new(n);
+        let vs: Vec<Edge> = (0..n).map(|v| mgr.var(v)).collect();
         let fs: Vec<Edge> = (0..24)
-            .map(|k| random_function(&mut mgr, n, 0x1111 * (k + 1) as u64, 4 * n))
+            .map(|k| {
+                random_function(
+                    &mut |o, x, y| mgr.apply(o, x, y),
+                    &vs,
+                    0x1111 * (k + 1) as u64,
+                    4 * n,
+                )
+            })
             .collect();
         for i in 0..fs.len() {
             for j in (i + 1)..fs.len() {
@@ -75,12 +91,61 @@ fn big_apply_ms() -> (f64, usize) {
     for round in 0..2u64 {
         let t = Instant::now();
         let mut mgr = Bbdd::new(n);
-        let mut acc = random_function(&mut mgr, n, 0xF00D + round, 12 * n);
+        let vs: Vec<Edge> = (0..n).map(|v| mgr.var(v)).collect();
+        let mut acc = random_function(
+            &mut |o, x, y| mgr.apply(o, x, y),
+            &vs,
+            0xF00D + round,
+            12 * n,
+        );
         for k in 0..12u64 {
-            let g = random_function(&mut mgr, n, 0xBEEF * (k + 1) + round, 12 * n);
+            let g = random_function(
+                &mut |o, x, y| mgr.apply(o, x, y),
+                &vs,
+                0xBEEF * (k + 1) + round,
+                12 * n,
+            );
             acc = mgr.xor(acc, g);
         }
         std::hint::black_box(acc);
+        live = mgr.live_nodes();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    (best * 1e3, live)
+}
+
+/// The [`big_apply_ms`] workload on the parallel manager pipeline.
+fn big_apply_par_ms(threads: usize) -> (f64, usize) {
+    use bbdd::{ParBbdd, ParConfig};
+    let n = 26;
+    let mut best = f64::MAX;
+    let mut live = 0;
+    for round in 0..2u64 {
+        let t = Instant::now();
+        let mut mgr = ParBbdd::with_config(
+            n,
+            ParConfig {
+                threads,
+                ..ParConfig::default()
+            },
+        );
+        let vs: Vec<Edge> = (0..n).map(|v| mgr.var(v)).collect();
+        let mut acc = random_function(
+            &mut |o, x, y| mgr.apply(o, x, y),
+            &vs,
+            0xF00D + round,
+            12 * n,
+        );
+        for k in 0..12u64 {
+            let g = random_function(
+                &mut |o, x, y| mgr.apply(o, x, y),
+                &vs,
+                0xBEEF * (k + 1) + round,
+                12 * n,
+            );
+            acc = mgr.xor(acc, g);
+        }
+        std::hint::black_box(&mut acc);
         live = mgr.live_nodes();
         best = best.min(t.elapsed().as_secs_f64());
     }
@@ -220,8 +285,54 @@ fn main() {
     let (ms, live) = big_apply_ms();
     let _ = writeln!(
         json,
-        "  \"big_apply_n26\": {{\"ms\": {ms:.1}, \"live_nodes\": {live}}}"
+        "  \"big_apply_n26\": {{\"ms\": {ms:.1}, \"live_nodes\": {live}}},"
     );
+
+    // Parallel execution subsystem: the same 650k-node apply workload on
+    // the ParBbdd pipeline at 1/2/4 threads, and the multi-output CEC fan
+    // out. `host_threads` records how many hardware threads this machine
+    // actually has — speedups are only physically possible when it
+    // exceeds 1.
+    {
+        let host = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let mut par_ms = [0f64; 3];
+        let mut par_live = 0usize;
+        for (slot, threads) in [1usize, 2, 4].into_iter().enumerate() {
+            let (ms, lv) = big_apply_par_ms(threads);
+            par_ms[slot] = ms;
+            par_live = lv;
+            eprintln!("parallel big apply t{threads}: done");
+        }
+        let ripple = benchgen::datapath::adder(24);
+        let cla = benchgen::datapath::adder_cla(24);
+        let mut cec_ms = [0f64; 3];
+        for (slot, threads) in [1usize, 2, 4].into_iter().enumerate() {
+            cec_ms[slot] = min_time(3, || {
+                std::hint::black_box(logicnet::cec::check_equivalence_parallel_bbdd(
+                    &ripple, &cla, threads,
+                ));
+            }) * 1e3;
+        }
+        let _ = writeln!(
+            json,
+            "  \"parallel\": {{\"host_threads\": {host}, \
+             \"big_apply_par_n26\": {{\"t1_ms\": {:.1}, \"t2_ms\": {:.1}, \"t4_ms\": {:.1}, \
+             \"live_nodes\": {par_live}, \"speedup_t4_vs_t1\": {:.3}}}, \
+             \"cec_adder24_multi_output\": {{\"t1_ms\": {:.2}, \"t2_ms\": {:.2}, \"t4_ms\": {:.2}, \
+             \"speedup_t4_vs_t1\": {:.3}}}}}",
+            par_ms[0],
+            par_ms[1],
+            par_ms[2],
+            par_ms[0] / par_ms[2],
+            cec_ms[0],
+            cec_ms[1],
+            cec_ms[2],
+            cec_ms[0] / cec_ms[2],
+        );
+        eprintln!("parallel section: done");
+    }
     let _ = writeln!(json, "}}");
 
     std::fs::write(&out_path, &json).expect("write baseline json");

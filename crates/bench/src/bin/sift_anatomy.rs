@@ -74,10 +74,16 @@ fn main() {
     }
     let both_ns = t.elapsed().as_secs_f64() * 1e9 / both as f64;
 
+    let ts = mgr.table_stats();
     println!(
         "{name} [{variant}] vars={n} live={} | sift {:.1} µs | swap {swap_ns:.0} ns | \
-         gc {gc_ns:.0} ns | swap+gc {both_ns:.0} ns",
+         gc {gc_ns:.0} ns | swap+gc {both_ns:.0} ns | avg_probe {:.2} resizes {} \
+         rearr {} batched_repairs {}",
         mgr.live_nodes(),
         best_sift * 1e6,
+        ts.avg_probe_length(),
+        ts.resizes,
+        ts.rearrangements,
+        ts.batched_repairs,
     );
 }

@@ -56,6 +56,7 @@ mod edge;
 mod manager;
 mod node;
 mod ops;
+mod par;
 mod quant;
 mod reorder;
 mod serialize;
@@ -67,5 +68,6 @@ pub use ddcore::boolop::{BoolOp, Unary};
 pub use ddcore::nary::NaryOp;
 pub use edge::Edge;
 pub use manager::{Bbdd, BbddStats, NodeInfo};
+pub use par::{ParBbdd, ParConfig, ParStats};
 pub use reorder::SiftConfig;
 pub use serialize::LoadError;

@@ -24,6 +24,12 @@
 //! tag registry ([`optag`]) naming every cached operation (apply, ite,
 //! quantification, composition), and the n-ary operator tables ([`nary`])
 //! backing the generic n-ary `apply`.
+//!
+//! The [`par`] module adds the multi-core primitives the parallel managers
+//! (`bbdd::ParBbdd`, `robdd::ParRobdd`) are built from: a sharded
+//! concurrent unique table, a lossy lock-free computed cache, an
+//! append-only overlay arena and a std-only fork-join helper — all safe
+//! Rust (this crate forbids `unsafe`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +40,7 @@ pub mod cantor;
 pub mod fxhash;
 pub mod nary;
 pub mod optag;
+pub mod par;
 pub mod stats;
 pub mod table;
 
@@ -42,5 +49,8 @@ pub use cache::{CacheStats, ComputedCache};
 pub use cantor::{cantor_pair, CantorHasher, HashArrangement};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use nary::NaryOp;
+pub use par::{
+    AtomicCache, AtomicCacheStats, OverlayArena, ParConfig, ParStats, ShardStats, ShardedTable,
+};
 pub use stats::TableStats;
 pub use table::{BucketTable, OpenTable, UniqueTable, NIL};

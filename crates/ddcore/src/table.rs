@@ -9,8 +9,10 @@
 //!   split swiss-table-style into a dense control array of cached hashes
 //!   and a parallel inline key/value array, so a probe sequence is one
 //!   compact memory stream instead of a pointer chase. Deletion is
-//!   tombstone-free (backward shift), keeping probe sequences short across
-//!   the GC sweeps that sifting issues after every swap.
+//!   *adaptive*: large tables backward-shift eagerly (no tombstones, probe
+//!   sequences never grow stale); small L1-resident tables defer hole
+//!   repair to a batched sweep, which keeps the per-swap GC sweeps that
+//!   sifting issues cheap on tiny subtables.
 //! * [`BucketTable`] — the seed implementation: per-bucket linked lists
 //!   threaded through a side `entries` array. Kept for the
 //!   `chained_tables` ablation feature and the `tables_ablation` bench.
@@ -164,6 +166,23 @@ impl<K: TableKey> BucketTable<K> {
         }
         self.stats.probes += probes;
         self.probes_since_adapt += probes;
+        None
+    }
+
+    /// Read-only lookup: no statistics, no adaptation. This is the probe
+    /// the parallel managers use against a *frozen* base table shared
+    /// across worker threads (`&self` access is safe to run concurrently).
+    #[must_use]
+    pub fn peek(&self, key: &K) -> Option<u32> {
+        let b = (key.table_hash(&self.hasher) % self.buckets.len() as u64) as usize;
+        let mut cur = self.buckets[b];
+        while cur != NIL {
+            let e = &self.entries[cur as usize];
+            if &e.key == key {
+                return Some(e.val);
+            }
+            cur = e.next;
+        }
         None
     }
 
@@ -385,6 +404,18 @@ impl<K: TableKey> BucketTable<K> {
 /// control array).
 const HASH_TAG: u32 = 1 << 31;
 
+/// Control value of a *deferred* deletion: probe sequences scan through it
+/// (unlike an empty slot), inserts may reuse it, and a batched sweep
+/// eventually compacts it away. Distinguishable from both empty (`0`) and
+/// live slots (which carry [`HASH_TAG`]).
+const TOMBSTONE: u32 = 1;
+
+/// Is a control value a live (decorated-hash) entry?
+#[inline]
+fn ctrl_live(c: u32) -> bool {
+    c & HASH_TAG != 0
+}
+
 /// An open-addressed linear-probing hash map `K -> u32` with Cantor-pairing
 /// hashing and the same adaptive resize/rearrange behaviour as
 /// [`BucketTable`].
@@ -400,8 +431,15 @@ const HASH_TAG: u32 = 1 << 31;
 /// Misses therefore scan a compact stream (instead of chasing `entries`
 /// pointers as the chained table does), and the hot `get`-then-`insert`
 /// pattern of `make_node` stays within one or two cache lines per table
-/// touch. Deletion is tombstone-free: the displaced run following the hole
-/// is backward-shifted, so probe sequences never grow stale.
+/// touch. Deletion adapts to the table's size: past
+/// [`OpenTable::DEFER_REPAIR_MAX_CAP`] slots the displaced run following a
+/// hole is backward-shifted immediately (tombstone-free, probe sequences
+/// never grow stale); at or below it — where the control array is
+/// L1-resident and repair work dominates the probes it saves — deletions
+/// tombstone the slot, and hole repair is batched: the GC sweep compacts
+/// all accumulated tombstones once they reach half of capacity, the
+/// insert paths reuse and recycle them under load, and a drain backstop
+/// bounds remove-only workloads.
 ///
 /// ```
 /// use ddcore::table::{OpenTable, TableKey};
@@ -441,6 +479,10 @@ pub struct OpenTable<K> {
     /// Reused punched-hole index buffer for [`OpenTable::retain`]'s
     /// sparse-death fast path (same no-allocation rationale).
     holes: Vec<usize>,
+    /// Deferred deletions currently marked [`TOMBSTONE`] in the control
+    /// array (only ever non-zero while the table is small enough for the
+    /// deferred-repair regime; see [`OpenTable::DEFER_REPAIR_MAX_CAP`]).
+    tombstones: usize,
 }
 
 impl<K: TableKey> Default for OpenTable<K> {
@@ -456,6 +498,21 @@ impl<K: TableKey> OpenTable<K> {
     const ADAPT_PROBE_THRESHOLD: f64 = 6.0;
     /// Minimum lookups in a window before adaptation decisions are made.
     const ADAPT_WINDOW: u64 = 4096;
+    /// Control-array capacity (slots) at or below which deletions are
+    /// *deferred*: the slot becomes a tombstone instead of triggering
+    /// backward-shift / hole-repair work, and a batched sweep compacts the
+    /// table once tombstones reach half of capacity. At 4096 slots the
+    /// control array is 16 KiB — L1-resident — where probing through a few
+    /// tombstones is nearly free while per-deletion repair measurably is
+    /// not (the `sift robdd/misex1` regression root-caused in DESIGN.md).
+    /// Larger tables keep the eager tombstone-free scheme, which wins once
+    /// probe runs leave L1.
+    pub const DEFER_REPAIR_MAX_CAP: usize = 4096;
+    /// Tombstone fraction (1/`SWEEP_TOMBSTONE_DIV` of capacity) that
+    /// triggers the batched compaction sweep — half of capacity; sweeping
+    /// more often than the GC cadence was measured to cost more than the
+    /// repairs it saves (see DESIGN.md).
+    const SWEEP_TOMBSTONE_DIV: usize = 2;
 
     /// Create a table with room for at least `initial_capacity` entries
     /// before the first resize.
@@ -473,6 +530,7 @@ impl<K: TableKey> OpenTable<K> {
             lookups_since_adapt: 0,
             scratch: Vec::new(),
             holes: Vec::new(),
+            tombstones: 0,
         }
     }
 
@@ -542,20 +600,38 @@ impl<K: TableKey> OpenTable<K> {
         None
     }
 
+    /// Read-only lookup: no statistics, no adaptation. This is the probe
+    /// the parallel managers use against a *frozen* base table shared
+    /// across worker threads (`&self` access is safe to run concurrently).
+    #[must_use]
+    pub fn peek(&self, key: &K) -> Option<u32> {
+        let h = Self::fold(key.table_hash(&self.hasher));
+        let mut i = self.home(h);
+        loop {
+            let c = self.ctrl[i];
+            if c == 0 {
+                return None;
+            }
+            if c == h && self.data[i].0 == *key {
+                return Some(self.data[i].1);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
     /// Combined lookup-or-insert: probes once, calling `make` only on a
-    /// miss and placing its value at the probe's terminal empty slot.
-    /// Equivalent to `get` followed by `insert`, but the key is hashed and
-    /// the table probed a single time — the shape of `make_node`'s hot
-    /// path.
+    /// miss and placing its value at the first tombstone on the probe path
+    /// (or the terminal empty slot). Equivalent to `get` followed by
+    /// `insert`, but the key is hashed and the table probed a single time —
+    /// the shape of `make_node`'s hot path.
     pub fn get_or_insert_with(&mut self, key: K, make: impl FnOnce() -> u32) -> u32 {
         // Growing up front keeps the terminal probe slot valid for the
         // insert; the wasted grow on a would-be hit is amortized away.
-        if (self.len + 1) * 4 > self.ctrl.len() * 3 {
-            self.grow();
-        }
+        self.maybe_grow();
         let h = Self::fold(key.table_hash(&self.hasher));
         let mut i = self.home(h);
         let mut probes = 1u64;
+        let mut reuse: Option<usize> = None;
         self.stats.lookups += 1;
         self.lookups_since_adapt += 1;
         loop {
@@ -569,14 +645,21 @@ impl<K: TableKey> OpenTable<K> {
                 self.stats.hits += 1;
                 return self.data[i].1;
             }
+            if c == TOMBSTONE && reuse.is_none() {
+                reuse = Some(i);
+            }
             i = (i + 1) & self.mask;
             probes += 1;
         }
         self.stats.probes += probes;
         self.probes_since_adapt += probes;
         let val = make();
-        self.ctrl[i] = h;
-        self.data[i] = (key, val);
+        let slot = reuse.unwrap_or(i);
+        if self.ctrl[slot] == TOMBSTONE {
+            self.tombstones -= 1;
+        }
+        self.ctrl[slot] = h;
+        self.data[slot] = (key, val);
         self.len += 1;
         self.maybe_adapt();
         val
@@ -585,9 +668,7 @@ impl<K: TableKey> OpenTable<K> {
     /// Insert `key -> val`. The caller must ensure the key is not already
     /// present (unique-table discipline: always `get` first).
     pub fn insert(&mut self, key: K, val: u32) {
-        if (self.len + 1) * 4 > self.ctrl.len() * 3 {
-            self.grow();
-        }
+        self.maybe_grow();
         let h = Self::fold(key.table_hash(&self.hasher));
         self.insert_raw(h, key, val);
         self.len += 1;
@@ -595,19 +676,28 @@ impl<K: TableKey> OpenTable<K> {
     }
 
     /// First-come-first-served placement of a pre-hashed entry (no growth,
-    /// no counting).
+    /// no counting): the first non-live slot on the probe path — a
+    /// tombstone counts, which is what keeps remove+insert churn on a
+    /// deferred-repair table from growing probe runs.
     #[inline]
     fn insert_raw(&mut self, h: u32, key: K, val: u32) {
         let mut i = self.home(h);
-        while self.ctrl[i] != 0 {
+        while ctrl_live(self.ctrl[i]) {
             i = (i + 1) & self.mask;
+        }
+        if self.ctrl[i] == TOMBSTONE {
+            self.tombstones -= 1;
         }
         self.ctrl[i] = h;
         self.data[i] = (key, val);
     }
 
-    /// Remove `key`, returning its value if it was present. Backward-shifts
-    /// the displaced run that follows, so no tombstone is left behind.
+    /// Remove `key`, returning its value if it was present.
+    ///
+    /// Deletion strategy is adaptive (the per-swap GC fix): on a small
+    /// (L1-resident) table the slot is tombstoned and hole repair is
+    /// deferred to a batched sweep; on a large table the displaced run is
+    /// backward-shifted immediately, leaving no tombstone behind.
     pub fn remove(&mut self, key: &K) -> Option<u32> {
         let h = Self::fold(key.table_hash(&self.hasher));
         let mut i = self.home(h);
@@ -622,9 +712,98 @@ impl<K: TableKey> OpenTable<K> {
             i = (i + 1) & self.mask;
         }
         let val = self.data[i].1;
-        self.backward_shift(i);
         self.len -= 1;
+        if self.defer_repair() {
+            // Only the control word is written: the control array gates
+            // every read of `data`, so the stale payload is never seen.
+            self.ctrl[i] = TOMBSTONE;
+            self.tombstones += 1;
+            self.maybe_sweep_tombstones();
+        } else {
+            debug_assert_eq!(self.tombstones, 0, "large tables are tombstone-free");
+            self.backward_shift(i);
+        }
         Some(val)
+    }
+
+    /// Is the table in the deferred-repair (tombstoning) regime? Once any
+    /// tombstone exists, stay in the regime until a rebuild clears it, so
+    /// the eager paths never meet a tombstoned run.
+    #[inline]
+    fn defer_repair(&self) -> bool {
+        self.ctrl.len() <= Self::DEFER_REPAIR_MAX_CAP || self.tombstones > 0
+    }
+
+    /// The batched sweep backing deferred deletion: once tombstones reach
+    /// the [`Self::SWEEP_TOMBSTONE_DIV`] fraction of capacity, compact
+    /// every live entry back to its FCFS position in one pass (cost
+    /// amortized over the many deletions that paid nothing).
+    fn maybe_sweep_tombstones(&mut self) {
+        if self.tombstones * Self::SWEEP_TOMBSTONE_DIV >= self.ctrl.len() {
+            self.sweep_tombstones_now();
+        }
+    }
+
+    fn sweep_tombstones_now(&mut self) {
+        // Anchor: a slot that is empty *before* the sweep. No entry's
+        // probe run crosses a truly empty slot (runs contain only live and
+        // tombstoned slots), so repairs in anchored cyclic order never
+        // strand an already-repaired entry — the same argument as the
+        // eager retain's pass 2. One exists because load is capped at 75%.
+        let anchor = self
+            .ctrl
+            .iter()
+            .position(|&c| c == 0)
+            .expect("open table is never full");
+        // Turn every tombstone into a genuine hole (early-exit scan).
+        let mut remaining = self.tombstones;
+        for c in self.ctrl.iter_mut() {
+            if *c == TOMBSTONE {
+                *c = 0;
+                remaining -= 1;
+                if remaining == 0 {
+                    break;
+                }
+            }
+        }
+        self.tombstones = 0;
+        // In-place FCFS repair: slide every displaced survivor back to the
+        // first empty slot on its probe path.
+        for k in 1..=self.ctrl.len() {
+            let i = (anchor + k) & self.mask;
+            let c = self.ctrl[i];
+            if c == 0 {
+                continue;
+            }
+            let mut j = self.home(c);
+            while j != i && self.ctrl[j] != 0 {
+                j = (j + 1) & self.mask;
+            }
+            if j != i {
+                self.ctrl[j] = c;
+                self.data[j] = self.data[i];
+                self.ctrl[i] = 0;
+            }
+        }
+        self.stats.batched_repairs += 1;
+    }
+
+    /// Growth gate for the insert paths: when tombstones are what pushes
+    /// the load factor over the cap, compact them instead of doubling the
+    /// capacity — a table bloated by deferred deletions would otherwise
+    /// keep growing (and its sweeps keep lengthening) under remove/insert
+    /// churn whose *live* population is stable.
+    #[inline]
+    fn maybe_grow(&mut self) {
+        if (self.len + self.tombstones + 1) * 4 <= self.ctrl.len() * 3 {
+            return;
+        }
+        if self.tombstones > 0 {
+            self.sweep_tombstones_now();
+        }
+        if (self.len + 1) * 4 > self.ctrl.len() * 3 {
+            self.grow();
+        }
     }
 
     /// Close the hole at `i` by relocating every later entry of the
@@ -669,6 +848,64 @@ impl<K: TableKey> OpenTable<K> {
         if self.len == 0 {
             return;
         }
+        // Deferred-repair regime (small, L1-resident tables): judge each
+        // entry once, tombstone the dead, and skip hole repair entirely —
+        // the batched sweep pays it back later. This is the adaptive
+        // per-swap GC path: sifting's sweeps on tiny subtables now cost
+        // one bounded scan and no repair work.
+        if self.defer_repair() {
+            let mut judged = 0usize;
+            let mut dead = 0usize;
+            let live = self.len;
+            for (c, kv) in self.ctrl.iter_mut().zip(self.data.iter()) {
+                if ctrl_live(*c) {
+                    if !keep(&kv.0, kv.1) {
+                        // Control-word write only; stale payloads are
+                        // gated off by the control array.
+                        *c = TOMBSTONE;
+                        dead += 1;
+                    }
+                    judged += 1;
+                    if judged == live {
+                        break;
+                    }
+                }
+            }
+            if dead == 0 {
+                return;
+            }
+            self.len -= dead;
+            self.tombstones += dead;
+            // Wider shrink hysteresis than the eager path: per-swap GC
+            // moves whole levels back and forth, and a table that halves
+            // the moment occupancy dips below 25% thrashes resize cycles
+            // against the 75% grow threshold (measured on the misex1 sift:
+            // 3x the chained table's resize count).
+            let mut target = self.ctrl.len();
+            while target > 16 && self.len * 8 < target {
+                target /= 2;
+            }
+            if target < self.ctrl.len() {
+                let mut survivors = std::mem::take(&mut self.scratch);
+                survivors.clear();
+                survivors.extend(
+                    self.ctrl
+                        .iter()
+                        .zip(&self.data)
+                        .filter(|(&c, _)| ctrl_live(c))
+                        .map(|(&c, &(k, v))| (c, k, v)),
+                );
+                self.rebuild_into(target, &mut survivors);
+                self.scratch = survivors;
+            } else if self.tombstones * Self::SWEEP_TOMBSTONE_DIV >= self.ctrl.len() {
+                // The GC is the batching point: one repair pass folds this
+                // sweep's deaths together with every tombstone the
+                // remove/insert churn deferred since the last sweep.
+                self.sweep_tombstones_now();
+            }
+            return;
+        }
+        debug_assert_eq!(self.tombstones, 0, "large tables are tombstone-free");
         // The anchor must be a slot that is empty *before* any hole is
         // punched, so that no entry's original probe path wraps across it;
         // one always exists because load is capped at 75%.
@@ -705,7 +942,7 @@ impl<K: TableKey> OpenTable<K> {
         }
         self.len -= dead;
         let mut target = self.ctrl.len();
-        while target > 16 && self.len * 4 < target {
+        while target > 16 && self.len * 8 < target {
             target /= 2;
         }
         if target < self.ctrl.len() {
@@ -717,7 +954,7 @@ impl<K: TableKey> OpenTable<K> {
                 self.ctrl
                     .iter()
                     .zip(&self.data)
-                    .filter(|(&c, _)| c != 0)
+                    .filter(|(&c, _)| ctrl_live(c))
                     .map(|(&c, &(k, v))| (c, k, v)),
             );
             self.rebuild_into(target, &mut survivors);
@@ -809,7 +1046,7 @@ impl<K: TableKey> OpenTable<K> {
     pub fn for_each(&self, mut f: impl FnMut(&K, u32)) {
         let mut seen = 0usize;
         for (c, kv) in self.ctrl.iter().zip(&self.data) {
-            if *c != 0 {
+            if ctrl_live(*c) {
                 f(&kv.0, kv.1);
                 seen += 1;
                 if seen == self.len {
@@ -831,6 +1068,7 @@ impl<K: TableKey> OpenTable<K> {
     pub fn clear(&mut self) {
         self.ctrl.fill(0);
         self.len = 0;
+        self.tombstones = 0;
     }
 
     fn grow(&mut self) {
@@ -840,7 +1078,7 @@ impl<K: TableKey> OpenTable<K> {
             self.ctrl
                 .iter()
                 .zip(&self.data)
-                .filter(|(&c, _)| c != 0)
+                .filter(|(&c, _)| ctrl_live(c))
                 .map(|(&c, &(k, v))| (c, k, v)),
         );
         let target = self.ctrl.len() * 2;
@@ -867,7 +1105,7 @@ impl<K: TableKey> OpenTable<K> {
                 self.ctrl
                     .iter()
                     .zip(&self.data)
-                    .filter(|(&c, _)| c != 0)
+                    .filter(|(&c, _)| ctrl_live(c))
                     .map(|(&c, &(k, v))| (c, k, v)),
             );
             for e in &mut live {
@@ -882,11 +1120,13 @@ impl<K: TableKey> OpenTable<K> {
 
     /// Reset the arrays to `capacity` empty slots and re-place the drained
     /// `entries` (decorated hashes assumed current). Reuses the existing
-    /// allocations when the capacity is unchanged.
+    /// allocations when the capacity is unchanged. Tombstones do not
+    /// survive a rebuild.
     fn rebuild_into(&mut self, capacity: usize, entries: &mut Vec<(u32, K, u32)>) {
         let capacity = capacity.max(8).next_power_of_two();
         self.ctrl.clear();
         self.ctrl.resize(capacity, 0);
+        self.tombstones = 0;
         // The control array gates every read of `data`, so stale payloads
         // are harmless: only the newly appended region needs initializing,
         // which keeps a growth step from memsetting the whole payload
@@ -955,6 +1195,107 @@ mod tests {
             "the sweeps must not have killed everything"
         );
         assert!(live.len() < 500, "the sweeps must have killed something");
+    }
+
+    #[test]
+    fn open_deferred_remove_tombstones_then_sweeps() {
+        // A small (deferred-repair) table under remove/insert churn: every
+        // removal must tombstone instead of repairing, contents must stay
+        // exact, and sustained deletion pressure must trigger the batched
+        // sweep.
+        let mut t: OpenTable<K3> = OpenTable::new(64);
+        assert!(t.ctrl.len() <= OpenTable::<K3>::DEFER_REPAIR_MAX_CAP);
+        for i in 0..96u32 {
+            t.insert(K3(i, i * 3, i ^ 1), i);
+        }
+        let mut live: std::collections::HashMap<u32, u32> = (0..96u32).map(|i| (i, i)).collect();
+        let mut state = 0xC0FFEEu64;
+        for round in 0..600u32 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let i = (state >> 33) as u32 % 200;
+            let k = K3(i, i * 3, i ^ 1);
+            if live.remove(&i).is_some() {
+                assert_eq!(t.remove(&k), Some(i), "round {round}");
+            } else {
+                assert_eq!(t.remove(&k), None, "round {round}");
+                t.insert(k, i);
+                live.insert(i, i);
+            }
+            assert_eq!(t.len(), live.len());
+        }
+        for (&i, &v) in &live {
+            assert_eq!(t.get(&K3(i, i * 3, i ^ 1)), Some(v));
+        }
+        assert!(
+            t.stats().batched_repairs > 0,
+            "600 churn rounds must have triggered a batched sweep"
+        );
+    }
+
+    #[test]
+    fn open_deferred_retain_keeps_survivors_exact() {
+        // The deferred-repair retain path (small table): repeated sweeps
+        // punch tombstones without repair; every survivor stays reachable
+        // and killed keys stay gone, across sweeps and re-inserts.
+        let mut t: OpenTable<K3> = OpenTable::new(256);
+        for i in 0..300u32 {
+            t.insert(K3(i, 7, 9), i);
+        }
+        t.retain(|_, v| v % 3 != 0);
+        let expect: Vec<u32> = (0..300).filter(|v| v % 3 != 0).collect();
+        assert_eq!(t.len(), expect.len());
+        for i in 0..300u32 {
+            let want = (i % 3 != 0).then_some(i);
+            assert_eq!(t.get(&K3(i, 7, 9)), want, "key {i}");
+        }
+        // Tombstoned slots must be reusable by both insert paths.
+        for i in 1000..1100u32 {
+            assert_eq!(t.get_or_insert_with(K3(i, 7, 9), || i), i);
+        }
+        t.retain(|_, v| v >= 1000);
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.get(&K3(1050, 7, 9)), Some(1050));
+        assert_eq!(t.get(&K3(100, 7, 9)), None);
+    }
+
+    #[test]
+    fn open_large_tables_stay_tombstone_free() {
+        // Past the deferral cap, remove must backward-shift eagerly (the
+        // eager regime's invariant is asserted in debug builds).
+        let n = (OpenTable::<K3>::DEFER_REPAIR_MAX_CAP * 2) as u32;
+        let mut t: OpenTable<K3> = OpenTable::new(n as usize);
+        for i in 0..n {
+            t.insert(K3(i, 1, 2), i);
+        }
+        assert!(t.ctrl.len() > OpenTable::<K3>::DEFER_REPAIR_MAX_CAP);
+        for i in (0..n).step_by(3) {
+            assert_eq!(t.remove(&K3(i, 1, 2)), Some(i));
+        }
+        assert_eq!(t.tombstones, 0);
+        for i in 0..n {
+            let want = (i % 3 != 0).then_some(i);
+            assert_eq!(t.get(&K3(i, 1, 2)), want);
+        }
+    }
+
+    #[test]
+    fn peek_matches_get_on_both_tables() {
+        let mut open: OpenTable<K3> = OpenTable::new(32);
+        let mut chained: BucketTable<K3> = BucketTable::new(32);
+        for i in 0..200u32 {
+            open.insert(K3(i, 5, i), i + 7);
+            chained.insert(K3(i, 5, i), i + 7);
+        }
+        open.remove(&K3(3, 5, 3));
+        chained.remove(&K3(3, 5, 3));
+        for i in 0..210u32 {
+            let want = (i < 200 && i != 3).then_some(i + 7);
+            assert_eq!(open.peek(&K3(i, 5, i)), want, "open {i}");
+            assert_eq!(chained.peek(&K3(i, 5, i)), want, "chained {i}");
+        }
+        let lookups_before = open.stats().lookups;
+        let _ = open.peek(&K3(0, 5, 0));
+        assert_eq!(open.stats().lookups, lookups_before, "peek counts nothing");
     }
 
     #[test]

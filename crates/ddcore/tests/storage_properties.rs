@@ -1,10 +1,13 @@
 //! Randomized model checks and adaptation tests for the storage layer:
 //! the open-addressed unique table is driven against `std::HashMap` as a
-//! reference model (including the in-place GC sweep and tombstone-free
-//! deletion), tables are forced through resizes and hasher rearrangements,
-//! and the 2-way computed cache through evictions and epoch invalidation.
+//! reference model (including the in-place GC sweep and both deletion
+//! regimes — eager backward shift and deferred tombstoning), tables are
+//! forced through resizes and hasher rearrangements, the 2-way computed
+//! cache through evictions and epoch invalidation, and the concurrent
+//! sharded table through racing multi-threaded insert storms.
 
 use ddcore::cantor::CantorHasher;
+use ddcore::par::ShardedTable;
 use ddcore::table::{BucketTable, OpenTable, TableKey};
 use ddcore::ComputedCache;
 use std::collections::HashMap;
@@ -136,6 +139,118 @@ fn open_table_rearrangement_preserves_entries() {
     }
     for i in 0..512u32 {
         assert_eq!(t.get(&K2(i, 1)), Some(i), "key {i} lost in rearrangement");
+    }
+}
+
+/// Deletion churn pinned inside the deferred-repair (L1-resident) regime:
+/// the key universe is small enough that the table never outgrows the
+/// deferral cap, so every removal tombstones and the batched sweep must
+/// eventually compact — all while agreeing with the reference model.
+#[test]
+fn open_table_deferred_repair_matches_reference_model() {
+    let mut rng = SplitMix(0xF1E2_D3C4);
+    let mut t: OpenTable<K2> = OpenTable::new(64);
+    let mut m: HashMap<K2, u32> = HashMap::new();
+    let mut next_val = 0u32;
+    for step in 0..60_000 {
+        let r = rng.next();
+        let k = K2((r % 29) as u32, ((r >> 8) % 17) as u32);
+        match r % 4 {
+            0 | 1 => {
+                let expect = m.get(&k).copied();
+                let v = t.get_or_insert_with(k, || next_val);
+                match expect {
+                    Some(e) => assert_eq!(v, e, "step {step}"),
+                    None => {
+                        m.insert(k, next_val);
+                        next_val += 1;
+                    }
+                }
+            }
+            2 => assert_eq!(t.remove(&k), m.remove(&k), "step {step}"),
+            _ => {
+                if r % 64 == 3 {
+                    m.retain(|_, v| *v % 7 != 0);
+                    t.retain(|_, v| v % 7 != 0);
+                } else {
+                    assert_eq!(t.get(&k), m.get(&k).copied(), "step {step}");
+                }
+            }
+        }
+        assert_eq!(t.len(), m.len(), "step {step}: len drift");
+    }
+    for (k, v) in &m {
+        assert_eq!(t.get(k), Some(*v), "entry {k:?} lost");
+    }
+    // A pure deletion burst (no inserts to recycle tombstones) must cross
+    // the sweep threshold: fill the whole key universe, then drain it.
+    for a in 0..29u32 {
+        for b in 0..17u32 {
+            let k = K2(a, b);
+            if let std::collections::hash_map::Entry::Vacant(e) = m.entry(k) {
+                t.insert(k, next_val);
+                e.insert(next_val);
+                next_val += 1;
+            }
+        }
+    }
+    let keys: Vec<K2> = m.keys().copied().collect();
+    for k in keys {
+        assert_eq!(t.remove(&k), m.remove(&k));
+    }
+    assert!(t.is_empty());
+    assert!(
+        t.stats().batched_repairs > 0,
+        "a full drain in the small regime must trigger the batched sweep"
+    );
+}
+
+/// Concurrent-insert model check of the sharded table: racing threads
+/// hammer overlapping key populations through `get_or_insert_with` (the
+/// value is a pure function of the key, so the first-wins race is
+/// observable), and the final contents must equal the single-threaded
+/// reference model exactly.
+#[test]
+fn sharded_table_concurrent_inserts_match_reference_model() {
+    for threads in [2usize, 4, 8] {
+        let t: ShardedTable<K2> = ShardedTable::new(8, 16);
+        std::thread::scope(|s| {
+            for tid in 0..threads {
+                let t = &t;
+                s.spawn(move || {
+                    let mut rng = SplitMix(0xACE0 + tid as u64);
+                    for _ in 0..20_000 {
+                        let r = rng.next();
+                        let k = K2((r % 401) as u32, ((r >> 9) % 127) as u32);
+                        let v = t.get_or_insert_with(k, || k.0.wrapping_mul(31) ^ k.1);
+                        assert_eq!(
+                            v,
+                            k.0.wrapping_mul(31) ^ k.1,
+                            "a racing insert must never surface a foreign value"
+                        );
+                    }
+                });
+            }
+        });
+        // Reference model: replay the same key universe single-threaded.
+        let mut m: HashMap<K2, u32> = HashMap::new();
+        for tid in 0..threads {
+            let mut rng = SplitMix(0xACE0 + tid as u64);
+            for _ in 0..20_000 {
+                let r = rng.next();
+                let k = K2((r % 401) as u32, ((r >> 9) % 127) as u32);
+                m.entry(k).or_insert(k.0.wrapping_mul(31) ^ k.1);
+            }
+        }
+        assert_eq!(t.len(), m.len(), "threads {threads}");
+        let mut seen = 0usize;
+        t.for_each(|k, v| {
+            assert_eq!(m.get(k), Some(&v), "threads {threads}: foreign entry {k:?}");
+            seen += 1;
+        });
+        assert_eq!(seen, m.len(), "threads {threads}");
+        let occ: usize = t.shard_stats().iter().map(|s| s.len).sum();
+        assert_eq!(occ, m.len(), "threads {threads}: shard occupancy drift");
     }
 }
 

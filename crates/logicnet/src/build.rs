@@ -83,6 +83,88 @@ impl BoolAlgebra for bbdd::Bbdd {
     }
 }
 
+impl BoolAlgebra for bbdd::ParBbdd {
+    type Repr = bbdd::Edge;
+
+    fn constant(&mut self, value: bool) -> Self::Repr {
+        if value {
+            self.one()
+        } else {
+            self.zero()
+        }
+    }
+
+    fn input(&mut self, idx: usize) -> Self::Repr {
+        self.var(idx)
+    }
+
+    fn not(&mut self, a: Self::Repr) -> Self::Repr {
+        !a
+    }
+
+    fn and2(&mut self, a: Self::Repr, b: Self::Repr) -> Self::Repr {
+        self.and(a, b)
+    }
+
+    fn or2(&mut self, a: Self::Repr, b: Self::Repr) -> Self::Repr {
+        self.or(a, b)
+    }
+
+    fn xor2(&mut self, a: Self::Repr, b: Self::Repr) -> Self::Repr {
+        self.xor(a, b)
+    }
+
+    fn mux(&mut self, s: Self::Repr, a: Self::Repr, b: Self::Repr) -> Self::Repr {
+        self.ite(s, a, b)
+    }
+
+    fn collect(&mut self, live: &[Self::Repr]) {
+        // Plain GC (no auto-reordering hook): the parallel manager's
+        // history must stay a deterministic function of the op sequence.
+        bbdd::ParBbdd::collect(self, live);
+    }
+}
+
+impl BoolAlgebra for robdd::ParRobdd {
+    type Repr = robdd::Edge;
+
+    fn constant(&mut self, value: bool) -> Self::Repr {
+        if value {
+            self.one()
+        } else {
+            self.zero()
+        }
+    }
+
+    fn input(&mut self, idx: usize) -> Self::Repr {
+        self.var(idx)
+    }
+
+    fn not(&mut self, a: Self::Repr) -> Self::Repr {
+        !a
+    }
+
+    fn and2(&mut self, a: Self::Repr, b: Self::Repr) -> Self::Repr {
+        self.and(a, b)
+    }
+
+    fn or2(&mut self, a: Self::Repr, b: Self::Repr) -> Self::Repr {
+        self.or(a, b)
+    }
+
+    fn xor2(&mut self, a: Self::Repr, b: Self::Repr) -> Self::Repr {
+        self.xor(a, b)
+    }
+
+    fn mux(&mut self, s: Self::Repr, a: Self::Repr, b: Self::Repr) -> Self::Repr {
+        self.ite(s, a, b)
+    }
+
+    fn collect(&mut self, live: &[Self::Repr]) {
+        robdd::ParRobdd::collect(self, live);
+    }
+}
+
 impl BoolAlgebra for robdd::Robdd {
     type Repr = robdd::Edge;
 

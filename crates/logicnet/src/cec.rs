@@ -92,6 +92,42 @@ impl VerifyAlgebra for robdd::Robdd {
     }
 }
 
+impl VerifyAlgebra for bbdd::ParBbdd {
+    fn quantify_exists(&mut self, f: Self::Repr, vars: &[usize]) -> Self::Repr {
+        self.exists(f, vars)
+    }
+
+    fn is_false(&self, f: Self::Repr) -> bool {
+        f == bbdd::Edge::ZERO
+    }
+
+    fn model(&self, f: Self::Repr) -> Option<Vec<bool>> {
+        self.any_sat(f)
+    }
+
+    fn model_count(&self, f: Self::Repr) -> Option<u128> {
+        (self.num_vars() <= 127).then(|| self.sat_count(f))
+    }
+}
+
+impl VerifyAlgebra for robdd::ParRobdd {
+    fn quantify_exists(&mut self, f: Self::Repr, vars: &[usize]) -> Self::Repr {
+        self.exists(f, vars)
+    }
+
+    fn is_false(&self, f: Self::Repr) -> bool {
+        f == robdd::Edge::ZERO
+    }
+
+    fn model(&self, f: Self::Repr) -> Option<Vec<bool>> {
+        self.any_sat(f)
+    }
+
+    fn model_count(&self, f: Self::Repr) -> Option<u128> {
+        (self.num_vars() <= 127).then(|| self.sat_count(f))
+    }
+}
+
 /// A concrete refutation of one output pair.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Counterexample {
@@ -224,6 +260,125 @@ pub fn check_equivalence<A: VerifyAlgebra>(mgr: &mut A, a: &Network, b: &Network
     CecVerdict::Equivalent
 }
 
+/// Execution statistics of one [`check_equivalence_parallel`] run.
+#[derive(Debug, Clone, Default)]
+pub struct CecParStats {
+    /// Output pairs proved.
+    pub outputs: usize,
+    /// Chunks (pool tasks) the outputs were partitioned into.
+    pub chunks: usize,
+    /// Workers that participated (including the submitting thread).
+    pub workers: usize,
+    /// Chunks executed per worker slot (index 0 = the submitting thread).
+    pub chunks_by_worker: Vec<u64>,
+}
+
+/// [`check_equivalence`] with the per-output miter loop fanned out across
+/// a fork-join pool.
+///
+/// Outputs are partitioned into about `2 × threads` chunks; each chunk is
+/// proved in its **own** fresh manager (built by `make_mgr`), so chunks
+/// never contend and the whole check is embarrassingly parallel. The
+/// verdict is deterministic regardless of scheduling: every chunk records
+/// its refutations, and the first refuted output *in the first network's
+/// port order* wins — exactly the output [`check_equivalence`] would have
+/// reported.
+///
+/// Each chunk rebuilds both networks; for CEC-sized netlists the build is
+/// cheap next to the per-output miter quantifications the chunk then runs,
+/// and per-chunk managers are what make the fan-out contention-free.
+///
+/// # Panics
+/// Panics if the interfaces have different arities or a manager has too
+/// few variables.
+pub fn check_equivalence_parallel<A, F>(
+    a: &Network,
+    b: &Network,
+    threads: usize,
+    make_mgr: F,
+) -> (CecVerdict, CecParStats)
+where
+    A: VerifyAlgebra,
+    F: Fn() -> A + Sync,
+{
+    let n = a.num_inputs();
+    let n_out = a.num_outputs();
+    if n_out == 0 {
+        return (CecVerdict::Equivalent, CecParStats::default());
+    }
+    let (input_map, output_map, _) = match_interfaces(a, b);
+    // Chunk c owns the contiguous output range [c*per, (c+1)*per). The
+    // chunk count is recomputed from the rounded-up chunk size so no
+    // vacuous chunk exists — every spawned chunk pays for two network
+    // builds, so an empty one would be pure waste.
+    let per = n_out.div_ceil((threads.max(1) * 2).min(n_out));
+    let chunks = n_out.div_ceil(per);
+    let refuted: Vec<std::sync::Mutex<Option<Counterexample>>> =
+        (0..n_out).map(|_| std::sync::Mutex::new(None)).collect();
+    let all_inputs: Vec<usize> = (0..n).collect();
+    let fj = ddcore::par::fork_join(threads, chunks, |c| {
+        let lo = c * per;
+        let hi = ((c + 1) * per).min(n_out);
+        let mut mgr = make_mgr();
+        let vars: Vec<A::Repr> = (0..n).map(|i| mgr.input(i)).collect();
+        let a_outs = build_network_with_inputs(&mut mgr, a, &vars, &vars);
+        let b_inputs: Vec<A::Repr> = input_map.iter().map(|&i| vars[i]).collect();
+        let mut protect: Vec<A::Repr> = a_outs.clone();
+        protect.extend_from_slice(&vars);
+        let b_outs = build_network_with_inputs(&mut mgr, b, &b_inputs, &protect);
+        for (k, (name, _)) in a.outputs().iter().enumerate().take(hi).skip(lo) {
+            let miter = mgr.xor2(a_outs[k], b_outs[output_map[k]]);
+            let quantified = mgr.quantify_exists(miter, &all_inputs);
+            if !mgr.is_false(quantified) {
+                let inputs = mgr
+                    .model(miter)
+                    .map(|m| m[..n].to_vec())
+                    .expect("a non-false miter has a model");
+                *refuted[k].lock().expect("cec result lock") = Some(Counterexample {
+                    output: k,
+                    output_name: name.clone(),
+                    inputs,
+                    distinguishing: mgr.model_count(miter),
+                });
+            }
+        }
+    });
+    let stats = CecParStats {
+        outputs: n_out,
+        chunks,
+        workers: fj.workers,
+        chunks_by_worker: fj.executed,
+    };
+    for slot in &refuted {
+        if let Some(cex) = slot.lock().expect("cec result lock").take() {
+            return (CecVerdict::Inequivalent(cex), stats);
+        }
+    }
+    (CecVerdict::Equivalent, stats)
+}
+
+/// [`check_equivalence_parallel`] over fresh sequential BBDD managers
+/// (one per chunk), returning only the verdict.
+///
+/// # Panics
+/// Panics if the interfaces have different arities.
+#[must_use]
+pub fn check_equivalence_parallel_bbdd(a: &Network, b: &Network, threads: usize) -> CecVerdict {
+    let n = a.num_inputs().max(1);
+    check_equivalence_parallel(a, b, threads, || bbdd::Bbdd::new(n)).0
+}
+
+/// [`check_equivalence_parallel`] over fresh sequential ROBDD managers
+/// (one per chunk), returning only the verdict.
+///
+/// # Panics
+/// Panics if the interfaces have different arities.
+#[must_use]
+pub fn check_equivalence_parallel_robdd(a: &Network, b: &Network, threads: usize) -> CecVerdict {
+    let n = a.num_inputs().max(1);
+    check_equivalence_parallel(a, b, threads, || robdd::Robdd::new(n)).0
+}
+
 /// [`check_equivalence`] in a fresh BBDD manager.
 ///
 /// # Panics
@@ -348,6 +503,86 @@ mod tests {
         big.set_output("f", m);
         assert_eq!(check_equivalence_bbdd(&big, &big), CecVerdict::Equivalent);
         assert_eq!(check_equivalence_robdd(&big, &big), CecVerdict::Equivalent);
+    }
+
+    #[test]
+    fn parallel_cec_matches_sequential_for_all_thread_counts() {
+        let good = half_adder("x", false);
+        let alt = half_adder("y", true);
+        let mut bad = Network::new("bad");
+        let a = bad.add_input("a");
+        let b = bad.add_input("b");
+        let s = bad.add_gate(GateOp::Xor, &[a, b]);
+        let c = bad.add_gate(GateOp::Or, &[a, b]);
+        bad.set_output("s", s);
+        bad.set_output("c", c);
+
+        let seq_pos = check_equivalence_bbdd(&good, &alt);
+        let seq_neg = check_equivalence_bbdd(&good, &bad);
+        for threads in [1usize, 2, 4, 8] {
+            assert_eq!(
+                check_equivalence_parallel_bbdd(&good, &alt, threads),
+                seq_pos,
+                "threads {threads}"
+            );
+            assert_eq!(
+                check_equivalence_parallel_robdd(&good, &alt, threads),
+                CecVerdict::Equivalent
+            );
+            // The refuted output and its evidence must be the sequential
+            // driver's, whatever worker found it first.
+            assert_eq!(
+                check_equivalence_parallel_bbdd(&good, &bad, threads),
+                seq_neg,
+                "threads {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_cec_reports_pool_stats() {
+        let x = half_adder("x", false);
+        let y = half_adder("y", true);
+        let (verdict, stats) =
+            check_equivalence_parallel(&x, &y, 4, || bbdd::Bbdd::new(x.num_inputs()));
+        assert!(verdict.is_equivalent());
+        assert_eq!(stats.outputs, 2);
+        assert!(stats.chunks >= 1 && stats.chunks <= 2);
+        assert_eq!(
+            stats.chunks_by_worker.iter().sum::<u64>() as usize,
+            stats.chunks
+        );
+    }
+
+    #[test]
+    fn parallel_managers_drive_the_generic_cec() {
+        // ParBbdd / ParRobdd as the backend of the ordinary sequential
+        // driver: every miter/quantification runs the fork-join pipeline
+        // internally.
+        let x = half_adder("x", false);
+        let y = half_adder("y", true);
+        let mut mgr = bbdd::ParBbdd::with_config(
+            x.num_inputs(),
+            bbdd::ParConfig {
+                threads: 4,
+                cutoff: 0,
+                split_depth: Some(2),
+                cache_ways: 1 << 10,
+                shards: 8,
+            },
+        );
+        assert_eq!(check_equivalence(&mut mgr, &x, &y), CecVerdict::Equivalent);
+        let mut mgr = robdd::ParRobdd::with_config(
+            x.num_inputs(),
+            robdd::ParConfig {
+                threads: 4,
+                cutoff: 0,
+                split_depth: Some(2),
+                cache_ways: 1 << 10,
+                shards: 8,
+            },
+        );
+        assert_eq!(check_equivalence(&mut mgr, &x, &y), CecVerdict::Equivalent);
     }
 
     #[test]

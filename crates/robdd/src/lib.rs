@@ -35,6 +35,7 @@ mod edge;
 mod manager;
 mod node;
 mod ops;
+mod par;
 mod quant;
 mod reorder;
 
@@ -42,4 +43,5 @@ pub use ddcore::boolop::{BoolOp, Unary};
 pub use ddcore::nary::NaryOp;
 pub use edge::Edge;
 pub use manager::{Robdd, RobddStats};
+pub use par::{ParConfig, ParRobdd, ParStats};
 pub use reorder::SiftConfig;
