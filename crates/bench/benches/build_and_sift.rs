@@ -41,7 +41,13 @@ fn bench_sift(c: &mut Criterion) {
                     let roots = build_network(&mut mgr, net);
                     (mgr, roots)
                 },
-                |(mut mgr, roots)| mgr.sift(&roots),
+                |(mut mgr, roots)| {
+                    // `roots` are owned handles: the sift traces the
+                    // registry they populate.
+                    let live = mgr.sift();
+                    drop(roots);
+                    live
+                },
                 criterion::BatchSize::SmallInput,
             );
         });
@@ -52,7 +58,11 @@ fn bench_sift(c: &mut Criterion) {
                     let roots = build_network(&mut mgr, net);
                     (mgr, roots)
                 },
-                |(mut mgr, roots)| mgr.sift(&roots),
+                |(mut mgr, roots)| {
+                    let live = mgr.sift();
+                    drop(roots);
+                    live
+                },
                 criterion::BatchSize::SmallInput,
             );
         });

@@ -13,14 +13,16 @@ fn bench_swap(c: &mut Criterion) {
                 || {
                     let mut mgr = bbdd::Bbdd::new(n);
                     let f = random_function(&mut mgr, n, 77);
-                    mgr.gc(&[f]);
+                    let f = mgr.fun(f); // registry root: per-swap GC traces it
+                    mgr.gc();
                     (mgr, f)
                 },
                 |(mut mgr, f)| {
                     for pos in 0..n - 1 {
                         mgr.swap_adjacent(pos);
-                        mgr.gc(&[f]);
+                        mgr.gc();
                     }
+                    drop(f);
                     mgr.live_nodes()
                 },
                 criterion::BatchSize::SmallInput,
@@ -45,14 +47,16 @@ fn bench_swap(c: &mut Criterion) {
                             _ => mgr.nand(f, v),
                         };
                     }
-                    mgr.gc(&[f]);
+                    let f = mgr.fun(f);
+                    mgr.gc();
                     (mgr, f)
                 },
                 |(mut mgr, f)| {
                     for pos in 0..n - 1 {
                         mgr.swap_adjacent(pos);
-                        mgr.gc(&[f]);
+                        mgr.gc();
                     }
+                    drop(f);
                     mgr.live_nodes()
                 },
                 criterion::BatchSize::SmallInput,

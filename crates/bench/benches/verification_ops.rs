@@ -30,8 +30,8 @@ fn bench_quantification(c: &mut Criterion) {
                     (mgr, roots)
                 },
                 |(mut mgr, roots)| {
-                    for &r in &roots {
-                        criterion::black_box(mgr.exists(r, &cube));
+                    for r in &roots {
+                        criterion::black_box(mgr.exists(r.edge(), &cube));
                     }
                 },
                 criterion::BatchSize::SmallInput,
@@ -45,8 +45,8 @@ fn bench_quantification(c: &mut Criterion) {
                     (mgr, roots)
                 },
                 |(mut mgr, roots)| {
-                    for &r in &roots {
-                        criterion::black_box(mgr.exists(r, &cube));
+                    for r in &roots {
+                        criterion::black_box(mgr.exists(r.edge(), &cube));
                     }
                 },
                 criterion::BatchSize::SmallInput,
@@ -70,7 +70,9 @@ fn bench_and_exists(c: &mut Criterion) {
                 let roots = build_network(&mut mgr, &net);
                 (mgr, roots)
             },
-            |(mut mgr, roots)| criterion::black_box(mgr.and_exists(roots[0], roots[1], &cube)),
+            |(mut mgr, roots)| {
+                criterion::black_box(mgr.and_exists(roots[0].edge(), roots[1].edge(), &cube))
+            },
             criterion::BatchSize::SmallInput,
         );
     });
@@ -82,7 +84,7 @@ fn bench_and_exists(c: &mut Criterion) {
                 (mgr, roots)
             },
             |(mut mgr, roots)| {
-                let conj = mgr.and(roots[0], roots[1]);
+                let conj = mgr.and(roots[0].edge(), roots[1].edge());
                 criterion::black_box(mgr.exists(conj, &cube))
             },
             criterion::BatchSize::SmallInput,
@@ -102,8 +104,8 @@ fn bench_satcount(c: &mut Criterion) {
     group.bench_function("bbdd_cla16_all_outputs", |b| {
         b.iter(|| {
             let mut acc = 0u128;
-            for &r in &bb_roots {
-                acc = acc.wrapping_add(bb.sat_count(r));
+            for r in &bb_roots {
+                acc = acc.wrapping_add(bb.sat_count(r.edge()));
             }
             criterion::black_box(acc)
         });
@@ -111,8 +113,8 @@ fn bench_satcount(c: &mut Criterion) {
     group.bench_function("robdd_cla16_all_outputs", |b| {
         b.iter(|| {
             let mut acc = 0u128;
-            for &r in &rb_roots {
-                acc = acc.wrapping_add(rb.sat_count(r));
+            for r in &rb_roots {
+                acc = acc.wrapping_add(rb.sat_count(r.edge()));
             }
             criterion::black_box(acc)
         });

@@ -181,13 +181,13 @@ fn main() {
         });
         let sift_bbdd = min_time(5, || {
             let mut mgr = Bbdd::new(net.num_inputs());
-            let roots = logicnet::build::build_network(&mut mgr, &net);
-            mgr.sift(&roots);
+            let _roots = logicnet::build::build_network(&mut mgr, &net);
+            mgr.sift(); // output handles are the registry's roots
         });
         let sift_robdd = min_time(5, || {
             let mut mgr = robdd::Robdd::new(net.num_inputs());
-            let roots = logicnet::build::build_network(&mut mgr, &net);
-            mgr.sift(&roots);
+            let _roots = logicnet::build::build_network(&mut mgr, &net);
+            mgr.sift();
         });
         let comma = if idx + 1 < quick.len() { "," } else { "" };
         let _ = writeln!(
@@ -235,15 +235,15 @@ fn main() {
         let exists_bbdd = min_time(5, || {
             let mut mgr = Bbdd::new(comp.num_inputs());
             let roots = logicnet::build::build_network(&mut mgr, &comp);
-            for &r in &roots {
-                std::hint::black_box(mgr.exists(r, &cube));
+            for r in &roots {
+                std::hint::black_box(mgr.exists(r.edge(), &cube));
             }
         });
         let exists_robdd = min_time(5, || {
             let mut mgr = robdd::Robdd::new(comp.num_inputs());
             let roots = logicnet::build::build_network(&mut mgr, &comp);
-            for &r in &roots {
-                std::hint::black_box(mgr.exists(r, &cube));
+            for r in &roots {
+                std::hint::black_box(mgr.exists(r.edge(), &cube));
             }
         });
         let cla = benchgen::datapath::adder_cla(16);
@@ -251,8 +251,8 @@ fn main() {
             let mut mgr = Bbdd::new(cla.num_inputs());
             let roots = logicnet::build::build_network(&mut mgr, &cla);
             let mut acc = 0u128;
-            for &r in &roots {
-                acc = acc.wrapping_add(mgr.sat_count(r));
+            for r in &roots {
+                acc = acc.wrapping_add(mgr.sat_count(r.edge()));
             }
             std::hint::black_box(acc);
         });

@@ -21,19 +21,19 @@ fn main() {
         };
         let mut bb = bbdd::Bbdd::new(net.num_inputs());
         let rb = build_network(&mut bb, &net);
-        let bb_built = bb.shared_node_count(&rb);
-        bb.sift(&rb);
+        let bb_built = bb.shared_node_count_fns(&rb);
+        bb.sift();
         let mut bd = robdd::Robdd::new(net.num_inputs());
         let rd = build_network(&mut bd, &net);
-        let bd_built = bd.shared_node_count(&rd);
-        bd.sift(&rd);
+        let bd_built = bd.shared_node_count_fns(&rd);
+        bd.sift();
         println!(
             "{:<10} {:>12} {:>12} {:>12} {:>12}",
             name,
             bb_built,
-            bb.shared_node_count(&rb),
+            bb.shared_node_count_fns(&rb),
             bd_built,
-            bd.shared_node_count(&rd)
+            bd.shared_node_count_fns(&rd)
         );
     }
 }

@@ -21,17 +21,17 @@ fn main() {
     let mut best_sift = f64::MAX;
     for _ in 0..7 {
         let mut mgr = robdd::Robdd::new(n);
-        let roots = build_network(&mut mgr, &net);
+        let _roots = build_network(&mut mgr, &net); // handles: registry roots
         let t = Instant::now();
-        mgr.sift(&roots);
+        mgr.sift();
         best_sift = best_sift.min(t.elapsed().as_secs_f64());
     }
 
     // Swap-only walk (no GC besides what swap itself does): sweep every
     // variable down and back up once, repeated.
     let mut mgr = robdd::Robdd::new(n);
-    let roots = build_network(&mut mgr, &net);
-    mgr.gc(&roots);
+    let _roots = build_network(&mut mgr, &net);
+    mgr.gc();
     let reps = 200;
     let t = Instant::now();
     let mut swaps = 0u64;
@@ -49,11 +49,11 @@ fn main() {
 
     // GC-only: same diagram, repeated collections (nothing dies after the
     // first), measuring the fixed sweep cost.
-    mgr.gc(&roots);
+    mgr.gc();
     let t = Instant::now();
     let gcs = 4000u64;
     for _ in 0..gcs {
-        mgr.gc(&roots);
+        mgr.gc();
     }
     let gc_ns = t.elapsed().as_secs_f64() * 1e9 / gcs as f64;
 
@@ -63,12 +63,12 @@ fn main() {
     for _ in 0..reps {
         for p in 0..n - 1 {
             mgr.swap_adjacent(p);
-            mgr.gc(&roots);
+            mgr.gc();
             both += 1;
         }
         for p in (0..n - 1).rev() {
             mgr.swap_adjacent(p);
-            mgr.gc(&roots);
+            mgr.gc();
             both += 1;
         }
     }

@@ -111,7 +111,8 @@ pub fn swap_throughput(n: usize, seed: u64) -> SwapThroughput {
     let mut mgr = Bbdd::new(n);
     let f = random_function(&mut mgr, n, seed);
     let g = random_function(&mut mgr, n, seed ^ 0xABCD);
-    mgr.gc(&[f, g]);
+    let _pins = [mgr.fun(f), mgr.fun(g)];
+    mgr.gc();
     let live = mgr.live_nodes();
     let t0 = std::time::Instant::now();
     let mut swaps = 0;
@@ -121,12 +122,12 @@ pub fn swap_throughput(n: usize, seed: u64) -> SwapThroughput {
     for _ in 0..2 {
         for pos in 0..n - 1 {
             mgr.swap_adjacent(pos);
-            mgr.gc(&[f, g]);
+            mgr.gc();
             swaps += 1;
         }
         for pos in (0..n - 1).rev() {
             mgr.swap_adjacent(pos);
-            mgr.gc(&[f, g]);
+            mgr.gc();
             swaps += 1;
         }
     }

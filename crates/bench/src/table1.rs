@@ -64,14 +64,14 @@ pub fn run_row(bench: &McncBench) -> Row {
     let (bbdd_nodes_after, (bbdd_build_s, bbdd_sift_s)) = {
         let mut mgr = Bbdd::new(net_for_bbdd.num_inputs());
         let (roots, build_s) = timed(|| build_network(&mut mgr, &net_for_bbdd));
-        let (_, sift_s) = timed(|| mgr.sift(&roots));
-        (mgr.shared_node_count(&roots), (build_s, sift_s))
+        let (_, sift_s) = timed(|| mgr.sift());
+        (mgr.shared_node_count_fns(&roots), (build_s, sift_s))
     };
     let (bdd_nodes_after, (bdd_build_s, bdd_sift_s)) = {
         let mut mgr = Robdd::new(net_for_bdd.num_inputs());
         let (roots, build_s) = timed(|| build_network(&mut mgr, &net_for_bdd));
-        let (_, sift_s) = timed(|| mgr.sift(&roots));
-        (mgr.shared_node_count(&roots), (build_s, sift_s))
+        let (_, sift_s) = timed(|| mgr.sift());
+        (mgr.shared_node_count_fns(&roots), (build_s, sift_s))
     };
 
     Row {

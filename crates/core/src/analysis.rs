@@ -222,15 +222,16 @@ mod auto_reorder_tests {
             f = mgr.and(f, eq);
         }
         let before = mgr.live_nodes();
-        let fired = mgr.reorder_if_needed(&[f]);
+        let f = mgr.fun(f); // the registry, not a list, keeps f alive
+        let fired = mgr.reorder_if_needed();
         assert!(fired, "threshold was crossed: {before} nodes");
         assert!(mgr.live_nodes() < before);
         assert!(mgr.validate().is_ok());
         // Re-armed above the new size: an immediate second call is a no-op.
-        assert!(!mgr.reorder_if_needed(&[f]));
+        assert!(!mgr.reorder_if_needed());
         // Function intact.
         assert!(mgr.eval(
-            f,
+            f.edge(),
             &[true, false, true, false, true, false, true, false, true, false, true, false]
         ));
     }
@@ -241,7 +242,8 @@ mod auto_reorder_tests {
         let a = mgr.var(0);
         let b = mgr.var(3);
         let f = mgr.xor(a, b);
-        assert!(!mgr.reorder_if_needed(&[f]));
+        let _f = mgr.fun(f);
+        assert!(!mgr.reorder_if_needed());
         assert_eq!(mgr.order(), vec![0, 1, 2, 3]);
     }
 }

@@ -27,7 +27,11 @@
 //!    ([`Bbdd::apply`], [`Bbdd::ite`]);
 //! 3. **Performance-oriented memory management** — Cantor-pairing hashing,
 //!    adaptive tables, overwrite-on-collision cache, mark-and-sweep GC
-//!    ([`Bbdd::gc`]);
+//!    ([`Bbdd::gc`]) tracing the owned-handle registry: functions held as
+//!    [`BbddFn`] handles (created by [`Bbdd::fun`] and the `*_fn` ops) are
+//!    roots by construction, and [`Bbdd::set_gc_threshold`] arms automatic
+//!    collection for long-running sessions — no caller-maintained root
+//!    lists anywhere;
 //! 4. **Chain variable re-ordering** — the Fig. 2 three-level swap theory and
 //!    Rudell-style sifting ([`Bbdd::swap_adjacent`], [`Bbdd::sift`]).
 //!
@@ -53,6 +57,7 @@
 mod analysis;
 mod apply;
 mod edge;
+mod handle;
 mod manager;
 mod node;
 mod ops;
@@ -67,6 +72,7 @@ pub mod dot;
 pub use ddcore::boolop::{BoolOp, Unary};
 pub use ddcore::nary::NaryOp;
 pub use edge::Edge;
+pub use handle::BbddFn;
 pub use manager::{Bbdd, BbddStats, NodeInfo};
 pub use par::{ParBbdd, ParConfig, ParStats};
 pub use reorder::SiftConfig;

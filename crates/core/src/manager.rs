@@ -5,6 +5,7 @@
 use crate::edge::Edge;
 use crate::node::{Node, NodeKey, TERMINAL_LEVEL};
 use ddcore::cache::ComputedCache;
+use ddcore::roots::RootSet;
 use ddcore::table::UniqueTable;
 
 /// Statistics counters exposed for the benchmark harness.
@@ -103,6 +104,15 @@ pub struct Bbdd {
     pub(crate) swap_scratch: Option<crate::swap::SwapCtx>,
     /// Live-node threshold that arms automatic reordering (0 = disabled).
     auto_reorder_at: usize,
+    /// External-root registry behind the [`crate::BbddFn`] handles; GC and
+    /// sifting trace from here instead of caller-supplied root lists.
+    roots: RootSet,
+    /// Reusable snapshot buffer for the registry trace (GC runs once per
+    /// sift swap — allocation churn matters).
+    root_scratch: Vec<u64>,
+    /// The automatic-GC latch + collection generation (shared shape with
+    /// the ROBDD manager; see [`ddcore::roots::GcLatch`]).
+    gc_latch: ddcore::roots::GcLatch,
 }
 
 impl Bbdd {
@@ -135,6 +145,9 @@ impl Bbdd {
             stats: BbddStats::default(),
             swap_scratch: None,
             auto_reorder_at: 0,
+            roots: RootSet::new(),
+            root_scratch: Vec::new(),
+            gc_latch: ddcore::roots::GcLatch::default(),
         }
     }
 
@@ -284,20 +297,34 @@ impl Bbdd {
         self.auto_reorder_at = threshold;
     }
 
-    /// Collect against `roots` and, if armed and past the threshold, sift.
-    /// Returns `true` when a reorder ran.
-    pub fn reorder_if_needed(&mut self, roots: &[Edge]) -> bool {
+    /// Collect (tracing the handle registry) and, if armed and past the
+    /// threshold, sift. Returns `true` when a reorder ran.
+    pub fn reorder_if_needed(&mut self) -> bool {
+        self.reorder_if_needed_keeping(&[])
+    }
+
+    /// [`Bbdd::reorder_if_needed`] with a caller-maintained root list.
+    #[deprecated(
+        since = "0.2.0",
+        note = "hold `BbddFn` handles and call `reorder_if_needed()`; the registry \
+                discovers the roots"
+    )]
+    pub fn reorder_if_needed_with_roots(&mut self, roots: &[Edge]) -> bool {
+        self.reorder_if_needed_keeping(roots)
+    }
+
+    pub(crate) fn reorder_if_needed_keeping(&mut self, extra: &[Edge]) -> bool {
         if self.auto_reorder_at == 0 {
             return false;
         }
         if self.live_nodes() < self.auto_reorder_at {
             return false;
         }
-        self.gc(roots);
+        self.gc_keeping(extra);
         if self.live_nodes() < self.auto_reorder_at {
             return false;
         }
-        self.sift(roots);
+        self.sift_keeping(extra, &crate::reorder::SiftConfig::default());
         // Re-arm above the post-sift size so repeated triggers pay off.
         self.auto_reorder_at = (self.live_nodes() * 2).max(self.auto_reorder_at);
         true
@@ -401,6 +428,7 @@ impl Bbdd {
             if live > self.stats.peak_live_nodes {
                 self.stats.peak_live_nodes = live;
             }
+            self.note_growth(live);
         }
         id
     }
@@ -428,17 +456,100 @@ impl Bbdd {
         }
     }
 
-    /// Garbage-collect every node not reachable from `roots`; returns the
-    /// number of nodes reclaimed. The computed table is invalidated because
-    /// freed ids may be re-used.
-    pub fn gc(&mut self, roots: &[Edge]) -> usize {
+    /// The external-root registry shared with every [`crate::BbddFn`]
+    /// handle this manager hands out.
+    pub(crate) fn root_set(&self) -> &RootSet {
+        &self.roots
+    }
+
+    /// Arm the automatic GC: once `make_node` observes the live node count
+    /// at or above `threshold`, a collection is *latched* and runs at the
+    /// next handle boundary (any `*_fn` operation). After each automatic
+    /// collection the trigger re-arms at twice the surviving size (never
+    /// below `threshold`), so steady-state traffic is not collection-bound.
+    /// `0` disables (the default).
+    ///
+    /// Collections trace the handle registry — nothing a live [`crate::BbddFn`]
+    /// (or clone) denotes is ever reclaimed; raw [`Edge`]s not covered by a
+    /// handle are only safe within a single operation.
+    pub fn set_gc_threshold(&mut self, threshold: usize) {
+        self.gc_latch.set_threshold(threshold);
+    }
+
+    /// The automatic-GC threshold (`0` = disabled).
+    #[must_use]
+    pub fn gc_threshold(&self) -> usize {
+        self.gc_latch.threshold()
+    }
+
+    /// Arm the latch when a growth point crosses the trigger (called from
+    /// `find_or_insert`; collection itself is deferred to a handle
+    /// boundary so mid-recursion edges are never swept away).
+    #[inline]
+    fn note_growth(&mut self, live: usize) {
+        self.gc_latch.note_growth(live);
+    }
+
+    /// Monotonic count of collections run through *any* entry point.
+    /// Node ids may have been recycled whenever this changes — the Par
+    /// front-end compares it to decide when its concurrent cache must be
+    /// epoch-invalidated, whatever path triggered the GC.
+    pub(crate) fn gc_generation(&self) -> u64 {
+        self.gc_latch.generation()
+    }
+
+    /// Run the latched automatic collection, if armed. Returns `true` when
+    /// a collection ran. This is the handle-boundary collection point used
+    /// by every `*_fn` operation.
+    pub(crate) fn maybe_auto_gc(&mut self) -> bool {
+        if !self.gc_latch.take_pending() {
+            return false;
+        }
+        self.gc_keeping(&[]);
+        self.gc_latch.rearm(self.live_nodes());
+        true
+    }
+
+    /// Garbage-collect every node not reachable from a registered handle
+    /// ([`crate::BbddFn`]); returns the number of nodes reclaimed. The
+    /// computed table is invalidated because freed ids may be re-used.
+    ///
+    /// There is no root list to supply — and therefore none to forget: the
+    /// registry behind the handles *is* the root set.
+    pub fn gc(&mut self) -> usize {
+        self.gc_keeping(&[])
+    }
+
+    /// [`Bbdd::gc`] with a caller-maintained root list kept alive *in
+    /// addition to* the handle registry.
+    #[deprecated(
+        since = "0.2.0",
+        note = "hold `BbddFn` handles (e.g. via `Bbdd::fun`) and call `gc()`; the \
+                registry discovers the roots"
+    )]
+    pub fn gc_with_roots(&mut self, roots: &[Edge]) -> usize {
+        self.gc_keeping(roots)
+    }
+
+    /// The mark/sweep shared by every GC entry point: roots are the handle
+    /// registry snapshot plus `extra` (internal callers such as the sift
+    /// shims). The registry lock is *not* held across the trace — see the
+    /// reentrancy rule in [`ddcore::roots`].
+    pub(crate) fn gc_keeping(&mut self, extra: &[Edge]) -> usize {
         self.stats.gc_runs += 1;
-        // Mark.
-        let mut stack: Vec<u32> = roots
+        self.gc_latch.note_collection();
+        // Mark, starting from the registry snapshot + extra roots.
+        let mut snap = std::mem::take(&mut self.root_scratch);
+        snap.clear();
+        self.roots.snapshot_into(&mut snap);
+        let mut stack: Vec<u32> = snap
             .iter()
+            .map(|&bits| Edge::from_bits(bits as u32))
+            .chain(extra.iter().copied())
             .filter(|e| !e.is_constant())
             .map(|e| e.node())
             .collect();
+        self.root_scratch = snap;
         while let Some(id) = stack.pop() {
             let n = &mut self.nodes[id as usize];
             if n.is_marked() {
@@ -649,13 +760,31 @@ mod tests {
         let keep = mgr.make_node(3, !b, b.regular()); // something at top... keep a real node
         let _dead1 = mgr.make_node(2, Edge::ZERO, Edge::ONE);
         let before = mgr.live_nodes();
-        let freed = mgr.gc(&[keep, a]);
+        // Pin the survivors with handles; the registry is the root set.
+        let keep_h = mgr.fun(keep);
+        let a_h = mgr.fun(a);
+        let freed = mgr.gc();
         assert!(freed > 0);
         assert_eq!(mgr.live_nodes(), before - freed);
         assert!(mgr.validate().is_ok());
+        assert!(!keep_h.edge().is_constant(), "pinned node survived");
         // Freed slots are reused.
         let again = mgr.make_node(2, Edge::ZERO, Edge::ONE);
         assert!(!again.is_constant());
+        assert!(mgr.validate().is_ok());
+        drop(a_h);
+    }
+
+    #[test]
+    fn deprecated_roots_shim_still_collects() {
+        let mut mgr = Bbdd::new(3);
+        let a = mgr.var(0);
+        let dead = mgr.make_node(2, Edge::ZERO, Edge::ONE);
+        assert!(!dead.is_constant());
+        #[allow(deprecated)]
+        let freed = mgr.gc_with_roots(&[a]);
+        assert!(freed > 0, "unlisted node must die");
+        assert_eq!(mgr.live_nodes(), 1, "the listed literal survives");
         assert!(mgr.validate().is_ok());
     }
 

@@ -30,32 +30,49 @@ impl Default for SiftConfig {
 }
 
 impl Bbdd {
-    /// Sift all variables once with default settings, keeping `roots`
-    /// alive; returns the resulting live node count.
+    /// Sift all variables once with default settings; returns the
+    /// resulting live node count. Everything a live [`crate::BbddFn`]
+    /// handle denotes survives — the handle registry is the root set, so
+    /// there is no liveness list to forget.
     ///
     /// ```
     /// use bbdd::Bbdd;
     /// let mut mgr = Bbdd::new(6);
     /// // Equality of (v0,v1,v2) with (v3,v4,v5): terrible in this order,
     /// // linear once sifting interleaves the operand bits.
-    /// let mut f = mgr.one();
+    /// let mut f = mgr.const_fn(true);
     /// for i in 0..3 {
-    ///     let (a, b) = (mgr.var(i), mgr.var(i + 3));
-    ///     let eq = mgr.xnor(a, b);
-    ///     f = mgr.and(f, eq);
+    ///     let (a, b) = (mgr.var_fn(i), mgr.var_fn(i + 3));
+    ///     let eq = mgr.xnor_fn(&a, &b);
+    ///     f = mgr.and_fn(&f, &eq);
     /// }
-    /// let before = mgr.node_count(f);
-    /// mgr.sift(&[f]);
-    /// assert!(mgr.node_count(f) <= before);
+    /// let before = mgr.node_count(f.edge());
+    /// mgr.sift();
+    /// assert!(mgr.node_count(f.edge()) <= before);
     /// ```
-    pub fn sift(&mut self, roots: &[Edge]) -> usize {
-        self.sift_with(roots, &SiftConfig::default())
+    pub fn sift(&mut self) -> usize {
+        self.sift_with(&SiftConfig::default())
     }
 
-    /// Sift with explicit [`SiftConfig`].
-    pub fn sift_with(&mut self, roots: &[Edge], cfg: &SiftConfig) -> usize {
+    /// Sift with explicit [`SiftConfig`], tracing the handle registry.
+    pub fn sift_with(&mut self, cfg: &SiftConfig) -> usize {
+        self.sift_keeping(&[], cfg)
+    }
+
+    /// Sift keeping a caller-maintained root list alive *in addition to*
+    /// the handle registry.
+    #[deprecated(
+        since = "0.2.0",
+        note = "hold `BbddFn` handles (e.g. via `Bbdd::fun`) and call `sift()`; the \
+                registry discovers the roots"
+    )]
+    pub fn sift_with_roots(&mut self, roots: &[Edge]) -> usize {
+        self.sift_keeping(roots, &SiftConfig::default())
+    }
+
+    pub(crate) fn sift_keeping(&mut self, extra: &[Edge], cfg: &SiftConfig) -> usize {
         for _ in 0..cfg.passes.max(1) {
-            self.gc(roots);
+            self.gc_keeping(extra);
             let n = self.num_vars();
             if n < 2 {
                 break;
@@ -66,9 +83,9 @@ impl Bbdd {
                 std::cmp::Reverse(self.subtables[self.level_of_var[v] as usize].len())
             });
             for var in vars {
-                self.sift_one(var, cfg, roots);
+                self.sift_one(var, cfg, extra);
             }
-            self.gc(roots);
+            self.gc_keeping(extra);
         }
         self.live_nodes()
     }
@@ -78,10 +95,10 @@ impl Bbdd {
     /// Swaps leave behind nodes that are no longer reachable from the
     /// roots; sizes are measured after a sweep so that position decisions
     /// use exact live counts.
-    fn sift_one(&mut self, var: usize, cfg: &SiftConfig, roots: &[Edge]) {
+    fn sift_one(&mut self, var: usize, cfg: &SiftConfig, extra: &[Edge]) {
         let n = self.num_vars();
         let start = self.position_of(var);
-        self.gc(roots);
+        self.gc_keeping(extra);
         let mut best_size = self.live_nodes();
         let mut best_pos = start;
         let limit = |best: usize| (best as f64 * cfg.max_growth) as usize + 2;
@@ -107,7 +124,7 @@ impl Bbdd {
                     }
                     self.swap_adjacent(pos - 1);
                 }
-                self.gc(roots);
+                self.gc_keeping(extra);
                 let size = self.live_nodes();
                 if size < best_size {
                     best_size = size;
@@ -127,7 +144,7 @@ impl Bbdd {
                 std::cmp::Ordering::Equal => break,
             }
         }
-        self.gc(roots);
+        self.gc_keeping(extra);
     }
 
     /// Re-order the variables to the given order `π` (top first) by
@@ -188,7 +205,9 @@ mod tests {
         let f = equality_bad_order(&mut mgr, k);
         let tf = truth_of(&mgr, f, 2 * k);
         let before = mgr.node_count(f);
-        mgr.sift(&[f]);
+        let fh = mgr.fun(f);
+        mgr.sift();
+        let f = fh.edge();
         let after = mgr.node_count(f);
         assert!(after < before, "sift must shrink: {before} -> {after}");
         // Interleaved equality is k XNOR nodes ANDed: exactly 2k-1 … allow
@@ -213,28 +232,64 @@ mod tests {
         mgr.validate().unwrap();
     }
 
+    /// Regression for the explicit-roots bug class: the old API sifted
+    /// against only the caller-passed list, so edges held *elsewhere*
+    /// (e.g. a second output vector) could be invalidated mid-sift. With
+    /// the registry, two independently held handle sets both survive
+    /// semantically intact — there is no list to get wrong.
     #[test]
-    fn sift_respects_multiple_roots() {
+    fn sift_keeps_two_independent_handle_sets_alive() {
+        let n = 6;
+        let mut mgr = Bbdd::new(n);
+        // Handle set 1: the comparator outputs, held by one "caller".
+        let f = equality_bad_order(&mut mgr, 3);
+        let set1 = vec![mgr.fun(f)];
+        // Handle set 2: an unrelated output vector held by another caller,
+        // which the first caller knows nothing about.
+        let set2: Vec<crate::BbddFn> = (0..3)
+            .map(|i| {
+                let a = mgr.var(i);
+                let b = mgr.var(5 - i);
+                let x = mgr.xor(a, b);
+                mgr.fun(x)
+            })
+            .collect();
+        let tf: Vec<Vec<bool>> = set1.iter().map(|h| truth_of(&mgr, h.edge(), n)).collect();
+        let tg: Vec<Vec<bool>> = set2.iter().map(|h| truth_of(&mgr, h.edge(), n)).collect();
+        mgr.sift();
+        for (h, t) in set1.iter().zip(&tf) {
+            assert_eq!(&truth_of(&mgr, h.edge(), n), t, "set 1 must survive");
+        }
+        for (h, t) in set2.iter().zip(&tg) {
+            assert_eq!(&truth_of(&mgr, h.edge(), n), t, "set 2 must survive");
+        }
+        mgr.validate().unwrap();
+        // Dropping one set must not strand the other.
+        drop(set1);
+        mgr.sift();
+        for (h, t) in set2.iter().zip(&tg) {
+            assert_eq!(&truth_of(&mgr, h.edge(), n), t);
+        }
+        mgr.validate().unwrap();
+    }
+
+    #[test]
+    fn deprecated_sift_with_roots_shim_works() {
         let n = 6;
         let mut mgr = Bbdd::new(n);
         let f = equality_bad_order(&mut mgr, 3);
-        let g = {
-            let a = mgr.var(0);
-            let b = mgr.var(5);
-            mgr.xor(a, b)
-        };
-        let (tf, tg) = (truth_of(&mgr, f, n), truth_of(&mgr, g, n));
-        mgr.sift(&[f, g]);
+        let tf = truth_of(&mgr, f, n);
+        #[allow(deprecated)]
+        mgr.sift_with_roots(&[f]);
         assert_eq!(truth_of(&mgr, f, n), tf);
-        assert_eq!(truth_of(&mgr, g, n), tg);
         mgr.validate().unwrap();
     }
 
     #[test]
     fn single_variable_manager_sift_is_noop() {
         let mut mgr = Bbdd::new(1);
-        let a = mgr.var(0);
-        assert_eq!(mgr.sift(&[a]), 1);
-        assert!(mgr.eval(a, &[true]));
+        let a = mgr.var_fn(0);
+        assert_eq!(mgr.sift(), 1);
+        assert!(mgr.eval(a.edge(), &[true]));
     }
 }

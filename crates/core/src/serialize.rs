@@ -106,6 +106,30 @@ impl Bbdd {
         out
     }
 
+    /// [`Bbdd::save`] over owned handles — the GC-safe spelling for
+    /// callers living in the handle world.
+    #[must_use]
+    pub fn save_fns(&self, roots: &[crate::BbddFn], names: &[&str]) -> String {
+        let edges: Vec<Edge> = roots.iter().map(crate::BbddFn::edge).collect();
+        self.save(&edges, names)
+    }
+
+    /// [`Bbdd::load`], returning the named roots as owned handles already
+    /// registered with the fresh manager — the forest is pinned from the
+    /// first instant, so no collection point can strand it.
+    ///
+    /// # Errors
+    /// Returns a [`LoadError`] for malformed input, out-of-range levels or
+    /// forward references.
+    pub fn load_fns(text: &str) -> Result<(Bbdd, Vec<(String, crate::BbddFn)>), LoadError> {
+        let (mgr, roots) = Bbdd::load(text)?;
+        let handles = roots
+            .into_iter()
+            .map(|(name, e)| (name, mgr.fun(e)))
+            .collect();
+        Ok((mgr, handles))
+    }
+
     /// Reconstruct a forest saved by [`Bbdd::save`] into a fresh manager.
     /// Returns the manager plus the named root edges in file order.
     ///
@@ -264,7 +288,32 @@ mod tests {
             mgr.shared_node_count(&roots),
             loaded.shared_node_count(&[lroots[0].1, lroots[1].1])
         );
-        let _ = loaded.sift(&[lroots[0].1, lroots[1].1]);
+        let pins = [loaded.fun(lroots[0].1), loaded.fun(lroots[1].1)];
+        let _ = loaded.sift();
+        for (orig, pin) in roots.iter().zip(&pins) {
+            for m in 0..16u32 {
+                let v: Vec<bool> = (0..4).map(|i| (m >> i) & 1 == 1).collect();
+                assert_eq!(mgr.eval(*orig, &v), loaded.eval(pin.edge(), &v));
+            }
+        }
+    }
+
+    #[test]
+    fn handle_save_load_roundtrip() {
+        let mut mgr = Bbdd::new(4);
+        let roots = sample(&mut mgr);
+        let handles: Vec<crate::BbddFn> = roots.iter().map(|&e| mgr.fun(e)).collect();
+        let text = mgr.save_fns(&handles, &["f", "ng"]);
+        let (mut loaded, lroots) = Bbdd::load_fns(&text).unwrap();
+        assert_eq!(loaded.external_roots(), 2, "loaded roots come pre-pinned");
+        loaded.gc(); // must be a no-op for the pinned forest
+        for m in 0..16u32 {
+            let v: Vec<bool> = (0..4).map(|i| (m >> i) & 1 == 1).collect();
+            for (orig, (_, copy)) in handles.iter().zip(&lroots) {
+                assert_eq!(mgr.eval(orig.edge(), &v), loaded.eval(copy.edge(), &v));
+            }
+        }
+        assert!(loaded.validate().is_ok());
     }
 
     #[test]

@@ -691,13 +691,14 @@ mod tests {
         let n = 6;
         let mut mgr = Bbdd::new(n);
         let f = build_mixed(&mut mgr, n, 3);
-        mgr.gc(&[f]);
+        let _f = mgr.fun(f);
+        mgr.gc();
         let order0 = mgr.order();
         let size0 = mgr.live_nodes();
         for pos in 0..n - 1 {
             mgr.swap_adjacent(pos);
             mgr.swap_adjacent(pos);
-            mgr.gc(&[f]);
+            mgr.gc();
             assert_eq!(mgr.order(), order0, "pos {pos}");
             assert_eq!(
                 mgr.live_nodes(),

@@ -166,9 +166,11 @@ proptest! {
         let mut mgr = Bbdd::new(NVARS);
         let f = build(&mut mgr, &e);
         let reference: Vec<bool> = assignments().map(|v| mgr.eval(f, &v)).collect();
-        mgr.gc(&[f]);
+        let f = mgr.fun(f);
+        mgr.gc();
         let before = mgr.live_nodes();
-        mgr.sift(&[f]);
+        mgr.sift();
+        let f = f.edge();
         mgr.validate().unwrap();
         prop_assert!(mgr.live_nodes() <= before, "sifting must not grow the diagram");
         let now: Vec<bool> = assignments().map(|v| mgr.eval(f, &v)).collect();
@@ -180,7 +182,9 @@ proptest! {
         let mut mgr = Bbdd::new(NVARS);
         let f = build(&mut mgr, &e1);
         let g = build(&mut mgr, &e2);
-        mgr.gc(&[f]); // g may die; f must survive
+        let fh = mgr.fun(f); // g may die; f must survive
+        mgr.gc();
+        let _ = &fh;
         mgr.validate().unwrap();
         for v in assignments() {
             prop_assert_eq!(mgr.eval(f, &v), eval_expr(&e1, &v));

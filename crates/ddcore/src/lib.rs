@@ -25,6 +25,12 @@
 //! quantification, composition), and the n-ary operator tables ([`nary`])
 //! backing the generic n-ary `apply`.
 //!
+//! The [`roots`] module holds the shared external-root registry behind the
+//! managers' owned function handles (`bbdd::BbddFn` / `robdd::RobddFn`):
+//! GC and reordering trace from the registry instead of caller-supplied
+//! `roots: &[Edge]` lists, making the forgotten-root bug class
+//! unrepresentable.
+//!
 //! The [`par`] module adds the multi-core primitives the parallel managers
 //! (`bbdd::ParBbdd`, `robdd::ParRobdd`) are built from: a sharded
 //! concurrent unique table, a lossy lock-free computed cache, an
@@ -41,6 +47,7 @@ pub mod fxhash;
 pub mod nary;
 pub mod optag;
 pub mod par;
+pub mod roots;
 pub mod stats;
 pub mod table;
 
@@ -51,6 +58,8 @@ pub use fxhash::{FxHashMap, FxHashSet};
 pub use nary::NaryOp;
 pub use par::{
     AtomicCache, AtomicCacheStats, OverlayArena, ParConfig, ParStats, ShardStats, ShardedTable,
+    TaskPanic,
 };
+pub use roots::RootSet;
 pub use stats::TableStats;
 pub use table::{BucketTable, OpenTable, UniqueTable, NIL};

@@ -34,8 +34,8 @@
 
 use crate::cantor::CantorHasher;
 use crate::table::{OpenTable, TableKey};
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
 
 // ─────────────────────── shared manager-facing types ─────────────────────
 
@@ -209,29 +209,40 @@ impl<K: TableKey> ShardedTable<K> {
     /// at most one thread materializes a given key).
     ///
     /// # Panics
-    /// Panics if a shard lock is poisoned (a worker panicked mid-insert).
+    /// Panics if the shard lock is poisoned — a *previous* worker panicked
+    /// mid-insert and the shard may hold a half-finished entry, so lookups
+    /// through it are no longer trustworthy. When the call runs inside
+    /// [`fork_join`]/[`try_fork_join`], this panic is caught and surfaced
+    /// as one clean [`TaskPanic`] at join time (not an opaque cross-thread
+    /// abort); [`ShardedTable::clear`] afterwards heals the shard.
     pub fn get_or_insert_with(&self, key: K, make: impl FnOnce() -> u32) -> u32 {
         let shard = &self.shards[self.shard_of(key.table_hash(&self.router))];
         let mut guard = match shard.table.try_lock() {
             Ok(g) => g,
             Err(std::sync::TryLockError::WouldBlock) => {
                 shard.contended.fetch_add(1, Ordering::Relaxed);
-                shard.table.lock().expect("shard lock poisoned")
+                match shard.table.lock() {
+                    Ok(g) => g,
+                    Err(_) => {
+                        panic!("sharded unique table: shard poisoned by an earlier worker panic")
+                    }
+                }
             }
-            Err(std::sync::TryLockError::Poisoned(_)) => panic!("shard lock poisoned"),
+            Err(std::sync::TryLockError::Poisoned(_)) => {
+                panic!("sharded unique table: shard poisoned by an earlier worker panic")
+            }
         };
         guard.get_or_insert_with(key, make)
     }
 
     /// Total entries across all shards (locks each shard briefly).
-    ///
-    /// # Panics
-    /// Panics if a shard lock is poisoned.
+    /// Poison-tolerant: a poisoned shard is still counted (its length field
+    /// is valid even if a racing insert died half-way).
     #[must_use]
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.table.lock().expect("shard lock poisoned").len())
+            .map(|s| s.table.lock().unwrap_or_else(PoisonError::into_inner).len())
             .sum()
     }
 
@@ -243,24 +254,27 @@ impl<K: TableKey> ShardedTable<K> {
 
     /// Drop all entries, keeping shard allocations and contention counters.
     ///
-    /// # Panics
-    /// Panics if a shard lock is poisoned.
+    /// This is also the recovery path after a worker panic: clearing resets
+    /// each shard wholesale (any half-finished insert is discarded) and
+    /// un-poisons its lock, so the table is usable again.
     pub fn clear(&self) {
         for s in self.shards.iter() {
-            s.table.lock().expect("shard lock poisoned").clear();
+            s.table
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clear();
+            s.table.clear_poison();
         }
     }
 
-    /// Per-shard occupancy and contention counters.
-    ///
-    /// # Panics
-    /// Panics if a shard lock is poisoned.
+    /// Per-shard occupancy and contention counters (poison-tolerant, like
+    /// [`ShardedTable::len`]).
     #[must_use]
     pub fn shard_stats(&self) -> Vec<ShardStats> {
         self.shards
             .iter()
             .map(|s| ShardStats {
-                len: s.table.lock().expect("shard lock poisoned").len(),
+                len: s.table.lock().unwrap_or_else(PoisonError::into_inner).len(),
                 contended: s.contended.load(Ordering::Relaxed),
             })
             .collect()
@@ -270,12 +284,13 @@ impl<K: TableKey> ShardedTable<K> {
     /// unspecified; each shard is locked for its portion of the walk).
     ///
     /// # Panics
-    /// Panics if a shard lock is poisoned.
+    /// Panics if a shard lock is poisoned: a half-finished insert may be
+    /// present, so enumerating its entries could yield a torn pair.
     pub fn for_each(&self, mut f: impl FnMut(&K, u32)) {
         for s in self.shards.iter() {
             s.table
                 .lock()
-                .expect("shard lock poisoned")
+                .expect("sharded unique table: shard poisoned by an earlier worker panic")
                 .for_each(&mut f);
         }
     }
@@ -602,6 +617,37 @@ pub struct FjStats {
     pub stolen: u64,
 }
 
+/// A worker task's panic, captured and surfaced at join time by
+/// [`try_fork_join`] instead of cascading through the pool as an opaque
+/// cross-thread abort (the classic symptom: one worker dies mid-insert,
+/// every other worker then panics "lock poisoned", and the caller sees
+/// whichever secondary panic won the race).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// Index of the first task body observed panicking.
+    pub task: usize,
+    /// The panic payload, stringified (`&str`/`String` payloads verbatim).
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fork-join task {} panicked: {}", self.task, self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Run `tasks` task bodies across up to `threads` workers (the calling
 /// thread plus `threads - 1` scoped helpers) and block until all complete.
 ///
@@ -610,47 +656,104 @@ pub struct FjStats {
 /// enumerated the subproblems. With `threads <= 1` (or a single task)
 /// everything runs inline on the calling thread, spawning nothing.
 ///
-/// The body receives the task index. Panics in any worker propagate to the
-/// caller when the scope joins.
-pub fn fork_join<F: Fn(usize) + Sync>(threads: usize, tasks: usize, body: F) -> FjStats {
-    let workers = threads.max(1).min(tasks.max(1));
-    if workers <= 1 {
-        for i in 0..tasks {
-            body(i);
+/// The body receives the task index. A panic in any task body is caught
+/// in the worker; the remaining workers stop claiming new tasks, the pool
+/// drains, and the **first** captured panic is returned as
+/// [`Err(TaskPanic)`](TaskPanic) when the scope joins — one clean error on
+/// the calling thread instead of a cross-thread panic cascade.
+///
+/// # Errors
+/// Returns the first captured [`TaskPanic`] when any task body panicked.
+pub fn try_fork_join<F: Fn(usize) + Sync>(
+    threads: usize,
+    tasks: usize,
+    body: F,
+) -> Result<FjStats, TaskPanic> {
+    let failed = AtomicBool::new(false);
+    let first_panic: Mutex<Option<TaskPanic>> = Mutex::new(None);
+    let guarded = |i: usize| {
+        // `body` only captures Sync state; a panic inside it cannot leave
+        // our bookkeeping inconsistent, and any caller-side lock it held is
+        // poisoned by the unwind exactly as without the catch.
+        if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(i))) {
+            let mut slot = first_panic.lock().unwrap_or_else(PoisonError::into_inner);
+            if slot.is_none() {
+                *slot = Some(TaskPanic {
+                    task: i,
+                    message: panic_message(payload.as_ref()),
+                });
+            }
+            failed.store(true, Ordering::Release);
         }
-        return FjStats {
-            workers: 1,
-            executed: vec![tasks as u64],
-            stolen: 0,
-        };
-    }
-    let cursor = AtomicUsize::new(0);
-    let executed: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
-    let run = |w: usize| {
-        let mut mine = 0u64;
-        loop {
-            let i = cursor.fetch_add(1, Ordering::Relaxed);
-            if i >= tasks {
+    };
+    let workers = threads.max(1).min(tasks.max(1));
+    let stats = if workers <= 1 {
+        let mut done = 0u64;
+        for i in 0..tasks {
+            if failed.load(Ordering::Acquire) {
                 break;
             }
-            body(i);
-            mine += 1;
+            guarded(i);
+            done += 1;
         }
-        executed[w].store(mine, Ordering::Relaxed);
+        FjStats {
+            workers: 1,
+            executed: vec![done],
+            stolen: 0,
+        }
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let executed: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+        let run = |w: usize| {
+            let mut mine = 0u64;
+            loop {
+                if failed.load(Ordering::Acquire) {
+                    break;
+                }
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= tasks {
+                    break;
+                }
+                guarded(i);
+                mine += 1;
+            }
+            executed[w].store(mine, Ordering::Relaxed);
+        };
+        std::thread::scope(|s| {
+            for w in 1..workers {
+                let run = &run;
+                s.spawn(move || run(w));
+            }
+            run(0);
+        });
+        let executed: Vec<u64> = executed.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        let stolen = executed[1..].iter().sum();
+        FjStats {
+            workers,
+            executed,
+            stolen,
+        }
     };
-    std::thread::scope(|s| {
-        for w in 1..workers {
-            let run = &run;
-            s.spawn(move || run(w));
-        }
-        run(0);
-    });
-    let executed: Vec<u64> = executed.iter().map(|c| c.load(Ordering::Relaxed)).collect();
-    let stolen = executed[1..].iter().sum();
-    FjStats {
-        workers,
-        executed,
-        stolen,
+    let outcome = first_panic
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .take();
+    match outcome {
+        Some(p) => Err(p),
+        None => Ok(stats),
+    }
+}
+
+/// [`try_fork_join`], re-raising a captured worker panic as one clean
+/// panic on the calling thread at join time.
+///
+/// # Panics
+/// Panics with the first worker task's panic message when any task body
+/// panicked.
+pub fn fork_join<F: Fn(usize) + Sync>(threads: usize, tasks: usize, body: F) -> FjStats {
+    match try_fork_join(threads, tasks, body) {
+        Ok(stats) => stats,
+        Err(p) => panic!("{p}"),
     }
 }
 
@@ -859,6 +962,57 @@ mod tests {
         let stats = fork_join(1, 7, |_| {});
         assert_eq!(stats.workers, 1);
         assert_eq!(stats.executed, vec![7]);
+    }
+
+    #[test]
+    fn fork_join_surfaces_worker_panic_as_clean_error() {
+        for threads in [1usize, 4] {
+            let err = try_fork_join(threads, 64, |i| {
+                if i == 13 {
+                    panic!("deliberate failure in task {i}");
+                }
+            })
+            .expect_err("a panicking task must surface");
+            assert!(
+                err.message.contains("deliberate failure"),
+                "got: {}",
+                err.message
+            );
+            assert!(err.to_string().contains("fork-join task"));
+        }
+        // The non-failing path is unchanged.
+        assert!(try_fork_join(4, 16, |_| {}).is_ok());
+    }
+
+    #[test]
+    fn poisoned_shard_is_a_clean_join_error_and_clear_recovers() {
+        // Regression: a worker panicking inside `get_or_insert_with`'s make
+        // closure used to poison the shard lock and cascade every other
+        // worker into an opaque "shard lock poisoned" abort. Poison a shard
+        // deliberately, then check (a) the pool reports ONE clean error at
+        // join time and (b) `clear()` heals the table.
+        let t: ShardedTable<K2> = ShardedTable::new(1, 16); // 1 shard: every key hits it
+        let err = try_fork_join(4, 32, |i| {
+            let _ = t.get_or_insert_with(K2(i as u32, 7), || {
+                if i == 0 {
+                    panic!("worker died mid-insert");
+                }
+                i as u32
+            });
+        })
+        .expect_err("the poisoned shard must fail the pool");
+        assert!(
+            err.message.contains("mid-insert") || err.message.contains("poisoned"),
+            "got: {}",
+            err.message
+        );
+        // Poison-tolerant maintenance still works…
+        let _ = t.len();
+        let _ = t.shard_stats();
+        // …and clear() un-poisons the shard so the table is usable again.
+        t.clear();
+        assert_eq!(t.get_or_insert_with(K2(5, 7), || 99), 99);
+        assert_eq!(t.len(), 1);
     }
 
     #[test]

@@ -5,203 +5,200 @@
 //! and a bit-parallel truth-table algebra used for equivalence checks, so
 //! the same walk drives every backend — exactly how the paper feeds one
 //! benchmark network to both packages.
+//!
+//! The decision-diagram backends represent functions as **owned handles**
+//! ([`bbdd::BbddFn`] / [`robdd::RobddFn`]): every wire the builder still
+//! holds is a registered GC root, so the backend's collection opportunities
+//! ([`BoolAlgebra::collect`]) can never reclaim a function some caller
+//! still needs. The old design — a caller-maintained liveness list —
+//! shipped exactly the bug it invites (a ≥1024-gate network compared
+//! unequal to *itself* when the CEC driver forgot a root); with handles
+//! the bug class is unrepresentable.
 
 use crate::ir::{GateOp, Network};
 
 /// A Boolean function algebra a network can be interpreted into.
+///
+/// `Repr` is `Clone`, not `Copy`: decision-diagram backends hand out
+/// reference-counted handles whose clones bump a registry slot, which is
+/// what makes every held wire visible to the backend's garbage collector.
 pub trait BoolAlgebra {
-    /// Function handles (edges, truth tables, …).
-    type Repr: Copy;
+    /// Function handles (owned DD handles, truth-table words, …).
+    type Repr: Clone;
 
     /// The constant function.
     fn constant(&mut self, value: bool) -> Self::Repr;
     /// The `idx`-th primary input (position in `Network::inputs()`).
     fn input(&mut self, idx: usize) -> Self::Repr;
     /// Complement.
-    fn not(&mut self, a: Self::Repr) -> Self::Repr;
+    fn not(&mut self, a: &Self::Repr) -> Self::Repr;
     /// Conjunction.
-    fn and2(&mut self, a: Self::Repr, b: Self::Repr) -> Self::Repr;
+    fn and2(&mut self, a: &Self::Repr, b: &Self::Repr) -> Self::Repr;
     /// Disjunction.
-    fn or2(&mut self, a: Self::Repr, b: Self::Repr) -> Self::Repr;
+    fn or2(&mut self, a: &Self::Repr, b: &Self::Repr) -> Self::Repr;
     /// Parity.
-    fn xor2(&mut self, a: Self::Repr, b: Self::Repr) -> Self::Repr;
+    fn xor2(&mut self, a: &Self::Repr, b: &Self::Repr) -> Self::Repr;
 
     /// Multiplexer; backends with a native `ite` should override.
-    fn mux(&mut self, s: Self::Repr, a: Self::Repr, b: Self::Repr) -> Self::Repr {
+    fn mux(&mut self, s: &Self::Repr, a: &Self::Repr, b: &Self::Repr) -> Self::Repr {
         let t1 = self.and2(s, a);
         let ns = self.not(s);
-        let t2 = self.and2(ns, b);
-        self.or2(t1, t2)
+        let t2 = self.and2(&ns, b);
+        self.or2(&t1, &t2)
     }
 
-    /// Reclaim intermediate storage, keeping `live` handles valid
-    /// (a garbage-collection hook; default no-op).
-    fn collect(&mut self, live: &[Self::Repr]) {
-        let _ = live;
-    }
+    /// Reclaim intermediate storage (a garbage-collection hook; default
+    /// no-op). Liveness is the backend's business — for the DD managers
+    /// every outstanding handle is a registered root, so there is no list
+    /// of survivors to pass and none to forget.
+    fn collect(&mut self) {}
 }
 
 impl BoolAlgebra for bbdd::Bbdd {
-    type Repr = bbdd::Edge;
+    type Repr = bbdd::BbddFn;
 
     fn constant(&mut self, value: bool) -> Self::Repr {
-        if value {
-            self.one()
-        } else {
-            self.zero()
-        }
+        self.const_fn(value)
     }
 
     fn input(&mut self, idx: usize) -> Self::Repr {
-        self.var(idx)
+        self.var_fn(idx)
     }
 
-    fn not(&mut self, a: Self::Repr) -> Self::Repr {
-        !a
+    fn not(&mut self, a: &Self::Repr) -> Self::Repr {
+        self.not_fn(a)
     }
 
-    fn and2(&mut self, a: Self::Repr, b: Self::Repr) -> Self::Repr {
-        self.and(a, b)
+    fn and2(&mut self, a: &Self::Repr, b: &Self::Repr) -> Self::Repr {
+        self.and_fn(a, b)
     }
 
-    fn or2(&mut self, a: Self::Repr, b: Self::Repr) -> Self::Repr {
-        self.or(a, b)
+    fn or2(&mut self, a: &Self::Repr, b: &Self::Repr) -> Self::Repr {
+        self.or_fn(a, b)
     }
 
-    fn xor2(&mut self, a: Self::Repr, b: Self::Repr) -> Self::Repr {
-        self.xor(a, b)
+    fn xor2(&mut self, a: &Self::Repr, b: &Self::Repr) -> Self::Repr {
+        self.xor_fn(a, b)
     }
 
-    fn mux(&mut self, s: Self::Repr, a: Self::Repr, b: Self::Repr) -> Self::Repr {
-        self.ite(s, a, b)
+    fn mux(&mut self, s: &Self::Repr, a: &Self::Repr, b: &Self::Repr) -> Self::Repr {
+        self.ite_fn(s, a, b)
     }
 
-    fn collect(&mut self, live: &[Self::Repr]) {
-        if !self.reorder_if_needed(live) {
-            self.gc(live);
+    fn collect(&mut self) {
+        if !self.reorder_if_needed() {
+            self.gc();
         }
     }
 }
 
 impl BoolAlgebra for bbdd::ParBbdd {
-    type Repr = bbdd::Edge;
+    type Repr = bbdd::BbddFn;
 
     fn constant(&mut self, value: bool) -> Self::Repr {
-        if value {
-            self.one()
-        } else {
-            self.zero()
-        }
+        self.const_fn(value)
     }
 
     fn input(&mut self, idx: usize) -> Self::Repr {
-        self.var(idx)
+        self.var_fn(idx)
     }
 
-    fn not(&mut self, a: Self::Repr) -> Self::Repr {
-        !a
+    fn not(&mut self, a: &Self::Repr) -> Self::Repr {
+        self.not_fn(a)
     }
 
-    fn and2(&mut self, a: Self::Repr, b: Self::Repr) -> Self::Repr {
-        self.and(a, b)
+    fn and2(&mut self, a: &Self::Repr, b: &Self::Repr) -> Self::Repr {
+        self.and_fn(a, b)
     }
 
-    fn or2(&mut self, a: Self::Repr, b: Self::Repr) -> Self::Repr {
-        self.or(a, b)
+    fn or2(&mut self, a: &Self::Repr, b: &Self::Repr) -> Self::Repr {
+        self.or_fn(a, b)
     }
 
-    fn xor2(&mut self, a: Self::Repr, b: Self::Repr) -> Self::Repr {
-        self.xor(a, b)
+    fn xor2(&mut self, a: &Self::Repr, b: &Self::Repr) -> Self::Repr {
+        self.xor_fn(a, b)
     }
 
-    fn mux(&mut self, s: Self::Repr, a: Self::Repr, b: Self::Repr) -> Self::Repr {
-        self.ite(s, a, b)
+    fn mux(&mut self, s: &Self::Repr, a: &Self::Repr, b: &Self::Repr) -> Self::Repr {
+        self.ite_fn(s, a, b)
     }
 
-    fn collect(&mut self, live: &[Self::Repr]) {
+    fn collect(&mut self) {
         // Plain GC (no auto-reordering hook): the parallel manager's
         // history must stay a deterministic function of the op sequence.
-        bbdd::ParBbdd::collect(self, live);
+        bbdd::ParBbdd::collect(self);
     }
 }
 
 impl BoolAlgebra for robdd::ParRobdd {
-    type Repr = robdd::Edge;
+    type Repr = robdd::RobddFn;
 
     fn constant(&mut self, value: bool) -> Self::Repr {
-        if value {
-            self.one()
-        } else {
-            self.zero()
-        }
+        self.const_fn(value)
     }
 
     fn input(&mut self, idx: usize) -> Self::Repr {
-        self.var(idx)
+        self.var_fn(idx)
     }
 
-    fn not(&mut self, a: Self::Repr) -> Self::Repr {
-        !a
+    fn not(&mut self, a: &Self::Repr) -> Self::Repr {
+        self.not_fn(a)
     }
 
-    fn and2(&mut self, a: Self::Repr, b: Self::Repr) -> Self::Repr {
-        self.and(a, b)
+    fn and2(&mut self, a: &Self::Repr, b: &Self::Repr) -> Self::Repr {
+        self.and_fn(a, b)
     }
 
-    fn or2(&mut self, a: Self::Repr, b: Self::Repr) -> Self::Repr {
-        self.or(a, b)
+    fn or2(&mut self, a: &Self::Repr, b: &Self::Repr) -> Self::Repr {
+        self.or_fn(a, b)
     }
 
-    fn xor2(&mut self, a: Self::Repr, b: Self::Repr) -> Self::Repr {
-        self.xor(a, b)
+    fn xor2(&mut self, a: &Self::Repr, b: &Self::Repr) -> Self::Repr {
+        self.xor_fn(a, b)
     }
 
-    fn mux(&mut self, s: Self::Repr, a: Self::Repr, b: Self::Repr) -> Self::Repr {
-        self.ite(s, a, b)
+    fn mux(&mut self, s: &Self::Repr, a: &Self::Repr, b: &Self::Repr) -> Self::Repr {
+        self.ite_fn(s, a, b)
     }
 
-    fn collect(&mut self, live: &[Self::Repr]) {
-        robdd::ParRobdd::collect(self, live);
+    fn collect(&mut self) {
+        robdd::ParRobdd::collect(self);
     }
 }
 
 impl BoolAlgebra for robdd::Robdd {
-    type Repr = robdd::Edge;
+    type Repr = robdd::RobddFn;
 
     fn constant(&mut self, value: bool) -> Self::Repr {
-        if value {
-            self.one()
-        } else {
-            self.zero()
-        }
+        self.const_fn(value)
     }
 
     fn input(&mut self, idx: usize) -> Self::Repr {
-        self.var(idx)
+        self.var_fn(idx)
     }
 
-    fn not(&mut self, a: Self::Repr) -> Self::Repr {
-        !a
+    fn not(&mut self, a: &Self::Repr) -> Self::Repr {
+        self.not_fn(a)
     }
 
-    fn and2(&mut self, a: Self::Repr, b: Self::Repr) -> Self::Repr {
-        self.and(a, b)
+    fn and2(&mut self, a: &Self::Repr, b: &Self::Repr) -> Self::Repr {
+        self.and_fn(a, b)
     }
 
-    fn or2(&mut self, a: Self::Repr, b: Self::Repr) -> Self::Repr {
-        self.or(a, b)
+    fn or2(&mut self, a: &Self::Repr, b: &Self::Repr) -> Self::Repr {
+        self.or_fn(a, b)
     }
 
-    fn xor2(&mut self, a: Self::Repr, b: Self::Repr) -> Self::Repr {
-        self.xor(a, b)
+    fn xor2(&mut self, a: &Self::Repr, b: &Self::Repr) -> Self::Repr {
+        self.xor_fn(a, b)
     }
 
-    fn mux(&mut self, s: Self::Repr, a: Self::Repr, b: Self::Repr) -> Self::Repr {
-        self.ite(s, a, b)
+    fn mux(&mut self, s: &Self::Repr, a: &Self::Repr, b: &Self::Repr) -> Self::Repr {
+        self.ite_fn(s, a, b)
     }
 
-    fn collect(&mut self, live: &[Self::Repr]) {
-        self.gc(live);
+    fn collect(&mut self) {
+        self.gc();
     }
 }
 
@@ -221,7 +218,7 @@ const GC_STRIDE: usize = 1024;
 /// Panics if the network fails [`Network::check`].
 pub fn build_network<A: BoolAlgebra>(alg: &mut A, net: &Network) -> Vec<A::Repr> {
     let inputs: Vec<A::Repr> = (0..net.num_inputs()).map(|i| alg.input(i)).collect();
-    build_network_with_inputs(alg, net, &inputs, &[])
+    build_network_with_inputs(alg, net, &inputs)
 }
 
 /// Interpret `net` into `alg` with pre-bound input handles: network input
@@ -229,11 +226,11 @@ pub fn build_network<A: BoolAlgebra>(alg: &mut A, net: &Network) -> Vec<A::Repr>
 ///
 /// This is how the equivalence checker ([`crate::cec`]) builds two
 /// networks over *one* variable space, aligning their inputs by name even
-/// when the declaration orders differ. `keep_alive` lists handles built
-/// *before* this call that must survive the builder's periodic
-/// garbage-collection opportunities (e.g. the first network's outputs
-/// while the second network builds) — without it, a backend GC against
-/// only this build's live wires would reclaim them.
+/// when the declaration orders differ. Functions built *before* this call
+/// need no protection from the builder's periodic garbage-collection
+/// opportunities: their owned handles are registered roots, so (unlike the
+/// explicit root-list parameter this function used to take) there is no
+/// liveness list for a caller to get wrong.
 ///
 /// # Panics
 /// Panics if the network fails [`Network::check`] or `inputs` is shorter
@@ -242,7 +239,6 @@ pub fn build_network_with_inputs<A: BoolAlgebra>(
     alg: &mut A,
     net: &Network,
     inputs: &[A::Repr],
-    keep_alive: &[A::Repr],
 ) -> Vec<A::Repr> {
     net.check().expect("network must be structurally valid");
     assert!(
@@ -251,10 +247,10 @@ pub fn build_network_with_inputs<A: BoolAlgebra>(
     );
     let mut wire: Vec<Option<A::Repr>> = vec![None; net.num_signals()];
     for (i, s) in net.inputs().iter().enumerate() {
-        wire[s.index()] = Some(inputs[i]);
+        wire[s.index()] = Some(inputs[i].clone());
     }
-    // Last-use positions so intermediate handles can be dropped and the
-    // backend GC'd against the exact live set.
+    // Last-use positions so intermediate handles can be dropped (releasing
+    // their root-registry slots) as soon as they are dead.
     let mut last_use = vec![usize::MAX; net.num_signals()];
     for (gi, g) in net.gates().iter().enumerate() {
         for inp in &g.inputs {
@@ -269,45 +265,54 @@ pub fn build_network_with_inputs<A: BoolAlgebra>(
     }
 
     for (gi, g) in net.gates().iter().enumerate() {
-        let ins: Vec<A::Repr> = g
+        // Borrow the fan-in handles straight out of the wire table —
+        // cloning them would cost a registry refcount round-trip per pin,
+        // which adds up on micro builds.
+        let ins: Vec<&A::Repr> = g
             .inputs
             .iter()
-            .map(|s| wire[s.index()].expect("topological order"))
+            .map(|s| wire[s.index()].as_ref().expect("topological order"))
             .collect();
+        /// Left-fold `op` over a fan-in list without cloning the head for
+        /// the ≥2-input case (the 1-input degenerate form clones once).
+        macro_rules! fold {
+            ($op:ident, $ins:expr) => {
+                if $ins.len() == 1 {
+                    $ins[0].clone()
+                } else {
+                    let mut acc = alg.$op($ins[0], $ins[1]);
+                    for x in &$ins[2..] {
+                        acc = alg.$op(&acc, x);
+                    }
+                    acc
+                }
+            };
+        }
         let out = match g.op {
             GateOp::Const0 => alg.constant(false),
             GateOp::Const1 => alg.constant(true),
-            GateOp::Buf => ins[0],
+            GateOp::Buf => ins[0].clone(),
             GateOp::Not => alg.not(ins[0]),
             GateOp::And | GateOp::Nand => {
-                let mut acc = ins[0];
-                for &x in &ins[1..] {
-                    acc = alg.and2(acc, x);
-                }
+                let acc = fold!(and2, ins);
                 if g.op == GateOp::Nand {
-                    alg.not(acc)
+                    alg.not(&acc)
                 } else {
                     acc
                 }
             }
             GateOp::Or | GateOp::Nor => {
-                let mut acc = ins[0];
-                for &x in &ins[1..] {
-                    acc = alg.or2(acc, x);
-                }
+                let acc = fold!(or2, ins);
                 if g.op == GateOp::Nor {
-                    alg.not(acc)
+                    alg.not(&acc)
                 } else {
                     acc
                 }
             }
             GateOp::Xor | GateOp::Xnor => {
-                let mut acc = ins[0];
-                for &x in &ins[1..] {
-                    acc = alg.xor2(acc, x);
-                }
+                let acc = fold!(xor2, ins);
                 if g.op == GateOp::Xnor {
-                    alg.not(acc)
+                    alg.not(&acc)
                 } else {
                     acc
                 }
@@ -316,27 +321,26 @@ pub fn build_network_with_inputs<A: BoolAlgebra>(
                 let ab = alg.and2(ins[0], ins[1]);
                 let bc = alg.and2(ins[1], ins[2]);
                 let ac = alg.and2(ins[0], ins[2]);
-                let t = alg.or2(ab, bc);
-                alg.or2(t, ac)
+                let t = alg.or2(&ab, &bc);
+                alg.or2(&t, &ac)
             }
             GateOp::Mux => alg.mux(ins[0], ins[1], ins[2]),
         };
         wire[g.output.index()] = Some(out);
-        // Drop dead intermediates and give the backend a GC opportunity.
+        // Drop dead intermediates (their handles release the registry
+        // slots) and give the backend a GC opportunity.
         if (gi + 1) % GC_STRIDE == 0 {
             for (idx, slot) in wire.iter_mut().enumerate() {
                 if last_use[idx] <= gi {
                     *slot = None;
                 }
             }
-            let mut live: Vec<A::Repr> = wire.iter().flatten().copied().collect();
-            live.extend_from_slice(keep_alive);
-            alg.collect(&live);
+            alg.collect();
         }
     }
     net.outputs()
         .iter()
-        .map(|(_, s)| wire[s.index()].expect("outputs are driven"))
+        .map(|(_, s)| wire[s.index()].clone().expect("outputs are driven"))
         .collect()
 }
 
@@ -364,19 +368,19 @@ impl BoolAlgebra for WordAlgebra {
         self.input_words[idx]
     }
 
-    fn not(&mut self, a: u64) -> u64 {
-        !a
+    fn not(&mut self, a: &u64) -> u64 {
+        !*a
     }
 
-    fn and2(&mut self, a: u64, b: u64) -> u64 {
+    fn and2(&mut self, a: &u64, b: &u64) -> u64 {
         a & b
     }
 
-    fn or2(&mut self, a: u64, b: u64) -> u64 {
+    fn or2(&mut self, a: &u64, b: &u64) -> u64 {
         a | b
     }
 
-    fn xor2(&mut self, a: u64, b: u64) -> u64 {
+    fn xor2(&mut self, a: &u64, b: &u64) -> u64 {
         a ^ b
     }
 }
@@ -412,9 +416,12 @@ mod tests {
             let v: Vec<bool> = (0..4).map(|i| (m >> i) & 1 == 1).collect();
             let expect = net.simulate(&v);
             for (o, e) in outs.iter().zip(&expect) {
-                assert_eq!(mgr.eval(*o, &v), *e, "vector {v:?}");
+                assert_eq!(mgr.eval(o.edge(), &v), *e, "vector {v:?}");
             }
         }
+        // Outputs are the only registered roots once the builder returns
+        // (its input/intermediate handles all dropped on exit).
+        assert_eq!(mgr.external_roots(), outs.len());
     }
 
     #[test]
@@ -426,9 +433,10 @@ mod tests {
             let v: Vec<bool> = (0..4).map(|i| (m >> i) & 1 == 1).collect();
             let expect = net.simulate(&v);
             for (o, e) in outs.iter().zip(&expect) {
-                assert_eq!(mgr.eval(*o, &v), *e, "vector {v:?}");
+                assert_eq!(mgr.eval(o.edge(), &v), *e, "vector {v:?}");
             }
         }
+        assert_eq!(mgr.external_roots(), outs.len());
     }
 
     #[test]

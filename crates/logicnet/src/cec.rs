@@ -43,88 +43,89 @@ use crate::ir::Network;
 use std::collections::HashMap;
 
 /// The decision-diagram operations the CEC driver needs beyond plain
-/// network building — implemented by both `bbdd::Bbdd` and `robdd::Robdd`.
+/// network building — implemented by both `bbdd::Bbdd` and `robdd::Robdd`
+/// (and their parallel front-ends) over owned function handles.
 pub trait VerifyAlgebra: BoolAlgebra {
     /// Existential quantification `∃ vars . f`.
-    fn quantify_exists(&mut self, f: Self::Repr, vars: &[usize]) -> Self::Repr;
+    fn quantify_exists(&mut self, f: &Self::Repr, vars: &[usize]) -> Self::Repr;
     /// Is `f` the constant-false function?
-    fn is_false(&self, f: Self::Repr) -> bool;
+    fn is_false(&self, f: &Self::Repr) -> bool;
     /// One satisfying assignment over all manager variables, or `None`.
-    fn model(&self, f: Self::Repr) -> Option<Vec<bool>>;
+    fn model(&self, f: &Self::Repr) -> Option<Vec<bool>>;
     /// Number of satisfying assignments; `None` when the variable count
     /// makes the exact count unrepresentable.
-    fn model_count(&self, f: Self::Repr) -> Option<u128>;
+    fn model_count(&self, f: &Self::Repr) -> Option<u128>;
 }
 
 impl VerifyAlgebra for bbdd::Bbdd {
-    fn quantify_exists(&mut self, f: Self::Repr, vars: &[usize]) -> Self::Repr {
-        self.exists(f, vars)
+    fn quantify_exists(&mut self, f: &Self::Repr, vars: &[usize]) -> Self::Repr {
+        self.exists_fn(f, vars)
     }
 
-    fn is_false(&self, f: Self::Repr) -> bool {
-        f == bbdd::Edge::ZERO
+    fn is_false(&self, f: &Self::Repr) -> bool {
+        f.edge() == bbdd::Edge::ZERO
     }
 
-    fn model(&self, f: Self::Repr) -> Option<Vec<bool>> {
-        self.any_sat(f)
+    fn model(&self, f: &Self::Repr) -> Option<Vec<bool>> {
+        self.any_sat(f.edge())
     }
 
-    fn model_count(&self, f: Self::Repr) -> Option<u128> {
-        (self.num_vars() <= 127).then(|| self.sat_count(f))
+    fn model_count(&self, f: &Self::Repr) -> Option<u128> {
+        (self.num_vars() <= 127).then(|| self.sat_count(f.edge()))
     }
 }
 
 impl VerifyAlgebra for robdd::Robdd {
-    fn quantify_exists(&mut self, f: Self::Repr, vars: &[usize]) -> Self::Repr {
-        self.exists(f, vars)
+    fn quantify_exists(&mut self, f: &Self::Repr, vars: &[usize]) -> Self::Repr {
+        self.exists_fn(f, vars)
     }
 
-    fn is_false(&self, f: Self::Repr) -> bool {
-        f == robdd::Edge::ZERO
+    fn is_false(&self, f: &Self::Repr) -> bool {
+        f.edge() == robdd::Edge::ZERO
     }
 
-    fn model(&self, f: Self::Repr) -> Option<Vec<bool>> {
-        self.any_sat(f)
+    fn model(&self, f: &Self::Repr) -> Option<Vec<bool>> {
+        self.any_sat(f.edge())
     }
 
-    fn model_count(&self, f: Self::Repr) -> Option<u128> {
-        (self.num_vars() <= 127).then(|| self.sat_count(f))
+    fn model_count(&self, f: &Self::Repr) -> Option<u128> {
+        (self.num_vars() <= 127).then(|| self.sat_count(f.edge()))
     }
 }
 
 impl VerifyAlgebra for bbdd::ParBbdd {
-    fn quantify_exists(&mut self, f: Self::Repr, vars: &[usize]) -> Self::Repr {
-        self.exists(f, vars)
+    fn quantify_exists(&mut self, f: &Self::Repr, vars: &[usize]) -> Self::Repr {
+        self.exists_fn(f, vars)
     }
 
-    fn is_false(&self, f: Self::Repr) -> bool {
-        f == bbdd::Edge::ZERO
+    fn is_false(&self, f: &Self::Repr) -> bool {
+        f.edge() == bbdd::Edge::ZERO
     }
 
-    fn model(&self, f: Self::Repr) -> Option<Vec<bool>> {
-        self.any_sat(f)
+    fn model(&self, f: &Self::Repr) -> Option<Vec<bool>> {
+        self.any_sat(f.edge())
     }
 
-    fn model_count(&self, f: Self::Repr) -> Option<u128> {
-        (self.num_vars() <= 127).then(|| self.sat_count(f))
+    fn model_count(&self, f: &Self::Repr) -> Option<u128> {
+        (self.num_vars() <= 127).then(|| self.sat_count(f.edge()))
     }
 }
 
 impl VerifyAlgebra for robdd::ParRobdd {
-    fn quantify_exists(&mut self, f: Self::Repr, vars: &[usize]) -> Self::Repr {
-        self.exists(f, vars)
+    fn quantify_exists(&mut self, f: &Self::Repr, vars: &[usize]) -> Self::Repr {
+        self.exists_fn(f, vars)
     }
 
-    fn is_false(&self, f: Self::Repr) -> bool {
-        f == robdd::Edge::ZERO
+    fn is_false(&self, f: &Self::Repr) -> bool {
+        f.edge() == robdd::Edge::ZERO
     }
 
-    fn model(&self, f: Self::Repr) -> Option<Vec<bool>> {
-        self.any_sat(f)
+    fn model(&self, f: &Self::Repr) -> Option<Vec<bool>> {
+        self.any_sat(f.edge())
     }
 
-    fn model_count(&self, f: Self::Repr) -> Option<u128> {
-        (self.num_vars() <= 127).then(|| self.sat_count(f))
+    fn model_count(&self, f: &Self::Repr) -> Option<u128> {
+        (self.num_vars() <= 127).then(|| self.sat_count(f.edge()))
     }
 }
 
@@ -232,28 +233,29 @@ pub fn check_equivalence<A: VerifyAlgebra>(mgr: &mut A, a: &Network, b: &Network
     let n = a.num_inputs();
     let (input_map, output_map, _) = match_interfaces(a, b);
     let vars: Vec<A::Repr> = (0..n).map(|i| mgr.input(i)).collect();
-    let a_outs = build_network_with_inputs(mgr, a, &vars, &vars);
-    let b_inputs: Vec<A::Repr> = input_map.iter().map(|&i| vars[i]).collect();
-    // The first network's outputs (and every shared variable) must survive
-    // any GC the second build triggers.
-    let mut protect: Vec<A::Repr> = a_outs.clone();
-    protect.extend_from_slice(&vars);
-    let b_outs = build_network_with_inputs(mgr, b, &b_inputs, &protect);
+    let a_outs = build_network_with_inputs(mgr, a, &vars);
+    let b_inputs: Vec<A::Repr> = input_map.iter().map(|&i| vars[i].clone()).collect();
+    // No protection list: `a_outs` are owned handles, so the first
+    // network's outputs are structurally live across every GC opportunity
+    // the second build triggers. (The caller-maintained liveness list this
+    // replaces is exactly where a ≥1024-gate network once compared
+    // unequal to itself.)
+    let b_outs = build_network_with_inputs(mgr, b, &b_inputs);
 
     let all_inputs: Vec<usize> = (0..n).collect();
     for (k, (name, _)) in a.outputs().iter().enumerate() {
-        let miter = mgr.xor2(a_outs[k], b_outs[output_map[k]]);
-        let quantified = mgr.quantify_exists(miter, &all_inputs);
-        if !mgr.is_false(quantified) {
+        let miter = mgr.xor2(&a_outs[k], &b_outs[output_map[k]]);
+        let quantified = mgr.quantify_exists(&miter, &all_inputs);
+        if !mgr.is_false(&quantified) {
             let inputs = mgr
-                .model(miter)
+                .model(&miter)
                 .map(|m| m[..n].to_vec())
                 .expect("a non-false miter has a model");
             return CecVerdict::Inequivalent(Counterexample {
                 output: k,
                 output_name: name.clone(),
                 inputs,
-                distinguishing: mgr.model_count(miter),
+                distinguishing: mgr.model_count(&miter),
             });
         }
     }
@@ -321,24 +323,22 @@ where
         let hi = ((c + 1) * per).min(n_out);
         let mut mgr = make_mgr();
         let vars: Vec<A::Repr> = (0..n).map(|i| mgr.input(i)).collect();
-        let a_outs = build_network_with_inputs(&mut mgr, a, &vars, &vars);
-        let b_inputs: Vec<A::Repr> = input_map.iter().map(|&i| vars[i]).collect();
-        let mut protect: Vec<A::Repr> = a_outs.clone();
-        protect.extend_from_slice(&vars);
-        let b_outs = build_network_with_inputs(&mut mgr, b, &b_inputs, &protect);
+        let a_outs = build_network_with_inputs(&mut mgr, a, &vars);
+        let b_inputs: Vec<A::Repr> = input_map.iter().map(|&i| vars[i].clone()).collect();
+        let b_outs = build_network_with_inputs(&mut mgr, b, &b_inputs);
         for (k, (name, _)) in a.outputs().iter().enumerate().take(hi).skip(lo) {
-            let miter = mgr.xor2(a_outs[k], b_outs[output_map[k]]);
-            let quantified = mgr.quantify_exists(miter, &all_inputs);
-            if !mgr.is_false(quantified) {
+            let miter = mgr.xor2(&a_outs[k], &b_outs[output_map[k]]);
+            let quantified = mgr.quantify_exists(&miter, &all_inputs);
+            if !mgr.is_false(&quantified) {
                 let inputs = mgr
-                    .model(miter)
+                    .model(&miter)
                     .map(|m| m[..n].to_vec())
                     .expect("a non-false miter has a model");
                 *refuted[k].lock().expect("cec result lock") = Some(Counterexample {
                     output: k,
                     output_name: name.clone(),
                     inputs,
-                    distinguishing: mgr.model_count(miter),
+                    distinguishing: mgr.model_count(&miter),
                 });
             }
         }
@@ -488,10 +488,13 @@ mod tests {
 
     #[test]
     fn large_networks_survive_the_builders_gc_stride() {
-        // Regression: building the second network used to GC against only
-        // its own live wires once past the builder's GC stride (1024
-        // gates), reclaiming the first network's output nodes — a
-        // 2500-gate network then compared unequal to itself.
+        // Regression: with the old caller-maintained liveness lists,
+        // building the second network GC'd against only its own live wires
+        // once past the builder's GC stride (1024 gates), reclaiming the
+        // first network's output nodes — a 2500-gate network then compared
+        // unequal to itself. Handles make the first network's outputs
+        // structurally live; this must stay green with no protection
+        // plumbing anywhere in the driver.
         let mut big = Network::new("big");
         let a = big.add_input("a");
         let b = big.add_input("b");

@@ -31,8 +31,8 @@
 //! net.check().unwrap();
 //!
 //! let mut mgr = bbdd::Bbdd::new(net.num_inputs());
-//! let outs = build_network(&mut mgr, &net);
-//! assert!(mgr.eval(outs[0], &[true, false]));
+//! let outs = build_network(&mut mgr, &net); // Vec<bbdd::BbddFn> — owned, GC-safe
+//! assert!(mgr.eval(outs[0].edge(), &[true, false]));
 //! ```
 
 #![forbid(unsafe_code)]

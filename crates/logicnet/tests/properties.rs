@@ -117,8 +117,8 @@ proptest! {
             let sim = net.simulate(&v);
             for (o, expect) in sim.iter().enumerate() {
                 prop_assert_eq!((word_out[o] >> m) & 1 == 1, *expect);
-                prop_assert_eq!(bb.eval(bb_out[o], &v), *expect);
-                prop_assert_eq!(bd.eval(bd_out[o], &v), *expect);
+                prop_assert_eq!(bb.eval(bb_out[o].edge(), &v), *expect);
+                prop_assert_eq!(bd.eval(bd_out[o].edge(), &v), *expect);
             }
         }
     }

@@ -1,0 +1,349 @@
+//! Owned, reference-counted ROBDD function handles.
+//!
+//! A [`RobddFn`] is the *safe* public face of a Boolean function: it wraps
+//! an [`Edge`] together with a slot in the manager's external-root registry
+//! ([`ddcore::roots::RootSet`]). The handle registers itself on creation,
+//! clones by bumping the slot's refcount, and releases the slot on `Drop`
+//! — so everything a caller still holds is, by construction, visible to
+//! [`Robdd::gc`], [`Robdd::sift`] and the automatic GC trigger. The
+//! "forgot a root across a collection" bug class is unrepresentable: there
+//! is no root list to forget.
+//!
+//! Raw [`Edge`]s remain available as the unprotected low-level currency
+//! (cheap `Copy`, used inside single operations and by the recursion
+//! internals); a raw edge is only guaranteed valid until the next
+//! collection point unless some handle keeps its nodes alive.
+//!
+//! ```
+//! use robdd::Robdd;
+//! let mut mgr = Robdd::new(3);
+//! let a = mgr.var_fn(0);
+//! let b = mgr.var_fn(1);
+//! let f = mgr.xor_fn(&a, &b);
+//! drop(b);            // the XOR nodes stay alive through `f`
+//! mgr.gc();           // no root list — the registry knows
+//! assert!(mgr.eval(f.edge(), &[true, false, false]));
+//! ```
+
+use crate::edge::Edge;
+use crate::manager::Robdd;
+use ddcore::boolop::BoolOp;
+use ddcore::nary::NaryOp;
+use ddcore::roots::RootSet;
+
+/// An owned handle to an ROBDD function (see the module docs).
+///
+/// Equality compares the underlying edges, which — by canonicity — is
+/// function equality for handles of the same manager.
+#[derive(Debug)]
+pub struct RobddFn {
+    edge: Edge,
+    slot: u32,
+    roots: RootSet,
+}
+
+impl RobddFn {
+    /// Register `edge` as an external root of `roots`.
+    pub(crate) fn register(roots: &RootSet, edge: Edge) -> Self {
+        RobddFn {
+            edge,
+            slot: roots.register(u64::from(edge.bits())),
+            roots: roots.clone(),
+        }
+    }
+
+    /// The underlying edge (valid as long as this handle lives).
+    #[must_use]
+    pub fn edge(&self) -> Edge {
+        self.edge
+    }
+
+    /// `true` when the handle denotes a constant function.
+    #[must_use]
+    pub fn is_constant(&self) -> bool {
+        self.edge.is_constant()
+    }
+}
+
+impl Clone for RobddFn {
+    fn clone(&self) -> Self {
+        self.roots.retain(self.slot);
+        RobddFn {
+            edge: self.edge,
+            slot: self.slot,
+            roots: self.roots.clone(),
+        }
+    }
+}
+
+impl Drop for RobddFn {
+    fn drop(&mut self) {
+        self.roots.release(self.slot);
+    }
+}
+
+impl PartialEq for RobddFn {
+    fn eq(&self, other: &Self) -> bool {
+        self.edge == other.edge
+    }
+}
+
+impl Eq for RobddFn {}
+
+impl Robdd {
+    /// Wrap an edge in an owned handle, pinning its nodes until the handle
+    /// (and every clone) is dropped. This is the bridge from the low-level
+    /// [`Edge`] API into the protected handle world.
+    #[must_use]
+    pub fn fun(&self, e: Edge) -> RobddFn {
+        RobddFn::register(self.root_set(), e)
+    }
+
+    /// Handles currently registered with this manager (live root slots).
+    #[must_use]
+    pub fn external_roots(&self) -> usize {
+        self.root_set().len()
+    }
+
+    /// The constant function as a handle.
+    #[must_use]
+    pub fn const_fn(&self, value: bool) -> RobddFn {
+        self.fun(if value { self.one() } else { self.zero() })
+    }
+
+    /// The positive literal of `var` as a handle.
+    ///
+    /// # Panics
+    /// Panics if `var >= num_vars()`.
+    pub fn var_fn(&mut self, var: usize) -> RobddFn {
+        let e = self.var(var);
+        self.finish_fn(e)
+    }
+
+    /// The negative literal of `var` as a handle.
+    ///
+    /// # Panics
+    /// Panics if `var >= num_vars()`.
+    pub fn nvar_fn(&mut self, var: usize) -> RobddFn {
+        let e = self.nvar(var);
+        self.finish_fn(e)
+    }
+
+    /// Complement (free, no collection point).
+    #[must_use]
+    pub fn not_fn(&self, f: &RobddFn) -> RobddFn {
+        self.fun(!f.edge())
+    }
+
+    /// `f ⊗ g` for an arbitrary binary operator — [`Robdd::apply`] on
+    /// handles.
+    pub fn apply_fn(&mut self, op: BoolOp, f: &RobddFn, g: &RobddFn) -> RobddFn {
+        let e = self.apply(op, f.edge(), g.edge());
+        self.finish_fn(e)
+    }
+
+    /// `f ∧ g` on handles.
+    pub fn and_fn(&mut self, f: &RobddFn, g: &RobddFn) -> RobddFn {
+        self.apply_fn(BoolOp::AND, f, g)
+    }
+
+    /// `f ∨ g` on handles.
+    pub fn or_fn(&mut self, f: &RobddFn, g: &RobddFn) -> RobddFn {
+        self.apply_fn(BoolOp::OR, f, g)
+    }
+
+    /// `f ⊕ g` on handles.
+    pub fn xor_fn(&mut self, f: &RobddFn, g: &RobddFn) -> RobddFn {
+        self.apply_fn(BoolOp::XOR, f, g)
+    }
+
+    /// `f ⊙ g` on handles.
+    pub fn xnor_fn(&mut self, f: &RobddFn, g: &RobddFn) -> RobddFn {
+        self.apply_fn(BoolOp::XNOR, f, g)
+    }
+
+    /// If-then-else on handles.
+    pub fn ite_fn(&mut self, f: &RobddFn, g: &RobddFn, h: &RobddFn) -> RobddFn {
+        let e = self.ite(f.edge(), g.edge(), h.edge());
+        self.finish_fn(e)
+    }
+
+    /// Existential cube quantification on handles.
+    ///
+    /// # Panics
+    /// Panics if any variable index is out of range.
+    pub fn exists_fn(&mut self, f: &RobddFn, vars: &[usize]) -> RobddFn {
+        let e = self.exists(f.edge(), vars);
+        self.finish_fn(e)
+    }
+
+    /// Universal cube quantification on handles.
+    ///
+    /// # Panics
+    /// Panics if any variable index is out of range.
+    pub fn forall_fn(&mut self, f: &RobddFn, vars: &[usize]) -> RobddFn {
+        let e = self.forall(f.edge(), vars);
+        self.finish_fn(e)
+    }
+
+    /// Fused relational product `∃ vars . (f ∧ g)` on handles.
+    ///
+    /// # Panics
+    /// Panics if any variable index is out of range.
+    pub fn and_exists_fn(&mut self, f: &RobddFn, g: &RobddFn, vars: &[usize]) -> RobddFn {
+        let e = self.and_exists(f.edge(), g.edge(), vars);
+        self.finish_fn(e)
+    }
+
+    /// Single-variable restriction `f|_{var = value}` on handles.
+    ///
+    /// # Panics
+    /// Panics if `var >= num_vars()`.
+    pub fn restrict_fn(&mut self, f: &RobddFn, var: usize, value: bool) -> RobddFn {
+        let e = self.restrict(f.edge(), var, value);
+        self.finish_fn(e)
+    }
+
+    /// Substitute `var := g` in `f` on handles.
+    ///
+    /// # Panics
+    /// Panics if `var >= num_vars()`.
+    pub fn compose_fn(&mut self, f: &RobddFn, var: usize, g: &RobddFn) -> RobddFn {
+        let e = self.compose(f.edge(), var, g.edge());
+        self.finish_fn(e)
+    }
+
+    /// Simultaneous substitution on handles (see
+    /// [`Robdd::vector_compose`]).
+    ///
+    /// # Panics
+    /// Panics if `subs` is longer than `num_vars()`.
+    pub fn vector_compose_fn(&mut self, f: &RobddFn, subs: &[Option<RobddFn>]) -> RobddFn {
+        let edges: Vec<Option<Edge>> = subs.iter().map(|s| s.as_ref().map(RobddFn::edge)).collect();
+        let e = self.vector_compose(f.edge(), &edges);
+        self.finish_fn(e)
+    }
+
+    /// Generic n-ary apply on handles (see [`Robdd::apply_n`]).
+    ///
+    /// # Panics
+    /// Panics if `operands.len()` does not match the operator's arity.
+    pub fn apply_n_fn(&mut self, op: NaryOp, operands: &[RobddFn]) -> RobddFn {
+        let edges: Vec<Edge> = operands.iter().map(RobddFn::edge).collect();
+        let e = self.apply_n(op, &edges);
+        self.finish_fn(e)
+    }
+
+    /// The edges behind a slice of handles — the bridge back into the
+    /// read-only `&[Edge]` query APIs.
+    #[must_use]
+    pub fn edges_of(roots: &[RobddFn]) -> Vec<Edge> {
+        roots.iter().map(RobddFn::edge).collect()
+    }
+
+    /// [`Robdd::shared_node_count`] over owned handles.
+    #[must_use]
+    pub fn shared_node_count_fns(&self, roots: &[RobddFn]) -> usize {
+        self.shared_node_count(&Robdd::edges_of(roots))
+    }
+
+    /// [`Robdd::to_dot`] over owned handles.
+    #[must_use]
+    pub fn to_dot_fns(&self, roots: &[RobddFn], names: &[&str]) -> String {
+        self.to_dot(&Robdd::edges_of(roots), names)
+    }
+
+    /// Register an op result and run the latched automatic GC, if armed
+    /// (the handle-boundary collection point).
+    pub(crate) fn finish_fn(&mut self, e: Edge) -> RobddFn {
+        let h = self.fun(e);
+        self.maybe_auto_gc();
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_pin_nodes_across_gc() {
+        let mut mgr = Robdd::new(4);
+        let a = mgr.var_fn(0);
+        let b = mgr.var_fn(1);
+        let f = mgr.xor_fn(&a, &b);
+        drop(a);
+        drop(b);
+        assert_eq!(mgr.external_roots(), 1);
+        mgr.gc();
+        assert!(mgr.eval(f.edge(), &[true, false, false, false]));
+        assert!(mgr.validate().is_ok());
+        drop(f);
+        assert_eq!(mgr.external_roots(), 0);
+        mgr.gc();
+        assert_eq!(mgr.live_nodes(), 0, "sink-only once all handles drop");
+    }
+
+    #[test]
+    fn clone_bumps_and_drop_releases() {
+        let mut mgr = Robdd::new(2);
+        let a = mgr.var_fn(0);
+        let a2 = a.clone();
+        assert_eq!(a, a2);
+        assert_eq!(mgr.external_roots(), 1, "clones share one slot");
+        drop(a);
+        mgr.gc();
+        assert!(mgr.eval(a2.edge(), &[true, false]), "clone keeps it alive");
+        drop(a2);
+        mgr.gc();
+        assert_eq!(mgr.live_nodes(), 0);
+    }
+
+    #[test]
+    fn full_handle_op_suite_matches_edge_ops() {
+        let mut mgr = Robdd::new(4);
+        let vs: Vec<RobddFn> = (0..4).map(|v| mgr.var_fn(v)).collect();
+        let f = mgr.and_fn(&vs[0], &vs[1]);
+        let g = mgr.or_fn(&vs[2], &vs[3]);
+        let h = mgr.ite_fn(&vs[0], &f, &g);
+        let ex = mgr.exists_fn(&h, &[1]);
+        let fa = mgr.forall_fn(&h, &[1]);
+        let ae = mgr.and_exists_fn(&f, &g, &[2]);
+        let r = mgr.restrict_fn(&h, 0, true);
+        let c = mgr.compose_fn(&f, 0, &g);
+        let nf = mgr.not_fn(&f);
+        mgr.gc();
+        // Mirror with raw edges (no GC in between, so raw is safe here).
+        let (a, b, cc, d) = (mgr.var(0), mgr.var(1), mgr.var(2), mgr.var(3));
+        let fe = mgr.and(a, b);
+        let ge = mgr.or(cc, d);
+        let he = mgr.ite(a, fe, ge);
+        assert_eq!(f.edge(), fe);
+        assert_eq!(g.edge(), ge);
+        assert_eq!(h.edge(), he);
+        assert_eq!(ex.edge(), mgr.exists(he, &[1]));
+        assert_eq!(fa.edge(), mgr.forall(he, &[1]));
+        assert_eq!(ae.edge(), mgr.and_exists(fe, ge, &[2]));
+        assert_eq!(r.edge(), mgr.restrict(he, 0, true));
+        assert_eq!(c.edge(), mgr.compose(fe, 0, ge));
+        assert_eq!(nf.edge(), !fe);
+    }
+
+    #[test]
+    fn auto_gc_reclaims_dead_intermediates() {
+        let mut mgr = Robdd::new(6);
+        mgr.set_gc_threshold(1); // latch on every node creation
+        let vs: Vec<RobddFn> = (0..6).map(|v| mgr.var_fn(v)).collect();
+        let mut acc = mgr.const_fn(true);
+        for v in &vs {
+            acc = mgr.xnor_fn(&acc, v); // old acc handle drops each round
+        }
+        assert!(mgr.stats().gc_runs > 0, "auto-GC must have fired");
+        for m in 0..64u32 {
+            let a: Vec<bool> = (0..6).map(|i| (m >> i) & 1 == 1).collect();
+            let parity = a.iter().filter(|&&x| x).count() % 2 == 0;
+            assert_eq!(mgr.eval(acc.edge(), &a), parity);
+        }
+        assert!(mgr.validate().is_ok());
+    }
+}

@@ -14,7 +14,9 @@
 //! * a **unique table** per variable (strong canonical form: pointer
 //!   equality ⇔ function equality);
 //! * a **computed table** for the recursive `apply`/`ite` operators;
-//! * mark-and-sweep **garbage collection**;
+//! * mark-and-sweep **garbage collection** tracing the owned-handle
+//!   registry ([`RobddFn`], mirror of `bbdd::BbddFn`) — `gc()`/`sift()`
+//!   take no root lists, and `set_gc_threshold` arms automatic GC;
 //! * classic in-place adjacent **variable swap** and **Rudell sifting**.
 //!
 //! ```
@@ -32,6 +34,7 @@
 mod apply;
 mod dot;
 mod edge;
+mod handle;
 mod manager;
 mod node;
 mod ops;
@@ -42,6 +45,7 @@ mod reorder;
 pub use ddcore::boolop::{BoolOp, Unary};
 pub use ddcore::nary::NaryOp;
 pub use edge::Edge;
+pub use handle::RobddFn;
 pub use manager::{Robdd, RobddStats};
 pub use par::{ParConfig, ParRobdd, ParStats};
 pub use reorder::SiftConfig;

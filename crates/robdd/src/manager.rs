@@ -4,6 +4,7 @@
 use crate::edge::Edge;
 use crate::node::{BddKey, Node, TERMINAL_VAR};
 use ddcore::cache::ComputedCache;
+use ddcore::roots::RootSet;
 use ddcore::table::UniqueTable;
 
 /// Counters exposed for the benchmark harness.
@@ -67,6 +68,14 @@ pub struct Robdd {
     pub(crate) pos_of_var: Vec<u32>,
     pub(crate) cache: ComputedCache,
     pub(crate) stats: RobddStats,
+    /// External-root registry behind the [`crate::RobddFn`] handles; GC
+    /// and sifting trace from here instead of caller-supplied root lists.
+    roots: RootSet,
+    /// Reusable snapshot buffer for the registry trace.
+    root_scratch: Vec<u64>,
+    /// The automatic-GC latch + collection generation (shared shape with
+    /// the BBDD manager; see [`ddcore::roots::GcLatch`]).
+    gc_latch: ddcore::roots::GcLatch,
 }
 
 impl Robdd {
@@ -89,6 +98,9 @@ impl Robdd {
             pos_of_var: (0..num_vars as u32).collect(),
             cache: ComputedCache::default(),
             stats: RobddStats::default(),
+            roots: RootSet::new(),
+            root_scratch: Vec::new(),
+            gc_latch: ddcore::roots::GcLatch::default(),
         }
     }
 
@@ -223,6 +235,7 @@ impl Robdd {
             if live > self.stats.peak_live_nodes {
                 self.stats.peak_live_nodes = live;
             }
+            self.note_growth(live);
         }
         Edge::new(id, out_c)
     }
@@ -247,14 +260,86 @@ impl Robdd {
         (n.then_().complement_if(c), n.else_().complement_if(c))
     }
 
-    /// Garbage-collect everything unreachable from `roots`.
-    pub fn gc(&mut self, roots: &[Edge]) -> usize {
+    /// The external-root registry shared with every [`crate::RobddFn`]
+    /// handle this manager hands out.
+    pub(crate) fn root_set(&self) -> &RootSet {
+        &self.roots
+    }
+
+    /// Arm the automatic GC latch (mirror of `bbdd`'s
+    /// `Bbdd::set_gc_threshold`): once `make_node` observes the live node
+    /// count at or above `threshold`, a collection is latched and runs at
+    /// the next handle boundary (any `*_fn` operation), re-arming at twice
+    /// the surviving size. `0` disables (the default).
+    pub fn set_gc_threshold(&mut self, threshold: usize) {
+        self.gc_latch.set_threshold(threshold);
+    }
+
+    /// The automatic-GC threshold (`0` = disabled).
+    #[must_use]
+    pub fn gc_threshold(&self) -> usize {
+        self.gc_latch.threshold()
+    }
+
+    #[inline]
+    fn note_growth(&mut self, live: usize) {
+        self.gc_latch.note_growth(live);
+    }
+
+    /// Monotonic count of collections run through *any* entry point (see
+    /// the BBDD manager's twin — the Par front-end keys its concurrent
+    /// cache invalidation off this).
+    pub(crate) fn gc_generation(&self) -> u64 {
+        self.gc_latch.generation()
+    }
+
+    /// Run the latched automatic collection, if armed; returns `true`
+    /// when a collection ran (the handle-boundary collection point).
+    pub(crate) fn maybe_auto_gc(&mut self) -> bool {
+        if !self.gc_latch.take_pending() {
+            return false;
+        }
+        self.gc_keeping(&[]);
+        self.gc_latch.rearm(self.live_nodes());
+        true
+    }
+
+    /// Garbage-collect every node not reachable from a registered handle
+    /// ([`crate::RobddFn`]). There is no root list to supply — and
+    /// therefore none to forget: the registry behind the handles *is* the
+    /// root set.
+    pub fn gc(&mut self) -> usize {
+        self.gc_keeping(&[])
+    }
+
+    /// [`Robdd::gc`] with a caller-maintained root list kept alive *in
+    /// addition to* the handle registry.
+    #[deprecated(
+        since = "0.2.0",
+        note = "hold `RobddFn` handles (e.g. via `Robdd::fun`) and call `gc()`; the \
+                registry discovers the roots"
+    )]
+    pub fn gc_with_roots(&mut self, roots: &[Edge]) -> usize {
+        self.gc_keeping(roots)
+    }
+
+    /// The mark/sweep shared by every GC entry point: roots are the
+    /// handle-registry snapshot plus `extra` (internal callers such as the
+    /// sift shims). The registry lock is *not* held across the trace.
+    pub(crate) fn gc_keeping(&mut self, extra: &[Edge]) -> usize {
         self.stats.gc_runs += 1;
-        let mut stack: Vec<u32> = roots
+        self.gc_latch.note_collection();
+        let mut snap = std::mem::take(&mut self.root_scratch);
+        snap.clear();
+        self.roots.snapshot_into(&mut snap);
+        let mut stack: Vec<u32> = snap
             .iter()
+            .map(|&bits| Edge::from_bits(bits as u32))
+            .chain(extra.iter().copied())
             .filter(|e| !e.is_constant())
             .map(|e| e.node())
             .collect();
+        self.root_scratch = snap;
         while let Some(id) = stack.pop() {
             let n = &mut self.nodes[id as usize];
             if n.is_marked() {
@@ -397,7 +482,8 @@ mod tests {
         let a = mgr.var(0);
         let b = mgr.var(1);
         let keep = mgr.make_node(0, b, !b);
-        let freed = mgr.gc(&[keep]);
+        let _keep = mgr.fun(keep);
+        let freed = mgr.gc();
         assert!(freed >= 1, "the bare literal {a:?} should die");
         assert!(mgr.validate().is_ok());
         let a2 = mgr.var(0);

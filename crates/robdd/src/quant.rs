@@ -626,8 +626,9 @@ mod tests {
         let f = random_function(&mut mgr, n, 0xDEC0DE, 24);
         let before = mgr.exists(f, &[1, 4]);
         let tt_before = mgr.truth_table(before);
-        let roots = [f, before];
-        mgr.sift(&roots);
+        let pins = [mgr.fun(f), mgr.fun(before)];
+        mgr.sift();
+        let f = pins[0].edge();
         let after = mgr.exists(f, &[1, 4]);
         assert_eq!(mgr.truth_table(after), tt_before);
     }

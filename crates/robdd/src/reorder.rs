@@ -85,15 +85,31 @@ impl Robdd {
     }
 
     /// Sift all variables once with default settings; returns the live
-    /// node count.
-    pub fn sift(&mut self, roots: &[Edge]) -> usize {
-        self.sift_with(roots, &SiftConfig::default())
+    /// node count. Everything a live [`crate::RobddFn`] handle denotes
+    /// survives — the handle registry is the root set.
+    pub fn sift(&mut self) -> usize {
+        self.sift_with(&SiftConfig::default())
     }
 
-    /// Sift with an explicit [`SiftConfig`].
-    pub fn sift_with(&mut self, roots: &[Edge], cfg: &SiftConfig) -> usize {
+    /// Sift with an explicit [`SiftConfig`], tracing the handle registry.
+    pub fn sift_with(&mut self, cfg: &SiftConfig) -> usize {
+        self.sift_keeping(&[], cfg)
+    }
+
+    /// Sift keeping a caller-maintained root list alive *in addition to*
+    /// the handle registry.
+    #[deprecated(
+        since = "0.2.0",
+        note = "hold `RobddFn` handles (e.g. via `Robdd::fun`) and call `sift()`; the \
+                registry discovers the roots"
+    )]
+    pub fn sift_with_roots(&mut self, roots: &[Edge]) -> usize {
+        self.sift_keeping(roots, &SiftConfig::default())
+    }
+
+    pub(crate) fn sift_keeping(&mut self, extra: &[Edge], cfg: &SiftConfig) -> usize {
         for _ in 0..cfg.passes.max(1) {
-            self.gc(roots);
+            self.gc_keeping(extra);
             let n = self.num_vars();
             if n < 2 {
                 break;
@@ -101,17 +117,17 @@ impl Robdd {
             let mut vars: Vec<usize> = (0..n).collect();
             vars.sort_by_key(|&v| std::cmp::Reverse(self.subtables[v].len()));
             for var in vars {
-                self.sift_one(var, cfg, roots);
+                self.sift_one(var, cfg, extra);
             }
-            self.gc(roots);
+            self.gc_keeping(extra);
         }
         self.live_nodes()
     }
 
-    fn sift_one(&mut self, var: usize, cfg: &SiftConfig, roots: &[Edge]) {
+    fn sift_one(&mut self, var: usize, cfg: &SiftConfig, extra: &[Edge]) {
         let n = self.num_vars();
         let start = self.position_of(var);
-        self.gc(roots);
+        self.gc_keeping(extra);
         let mut best_size = self.live_nodes();
         let mut best_pos = start;
         let limit = |best: usize| (best as f64 * cfg.max_growth) as usize + 2;
@@ -144,7 +160,7 @@ impl Robdd {
                 }
                 since_gc += 1;
                 if since_gc >= GC_STRIDE || self.live_nodes() > limit(best_size) {
-                    self.gc(roots);
+                    self.gc_keeping(extra);
                     since_gc = 0;
                 }
                 let size = self.live_nodes();
@@ -156,7 +172,7 @@ impl Robdd {
                     break;
                 }
             }
-            self.gc(roots);
+            self.gc_keeping(extra);
             since_gc = 0;
         }
         loop {
@@ -167,7 +183,7 @@ impl Robdd {
                 std::cmp::Ordering::Equal => break,
             }
         }
-        self.gc(roots);
+        self.gc_keeping(extra);
     }
 
     /// Re-order to the given permutation (top first) by adjacent swaps.
@@ -274,7 +290,9 @@ mod tests {
         let f = equality_bad_order(&mut mgr, k);
         let tf = truth_of(&mgr, f, 2 * k);
         let before = mgr.node_count(f);
-        mgr.sift(&[f]);
+        let fh = mgr.fun(f);
+        mgr.sift();
+        let f = fh.edge();
         let after = mgr.node_count(f);
         assert!(after < before, "sift must shrink: {before} -> {after}");
         assert!(after <= 3 * k + 1, "near-linear size expected, got {after}");

@@ -22,7 +22,7 @@ use std::collections::{HashMap, HashSet};
 #[must_use]
 pub fn bbdd_to_network(
     mgr: &Bbdd,
-    roots: &[Edge],
+    roots: &[bbdd::BbddFn],
     input_names: &[String],
     output_names: &[String],
 ) -> Network {
@@ -47,7 +47,7 @@ pub fn bbdd_to_network(
     let mut nodes: Vec<(u32, Edge)> = Vec::new();
     {
         let mut seen: HashSet<u32> = HashSet::new();
-        let mut stack: Vec<Edge> = roots.to_vec();
+        let mut stack: Vec<Edge> = roots.iter().map(bbdd::BbddFn::edge).collect();
         while let Some(e) = stack.pop() {
             let Some(id) = mgr.edge_id(e) else { continue };
             if !seen.insert(id) {
@@ -99,7 +99,14 @@ pub fn bbdd_to_network(
     for (k, root) in roots.iter().enumerate() {
         let default = format!("f{k}");
         let name = output_names.get(k).cloned().unwrap_or(default);
-        let sig = edge_signal(&mut net, mgr, *root, &node_sig, &mut inv_sig, &mut const1);
+        let sig = edge_signal(
+            &mut net,
+            mgr,
+            root.edge(),
+            &node_sig,
+            &mut inv_sig,
+            &mut const1,
+        );
         net.set_output(&name, sig);
     }
     net.check().expect("rewritten network must be valid");
@@ -117,7 +124,7 @@ pub fn rewrite_and_verify(net: &Network, sift: bool) -> (Network, CecVerdict) {
     let mut mgr = Bbdd::new(net.num_inputs().max(1));
     let roots = logicnet::build::build_network(&mut mgr, net);
     if sift {
-        mgr.sift(&roots);
+        mgr.sift(); // the output handles are the registry's roots
     }
     let in_names: Vec<String> = net
         .inputs()
@@ -246,7 +253,7 @@ mod tests {
         let net = benchgen::datapath::adder(4);
         let mut mgr = Bbdd::new(net.num_inputs());
         let roots = build_network(&mut mgr, &net);
-        mgr.sift(&roots);
+        mgr.sift();
         let rewritten = bbdd_to_network(&mgr, &roots, &[], &[]);
         let in_names: Vec<String> = net
             .inputs()

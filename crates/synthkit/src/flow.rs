@@ -81,11 +81,11 @@ pub fn synthesize_bbdd_first_with(
 ) -> (FlowResult, BbddFrontendInfo) {
     let mut mgr = Bbdd::new(net.num_inputs());
     let roots = build_network(&mut mgr, net);
-    let nodes_built = mgr.shared_node_count(&roots);
+    let nodes_built = mgr.shared_node_count_fns(&roots);
     if sift {
-        mgr.sift(&roots);
+        mgr.sift(); // the output handles are the registry's roots
     }
-    let nodes_sifted = mgr.shared_node_count(&roots);
+    let nodes_sifted = mgr.shared_node_count_fns(&roots);
     let in_names: Vec<String> = net
         .inputs()
         .iter()

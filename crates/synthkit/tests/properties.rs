@@ -120,7 +120,7 @@ proptest! {
         let net = realize(&plan);
         let mut mgr = bbdd::Bbdd::new(net.num_inputs());
         let roots = build_network(&mut mgr, &net);
-        mgr.sift(&roots);
+        mgr.sift();
         let out_names: Vec<String> = net.outputs().iter().map(|(n, _)| n.clone()).collect();
         let rewritten = bbdd_to_network(&mgr, &roots, &input_names(&net), &out_names);
         prop_assert_eq!(

@@ -64,9 +64,10 @@ fn main() {
     );
     assert!(!mismatches.is_empty());
 
-    // Produce a concrete counterexample via the XOR of the two functions.
-    let diff = mgr.xor(r1[mismatches[0]], r3[mismatches[0]]);
-    let count = mgr.sat_count(diff);
+    // Produce a concrete counterexample via the XOR of the two functions
+    // (a handle, so it stays pinned while we restrict our way down it).
+    let diff = mgr.xor_fn(&r1[mismatches[0]], &r3[mismatches[0]]);
+    let count = mgr.sat_count(diff.edge());
     println!(
         "distinguishing assignments for that output: {count} of 2^{}",
         ripple.num_inputs()
@@ -76,12 +77,12 @@ fn main() {
     let mut f = diff;
     #[allow(clippy::needless_range_loop)]
     for v in 0..ripple.num_inputs() {
-        let f1 = mgr.restrict(f, v, true);
-        if mgr.sat_count(f1) > 0 {
+        let f1 = mgr.restrict_fn(&f, v, true);
+        if mgr.sat_count(f1.edge()) > 0 {
             assignment[v] = true;
             f = f1;
         } else {
-            f = mgr.restrict(f, v, false);
+            f = mgr.restrict_fn(&f, v, false);
         }
     }
     println!("counterexample input vector: {assignment:?}");

@@ -49,17 +49,22 @@ fn main() {
         mgr.node_count(parity)
     );
 
-    // Reordering: scramble the order, then let sifting recover it.
+    // Reordering: scramble the order, then let sifting recover it. The
+    // handles returned by `fun` are registered roots — sifting discovers
+    // them from the registry, so there is no root list to maintain (or
+    // forget).
+    let eq_h = mgr.fun(eq);
+    let parity_h = mgr.fun(parity);
     mgr.reorder_to(&[0, 2, 4, 1, 3, 5]);
-    let scrambled = mgr.node_count(eq);
-    mgr.sift(&[eq, parity]);
+    let scrambled = mgr.node_count(eq_h.edge());
+    mgr.sift();
     println!(
         "comparator after scramble: {scrambled} nodes; after sifting: {} nodes",
-        mgr.node_count(eq)
+        mgr.node_count(eq_h.edge())
     );
 
     // Export for graphviz.
-    let dot = mgr.to_dot(&[eq, parity], &["eq3", "parity6"]);
+    let dot = mgr.to_dot(&[eq_h.edge(), parity_h.edge()], &["eq3", "parity6"]);
     println!(
         "\nDOT export: {} bytes (pipe into `dot -Tpng` to render)",
         dot.len()

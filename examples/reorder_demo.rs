@@ -20,7 +20,9 @@ fn main() {
         eq = mgr.and(eq, x);
     }
     let before = mgr.node_count(eq);
-    mgr.sift(&[eq]);
+    let eq = mgr.fun(eq); // handle = registered GC/sift root; no root lists
+    mgr.sift();
+    let eq = eq.edge();
     let after = mgr.node_count(eq);
     println!("BBDD : {before:>6} nodes → {after:>4} nodes after sifting");
     println!("       final order: {:?}", mgr.order());
@@ -35,8 +37,9 @@ fn main() {
         beq = bdd.and(beq, x);
     }
     let bbefore = bdd.node_count(beq);
-    bdd.sift(&[beq]);
-    let bafter = bdd.node_count(beq);
+    let beq = bdd.fun(beq);
+    bdd.sift();
+    let bafter = bdd.node_count(beq.edge());
     println!("ROBDD: {bbefore:>6} nodes → {bafter:>4} nodes after sifting");
 
     println!(

@@ -98,25 +98,26 @@ fn main() {
     // ── 3. Quantification & model counting on the adder itself ────────
     let mut mgr = bbdd::Bbdd::new(original.num_inputs());
     let outs = logicnet::build::build_network(&mut mgr, &original);
-    let cout = *outs.last().expect("adder has outputs");
+    let cout = outs.last().expect("adder has outputs"); // an owned handle
     let n = original.num_inputs();
     println!(
         "carry-out is set for {} of 2^{n} input assignments",
-        mgr.sat_count(cout)
+        mgr.sat_count(cout.edge())
     );
     // ∃(b-operand). cout — for which a-operands can a carry happen at all?
     let b_vars: Vec<usize> = (0..n).filter(|v| v % 2 == 1).collect();
-    let reachable = mgr.exists(cout, &b_vars);
+    let reachable = mgr.exists_fn(cout, &b_vars);
     println!(
         "∃b. cout covers {} of 2^{n} (a-only) assignments",
-        mgr.sat_count(reachable)
+        mgr.sat_count(reachable.edge())
     );
     // The fused form gives the same answer in one pass:
-    let fused = mgr.and_exists(cout, mgr.one(), &b_vars);
+    let one = mgr.const_fn(true);
+    let fused = mgr.and_exists_fn(cout, &one, &b_vars);
     assert_eq!(fused, reachable);
     // A concrete witness, checked by evaluation.
-    let witness = mgr.any_sat(cout).expect("a carry is reachable");
-    assert!(mgr.eval(cout, &witness));
+    let witness = mgr.any_sat(cout.edge()).expect("a carry is reachable");
+    assert!(mgr.eval(cout.edge(), &witness));
     println!("sample carry-producing assignment found and checked ✓");
     let s = mgr.stats();
     println!(

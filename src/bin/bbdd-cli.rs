@@ -112,20 +112,22 @@ fn main() -> ExitCode {
 
     let mut mgr = bbdd::Bbdd::new(net.num_inputs());
     let t0 = std::time::Instant::now();
+    // The builder returns owned handles: the outputs are registered GC
+    // roots from here on, so collection and sifting need no root lists.
     let roots = build_network(&mut mgr, &net);
-    mgr.gc(&roots);
+    mgr.gc();
     let build_s = t0.elapsed().as_secs_f64();
     eprintln!(
         "[bbdd] built: {} nodes in {build_s:.3}s (file variable order)",
-        mgr.shared_node_count(&roots)
+        mgr.shared_node_count_fns(&roots)
     );
 
     if opts.sift {
         let t1 = std::time::Instant::now();
-        mgr.sift(&roots);
+        mgr.sift();
         eprintln!(
             "[bbdd] sifted: {} nodes in {:.3}s; order {:?}",
-            mgr.shared_node_count(&roots),
+            mgr.shared_node_count_fns(&roots),
             t1.elapsed().as_secs_f64(),
             mgr.order()
         );
@@ -137,7 +139,7 @@ fn main() -> ExitCode {
             s.apply_calls, s.ite_calls, s.nodes_created, s.gc_runs, s.nodes_freed, s.swaps,
             s.peak_live_nodes
         );
-        let profile = mgr.level_profile(&roots);
+        let profile = mgr.level_profile_fns(&roots);
         eprintln!("[bbdd] level profile (bottom→top): {profile:?}");
     }
 
@@ -149,7 +151,7 @@ fn main() -> ExitCode {
     let out_names: Vec<String> = net.outputs().iter().map(|(n, _)| n.clone()).collect();
     let text = if opts.dot {
         let names: Vec<&str> = out_names.iter().map(String::as_str).collect();
-        mgr.to_dot(&roots, &names)
+        mgr.to_dot_fns(&roots, &names)
     } else {
         let rewritten = bbdd_to_network(&mgr, &roots, &in_names, &out_names);
         verilog::write_verilog(&rewritten)

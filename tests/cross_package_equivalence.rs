@@ -21,8 +21,8 @@ fn agree_on_random_vectors(net: &Network, vectors: usize, seed: u64) {
         let v: Vec<bool> = (0..n).map(|_| rng.next_u64() & 1 == 1).collect();
         let sim = net.simulate(&v);
         for (o, expect) in sim.iter().enumerate() {
-            assert_eq!(bb.eval(bb_roots[o], &v), *expect, "BBDD output {o}");
-            assert_eq!(bd.eval(bd_roots[o], &v), *expect, "ROBDD output {o}");
+            assert_eq!(bb.eval(bb_roots[o].edge(), &v), *expect, "BBDD output {o}");
+            assert_eq!(bd.eval(bd_roots[o].edge(), &v), *expect, "ROBDD output {o}");
         }
     }
 }
@@ -80,17 +80,17 @@ fn canonicity_is_order_independent_across_rebuilds() {
     let roots1 = build_network(&mut mgr, &net);
     let roots2 = build_network(&mut mgr, &net);
     assert_eq!(roots1, roots2, "canonical rebuild");
-    mgr.sift(&roots1);
+    mgr.sift(); // the output handles are the registry's roots
     agree_after_sift(&net, &mgr, &roots1);
 }
 
-fn agree_after_sift(net: &Network, mgr: &bbdd::Bbdd, roots: &[bbdd::Edge]) {
+fn agree_after_sift(net: &Network, mgr: &bbdd::Bbdd, roots: &[bbdd::BbddFn]) {
     let n = net.num_inputs();
     for m in 0..(1u32 << n.min(12)) {
         let v: Vec<bool> = (0..n).map(|i| (m >> (i % 32)) & 1 == 1).collect();
         let sim = net.simulate(&v);
         for (o, expect) in sim.iter().enumerate() {
-            assert_eq!(mgr.eval(roots[o], &v), *expect);
+            assert_eq!(mgr.eval(roots[o].edge(), &v), *expect);
         }
     }
 }
@@ -103,23 +103,23 @@ fn sift_preserves_all_benchmark_functions() {
         let net = benchgen::mcnc::generate(name).unwrap();
         let mut mgr = bbdd::Bbdd::new(net.num_inputs());
         let roots = build_network(&mut mgr, &net);
-        let before: Vec<u128> = roots.iter().map(|r| mgr.sat_count(*r)).collect();
-        mgr.sift(&roots);
+        let before: Vec<u128> = roots.iter().map(|r| mgr.sat_count(r.edge())).collect();
+        mgr.sift();
         mgr.validate().unwrap();
-        let after: Vec<u128> = roots.iter().map(|r| mgr.sat_count(*r)).collect();
+        let after: Vec<u128> = roots.iter().map(|r| mgr.sat_count(r.edge())).collect();
         assert_eq!(before, after, "{name}: sat counts changed under sifting");
         agree_on_sample(&net, &mgr, &roots, 0x51F7);
     }
 }
 
-fn agree_on_sample(net: &Network, mgr: &bbdd::Bbdd, roots: &[bbdd::Edge], seed: u64) {
+fn agree_on_sample(net: &Network, mgr: &bbdd::Bbdd, roots: &[bbdd::BbddFn], seed: u64) {
     let mut rng = SplitMix64::new(seed);
     let n = net.num_inputs();
     for _ in 0..40 {
         let v: Vec<bool> = (0..n).map(|_| rng.next_u64() & 1 == 1).collect();
         let sim = net.simulate(&v);
         for (o, expect) in sim.iter().enumerate() {
-            assert_eq!(mgr.eval(roots[o], &v), *expect);
+            assert_eq!(mgr.eval(roots[o].edge(), &v), *expect);
         }
     }
 }
@@ -134,8 +134,8 @@ fn sat_counts_match_between_packages() {
         let bd_roots = build_network(&mut bd, &net);
         for (o, (fb, fd)) in bb_roots.iter().zip(&bd_roots).enumerate() {
             assert_eq!(
-                bb.sat_count(*fb),
-                bd.sat_count(*fd),
+                bb.sat_count(fb.edge()),
+                bd.sat_count(fd.edge()),
                 "{name} output {o}: packages disagree on model count"
             );
         }

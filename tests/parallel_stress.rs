@@ -87,10 +87,11 @@ fn parbbdd_netlist_roots_bit_identical_across_thread_counts() {
         for threads in THREAD_COUNTS {
             let mut par = bbdd::ParBbdd::with_config(net.num_inputs(), forced_bbdd(threads));
             let roots = build_network(&mut par, &net);
+            let root_edges: Vec<bbdd::Edge> = roots.iter().map(bbdd::BbddFn::edge).collect();
             match &reference {
-                None => reference = Some(roots.clone()),
+                None => reference = Some(root_edges.clone()),
                 Some(expect) => assert_eq!(
-                    &roots, expect,
+                    &root_edges, expect,
                     "seed {seed}: thread count {threads} changed the roots"
                 ),
             }
@@ -106,18 +107,22 @@ fn parbbdd_netlist_roots_bit_identical_across_thread_counts() {
                     .collect();
                 let sim = net.simulate(&v);
                 for (o, expect) in sim.iter().enumerate() {
-                    assert_eq!(par.eval(roots[o], &v), *expect, "seed {seed} output {o}");
                     assert_eq!(
-                        seq.eval(seq_roots[o], &v),
+                        par.eval(roots[o].edge(), &v),
+                        *expect,
+                        "seed {seed} output {o}"
+                    );
+                    assert_eq!(
+                        seq.eval(seq_roots[o].edge(), &v),
                         *expect,
                         "seed {seed} output {o}"
                     );
                 }
             }
-            for (o, (&p, &s)) in roots.iter().zip(&seq_roots).enumerate() {
+            for (o, (p, s)) in roots.iter().zip(&seq_roots).enumerate() {
                 assert_eq!(
-                    par.node_count(p),
-                    seq.node_count(s),
+                    par.node_count(p.edge()),
+                    seq.node_count(s.edge()),
                     "seed {seed} output {o}: canonical sizes differ"
                 );
             }
@@ -136,10 +141,11 @@ fn parrobdd_netlist_roots_bit_identical_across_thread_counts() {
         for threads in THREAD_COUNTS {
             let mut par = robdd::ParRobdd::with_config(net.num_inputs(), forced_robdd(threads));
             let roots = build_network(&mut par, &net);
+            let root_edges: Vec<robdd::Edge> = roots.iter().map(robdd::RobddFn::edge).collect();
             match &reference {
-                None => reference = Some(roots.clone()),
+                None => reference = Some(root_edges.clone()),
                 Some(expect) => assert_eq!(
-                    &roots, expect,
+                    &root_edges, expect,
                     "seed {seed}: thread count {threads} changed the roots"
                 ),
             }
@@ -151,13 +157,17 @@ fn parrobdd_netlist_roots_bit_identical_across_thread_counts() {
                     .collect();
                 let sim = net.simulate(&v);
                 for (o, expect) in sim.iter().enumerate() {
-                    assert_eq!(par.eval(roots[o], &v), *expect, "seed {seed} output {o}");
+                    assert_eq!(
+                        par.eval(roots[o].edge(), &v),
+                        *expect,
+                        "seed {seed} output {o}"
+                    );
                 }
             }
-            for (o, (&p, &s)) in roots.iter().zip(&seq_roots).enumerate() {
+            for (o, (p, s)) in roots.iter().zip(&seq_roots).enumerate() {
                 assert_eq!(
-                    par.node_count(p),
-                    seq.node_count(s),
+                    par.node_count(p.edge()),
+                    seq.node_count(s.edge()),
                     "seed {seed} output {o}: canonical sizes differ"
                 );
             }
@@ -173,25 +183,25 @@ fn parallel_quantification_matches_sequential_on_netlists() {
     let vars: Vec<usize> = (0..net.num_inputs()).filter(|v| v % 2 == 0).collect();
     let mut seq = bbdd::Bbdd::new(net.num_inputs());
     let seq_roots = build_network(&mut seq, &net);
-    let seq_ex: Vec<bbdd::Edge> = seq_roots.iter().map(|&r| seq.exists(r, &vars)).collect();
+    let seq_ex: Vec<bbdd::BbddFn> = seq_roots.iter().map(|r| seq.exists_fn(r, &vars)).collect();
     let mut reference: Option<Vec<bbdd::Edge>> = None;
     for threads in THREAD_COUNTS {
         let mut par = bbdd::ParBbdd::with_config(net.num_inputs(), forced_bbdd(threads));
         let roots = build_network(&mut par, &net);
-        let ex: Vec<bbdd::Edge> = roots.iter().map(|&r| par.exists(r, &vars)).collect();
+        let ex: Vec<bbdd::Edge> = roots.iter().map(|r| par.exists(r.edge(), &vars)).collect();
         match &reference {
             None => reference = Some(ex.clone()),
             Some(expect) => assert_eq!(&ex, expect, "threads {threads} changed ∃-roots"),
         }
-        for (o, (&p, &s)) in ex.iter().zip(&seq_ex).enumerate() {
+        for (o, (&p, s)) in ex.iter().zip(&seq_ex).enumerate() {
             assert_eq!(
                 par.node_count(p),
-                seq.node_count(s),
+                seq.node_count(s.edge()),
                 "output {o}: quantified canonical sizes differ"
             );
             assert_eq!(
                 par.sat_count(p),
-                seq.sat_count(s),
+                seq.sat_count(s.edge()),
                 "output {o}: quantified functions differ"
             );
         }
