@@ -1,9 +1,14 @@
 //! Experiment E1 (criterion form): per-benchmark build and sift times for
 //! both packages on representative MCNC stand-ins — the timing columns of
-//! Table I as repeatable micro-benchmarks.
+//! Table I as repeatable micro-benchmarks, driven through the unified
+//! `ddcore::api` trait layer (the build rows therefore also measure the
+//! trait front-end the real drivers use).
 
+use bbdd::BbddManager;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddcore::api::FunctionManager;
 use logicnet::build::build_network;
+use robdd::RobddManager;
 
 /// The quick subset: every class represented, no multi-second rows.
 const QUICK: [&str; 6] = ["my_adder", "comp", "misex1", "9symml", "parity", "cordic"];
@@ -15,14 +20,14 @@ fn bench_build(c: &mut Criterion) {
         let net = benchgen::mcnc::generate(name).unwrap();
         group.bench_with_input(BenchmarkId::new("bbdd", name), &net, |b, net| {
             b.iter(|| {
-                let mut mgr = bbdd::Bbdd::new(net.num_inputs());
-                build_network(&mut mgr, net)
+                let mgr = BbddManager::with_vars(net.num_inputs());
+                build_network(&mgr, net)
             });
         });
         group.bench_with_input(BenchmarkId::new("robdd", name), &net, |b, net| {
             b.iter(|| {
-                let mut mgr = robdd::Robdd::new(net.num_inputs());
-                build_network(&mut mgr, net)
+                let mgr = RobddManager::with_vars(net.num_inputs());
+                build_network(&mgr, net)
             });
         });
     }
@@ -37,14 +42,14 @@ fn bench_sift(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("bbdd", name), &net, |b, net| {
             b.iter_batched(
                 || {
-                    let mut mgr = bbdd::Bbdd::new(net.num_inputs());
-                    let roots = build_network(&mut mgr, net);
+                    let mgr = BbddManager::with_vars(net.num_inputs());
+                    let roots = build_network(&mgr, net);
                     (mgr, roots)
                 },
-                |(mut mgr, roots)| {
+                |(mgr, roots)| {
                     // `roots` are owned handles: the sift traces the
                     // registry they populate.
-                    let live = mgr.sift();
+                    let live = mgr.reorder();
                     drop(roots);
                     live
                 },
@@ -54,12 +59,12 @@ fn bench_sift(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("robdd", name), &net, |b, net| {
             b.iter_batched(
                 || {
-                    let mut mgr = robdd::Robdd::new(net.num_inputs());
-                    let roots = build_network(&mut mgr, net);
+                    let mgr = RobddManager::with_vars(net.num_inputs());
+                    let roots = build_network(&mgr, net);
                     (mgr, roots)
                 },
-                |(mut mgr, roots)| {
-                    let live = mgr.sift();
+                |(mgr, roots)| {
+                    let live = mgr.reorder();
                     drop(roots);
                     live
                 },

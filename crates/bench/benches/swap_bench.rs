@@ -13,9 +13,9 @@ fn bench_swap(c: &mut Criterion) {
                 || {
                     let mut mgr = bbdd::Bbdd::new(n);
                     let f = random_function(&mut mgr, n, 77);
-                    let f = mgr.fun(f); // registry root: per-swap GC traces it
+                    let pin = mgr.pin(f); // registry root: per-swap GC traces it
                     mgr.gc();
-                    (mgr, f)
+                    (mgr, pin)
                 },
                 |(mut mgr, f)| {
                     for pos in 0..n - 1 {
@@ -47,9 +47,9 @@ fn bench_swap(c: &mut Criterion) {
                             _ => mgr.nand(f, v),
                         };
                     }
-                    let f = mgr.fun(f);
+                    let pin = mgr.pin(f);
                     mgr.gc();
-                    (mgr, f)
+                    (mgr, pin)
                 },
                 |(mut mgr, f)| {
                     for pos in 0..n - 1 {

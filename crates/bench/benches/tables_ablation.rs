@@ -148,8 +148,8 @@ fn bench_end_to_end_build(c: &mut Criterion) {
     let net = benchgen::mcnc::generate("C1908").unwrap();
     group.bench_function("bbdd_build_c1908", |b| {
         b.iter(|| {
-            let mut mgr = bbdd::Bbdd::new(net.num_inputs());
-            logicnet::build::build_network(&mut mgr, &net)
+            let mgr = bbdd::BbddManager::with_vars(net.num_inputs());
+            logicnet::build::build_network(&mgr, &net)
         });
     });
     group.finish();

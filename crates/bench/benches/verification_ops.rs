@@ -3,12 +3,13 @@
 //! combinational equivalence check — on both managers, over real circuit
 //! functions (MCNC stand-ins and datapath generators).
 
-use bbdd::Bbdd;
+use bbdd::BbddManager;
 use benchgen::{datapath, mcnc};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddcore::api::BooleanFunction;
 use logicnet::build::build_network;
 use logicnet::cec::{check_equivalence_bbdd, check_equivalence_robdd};
-use robdd::Robdd;
+use robdd::RobddManager;
 
 /// Every other input — a realistic "state variables" cube for image-style
 /// quantification.
@@ -25,13 +26,13 @@ fn bench_quantification(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("exists_bbdd", name), name, |b, _| {
             b.iter_batched(
                 || {
-                    let mut mgr = Bbdd::new(net.num_inputs());
-                    let roots = build_network(&mut mgr, &net);
+                    let mgr = BbddManager::with_vars(net.num_inputs());
+                    let roots = build_network(&mgr, &net);
                     (mgr, roots)
                 },
-                |(mut mgr, roots)| {
+                |(_mgr, roots)| {
                     for r in &roots {
-                        criterion::black_box(mgr.exists(r.edge(), &cube));
+                        criterion::black_box(r.exists(&cube));
                     }
                 },
                 criterion::BatchSize::SmallInput,
@@ -40,13 +41,13 @@ fn bench_quantification(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("exists_robdd", name), name, |b, _| {
             b.iter_batched(
                 || {
-                    let mut mgr = Robdd::new(net.num_inputs());
-                    let roots = build_network(&mut mgr, &net);
+                    let mgr = RobddManager::with_vars(net.num_inputs());
+                    let roots = build_network(&mgr, &net);
                     (mgr, roots)
                 },
-                |(mut mgr, roots)| {
+                |(_mgr, roots)| {
                     for r in &roots {
-                        criterion::black_box(mgr.exists(r.edge(), &cube));
+                        criterion::black_box(r.exists(&cube));
                     }
                 },
                 criterion::BatchSize::SmallInput,
@@ -66,26 +67,24 @@ fn bench_and_exists(c: &mut Criterion) {
     group.bench_function("fused_bbdd", |b| {
         b.iter_batched(
             || {
-                let mut mgr = Bbdd::new(net.num_inputs());
-                let roots = build_network(&mut mgr, &net);
+                let mgr = BbddManager::with_vars(net.num_inputs());
+                let roots = build_network(&mgr, &net);
                 (mgr, roots)
             },
-            |(mut mgr, roots)| {
-                criterion::black_box(mgr.and_exists(roots[0].edge(), roots[1].edge(), &cube))
-            },
+            |(_mgr, roots)| criterion::black_box(roots[0].and_exists(&roots[1], &cube)),
             criterion::BatchSize::SmallInput,
         );
     });
     group.bench_function("materialized_bbdd", |b| {
         b.iter_batched(
             || {
-                let mut mgr = Bbdd::new(net.num_inputs());
-                let roots = build_network(&mut mgr, &net);
+                let mgr = BbddManager::with_vars(net.num_inputs());
+                let roots = build_network(&mgr, &net);
                 (mgr, roots)
             },
-            |(mut mgr, roots)| {
-                let conj = mgr.and(roots[0].edge(), roots[1].edge());
-                criterion::black_box(mgr.exists(conj, &cube))
+            |(_mgr, roots)| {
+                let conj = roots[0].and(&roots[1]);
+                criterion::black_box(conj.exists(&cube))
             },
             criterion::BatchSize::SmallInput,
         );
@@ -97,15 +96,15 @@ fn bench_satcount(c: &mut Criterion) {
     let mut group = c.benchmark_group("satcount");
     group.sample_size(30);
     let net = datapath::adder_cla(16);
-    let mut bb = Bbdd::new(net.num_inputs());
-    let bb_roots = build_network(&mut bb, &net);
-    let mut rb = Robdd::new(net.num_inputs());
-    let rb_roots = build_network(&mut rb, &net);
+    let bb = BbddManager::with_vars(net.num_inputs());
+    let bb_roots = build_network(&bb, &net);
+    let rb = RobddManager::with_vars(net.num_inputs());
+    let rb_roots = build_network(&rb, &net);
     group.bench_function("bbdd_cla16_all_outputs", |b| {
         b.iter(|| {
             let mut acc = 0u128;
             for r in &bb_roots {
-                acc = acc.wrapping_add(bb.sat_count(r.edge()));
+                acc = acc.wrapping_add(r.sat_count());
             }
             criterion::black_box(acc)
         });
@@ -114,7 +113,7 @@ fn bench_satcount(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0u128;
             for r in &rb_roots {
-                acc = acc.wrapping_add(rb.sat_count(r.edge()));
+                acc = acc.wrapping_add(r.sat_count());
             }
             criterion::black_box(acc)
         });

@@ -8,9 +8,10 @@
 //! Usage: `cargo run --release -p bbdd-bench --bin baseline [-- out.json]`
 //! (add `--features chained_tables` for the seed-table ablation variant).
 
-use bbdd::{Bbdd, BoolOp, Edge};
+use bbdd::{Bbdd, BbddManager, BoolOp, Edge};
 use bbdd_bench::{fig2, table1, timed};
 use benchgen::mcnc;
+use ddcore::api::{BooleanFunction, FunctionManager};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -172,22 +173,22 @@ fn main() {
     for (idx, name) in quick.iter().enumerate() {
         let net = mcnc::generate(name).expect("known benchmark");
         let build_bbdd = min_time(5, || {
-            let mut mgr = Bbdd::new(net.num_inputs());
-            std::hint::black_box(logicnet::build::build_network(&mut mgr, &net));
+            let mgr = BbddManager::with_vars(net.num_inputs());
+            std::hint::black_box(logicnet::build::build_network(&mgr, &net));
         });
         let build_robdd = min_time(5, || {
-            let mut mgr = robdd::Robdd::new(net.num_inputs());
-            std::hint::black_box(logicnet::build::build_network(&mut mgr, &net));
+            let mgr = robdd::RobddManager::with_vars(net.num_inputs());
+            std::hint::black_box(logicnet::build::build_network(&mgr, &net));
         });
         let sift_bbdd = min_time(5, || {
-            let mut mgr = Bbdd::new(net.num_inputs());
-            let _roots = logicnet::build::build_network(&mut mgr, &net);
-            mgr.sift(); // output handles are the registry's roots
+            let mgr = BbddManager::with_vars(net.num_inputs());
+            let _roots = logicnet::build::build_network(&mgr, &net);
+            mgr.reorder(); // output handles are the registry's roots
         });
         let sift_robdd = min_time(5, || {
-            let mut mgr = robdd::Robdd::new(net.num_inputs());
-            let _roots = logicnet::build::build_network(&mut mgr, &net);
-            mgr.sift();
+            let mgr = robdd::RobddManager::with_vars(net.num_inputs());
+            let _roots = logicnet::build::build_network(&mgr, &net);
+            mgr.reorder();
         });
         let comma = if idx + 1 < quick.len() { "," } else { "" };
         let _ = writeln!(
@@ -233,26 +234,26 @@ fn main() {
         let comp = mcnc::generate("comp").expect("known benchmark");
         let cube: Vec<usize> = (0..comp.num_inputs()).filter(|v| v % 2 == 0).collect();
         let exists_bbdd = min_time(5, || {
-            let mut mgr = Bbdd::new(comp.num_inputs());
-            let roots = logicnet::build::build_network(&mut mgr, &comp);
+            let mgr = BbddManager::with_vars(comp.num_inputs());
+            let roots = logicnet::build::build_network(&mgr, &comp);
             for r in &roots {
-                std::hint::black_box(mgr.exists(r.edge(), &cube));
+                std::hint::black_box(r.exists(&cube));
             }
         });
         let exists_robdd = min_time(5, || {
-            let mut mgr = robdd::Robdd::new(comp.num_inputs());
-            let roots = logicnet::build::build_network(&mut mgr, &comp);
+            let mgr = robdd::RobddManager::with_vars(comp.num_inputs());
+            let roots = logicnet::build::build_network(&mgr, &comp);
             for r in &roots {
-                std::hint::black_box(mgr.exists(r.edge(), &cube));
+                std::hint::black_box(r.exists(&cube));
             }
         });
         let cla = benchgen::datapath::adder_cla(16);
         let satcount_bbdd = min_time(5, || {
-            let mut mgr = Bbdd::new(cla.num_inputs());
-            let roots = logicnet::build::build_network(&mut mgr, &cla);
+            let mgr = BbddManager::with_vars(cla.num_inputs());
+            let roots = logicnet::build::build_network(&mgr, &cla);
             let mut acc = 0u128;
             for r in &roots {
-                acc = acc.wrapping_add(mgr.sat_count(r.edge()));
+                acc = acc.wrapping_add(r.sat_count());
             }
             std::hint::black_box(acc);
         });

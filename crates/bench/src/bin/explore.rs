@@ -1,6 +1,7 @@
 //! Scratch measurement tool: print BBDD vs ROBDD sizes (built and sifted)
 //! for any Table-I benchmark. Usage:
 //!   cargo run --release -p bbdd-bench --bin explore [bench-name …]
+use ddcore::api::FunctionManager;
 use logicnet::build::build_network;
 
 fn main() {
@@ -19,21 +20,21 @@ fn main() {
             eprintln!("unknown benchmark {name}");
             continue;
         };
-        let mut bb = bbdd::Bbdd::new(net.num_inputs());
-        let rb = build_network(&mut bb, &net);
-        let bb_built = bb.shared_node_count_fns(&rb);
-        bb.sift();
-        let mut bd = robdd::Robdd::new(net.num_inputs());
-        let rd = build_network(&mut bd, &net);
-        let bd_built = bd.shared_node_count_fns(&rd);
-        bd.sift();
+        let bb = bbdd::BbddManager::with_vars(net.num_inputs());
+        let rb = build_network(&bb, &net);
+        let bb_built = bb.shared_node_count(&rb);
+        bb.reorder();
+        let bd = robdd::RobddManager::with_vars(net.num_inputs());
+        let rd = build_network(&bd, &net);
+        let bd_built = bd.shared_node_count(&rd);
+        bd.reorder();
         println!(
             "{:<10} {:>12} {:>12} {:>12} {:>12}",
             name,
             bb_built,
-            bb.shared_node_count_fns(&rb),
+            bb.shared_node_count(&rb),
             bd_built,
-            bd.shared_node_count_fns(&rd)
+            bd.shared_node_count(&rd)
         );
     }
 }

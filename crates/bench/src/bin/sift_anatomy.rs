@@ -4,6 +4,7 @@
 //!   cargo run --release -p bbdd-bench --bin sift_anatomy [bench-name]
 //!   cargo run --release -p bbdd-bench --bin sift_anatomy --features chained_tables ...
 
+use ddcore::api::FunctionManager;
 use logicnet::build::build_network;
 use std::time::Instant;
 
@@ -20,17 +21,20 @@ fn main() {
     // Reference sift time.
     let mut best_sift = f64::MAX;
     for _ in 0..7 {
-        let mut mgr = robdd::Robdd::new(n);
-        let _roots = build_network(&mut mgr, &net); // handles: registry roots
+        let mgr = robdd::RobddManager::with_vars(n);
+        let _roots = build_network(&mgr, &net); // handles: registry roots
         let t = Instant::now();
-        mgr.sift();
+        mgr.reorder();
         best_sift = best_sift.min(t.elapsed().as_secs_f64());
     }
 
     // Swap-only walk (no GC besides what swap itself does): sweep every
-    // variable down and back up once, repeated.
-    let mut mgr = robdd::Robdd::new(n);
-    let _roots = build_network(&mut mgr, &net);
+    // variable down and back up once, repeated. The raw manager is driven
+    // directly through the backend escape hatch; the output handles stay
+    // registered roots throughout.
+    let mgr = robdd::RobddManager::with_vars(n);
+    let _roots = build_network(&mgr, &net);
+    let mut mgr = mgr.backend_mut();
     mgr.gc();
     let reps = 200;
     let t = Instant::now();

@@ -111,7 +111,7 @@ pub fn swap_throughput(n: usize, seed: u64) -> SwapThroughput {
     let mut mgr = Bbdd::new(n);
     let f = random_function(&mut mgr, n, seed);
     let g = random_function(&mut mgr, n, seed ^ 0xABCD);
-    let _pins = [mgr.fun(f), mgr.fun(g)];
+    let _pins = [mgr.pin(f), mgr.pin(g)];
     mgr.gc();
     let live = mgr.live_nodes();
     let t0 = std::time::Instant::now();

@@ -222,7 +222,7 @@ mod auto_reorder_tests {
             f = mgr.and(f, eq);
         }
         let before = mgr.live_nodes();
-        let f = mgr.fun(f); // the registry, not a list, keeps f alive
+        let _pin = mgr.pin(f); // the registry, not a list, keeps f alive
         let fired = mgr.reorder_if_needed();
         assert!(fired, "threshold was crossed: {before} nodes");
         assert!(mgr.live_nodes() < before);
@@ -231,7 +231,7 @@ mod auto_reorder_tests {
         assert!(!mgr.reorder_if_needed());
         // Function intact.
         assert!(mgr.eval(
-            f.edge(),
+            f,
             &[true, false, true, false, true, false, true, false, true, false, true, false]
         ));
     }
@@ -242,7 +242,7 @@ mod auto_reorder_tests {
         let a = mgr.var(0);
         let b = mgr.var(3);
         let f = mgr.xor(a, b);
-        let _f = mgr.fun(f);
+        let _f = mgr.pin(f);
         assert!(!mgr.reorder_if_needed());
         assert_eq!(mgr.order(), vec![0, 1, 2, 3]);
     }

@@ -28,7 +28,7 @@
 //! 3. **Performance-oriented memory management** — Cantor-pairing hashing,
 //!    adaptive tables, overwrite-on-collision cache, mark-and-sweep GC
 //!    ([`Bbdd::gc`]) tracing the owned-handle registry: functions held as
-//!    [`BbddFn`] handles (created by [`Bbdd::fun`] and the `*_fn` ops) are
+//!    [`BbddFn`] handles (created through the [`prelude`] trait API) are
 //!    roots by construction, and [`Bbdd::set_gc_threshold`] arms automatic
 //!    collection for long-running sessions — no caller-maintained root
 //!    lists anywhere;
@@ -37,27 +37,32 @@
 //!
 //! ## Quick start
 //!
+//! The [`prelude`] exposes the unified trait API ([`ddcore::api`]) shared
+//! by every manager in the workspace — owned GC-safe handles with operator
+//! overloads:
+//!
 //! ```
-//! use bbdd::Bbdd;
+//! use bbdd::prelude::*;
 //!
 //! // A 4-variable manager; build the 2-bit equality comparator
 //! // (a1=b1) ∧ (a0=b0), which BBDDs represent in 2 nodes.
-//! let mut mgr = Bbdd::new(4);
+//! let mgr = BbddManager::with_vars(4);
 //! let (a1, b1, a0, b0) = (mgr.var(0), mgr.var(1), mgr.var(2), mgr.var(3));
-//! let hi = mgr.xnor(a1, b1);
-//! let lo = mgr.xnor(a0, b0);
-//! let eq = mgr.and(hi, lo);
-//! assert_eq!(mgr.node_count(eq), 2);
-//! assert_eq!(mgr.sat_count(eq), 4);
+//! let eq = &a1.xnor(&b1) & &a0.xnor(&b0);
+//! assert_eq!(eq.node_count(), 2);
+//! assert_eq!(eq.sat_count(), 4);
 //! ```
+//!
+//! The raw edge-level API ([`Bbdd`], [`Edge`]) remains available underneath
+//! (`mgr.backend_mut()`) for recursion internals and benchmarks.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod analysis;
+mod api;
 mod apply;
 mod edge;
-mod handle;
 mod manager;
 mod node;
 mod ops;
@@ -69,10 +74,11 @@ mod swap;
 
 pub mod dot;
 
+pub use api::prelude;
+pub use api::{BbddFn, BbddManager, ParBbddFn, ParBbddManager};
 pub use ddcore::boolop::{BoolOp, Unary};
 pub use ddcore::nary::NaryOp;
 pub use edge::Edge;
-pub use handle::BbddFn;
 pub use manager::{Bbdd, BbddStats, NodeInfo};
 pub use par::{ParBbdd, ParConfig, ParStats};
 pub use reorder::SiftConfig;

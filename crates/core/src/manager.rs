@@ -303,16 +303,6 @@ impl Bbdd {
         self.reorder_if_needed_keeping(&[])
     }
 
-    /// [`Bbdd::reorder_if_needed`] with a caller-maintained root list.
-    #[deprecated(
-        since = "0.2.0",
-        note = "hold `BbddFn` handles and call `reorder_if_needed()`; the registry \
-                discovers the roots"
-    )]
-    pub fn reorder_if_needed_with_roots(&mut self, roots: &[Edge]) -> bool {
-        self.reorder_if_needed_keeping(roots)
-    }
-
     pub(crate) fn reorder_if_needed_keeping(&mut self, extra: &[Edge]) -> bool {
         if self.auto_reorder_at == 0 {
             return false;
@@ -518,17 +508,6 @@ impl Bbdd {
     /// registry behind the handles *is* the root set.
     pub fn gc(&mut self) -> usize {
         self.gc_keeping(&[])
-    }
-
-    /// [`Bbdd::gc`] with a caller-maintained root list kept alive *in
-    /// addition to* the handle registry.
-    #[deprecated(
-        since = "0.2.0",
-        note = "hold `BbddFn` handles (e.g. via `Bbdd::fun`) and call `gc()`; the \
-                registry discovers the roots"
-    )]
-    pub fn gc_with_roots(&mut self, roots: &[Edge]) -> usize {
-        self.gc_keeping(roots)
     }
 
     /// The mark/sweep shared by every GC entry point: roots are the handle
@@ -760,32 +739,19 @@ mod tests {
         let keep = mgr.make_node(3, !b, b.regular()); // something at top... keep a real node
         let _dead1 = mgr.make_node(2, Edge::ZERO, Edge::ONE);
         let before = mgr.live_nodes();
-        // Pin the survivors with handles; the registry is the root set.
-        let keep_h = mgr.fun(keep);
-        let a_h = mgr.fun(a);
+        // Pin the survivors; the registry is the root set.
+        let keep_h = mgr.pin(keep);
+        let a_h = mgr.pin(a);
         let freed = mgr.gc();
         assert!(freed > 0);
         assert_eq!(mgr.live_nodes(), before - freed);
         assert!(mgr.validate().is_ok());
-        assert!(!keep_h.edge().is_constant(), "pinned node survived");
+        assert!(!keep.is_constant(), "pinned node survived");
         // Freed slots are reused.
         let again = mgr.make_node(2, Edge::ZERO, Edge::ONE);
         assert!(!again.is_constant());
         assert!(mgr.validate().is_ok());
-        drop(a_h);
-    }
-
-    #[test]
-    fn deprecated_roots_shim_still_collects() {
-        let mut mgr = Bbdd::new(3);
-        let a = mgr.var(0);
-        let dead = mgr.make_node(2, Edge::ZERO, Edge::ONE);
-        assert!(!dead.is_constant());
-        #[allow(deprecated)]
-        let freed = mgr.gc_with_roots(&[a]);
-        assert!(freed > 0, "unlisted node must die");
-        assert_eq!(mgr.live_nodes(), 1, "the listed literal survives");
-        assert!(mgr.validate().is_ok());
+        drop((keep_h, a_h));
     }
 
     #[test]

@@ -36,7 +36,6 @@
 //! sizes, never on the thread count.
 
 use crate::edge::Edge;
-use crate::handle::BbddFn;
 use crate::manager::{Bbdd, BbddStats};
 use crate::node::NodeKey;
 use ddcore::boolop::{BoolOp, Unary};
@@ -686,7 +685,7 @@ impl ParBbdd {
 
     /// Garbage-collect, tracing the handle registry, and invalidate the
     /// concurrent cache; returns nodes reclaimed. Everything a live
-    /// [`BbddFn`] handle denotes survives.
+    /// [`crate::ParBbddFn`] handle denotes survives.
     pub fn collect(&mut self) -> usize {
         let freed = self.inner.gc();
         self.seen_gc_generation = self.inner.gc_generation();
@@ -694,162 +693,34 @@ impl ParBbdd {
         freed
     }
 
-    /// [`ParBbdd::collect`] with a caller-maintained root list kept alive
-    /// in addition to the registry.
-    #[deprecated(
-        since = "0.2.0",
-        note = "hold `BbddFn` handles (e.g. via `ParBbdd::fun`) and call `collect()`; \
-                the registry discovers the roots"
-    )]
-    pub fn collect_with_roots(&mut self, roots: &[Edge]) -> usize {
-        let freed = self.inner.gc_keeping(roots);
-        self.seen_gc_generation = self.inner.gc_generation();
-        self.cache.bump_epoch();
-        freed
-    }
-
-    // ── owned function handles ────────────────────────────────────────
-    //
-    // The parallel front-end shares the inner manager's root registry, so
-    // a `BbddFn` made here is indistinguishable from one made on the
-    // sequential manager. The one extra obligation is the *merge GC*: an
-    // automatic collection latched during the deterministic commit (the
-    // overlay import runs through `make_node`, a growth point) must not
-    // fire until the operation's result is registered — which is exactly
-    // what `finish_fn` guarantees by registering first and collecting
-    // after, with the concurrent cache epoch bumped alongside (stale
-    // parallel-cache entries would otherwise resurrect freed node ids).
-
-    /// Wrap an edge in an owned handle, pinning its nodes until the handle
-    /// (and every clone) is dropped.
-    #[must_use]
-    pub fn fun(&self, e: Edge) -> BbddFn {
-        self.inner.fun(e)
-    }
-
-    /// Handles currently registered with this manager (live root slots).
-    #[must_use]
-    pub fn external_roots(&self) -> usize {
-        self.inner.external_roots()
-    }
-
     /// Arm the automatic GC latch (see [`Bbdd::set_gc_threshold`]);
-    /// collections run at `*_fn` handle boundaries and bump the concurrent
-    /// cache epoch.
+    /// collections run at trait-level operation boundaries and bump the
+    /// concurrent cache epoch.
     pub fn set_gc_threshold(&mut self, threshold: usize) {
         self.inner.set_gc_threshold(threshold);
     }
 
-    /// The constant function as a handle.
-    #[must_use]
-    pub fn const_fn(&self, value: bool) -> BbddFn {
-        self.inner.const_fn(value)
-    }
-
-    /// The positive literal of `var` as a handle.
-    ///
-    /// # Panics
-    /// Panics if `var >= num_vars()`.
-    pub fn var_fn(&mut self, var: usize) -> BbddFn {
-        let e = self.inner.var(var);
-        self.finish_fn(e)
-    }
-
-    /// The negative literal of `var` as a handle.
-    ///
-    /// # Panics
-    /// Panics if `var >= num_vars()`.
-    pub fn nvar_fn(&mut self, var: usize) -> BbddFn {
-        let e = self.inner.nvar(var);
-        self.finish_fn(e)
-    }
-
-    /// Complement (free, no collection point).
-    #[must_use]
-    pub fn not_fn(&self, f: &BbddFn) -> BbddFn {
-        self.fun(!f.edge())
-    }
-
-    /// [`ParBbdd::apply`] on handles.
-    pub fn apply_fn(&mut self, op: BoolOp, f: &BbddFn, g: &BbddFn) -> BbddFn {
-        let e = self.apply(op, f.edge(), g.edge());
-        self.finish_fn(e)
-    }
-
-    /// `f ∧ g` on handles.
-    pub fn and_fn(&mut self, f: &BbddFn, g: &BbddFn) -> BbddFn {
-        self.apply_fn(BoolOp::AND, f, g)
-    }
-
-    /// `f ∨ g` on handles.
-    pub fn or_fn(&mut self, f: &BbddFn, g: &BbddFn) -> BbddFn {
-        self.apply_fn(BoolOp::OR, f, g)
-    }
-
-    /// `f ⊕ g` on handles.
-    pub fn xor_fn(&mut self, f: &BbddFn, g: &BbddFn) -> BbddFn {
-        self.apply_fn(BoolOp::XOR, f, g)
-    }
-
-    /// `f ⊙ g` on handles.
-    pub fn xnor_fn(&mut self, f: &BbddFn, g: &BbddFn) -> BbddFn {
-        self.apply_fn(BoolOp::XNOR, f, g)
-    }
-
-    /// If-then-else on handles.
-    pub fn ite_fn(&mut self, f: &BbddFn, g: &BbddFn, h: &BbddFn) -> BbddFn {
-        let e = self.ite(f.edge(), g.edge(), h.edge());
-        self.finish_fn(e)
-    }
-
-    /// Existential cube quantification on handles.
-    ///
-    /// # Panics
-    /// Panics if any variable index is out of range.
-    pub fn exists_fn(&mut self, f: &BbddFn, vars: &[usize]) -> BbddFn {
-        let e = self.exists(f.edge(), vars);
-        self.finish_fn(e)
-    }
-
-    /// Universal cube quantification on handles.
-    ///
-    /// # Panics
-    /// Panics if any variable index is out of range.
-    pub fn forall_fn(&mut self, f: &BbddFn, vars: &[usize]) -> BbddFn {
-        let e = self.forall(f.edge(), vars);
-        self.finish_fn(e)
-    }
-
-    /// Fused relational product on handles.
-    ///
-    /// # Panics
-    /// Panics if any variable index is out of range.
-    pub fn and_exists_fn(&mut self, f: &BbddFn, g: &BbddFn, vars: &[usize]) -> BbddFn {
-        let e = self.and_exists(f.edge(), g.edge(), vars);
-        self.finish_fn(e)
-    }
+    // The owned-handle front-end lives in `ddcore::api` (see `crate::api`):
+    // the parallel backend shares the inner manager's root registry, so a
+    // `ParBbddFn` is indistinguishable from a sequential handle. The one
+    // extra obligation is the *merge GC*: an automatic collection latched
+    // during the deterministic commit (the overlay import runs through
+    // `make_node`, a growth point) must not fire until the operation's
+    // result is registered — guaranteed by the generic layer, which
+    // registers first and only then runs `RawManager::after_op` (the
+    // latched GC plus the cache-epoch sync below).
 
     /// Invalidate the concurrent cache if the inner manager collected
     /// since we last looked (node ids may have been recycled). Checked
-    /// before every parallel phase and at every handle boundary, so even
-    /// collections triggered through `inner_mut()` cannot leave stale
-    /// id-keyed entries behind.
-    fn sync_cache_epoch(&mut self) {
+    /// before every parallel phase and at every operation boundary, so
+    /// even collections triggered through `inner_mut()` cannot leave
+    /// stale id-keyed entries behind.
+    pub(crate) fn sync_cache_epoch(&mut self) {
         let gen = self.inner.gc_generation();
         if gen != self.seen_gc_generation {
             self.seen_gc_generation = gen;
             self.cache.bump_epoch();
         }
-    }
-
-    /// Register an op result *then* run the latched automatic GC: the
-    /// result is pinned before the merge GC can fire, and a collection
-    /// invalidates the concurrent cache (freed ids may be re-used).
-    fn finish_fn(&mut self, e: Edge) -> BbddFn {
-        let h = self.inner.fun(e);
-        self.inner.maybe_auto_gc();
-        self.sync_cache_epoch();
-        h
     }
 
     // ── parallel operations ───────────────────────────────────────────
@@ -1513,7 +1384,7 @@ mod tests {
                 par.eval(f, &a)
             })
             .collect();
-        let _pins: Vec<BbddFn> = vs.iter().chain([&f]).map(|&e| par.fun(e)).collect();
+        let _pins: Vec<_> = vs.iter().chain([&f]).map(|&e| par.pin(e)).collect();
         par.collect();
         par.inner().validate().unwrap();
         for (m, want) in tf.iter().enumerate() {
@@ -1537,26 +1408,27 @@ mod tests {
         let vs: Vec<Edge> = (0..8).map(|v| par.var(v)).collect();
         let f = build_mixed(8, 5, &mut |op, a, b| par.apply(op, a, b), &vs);
         let g = build_mixed(8, 6, &mut |op, a, b| par.apply(op, a, b), &vs);
-        let (fh, gh) = (par.fun(f), par.fun(g));
+        let (_fh, _gh) = (par.pin(f), par.pin(g));
         let truth: Vec<bool> = (0..256u32)
             .map(|m| {
                 let a: Vec<bool> = (0..8).map(|i| (m >> i) & 1 == 1).collect();
                 par.eval(f, &a) && par.eval(g, &a)
             })
             .collect();
-        // Arm the latch and churn handle ops through inner_mut(): the
-        // collections run entirely inside the sequential manager.
+        // Arm the latch, churn garbage-producing ops through inner_mut(),
+        // and run the latched collections at the sequential manager's own
+        // boundary: entirely behind the wrapper's back.
         par.set_gc_threshold(1);
         let runs0 = par.stats().gc_runs;
-        let mut acc = par.inner_mut().const_fn(true);
         for v in 0..8 {
-            let lv = par.inner_mut().var_fn(v);
-            acc = par.inner_mut().xnor_fn(&acc, &lv);
+            let a = par.inner_mut().var(v);
+            let b = par.inner_mut().var((v + 1) % 8);
+            let _ = par.inner_mut().xnor(a, b);
+            par.inner_mut().maybe_auto_gc();
         }
-        drop(acc);
         assert!(par.stats().gc_runs > runs0, "inner auto-GC must have run");
         // The parallel pipeline must re-derive, not replay stale entries.
-        let h = par.apply(BoolOp::AND, fh.edge(), gh.edge());
+        let h = par.apply(BoolOp::AND, f, g);
         for (m, want) in truth.iter().enumerate() {
             let a: Vec<bool> = (0..8).map(|i| (m >> i) & 1 == 1).collect();
             assert_eq!(par.eval(h, &a), *want, "assignment {m}");

@@ -36,19 +36,18 @@ impl Bbdd {
     /// there is no liveness list to forget.
     ///
     /// ```
-    /// use bbdd::Bbdd;
-    /// let mut mgr = Bbdd::new(6);
+    /// use bbdd::prelude::*;
+    /// let mgr = BbddManager::with_vars(6);
     /// // Equality of (v0,v1,v2) with (v3,v4,v5): terrible in this order,
     /// // linear once sifting interleaves the operand bits.
-    /// let mut f = mgr.const_fn(true);
+    /// let mut f = mgr.constant(true);
     /// for i in 0..3 {
-    ///     let (a, b) = (mgr.var_fn(i), mgr.var_fn(i + 3));
-    ///     let eq = mgr.xnor_fn(&a, &b);
-    ///     f = mgr.and_fn(&f, &eq);
+    ///     let (a, b) = (mgr.var(i), mgr.var(i + 3));
+    ///     f = &f & &a.xnor(&b);
     /// }
-    /// let before = mgr.node_count(f.edge());
-    /// mgr.sift();
-    /// assert!(mgr.node_count(f.edge()) <= before);
+    /// let before = f.node_count();
+    /// mgr.reorder();
+    /// assert!(f.node_count() <= before);
     /// ```
     pub fn sift(&mut self) -> usize {
         self.sift_with(&SiftConfig::default())
@@ -57,17 +56,6 @@ impl Bbdd {
     /// Sift with explicit [`SiftConfig`], tracing the handle registry.
     pub fn sift_with(&mut self, cfg: &SiftConfig) -> usize {
         self.sift_keeping(&[], cfg)
-    }
-
-    /// Sift keeping a caller-maintained root list alive *in addition to*
-    /// the handle registry.
-    #[deprecated(
-        since = "0.2.0",
-        note = "hold `BbddFn` handles (e.g. via `Bbdd::fun`) and call `sift()`; the \
-                registry discovers the roots"
-    )]
-    pub fn sift_with_roots(&mut self, roots: &[Edge]) -> usize {
-        self.sift_keeping(roots, &SiftConfig::default())
     }
 
     pub(crate) fn sift_keeping(&mut self, extra: &[Edge], cfg: &SiftConfig) -> usize {
@@ -205,9 +193,8 @@ mod tests {
         let f = equality_bad_order(&mut mgr, k);
         let tf = truth_of(&mgr, f, 2 * k);
         let before = mgr.node_count(f);
-        let fh = mgr.fun(f);
+        let _fh = mgr.pin(f);
         mgr.sift();
-        let f = fh.edge();
         let after = mgr.node_count(f);
         assert!(after < before, "sift must shrink: {before} -> {after}");
         // Interleaved equality is k XNOR nodes ANDed: exactly 2k-1 … allow
@@ -241,55 +228,44 @@ mod tests {
     fn sift_keeps_two_independent_handle_sets_alive() {
         let n = 6;
         let mut mgr = Bbdd::new(n);
-        // Handle set 1: the comparator outputs, held by one "caller".
+        // Pin set 1: the comparator outputs, held by one "caller".
         let f = equality_bad_order(&mut mgr, 3);
-        let set1 = vec![mgr.fun(f)];
-        // Handle set 2: an unrelated output vector held by another caller,
+        let set1 = vec![(f, mgr.pin(f))];
+        // Pin set 2: an unrelated output vector held by another caller,
         // which the first caller knows nothing about.
-        let set2: Vec<crate::BbddFn> = (0..3)
+        let set2: Vec<(Edge, _)> = (0..3)
             .map(|i| {
                 let a = mgr.var(i);
                 let b = mgr.var(5 - i);
                 let x = mgr.xor(a, b);
-                mgr.fun(x)
+                (x, mgr.pin(x))
             })
             .collect();
-        let tf: Vec<Vec<bool>> = set1.iter().map(|h| truth_of(&mgr, h.edge(), n)).collect();
-        let tg: Vec<Vec<bool>> = set2.iter().map(|h| truth_of(&mgr, h.edge(), n)).collect();
+        let tf: Vec<Vec<bool>> = set1.iter().map(|(e, _)| truth_of(&mgr, *e, n)).collect();
+        let tg: Vec<Vec<bool>> = set2.iter().map(|(e, _)| truth_of(&mgr, *e, n)).collect();
         mgr.sift();
-        for (h, t) in set1.iter().zip(&tf) {
-            assert_eq!(&truth_of(&mgr, h.edge(), n), t, "set 1 must survive");
+        for ((e, _), t) in set1.iter().zip(&tf) {
+            assert_eq!(&truth_of(&mgr, *e, n), t, "set 1 must survive");
         }
-        for (h, t) in set2.iter().zip(&tg) {
-            assert_eq!(&truth_of(&mgr, h.edge(), n), t, "set 2 must survive");
+        for ((e, _), t) in set2.iter().zip(&tg) {
+            assert_eq!(&truth_of(&mgr, *e, n), t, "set 2 must survive");
         }
         mgr.validate().unwrap();
         // Dropping one set must not strand the other.
         drop(set1);
         mgr.sift();
-        for (h, t) in set2.iter().zip(&tg) {
-            assert_eq!(&truth_of(&mgr, h.edge(), n), t);
+        for ((e, _), t) in set2.iter().zip(&tg) {
+            assert_eq!(&truth_of(&mgr, *e, n), t);
         }
-        mgr.validate().unwrap();
-    }
-
-    #[test]
-    fn deprecated_sift_with_roots_shim_works() {
-        let n = 6;
-        let mut mgr = Bbdd::new(n);
-        let f = equality_bad_order(&mut mgr, 3);
-        let tf = truth_of(&mgr, f, n);
-        #[allow(deprecated)]
-        mgr.sift_with_roots(&[f]);
-        assert_eq!(truth_of(&mgr, f, n), tf);
         mgr.validate().unwrap();
     }
 
     #[test]
     fn single_variable_manager_sift_is_noop() {
         let mut mgr = Bbdd::new(1);
-        let a = mgr.var_fn(0);
+        let a = mgr.var(0);
+        let _pin = mgr.pin(a);
         assert_eq!(mgr.sift(), 1);
-        assert!(mgr.eval(a.edge(), &[true]));
+        assert!(mgr.eval(a, &[true]));
     }
 }

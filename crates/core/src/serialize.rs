@@ -114,18 +114,21 @@ impl Bbdd {
         self.save(&edges, names)
     }
 
-    /// [`Bbdd::load`], returning the named roots as owned handles already
-    /// registered with the fresh manager — the forest is pinned from the
-    /// first instant, so no collection point can strand it.
+    /// [`Bbdd::load`], returning a trait-level manager with the named
+    /// roots as owned handles already registered — the forest is pinned
+    /// from the first instant, so no collection point can strand it.
     ///
     /// # Errors
     /// Returns a [`LoadError`] for malformed input, out-of-range levels or
     /// forward references.
-    pub fn load_fns(text: &str) -> Result<(Bbdd, Vec<(String, crate::BbddFn)>), LoadError> {
+    pub fn load_fns(
+        text: &str,
+    ) -> Result<(crate::BbddManager, Vec<(String, crate::BbddFn)>), LoadError> {
         let (mgr, roots) = Bbdd::load(text)?;
+        let mgr = crate::BbddManager::new(mgr);
         let handles = roots
             .into_iter()
-            .map(|(name, e)| (name, mgr.fun(e)))
+            .map(|(name, e)| (name, mgr.lift(e)))
             .collect();
         Ok((mgr, handles))
     }
@@ -288,32 +291,38 @@ mod tests {
             mgr.shared_node_count(&roots),
             loaded.shared_node_count(&[lroots[0].1, lroots[1].1])
         );
-        let pins = [loaded.fun(lroots[0].1), loaded.fun(lroots[1].1)];
+        let pins = [loaded.pin(lroots[0].1), loaded.pin(lroots[1].1)];
         let _ = loaded.sift();
-        for (orig, pin) in roots.iter().zip(&pins) {
+        for (orig, le) in roots.iter().zip([lroots[0].1, lroots[1].1]) {
             for m in 0..16u32 {
                 let v: Vec<bool> = (0..4).map(|i| (m >> i) & 1 == 1).collect();
-                assert_eq!(mgr.eval(*orig, &v), loaded.eval(pin.edge(), &v));
+                assert_eq!(mgr.eval(*orig, &v), loaded.eval(le, &v));
             }
         }
+        drop(pins);
     }
 
     #[test]
     fn handle_save_load_roundtrip() {
+        use ddcore::api::{BooleanFunction, FunctionManager};
         let mut mgr = Bbdd::new(4);
         let roots = sample(&mut mgr);
-        let handles: Vec<crate::BbddFn> = roots.iter().map(|&e| mgr.fun(e)).collect();
-        let text = mgr.save_fns(&handles, &["f", "ng"]);
-        let (mut loaded, lroots) = Bbdd::load_fns(&text).unwrap();
+        let text = {
+            let pins: Vec<_> = roots.iter().map(|&e| mgr.pin(e)).collect();
+            let text = mgr.save(&roots, &["f", "ng"]);
+            drop(pins);
+            text
+        };
+        let (loaded, lroots) = Bbdd::load_fns(&text).unwrap();
         assert_eq!(loaded.external_roots(), 2, "loaded roots come pre-pinned");
         loaded.gc(); // must be a no-op for the pinned forest
         for m in 0..16u32 {
             let v: Vec<bool> = (0..4).map(|i| (m >> i) & 1 == 1).collect();
-            for (orig, (_, copy)) in handles.iter().zip(&lroots) {
-                assert_eq!(mgr.eval(orig.edge(), &v), loaded.eval(copy.edge(), &v));
+            for (orig, (_, copy)) in roots.iter().zip(&lroots) {
+                assert_eq!(mgr.eval(*orig, &v), copy.eval(&v));
             }
         }
-        assert!(loaded.validate().is_ok());
+        assert!(loaded.backend().validate().is_ok());
     }
 
     #[test]

@@ -691,7 +691,7 @@ mod tests {
         let n = 6;
         let mut mgr = Bbdd::new(n);
         let f = build_mixed(&mut mgr, n, 3);
-        let _f = mgr.fun(f);
+        let _f = mgr.pin(f);
         mgr.gc();
         let order0 = mgr.order();
         let size0 = mgr.live_nodes();

@@ -166,11 +166,10 @@ proptest! {
         let mut mgr = Bbdd::new(NVARS);
         let f = build(&mut mgr, &e);
         let reference: Vec<bool> = assignments().map(|v| mgr.eval(f, &v)).collect();
-        let f = mgr.fun(f);
+        let _pin = mgr.pin(f);
         mgr.gc();
         let before = mgr.live_nodes();
         mgr.sift();
-        let f = f.edge();
         mgr.validate().unwrap();
         prop_assert!(mgr.live_nodes() <= before, "sifting must not grow the diagram");
         let now: Vec<bool> = assignments().map(|v| mgr.eval(f, &v)).collect();
@@ -182,7 +181,7 @@ proptest! {
         let mut mgr = Bbdd::new(NVARS);
         let f = build(&mut mgr, &e1);
         let g = build(&mut mgr, &e2);
-        let fh = mgr.fun(f); // g may die; f must survive
+        let fh = mgr.pin(f); // g may die; f must survive
         mgr.gc();
         let _ = &fh;
         mgr.validate().unwrap();

@@ -1,0 +1,1138 @@
+//! The unified Boolean-function API over every decision-diagram backend.
+//!
+//! This workspace ships four managers — `bbdd::Bbdd`, `robdd::Robdd` and
+//! their fork-join front-ends `bbdd::ParBbdd` / `robdd::ParRobdd` — and
+//! before this module existed each of them re-declared the same owned-handle
+//! operation suite by hand, and every manager-agnostic consumer (the network
+//! builder, the equivalence checker, the synthesis flow, the CLI) was either
+//! specialized per manager or funneled through ad-hoc traits. `ddcore::api`
+//! replaces all of that with one trait family, in the shape multi-backend
+//! BDD packages converge on (OxiDD's `Manager`/`BooleanFunction`,
+//! Sølvsten & van de Pol's backend-hiding `bdd` value type):
+//!
+//! * [`RawManager`] — the *backend* contract: edge-level operations plus the
+//!   root registry and the handle-boundary hook. This is the one trait a new
+//!   backend implements; everything below is derived from it.
+//! * [`ManagerRef`] — the shared front-end over any backend: a cheaply
+//!   cloneable reference handing out owned [`Function`] handles.
+//! * [`FunctionManager`] / [`BooleanFunction`] — the trait pair generic
+//!   drivers are written against, implemented once for
+//!   `ManagerRef<B>` / `Function<B>` and therefore automatically by every
+//!   backend. Dispatch is fully static: a driver generic over
+//!   `M: FunctionManager` monomorphizes per backend, with no vtables and no
+//!   allocation added on the operation hot path.
+//!
+//! # Handles and garbage collection
+//!
+//! A [`Function`] owns a slot in the backend's external-root registry
+//! ([`crate::roots::RootSet`]): clone bumps the slot's refcount, drop
+//! releases it, and every collection or reordering the backend runs traces
+//! the registry — the "forgot a root" bug class stays unrepresentable, as
+//! established by the owned-handle redesign this module generalizes. Each
+//! operation ends at a *handle boundary* ([`RawManager::after_op`]) where a
+//! latched automatic GC may run, strictly after the result was registered.
+//!
+//! # Example
+//!
+//! ```
+//! use ddcore::api::{BooleanFunction, FunctionManager};
+//!
+//! /// Works identically on every backend in the workspace.
+//! fn majority<M: FunctionManager>(mgr: &M) -> M::Function {
+//!     let (a, b, c) = (mgr.var(0), mgr.var(1), mgr.var(2));
+//!     let ab = a.and(&b);
+//!     let bc = b.and(&c);
+//!     let ac = a.and(&c);
+//!     ab.or(&bc).or(&ac)
+//! }
+//! ```
+//!
+//! On a *concrete* handle type (`bbdd::BbddFn`, `robdd::RobddFn`, …) the
+//! `std::ops` sugar applies on references: `&a & &b`, `&a | &b`, `&a ^ &b`,
+//! `!&a`.
+//!
+//! (See `tests/api_conformance.rs` at the workspace root for the suite that
+//! drives every operation below against shadow truth tables on all four
+//! managers.)
+
+use crate::boolop::BoolOp;
+use crate::roots::RootSet;
+use std::cell::{Ref, RefCell, RefMut};
+use std::rc::Rc;
+
+/// The backend contract: edge-level Boolean-function operations plus root
+/// registration and the handle-boundary hook.
+///
+/// Implement this one trait for a manager type and the whole
+/// [`FunctionManager`] / [`BooleanFunction`] pair comes for free through
+/// [`ManagerRef`] / [`Function`]. Implementations delegate to the backend's
+/// inherent edge API; the `*_edge` names keep the trait methods from
+/// shadowing those inherent methods.
+///
+/// The edge type is the backend's raw, unprotected function currency
+/// (`Copy`, valid only until the next collection point unless covered by a
+/// registered handle) — exactly the role `bbdd::Edge` / `robdd::Edge`
+/// already play.
+pub trait RawManager: Sized {
+    /// The backend's raw edge type.
+    type Edge: Copy + Eq + std::fmt::Debug + std::ops::Not<Output = Self::Edge>;
+
+    /// A fresh backend over `num_vars` variables with default configuration
+    /// (parallel backends read their thread count from the environment).
+    fn with_vars(num_vars: usize) -> Self;
+
+    /// Number of variables managed.
+    fn num_vars(&self) -> usize;
+
+    /// The external-root registry handles register themselves with.
+    fn root_registry(&self) -> &RootSet;
+
+    /// The packed-bits form of an edge stored in the root registry.
+    fn edge_bits(e: Self::Edge) -> u64;
+
+    /// The constant function as an edge.
+    fn constant_edge(&self, value: bool) -> Self::Edge;
+
+    /// The positive literal of `var`.
+    fn var_edge(&mut self, var: usize) -> Self::Edge;
+
+    /// `f ⊗ g` for an arbitrary binary operator.
+    fn apply_edge(&mut self, op: BoolOp, f: Self::Edge, g: Self::Edge) -> Self::Edge;
+
+    /// If-then-else `f ? g : h`.
+    fn ite_edge(&mut self, f: Self::Edge, g: Self::Edge, h: Self::Edge) -> Self::Edge;
+
+    /// Existential cube quantification `∃ vars . f`.
+    fn exists_edge(&mut self, f: Self::Edge, vars: &[usize]) -> Self::Edge;
+
+    /// Universal cube quantification `∀ vars . f`.
+    fn forall_edge(&mut self, f: Self::Edge, vars: &[usize]) -> Self::Edge;
+
+    /// Fused relational product `∃ vars . (f ∧ g)`.
+    fn and_exists_edge(&mut self, f: Self::Edge, g: Self::Edge, vars: &[usize]) -> Self::Edge;
+
+    /// Restriction `f|_{var = value}`.
+    fn restrict_edge(&mut self, f: Self::Edge, var: usize, value: bool) -> Self::Edge;
+
+    /// Substitution `f[var := g]`.
+    fn compose_edge(&mut self, f: Self::Edge, var: usize, g: Self::Edge) -> Self::Edge;
+
+    /// Simultaneous substitution (`subs[v]` replaces variable `v`).
+    fn vector_compose_edge(&mut self, f: Self::Edge, subs: &[Option<Self::Edge>]) -> Self::Edge;
+
+    /// Evaluate `f` under a full assignment.
+    fn eval_edge(&self, f: Self::Edge, assignment: &[bool]) -> bool;
+
+    /// Exact number of satisfying assignments over all variables.
+    fn sat_count_edge(&self, f: Self::Edge) -> u128;
+
+    /// One satisfying assignment, or `None` for constant false.
+    fn any_sat_edge(&self, f: Self::Edge) -> Option<Vec<bool>>;
+
+    /// Up to `limit` satisfying assignments.
+    fn all_sat_edge(&self, f: Self::Edge, limit: usize) -> Vec<Vec<bool>>;
+
+    /// Nodes reachable from `f`.
+    fn node_count_edge(&self, f: Self::Edge) -> usize;
+
+    /// Nodes reachable from any of `roots` (shared nodes counted once).
+    fn shared_node_count_edges(&self, roots: &[Self::Edge]) -> usize;
+
+    /// Variables `f` depends on, ascending.
+    fn support_edge(&mut self, f: Self::Edge) -> Vec<usize>;
+
+    /// Graphviz DOT rendering of the diagrams rooted at `roots`.
+    fn to_dot_edges(&self, roots: &[Self::Edge], names: &[&str]) -> String;
+
+    /// Internal nodes per diagram level (top of the order first is not
+    /// required — the convention is the backend's own log convention) for
+    /// the diagrams rooted at `roots`; `None` when the backend has no
+    /// meaningful per-level view.
+    fn level_profile_edges(&self, _roots: &[Self::Edge]) -> Option<Vec<usize>> {
+        None
+    }
+
+    /// The handle-boundary hook, run after an operation's result has been
+    /// registered: the latched automatic GC (and, for parallel front-ends,
+    /// the concurrent-cache epoch sync) goes here. Registration-first is the
+    /// pinning rule that makes the latched collection safe.
+    fn after_op(&mut self);
+
+    /// Collect every node not reachable from the root registry; returns the
+    /// number of nodes reclaimed.
+    fn gc(&mut self) -> usize;
+
+    /// Arm the automatic-GC latch (`0` disables).
+    fn set_gc_threshold(&mut self, threshold: usize);
+
+    /// The automatic-GC threshold (`0` = disabled).
+    fn gc_threshold(&self) -> usize;
+
+    /// Currently stored nodes.
+    fn live_nodes(&self) -> usize;
+
+    /// Run Rudell sifting, returning the post-sift live node count, or
+    /// `None` when the backend does not support reordering (the parallel
+    /// front-ends keep their op history deterministic instead).
+    fn try_sift(&mut self) -> Option<usize>;
+
+    /// Arm automatic reordering at a live-node threshold (no-op on backends
+    /// without dynamic reordering).
+    fn set_auto_reorder(&mut self, _threshold: usize) {}
+
+    /// Collect and, when armed and past the threshold, reorder. Returns
+    /// `true` when a reorder ran. Defaults to `false` (nothing armed).
+    fn reorder_if_needed(&mut self) -> bool {
+        false
+    }
+
+    /// The current variable order, top of the diagram first.
+    fn variable_order(&self) -> Vec<usize>;
+
+    /// A one-line human-readable summary of the backend's counters.
+    fn stats_line(&self) -> String;
+}
+
+/// A shared reference to a decision-diagram backend — the generic
+/// implementation of [`FunctionManager`].
+///
+/// Cloning a `ManagerRef` clones the *reference*; all clones (including the
+/// one inside every [`Function`] it hands out) address the same backend.
+/// The backend sits behind a `RefCell`, so operations take `&self`; the
+/// borrow is checked, not locked — a `ManagerRef` (like the handles it
+/// produces) stays on one thread.
+pub struct ManagerRef<B: RawManager> {
+    inner: Rc<RefCell<B>>,
+}
+
+impl<B: RawManager> Clone for ManagerRef<B> {
+    fn clone(&self) -> Self {
+        ManagerRef {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<B: RawManager> std::fmt::Debug for ManagerRef<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ManagerRef").finish_non_exhaustive()
+    }
+}
+
+impl<B: RawManager> ManagerRef<B> {
+    /// Wrap an existing backend (use this to pick a non-default
+    /// configuration, e.g. an explicit thread count).
+    #[must_use]
+    pub fn new(backend: B) -> Self {
+        ManagerRef {
+            inner: Rc::new(RefCell::new(backend)),
+        }
+    }
+
+    /// A fresh default-configured backend over `num_vars` variables.
+    #[must_use]
+    pub fn with_vars(num_vars: usize) -> Self {
+        Self::new(B::with_vars(num_vars))
+    }
+
+    /// Read access to the raw backend, for backend-specific features
+    /// (structural introspection, statistics, serialization).
+    ///
+    /// # Panics
+    /// Panics if called while an operation is in flight (the backend is a
+    /// checked single borrow).
+    #[must_use]
+    pub fn backend(&self) -> Ref<'_, B> {
+        self.inner.borrow()
+    }
+
+    /// Mutable access to the raw backend (edge-level API, sifting knobs,
+    /// …). Dropping the guard before the next trait-level operation is the
+    /// caller's responsibility — the borrow is checked at runtime.
+    ///
+    /// # Panics
+    /// Panics if called while an operation is in flight.
+    #[must_use]
+    pub fn backend_mut(&self) -> RefMut<'_, B> {
+        self.inner.borrow_mut()
+    }
+
+    /// Pin a raw edge of this backend as an owned [`Function`] handle — the
+    /// bridge from the edge-level API into the protected handle world. The
+    /// edge must belong to this manager.
+    #[must_use]
+    pub fn lift(&self, edge: B::Edge) -> Function<B> {
+        let b = self.inner.borrow();
+        Function::register(b.root_registry(), edge, Rc::clone(&self.inner))
+    }
+
+    /// Register `e` as a handle, then run the handle-boundary hook (the
+    /// result is pinned before any latched collection can fire).
+    fn finish(&self, b: &mut B, e: B::Edge) -> Function<B> {
+        let f = Function::register(b.root_registry(), e, Rc::clone(&self.inner));
+        b.after_op();
+        f
+    }
+}
+
+/// An owned, reference-counted handle to a Boolean function of one backend
+/// — the generic implementation of [`BooleanFunction`].
+///
+/// The handle registers its edge in the backend's root registry on
+/// creation; `Clone` bumps the slot's refcount and `Drop` releases it, so
+/// everything a caller holds is visible to the collector by construction.
+/// `Drop`/`Clone` touch only the registry (never the backend cell), so
+/// handles may be dropped or cloned freely while an operation borrow is
+/// live.
+///
+/// Equality requires the same manager and compares the underlying edges,
+/// which — by canonicity — is function equality; handles of different
+/// managers always compare unequal.
+pub struct Function<B: RawManager> {
+    edge: B::Edge,
+    slot: u32,
+    roots: RootSet,
+    mgr: Rc<RefCell<B>>,
+}
+
+impl<B: RawManager> Function<B> {
+    fn register(roots: &RootSet, edge: B::Edge, mgr: Rc<RefCell<B>>) -> Self {
+        Function {
+            edge,
+            slot: roots.register(B::edge_bits(edge)),
+            roots: roots.clone(),
+            mgr,
+        }
+    }
+
+    /// The underlying raw edge (valid as long as this handle lives).
+    #[must_use]
+    pub fn edge(&self) -> B::Edge {
+        self.edge
+    }
+
+    /// Start a mutable operation on the owning backend: asserts that
+    /// `others` share the manager, then borrows it.
+    ///
+    /// The check is a real assert (one pointer compare per operand,
+    /// negligible next to any diagram operation): an edge interpreted
+    /// against the wrong backend's node table would silently denote a
+    /// different function, and the operator sugar makes mixing managers
+    /// an easy mistake to write.
+    fn op_ctx(&self, others: &[&Self]) -> (ManagerRef<B>, RefMut<'_, B>) {
+        assert!(
+            others.iter().all(|o| Rc::ptr_eq(&self.mgr, &o.mgr)),
+            "operands must come from the same manager"
+        );
+        let m = ManagerRef {
+            inner: Rc::clone(&self.mgr),
+        };
+        (m, self.mgr.borrow_mut())
+    }
+}
+
+impl<B: RawManager> Clone for Function<B> {
+    fn clone(&self) -> Self {
+        self.roots.retain(self.slot);
+        Function {
+            edge: self.edge,
+            slot: self.slot,
+            roots: self.roots.clone(),
+            mgr: Rc::clone(&self.mgr),
+        }
+    }
+}
+
+impl<B: RawManager> Drop for Function<B> {
+    fn drop(&mut self) {
+        self.roots.release(self.slot);
+    }
+}
+
+impl<B: RawManager> PartialEq for Function<B> {
+    /// Handles are equal iff they belong to the **same manager** and
+    /// denote the same canonical edge (which, by canonicity, is function
+    /// equality). Two managers hand out overlapping edge bit patterns for
+    /// unrelated functions, so the manager identity is part of the
+    /// comparison — without it, `m1.var(0) == m2.var(1)` could silently
+    /// hold.
+    fn eq(&self, other: &Self) -> bool {
+        Rc::ptr_eq(&self.mgr, &other.mgr) && self.edge == other.edge
+    }
+}
+
+impl<B: RawManager> Eq for Function<B> {}
+
+impl<B: RawManager> std::fmt::Debug for Function<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Function")
+            .field("edge", &self.edge)
+            .finish()
+    }
+}
+
+/// The manager half of the unified API: variable/constant creation plus
+/// GC and reordering control, generic over every backend.
+///
+/// Implemented once, for [`ManagerRef<B>`]; drivers written against this
+/// trait (`fn f<M: FunctionManager>(mgr: &M, …)`) monomorphize per backend
+/// — static dispatch, no trait objects.
+pub trait FunctionManager: Clone {
+    /// The owned function-handle type of this manager.
+    type Function: BooleanFunction<Manager = Self>;
+
+    /// Number of variables managed.
+    fn num_vars(&self) -> usize;
+
+    /// The constant function.
+    fn constant(&self, value: bool) -> Self::Function;
+
+    /// The positive literal of `var`.
+    ///
+    /// # Panics
+    /// Panics if `var >= num_vars()`.
+    fn var(&self, var: usize) -> Self::Function;
+
+    /// The negative literal of `var`.
+    ///
+    /// # Panics
+    /// Panics if `var >= num_vars()`.
+    fn nvar(&self, var: usize) -> Self::Function {
+        self.var(var).not()
+    }
+
+    /// Collect every node not reachable from a live handle; returns nodes
+    /// reclaimed.
+    fn gc(&self) -> usize;
+
+    /// Arm the automatic-GC latch (`0` disables); collections run at
+    /// operation boundaries, strictly after the result handle is
+    /// registered.
+    fn set_gc_threshold(&self, threshold: usize);
+
+    /// The automatic-GC threshold (`0` = disabled).
+    fn gc_threshold(&self) -> usize;
+
+    /// Currently stored nodes.
+    fn live_nodes(&self) -> usize;
+
+    /// Live handle slots registered with this manager.
+    fn external_roots(&self) -> usize;
+
+    /// Run Rudell sifting (tracing the handle registry), returning the
+    /// post-sift live node count — or `None` when the backend does not
+    /// support dynamic reordering (the parallel front-ends).
+    fn reorder(&self) -> Option<usize>;
+
+    /// Arm automatic reordering at a live-node threshold (no-op on
+    /// backends without dynamic reordering).
+    fn set_auto_reorder(&self, threshold: usize);
+
+    /// Collect and, when armed and past the threshold, reorder; `true`
+    /// when a reorder ran.
+    fn reorder_if_needed(&self) -> bool;
+
+    /// The garbage-collection opportunity generic drivers offer between
+    /// construction batches: reorder if armed, otherwise plain GC.
+    fn collect(&self) {
+        if !self.reorder_if_needed() {
+            self.gc();
+        }
+    }
+
+    /// Nodes reachable from any of `fns`, shared nodes counted once.
+    fn shared_node_count(&self, fns: &[Self::Function]) -> usize;
+
+    /// Graphviz DOT rendering of the diagrams rooted at `fns`.
+    fn to_dot(&self, fns: &[Self::Function], names: &[&str]) -> String;
+
+    /// Internal nodes per diagram level for the diagrams rooted at `fns`
+    /// (the log-output histogram); `None` when the backend has no
+    /// per-level view.
+    fn level_profile(&self, fns: &[Self::Function]) -> Option<Vec<usize>>;
+
+    /// The current variable order, top of the diagram first.
+    fn variable_order(&self) -> Vec<usize>;
+
+    /// One-line human-readable backend counter summary.
+    fn stats_line(&self) -> String;
+}
+
+/// The function half of the unified API: an owned handle with the full
+/// operation suite, generic over every backend.
+///
+/// All operations take `&self` — the handle knows its manager. On the
+/// concrete handle type [`Function<B>`] the usual `std::ops` sugar is
+/// available on handle *references*: `&f & &g`, `&f | &g`, `&f ^ &g` and
+/// `!&f`. (Code generic over `M: FunctionManager` uses the named methods —
+/// Rust does not propagate operator bounds through a trait.)
+pub trait BooleanFunction: Clone + PartialEq + std::fmt::Debug + Sized {
+    /// The manager type this handle belongs to.
+    type Manager: FunctionManager<Function = Self>;
+
+    /// A clone of the owning manager reference.
+    fn manager(&self) -> Self::Manager;
+
+    /// `self ⊗ g` for an arbitrary binary operator.
+    fn apply(&self, op: BoolOp, g: &Self) -> Self;
+
+    /// Complement (free — complement edges — and no collection point).
+    #[must_use]
+    fn not(&self) -> Self;
+
+    /// Conjunction.
+    fn and(&self, g: &Self) -> Self {
+        self.apply(BoolOp::AND, g)
+    }
+
+    /// Disjunction.
+    fn or(&self, g: &Self) -> Self {
+        self.apply(BoolOp::OR, g)
+    }
+
+    /// Exclusive or.
+    fn xor(&self, g: &Self) -> Self {
+        self.apply(BoolOp::XOR, g)
+    }
+
+    /// Biconditional.
+    fn xnor(&self, g: &Self) -> Self {
+        self.apply(BoolOp::XNOR, g)
+    }
+
+    /// Negated conjunction.
+    fn nand(&self, g: &Self) -> Self {
+        self.apply(BoolOp::NAND, g)
+    }
+
+    /// Negated disjunction.
+    fn nor(&self, g: &Self) -> Self {
+        self.apply(BoolOp::NOR, g)
+    }
+
+    /// Implication `¬self ∨ g`.
+    fn imp(&self, g: &Self) -> Self {
+        self.apply(BoolOp::IMPLIES, g)
+    }
+
+    /// If-then-else `self ? g : h`.
+    fn ite(&self, g: &Self, h: &Self) -> Self;
+
+    /// Existential cube quantification `∃ vars . self`.
+    ///
+    /// # Panics
+    /// Panics if any variable index is out of range.
+    fn exists(&self, vars: &[usize]) -> Self;
+
+    /// Universal cube quantification `∀ vars . self`.
+    ///
+    /// # Panics
+    /// Panics if any variable index is out of range.
+    fn forall(&self, vars: &[usize]) -> Self;
+
+    /// Fused relational product `∃ vars . (self ∧ g)` — never materializes
+    /// the conjunction.
+    ///
+    /// # Panics
+    /// Panics if any variable index is out of range.
+    fn and_exists(&self, g: &Self, vars: &[usize]) -> Self;
+
+    /// Restriction `self|_{var = value}`.
+    ///
+    /// # Panics
+    /// Panics if `var` is out of range.
+    fn restrict(&self, var: usize, value: bool) -> Self;
+
+    /// Substitution `self[var := g]`.
+    ///
+    /// # Panics
+    /// Panics if `var` is out of range.
+    fn compose(&self, var: usize, g: &Self) -> Self;
+
+    /// Simultaneous substitution: `subs[v]` replaces variable `v`, `None`
+    /// entries stay untouched.
+    ///
+    /// # Panics
+    /// Panics if `subs` is longer than `num_vars()`.
+    fn vector_compose(&self, subs: &[Option<Self>]) -> Self;
+
+    /// The Shannon cofactor pair `(self|_{var=1}, self|_{var=0})`.
+    ///
+    /// # Panics
+    /// Panics if `var` is out of range.
+    fn cofactors(&self, var: usize) -> (Self, Self);
+
+    /// Evaluate under a full assignment (`assignment[v]` = value of
+    /// variable `v`).
+    fn eval(&self, assignment: &[bool]) -> bool;
+
+    /// Exact number of satisfying assignments over all manager variables.
+    fn sat_count(&self) -> u128;
+
+    /// One satisfying assignment, or `None` for constant false.
+    fn any_sat(&self) -> Option<Vec<bool>>;
+
+    /// Up to `limit` satisfying assignments.
+    fn all_sat(&self, limit: usize) -> Vec<Vec<bool>>;
+
+    /// Nodes reachable from this function.
+    fn node_count(&self) -> usize;
+
+    /// Variables this function depends on, ascending.
+    fn support(&self) -> Vec<usize>;
+
+    /// Is this the constant-true function?
+    fn is_true(&self) -> bool;
+
+    /// Is this the constant-false function?
+    fn is_false(&self) -> bool;
+
+    /// Is this a constant function?
+    fn is_constant(&self) -> bool {
+        self.is_true() || self.is_false()
+    }
+}
+
+impl<B: RawManager> FunctionManager for ManagerRef<B> {
+    type Function = Function<B>;
+
+    fn num_vars(&self) -> usize {
+        self.inner.borrow().num_vars()
+    }
+
+    fn constant(&self, value: bool) -> Function<B> {
+        let e = self.inner.borrow().constant_edge(value);
+        self.lift(e)
+    }
+
+    fn var(&self, var: usize) -> Function<B> {
+        let mut b = self.inner.borrow_mut();
+        let e = b.var_edge(var);
+        self.finish(&mut b, e)
+    }
+
+    fn gc(&self) -> usize {
+        self.inner.borrow_mut().gc()
+    }
+
+    fn set_gc_threshold(&self, threshold: usize) {
+        self.inner.borrow_mut().set_gc_threshold(threshold);
+    }
+
+    fn gc_threshold(&self) -> usize {
+        self.inner.borrow().gc_threshold()
+    }
+
+    fn live_nodes(&self) -> usize {
+        self.inner.borrow().live_nodes()
+    }
+
+    fn external_roots(&self) -> usize {
+        self.inner.borrow().root_registry().len()
+    }
+
+    fn reorder(&self) -> Option<usize> {
+        self.inner.borrow_mut().try_sift()
+    }
+
+    fn set_auto_reorder(&self, threshold: usize) {
+        self.inner.borrow_mut().set_auto_reorder(threshold);
+    }
+
+    fn reorder_if_needed(&self) -> bool {
+        self.inner.borrow_mut().reorder_if_needed()
+    }
+
+    fn shared_node_count(&self, fns: &[Function<B>]) -> usize {
+        let edges: Vec<B::Edge> = fns.iter().map(Function::edge).collect();
+        self.inner.borrow().shared_node_count_edges(&edges)
+    }
+
+    fn to_dot(&self, fns: &[Function<B>], names: &[&str]) -> String {
+        let edges: Vec<B::Edge> = fns.iter().map(Function::edge).collect();
+        self.inner.borrow().to_dot_edges(&edges, names)
+    }
+
+    fn level_profile(&self, fns: &[Function<B>]) -> Option<Vec<usize>> {
+        let edges: Vec<B::Edge> = fns.iter().map(Function::edge).collect();
+        self.inner.borrow().level_profile_edges(&edges)
+    }
+
+    fn variable_order(&self) -> Vec<usize> {
+        self.inner.borrow().variable_order()
+    }
+
+    fn stats_line(&self) -> String {
+        self.inner.borrow().stats_line()
+    }
+}
+
+impl<B: RawManager> BooleanFunction for Function<B> {
+    type Manager = ManagerRef<B>;
+
+    fn manager(&self) -> ManagerRef<B> {
+        ManagerRef {
+            inner: Rc::clone(&self.mgr),
+        }
+    }
+
+    fn apply(&self, op: BoolOp, g: &Self) -> Self {
+        let (m, mut b) = self.op_ctx(&[g]);
+        let e = b.apply_edge(op, self.edge, g.edge);
+        m.finish(&mut b, e)
+    }
+
+    fn not(&self) -> Self {
+        // Complement edges make negation free; no op boundary needed.
+        Function {
+            edge: !self.edge,
+            slot: self.roots.register(B::edge_bits(!self.edge)),
+            roots: self.roots.clone(),
+            mgr: Rc::clone(&self.mgr),
+        }
+    }
+
+    fn ite(&self, g: &Self, h: &Self) -> Self {
+        let (m, mut b) = self.op_ctx(&[g, h]);
+        let e = b.ite_edge(self.edge, g.edge, h.edge);
+        m.finish(&mut b, e)
+    }
+
+    fn exists(&self, vars: &[usize]) -> Self {
+        let (m, mut b) = self.op_ctx(&[]);
+        let e = b.exists_edge(self.edge, vars);
+        m.finish(&mut b, e)
+    }
+
+    fn forall(&self, vars: &[usize]) -> Self {
+        let (m, mut b) = self.op_ctx(&[]);
+        let e = b.forall_edge(self.edge, vars);
+        m.finish(&mut b, e)
+    }
+
+    fn and_exists(&self, g: &Self, vars: &[usize]) -> Self {
+        let (m, mut b) = self.op_ctx(&[g]);
+        let e = b.and_exists_edge(self.edge, g.edge, vars);
+        m.finish(&mut b, e)
+    }
+
+    fn restrict(&self, var: usize, value: bool) -> Self {
+        let (m, mut b) = self.op_ctx(&[]);
+        let e = b.restrict_edge(self.edge, var, value);
+        m.finish(&mut b, e)
+    }
+
+    fn compose(&self, var: usize, g: &Self) -> Self {
+        let (m, mut b) = self.op_ctx(&[g]);
+        let e = b.compose_edge(self.edge, var, g.edge);
+        m.finish(&mut b, e)
+    }
+
+    fn vector_compose(&self, subs: &[Option<Self>]) -> Self {
+        let edges: Vec<Option<B::Edge>> = subs
+            .iter()
+            .map(|s| s.as_ref().map(Function::edge))
+            .collect();
+        let (m, mut b) = self.op_ctx(&[]);
+        let e = b.vector_compose_edge(self.edge, &edges);
+        m.finish(&mut b, e)
+    }
+
+    fn cofactors(&self, var: usize) -> (Self, Self) {
+        let (m, mut b) = self.op_ctx(&[]);
+        // Both restrictions complete before the shared op boundary: no
+        // collection can run between them, so the first raw edge stays
+        // valid while the second is computed.
+        let hi = b.restrict_edge(self.edge, var, true);
+        let lo = b.restrict_edge(self.edge, var, false);
+        let hi = Function::register(b.root_registry(), hi, Rc::clone(&self.mgr));
+        let lo = m.finish(&mut b, lo);
+        (hi, lo)
+    }
+
+    fn eval(&self, assignment: &[bool]) -> bool {
+        self.mgr.borrow().eval_edge(self.edge, assignment)
+    }
+
+    fn sat_count(&self) -> u128 {
+        self.mgr.borrow().sat_count_edge(self.edge)
+    }
+
+    fn any_sat(&self) -> Option<Vec<bool>> {
+        self.mgr.borrow().any_sat_edge(self.edge)
+    }
+
+    fn all_sat(&self, limit: usize) -> Vec<Vec<bool>> {
+        self.mgr.borrow().all_sat_edge(self.edge, limit)
+    }
+
+    fn node_count(&self) -> usize {
+        self.mgr.borrow().node_count_edge(self.edge)
+    }
+
+    fn support(&self) -> Vec<usize> {
+        self.mgr.borrow_mut().support_edge(self.edge)
+    }
+
+    fn is_true(&self) -> bool {
+        self.edge == self.mgr.borrow().constant_edge(true)
+    }
+
+    fn is_false(&self) -> bool {
+        self.edge == self.mgr.borrow().constant_edge(false)
+    }
+}
+
+impl<B: RawManager> std::ops::Not for &Function<B> {
+    type Output = Function<B>;
+
+    fn not(self) -> Function<B> {
+        BooleanFunction::not(self)
+    }
+}
+
+impl<B: RawManager> std::ops::BitAnd for &Function<B> {
+    type Output = Function<B>;
+
+    fn bitand(self, rhs: Self) -> Function<B> {
+        self.and(rhs)
+    }
+}
+
+impl<B: RawManager> std::ops::BitOr for &Function<B> {
+    type Output = Function<B>;
+
+    fn bitor(self, rhs: Self) -> Function<B> {
+        self.or(rhs)
+    }
+}
+
+impl<B: RawManager> std::ops::BitXor for &Function<B> {
+    type Output = Function<B>;
+
+    fn bitxor(self, rhs: Self) -> Function<B> {
+        self.xor(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 6-variable truth-table backend: the minimal [`RawManager`]
+    /// implementation, doubling as the in-crate test double for the whole
+    /// generic layer (the real backends are exercised by the workspace
+    /// conformance suite).
+    #[derive(Debug, Default)]
+    struct TtBackend {
+        roots: RootSet,
+        gc_threshold: usize,
+    }
+
+    const N: usize = 6;
+
+    /// An edge is the function's 64-row truth table; row `m` holds the
+    /// value under the assignment with variable `v` = bit `v` of `m`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    struct Tt(u64);
+
+    impl std::ops::Not for Tt {
+        type Output = Tt;
+        fn not(self) -> Tt {
+            Tt(!self.0)
+        }
+    }
+
+    fn var_table(v: usize) -> u64 {
+        let mut w = 0u64;
+        for m in 0..64u64 {
+            if (m >> v) & 1 == 1 {
+                w |= 1 << m;
+            }
+        }
+        w
+    }
+
+    fn restrict_table(t: u64, var: usize, value: bool) -> u64 {
+        let vt = var_table(var);
+        let keep = if value { t & vt } else { t & !vt };
+        // Mirror the kept half onto the other polarity of `var`.
+        let stride = 1u64 << var;
+        if value {
+            keep | (keep >> stride)
+        } else {
+            keep | (keep << stride)
+        }
+    }
+
+    impl RawManager for TtBackend {
+        type Edge = Tt;
+
+        fn with_vars(num_vars: usize) -> Self {
+            assert_eq!(num_vars, N, "test backend is fixed at 6 variables");
+            TtBackend::default()
+        }
+
+        fn num_vars(&self) -> usize {
+            N
+        }
+
+        fn root_registry(&self) -> &RootSet {
+            &self.roots
+        }
+
+        fn edge_bits(e: Tt) -> u64 {
+            e.0
+        }
+
+        fn constant_edge(&self, value: bool) -> Tt {
+            Tt(if value { !0 } else { 0 })
+        }
+
+        fn var_edge(&mut self, var: usize) -> Tt {
+            assert!(var < N);
+            Tt(var_table(var))
+        }
+
+        fn apply_edge(&mut self, op: BoolOp, f: Tt, g: Tt) -> Tt {
+            let mut out = 0u64;
+            for m in 0..64 {
+                if op.eval((f.0 >> m) & 1 == 1, (g.0 >> m) & 1 == 1) {
+                    out |= 1 << m;
+                }
+            }
+            Tt(out)
+        }
+
+        fn ite_edge(&mut self, f: Tt, g: Tt, h: Tt) -> Tt {
+            Tt((f.0 & g.0) | (!f.0 & h.0))
+        }
+
+        fn exists_edge(&mut self, f: Tt, vars: &[usize]) -> Tt {
+            let mut t = f.0;
+            for &v in vars {
+                t = restrict_table(t, v, true) | restrict_table(t, v, false);
+            }
+            Tt(t)
+        }
+
+        fn forall_edge(&mut self, f: Tt, vars: &[usize]) -> Tt {
+            let mut t = f.0;
+            for &v in vars {
+                t = restrict_table(t, v, true) & restrict_table(t, v, false);
+            }
+            Tt(t)
+        }
+
+        fn and_exists_edge(&mut self, f: Tt, g: Tt, vars: &[usize]) -> Tt {
+            self.exists_edge(Tt(f.0 & g.0), vars)
+        }
+
+        fn restrict_edge(&mut self, f: Tt, var: usize, value: bool) -> Tt {
+            Tt(restrict_table(f.0, var, value))
+        }
+
+        fn compose_edge(&mut self, f: Tt, var: usize, g: Tt) -> Tt {
+            let hi = restrict_table(f.0, var, true);
+            let lo = restrict_table(f.0, var, false);
+            Tt((g.0 & hi) | (!g.0 & lo))
+        }
+
+        fn vector_compose_edge(&mut self, f: Tt, subs: &[Option<Tt>]) -> Tt {
+            // Simultaneous: evaluate row-by-row against the substituted
+            // inputs.
+            let mut out = 0u64;
+            for m in 0..64u64 {
+                let mut row = 0usize;
+                for v in 0..N {
+                    let bit = match subs.get(v).copied().flatten() {
+                        Some(g) => (g.0 >> m) & 1 == 1,
+                        None => (m >> v) & 1 == 1,
+                    };
+                    if bit {
+                        row |= 1 << v;
+                    }
+                }
+                if (f.0 >> row) & 1 == 1 {
+                    out |= 1 << m;
+                }
+            }
+            Tt(out)
+        }
+
+        fn eval_edge(&self, f: Tt, assignment: &[bool]) -> bool {
+            let mut m = 0usize;
+            for (v, &bit) in assignment.iter().enumerate().take(N) {
+                if bit {
+                    m |= 1 << v;
+                }
+            }
+            (f.0 >> m) & 1 == 1
+        }
+
+        fn sat_count_edge(&self, f: Tt) -> u128 {
+            u128::from(f.0.count_ones())
+        }
+
+        fn any_sat_edge(&self, f: Tt) -> Option<Vec<bool>> {
+            if f.0 == 0 {
+                return None;
+            }
+            let m = f.0.trailing_zeros() as usize;
+            Some((0..N).map(|v| (m >> v) & 1 == 1).collect())
+        }
+
+        fn all_sat_edge(&self, f: Tt, limit: usize) -> Vec<Vec<bool>> {
+            (0..64usize)
+                .filter(|m| (f.0 >> m) & 1 == 1)
+                .take(limit)
+                .map(|m| (0..N).map(|v| (m >> v) & 1 == 1).collect())
+                .collect()
+        }
+
+        fn node_count_edge(&self, f: Tt) -> usize {
+            usize::from(f.0 != 0 && f.0 != !0)
+        }
+
+        fn shared_node_count_edges(&self, roots: &[Tt]) -> usize {
+            roots.iter().map(|&e| self.node_count_edge(e)).sum()
+        }
+
+        fn support_edge(&mut self, f: Tt) -> Vec<usize> {
+            (0..N)
+                .filter(|&v| restrict_table(f.0, v, true) != restrict_table(f.0, v, false))
+                .collect()
+        }
+
+        fn to_dot_edges(&self, _roots: &[Tt], _names: &[&str]) -> String {
+            String::new()
+        }
+
+        fn after_op(&mut self) {}
+
+        fn gc(&mut self) -> usize {
+            0
+        }
+
+        fn set_gc_threshold(&mut self, threshold: usize) {
+            self.gc_threshold = threshold;
+        }
+
+        fn gc_threshold(&self) -> usize {
+            self.gc_threshold
+        }
+
+        fn live_nodes(&self) -> usize {
+            0
+        }
+
+        fn try_sift(&mut self) -> Option<usize> {
+            None
+        }
+
+        fn variable_order(&self) -> Vec<usize> {
+            (0..N).collect()
+        }
+
+        fn stats_line(&self) -> String {
+            "tt backend".to_string()
+        }
+    }
+
+    type M = ManagerRef<TtBackend>;
+
+    #[test]
+    fn operators_and_named_ops_agree_with_tables() {
+        let mgr = M::with_vars(N);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        assert_eq!((&a & &b).edge().0, var_table(0) & var_table(1));
+        assert_eq!((&a | &b).edge().0, var_table(0) | var_table(1));
+        assert_eq!((&a ^ &b).edge().0, var_table(0) ^ var_table(1));
+        assert_eq!((!&a).edge().0, !var_table(0));
+        assert_eq!(a.xnor(&b).edge().0, !(var_table(0) ^ var_table(1)));
+        assert_eq!(a.imp(&b).edge().0, !var_table(0) | var_table(1));
+        assert_eq!(a.nand(&b), !&(&a & &b));
+        assert_eq!(a.nor(&b), !&(&a | &b));
+    }
+
+    #[test]
+    fn quantification_composition_and_queries() {
+        let mgr = M::with_vars(N);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let c = mgr.var(2);
+        let f = &(&a & &b) | &c;
+        assert_eq!(f.exists(&[0]).edge().0, var_table(1) | var_table(2));
+        assert_eq!(f.forall(&[2]).edge().0, var_table(0) & var_table(1));
+        assert_eq!(
+            a.and_exists(&b, &[1]),
+            (&a & &b).exists(&[1]),
+            "fused = materialized"
+        );
+        let (hi, lo) = f.cofactors(0);
+        assert_eq!(hi.edge().0, var_table(1) | var_table(2));
+        assert_eq!(lo, c);
+        assert_eq!(f.compose(0, &c), f.vector_compose(&[Some(c.clone())]));
+        assert_eq!(f.support(), vec![0, 1, 2]);
+        assert_eq!(
+            f.sat_count(),
+            (var_table(0) & var_table(1) | var_table(2))
+                .count_ones()
+                .into()
+        );
+        let m = f.any_sat().expect("satisfiable");
+        assert!(f.eval(&m));
+        assert_eq!(f.all_sat(7).len(), 7);
+        assert!(mgr.constant(true).is_true());
+        assert!(mgr.constant(false).is_false());
+        assert!(!f.is_constant());
+        assert_eq!(mgr.nvar(3), !&mgr.var(3));
+    }
+
+    #[test]
+    fn handles_track_the_root_registry() {
+        let mgr = M::with_vars(N);
+        assert_eq!(mgr.external_roots(), 0);
+        let a = mgr.var(0);
+        let b = a.clone();
+        assert_eq!(mgr.external_roots(), 1, "clones share one slot");
+        let c = !&a;
+        assert_eq!(mgr.external_roots(), 2);
+        drop(a);
+        assert_eq!(mgr.external_roots(), 2, "clone keeps the slot");
+        drop(b);
+        drop(c);
+        assert_eq!(mgr.external_roots(), 0);
+    }
+
+    #[test]
+    fn handles_of_different_managers_never_compare_equal() {
+        let m1 = M::with_vars(N);
+        let m2 = M::with_vars(N);
+        // Identical functions, identical edge bits — but distinct
+        // backends, so equality must not hold.
+        assert_ne!(m1.var(0), m2.var(0));
+        assert_ne!(m1.constant(true), m2.constant(true));
+        assert_eq!(m1.var(0), m1.var(0), "same manager still compares");
+    }
+
+    #[test]
+    fn manager_round_trips_through_handles() {
+        let mgr = M::with_vars(N);
+        let f = mgr.var(4);
+        let m2 = f.manager();
+        assert_eq!(m2.num_vars(), N);
+        let g = m2.var(4);
+        assert_eq!(f, g, "same backend behind both references");
+        assert!(mgr.reorder().is_none());
+        assert!(!mgr.reorder_if_needed());
+        mgr.collect();
+        mgr.set_gc_threshold(7);
+        assert_eq!(mgr.gc_threshold(), 7);
+        assert_eq!(mgr.variable_order(), (0..N).collect::<Vec<_>>());
+        let e = f.edge();
+        let lifted = mgr.lift(e);
+        assert_eq!(lifted, f);
+    }
+}

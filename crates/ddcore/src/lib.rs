@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod boolop;
 pub mod cache;
 pub mod cantor;
@@ -51,6 +52,7 @@ pub mod roots;
 pub mod stats;
 pub mod table;
 
+pub use api::{BooleanFunction, Function, FunctionManager, ManagerRef, RawManager};
 pub use boolop::{BoolOp, Unary};
 pub use cache::{CacheStats, ComputedCache};
 pub use cantor::{cantor_pair, CantorHasher, HashArrangement};

@@ -213,6 +213,31 @@ impl RootSet {
         self.snapshot_into(&mut out);
         out
     }
+
+    /// Register `bits` and return an RAII guard releasing the slot on
+    /// drop — the low-level pin behind the managers' `pin(edge)` methods
+    /// (the owned-handle layer in `ddcore::api` adds manager access and
+    /// refcounted cloning on top of the same slot mechanism).
+    #[must_use]
+    pub fn guard(&self, bits: u64) -> RootGuard {
+        RootGuard {
+            slot: self.register(bits),
+            roots: self.clone(),
+        }
+    }
+}
+
+/// An RAII pin of one registered root slot (see [`RootSet::guard`]).
+#[derive(Debug)]
+pub struct RootGuard {
+    slot: u32,
+    roots: RootSet,
+}
+
+impl Drop for RootGuard {
+    fn drop(&mut self) {
+        self.roots.release(self.slot);
+    }
 }
 
 #[cfg(test)]

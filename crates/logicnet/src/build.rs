@@ -1,251 +1,68 @@
-//! Building decision diagrams (or any Boolean algebra) from a network.
+//! Building decision diagrams from a network, generically over every
+//! manager in the workspace.
 //!
-//! [`BoolAlgebra`] abstracts the handful of operations a topological
-//! traversal needs; it is implemented for [`bbdd::Bbdd`], [`robdd::Robdd`]
-//! and a bit-parallel truth-table algebra used for equivalence checks, so
-//! the same walk drives every backend — exactly how the paper feeds one
-//! benchmark network to both packages.
+//! The topological traversal is written **once**, against the
+//! [`FunctionManager`] / [`BooleanFunction`] trait pair of
+//! [`ddcore::api`], and therefore runs unchanged on `bbdd::BbddManager`,
+//! `robdd::RobddManager` and both parallel front-ends — exactly how the
+//! paper feeds one benchmark network to both packages. (The ad-hoc
+//! `BoolAlgebra` trait this replaces declared the same handful of
+//! operations a third time; the word-level simulation that also used it
+//! lives in [`crate::sim::simulate_words`] now.)
 //!
-//! The decision-diagram backends represent functions as **owned handles**
-//! ([`bbdd::BbddFn`] / [`robdd::RobddFn`]): every wire the builder still
-//! holds is a registered GC root, so the backend's collection opportunities
-//! ([`BoolAlgebra::collect`]) can never reclaim a function some caller
+//! Every wire the builder holds is an owned handle and therefore a
+//! registered GC root, so the backend's collection opportunities
+//! ([`FunctionManager::collect`]) can never reclaim a function some caller
 //! still needs. The old design — a caller-maintained liveness list —
 //! shipped exactly the bug it invites (a ≥1024-gate network compared
 //! unequal to *itself* when the CEC driver forgot a root); with handles
 //! the bug class is unrepresentable.
 
 use crate::ir::{GateOp, Network};
-
-/// A Boolean function algebra a network can be interpreted into.
-///
-/// `Repr` is `Clone`, not `Copy`: decision-diagram backends hand out
-/// reference-counted handles whose clones bump a registry slot, which is
-/// what makes every held wire visible to the backend's garbage collector.
-pub trait BoolAlgebra {
-    /// Function handles (owned DD handles, truth-table words, …).
-    type Repr: Clone;
-
-    /// The constant function.
-    fn constant(&mut self, value: bool) -> Self::Repr;
-    /// The `idx`-th primary input (position in `Network::inputs()`).
-    fn input(&mut self, idx: usize) -> Self::Repr;
-    /// Complement.
-    fn not(&mut self, a: &Self::Repr) -> Self::Repr;
-    /// Conjunction.
-    fn and2(&mut self, a: &Self::Repr, b: &Self::Repr) -> Self::Repr;
-    /// Disjunction.
-    fn or2(&mut self, a: &Self::Repr, b: &Self::Repr) -> Self::Repr;
-    /// Parity.
-    fn xor2(&mut self, a: &Self::Repr, b: &Self::Repr) -> Self::Repr;
-
-    /// Multiplexer; backends with a native `ite` should override.
-    fn mux(&mut self, s: &Self::Repr, a: &Self::Repr, b: &Self::Repr) -> Self::Repr {
-        let t1 = self.and2(s, a);
-        let ns = self.not(s);
-        let t2 = self.and2(&ns, b);
-        self.or2(&t1, &t2)
-    }
-
-    /// Reclaim intermediate storage (a garbage-collection hook; default
-    /// no-op). Liveness is the backend's business — for the DD managers
-    /// every outstanding handle is a registered root, so there is no list
-    /// of survivors to pass and none to forget.
-    fn collect(&mut self) {}
-}
-
-impl BoolAlgebra for bbdd::Bbdd {
-    type Repr = bbdd::BbddFn;
-
-    fn constant(&mut self, value: bool) -> Self::Repr {
-        self.const_fn(value)
-    }
-
-    fn input(&mut self, idx: usize) -> Self::Repr {
-        self.var_fn(idx)
-    }
-
-    fn not(&mut self, a: &Self::Repr) -> Self::Repr {
-        self.not_fn(a)
-    }
-
-    fn and2(&mut self, a: &Self::Repr, b: &Self::Repr) -> Self::Repr {
-        self.and_fn(a, b)
-    }
-
-    fn or2(&mut self, a: &Self::Repr, b: &Self::Repr) -> Self::Repr {
-        self.or_fn(a, b)
-    }
-
-    fn xor2(&mut self, a: &Self::Repr, b: &Self::Repr) -> Self::Repr {
-        self.xor_fn(a, b)
-    }
-
-    fn mux(&mut self, s: &Self::Repr, a: &Self::Repr, b: &Self::Repr) -> Self::Repr {
-        self.ite_fn(s, a, b)
-    }
-
-    fn collect(&mut self) {
-        if !self.reorder_if_needed() {
-            self.gc();
-        }
-    }
-}
-
-impl BoolAlgebra for bbdd::ParBbdd {
-    type Repr = bbdd::BbddFn;
-
-    fn constant(&mut self, value: bool) -> Self::Repr {
-        self.const_fn(value)
-    }
-
-    fn input(&mut self, idx: usize) -> Self::Repr {
-        self.var_fn(idx)
-    }
-
-    fn not(&mut self, a: &Self::Repr) -> Self::Repr {
-        self.not_fn(a)
-    }
-
-    fn and2(&mut self, a: &Self::Repr, b: &Self::Repr) -> Self::Repr {
-        self.and_fn(a, b)
-    }
-
-    fn or2(&mut self, a: &Self::Repr, b: &Self::Repr) -> Self::Repr {
-        self.or_fn(a, b)
-    }
-
-    fn xor2(&mut self, a: &Self::Repr, b: &Self::Repr) -> Self::Repr {
-        self.xor_fn(a, b)
-    }
-
-    fn mux(&mut self, s: &Self::Repr, a: &Self::Repr, b: &Self::Repr) -> Self::Repr {
-        self.ite_fn(s, a, b)
-    }
-
-    fn collect(&mut self) {
-        // Plain GC (no auto-reordering hook): the parallel manager's
-        // history must stay a deterministic function of the op sequence.
-        bbdd::ParBbdd::collect(self);
-    }
-}
-
-impl BoolAlgebra for robdd::ParRobdd {
-    type Repr = robdd::RobddFn;
-
-    fn constant(&mut self, value: bool) -> Self::Repr {
-        self.const_fn(value)
-    }
-
-    fn input(&mut self, idx: usize) -> Self::Repr {
-        self.var_fn(idx)
-    }
-
-    fn not(&mut self, a: &Self::Repr) -> Self::Repr {
-        self.not_fn(a)
-    }
-
-    fn and2(&mut self, a: &Self::Repr, b: &Self::Repr) -> Self::Repr {
-        self.and_fn(a, b)
-    }
-
-    fn or2(&mut self, a: &Self::Repr, b: &Self::Repr) -> Self::Repr {
-        self.or_fn(a, b)
-    }
-
-    fn xor2(&mut self, a: &Self::Repr, b: &Self::Repr) -> Self::Repr {
-        self.xor_fn(a, b)
-    }
-
-    fn mux(&mut self, s: &Self::Repr, a: &Self::Repr, b: &Self::Repr) -> Self::Repr {
-        self.ite_fn(s, a, b)
-    }
-
-    fn collect(&mut self) {
-        robdd::ParRobdd::collect(self);
-    }
-}
-
-impl BoolAlgebra for robdd::Robdd {
-    type Repr = robdd::RobddFn;
-
-    fn constant(&mut self, value: bool) -> Self::Repr {
-        self.const_fn(value)
-    }
-
-    fn input(&mut self, idx: usize) -> Self::Repr {
-        self.var_fn(idx)
-    }
-
-    fn not(&mut self, a: &Self::Repr) -> Self::Repr {
-        self.not_fn(a)
-    }
-
-    fn and2(&mut self, a: &Self::Repr, b: &Self::Repr) -> Self::Repr {
-        self.and_fn(a, b)
-    }
-
-    fn or2(&mut self, a: &Self::Repr, b: &Self::Repr) -> Self::Repr {
-        self.or_fn(a, b)
-    }
-
-    fn xor2(&mut self, a: &Self::Repr, b: &Self::Repr) -> Self::Repr {
-        self.xor_fn(a, b)
-    }
-
-    fn mux(&mut self, s: &Self::Repr, a: &Self::Repr, b: &Self::Repr) -> Self::Repr {
-        self.ite_fn(s, a, b)
-    }
-
-    fn collect(&mut self) {
-        self.gc();
-    }
-}
+use ddcore::api::{BooleanFunction, FunctionManager};
 
 /// Gate-count interval between garbage-collection / dynamic-reordering
 /// opportunities while building large networks.
 const GC_STRIDE: usize = 1024;
 
-/// Interpret `net` into `alg`, returning one representation per output
+/// Interpret `net` into `mgr`, returning one function handle per output
 /// port (in `Network::outputs()` order).
 ///
-/// Input `i` of the network is mapped to algebra input `i`; for the
-/// decision-diagram backends that means network inputs bind to manager
-/// variables in declaration order — "the initial order provided in the
-/// file" of the paper's experimental setup.
+/// Input `i` of the network is mapped to manager variable `i` — network
+/// inputs bind to variables in declaration order, "the initial order
+/// provided in the file" of the paper's experimental setup.
 ///
 /// # Panics
-/// Panics if the network fails [`Network::check`].
-pub fn build_network<A: BoolAlgebra>(alg: &mut A, net: &Network) -> Vec<A::Repr> {
-    let inputs: Vec<A::Repr> = (0..net.num_inputs()).map(|i| alg.input(i)).collect();
-    build_network_with_inputs(alg, net, &inputs)
+/// Panics if the network fails [`Network::check`] or has more inputs than
+/// the manager has variables.
+pub fn build_network<M: FunctionManager>(mgr: &M, net: &Network) -> Vec<M::Function> {
+    let inputs: Vec<M::Function> = (0..net.num_inputs()).map(|i| mgr.var(i)).collect();
+    build_network_with_inputs(mgr, net, &inputs)
 }
 
-/// Interpret `net` into `alg` with pre-bound input handles: network input
-/// `i` reads `inputs[i]` instead of `alg.input(i)`.
+/// Interpret `net` into `mgr` with pre-bound input handles: network input
+/// `i` reads `inputs[i]` instead of `mgr.var(i)`.
 ///
 /// This is how the equivalence checker ([`crate::cec`]) builds two
 /// networks over *one* variable space, aligning their inputs by name even
 /// when the declaration orders differ. Functions built *before* this call
 /// need no protection from the builder's periodic garbage-collection
-/// opportunities: their owned handles are registered roots, so (unlike the
-/// explicit root-list parameter this function used to take) there is no
-/// liveness list for a caller to get wrong.
+/// opportunities: their owned handles are registered roots.
 ///
 /// # Panics
 /// Panics if the network fails [`Network::check`] or `inputs` is shorter
 /// than the network's input list.
-pub fn build_network_with_inputs<A: BoolAlgebra>(
-    alg: &mut A,
+pub fn build_network_with_inputs<M: FunctionManager>(
+    mgr: &M,
     net: &Network,
-    inputs: &[A::Repr],
-) -> Vec<A::Repr> {
+    inputs: &[M::Function],
+) -> Vec<M::Function> {
     net.check().expect("network must be structurally valid");
     assert!(
         inputs.len() >= net.num_inputs(),
         "one pre-bound handle per network input required"
     );
-    let mut wire: Vec<Option<A::Repr>> = vec![None; net.num_signals()];
+    let mut wire: Vec<Option<M::Function>> = vec![None; net.num_signals()];
     for (i, s) in net.inputs().iter().enumerate() {
         wire[s.index()] = Some(inputs[i].clone());
     }
@@ -268,7 +85,7 @@ pub fn build_network_with_inputs<A: BoolAlgebra>(
         // Borrow the fan-in handles straight out of the wire table —
         // cloning them would cost a registry refcount round-trip per pin,
         // which adds up on micro builds.
-        let ins: Vec<&A::Repr> = g
+        let ins: Vec<&M::Function> = g
             .inputs
             .iter()
             .map(|s| wire[s.index()].as_ref().expect("topological order"))
@@ -280,51 +97,50 @@ pub fn build_network_with_inputs<A: BoolAlgebra>(
                 if $ins.len() == 1 {
                     $ins[0].clone()
                 } else {
-                    let mut acc = alg.$op($ins[0], $ins[1]);
+                    let mut acc = $ins[0].$op($ins[1]);
                     for x in &$ins[2..] {
-                        acc = alg.$op(&acc, x);
+                        acc = acc.$op(x);
                     }
                     acc
                 }
             };
         }
         let out = match g.op {
-            GateOp::Const0 => alg.constant(false),
-            GateOp::Const1 => alg.constant(true),
+            GateOp::Const0 => mgr.constant(false),
+            GateOp::Const1 => mgr.constant(true),
             GateOp::Buf => ins[0].clone(),
-            GateOp::Not => alg.not(ins[0]),
+            GateOp::Not => ins[0].not(),
             GateOp::And | GateOp::Nand => {
-                let acc = fold!(and2, ins);
+                let acc = fold!(and, ins);
                 if g.op == GateOp::Nand {
-                    alg.not(&acc)
+                    acc.not()
                 } else {
                     acc
                 }
             }
             GateOp::Or | GateOp::Nor => {
-                let acc = fold!(or2, ins);
+                let acc = fold!(or, ins);
                 if g.op == GateOp::Nor {
-                    alg.not(&acc)
+                    acc.not()
                 } else {
                     acc
                 }
             }
             GateOp::Xor | GateOp::Xnor => {
-                let acc = fold!(xor2, ins);
+                let acc = fold!(xor, ins);
                 if g.op == GateOp::Xnor {
-                    alg.not(&acc)
+                    acc.not()
                 } else {
                     acc
                 }
             }
             GateOp::Maj => {
-                let ab = alg.and2(ins[0], ins[1]);
-                let bc = alg.and2(ins[1], ins[2]);
-                let ac = alg.and2(ins[0], ins[2]);
-                let t = alg.or2(&ab, &bc);
-                alg.or2(&t, &ac)
+                let ab = ins[0].and(ins[1]);
+                let bc = ins[1].and(ins[2]);
+                let ac = ins[0].and(ins[2]);
+                ab.or(&bc).or(&ac)
             }
-            GateOp::Mux => alg.mux(ins[0], ins[1], ins[2]),
+            GateOp::Mux => ins[0].ite(ins[1], ins[2]),
         };
         wire[g.output.index()] = Some(out);
         // Drop dead intermediates (their handles release the registry
@@ -335,7 +151,7 @@ pub fn build_network_with_inputs<A: BoolAlgebra>(
                     *slot = None;
                 }
             }
-            alg.collect();
+            mgr.collect();
         }
     }
     net.outputs()
@@ -344,51 +160,12 @@ pub fn build_network_with_inputs<A: BoolAlgebra>(
         .collect()
 }
 
-/// A 64-bit-word truth-table algebra over up to 6 variables, plus a
-/// *sampled* variant that interprets each word as 64 random assignment
-/// lanes — used for randomized cross-checks of large networks.
-#[derive(Debug, Clone)]
-pub struct WordAlgebra {
-    /// One 64-bit lane-word per primary input.
-    pub input_words: Vec<u64>,
-}
-
-impl BoolAlgebra for WordAlgebra {
-    type Repr = u64;
-
-    fn constant(&mut self, value: bool) -> u64 {
-        if value {
-            !0
-        } else {
-            0
-        }
-    }
-
-    fn input(&mut self, idx: usize) -> u64 {
-        self.input_words[idx]
-    }
-
-    fn not(&mut self, a: &u64) -> u64 {
-        !*a
-    }
-
-    fn and2(&mut self, a: &u64, b: &u64) -> u64 {
-        a & b
-    }
-
-    fn or2(&mut self, a: &u64, b: &u64) -> u64 {
-        a | b
-    }
-
-    fn xor2(&mut self, a: &u64, b: &u64) -> u64 {
-        a ^ b
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::ir::Network;
+    use bbdd::BbddManager;
+    use robdd::RobddManager;
 
     fn ripple2() -> Network {
         let mut net = Network::new("add2");
@@ -407,62 +184,39 @@ mod tests {
         net
     }
 
-    #[test]
-    fn bbdd_build_matches_simulation() {
+    fn check_backend<M: FunctionManager>(mgr: &M) {
         let net = ripple2();
-        let mut mgr = bbdd::Bbdd::new(net.num_inputs());
-        let outs = build_network(&mut mgr, &net);
+        let outs = build_network(mgr, &net);
         for m in 0..16u32 {
             let v: Vec<bool> = (0..4).map(|i| (m >> i) & 1 == 1).collect();
             let expect = net.simulate(&v);
             for (o, e) in outs.iter().zip(&expect) {
-                assert_eq!(mgr.eval(o.edge(), &v), *e, "vector {v:?}");
+                assert_eq!(o.eval(&v), *e, "vector {v:?}");
             }
         }
-        // Outputs are the only registered roots once the builder returns
-        // (its input/intermediate handles all dropped on exit).
-        assert_eq!(mgr.external_roots(), outs.len());
+        // The output handles are the only registered roots still held
+        // here (the builder's input/intermediate handles all dropped on
+        // exit — see builder_releases_intermediate_roots below).
+        drop(outs);
+    }
+
+    #[test]
+    fn bbdd_build_matches_simulation() {
+        check_backend(&BbddManager::with_vars(4));
     }
 
     #[test]
     fn robdd_build_matches_simulation() {
-        let net = ripple2();
-        let mut mgr = robdd::Robdd::new(net.num_inputs());
-        let outs = build_network(&mut mgr, &net);
-        for m in 0..16u32 {
-            let v: Vec<bool> = (0..4).map(|i| (m >> i) & 1 == 1).collect();
-            let expect = net.simulate(&v);
-            for (o, e) in outs.iter().zip(&expect) {
-                assert_eq!(mgr.eval(o.edge(), &v), *e, "vector {v:?}");
-            }
-        }
-        assert_eq!(mgr.external_roots(), outs.len());
+        check_backend(&RobddManager::with_vars(4));
     }
 
     #[test]
-    fn word_algebra_matches_simulation() {
+    fn builder_releases_intermediate_roots() {
         let net = ripple2();
-        // Lane l of input i = bit i of l (exhaustive 16 lanes).
-        let mut alg = WordAlgebra {
-            input_words: (0..4)
-                .map(|i| {
-                    let mut w = 0u64;
-                    for lane in 0..16u64 {
-                        if (lane >> i) & 1 == 1 {
-                            w |= 1 << lane;
-                        }
-                    }
-                    w
-                })
-                .collect(),
-        };
-        let outs = build_network(&mut alg, &net);
-        for lane in 0..16u32 {
-            let v: Vec<bool> = (0..4).map(|i| (lane >> i) & 1 == 1).collect();
-            let expect = net.simulate(&v);
-            for (o, e) in outs.iter().zip(&expect) {
-                assert_eq!((o >> lane) & 1 == 1, *e, "lane {lane}");
-            }
-        }
+        let mgr = BbddManager::with_vars(net.num_inputs());
+        let outs = build_network(&mgr, &net);
+        // Outputs are the only registered roots once the builder returns
+        // (its input/intermediate handles all dropped on exit).
+        assert_eq!(mgr.external_roots(), outs.len());
     }
 }

@@ -5,8 +5,9 @@
 //! `m_k = f_k ⊕ g_k`, and proves each output by existentially quantifying
 //! every input: `∃X. m_k` is the constant **false** exactly when the
 //! outputs agree on all assignments. On a refuted output the miter itself
-//! yields a concrete distinguishing assignment ([`VerifyAlgebra::model`])
-//! and the number of distinguishing assignments.
+//! yields a concrete distinguishing assignment
+//! ([`BooleanFunction::any_sat`]) and the number of distinguishing
+//! assignments.
 //!
 //! Canonicity alone would let the check be a pointer comparison
 //! (`f_k == g_k`); routing the proof through XOR + quantification keeps
@@ -34,99 +35,19 @@
 //! let g = b.add_gate(GateOp::Or, &[t1, t2]);
 //! b.set_output("f", g);
 //!
-//! let mut mgr = bbdd::Bbdd::new(2);
-//! assert_eq!(check_equivalence(&mut mgr, &a, &b), CecVerdict::Equivalent);
+//! let mgr = bbdd::BbddManager::with_vars(2);
+//! assert_eq!(check_equivalence(&mgr, &a, &b), CecVerdict::Equivalent);
 //! ```
 
-use crate::build::{build_network_with_inputs, BoolAlgebra};
+use crate::build::build_network_with_inputs;
 use crate::ir::Network;
+use ddcore::api::{BooleanFunction, FunctionManager};
 use std::collections::HashMap;
 
-/// The decision-diagram operations the CEC driver needs beyond plain
-/// network building — implemented by both `bbdd::Bbdd` and `robdd::Robdd`
-/// (and their parallel front-ends) over owned function handles.
-pub trait VerifyAlgebra: BoolAlgebra {
-    /// Existential quantification `∃ vars . f`.
-    fn quantify_exists(&mut self, f: &Self::Repr, vars: &[usize]) -> Self::Repr;
-    /// Is `f` the constant-false function?
-    fn is_false(&self, f: &Self::Repr) -> bool;
-    /// One satisfying assignment over all manager variables, or `None`.
-    fn model(&self, f: &Self::Repr) -> Option<Vec<bool>>;
-    /// Number of satisfying assignments; `None` when the variable count
-    /// makes the exact count unrepresentable.
-    fn model_count(&self, f: &Self::Repr) -> Option<u128>;
-}
-
-impl VerifyAlgebra for bbdd::Bbdd {
-    fn quantify_exists(&mut self, f: &Self::Repr, vars: &[usize]) -> Self::Repr {
-        self.exists_fn(f, vars)
-    }
-
-    fn is_false(&self, f: &Self::Repr) -> bool {
-        f.edge() == bbdd::Edge::ZERO
-    }
-
-    fn model(&self, f: &Self::Repr) -> Option<Vec<bool>> {
-        self.any_sat(f.edge())
-    }
-
-    fn model_count(&self, f: &Self::Repr) -> Option<u128> {
-        (self.num_vars() <= 127).then(|| self.sat_count(f.edge()))
-    }
-}
-
-impl VerifyAlgebra for robdd::Robdd {
-    fn quantify_exists(&mut self, f: &Self::Repr, vars: &[usize]) -> Self::Repr {
-        self.exists_fn(f, vars)
-    }
-
-    fn is_false(&self, f: &Self::Repr) -> bool {
-        f.edge() == robdd::Edge::ZERO
-    }
-
-    fn model(&self, f: &Self::Repr) -> Option<Vec<bool>> {
-        self.any_sat(f.edge())
-    }
-
-    fn model_count(&self, f: &Self::Repr) -> Option<u128> {
-        (self.num_vars() <= 127).then(|| self.sat_count(f.edge()))
-    }
-}
-
-impl VerifyAlgebra for bbdd::ParBbdd {
-    fn quantify_exists(&mut self, f: &Self::Repr, vars: &[usize]) -> Self::Repr {
-        self.exists_fn(f, vars)
-    }
-
-    fn is_false(&self, f: &Self::Repr) -> bool {
-        f.edge() == bbdd::Edge::ZERO
-    }
-
-    fn model(&self, f: &Self::Repr) -> Option<Vec<bool>> {
-        self.any_sat(f.edge())
-    }
-
-    fn model_count(&self, f: &Self::Repr) -> Option<u128> {
-        (self.num_vars() <= 127).then(|| self.sat_count(f.edge()))
-    }
-}
-
-impl VerifyAlgebra for robdd::ParRobdd {
-    fn quantify_exists(&mut self, f: &Self::Repr, vars: &[usize]) -> Self::Repr {
-        self.exists_fn(f, vars)
-    }
-
-    fn is_false(&self, f: &Self::Repr) -> bool {
-        f.edge() == robdd::Edge::ZERO
-    }
-
-    fn model(&self, f: &Self::Repr) -> Option<Vec<bool>> {
-        self.any_sat(f.edge())
-    }
-
-    fn model_count(&self, f: &Self::Repr) -> Option<u128> {
-        (self.num_vars() <= 127).then(|| self.sat_count(f.edge()))
-    }
+/// Number of satisfying assignments of `f`, or `None` when the manager's
+/// variable count makes the exact count unrepresentable in 128 bits.
+fn model_count<M: FunctionManager>(mgr: &M, f: &M::Function) -> Option<u128> {
+    (mgr.num_vars() <= 127).then(|| f.sat_count())
 }
 
 /// A concrete refutation of one output pair.
@@ -229,12 +150,12 @@ pub fn match_interfaces(a: &Network, b: &Network) -> (Vec<usize>, Vec<usize>, Po
 /// # Panics
 /// Panics if the interfaces have different arities or the manager has too
 /// few variables.
-pub fn check_equivalence<A: VerifyAlgebra>(mgr: &mut A, a: &Network, b: &Network) -> CecVerdict {
+pub fn check_equivalence<M: FunctionManager>(mgr: &M, a: &Network, b: &Network) -> CecVerdict {
     let n = a.num_inputs();
     let (input_map, output_map, _) = match_interfaces(a, b);
-    let vars: Vec<A::Repr> = (0..n).map(|i| mgr.input(i)).collect();
+    let vars: Vec<M::Function> = (0..n).map(|i| mgr.var(i)).collect();
     let a_outs = build_network_with_inputs(mgr, a, &vars);
-    let b_inputs: Vec<A::Repr> = input_map.iter().map(|&i| vars[i].clone()).collect();
+    let b_inputs: Vec<M::Function> = input_map.iter().map(|&i| vars[i].clone()).collect();
     // No protection list: `a_outs` are owned handles, so the first
     // network's outputs are structurally live across every GC opportunity
     // the second build triggers. (The caller-maintained liveness list this
@@ -244,18 +165,18 @@ pub fn check_equivalence<A: VerifyAlgebra>(mgr: &mut A, a: &Network, b: &Network
 
     let all_inputs: Vec<usize> = (0..n).collect();
     for (k, (name, _)) in a.outputs().iter().enumerate() {
-        let miter = mgr.xor2(&a_outs[k], &b_outs[output_map[k]]);
-        let quantified = mgr.quantify_exists(&miter, &all_inputs);
-        if !mgr.is_false(&quantified) {
-            let inputs = mgr
-                .model(&miter)
+        let miter = a_outs[k].xor(&b_outs[output_map[k]]);
+        let quantified = miter.exists(&all_inputs);
+        if !quantified.is_false() {
+            let inputs = miter
+                .any_sat()
                 .map(|m| m[..n].to_vec())
                 .expect("a non-false miter has a model");
             return CecVerdict::Inequivalent(Counterexample {
                 output: k,
                 output_name: name.clone(),
                 inputs,
-                distinguishing: mgr.model_count(&miter),
+                distinguishing: model_count(mgr, &miter),
             });
         }
     }
@@ -293,15 +214,15 @@ pub struct CecParStats {
 /// # Panics
 /// Panics if the interfaces have different arities or a manager has too
 /// few variables.
-pub fn check_equivalence_parallel<A, F>(
+pub fn check_equivalence_parallel<M, F>(
     a: &Network,
     b: &Network,
     threads: usize,
     make_mgr: F,
 ) -> (CecVerdict, CecParStats)
 where
-    A: VerifyAlgebra,
-    F: Fn() -> A + Sync,
+    M: FunctionManager,
+    F: Fn() -> M + Sync,
 {
     let n = a.num_inputs();
     let n_out = a.num_outputs();
@@ -321,24 +242,24 @@ where
     let fj = ddcore::par::fork_join(threads, chunks, |c| {
         let lo = c * per;
         let hi = ((c + 1) * per).min(n_out);
-        let mut mgr = make_mgr();
-        let vars: Vec<A::Repr> = (0..n).map(|i| mgr.input(i)).collect();
-        let a_outs = build_network_with_inputs(&mut mgr, a, &vars);
-        let b_inputs: Vec<A::Repr> = input_map.iter().map(|&i| vars[i].clone()).collect();
-        let b_outs = build_network_with_inputs(&mut mgr, b, &b_inputs);
+        let mgr = make_mgr();
+        let vars: Vec<M::Function> = (0..n).map(|i| mgr.var(i)).collect();
+        let a_outs = build_network_with_inputs(&mgr, a, &vars);
+        let b_inputs: Vec<M::Function> = input_map.iter().map(|&i| vars[i].clone()).collect();
+        let b_outs = build_network_with_inputs(&mgr, b, &b_inputs);
         for (k, (name, _)) in a.outputs().iter().enumerate().take(hi).skip(lo) {
-            let miter = mgr.xor2(&a_outs[k], &b_outs[output_map[k]]);
-            let quantified = mgr.quantify_exists(&miter, &all_inputs);
-            if !mgr.is_false(&quantified) {
-                let inputs = mgr
-                    .model(&miter)
+            let miter = a_outs[k].xor(&b_outs[output_map[k]]);
+            let quantified = miter.exists(&all_inputs);
+            if !quantified.is_false() {
+                let inputs = miter
+                    .any_sat()
                     .map(|m| m[..n].to_vec())
                     .expect("a non-false miter has a model");
                 *refuted[k].lock().expect("cec result lock") = Some(Counterexample {
                     output: k,
                     output_name: name.clone(),
                     inputs,
-                    distinguishing: mgr.model_count(&miter),
+                    distinguishing: model_count(&mgr, &miter),
                 });
             }
         }
@@ -365,7 +286,7 @@ where
 #[must_use]
 pub fn check_equivalence_parallel_bbdd(a: &Network, b: &Network, threads: usize) -> CecVerdict {
     let n = a.num_inputs().max(1);
-    check_equivalence_parallel(a, b, threads, || bbdd::Bbdd::new(n)).0
+    check_equivalence_parallel(a, b, threads, || bbdd::BbddManager::with_vars(n)).0
 }
 
 /// [`check_equivalence_parallel`] over fresh sequential ROBDD managers
@@ -376,7 +297,7 @@ pub fn check_equivalence_parallel_bbdd(a: &Network, b: &Network, threads: usize)
 #[must_use]
 pub fn check_equivalence_parallel_robdd(a: &Network, b: &Network, threads: usize) -> CecVerdict {
     let n = a.num_inputs().max(1);
-    check_equivalence_parallel(a, b, threads, || robdd::Robdd::new(n)).0
+    check_equivalence_parallel(a, b, threads, || robdd::RobddManager::with_vars(n)).0
 }
 
 /// [`check_equivalence`] in a fresh BBDD manager.
@@ -385,8 +306,8 @@ pub fn check_equivalence_parallel_robdd(a: &Network, b: &Network, threads: usize
 /// Panics if the interfaces have different arities.
 #[must_use]
 pub fn check_equivalence_bbdd(a: &Network, b: &Network) -> CecVerdict {
-    let mut mgr = bbdd::Bbdd::new(a.num_inputs().max(1));
-    check_equivalence(&mut mgr, a, b)
+    let mgr = bbdd::BbddManager::with_vars(a.num_inputs().max(1));
+    check_equivalence(&mgr, a, b)
 }
 
 /// [`check_equivalence`] in a fresh ROBDD manager.
@@ -395,8 +316,8 @@ pub fn check_equivalence_bbdd(a: &Network, b: &Network) -> CecVerdict {
 /// Panics if the interfaces have different arities.
 #[must_use]
 pub fn check_equivalence_robdd(a: &Network, b: &Network) -> CecVerdict {
-    let mut mgr = robdd::Robdd::new(a.num_inputs().max(1));
-    check_equivalence(&mut mgr, a, b)
+    let mgr = robdd::RobddManager::with_vars(a.num_inputs().max(1));
+    check_equivalence(&mgr, a, b)
 }
 
 #[cfg(test)]
@@ -547,7 +468,7 @@ mod tests {
         let x = half_adder("x", false);
         let y = half_adder("y", true);
         let (verdict, stats) =
-            check_equivalence_parallel(&x, &y, 4, || bbdd::Bbdd::new(x.num_inputs()));
+            check_equivalence_parallel(&x, &y, 4, || bbdd::BbddManager::with_vars(x.num_inputs()));
         assert!(verdict.is_equivalent());
         assert_eq!(stats.outputs, 2);
         assert!(stats.chunks >= 1 && stats.chunks <= 2);
@@ -564,7 +485,7 @@ mod tests {
         // internally.
         let x = half_adder("x", false);
         let y = half_adder("y", true);
-        let mut mgr = bbdd::ParBbdd::with_config(
+        let mgr = bbdd::ParBbddManager::new(bbdd::ParBbdd::with_config(
             x.num_inputs(),
             bbdd::ParConfig {
                 threads: 4,
@@ -573,9 +494,9 @@ mod tests {
                 cache_ways: 1 << 10,
                 shards: 8,
             },
-        );
-        assert_eq!(check_equivalence(&mut mgr, &x, &y), CecVerdict::Equivalent);
-        let mut mgr = robdd::ParRobdd::with_config(
+        ));
+        assert_eq!(check_equivalence(&mgr, &x, &y), CecVerdict::Equivalent);
+        let mgr = robdd::ParRobddManager::new(robdd::ParRobdd::with_config(
             x.num_inputs(),
             robdd::ParConfig {
                 threads: 4,
@@ -584,8 +505,8 @@ mod tests {
                 cache_ways: 1 << 10,
                 shards: 8,
             },
-        );
-        assert_eq!(check_equivalence(&mut mgr, &x, &y), CecVerdict::Equivalent);
+        ));
+        assert_eq!(check_equivalence(&mgr, &x, &y), CecVerdict::Equivalent);
     }
 
     #[test]

@@ -13,15 +13,16 @@
 //!   equivalence checking ([`sim`]);
 //! * a **combinational equivalence checker** ([`cec`]) proving two
 //!   networks equal through XOR miters + existential quantification on
-//!   either decision-diagram backend;
-//! * generic **decision-diagram builders**: the [`build::BoolAlgebra`]
-//!   trait is implemented for both [`bbdd::Bbdd`] and [`robdd::Robdd`], so
-//!   one traversal builds either diagram (plus a truth-table algebra used
-//!   for cross-checks).
+//!   any decision-diagram backend;
+//! * one generic **decision-diagram builder** ([`build::build_network`]),
+//!   written against the [`ddcore::api`] trait family and therefore
+//!   driving all four managers in the workspace — exactly one traversal,
+//!   backend chosen by the caller.
 //!
 //! ```
 //! use logicnet::{Network, GateOp};
 //! use logicnet::build::build_network;
+//! use bbdd::prelude::*;
 //!
 //! let mut net = Network::new("toy");
 //! let a = net.add_input("a");
@@ -30,9 +31,9 @@
 //! net.set_output("y", g);
 //! net.check().unwrap();
 //!
-//! let mut mgr = bbdd::Bbdd::new(net.num_inputs());
-//! let outs = build_network(&mut mgr, &net); // Vec<bbdd::BbddFn> — owned, GC-safe
-//! assert!(mgr.eval(outs[0].edge(), &[true, false]));
+//! let mgr = BbddManager::with_vars(net.num_inputs());
+//! let outs = build_network(&mgr, &net); // Vec<BbddFn> — owned, GC-safe
+//! assert!(outs[0].eval(&[true, false]));
 //! ```
 
 #![forbid(unsafe_code)]

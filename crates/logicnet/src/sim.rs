@@ -1,12 +1,11 @@
 //! Bit-parallel simulation and randomized equivalence checking.
 //!
-//! Networks are compared 64 assignments at a time through the
-//! [`WordAlgebra`]; small networks can be
-//! checked exhaustively. Used throughout the test suite to cross-validate
+//! Networks are compared 64 assignments at a time through the word-level
+//! interpreter [`simulate_words`]; small networks can be checked
+//! exhaustively. Used throughout the test suite to cross-validate
 //! parsers, generators, decision diagrams and the synthesis flow.
 
-use crate::build::{build_network, WordAlgebra};
-use crate::ir::Network;
+use crate::ir::{GateOp, Network};
 
 /// A tiny deterministic SplitMix64 generator (keeps this crate free of
 /// external dependencies).
@@ -44,6 +43,47 @@ pub enum Equivalence {
     },
 }
 
+/// Evaluate `net` on 64 assignment lanes at once: `input_words[i]` holds
+/// lane-bit `l` = value of input `i` under assignment `l`, and the result
+/// holds one word per output port. This is the bit-parallel interpreter
+/// the randomized equivalence checks run on (the decision-diagram
+/// builders in [`crate::build`] share the same gate semantics through the
+/// `ddcore::api` traits).
+///
+/// # Panics
+/// Panics if the network fails [`Network::check`] or `input_words` is
+/// shorter than the input list.
+#[must_use]
+pub fn simulate_words(net: &Network, input_words: &[u64]) -> Vec<u64> {
+    net.check().expect("network must be structurally valid");
+    assert!(
+        input_words.len() >= net.num_inputs(),
+        "one lane-word per network input required"
+    );
+    let mut wire: Vec<u64> = vec![0; net.num_signals()];
+    for (i, s) in net.inputs().iter().enumerate() {
+        wire[s.index()] = input_words[i];
+    }
+    for g in net.gates() {
+        let v = |k: usize| wire[g.inputs[k].index()];
+        wire[g.output.index()] = match g.op {
+            GateOp::Const0 => 0,
+            GateOp::Const1 => !0,
+            GateOp::Buf => v(0),
+            GateOp::Not => !v(0),
+            GateOp::And => g.inputs.iter().fold(!0, |a, s| a & wire[s.index()]),
+            GateOp::Nand => !g.inputs.iter().fold(!0, |a, s| a & wire[s.index()]),
+            GateOp::Or => g.inputs.iter().fold(0, |a, s| a | wire[s.index()]),
+            GateOp::Nor => !g.inputs.iter().fold(0, |a, s| a | wire[s.index()]),
+            GateOp::Xor => g.inputs.iter().fold(0, |a, s| a ^ wire[s.index()]),
+            GateOp::Xnor => !g.inputs.iter().fold(0, |a, s| a ^ wire[s.index()]),
+            GateOp::Maj => (v(0) & v(1)) | (v(1) & v(2)) | (v(0) & v(2)),
+            GateOp::Mux => (v(0) & v(1)) | (!v(0) & v(2)),
+        };
+    }
+    net.outputs().iter().map(|(_, s)| wire[s.index()]).collect()
+}
+
 /// Compare two networks on `words × 64` random assignments.
 ///
 /// Both networks must have identical input and output counts (ports are
@@ -59,14 +99,8 @@ pub fn random_equivalence(a: &Network, b: &Network, words: usize, seed: u64) -> 
     let mut rng = SplitMix64::new(seed);
     for _ in 0..words.max(1) {
         let input_words: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
-        let mut alg_a = WordAlgebra {
-            input_words: input_words.clone(),
-        };
-        let mut alg_b = WordAlgebra {
-            input_words: input_words.clone(),
-        };
-        let oa = build_network(&mut alg_a, a);
-        let ob = build_network(&mut alg_b, b);
+        let oa = simulate_words(a, &input_words);
+        let ob = simulate_words(b, &input_words);
         for (oi, (wa, wb)) in oa.iter().zip(&ob).enumerate() {
             let diff = wa ^ wb;
             if diff != 0 {

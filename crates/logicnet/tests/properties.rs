@@ -2,10 +2,12 @@
 //! survive both file-format round trips and agree across every algebra
 //! backend.
 
-use logicnet::build::{build_network, WordAlgebra};
-use logicnet::sim::{exhaustive_equivalence, Equivalence};
+use bbdd::prelude::*;
+use logicnet::build::build_network;
+use logicnet::sim::{exhaustive_equivalence, simulate_words, Equivalence};
 use logicnet::{blif, verilog, GateOp, Network, Signal};
 use proptest::prelude::*;
+use robdd::prelude::*;
 
 /// Construction plan for a random network: a list of (op, input picks).
 #[derive(Debug, Clone)]
@@ -93,32 +95,30 @@ proptest! {
     fn algebra_backends_agree(plan in arb_plan()) {
         let net = realize(&plan);
         let n = net.num_inputs();
-        // Word algebra with exhaustive lanes (n ≤ 5 ⟹ ≤ 32 lanes).
-        let mut alg = WordAlgebra {
-            input_words: (0..n)
-                .map(|i| {
-                    let mut w = 0u64;
-                    for lane in 0..(1u64 << n) {
-                        if (lane >> i) & 1 == 1 {
-                            w |= 1 << lane;
-                        }
+        // Word simulation with exhaustive lanes (n ≤ 5 ⟹ ≤ 32 lanes).
+        let input_words: Vec<u64> = (0..n)
+            .map(|i| {
+                let mut w = 0u64;
+                for lane in 0..(1u64 << n) {
+                    if (lane >> i) & 1 == 1 {
+                        w |= 1 << lane;
                     }
-                    w
-                })
-                .collect(),
-        };
-        let word_out = build_network(&mut alg, &net);
-        let mut bb = bbdd::Bbdd::new(n);
-        let bb_out = build_network(&mut bb, &net);
-        let mut bd = robdd::Robdd::new(n);
-        let bd_out = build_network(&mut bd, &net);
+                }
+                w
+            })
+            .collect();
+        let word_out = simulate_words(&net, &input_words);
+        let bb = BbddManager::with_vars(n);
+        let bb_out = build_network(&bb, &net);
+        let bd = RobddManager::with_vars(n);
+        let bd_out = build_network(&bd, &net);
         for m in 0..(1u32 << n) {
             let v: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
             let sim = net.simulate(&v);
             for (o, expect) in sim.iter().enumerate() {
                 prop_assert_eq!((word_out[o] >> m) & 1 == 1, *expect);
-                prop_assert_eq!(bb.eval(bb_out[o].edge(), &v), *expect);
-                prop_assert_eq!(bd.eval(bd_out[o].edge(), &v), *expect);
+                prop_assert_eq!(bb_out[o].eval(&v), *expect);
+                prop_assert_eq!(bd_out[o].eval(&v), *expect);
             }
         }
     }

@@ -1,0 +1,412 @@
+//! The [`ddcore::api`] backend implementations for the ROBDD baseline.
+//!
+//! Mirrors `bbdd::api`: [`Robdd`] and [`ParRobdd`] implement
+//! [`RawManager`], deriving the [`FunctionManager`](ddcore::api::FunctionManager) /
+//! [`BooleanFunction`](ddcore::api::BooleanFunction) pair through the
+//! shared generic machinery — no per-crate handle code.
+//!
+//! ```
+//! use robdd::prelude::*;
+//!
+//! let mgr = RobddManager::with_vars(3);
+//! let (a, b) = (mgr.var(0), mgr.var(1));
+//! let f = &a ^ &b;
+//! drop(b);            // the XOR nodes stay alive through `f`
+//! mgr.gc();           // no root list — the registry knows
+//! assert!(f.eval(&[true, false, false]));
+//! ```
+
+use crate::edge::Edge;
+use crate::manager::Robdd;
+use crate::par::ParRobdd;
+use ddcore::api::{ManagerRef, RawManager};
+use ddcore::boolop::BoolOp;
+use ddcore::roots::{RootGuard, RootSet};
+
+/// The trait-level ROBDD manager.
+pub type RobddManager = ManagerRef<Robdd>;
+
+/// The trait-level multi-core ROBDD manager.
+pub type ParRobddManager = ManagerRef<ParRobdd>;
+
+/// An owned, reference-counted handle to an ROBDD function.
+pub type RobddFn = ddcore::api::Function<Robdd>;
+
+/// An owned handle to a function of the multi-core ROBDD manager.
+pub type ParRobddFn = ddcore::api::Function<ParRobdd>;
+
+impl RawManager for Robdd {
+    type Edge = Edge;
+
+    fn with_vars(num_vars: usize) -> Self {
+        Robdd::new(num_vars)
+    }
+
+    fn num_vars(&self) -> usize {
+        Robdd::num_vars(self)
+    }
+
+    fn root_registry(&self) -> &RootSet {
+        self.root_set()
+    }
+
+    fn edge_bits(e: Edge) -> u64 {
+        u64::from(e.bits())
+    }
+
+    fn constant_edge(&self, value: bool) -> Edge {
+        if value {
+            self.one()
+        } else {
+            self.zero()
+        }
+    }
+
+    fn var_edge(&mut self, var: usize) -> Edge {
+        self.var(var)
+    }
+
+    fn apply_edge(&mut self, op: BoolOp, f: Edge, g: Edge) -> Edge {
+        self.apply(op, f, g)
+    }
+
+    fn ite_edge(&mut self, f: Edge, g: Edge, h: Edge) -> Edge {
+        self.ite(f, g, h)
+    }
+
+    fn exists_edge(&mut self, f: Edge, vars: &[usize]) -> Edge {
+        self.exists(f, vars)
+    }
+
+    fn forall_edge(&mut self, f: Edge, vars: &[usize]) -> Edge {
+        self.forall(f, vars)
+    }
+
+    fn and_exists_edge(&mut self, f: Edge, g: Edge, vars: &[usize]) -> Edge {
+        self.and_exists(f, g, vars)
+    }
+
+    fn restrict_edge(&mut self, f: Edge, var: usize, value: bool) -> Edge {
+        self.restrict(f, var, value)
+    }
+
+    fn compose_edge(&mut self, f: Edge, var: usize, g: Edge) -> Edge {
+        self.compose(f, var, g)
+    }
+
+    fn vector_compose_edge(&mut self, f: Edge, subs: &[Option<Edge>]) -> Edge {
+        self.vector_compose(f, subs)
+    }
+
+    fn eval_edge(&self, f: Edge, assignment: &[bool]) -> bool {
+        self.eval(f, assignment)
+    }
+
+    fn sat_count_edge(&self, f: Edge) -> u128 {
+        self.sat_count(f)
+    }
+
+    fn any_sat_edge(&self, f: Edge) -> Option<Vec<bool>> {
+        self.any_sat(f)
+    }
+
+    fn all_sat_edge(&self, f: Edge, limit: usize) -> Vec<Vec<bool>> {
+        self.all_sat(f, limit)
+    }
+
+    fn node_count_edge(&self, f: Edge) -> usize {
+        self.node_count(f)
+    }
+
+    fn shared_node_count_edges(&self, roots: &[Edge]) -> usize {
+        self.shared_node_count(roots)
+    }
+
+    fn support_edge(&mut self, f: Edge) -> Vec<usize> {
+        self.support(f)
+    }
+
+    fn to_dot_edges(&self, roots: &[Edge], names: &[&str]) -> String {
+        self.to_dot(roots, names)
+    }
+
+    fn level_profile_edges(&self, roots: &[Edge]) -> Option<Vec<usize>> {
+        Some(self.level_profile(roots))
+    }
+
+    fn after_op(&mut self) {
+        self.maybe_auto_gc();
+    }
+
+    fn gc(&mut self) -> usize {
+        Robdd::gc(self)
+    }
+
+    fn set_gc_threshold(&mut self, threshold: usize) {
+        Robdd::set_gc_threshold(self, threshold);
+    }
+
+    fn gc_threshold(&self) -> usize {
+        Robdd::gc_threshold(self)
+    }
+
+    fn live_nodes(&self) -> usize {
+        Robdd::live_nodes(self)
+    }
+
+    fn try_sift(&mut self) -> Option<usize> {
+        Some(self.sift())
+    }
+
+    fn variable_order(&self) -> Vec<usize> {
+        self.order()
+    }
+
+    fn stats_line(&self) -> String {
+        let s = self.stats();
+        format!(
+            "robdd: {} apply calls, {} quant calls, {} nodes created, {} GCs ({} freed), \
+             {} swaps, peak {}",
+            s.apply_calls,
+            s.quant_calls,
+            s.nodes_created,
+            s.gc_runs,
+            s.nodes_freed,
+            s.swaps,
+            s.peak_live_nodes
+        )
+    }
+}
+
+impl Robdd {
+    /// Pin a raw edge as a GC root until the returned guard drops — the
+    /// edge-level liveness primitive (trait-level handles are registered
+    /// roots by construction).
+    #[must_use]
+    pub fn pin(&self, e: Edge) -> RootGuard {
+        self.root_set().guard(u64::from(e.bits()))
+    }
+}
+
+impl RawManager for ParRobdd {
+    type Edge = Edge;
+
+    /// Default-configured parallel backend; the thread count comes from
+    /// `BBDD_THREADS` (falling back to 4).
+    fn with_vars(num_vars: usize) -> Self {
+        ParRobdd::from_env(num_vars, 4)
+    }
+
+    fn num_vars(&self) -> usize {
+        ParRobdd::num_vars(self)
+    }
+
+    fn root_registry(&self) -> &RootSet {
+        self.inner().root_set()
+    }
+
+    fn edge_bits(e: Edge) -> u64 {
+        u64::from(e.bits())
+    }
+
+    fn constant_edge(&self, value: bool) -> Edge {
+        if value {
+            self.one()
+        } else {
+            self.zero()
+        }
+    }
+
+    fn var_edge(&mut self, var: usize) -> Edge {
+        self.var(var)
+    }
+
+    fn apply_edge(&mut self, op: BoolOp, f: Edge, g: Edge) -> Edge {
+        self.apply(op, f, g)
+    }
+
+    fn ite_edge(&mut self, f: Edge, g: Edge, h: Edge) -> Edge {
+        self.ite(f, g, h)
+    }
+
+    fn exists_edge(&mut self, f: Edge, vars: &[usize]) -> Edge {
+        self.exists(f, vars)
+    }
+
+    fn forall_edge(&mut self, f: Edge, vars: &[usize]) -> Edge {
+        self.forall(f, vars)
+    }
+
+    fn and_exists_edge(&mut self, f: Edge, g: Edge, vars: &[usize]) -> Edge {
+        self.and_exists(f, g, vars)
+    }
+
+    // Non-parallelized ops run on the wrapped sequential manager as part
+    // of the same deterministic history.
+
+    fn restrict_edge(&mut self, f: Edge, var: usize, value: bool) -> Edge {
+        self.inner_mut().restrict(f, var, value)
+    }
+
+    fn compose_edge(&mut self, f: Edge, var: usize, g: Edge) -> Edge {
+        self.inner_mut().compose(f, var, g)
+    }
+
+    fn vector_compose_edge(&mut self, f: Edge, subs: &[Option<Edge>]) -> Edge {
+        self.inner_mut().vector_compose(f, subs)
+    }
+
+    fn eval_edge(&self, f: Edge, assignment: &[bool]) -> bool {
+        self.eval(f, assignment)
+    }
+
+    fn sat_count_edge(&self, f: Edge) -> u128 {
+        self.sat_count(f)
+    }
+
+    fn any_sat_edge(&self, f: Edge) -> Option<Vec<bool>> {
+        self.any_sat(f)
+    }
+
+    fn all_sat_edge(&self, f: Edge, limit: usize) -> Vec<Vec<bool>> {
+        self.inner().all_sat(f, limit)
+    }
+
+    fn node_count_edge(&self, f: Edge) -> usize {
+        self.node_count(f)
+    }
+
+    fn shared_node_count_edges(&self, roots: &[Edge]) -> usize {
+        self.inner().shared_node_count(roots)
+    }
+
+    fn support_edge(&mut self, f: Edge) -> Vec<usize> {
+        self.inner().support(f)
+    }
+
+    fn to_dot_edges(&self, roots: &[Edge], names: &[&str]) -> String {
+        self.inner().to_dot(roots, names)
+    }
+
+    fn level_profile_edges(&self, roots: &[Edge]) -> Option<Vec<usize>> {
+        Some(self.inner().level_profile(roots))
+    }
+
+    /// Latched merge GC after the result was registered, then the
+    /// concurrent-cache epoch sync (see `bbdd::ParBbdd`'s twin).
+    fn after_op(&mut self) {
+        self.inner_mut().maybe_auto_gc();
+        self.sync_cache_epoch();
+    }
+
+    fn gc(&mut self) -> usize {
+        self.collect()
+    }
+
+    fn set_gc_threshold(&mut self, threshold: usize) {
+        ParRobdd::set_gc_threshold(self, threshold);
+    }
+
+    fn gc_threshold(&self) -> usize {
+        self.inner().gc_threshold()
+    }
+
+    fn live_nodes(&self) -> usize {
+        ParRobdd::live_nodes(self)
+    }
+
+    /// The parallel front-ends never reorder (deterministic op history).
+    fn try_sift(&mut self) -> Option<usize> {
+        None
+    }
+
+    fn variable_order(&self) -> Vec<usize> {
+        self.inner().order()
+    }
+
+    fn stats_line(&self) -> String {
+        let s = self.stats();
+        let p = self.par_stats();
+        format!(
+            "par-robdd: {} apply calls, {} nodes created, {} GCs, {} parallel ops \
+             ({} sequential fallback), {} leaf tasks",
+            s.apply_calls,
+            s.nodes_created,
+            s.gc_runs,
+            p.ops_parallel,
+            p.ops_sequential,
+            p.tasks_executed
+        )
+    }
+}
+
+impl ParRobdd {
+    /// Pin a raw edge as a GC root until the returned guard drops (see
+    /// [`Robdd::pin`]).
+    #[must_use]
+    pub fn pin(&self, e: Edge) -> RootGuard {
+        self.inner().pin(e)
+    }
+}
+
+/// Everything needed to drive the ROBDD baseline through the unified API.
+pub mod prelude {
+    pub use super::{ParRobddFn, ParRobddManager, RobddFn, RobddManager};
+    pub use crate::{BoolOp, Edge, ParConfig, ParRobdd, Robdd};
+    pub use ddcore::api::{BooleanFunction, FunctionManager, ManagerRef};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddcore::api::{BooleanFunction, FunctionManager};
+
+    #[test]
+    fn handles_pin_nodes_across_gc() {
+        let mgr = RobddManager::with_vars(4);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let f = &a ^ &b;
+        drop(a);
+        drop(b);
+        assert_eq!(mgr.external_roots(), 1);
+        mgr.gc();
+        assert!(f.eval(&[true, false, false, false]));
+        drop(f);
+        mgr.gc();
+        assert_eq!(mgr.live_nodes(), 0, "sink-only once all handles drop");
+    }
+
+    #[test]
+    fn auto_gc_reclaims_dead_intermediates() {
+        let mgr = RobddManager::with_vars(6);
+        mgr.set_gc_threshold(1);
+        let vs: Vec<RobddFn> = (0..6).map(|v| mgr.var(v)).collect();
+        let mut acc = mgr.constant(true);
+        for v in &vs {
+            acc = acc.xnor(v);
+        }
+        assert!(mgr.backend().stats().gc_runs > 0, "auto-GC must have fired");
+        for m in 0..64u32 {
+            let a: Vec<bool> = (0..6).map(|i| (m >> i) & 1 == 1).collect();
+            let parity = a.iter().filter(|&&x| x).count() % 2 == 0;
+            assert_eq!(acc.eval(&a), parity);
+        }
+    }
+
+    #[test]
+    fn par_manager_matches_sequential() {
+        let seq = RobddManager::with_vars(4);
+        let par = ParRobddManager::new(ParRobdd::new(4, 4));
+        for mgr_out in [
+            seq.var(0).ite(&seq.var(1), &seq.var(2)).edge(),
+            par.var(0).ite(&par.var(1), &par.var(2)).edge(),
+        ]
+        .windows(2)
+        {
+            assert_eq!(mgr_out[0], mgr_out[1], "bit-identical results");
+        }
+        assert!(par.reorder().is_none());
+        assert_eq!(seq.reorder(), Some(seq.live_nodes()));
+    }
+}

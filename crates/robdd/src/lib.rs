@@ -31,10 +31,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod api;
 mod apply;
 mod dot;
 mod edge;
-mod handle;
 mod manager;
 mod node;
 mod ops;
@@ -42,10 +42,11 @@ mod par;
 mod quant;
 mod reorder;
 
+pub use api::prelude;
+pub use api::{ParRobddFn, ParRobddManager, RobddFn, RobddManager};
 pub use ddcore::boolop::{BoolOp, Unary};
 pub use ddcore::nary::NaryOp;
 pub use edge::Edge;
-pub use handle::RobddFn;
-pub use manager::{Robdd, RobddStats};
+pub use manager::{Robdd, RobddNodeInfo, RobddStats};
 pub use par::{ParConfig, ParRobdd, ParStats};
 pub use reorder::SiftConfig;

@@ -45,6 +45,19 @@ impl RobddStats {
     }
 }
 
+/// Public structural view of one ROBDD node (see [`Robdd::node_info`]):
+/// the Shannon triple `ite(var, then, else)`. The *then*-edge is always
+/// regular (complement attributes are normalized onto *else*/result).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RobddNodeInfo {
+    /// Variable index tested by the node.
+    pub var: usize,
+    /// The `var = 1` child edge (always regular).
+    pub then_: Edge,
+    /// The `var = 0` child edge.
+    pub else_: Edge,
+}
+
 /// A manager for Reduced Ordered BDDs with complement edges over a fixed
 /// variable set, CUDD-style.
 ///
@@ -182,6 +195,61 @@ impl Robdd {
         s
     }
 
+    /// A stable identifier of the node an edge points to (`None` for the
+    /// constants). Two edges with equal ids point at the same stored node;
+    /// the id is usable as a map key by exporters.
+    #[must_use]
+    pub fn edge_id(&self, e: Edge) -> Option<u32> {
+        if e.is_constant() {
+            None
+        } else {
+            Some(e.node())
+        }
+    }
+
+    /// Structural view of the node `e` points to (`None` for constants) —
+    /// the public introspection hook used by the DOT exporter's callers
+    /// and the BDD-to-netlist rewriter.
+    #[must_use]
+    pub fn node_info(&self, e: Edge) -> Option<RobddNodeInfo> {
+        if e.is_constant() {
+            return None;
+        }
+        let n = self.node(e.node());
+        Some(RobddNodeInfo {
+            var: n.var() as usize,
+            then_: n.then_(),
+            else_: n.else_(),
+        })
+    }
+
+    /// Number of internal nodes at each top-based order position for the
+    /// diagrams rooted at `roots` — the level profile reported by package
+    /// log output (feature parity with `bbdd`'s bottom-based profile).
+    #[must_use]
+    pub fn level_profile(&self, roots: &[Edge]) -> Vec<usize> {
+        let mut profile = vec![0usize; self.num_vars()];
+        let mut seen = std::collections::HashSet::new();
+        let mut stack: Vec<u32> = roots
+            .iter()
+            .filter(|e| !e.is_constant())
+            .map(|e| e.node())
+            .collect();
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) {
+                continue;
+            }
+            let n = self.node(id);
+            profile[self.pos_of_var[n.var() as usize] as usize] += 1;
+            for child in [n.then_(), n.else_()] {
+                if !child.is_constant() {
+                    stack.push(child.node());
+                }
+            }
+        }
+        profile
+    }
+
     #[inline]
     pub(crate) fn node(&self, idx: u32) -> &Node {
         &self.nodes[idx as usize]
@@ -310,17 +378,6 @@ impl Robdd {
     /// root set.
     pub fn gc(&mut self) -> usize {
         self.gc_keeping(&[])
-    }
-
-    /// [`Robdd::gc`] with a caller-maintained root list kept alive *in
-    /// addition to* the handle registry.
-    #[deprecated(
-        since = "0.2.0",
-        note = "hold `RobddFn` handles (e.g. via `Robdd::fun`) and call `gc()`; the \
-                registry discovers the roots"
-    )]
-    pub fn gc_with_roots(&mut self, roots: &[Edge]) -> usize {
-        self.gc_keeping(roots)
     }
 
     /// The mark/sweep shared by every GC entry point: roots are the
@@ -482,7 +539,7 @@ mod tests {
         let a = mgr.var(0);
         let b = mgr.var(1);
         let keep = mgr.make_node(0, b, !b);
-        let _keep = mgr.fun(keep);
+        let _keep = mgr.pin(keep);
         let freed = mgr.gc();
         assert!(freed >= 1, "the bare literal {a:?} should die");
         assert!(mgr.validate().is_ok());

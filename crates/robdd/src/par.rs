@@ -16,7 +16,7 @@
 //! manager — are bit-identical regardless of the thread count.
 
 use crate::edge::Edge;
-use crate::handle::RobddFn;
+
 use crate::manager::{Robdd, RobddStats};
 use crate::node::BddKey;
 use ddcore::boolop::{BoolOp, Unary};
@@ -595,7 +595,7 @@ impl ParRobdd {
 
     /// Garbage-collect, tracing the handle registry, and invalidate the
     /// concurrent cache; returns nodes reclaimed. Everything a live
-    /// [`RobddFn`] handle denotes survives.
+    /// [`crate::ParRobddFn`] handle denotes survives.
     pub fn collect(&mut self) -> usize {
         let freed = self.inner.gc();
         self.seen_gc_generation = self.inner.gc_generation();
@@ -603,154 +603,28 @@ impl ParRobdd {
         freed
     }
 
-    /// [`ParRobdd::collect`] with a caller-maintained root list kept alive
-    /// in addition to the registry.
-    #[deprecated(
-        since = "0.2.0",
-        note = "hold `RobddFn` handles (e.g. via `ParRobdd::fun`) and call `collect()`; \
-                the registry discovers the roots"
-    )]
-    pub fn collect_with_roots(&mut self, roots: &[Edge]) -> usize {
-        let freed = self.inner.gc_keeping(roots);
-        self.seen_gc_generation = self.inner.gc_generation();
-        self.cache.bump_epoch();
-        freed
-    }
-
-    // ── owned function handles ────────────────────────────────────────
-    //
-    // Shared root registry with the inner manager; `finish_fn` registers
-    // an operation's result *before* running the latched merge GC and
-    // bumps the concurrent cache epoch when a collection ran (stale
-    // parallel-cache entries would otherwise resurrect freed node ids).
-
-    /// Wrap an edge in an owned handle, pinning its nodes until the handle
-    /// (and every clone) is dropped.
-    #[must_use]
-    pub fn fun(&self, e: Edge) -> RobddFn {
-        self.inner.fun(e)
-    }
-
-    /// Handles currently registered with this manager (live root slots).
-    #[must_use]
-    pub fn external_roots(&self) -> usize {
-        self.inner.external_roots()
-    }
-
     /// Arm the automatic GC latch (see [`Robdd::set_gc_threshold`]).
     pub fn set_gc_threshold(&mut self, threshold: usize) {
         self.inner.set_gc_threshold(threshold);
     }
 
-    /// The constant function as a handle.
-    #[must_use]
-    pub fn const_fn(&self, value: bool) -> RobddFn {
-        self.inner.const_fn(value)
-    }
-
-    /// The positive literal of `var` as a handle.
-    ///
-    /// # Panics
-    /// Panics if `var >= num_vars()`.
-    pub fn var_fn(&mut self, var: usize) -> RobddFn {
-        let e = self.inner.var(var);
-        self.finish_fn(e)
-    }
-
-    /// The negative literal of `var` as a handle.
-    ///
-    /// # Panics
-    /// Panics if `var >= num_vars()`.
-    pub fn nvar_fn(&mut self, var: usize) -> RobddFn {
-        let e = self.inner.nvar(var);
-        self.finish_fn(e)
-    }
-
-    /// Complement (free, no collection point).
-    #[must_use]
-    pub fn not_fn(&self, f: &RobddFn) -> RobddFn {
-        self.fun(!f.edge())
-    }
-
-    /// [`ParRobdd::apply`] on handles.
-    pub fn apply_fn(&mut self, op: BoolOp, f: &RobddFn, g: &RobddFn) -> RobddFn {
-        let e = self.apply(op, f.edge(), g.edge());
-        self.finish_fn(e)
-    }
-
-    /// `f ∧ g` on handles.
-    pub fn and_fn(&mut self, f: &RobddFn, g: &RobddFn) -> RobddFn {
-        self.apply_fn(BoolOp::AND, f, g)
-    }
-
-    /// `f ∨ g` on handles.
-    pub fn or_fn(&mut self, f: &RobddFn, g: &RobddFn) -> RobddFn {
-        self.apply_fn(BoolOp::OR, f, g)
-    }
-
-    /// `f ⊕ g` on handles.
-    pub fn xor_fn(&mut self, f: &RobddFn, g: &RobddFn) -> RobddFn {
-        self.apply_fn(BoolOp::XOR, f, g)
-    }
-
-    /// `f ⊙ g` on handles.
-    pub fn xnor_fn(&mut self, f: &RobddFn, g: &RobddFn) -> RobddFn {
-        self.apply_fn(BoolOp::XNOR, f, g)
-    }
-
-    /// If-then-else on handles.
-    pub fn ite_fn(&mut self, f: &RobddFn, g: &RobddFn, h: &RobddFn) -> RobddFn {
-        let e = self.ite(f.edge(), g.edge(), h.edge());
-        self.finish_fn(e)
-    }
-
-    /// Existential cube quantification on handles.
-    ///
-    /// # Panics
-    /// Panics if any variable index is out of range.
-    pub fn exists_fn(&mut self, f: &RobddFn, vars: &[usize]) -> RobddFn {
-        let e = self.exists(f.edge(), vars);
-        self.finish_fn(e)
-    }
-
-    /// Universal cube quantification on handles.
-    ///
-    /// # Panics
-    /// Panics if any variable index is out of range.
-    pub fn forall_fn(&mut self, f: &RobddFn, vars: &[usize]) -> RobddFn {
-        let e = self.forall(f.edge(), vars);
-        self.finish_fn(e)
-    }
-
-    /// Fused relational product on handles.
-    ///
-    /// # Panics
-    /// Panics if any variable index is out of range.
-    pub fn and_exists_fn(&mut self, f: &RobddFn, g: &RobddFn, vars: &[usize]) -> RobddFn {
-        let e = self.and_exists(f.edge(), g.edge(), vars);
-        self.finish_fn(e)
-    }
+    // The owned-handle front-end lives in `ddcore::api` (see `crate::api`):
+    // the generic layer registers an operation's result *before* running
+    // `RawManager::after_op` — the latched merge GC plus the cache-epoch
+    // sync below (stale parallel-cache entries would otherwise resurrect
+    // freed node ids).
 
     /// Invalidate the concurrent cache if the inner manager collected
     /// since we last looked (node ids may have been recycled). Checked
-    /// before every parallel phase and at every handle boundary, so even
-    /// collections triggered through `inner_mut()` cannot leave stale
-    /// id-keyed entries behind.
-    fn sync_cache_epoch(&mut self) {
+    /// before every parallel phase and at every operation boundary, so
+    /// even collections triggered through `inner_mut()` cannot leave
+    /// stale id-keyed entries behind.
+    pub(crate) fn sync_cache_epoch(&mut self) {
         let gen = self.inner.gc_generation();
         if gen != self.seen_gc_generation {
             self.seen_gc_generation = gen;
             self.cache.bump_epoch();
         }
-    }
-
-    /// Register an op result *then* run the latched automatic GC, bumping
-    /// the concurrent cache epoch when a collection ran.
-    fn finish_fn(&mut self, e: Edge) -> RobddFn {
-        let h = self.inner.fun(e);
-        self.inner.maybe_auto_gc();
-        self.sync_cache_epoch();
-        h
     }
 
     // ── parallel operations ───────────────────────────────────────────
@@ -1360,7 +1234,7 @@ mod tests {
                 par.eval(f, &a)
             })
             .collect();
-        let _pins: Vec<RobddFn> = vs.iter().chain([&f]).map(|&e| par.fun(e)).collect();
+        let _pins: Vec<_> = vs.iter().chain([&f]).map(|&e| par.pin(e)).collect();
         par.collect();
         par.inner().validate().unwrap();
         for (m, want) in tf.iter().enumerate() {

@@ -626,9 +626,8 @@ mod tests {
         let f = random_function(&mut mgr, n, 0xDEC0DE, 24);
         let before = mgr.exists(f, &[1, 4]);
         let tt_before = mgr.truth_table(before);
-        let pins = [mgr.fun(f), mgr.fun(before)];
+        let _pins = [mgr.pin(f), mgr.pin(before)];
         mgr.sift();
-        let f = pins[0].edge();
         let after = mgr.exists(f, &[1, 4]);
         assert_eq!(mgr.truth_table(after), tt_before);
     }

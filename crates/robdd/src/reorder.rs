@@ -96,17 +96,6 @@ impl Robdd {
         self.sift_keeping(&[], cfg)
     }
 
-    /// Sift keeping a caller-maintained root list alive *in addition to*
-    /// the handle registry.
-    #[deprecated(
-        since = "0.2.0",
-        note = "hold `RobddFn` handles (e.g. via `Robdd::fun`) and call `sift()`; the \
-                registry discovers the roots"
-    )]
-    pub fn sift_with_roots(&mut self, roots: &[Edge]) -> usize {
-        self.sift_keeping(roots, &SiftConfig::default())
-    }
-
     pub(crate) fn sift_keeping(&mut self, extra: &[Edge], cfg: &SiftConfig) -> usize {
         for _ in 0..cfg.passes.max(1) {
             self.gc_keeping(extra);
@@ -290,9 +279,8 @@ mod tests {
         let f = equality_bad_order(&mut mgr, k);
         let tf = truth_of(&mgr, f, 2 * k);
         let before = mgr.node_count(f);
-        let fh = mgr.fun(f);
+        let _fh = mgr.pin(f);
         mgr.sift();
-        let f = fh.edge();
         let after = mgr.node_count(f);
         assert!(after < before, "sift must shrink: {before} -> {after}");
         assert!(after <= 3 * k + 1, "near-linear size expected, got {after}");

@@ -142,11 +142,10 @@ proptest! {
         let mut mgr = Robdd::new(NVARS);
         let f = build(&mut mgr, &e);
         let reference: Vec<bool> = assignments().map(|v| mgr.eval(f, &v)).collect();
-        let fh = mgr.fun(f);
+        let _fh = mgr.pin(f);
         mgr.gc();
         let before = mgr.live_nodes();
         mgr.sift();
-        let f = fh.edge();
         mgr.validate().unwrap();
         prop_assert!(mgr.live_nodes() <= before);
         let now: Vec<bool> = assignments().map(|v| mgr.eval(f, &v)).collect();

@@ -3,17 +3,21 @@
 //! * [`synthesize_direct`] — the *commercial-flow stand-in*: the RTL
 //!   netlist goes straight through technology-independent optimization
 //!   (AIG structural hashing + constant folding) and technology mapping.
-//! * [`synthesize_bbdd_first`] — the paper's proposal: the netlist is
-//!   first rewritten through the BBDD package (built with the file order,
-//!   then sifted), dumped back as a comparator/mux netlist, and *the same*
+//! * [`synthesize_dd_first_with`] — the paper's proposal, generic over
+//!   the decision-diagram backend ([`DiagramRewrite`]): the netlist is
+//!   first rewritten through a diagram manager (built with the file
+//!   order, then reordered), dumped back as a netlist, and *the same*
 //!   back-end maps it. Any area/delay difference is attributable to the
-//!   BBDD restructuring, exactly as in the paper's §V-B methodology.
+//!   diagram restructuring, exactly as in the paper's §V-B methodology.
+//!   [`synthesize_bbdd_first`] instantiates it with the BBDD package (the
+//!   paper's Table II); the ROBDD managers drop in for a BDD-first
+//!   comparison flow.
 
 use crate::aig::Aig;
-use crate::bbdd_rewrite::bbdd_to_network;
 use crate::cells::CellLibrary;
 use crate::mapper::{map_with, MapStyle, MappedNetlist};
-use bbdd::Bbdd;
+use crate::rewrite::DiagramRewrite;
+use bbdd::BbddManager;
 use logicnet::build::build_network;
 use logicnet::Network;
 
@@ -30,7 +34,7 @@ pub struct FlowResult {
     pub mapped: MappedNetlist,
 }
 
-/// Extra information from the BBDD front-end run.
+/// Extra information from the diagram front-end run.
 #[derive(Debug, Clone, Copy)]
 pub struct BbddFrontendInfo {
     /// Shared node count after build (file variable order).
@@ -71,7 +75,8 @@ pub fn synthesize_bbdd_first(
     synthesize_bbdd_first_with(net, lib, sift, MapStyle::DagAware)
 }
 
-/// BBDD front-end + back-end with an explicit mapping style.
+/// BBDD front-end + back-end with an explicit mapping style (the paper's
+/// Table-II instantiation of [`synthesize_dd_first_with`]).
 #[must_use]
 pub fn synthesize_bbdd_first_with(
     net: &Network,
@@ -79,20 +84,35 @@ pub fn synthesize_bbdd_first_with(
     sift: bool,
     style: MapStyle,
 ) -> (FlowResult, BbddFrontendInfo) {
-    let mut mgr = Bbdd::new(net.num_inputs());
-    let roots = build_network(&mut mgr, net);
-    let nodes_built = mgr.shared_node_count_fns(&roots);
-    if sift {
-        mgr.sift(); // the output handles are the registry's roots
+    let mgr = BbddManager::with_vars(net.num_inputs());
+    synthesize_dd_first_with(&mgr, net, lib, sift, style)
+}
+
+/// Diagram front-end + back-end, written once against the
+/// [`DiagramRewrite`] capability: build `net` into `mgr` (file variable
+/// order), optionally reorder, dump the diagram back as a netlist, and
+/// hand it to the same technology back-end as [`synthesize_direct_with`].
+#[must_use]
+pub fn synthesize_dd_first_with<M: DiagramRewrite>(
+    mgr: &M,
+    net: &Network,
+    lib: &CellLibrary,
+    reorder: bool,
+    style: MapStyle,
+) -> (FlowResult, BbddFrontendInfo) {
+    let roots = build_network(mgr, net);
+    let nodes_built = mgr.shared_node_count(&roots);
+    if reorder {
+        let _ = mgr.reorder(); // the output handles are the registry's roots
     }
-    let nodes_sifted = mgr.shared_node_count_fns(&roots);
+    let nodes_sifted = mgr.shared_node_count(&roots);
     let in_names: Vec<String> = net
         .inputs()
         .iter()
         .map(|&s| net.signal_name(s).to_string())
         .collect();
     let out_names: Vec<String> = net.outputs().iter().map(|(n, _)| n.clone()).collect();
-    let rewritten = bbdd_to_network(&mgr, &roots, &in_names, &out_names);
+    let rewritten = mgr.dump_network(&roots, &in_names, &out_names);
     let result = synthesize_direct_with(&rewritten, lib, style);
     (
         result,

@@ -13,12 +13,16 @@
 //!   folding (the technology-independent optimizer);
 //! * [`mapper`] — a priority-cut, polarity-aware technology mapper with
 //!   area-oriented covering and topological static timing;
-//! * [`bbdd_rewrite`] — BBDD → netlist conversion (one XNOR per CVO level,
-//!   shared, plus one MUX per node — the comparator-based structure that
-//!   makes BBDDs "the natural design abstraction" of §V-A);
+//! * [`rewrite`] — diagram → netlist conversion behind the manager-generic
+//!   [`rewrite::DiagramRewrite`] capability: the BBDD dump (one XNOR per
+//!   CVO level, shared, plus one MUX per node — the comparator-based
+//!   structure that makes BBDDs "the natural design abstraction" of §V-A)
+//!   and its Shannon-mux ROBDD analogue;
 //! * [`flow`] — the two competing flows of Table II:
 //!   [`flow::synthesize_direct`] (the commercial-flow stand-in) and
-//!   [`flow::synthesize_bbdd_first`] (BBDD rewriting + the same back-end).
+//!   [`flow::synthesize_dd_first_with`] (diagram rewriting + the same
+//!   back-end, generic over the backend; [`flow::synthesize_bbdd_first`]
+//!   is the paper's BBDD instantiation).
 //!
 //! ```
 //! use synthkit::cells::CellLibrary;
@@ -34,7 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod aig;
-pub mod bbdd_rewrite;
 pub mod cells;
 pub mod flow;
 pub mod mapper;
+pub mod rewrite;

@@ -2,14 +2,16 @@
 //! styles and the BBDD rewriting front-end must preserve functions on
 //! random networks.
 
+use bbdd::prelude::*;
 use logicnet::build::build_network;
 use logicnet::sim::{exhaustive_equivalence, Equivalence};
 use logicnet::{GateOp, Network, Signal};
 use proptest::prelude::*;
+use robdd::prelude::*;
 use synthkit::aig::Aig;
-use synthkit::bbdd_rewrite::bbdd_to_network;
 use synthkit::cells::CellLibrary;
 use synthkit::mapper::{map_with, MapStyle};
+use synthkit::rewrite::DiagramRewrite;
 
 #[derive(Debug, Clone)]
 struct Plan {
@@ -105,10 +107,23 @@ proptest! {
     #[test]
     fn bbdd_rewrite_roundtrip_preserves_function(plan in arb_plan()) {
         let net = realize(&plan);
-        let mut mgr = bbdd::Bbdd::new(net.num_inputs());
-        let roots = build_network(&mut mgr, &net);
+        let mgr = BbddManager::with_vars(net.num_inputs());
+        let roots = build_network(&mgr, &net);
         let out_names: Vec<String> = net.outputs().iter().map(|(n, _)| n.clone()).collect();
-        let rewritten = bbdd_to_network(&mgr, &roots, &input_names(&net), &out_names);
+        let rewritten = mgr.dump_network(&roots, &input_names(&net), &out_names);
+        prop_assert_eq!(
+            exhaustive_equivalence(&net, &rewritten),
+            Equivalence::Indistinguishable
+        );
+    }
+
+    #[test]
+    fn robdd_rewrite_roundtrip_preserves_function(plan in arb_plan()) {
+        let net = realize(&plan);
+        let mgr = RobddManager::with_vars(net.num_inputs());
+        let roots = build_network(&mgr, &net);
+        let out_names: Vec<String> = net.outputs().iter().map(|(n, _)| n.clone()).collect();
+        let rewritten = mgr.dump_network(&roots, &input_names(&net), &out_names);
         prop_assert_eq!(
             exhaustive_equivalence(&net, &rewritten),
             Equivalence::Indistinguishable
@@ -118,11 +133,11 @@ proptest! {
     #[test]
     fn bbdd_rewrite_after_sift_preserves_function(plan in arb_plan()) {
         let net = realize(&plan);
-        let mut mgr = bbdd::Bbdd::new(net.num_inputs());
-        let roots = build_network(&mut mgr, &net);
-        mgr.sift();
+        let mgr = BbddManager::with_vars(net.num_inputs());
+        let roots = build_network(&mgr, &net);
+        mgr.reorder();
         let out_names: Vec<String> = net.outputs().iter().map(|(n, _)| n.clone()).collect();
-        let rewritten = bbdd_to_network(&mgr, &roots, &input_names(&net), &out_names);
+        let rewritten = mgr.dump_network(&roots, &input_names(&net), &out_names);
         prop_assert_eq!(
             exhaustive_equivalence(&net, &rewritten),
             Equivalence::Indistinguishable

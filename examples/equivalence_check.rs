@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example equivalence_check`
 
-use bbdd::Bbdd;
+use bbdd::prelude::*;
 use benchgen::datapath::{adder, adder_cla};
 use logicnet::build::build_network;
 use logicnet::{GateOp, Network};
@@ -21,9 +21,9 @@ fn main() {
 
     // Build both in ONE manager: canonicity turns equivalence checking
     // into pointer comparisons, per output.
-    let mut mgr = Bbdd::new(ripple.num_inputs());
-    let r1 = build_network(&mut mgr, &ripple);
-    let r2 = build_network(&mut mgr, &cla);
+    let mgr = BbddManager::with_vars(ripple.num_inputs());
+    let r1 = build_network(&mgr, &ripple);
+    let r2 = build_network(&mgr, &cla);
     let equivalent = r1 == r2;
     println!("all {} outputs canonically equal: {equivalent}", r1.len());
     assert!(equivalent);
@@ -56,7 +56,7 @@ fn main() {
         net.check().unwrap();
         net
     };
-    let r3 = build_network(&mut mgr, &buggy);
+    let r3 = build_network(&mgr, &buggy);
     let mismatches: Vec<usize> = (0..r1.len()).filter(|&i| r1[i] != r3[i]).collect();
     println!(
         "buggy adder disagrees on outputs {mismatches:?} (first differing output: {})",
@@ -66,8 +66,8 @@ fn main() {
 
     // Produce a concrete counterexample via the XOR of the two functions
     // (a handle, so it stays pinned while we restrict our way down it).
-    let diff = mgr.xor_fn(&r1[mismatches[0]], &r3[mismatches[0]]);
-    let count = mgr.sat_count(diff.edge());
+    let diff = &r1[mismatches[0]] ^ &r3[mismatches[0]];
+    let count = diff.sat_count();
     println!(
         "distinguishing assignments for that output: {count} of 2^{}",
         ripple.num_inputs()
@@ -77,12 +77,12 @@ fn main() {
     let mut f = diff;
     #[allow(clippy::needless_range_loop)]
     for v in 0..ripple.num_inputs() {
-        let f1 = mgr.restrict_fn(&f, v, true);
-        if mgr.sat_count(f1.edge()) > 0 {
+        let f1 = f.restrict(v, true);
+        if f1.sat_count() > 0 {
             assignment[v] = true;
             f = f1;
         } else {
-            f = mgr.restrict_fn(&f, v, false);
+            f = f.restrict(v, false);
         }
     }
     println!("counterexample input vector: {assignment:?}");

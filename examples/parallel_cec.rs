@@ -41,7 +41,7 @@ fn main() {
     // ── 1. per-output miter loop across the pool ──────────────────────
     let t0 = std::time::Instant::now();
     let (verdict, stats) = check_equivalence_parallel(&ripple, &cla, threads, || {
-        bbdd::Bbdd::new(ripple.num_inputs())
+        bbdd::BbddManager::with_vars(ripple.num_inputs())
     });
     let dt = t0.elapsed();
     println!(
@@ -58,7 +58,7 @@ fn main() {
     }
 
     // ── 2. the same proof on a parallel manager ───────────────────────
-    let mut mgr = bbdd::ParBbdd::with_config(
+    let mgr = bbdd::ParBbddManager::new(bbdd::ParBbdd::with_config(
         ripple.num_inputs(),
         bbdd::ParConfig {
             threads,
@@ -68,15 +68,15 @@ fn main() {
             cutoff: 0,
             ..bbdd::ParConfig::default()
         },
-    );
+    ));
     let t0 = std::time::Instant::now();
-    let verdict = check_equivalence(&mut mgr, &ripple, &cla);
+    let verdict = check_equivalence(&mgr, &ripple, &cla);
     let dt = t0.elapsed();
     println!(
         "\nParBbdd-backed CEC:    {} in {dt:.2?}",
         verdict_str(&verdict)
     );
-    let ps = mgr.par_stats();
+    let ps = mgr.backend().par_stats();
     println!(
         "  ops: {} parallel / {} sequential-fallback; {} leaf tasks ({} run by helpers)",
         ps.ops_parallel, ps.ops_sequential, ps.tasks_executed, ps.tasks_stolen

@@ -1,70 +1,68 @@
-//! Quickstart: build, query, reorder and export Biconditional BDDs.
+//! Quickstart: build, query, reorder and export Biconditional BDDs
+//! through the unified `ddcore::api` trait layer (`bbdd::prelude`).
 //!
 //! Run with: `cargo run --example quickstart`
 
-use bbdd::{Bbdd, BoolOp};
+use bbdd::prelude::*;
 
 fn main() {
     // A manager over 6 variables: a 3-bit equality comparator
-    // (a2=b2)∧(a1=b1)∧(a0=b0) with operands interleaved.
-    let mut mgr = Bbdd::new(6);
-    let mut eq = mgr.one();
+    // (a2=b2)∧(a1=b1)∧(a0=b0) with operands interleaved. Handles support
+    // the `& | ^ !` operator sugar on references.
+    let mgr = BbddManager::with_vars(6);
+    let mut eq = mgr.constant(true);
     for i in (0..3).rev() {
         let a = mgr.var(2 * i);
         let b = mgr.var(2 * i + 1);
-        let bit_eq = mgr.xnor(a, b);
-        eq = mgr.and(eq, bit_eq);
+        eq = &eq & &a.xnor(&b);
     }
 
     println!("3-bit equality comparator");
-    println!("  node count      : {}", mgr.node_count(eq));
-    println!("  satisfying assignments: {} of 64", mgr.sat_count(eq));
+    println!("  node count      : {}", eq.node_count());
+    println!("  satisfying assignments: {} of 64", eq.sat_count());
     println!(
         "  eval a=5,b=5    : {}",
-        mgr.eval(eq, &[true, true, false, false, true, true])
+        eq.eval(&[true, true, false, false, true, true])
     );
     println!(
         "  eval a=5,b=4    : {}",
-        mgr.eval(eq, &[true, true, false, false, true, false])
+        eq.eval(&[true, true, false, false, true, false])
     );
 
     // Negation is free (complement edges), and the representation is
-    // canonical: same function ⟹ same edge.
-    let neq_direct = !eq;
-    let one = mgr.one();
-    let neq_built = mgr.apply(BoolOp::XOR, eq, one);
+    // canonical: same function ⟹ same handle.
+    let neq_direct = !&eq;
+    let one = mgr.constant(true);
+    let neq_built = eq.xor(&one);
     assert_eq!(neq_direct, neq_built);
     println!("  canonicity      : ¬f built two ways is one edge ✓");
 
     // The biconditional expansion makes parity linear — half the size a
     // BDD needs.
-    let mut parity = mgr.zero();
+    let mut parity = mgr.constant(false);
     for v in 0..6 {
-        let lit = mgr.var(v);
-        parity = mgr.xor(parity, lit);
+        parity = &parity ^ &mgr.var(v);
     }
     println!("6-input parity");
     println!(
         "  node count      : {} (a BDD needs 6)",
-        mgr.node_count(parity)
+        parity.node_count()
     );
 
     // Reordering: scramble the order, then let sifting recover it. The
-    // handles returned by `fun` are registered roots — sifting discovers
+    // handles `eq` and `parity` are registered roots — sifting discovers
     // them from the registry, so there is no root list to maintain (or
     // forget).
-    let eq_h = mgr.fun(eq);
-    let parity_h = mgr.fun(parity);
-    mgr.reorder_to(&[0, 2, 4, 1, 3, 5]);
-    let scrambled = mgr.node_count(eq_h.edge());
-    mgr.sift();
+    mgr.backend_mut().reorder_to(&[0, 2, 4, 1, 3, 5]);
+    let scrambled = eq.node_count();
+    mgr.reorder();
     println!(
         "comparator after scramble: {scrambled} nodes; after sifting: {} nodes",
-        mgr.node_count(eq_h.edge())
+        eq.node_count()
     );
 
     // Export for graphviz.
-    let dot = mgr.to_dot(&[eq_h.edge(), parity_h.edge()], &["eq3", "parity6"]);
+    let dot = mgr.to_dot(&[eq, parity], &["eq3", "parity6"]);
     println!(
         "\nDOT export: {} bytes (pipe into `dot -Tpng` to render)",
         dot.len()

@@ -1,45 +1,38 @@
 //! Chain-variable reordering in action: a comparator built with a hostile
 //! variable order shrinks by orders of magnitude under sifting (§IV-A4).
+//! The same generic routine drives both packages through the trait API.
 //!
 //! Run with: `cargo run --release --example reorder_demo`
 
-use bbdd::Bbdd;
-use robdd::Robdd;
+use bbdd::prelude::*;
+use robdd::prelude::*;
+
+/// Build the hostile-order equality comparator and sift it; returns the
+/// (before, after) node counts — one routine for every backend.
+fn comparator_sift<M: FunctionManager>(mgr: &M, k: usize) -> (usize, usize) {
+    let mut eq = mgr.constant(true);
+    for i in 0..k {
+        let a = mgr.var(i);
+        let b = mgr.var(i + k);
+        eq = eq.and(&a.xnor(&b));
+    }
+    let before = eq.node_count();
+    // `eq` is a registered GC/sift root by construction; no root lists.
+    mgr.reorder().expect("sequential backends reorder");
+    (before, eq.node_count())
+}
 
 fn main() {
     let k = 8; // operand width
     println!("{k}-bit equality comparator, hostile order (all a-bits above all b-bits)\n");
 
-    // BBDD.
-    let mut mgr = Bbdd::new(2 * k);
-    let mut eq = mgr.one();
-    for i in 0..k {
-        let a = mgr.var(i);
-        let b = mgr.var(i + k);
-        let x = mgr.xnor(a, b);
-        eq = mgr.and(eq, x);
-    }
-    let before = mgr.node_count(eq);
-    let eq = mgr.fun(eq); // handle = registered GC/sift root; no root lists
-    mgr.sift();
-    let eq = eq.edge();
-    let after = mgr.node_count(eq);
+    let bb = BbddManager::with_vars(2 * k);
+    let (before, after) = comparator_sift(&bb, k);
     println!("BBDD : {before:>6} nodes → {after:>4} nodes after sifting");
-    println!("       final order: {:?}", mgr.order());
+    println!("       final order: {:?}", bb.variable_order());
 
-    // ROBDD, for contrast.
-    let mut bdd = Robdd::new(2 * k);
-    let mut beq = bdd.one();
-    for i in 0..k {
-        let a = bdd.var(i);
-        let b = bdd.var(i + k);
-        let x = bdd.xnor(a, b);
-        beq = bdd.and(beq, x);
-    }
-    let bbefore = bdd.node_count(beq);
-    let beq = bdd.fun(beq);
-    bdd.sift();
-    let bafter = bdd.node_count(beq.edge());
+    let bd = RobddManager::with_vars(2 * k);
+    let (bbefore, bafter) = comparator_sift(&bd, k);
     println!("ROBDD: {bbefore:>6} nodes → {bafter:>4} nodes after sifting");
 
     println!(

@@ -7,9 +7,10 @@
 //!
 //! Run with: `cargo run --release --example verification_ops`
 
+use bbdd::prelude::*;
 use logicnet::cec::{check_equivalence_bbdd, check_equivalence_robdd, CecVerdict};
 use logicnet::{GateOp, Network, Signal};
-use synthkit::bbdd_rewrite::rewrite_and_verify;
+use synthkit::rewrite::rewrite_and_verify_bbdd;
 
 /// Rebuild `net` with gate `victim`'s operator replaced by `op` (the
 /// netlist IR is append-only, so a mutation is a mapped copy).
@@ -49,7 +50,7 @@ fn main() {
         original.num_inputs(),
         original.num_outputs()
     );
-    let (rewritten, verdict) = rewrite_and_verify(&original, true);
+    let (rewritten, verdict) = rewrite_and_verify_bbdd(&original, true);
     println!(
         "BBDD-rewritten netlist: {} gates; CEC verdict: {}",
         rewritten.num_gates(),
@@ -96,30 +97,30 @@ fn main() {
     }
 
     // ── 3. Quantification & model counting on the adder itself ────────
-    let mut mgr = bbdd::Bbdd::new(original.num_inputs());
-    let outs = logicnet::build::build_network(&mut mgr, &original);
+    let mgr = BbddManager::with_vars(original.num_inputs());
+    let outs = logicnet::build::build_network(&mgr, &original);
     let cout = outs.last().expect("adder has outputs"); // an owned handle
     let n = original.num_inputs();
     println!(
         "carry-out is set for {} of 2^{n} input assignments",
-        mgr.sat_count(cout.edge())
+        cout.sat_count()
     );
     // ∃(b-operand). cout — for which a-operands can a carry happen at all?
     let b_vars: Vec<usize> = (0..n).filter(|v| v % 2 == 1).collect();
-    let reachable = mgr.exists_fn(cout, &b_vars);
+    let reachable = cout.exists(&b_vars);
     println!(
         "∃b. cout covers {} of 2^{n} (a-only) assignments",
-        mgr.sat_count(reachable.edge())
+        reachable.sat_count()
     );
     // The fused form gives the same answer in one pass:
-    let one = mgr.const_fn(true);
-    let fused = mgr.and_exists_fn(cout, &one, &b_vars);
+    let one = mgr.constant(true);
+    let fused = cout.and_exists(&one, &b_vars);
     assert_eq!(fused, reachable);
     // A concrete witness, checked by evaluation.
-    let witness = mgr.any_sat(cout.edge()).expect("a carry is reachable");
-    assert!(mgr.eval(cout.edge(), &witness));
+    let witness = cout.any_sat().expect("a carry is reachable");
+    assert!(cout.eval(&witness));
     println!("sample carry-producing assignment found and checked ✓");
-    let s = mgr.stats();
+    let s = mgr.backend().stats();
     println!(
         "manager counters: {} quantifier entries, {} cache lookups ({:.1}% hits)",
         s.quant_calls,

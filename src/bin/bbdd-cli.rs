@@ -1,20 +1,38 @@
 //! The command-line face of the reproduction, mirroring the original EPFL
 //! package's interface (§IV-B): read a flattened combinational network
-//! (Verilog or BLIF), build the BBDD with the file's variable order,
-//! optionally sift, and emit a Verilog description of the built BBDD plus
-//! its log information.
+//! (Verilog or BLIF), build the decision diagram with the file's variable
+//! order, optionally sift, and emit a Verilog description of the built
+//! diagram plus its log information.
+//!
+//! The manager is selected **at runtime** and the whole pipeline runs once
+//! through the unified `ddcore::api` traits — there is one driver, not one
+//! per backend:
 //!
 //! ```text
-//! bbdd-cli [--sift] [--blif] [--dot] [--stats] <input-file> [output-file]
+//! bbdd-cli [--backend B] [--threads N] [--sift] [--blif] [--dot] [--stats] <input> [output]
 //! bbdd-cli --bench <table1-name> [output-file]      # use a generated benchmark
 //! ```
+//!
+//! where `B` is one of `bbdd` (default), `robdd`, `par-bbdd`, `par-robdd`.
 
+use bbdd::prelude::*;
 use logicnet::build::build_network;
 use logicnet::{blif, verilog, Network};
+use robdd::prelude::*;
 use std::process::ExitCode;
-use synthkit::bbdd_rewrite::bbdd_to_network;
+use synthkit::rewrite::DiagramRewrite;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    Bbdd,
+    Robdd,
+    ParBbdd,
+    ParRobdd,
+}
 
 struct Options {
+    backend: Backend,
+    threads: Option<usize>,
     sift: bool,
     blif_in: bool,
     dot: bool,
@@ -26,20 +44,26 @@ struct Options {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: bbdd-cli [--sift] [--blif] [--dot] [--stats] <input-file> [output-file]\n\
-         \x20      bbdd-cli [--sift] --bench <name> [output-file]\n\
+        "usage: bbdd-cli [--backend B] [--threads N] [--sift] [--blif] [--dot] [--stats]\n\
+         \x20               <input-file> [output-file]\n\
+         \x20      bbdd-cli [options] --bench <name> [output-file]\n\
          \n\
          Reads a flattened combinational network (structural Verilog by default,\n\
-         BLIF with --blif), builds its BBDD with the file variable order, sifts\n\
-         when asked, and writes the rewritten Verilog netlist (stdout or file).\n\
-         --dot emits Graphviz instead of Verilog; --bench uses a Table-I\n\
-         benchmark generator instead of a file."
+         BLIF with --blif), builds its decision diagram with the file variable\n\
+         order, sifts when asked, and writes the rewritten Verilog netlist\n\
+         (stdout or file). --dot emits Graphviz instead of Verilog; --bench uses\n\
+         a Table-I benchmark generator instead of a file.\n\
+         \n\
+         --backend B   manager backend: bbdd (default), robdd, par-bbdd, par-robdd\n\
+         --threads N   worker threads for the par-* backends (default: BBDD_THREADS or 4)"
     );
     ExitCode::from(2)
 }
 
 fn parse_args() -> Result<Options, ExitCode> {
     let mut opts = Options {
+        backend: Backend::Bbdd,
+        threads: None,
         sift: false,
         blif_in: false,
         dot: false,
@@ -51,6 +75,17 @@ fn parse_args() -> Result<Options, ExitCode> {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--backend" => match args.next().as_deref() {
+                Some("bbdd") => opts.backend = Backend::Bbdd,
+                Some("robdd") => opts.backend = Backend::Robdd,
+                Some("par-bbdd") => opts.backend = Backend::ParBbdd,
+                Some("par-robdd") => opts.backend = Backend::ParRobdd,
+                _ => return Err(usage()),
+            },
+            "--threads" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => opts.threads = Some(n),
+                _ => return Err(usage()),
+            },
             "--sift" => opts.sift = true,
             "--blif" => opts.blif_in = true,
             "--dot" => opts.dot = true,
@@ -89,6 +124,67 @@ fn load(opts: &Options) -> Result<Network, String> {
     }
 }
 
+/// The whole pipeline, written once against the trait API: build, report,
+/// optionally sift, and dump either DOT or the rewritten Verilog netlist.
+/// `tag` labels the log lines with the selected backend.
+fn run<M: DiagramRewrite>(mgr: &M, net: &Network, opts: &Options, tag: &str) -> ExitCode {
+    let t0 = std::time::Instant::now();
+    // The builder returns owned handles: the outputs are registered GC
+    // roots from here on, so collection and sifting need no root lists.
+    let roots = build_network(mgr, net);
+    mgr.gc();
+    let build_s = t0.elapsed().as_secs_f64();
+    eprintln!(
+        "[{tag}] built: {} nodes in {build_s:.3}s (file variable order)",
+        mgr.shared_node_count(&roots)
+    );
+
+    if opts.sift {
+        let t1 = std::time::Instant::now();
+        match mgr.reorder() {
+            Some(_) => eprintln!(
+                "[{tag}] sifted: {} nodes in {:.3}s; order {:?}",
+                mgr.shared_node_count(&roots),
+                t1.elapsed().as_secs_f64(),
+                mgr.variable_order()
+            ),
+            None => eprintln!("[{tag}] --sift ignored: this backend does not reorder"),
+        }
+    }
+    if opts.stats {
+        eprintln!("[{tag}] stats: {}", mgr.stats_line());
+        eprintln!("[{tag}] live nodes: {}", mgr.live_nodes());
+        if let Some(profile) = mgr.level_profile(&roots) {
+            eprintln!("[{tag}] level profile: {profile:?}");
+        }
+    }
+
+    let in_names: Vec<String> = net
+        .inputs()
+        .iter()
+        .map(|&s| net.signal_name(s).to_string())
+        .collect();
+    let out_names: Vec<String> = net.outputs().iter().map(|(n, _)| n.clone()).collect();
+    let text = if opts.dot {
+        let names: Vec<&str> = out_names.iter().map(String::as_str).collect();
+        mgr.to_dot(&roots, &names)
+    } else {
+        let rewritten = mgr.dump_network(&roots, &in_names, &out_names);
+        verilog::write_verilog(&rewritten)
+    };
+    match &opts.output {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("[{tag}] wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -102,69 +198,38 @@ fn main() -> ExitCode {
         }
     };
 
+    let tag = match opts.backend {
+        Backend::Bbdd => "bbdd",
+        Backend::Robdd => "robdd",
+        Backend::ParBbdd => "par-bbdd",
+        Backend::ParRobdd => "par-robdd",
+    };
     eprintln!(
-        "[bbdd] {}: {} inputs, {} outputs, {} gates",
+        "[{tag}] {}: {} inputs, {} outputs, {} gates",
         net.name(),
         net.num_inputs(),
         net.num_outputs(),
-        net.num_gates()
+        net.num_gates(),
     );
 
-    let mut mgr = bbdd::Bbdd::new(net.num_inputs());
-    let t0 = std::time::Instant::now();
-    // The builder returns owned handles: the outputs are registered GC
-    // roots from here on, so collection and sifting need no root lists.
-    let roots = build_network(&mut mgr, &net);
-    mgr.gc();
-    let build_s = t0.elapsed().as_secs_f64();
-    eprintln!(
-        "[bbdd] built: {} nodes in {build_s:.3}s (file variable order)",
-        mgr.shared_node_count_fns(&roots)
-    );
-
-    if opts.sift {
-        let t1 = std::time::Instant::now();
-        mgr.sift();
-        eprintln!(
-            "[bbdd] sifted: {} nodes in {:.3}s; order {:?}",
-            mgr.shared_node_count_fns(&roots),
-            t1.elapsed().as_secs_f64(),
-            mgr.order()
-        );
+    let n = net.num_inputs().max(1);
+    let threads = opts
+        .threads
+        .unwrap_or_else(|| ddcore::par::threads_from_env(4));
+    match opts.backend {
+        Backend::Bbdd => run(&BbddManager::with_vars(n), &net, &opts, tag),
+        Backend::Robdd => run(&RobddManager::with_vars(n), &net, &opts, tag),
+        Backend::ParBbdd => run(
+            &ParBbddManager::new(ParBbdd::new(n, threads)),
+            &net,
+            &opts,
+            tag,
+        ),
+        Backend::ParRobdd => run(
+            &ParRobddManager::new(ParRobdd::new(n, threads)),
+            &net,
+            &opts,
+            tag,
+        ),
     }
-    if opts.stats {
-        let s = mgr.stats();
-        eprintln!(
-            "[bbdd] stats: {} apply calls, {} ite calls, {} nodes created, {} GCs ({} freed), {} swaps, peak {}",
-            s.apply_calls, s.ite_calls, s.nodes_created, s.gc_runs, s.nodes_freed, s.swaps,
-            s.peak_live_nodes
-        );
-        let profile = mgr.level_profile_fns(&roots);
-        eprintln!("[bbdd] level profile (bottom→top): {profile:?}");
-    }
-
-    let in_names: Vec<String> = net
-        .inputs()
-        .iter()
-        .map(|&s| net.signal_name(s).to_string())
-        .collect();
-    let out_names: Vec<String> = net.outputs().iter().map(|(n, _)| n.clone()).collect();
-    let text = if opts.dot {
-        let names: Vec<&str> = out_names.iter().map(String::as_str).collect();
-        mgr.to_dot_fns(&roots, &names)
-    } else {
-        let rewritten = bbdd_to_network(&mgr, &roots, &in_names, &out_names);
-        verilog::write_verilog(&rewritten)
-    };
-    match &opts.output {
-        Some(path) => {
-            if let Err(e) = std::fs::write(path, text) {
-                eprintln!("error: {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-            eprintln!("[bbdd] wrote {path}");
-        }
-        None => print!("{text}"),
-    }
-    ExitCode::SUCCESS
 }

@@ -1,0 +1,318 @@
+//! The `ddcore::api` conformance suite: every [`BooleanFunction`] /
+//! [`FunctionManager`] operation, exercised against 32-entry shadow truth
+//! tables, macro-instantiated for **all four managers** (the parallel
+//! pair at thread counts 1 and 4).
+//!
+//! Everything below runs through the trait API only — no edge-level
+//! calls, no backend-specific methods. This is the single suite that
+//! replaces the per-crate copies of the handle-operation property tests:
+//! a fifth backend gets full op coverage by adding one line to the macro
+//! invocation at the bottom.
+
+use bbdd::prelude::*;
+use robdd::prelude::*;
+
+const NV: usize = 5;
+const ROWS: u32 = 32;
+
+/// Truth table of variable `v`: row `m` has variable `v` = bit `v` of `m`.
+fn tt_var(v: usize) -> u32 {
+    let mut t = 0u32;
+    for m in 0..ROWS {
+        if (m >> v) & 1 == 1 {
+            t |= 1 << m;
+        }
+    }
+    t
+}
+
+fn tt_restrict(t: u32, v: usize, value: bool) -> u32 {
+    let mut r = 0u32;
+    for m in 0..ROWS {
+        let source = if value { m | (1 << v) } else { m & !(1 << v) };
+        if (t >> source) & 1 == 1 {
+            r |= 1 << m;
+        }
+    }
+    r
+}
+
+fn tt_exists(t: u32, vars: &[usize]) -> u32 {
+    vars.iter().fold(t, |t, &v| {
+        tt_restrict(t, v, true) | tt_restrict(t, v, false)
+    })
+}
+
+fn tt_forall(t: u32, vars: &[usize]) -> u32 {
+    vars.iter().fold(t, |t, &v| {
+        tt_restrict(t, v, true) & tt_restrict(t, v, false)
+    })
+}
+
+/// Row index of `assignment`.
+fn row_of(assignment: &[bool]) -> u32 {
+    assignment
+        .iter()
+        .enumerate()
+        .fold(0, |m, (v, &b)| if b { m | (1 << v) } else { m })
+}
+
+fn assignment_of(m: u32) -> Vec<bool> {
+    (0..NV).map(|v| (m >> v) & 1 == 1).collect()
+}
+
+/// Check a handle against its shadow table through every query op.
+fn check<F: BooleanFunction>(label: &str, f: &F, tt: u32) {
+    for m in 0..ROWS {
+        assert_eq!(
+            f.eval(&assignment_of(m)),
+            (tt >> m) & 1 == 1,
+            "{label}: eval disagrees on row {m}"
+        );
+    }
+    assert_eq!(
+        f.sat_count(),
+        u128::from(tt.count_ones()),
+        "{label}: sat_count"
+    );
+    match f.any_sat() {
+        Some(w) => {
+            assert!(tt != 0, "{label}: any_sat on UNSAT");
+            assert_eq!((tt >> row_of(&w)) & 1, 1, "{label}: any_sat not a model");
+        }
+        None => assert_eq!(tt, 0, "{label}: any_sat missed a model"),
+    }
+    let all = f.all_sat(ROWS as usize);
+    assert_eq!(all.len(), tt.count_ones() as usize, "{label}: all_sat size");
+    for w in &all {
+        assert_eq!((tt >> row_of(w)) & 1, 1, "{label}: all_sat non-model");
+    }
+    let support = f.support();
+    for v in 0..NV {
+        let depends = tt_restrict(tt, v, true) != tt_restrict(tt, v, false);
+        assert_eq!(
+            support.contains(&v),
+            depends,
+            "{label}: support disagrees on variable {v}"
+        );
+    }
+    assert_eq!(f.is_true(), tt == !0, "{label}: is_true");
+    assert_eq!(f.is_false(), tt == 0, "{label}: is_false");
+    assert_eq!(f.is_constant(), tt == 0 || tt == !0, "{label}: is_constant");
+    if f.is_constant() {
+        assert_eq!(f.node_count(), 0, "{label}: constants have no nodes");
+    } else {
+        assert!(f.node_count() > 0, "{label}: node_count");
+    }
+}
+
+/// A deterministic pool of (handle, shadow-table) pairs to draw operands
+/// from: literals, constants and a few composites.
+fn pool<M: FunctionManager>(mgr: &M) -> Vec<(M::Function, u32)> {
+    let mut pool: Vec<(M::Function, u32)> = Vec::new();
+    pool.push((mgr.constant(false), 0));
+    pool.push((mgr.constant(true), !0));
+    for v in 0..NV {
+        pool.push((mgr.var(v), tt_var(v)));
+        pool.push((mgr.nvar(v), !tt_var(v)));
+    }
+    // Composites seeded by a fixed LCG so every backend sees the same mix.
+    let mut state = 0xD1CE_5EEDu64;
+    for _ in 0..12 {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let i = (state >> 18) as usize % pool.len();
+        let j = (state >> 34) as usize % pool.len();
+        let op = BoolOp::from_table((state >> 50) as u8 % 16);
+        let tt = {
+            let mut t = 0u32;
+            for m in 0..ROWS {
+                if op.eval((pool[i].1 >> m) & 1 == 1, (pool[j].1 >> m) & 1 == 1) {
+                    t |= 1 << m;
+                }
+            }
+            t
+        };
+        let f = pool[i].0.apply(op, &pool[j].0);
+        pool.push((f, tt));
+    }
+    pool
+}
+
+/// The conformance body, generic over the manager: every trait operation
+/// against the shadow model.
+fn conformance<M: FunctionManager>(mgr: &M) {
+    assert_eq!(mgr.num_vars(), NV);
+    assert_eq!(mgr.variable_order().len(), NV);
+    let pool = pool(mgr);
+    for (f, tt) in &pool {
+        check("pool", f, *tt);
+    }
+
+    // Binary ops: all 16 operators over a sample of operand pairs, plus
+    // the named wrappers.
+    for (i, j) in [(0usize, 1usize), (2, 4), (3, 17), (10, 15), (16, 18)] {
+        let (fi, ti) = &pool[i % pool.len()];
+        let (fj, tj) = &pool[j % pool.len()];
+        for op in BoolOp::all() {
+            let mut tt = 0u32;
+            for m in 0..ROWS {
+                if op.eval((ti >> m) & 1 == 1, (tj >> m) & 1 == 1) {
+                    tt |= 1 << m;
+                }
+            }
+            check("apply", &fi.apply(op, fj), tt);
+        }
+        check("and", &fi.and(fj), ti & tj);
+        check("or", &fi.or(fj), ti | tj);
+        check("xor", &fi.xor(fj), ti ^ tj);
+        check("xnor", &fi.xnor(fj), !(ti ^ tj));
+        check("nand", &fi.nand(fj), !(ti & tj));
+        check("nor", &fi.nor(fj), !(ti | tj));
+        check("imp", &fi.imp(fj), !ti | tj);
+        check("not", &fi.not(), !ti);
+    }
+
+    // ITE over operand triples.
+    for (i, j, k) in [(2usize, 4usize, 6usize), (12, 3, 18), (17, 16, 5)] {
+        let (fi, ti) = &pool[i % pool.len()];
+        let (fj, tj) = &pool[j % pool.len()];
+        let (fk, tk) = &pool[k % pool.len()];
+        check("ite", &fi.ite(fj, fk), (ti & tj) | (!ti & tk));
+    }
+
+    // Quantification, restriction, cofactors over several cubes.
+    for (idx, mask) in [(14usize, 0b00101u8), (16, 0b11010), (18, 0b00011)] {
+        let (f, tt) = &pool[idx % pool.len()];
+        let vars: Vec<usize> = (0..NV).filter(|v| (mask >> v) & 1 == 1).collect();
+        check("exists", &f.exists(&vars), tt_exists(*tt, &vars));
+        check("forall", &f.forall(&vars), tt_forall(*tt, &vars));
+        let (g, tg) = &pool[(idx + 3) % pool.len()];
+        check(
+            "and_exists",
+            &f.and_exists(g, &vars),
+            tt_exists(tt & tg, &vars),
+        );
+        let v = vars[0];
+        check("restrict1", &f.restrict(v, true), tt_restrict(*tt, v, true));
+        check(
+            "restrict0",
+            &f.restrict(v, false),
+            tt_restrict(*tt, v, false),
+        );
+        let (hi, lo) = f.cofactors(v);
+        check("cofactor_hi", &hi, tt_restrict(*tt, v, true));
+        check("cofactor_lo", &lo, tt_restrict(*tt, v, false));
+    }
+
+    // Composition: single substitution vs the simultaneous form.
+    {
+        let (f, tf) = &pool[16 % pool.len()];
+        let (g, tg) = &pool[9 % pool.len()];
+        let var = 2;
+        let expect = (tg & tt_restrict(*tf, var, true)) | (!tg & tt_restrict(*tf, var, false));
+        check("compose", &f.compose(var, g), expect);
+        let mut subs: Vec<Option<M::Function>> = vec![None; NV];
+        subs[var] = Some(g.clone());
+        check("vector_compose", &f.vector_compose(&subs), expect);
+        // Simultaneous swap of two variables — the case single composes
+        // cannot express.
+        let mut swap: Vec<Option<M::Function>> = vec![None; NV];
+        swap[0] = Some(mgr.var(1));
+        swap[1] = Some(mgr.var(0));
+        let mut expect_swap = 0u32;
+        for m in 0..ROWS {
+            let b0 = (m >> 1) & 1; // new value of variable 0
+            let b1 = m & 1;
+            let source = (m & !0b11) | (b0) | (b1 << 1);
+            if (tf >> source) & 1 == 1 {
+                expect_swap |= 1 << m;
+            }
+        }
+        check("vector_compose_swap", &f.vector_compose(&swap), expect_swap);
+    }
+
+    // Manager-level surface: shared counts, GC accounting, DOT export.
+    let handles: Vec<M::Function> = pool.iter().map(|(f, _)| f.clone()).collect();
+    assert!(mgr.shared_node_count(&handles) > 0);
+    let dot = mgr.to_dot(&handles[..2], &["a", "b"]);
+    assert!(!dot.is_empty(), "to_dot must render something");
+    let profile = mgr
+        .level_profile(&handles)
+        .expect("all four backends expose a level profile");
+    assert_eq!(profile.len(), NV);
+    assert_eq!(
+        profile.iter().sum::<usize>(),
+        mgr.shared_node_count(&handles),
+        "level profile must account for every reachable node"
+    );
+    drop(handles);
+    drop(pool);
+    mgr.gc();
+    assert_eq!(mgr.external_roots(), 0, "registry drains");
+    assert_eq!(mgr.live_nodes(), 0, "sink-only after all handles drop");
+    assert_eq!(mgr.gc_threshold(), 0);
+    mgr.set_gc_threshold(64);
+    assert_eq!(mgr.gc_threshold(), 64);
+    mgr.collect();
+
+    // Manager identity round-trips through handles.
+    let f = mgr.var(0);
+    let same = f.manager().var(0);
+    assert_eq!(f, same, "manager() addresses the same backend");
+}
+
+/// Instantiate the suite (plus the operator-overload sugar, which lives
+/// on the concrete handle type) for one backend per line.
+macro_rules! conformance_suite {
+    ($($name:ident => $mgr:expr;)*) => {$(
+        #[test]
+        fn $name() {
+            let mgr = $mgr;
+            conformance(&mgr);
+            // `std::ops` sugar on handle references — concrete types only.
+            let a = mgr.var(0);
+            let b = mgr.var(1);
+            assert_eq!(&a & &b, a.and(&b));
+            assert_eq!(&a | &b, a.or(&b));
+            assert_eq!(&a ^ &b, a.xor(&b));
+            assert_eq!(!&a, a.not());
+        }
+    )*};
+}
+
+fn par_bbdd(threads: usize) -> ParBbddManager {
+    ParBbddManager::new(ParBbdd::with_config(
+        NV,
+        bbdd::ParConfig {
+            threads,
+            cutoff: 0, // force the parallel pipeline on every operand size
+            split_depth: Some(2),
+            cache_ways: 1 << 10,
+            shards: 8,
+        },
+    ))
+}
+
+fn par_robdd(threads: usize) -> ParRobddManager {
+    ParRobddManager::new(ParRobdd::with_config(
+        NV,
+        robdd::ParConfig {
+            threads,
+            cutoff: 0,
+            split_depth: Some(2),
+            cache_ways: 1 << 10,
+            shards: 8,
+        },
+    ))
+}
+
+conformance_suite! {
+    bbdd_conformance => BbddManager::with_vars(NV);
+    robdd_conformance => RobddManager::with_vars(NV);
+    par_bbdd_conformance_t1 => par_bbdd(1);
+    par_bbdd_conformance_t4 => par_bbdd(4);
+    par_robdd_conformance_t1 => par_robdd(1);
+    par_robdd_conformance_t4 => par_robdd(4);
+}

@@ -4,16 +4,18 @@
 
 use bbdd_suite::*;
 
+use bbdd::prelude::*;
 use logicnet::build::build_network;
 use logicnet::sim::SplitMix64;
 use logicnet::{blif, verilog, Network};
+use robdd::prelude::*;
 
 /// Compare BBDD, ROBDD and direct simulation on `vectors` random inputs.
 fn agree_on_random_vectors(net: &Network, vectors: usize, seed: u64) {
-    let mut bb = bbdd::Bbdd::new(net.num_inputs());
-    let bb_roots = build_network(&mut bb, net);
-    let mut bd = robdd::Robdd::new(net.num_inputs());
-    let bd_roots = build_network(&mut bd, net);
+    let bb = BbddManager::with_vars(net.num_inputs());
+    let bb_roots = build_network(&bb, net);
+    let bd = RobddManager::with_vars(net.num_inputs());
+    let bd_roots = build_network(&bd, net);
 
     let mut rng = SplitMix64::new(seed);
     let n = net.num_inputs();
@@ -21,8 +23,8 @@ fn agree_on_random_vectors(net: &Network, vectors: usize, seed: u64) {
         let v: Vec<bool> = (0..n).map(|_| rng.next_u64() & 1 == 1).collect();
         let sim = net.simulate(&v);
         for (o, expect) in sim.iter().enumerate() {
-            assert_eq!(bb.eval(bb_roots[o].edge(), &v), *expect, "BBDD output {o}");
-            assert_eq!(bd.eval(bd_roots[o].edge(), &v), *expect, "ROBDD output {o}");
+            assert_eq!(bb_roots[o].eval(&v), *expect, "BBDD output {o}");
+            assert_eq!(bd_roots[o].eval(&v), *expect, "ROBDD output {o}");
         }
     }
 }
@@ -76,21 +78,21 @@ fn canonicity_is_order_independent_across_rebuilds() {
     // one manager: canonical edges must coincide; then sift and re-check
     // semantics against a fresh simulation.
     let net = benchgen::mcnc::generate("z4ml").unwrap();
-    let mut mgr = bbdd::Bbdd::new(net.num_inputs());
-    let roots1 = build_network(&mut mgr, &net);
-    let roots2 = build_network(&mut mgr, &net);
+    let mgr = BbddManager::with_vars(net.num_inputs());
+    let roots1 = build_network(&mgr, &net);
+    let roots2 = build_network(&mgr, &net);
     assert_eq!(roots1, roots2, "canonical rebuild");
-    mgr.sift(); // the output handles are the registry's roots
-    agree_after_sift(&net, &mgr, &roots1);
+    mgr.reorder(); // the output handles are the registry's roots
+    agree_after_sift(&net, &roots1);
 }
 
-fn agree_after_sift(net: &Network, mgr: &bbdd::Bbdd, roots: &[bbdd::BbddFn]) {
+fn agree_after_sift(net: &Network, roots: &[bbdd::BbddFn]) {
     let n = net.num_inputs();
     for m in 0..(1u32 << n.min(12)) {
         let v: Vec<bool> = (0..n).map(|i| (m >> (i % 32)) & 1 == 1).collect();
         let sim = net.simulate(&v);
         for (o, expect) in sim.iter().enumerate() {
-            assert_eq!(mgr.eval(roots[o].edge(), &v), *expect);
+            assert_eq!(roots[o].eval(&v), *expect);
         }
     }
 }
@@ -101,25 +103,25 @@ fn sift_preserves_all_benchmark_functions() {
         "C17", "misex1", "z4ml", "decod", "9symml", "parity", "cordic",
     ] {
         let net = benchgen::mcnc::generate(name).unwrap();
-        let mut mgr = bbdd::Bbdd::new(net.num_inputs());
-        let roots = build_network(&mut mgr, &net);
-        let before: Vec<u128> = roots.iter().map(|r| mgr.sat_count(r.edge())).collect();
-        mgr.sift();
-        mgr.validate().unwrap();
-        let after: Vec<u128> = roots.iter().map(|r| mgr.sat_count(r.edge())).collect();
+        let mgr = BbddManager::with_vars(net.num_inputs());
+        let roots = build_network(&mgr, &net);
+        let before: Vec<u128> = roots.iter().map(|r| r.sat_count()).collect();
+        mgr.reorder();
+        mgr.backend().validate().unwrap();
+        let after: Vec<u128> = roots.iter().map(|r| r.sat_count()).collect();
         assert_eq!(before, after, "{name}: sat counts changed under sifting");
-        agree_on_sample(&net, &mgr, &roots, 0x51F7);
+        agree_on_sample(&net, &roots, 0x51F7);
     }
 }
 
-fn agree_on_sample(net: &Network, mgr: &bbdd::Bbdd, roots: &[bbdd::BbddFn], seed: u64) {
+fn agree_on_sample(net: &Network, roots: &[bbdd::BbddFn], seed: u64) {
     let mut rng = SplitMix64::new(seed);
     let n = net.num_inputs();
     for _ in 0..40 {
         let v: Vec<bool> = (0..n).map(|_| rng.next_u64() & 1 == 1).collect();
         let sim = net.simulate(&v);
         for (o, expect) in sim.iter().enumerate() {
-            assert_eq!(mgr.eval(roots[o].edge(), &v), *expect);
+            assert_eq!(roots[o].eval(&v), *expect);
         }
     }
 }
@@ -128,14 +130,14 @@ fn agree_on_sample(net: &Network, mgr: &bbdd::Bbdd, roots: &[bbdd::BbddFn], seed
 fn sat_counts_match_between_packages() {
     for name in ["C17", "misex1", "z4ml", "9symml", "decod", "parity"] {
         let net = benchgen::mcnc::generate(name).unwrap();
-        let mut bb = bbdd::Bbdd::new(net.num_inputs());
-        let bb_roots = build_network(&mut bb, &net);
-        let mut bd = robdd::Robdd::new(net.num_inputs());
-        let bd_roots = build_network(&mut bd, &net);
+        let bb = BbddManager::with_vars(net.num_inputs());
+        let bb_roots = build_network(&bb, &net);
+        let bd = RobddManager::with_vars(net.num_inputs());
+        let bd_roots = build_network(&bd, &net);
         for (o, (fb, fd)) in bb_roots.iter().zip(&bd_roots).enumerate() {
             assert_eq!(
-                bb.sat_count(fb.edge()),
-                bd.sat_count(fd.edge()),
+                fb.sat_count(),
+                fd.sat_count(),
                 "{name} output {o}: packages disagree on model count"
             );
         }

@@ -1,218 +1,68 @@
-//! Property tests of the owned-handle + root-registry contract (PR 4's
-//! tentpole): random op/clone/drop interleavings with *forced automatic
-//! GC* must preserve semantics against brute-force truth tables, the
-//! live-node accounting must match what the registry can reach, and once
-//! every handle drops the managers must collect down to the sink-only
-//! baseline (the leak check) — on both sequential managers and both
-//! parallel front-ends at 1 and 4 threads.
+//! Property tests of the owned-handle + automatic-GC machinery through
+//! the unified `ddcore::api` trait layer, on all four managers.
+//!
+//! A random script interleaves function construction, handle clones and
+//! drops, explicit collections and a forced automatic-GC latch
+//! (`gc_threshold = 4`), while every live handle carries a 32-entry shadow
+//! truth table. Invariants, per manager:
+//!
+//! * every surviving handle still denotes its shadow table;
+//! * after a collection, `live_nodes` equals exactly the nodes reachable
+//!   from the registered handles;
+//! * once every handle drops, the manager returns to the sink-only
+//!   baseline with an empty registry (the leak check).
+//!
+//! Before the trait family existed, this file carried a hand-written shim
+//! trait re-declaring the handle ops for each manager; the generic script
+//! now runs on `M: FunctionManager` directly.
 
-use bbdd_suite::*;
-
+use bbdd::prelude::*;
 use proptest::prelude::*;
+use robdd::prelude::*;
 
 const NV: usize = 5;
 
-/// The manager surface the interleaving harness drives, implemented for
-/// all four managers so one interpreter checks the whole family.
-trait HarnessMgr {
-    type Fun: Clone;
-    fn var_fn(&mut self, v: usize) -> Self::Fun;
-    fn const_fn(&mut self, b: bool) -> Self::Fun;
-    fn not_fn(&self, f: &Self::Fun) -> Self::Fun;
-    fn apply_fn(&mut self, op: u8, a: &Self::Fun, b: &Self::Fun) -> Self::Fun;
-    fn ite_fn(&mut self, s: &Self::Fun, a: &Self::Fun, b: &Self::Fun) -> Self::Fun;
-    fn exists_fn(&mut self, f: &Self::Fun, vars: &[usize]) -> Self::Fun;
-    fn eval(&self, f: &Self::Fun, v: &[bool]) -> bool;
-    fn gc(&mut self) -> usize;
-    fn live_nodes(&self) -> usize;
-    fn external_roots(&self) -> usize;
-    fn shared_count(&self, fs: &[Self::Fun]) -> usize;
-    fn validate(&self) -> Result<(), String>;
-    fn set_gc_threshold(&mut self, t: usize);
+/// The per-backend escape hatches the generic script still needs:
+/// structural validation and the GC-run counter (diagnostics that are
+/// deliberately not part of the public trait surface).
+trait Diagnostics: FunctionManager {
+    fn validate_all(&self) -> Result<(), String>;
     fn gc_runs(&self) -> u64;
 }
 
-impl HarnessMgr for bbdd::Bbdd {
-    type Fun = bbdd::BbddFn;
-    fn var_fn(&mut self, v: usize) -> Self::Fun {
-        bbdd::Bbdd::var_fn(self, v)
-    }
-    fn const_fn(&mut self, b: bool) -> Self::Fun {
-        bbdd::Bbdd::const_fn(self, b)
-    }
-    fn not_fn(&self, f: &Self::Fun) -> Self::Fun {
-        bbdd::Bbdd::not_fn(self, f)
-    }
-    fn apply_fn(&mut self, op: u8, a: &Self::Fun, b: &Self::Fun) -> Self::Fun {
-        bbdd::Bbdd::apply_fn(self, bbdd::BoolOp::from_table(op), a, b)
-    }
-    fn ite_fn(&mut self, s: &Self::Fun, a: &Self::Fun, b: &Self::Fun) -> Self::Fun {
-        bbdd::Bbdd::ite_fn(self, s, a, b)
-    }
-    fn exists_fn(&mut self, f: &Self::Fun, vars: &[usize]) -> Self::Fun {
-        bbdd::Bbdd::exists_fn(self, f, vars)
-    }
-    fn eval(&self, f: &Self::Fun, v: &[bool]) -> bool {
-        bbdd::Bbdd::eval(self, f.edge(), v)
-    }
-    fn gc(&mut self) -> usize {
-        bbdd::Bbdd::gc(self)
-    }
-    fn live_nodes(&self) -> usize {
-        bbdd::Bbdd::live_nodes(self)
-    }
-    fn external_roots(&self) -> usize {
-        bbdd::Bbdd::external_roots(self)
-    }
-    fn shared_count(&self, fs: &[Self::Fun]) -> usize {
-        self.shared_node_count_fns(fs)
-    }
-    fn validate(&self) -> Result<(), String> {
-        bbdd::Bbdd::validate(self)
-    }
-    fn set_gc_threshold(&mut self, t: usize) {
-        bbdd::Bbdd::set_gc_threshold(self, t);
+impl Diagnostics for BbddManager {
+    fn validate_all(&self) -> Result<(), String> {
+        self.backend().validate()
     }
     fn gc_runs(&self) -> u64 {
-        self.stats().gc_runs
+        self.backend().stats().gc_runs
     }
 }
 
-impl HarnessMgr for robdd::Robdd {
-    type Fun = robdd::RobddFn;
-    fn var_fn(&mut self, v: usize) -> Self::Fun {
-        robdd::Robdd::var_fn(self, v)
-    }
-    fn const_fn(&mut self, b: bool) -> Self::Fun {
-        robdd::Robdd::const_fn(self, b)
-    }
-    fn not_fn(&self, f: &Self::Fun) -> Self::Fun {
-        robdd::Robdd::not_fn(self, f)
-    }
-    fn apply_fn(&mut self, op: u8, a: &Self::Fun, b: &Self::Fun) -> Self::Fun {
-        robdd::Robdd::apply_fn(self, robdd::BoolOp::from_table(op), a, b)
-    }
-    fn ite_fn(&mut self, s: &Self::Fun, a: &Self::Fun, b: &Self::Fun) -> Self::Fun {
-        robdd::Robdd::ite_fn(self, s, a, b)
-    }
-    fn exists_fn(&mut self, f: &Self::Fun, vars: &[usize]) -> Self::Fun {
-        robdd::Robdd::exists_fn(self, f, vars)
-    }
-    fn eval(&self, f: &Self::Fun, v: &[bool]) -> bool {
-        robdd::Robdd::eval(self, f.edge(), v)
-    }
-    fn gc(&mut self) -> usize {
-        robdd::Robdd::gc(self)
-    }
-    fn live_nodes(&self) -> usize {
-        robdd::Robdd::live_nodes(self)
-    }
-    fn external_roots(&self) -> usize {
-        robdd::Robdd::external_roots(self)
-    }
-    fn shared_count(&self, fs: &[Self::Fun]) -> usize {
-        self.shared_node_count_fns(fs)
-    }
-    fn validate(&self) -> Result<(), String> {
-        robdd::Robdd::validate(self)
-    }
-    fn set_gc_threshold(&mut self, t: usize) {
-        robdd::Robdd::set_gc_threshold(self, t);
+impl Diagnostics for RobddManager {
+    fn validate_all(&self) -> Result<(), String> {
+        self.backend().validate()
     }
     fn gc_runs(&self) -> u64 {
-        self.stats().gc_runs
+        self.backend().stats().gc_runs
     }
 }
 
-impl HarnessMgr for bbdd::ParBbdd {
-    type Fun = bbdd::BbddFn;
-    fn var_fn(&mut self, v: usize) -> Self::Fun {
-        bbdd::ParBbdd::var_fn(self, v)
-    }
-    fn const_fn(&mut self, b: bool) -> Self::Fun {
-        bbdd::ParBbdd::const_fn(self, b)
-    }
-    fn not_fn(&self, f: &Self::Fun) -> Self::Fun {
-        bbdd::ParBbdd::not_fn(self, f)
-    }
-    fn apply_fn(&mut self, op: u8, a: &Self::Fun, b: &Self::Fun) -> Self::Fun {
-        bbdd::ParBbdd::apply_fn(self, bbdd::BoolOp::from_table(op), a, b)
-    }
-    fn ite_fn(&mut self, s: &Self::Fun, a: &Self::Fun, b: &Self::Fun) -> Self::Fun {
-        bbdd::ParBbdd::ite_fn(self, s, a, b)
-    }
-    fn exists_fn(&mut self, f: &Self::Fun, vars: &[usize]) -> Self::Fun {
-        bbdd::ParBbdd::exists_fn(self, f, vars)
-    }
-    fn eval(&self, f: &Self::Fun, v: &[bool]) -> bool {
-        bbdd::ParBbdd::eval(self, f.edge(), v)
-    }
-    fn gc(&mut self) -> usize {
-        self.collect()
-    }
-    fn live_nodes(&self) -> usize {
-        bbdd::ParBbdd::live_nodes(self)
-    }
-    fn external_roots(&self) -> usize {
-        bbdd::ParBbdd::external_roots(self)
-    }
-    fn shared_count(&self, fs: &[Self::Fun]) -> usize {
-        self.inner().shared_node_count_fns(fs)
-    }
-    fn validate(&self) -> Result<(), String> {
-        self.inner().validate()
-    }
-    fn set_gc_threshold(&mut self, t: usize) {
-        bbdd::ParBbdd::set_gc_threshold(self, t);
+impl Diagnostics for ParBbddManager {
+    fn validate_all(&self) -> Result<(), String> {
+        self.backend().inner().validate()
     }
     fn gc_runs(&self) -> u64 {
-        self.stats().gc_runs
+        self.backend().stats().gc_runs
     }
 }
 
-impl HarnessMgr for robdd::ParRobdd {
-    type Fun = robdd::RobddFn;
-    fn var_fn(&mut self, v: usize) -> Self::Fun {
-        robdd::ParRobdd::var_fn(self, v)
-    }
-    fn const_fn(&mut self, b: bool) -> Self::Fun {
-        robdd::ParRobdd::const_fn(self, b)
-    }
-    fn not_fn(&self, f: &Self::Fun) -> Self::Fun {
-        robdd::ParRobdd::not_fn(self, f)
-    }
-    fn apply_fn(&mut self, op: u8, a: &Self::Fun, b: &Self::Fun) -> Self::Fun {
-        robdd::ParRobdd::apply_fn(self, robdd::BoolOp::from_table(op), a, b)
-    }
-    fn ite_fn(&mut self, s: &Self::Fun, a: &Self::Fun, b: &Self::Fun) -> Self::Fun {
-        robdd::ParRobdd::ite_fn(self, s, a, b)
-    }
-    fn exists_fn(&mut self, f: &Self::Fun, vars: &[usize]) -> Self::Fun {
-        robdd::ParRobdd::exists_fn(self, f, vars)
-    }
-    fn eval(&self, f: &Self::Fun, v: &[bool]) -> bool {
-        robdd::ParRobdd::eval(self, f.edge(), v)
-    }
-    fn gc(&mut self) -> usize {
-        self.collect()
-    }
-    fn live_nodes(&self) -> usize {
-        robdd::ParRobdd::live_nodes(self)
-    }
-    fn external_roots(&self) -> usize {
-        robdd::ParRobdd::external_roots(self)
-    }
-    fn shared_count(&self, fs: &[Self::Fun]) -> usize {
-        self.inner().shared_node_count_fns(fs)
-    }
-    fn validate(&self) -> Result<(), String> {
-        self.inner().validate()
-    }
-    fn set_gc_threshold(&mut self, t: usize) {
-        robdd::ParRobdd::set_gc_threshold(self, t);
+impl Diagnostics for ParRobddManager {
+    fn validate_all(&self) -> Result<(), String> {
+        self.backend().inner().validate()
     }
     fn gc_runs(&self) -> u64 {
-        self.stats().gc_runs
+        self.backend().stats().gc_runs
     }
 }
 
@@ -253,32 +103,32 @@ fn vars_of_mask(mask: u8) -> Vec<usize> {
 }
 
 /// Run a script on one manager, checking semantics and accounting.
-fn run_script<M: HarnessMgr>(mgr: &mut M, steps: &[Step]) {
+fn run_script<M: Diagnostics>(mgr: &M, steps: &[Step]) {
     // Force the automatic GC: latch at 4 live nodes, collect at every
-    // handle boundary past that.
+    // operation boundary past that.
     mgr.set_gc_threshold(4);
     // Live (handle, shadow-truth-table) pairs.
-    let mut slots: Vec<(M::Fun, u32)> = Vec::new();
+    let mut slots: Vec<(M::Function, u32)> = Vec::new();
     for &(kind, a, b, c) in steps {
         let pick = |x: u8, len: usize| x as usize % len;
         match kind % 9 {
             0 => {
                 let v = a as usize % NV;
-                slots.push((mgr.var_fn(v), tt_var(v)));
+                slots.push((mgr.var(v), tt_var(v)));
             }
             1 => {
                 let bit = a & 1 == 1;
-                slots.push((mgr.const_fn(bit), if bit { !0 } else { 0 }));
+                slots.push((mgr.constant(bit), if bit { !0 } else { 0 }));
             }
             2 if !slots.is_empty() => {
                 let (i, j) = (pick(a, slots.len()), pick(b, slots.len()));
-                let op = c % 16;
-                let f = mgr.apply_fn(op, &slots[i].0, &slots[j].0);
+                let op = BoolOp::from_table(c % 16);
+                let f = slots[i].0.apply(op, &slots[j].0);
                 let mut t = 0u32;
                 for m in 0..32u32 {
                     let x = (slots[i].1 >> m) & 1 == 1;
                     let y = (slots[j].1 >> m) & 1 == 1;
-                    if bbdd::BoolOp::from_table(op).eval(x, y) {
+                    if op.eval(x, y) {
                         t |= 1 << m;
                     }
                 }
@@ -290,20 +140,20 @@ fn run_script<M: HarnessMgr>(mgr: &mut M, steps: &[Step]) {
                     pick(b, slots.len()),
                     pick(c, slots.len()),
                 );
-                let f = mgr.ite_fn(&slots[i].0, &slots[j].0, &slots[k].0);
+                let f = slots[i].0.ite(&slots[j].0, &slots[k].0);
                 let t = (slots[i].1 & slots[j].1) | (!slots[i].1 & slots[k].1);
                 slots.push((f, t));
             }
             4 if !slots.is_empty() => {
                 let i = pick(a, slots.len());
-                let f = mgr.not_fn(&slots[i].0);
+                let f = slots[i].0.not();
                 let t = !slots[i].1;
                 slots.push((f, t));
             }
             5 if !slots.is_empty() => {
                 let i = pick(a, slots.len());
                 let vs = vars_of_mask(b);
-                let f = mgr.exists_fn(&slots[i].0, &vs);
+                let f = slots[i].0.exists(&vs);
                 let t = tt_exists(slots[i].1, &vs);
                 slots.push((f, t));
             }
@@ -326,23 +176,22 @@ fn run_script<M: HarnessMgr>(mgr: &mut M, steps: &[Step]) {
     }
     // Deterministic tail: the 5-variable parity chain always crosses the
     // threshold, so the auto-GC latch must have fired at least once.
-    let mut acc = mgr.const_fn(false);
+    let mut acc = mgr.constant(false);
     let mut acc_tt = 0u32;
     for v in 0..NV {
-        let lit = mgr.var_fn(v);
-        acc = mgr.apply_fn(bbdd::BoolOp::XOR.table(), &acc, &lit);
+        acc = acc.xor(&mgr.var(v));
         acc_tt ^= tt_var(v);
     }
     slots.push((acc, acc_tt));
     prop_assert!(mgr.gc_runs() > 0, "forced auto-GC never fired");
 
     // Semantics: every surviving handle still denotes its shadow table.
-    mgr.validate().unwrap();
+    mgr.validate_all().unwrap();
     for (idx, (f, tt)) in slots.iter().enumerate() {
         for m in 0..32u32 {
             let v: Vec<bool> = (0..NV).map(|i| (m >> i) & 1 == 1).collect();
             prop_assert_eq!(
-                mgr.eval(f, &v),
+                f.eval(&v),
                 (tt >> m) & 1 == 1,
                 "slot {} assignment {}",
                 idx,
@@ -353,9 +202,9 @@ fn run_script<M: HarnessMgr>(mgr: &mut M, steps: &[Step]) {
     // Accounting: after a collection, the live set is exactly what the
     // registered handles reach.
     mgr.gc();
-    let handles: Vec<M::Fun> = slots.iter().map(|(f, _)| f.clone()).collect();
+    let handles: Vec<M::Function> = slots.iter().map(|(f, _)| f.clone()).collect();
     prop_assert_eq!(
-        mgr.shared_count(&handles),
+        mgr.shared_node_count(&handles),
         mgr.live_nodes(),
         "live nodes != nodes reachable from the registry"
     );
@@ -365,11 +214,11 @@ fn run_script<M: HarnessMgr>(mgr: &mut M, steps: &[Step]) {
     mgr.gc();
     prop_assert_eq!(mgr.external_roots(), 0, "registry must drain");
     prop_assert_eq!(mgr.live_nodes(), 0, "sink-only baseline after drops");
-    mgr.validate().unwrap();
+    mgr.validate_all().unwrap();
 }
 
-fn par_bbdd(threads: usize) -> bbdd::ParBbdd {
-    bbdd::ParBbdd::with_config(
+fn par_bbdd(threads: usize) -> ParBbddManager {
+    ParBbddManager::new(ParBbdd::with_config(
         NV,
         bbdd::ParConfig {
             threads,
@@ -378,11 +227,11 @@ fn par_bbdd(threads: usize) -> bbdd::ParBbdd {
             cache_ways: 1 << 10,
             shards: 8,
         },
-    )
+    ))
 }
 
-fn par_robdd(threads: usize) -> robdd::ParRobdd {
-    robdd::ParRobdd::with_config(
+fn par_robdd(threads: usize) -> ParRobddManager {
+    ParRobddManager::new(ParRobdd::with_config(
         NV,
         robdd::ParConfig {
             threads,
@@ -391,7 +240,7 @@ fn par_robdd(threads: usize) -> robdd::ParRobdd {
             cache_ways: 1 << 10,
             shards: 8,
         },
-    )
+    ))
 }
 
 proptest! {
@@ -402,8 +251,7 @@ proptest! {
         steps in proptest::collection::vec(
             (0u8..9, any::<u8>(), any::<u8>(), any::<u8>()), 1..48)
     ) {
-        let mut mgr = bbdd::Bbdd::new(NV);
-        run_script(&mut mgr, &steps);
+        run_script(&BbddManager::with_vars(NV), &steps);
     }
 
     #[test]
@@ -411,8 +259,7 @@ proptest! {
         steps in proptest::collection::vec(
             (0u8..9, any::<u8>(), any::<u8>(), any::<u8>()), 1..48)
     ) {
-        let mut mgr = robdd::Robdd::new(NV);
-        run_script(&mut mgr, &steps);
+        run_script(&RobddManager::with_vars(NV), &steps);
     }
 
     #[test]
@@ -421,8 +268,7 @@ proptest! {
             (0u8..9, any::<u8>(), any::<u8>(), any::<u8>()), 1..32)
     ) {
         for threads in [1usize, 4] {
-            let mut mgr = par_bbdd(threads);
-            run_script(&mut mgr, &steps);
+            run_script(&par_bbdd(threads), &steps);
         }
     }
 
@@ -432,8 +278,7 @@ proptest! {
             (0u8..9, any::<u8>(), any::<u8>(), any::<u8>()), 1..32)
     ) {
         for threads in [1usize, 4] {
-            let mut mgr = par_robdd(threads);
-            run_script(&mut mgr, &steps);
+            run_script(&par_robdd(threads), &steps);
         }
     }
 }

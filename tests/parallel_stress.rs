@@ -9,6 +9,7 @@
 
 use bbdd_suite::*;
 
+use bbdd::prelude::*;
 use logicnet::build::build_network;
 use logicnet::cec::{
     check_equivalence, check_equivalence_bbdd, check_equivalence_parallel_bbdd,
@@ -16,6 +17,7 @@ use logicnet::cec::{
 };
 use logicnet::sim::SplitMix64;
 use logicnet::{GateOp, Network, Signal};
+use robdd::prelude::*;
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
@@ -81,13 +83,16 @@ fn forced_robdd(threads: usize) -> robdd::ParConfig {
 fn parbbdd_netlist_roots_bit_identical_across_thread_counts() {
     for seed in [3u64, 11, 42] {
         let net = random_network(seed, 12, 160);
-        let mut seq = bbdd::Bbdd::new(net.num_inputs());
-        let seq_roots = build_network(&mut seq, &net);
+        let seq = BbddManager::with_vars(net.num_inputs());
+        let seq_roots = build_network(&seq, &net);
         let mut reference: Option<Vec<bbdd::Edge>> = None;
         for threads in THREAD_COUNTS {
-            let mut par = bbdd::ParBbdd::with_config(net.num_inputs(), forced_bbdd(threads));
-            let roots = build_network(&mut par, &net);
-            let root_edges: Vec<bbdd::Edge> = roots.iter().map(bbdd::BbddFn::edge).collect();
+            let par = ParBbddManager::new(bbdd::ParBbdd::with_config(
+                net.num_inputs(),
+                forced_bbdd(threads),
+            ));
+            let roots = build_network(&par, &net);
+            let root_edges: Vec<bbdd::Edge> = roots.iter().map(bbdd::ParBbddFn::edge).collect();
             match &reference {
                 None => reference = Some(root_edges.clone()),
                 Some(expect) => assert_eq!(
@@ -95,9 +100,9 @@ fn parbbdd_netlist_roots_bit_identical_across_thread_counts() {
                     "seed {seed}: thread count {threads} changed the roots"
                 ),
             }
-            par.inner().validate().unwrap();
+            par.backend().inner().validate().unwrap();
             assert!(
-                par.par_stats().ops_parallel > 0,
+                par.backend().par_stats().ops_parallel > 0,
                 "seed {seed}: the parallel pipeline must have run"
             );
             let mut rng = SplitMix64::new(seed ^ 0xA5A5);
@@ -107,22 +112,14 @@ fn parbbdd_netlist_roots_bit_identical_across_thread_counts() {
                     .collect();
                 let sim = net.simulate(&v);
                 for (o, expect) in sim.iter().enumerate() {
-                    assert_eq!(
-                        par.eval(roots[o].edge(), &v),
-                        *expect,
-                        "seed {seed} output {o}"
-                    );
-                    assert_eq!(
-                        seq.eval(seq_roots[o].edge(), &v),
-                        *expect,
-                        "seed {seed} output {o}"
-                    );
+                    assert_eq!(roots[o].eval(&v), *expect, "seed {seed} output {o}");
+                    assert_eq!(seq_roots[o].eval(&v), *expect, "seed {seed} output {o}");
                 }
             }
             for (o, (p, s)) in roots.iter().zip(&seq_roots).enumerate() {
                 assert_eq!(
-                    par.node_count(p.edge()),
-                    seq.node_count(s.edge()),
+                    p.node_count(),
+                    s.node_count(),
                     "seed {seed} output {o}: canonical sizes differ"
                 );
             }
@@ -135,13 +132,16 @@ fn parbbdd_netlist_roots_bit_identical_across_thread_counts() {
 fn parrobdd_netlist_roots_bit_identical_across_thread_counts() {
     for seed in [7u64, 19] {
         let net = random_network(seed, 12, 160);
-        let mut seq = robdd::Robdd::new(net.num_inputs());
-        let seq_roots = build_network(&mut seq, &net);
+        let seq = RobddManager::with_vars(net.num_inputs());
+        let seq_roots = build_network(&seq, &net);
         let mut reference: Option<Vec<robdd::Edge>> = None;
         for threads in THREAD_COUNTS {
-            let mut par = robdd::ParRobdd::with_config(net.num_inputs(), forced_robdd(threads));
-            let roots = build_network(&mut par, &net);
-            let root_edges: Vec<robdd::Edge> = roots.iter().map(robdd::RobddFn::edge).collect();
+            let par = ParRobddManager::new(robdd::ParRobdd::with_config(
+                net.num_inputs(),
+                forced_robdd(threads),
+            ));
+            let roots = build_network(&par, &net);
+            let root_edges: Vec<robdd::Edge> = roots.iter().map(robdd::ParRobddFn::edge).collect();
             match &reference {
                 None => reference = Some(root_edges.clone()),
                 Some(expect) => assert_eq!(
@@ -149,7 +149,7 @@ fn parrobdd_netlist_roots_bit_identical_across_thread_counts() {
                     "seed {seed}: thread count {threads} changed the roots"
                 ),
             }
-            par.inner().validate().unwrap();
+            par.backend().inner().validate().unwrap();
             let mut rng = SplitMix64::new(seed ^ 0x5A5A);
             for _ in 0..200 {
                 let v: Vec<bool> = (0..net.num_inputs())
@@ -157,17 +157,13 @@ fn parrobdd_netlist_roots_bit_identical_across_thread_counts() {
                     .collect();
                 let sim = net.simulate(&v);
                 for (o, expect) in sim.iter().enumerate() {
-                    assert_eq!(
-                        par.eval(roots[o].edge(), &v),
-                        *expect,
-                        "seed {seed} output {o}"
-                    );
+                    assert_eq!(roots[o].eval(&v), *expect, "seed {seed} output {o}");
                 }
             }
             for (o, (p, s)) in roots.iter().zip(&seq_roots).enumerate() {
                 assert_eq!(
-                    par.node_count(p.edge()),
-                    seq.node_count(s.edge()),
+                    p.node_count(),
+                    s.node_count(),
                     "seed {seed} output {o}: canonical sizes differ"
                 );
             }
@@ -181,27 +177,31 @@ fn parrobdd_netlist_roots_bit_identical_across_thread_counts() {
 fn parallel_quantification_matches_sequential_on_netlists() {
     let net = random_network(23, 10, 120);
     let vars: Vec<usize> = (0..net.num_inputs()).filter(|v| v % 2 == 0).collect();
-    let mut seq = bbdd::Bbdd::new(net.num_inputs());
-    let seq_roots = build_network(&mut seq, &net);
-    let seq_ex: Vec<bbdd::BbddFn> = seq_roots.iter().map(|r| seq.exists_fn(r, &vars)).collect();
+    let seq = BbddManager::with_vars(net.num_inputs());
+    let seq_roots = build_network(&seq, &net);
+    let seq_ex: Vec<bbdd::BbddFn> = seq_roots.iter().map(|r| r.exists(&vars)).collect();
     let mut reference: Option<Vec<bbdd::Edge>> = None;
     for threads in THREAD_COUNTS {
-        let mut par = bbdd::ParBbdd::with_config(net.num_inputs(), forced_bbdd(threads));
-        let roots = build_network(&mut par, &net);
-        let ex: Vec<bbdd::Edge> = roots.iter().map(|r| par.exists(r.edge(), &vars)).collect();
+        let par = ParBbddManager::new(bbdd::ParBbdd::with_config(
+            net.num_inputs(),
+            forced_bbdd(threads),
+        ));
+        let roots = build_network(&par, &net);
+        let ex: Vec<bbdd::ParBbddFn> = roots.iter().map(|r| r.exists(&vars)).collect();
+        let ex_edges: Vec<bbdd::Edge> = ex.iter().map(bbdd::ParBbddFn::edge).collect();
         match &reference {
-            None => reference = Some(ex.clone()),
-            Some(expect) => assert_eq!(&ex, expect, "threads {threads} changed ∃-roots"),
+            None => reference = Some(ex_edges.clone()),
+            Some(expect) => assert_eq!(&ex_edges, expect, "threads {threads} changed ∃-roots"),
         }
-        for (o, (&p, s)) in ex.iter().zip(&seq_ex).enumerate() {
+        for (o, (p, s)) in ex.iter().zip(&seq_ex).enumerate() {
             assert_eq!(
-                par.node_count(p),
-                seq.node_count(s.edge()),
+                p.node_count(),
+                s.node_count(),
                 "output {o}: quantified canonical sizes differ"
             );
             assert_eq!(
-                par.sat_count(p),
-                seq.sat_count(s.edge()),
+                p.sat_count(),
+                s.sat_count(),
                 "output {o}: quantified functions differ"
             );
         }
@@ -258,9 +258,16 @@ fn parallel_cec_verdicts_match_sequential() {
 fn parallel_manager_backs_the_generic_cec_driver() {
     let ripple = benchgen::datapath::adder(8);
     let cla = benchgen::datapath::adder_cla(8);
-    let mut mgr = bbdd::ParBbdd::with_config(ripple.num_inputs(), forced_bbdd(4));
-    assert!(check_equivalence(&mut mgr, &ripple, &cla).is_equivalent());
-    assert!(mgr.par_stats().ops_parallel > 0 || mgr.par_stats().ops_sequential > 0);
-    let mut mgr = robdd::ParRobdd::with_config(ripple.num_inputs(), forced_robdd(4));
-    assert!(check_equivalence(&mut mgr, &ripple, &cla).is_equivalent());
+    let mgr = ParBbddManager::new(bbdd::ParBbdd::with_config(
+        ripple.num_inputs(),
+        forced_bbdd(4),
+    ));
+    assert!(check_equivalence(&mgr, &ripple, &cla).is_equivalent());
+    let ps = mgr.backend().par_stats();
+    assert!(ps.ops_parallel > 0 || ps.ops_sequential > 0);
+    let mgr = ParRobddManager::new(robdd::ParRobdd::with_config(
+        ripple.num_inputs(),
+        forced_robdd(4),
+    ));
+    assert!(check_equivalence(&mgr, &ripple, &cla).is_equivalent());
 }

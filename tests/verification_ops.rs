@@ -352,7 +352,7 @@ fn rewrite_flow_is_self_verifying() {
         benchgen::datapath::adder(8),
         benchgen::datapath::equality(6),
     ] {
-        let (rewritten, verdict) = synthkit::bbdd_rewrite::rewrite_and_verify(&net, true);
+        let (rewritten, verdict) = synthkit::rewrite::rewrite_and_verify_bbdd(&net, true);
         assert!(verdict.is_equivalent(), "{}", net.name());
         assert_eq!(
             check_equivalence_robdd(&net, &rewritten),
