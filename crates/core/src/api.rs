@@ -25,6 +25,7 @@ use crate::manager::Bbdd;
 use crate::par::ParBbdd;
 use ddcore::api::{ManagerRef, RawManager};
 use ddcore::boolop::BoolOp;
+use ddcore::govern::{OpAbort, OpBudget};
 use ddcore::roots::{RootGuard, RootSet};
 
 /// The trait-level BBDD manager: [`ManagerRef`] over the sequential
@@ -92,6 +93,64 @@ impl RawManager for Bbdd {
         self.and_exists(f, g, vars)
     }
 
+    fn try_apply_edge(
+        &mut self,
+        op: BoolOp,
+        f: Edge,
+        g: Edge,
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
+        self.try_apply(op, f, g, budget)
+    }
+
+    fn try_ite_edge(
+        &mut self,
+        f: Edge,
+        g: Edge,
+        h: Edge,
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
+        self.try_ite(f, g, h, budget)
+    }
+
+    fn try_exists_edge(
+        &mut self,
+        f: Edge,
+        vars: &[usize],
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
+        self.try_exists(f, vars, budget)
+    }
+
+    fn try_forall_edge(
+        &mut self,
+        f: Edge,
+        vars: &[usize],
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
+        self.try_forall(f, vars, budget)
+    }
+
+    fn try_and_exists_edge(
+        &mut self,
+        f: Edge,
+        g: Edge,
+        vars: &[usize],
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
+        self.try_and_exists(f, g, vars, budget)
+    }
+
+    fn try_compose_edge(
+        &mut self,
+        f: Edge,
+        var: usize,
+        g: Edge,
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
+        self.try_compose(f, var, g, budget)
+    }
+
     fn restrict_edge(&mut self, f: Edge, var: usize, value: bool) -> Edge {
         self.restrict(f, var, value)
     }
@@ -110,6 +169,14 @@ impl RawManager for Bbdd {
 
     fn sat_count_edge(&self, f: Edge) -> u128 {
         self.sat_count(f)
+    }
+
+    fn sat_count_checked_edge(&self, f: Edge) -> Option<u128> {
+        self.sat_count_checked(f)
+    }
+
+    fn try_sat_count_edge(&self, f: Edge, budget: &mut OpBudget) -> Result<u128, OpAbort> {
+        self.try_sat_count(f, budget)
     }
 
     fn any_sat_edge(&self, f: Edge) -> Option<Vec<bool>> {
@@ -162,6 +229,10 @@ impl RawManager for Bbdd {
 
     fn try_sift(&mut self) -> Option<usize> {
         Some(self.sift())
+    }
+
+    fn sift_bounded(&mut self, budget: &mut OpBudget) -> Option<Result<usize, OpAbort>> {
+        Some(Bbdd::sift_bounded(self, budget))
     }
 
     fn set_auto_reorder(&mut self, threshold: usize) {
@@ -255,6 +326,64 @@ impl RawManager for ParBbdd {
         self.and_exists(f, g, vars)
     }
 
+    fn try_apply_edge(
+        &mut self,
+        op: BoolOp,
+        f: Edge,
+        g: Edge,
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
+        self.try_apply(op, f, g, budget)
+    }
+
+    fn try_ite_edge(
+        &mut self,
+        f: Edge,
+        g: Edge,
+        h: Edge,
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
+        self.try_ite(f, g, h, budget)
+    }
+
+    fn try_exists_edge(
+        &mut self,
+        f: Edge,
+        vars: &[usize],
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
+        self.try_exists(f, vars, budget)
+    }
+
+    fn try_forall_edge(
+        &mut self,
+        f: Edge,
+        vars: &[usize],
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
+        self.try_forall(f, vars, budget)
+    }
+
+    fn try_and_exists_edge(
+        &mut self,
+        f: Edge,
+        g: Edge,
+        vars: &[usize],
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
+        self.try_and_exists(f, g, vars, budget)
+    }
+
+    fn try_compose_edge(
+        &mut self,
+        f: Edge,
+        var: usize,
+        g: Edge,
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
+        self.try_compose(f, var, g, budget)
+    }
+
     // The remaining ops have no parallel phase; they run on the wrapped
     // sequential manager and are part of the same deterministic history.
 
@@ -276,6 +405,14 @@ impl RawManager for ParBbdd {
 
     fn sat_count_edge(&self, f: Edge) -> u128 {
         self.sat_count(f)
+    }
+
+    fn sat_count_checked_edge(&self, f: Edge) -> Option<u128> {
+        self.sat_count_checked(f)
+    }
+
+    fn try_sat_count_edge(&self, f: Edge, budget: &mut OpBudget) -> Result<u128, OpAbort> {
+        self.try_sat_count(f, budget)
     }
 
     fn any_sat_edge(&self, f: Edge) -> Option<Vec<bool>> {
@@ -334,6 +471,10 @@ impl RawManager for ParBbdd {
     /// The parallel front-ends do not reorder: their op history must stay
     /// a deterministic function of the op sequence.
     fn try_sift(&mut self) -> Option<usize> {
+        None
+    }
+
+    fn sift_bounded(&mut self, _budget: &mut OpBudget) -> Option<Result<usize, OpAbort>> {
         None
     }
 

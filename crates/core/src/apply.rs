@@ -19,6 +19,7 @@
 use crate::edge::Edge;
 use crate::manager::Bbdd;
 use ddcore::boolop::{BoolOp, Unary};
+use ddcore::govern::{OpAbort, OpBudget};
 use ddcore::optag;
 
 /// Computed-table tag for `ite` (the `apply` range uses the operator's own
@@ -37,42 +38,62 @@ impl Bbdd {
     /// assert_eq!(f, !g);
     /// ```
     pub fn apply(&mut self, op: BoolOp, f: Edge, g: Edge) -> Edge {
-        self.apply_rec(op, f, g)
+        self.try_apply(op, f, g, &mut OpBudget::unlimited())
+            .expect("unlimited budget never aborts")
+    }
+
+    /// [`Bbdd::apply`] under a resource budget: polls `budget` at every
+    /// cache-miss boundary (each poll precedes at most one `make_node`),
+    /// so a node limit, deadline or raised [`ddcore::govern::CancelToken`]
+    /// aborts the recursion within one poll stride. On `Err` the manager
+    /// stays fully usable; partial results are unreachable and die at the
+    /// next GC.
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    pub fn try_apply(
+        &mut self,
+        op: BoolOp,
+        f: Edge,
+        g: Edge,
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
+        self.apply_rec(op, f, g, budget)
     }
 
     /// `f ∧ g`.
     pub fn and(&mut self, f: Edge, g: Edge) -> Edge {
-        self.apply_rec(BoolOp::AND, f, g)
+        self.apply(BoolOp::AND, f, g)
     }
 
     /// `f ∨ g`.
     pub fn or(&mut self, f: Edge, g: Edge) -> Edge {
-        self.apply_rec(BoolOp::OR, f, g)
+        self.apply(BoolOp::OR, f, g)
     }
 
     /// `f ⊕ g`.
     pub fn xor(&mut self, f: Edge, g: Edge) -> Edge {
-        self.apply_rec(BoolOp::XOR, f, g)
+        self.apply(BoolOp::XOR, f, g)
     }
 
     /// `f ⊙ g` (biconditional / equivalence).
     pub fn xnor(&mut self, f: Edge, g: Edge) -> Edge {
-        self.apply_rec(BoolOp::XNOR, f, g)
+        self.apply(BoolOp::XNOR, f, g)
     }
 
     /// `¬(f ∧ g)`.
     pub fn nand(&mut self, f: Edge, g: Edge) -> Edge {
-        self.apply_rec(BoolOp::NAND, f, g)
+        self.apply(BoolOp::NAND, f, g)
     }
 
     /// `¬(f ∨ g)`.
     pub fn nor(&mut self, f: Edge, g: Edge) -> Edge {
-        self.apply_rec(BoolOp::NOR, f, g)
+        self.apply(BoolOp::NOR, f, g)
     }
 
     /// `f → g` (`¬f ∨ g`).
     pub fn implies(&mut self, f: Edge, g: Edge) -> Edge {
-        self.apply_rec(BoolOp::IMPLIES, f, g)
+        self.apply(BoolOp::IMPLIES, f, g)
     }
 
     fn unary(&self, u: Unary, x: Edge) -> Edge {
@@ -84,20 +105,26 @@ impl Bbdd {
         }
     }
 
-    fn apply_rec(&mut self, mut op: BoolOp, mut f: Edge, mut g: Edge) -> Edge {
+    pub(crate) fn apply_rec(
+        &mut self,
+        mut op: BoolOp,
+        mut f: Edge,
+        mut g: Edge,
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
         self.stats.apply_calls += 1;
         // (α) terminal cases — the identical/trivial operation list.
         if f == g {
-            return self.unary(op.on_equal_operands(), f);
+            return Ok(self.unary(op.on_equal_operands(), f));
         }
         if f == !g {
-            return self.unary(op.on_complement_operands(), f);
+            return Ok(self.unary(op.on_complement_operands(), f));
         }
         if f.is_constant() {
-            return self.unary(op.on_first_const(f == Edge::ONE), g);
+            return Ok(self.unary(op.on_first_const(f == Edge::ONE), g));
         }
         if g.is_constant() {
-            return self.unary(op.on_second_const(g == Edge::ONE), f);
+            return Ok(self.unary(op.on_second_const(g == Edge::ONE), f));
         }
         // Strong canonical operand form: fold complement attributes and
         // operand order into the operator (the paper's `updateop`).
@@ -120,20 +147,27 @@ impl Bbdd {
         }
         // Operators that degenerated to projections under the rewrites.
         if op == BoolOp::FALSE {
-            return Edge::ZERO.complement_if(out_c);
+            return Ok(Edge::ZERO.complement_if(out_c));
         }
         if op == BoolOp::FIRST {
-            return f.complement_if(out_c);
+            return Ok(f.complement_if(out_c));
         }
         if op == BoolOp::SECOND {
-            return g.complement_if(out_c);
+            return Ok(g.complement_if(out_c));
         }
 
         // (β) computed table.
         let (k1, k2, tag) = (f.bits() as u64, g.bits() as u64, op.table() as u32);
         if let Some(r) = self.cache.get(k1, k2, tag) {
-            return Edge::from_bits(r as u32).complement_if(out_c);
+            return Ok(Edge::from_bits(r as u32).complement_if(out_c));
         }
+
+        // Budget checkpoint at the cache-miss boundary: this frame is
+        // about to materialize at most one new node. Aborting here leaves
+        // only fully-committed nodes behind (the cache insert below runs
+        // strictly after a successful make_node), so the manager stays
+        // consistent.
+        budget.checkpoint()?;
 
         // (γ) recurse on the biconditional expansion at the top level.
         let lf = self.node(f.node()).level();
@@ -141,11 +175,11 @@ impl Bbdd {
         let i = lf.max(lg);
         let (fd, fe) = self.cofactors(f, i);
         let (gd, ge) = self.cofactors(g, i);
-        let e = self.apply_rec(op, fe, ge);
-        let d = self.apply_rec(op, fd, gd);
+        let e = self.apply_rec(op, fe, ge, budget)?;
+        let d = self.apply_rec(op, fd, gd, budget)?;
         let r = self.make_node(i, d, e);
         self.cache.insert(k1, k2, tag, r.bits() as u64);
-        r.complement_if(out_c)
+        Ok(r.complement_if(out_c))
     }
 
     /// If-then-else: `(f ∧ g) ∨ (¬f ∧ h)`, computed with its own recursion
@@ -160,38 +194,60 @@ impl Bbdd {
     /// assert!(!mgr.eval(mux, &[false, true, false]));
     /// ```
     pub fn ite(&mut self, f: Edge, g: Edge, h: Edge) -> Edge {
-        self.ite_rec(f, g, h)
+        self.try_ite(f, g, h, &mut OpBudget::unlimited())
+            .expect("unlimited budget never aborts")
     }
 
-    fn ite_rec(&mut self, mut f: Edge, mut g: Edge, mut h: Edge) -> Edge {
+    /// [`Bbdd::ite`] under a resource budget (see [`Bbdd::try_apply`] for
+    /// the checkpoint and abort-safety contract).
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    pub fn try_ite(
+        &mut self,
+        f: Edge,
+        g: Edge,
+        h: Edge,
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
+        self.ite_rec(f, g, h, budget)
+    }
+
+    pub(crate) fn ite_rec(
+        &mut self,
+        mut f: Edge,
+        mut g: Edge,
+        mut h: Edge,
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
         self.stats.ite_calls += 1;
         // Terminal and two-operand degenerations.
         if f == Edge::ONE {
-            return g;
+            return Ok(g);
         }
         if f == Edge::ZERO {
-            return h;
+            return Ok(h);
         }
         if g == h {
-            return g;
+            return Ok(g);
         }
         if g == Edge::ONE && h == Edge::ZERO {
-            return f;
+            return Ok(f);
         }
         if g == Edge::ZERO && h == Edge::ONE {
-            return !f;
+            return Ok(!f);
         }
         if f == g || g == Edge::ONE {
-            return self.apply_rec(BoolOp::OR, f, h);
+            return self.apply_rec(BoolOp::OR, f, h, budget);
         }
         if f == !g || g == Edge::ZERO {
-            return self.apply_rec(BoolOp::NOT_AND, f, h);
+            return self.apply_rec(BoolOp::NOT_AND, f, h, budget);
         }
         if f == h || h == Edge::ZERO {
-            return self.apply_rec(BoolOp::AND, f, g);
+            return self.apply_rec(BoolOp::AND, f, g, budget);
         }
         if f == !h || h == Edge::ONE {
-            return self.apply_rec(BoolOp::IMPLIES, f, g);
+            return self.apply_rec(BoolOp::IMPLIES, f, g, budget);
         }
         // Canonical form: regular f (swap branches), regular g (complement
         // the output).
@@ -208,8 +264,9 @@ impl Bbdd {
         let k1 = f.bits() as u64;
         let k2 = ((g.bits() as u64) << 32) | h.bits() as u64;
         if let Some(r) = self.cache.get(k1, k2, TAG_ITE) {
-            return Edge::from_bits(r as u32).complement_if(out_c);
+            return Ok(Edge::from_bits(r as u32).complement_if(out_c));
         }
+        budget.checkpoint()?;
         let mut i = self.node(f.node()).level();
         for e in [g, h] {
             if let Some(l) = self.edge_level(e) {
@@ -219,11 +276,11 @@ impl Bbdd {
         let (fd, fe) = self.cofactors(f, i);
         let (gd, ge) = self.cofactors(g, i);
         let (hd, he) = self.cofactors(h, i);
-        let e = self.ite_rec(fe, ge, he);
-        let d = self.ite_rec(fd, gd, hd);
+        let e = self.ite_rec(fe, ge, he, budget)?;
+        let d = self.ite_rec(fd, gd, hd, budget)?;
         let r = self.make_node(i, d, e);
         self.cache.insert(k1, k2, TAG_ITE, r.bits() as u64);
-        r.complement_if(out_c)
+        Ok(r.complement_if(out_c))
     }
 }
 

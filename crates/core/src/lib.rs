@@ -77,9 +77,10 @@ pub mod dot;
 pub use api::prelude;
 pub use api::{BbddFn, BbddManager, ParBbddFn, ParBbddManager};
 pub use ddcore::boolop::{BoolOp, Unary};
+pub use ddcore::govern::{CancelToken, OpAbort, OpBudget};
 pub use ddcore::nary::NaryOp;
 pub use edge::Edge;
 pub use manager::{Bbdd, BbddStats, NodeInfo};
 pub use par::{ParBbdd, ParConfig, ParStats};
 pub use reorder::SiftConfig;
-pub use serialize::LoadError;
+pub use serialize::{LoadError, SaveError};

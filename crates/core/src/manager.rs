@@ -283,6 +283,17 @@ impl Bbdd {
         &self.nodes[idx as usize]
     }
 
+    /// Is `e` a constant or an edge to a currently stored (never freed or
+    /// out-of-range) node? Used by fallible exporters to reject stale
+    /// edges instead of silently serializing garbage.
+    pub(crate) fn edge_is_stored(&self, e: Edge) -> bool {
+        if e.is_constant() {
+            return true;
+        }
+        let id = e.node() as usize;
+        id < self.nodes.len() && !self.nodes[id].is_free()
+    }
+
     /// Take a reusable slot from the free list (used by swap commits).
     pub(crate) fn pop_free(&mut self) -> Option<u32> {
         self.free.pop()

@@ -8,6 +8,7 @@
 use crate::edge::Edge;
 use crate::manager::Bbdd;
 use ddcore::fxhash::FxHashMap as HashMap;
+use ddcore::govern::{OpAbort, OpBudget};
 
 impl Bbdd {
     /// Evaluate `f` under a complete variable assignment
@@ -80,13 +81,43 @@ impl Bbdd {
     /// variables, with powers of two for skipped levels.
     ///
     /// # Panics
-    /// Panics if `num_vars() > 127` (count would overflow `u128`).
+    /// Panics if `num_vars() > 127` (count would overflow `u128`). For a
+    /// non-panicking variant see [`Bbdd::sat_count_checked`].
     #[must_use]
     pub fn sat_count(&self, f: Edge) -> u128 {
         let n = self.num_vars();
         assert!(n <= 127, "sat_count overflows u128 beyond 127 variables");
         let mut memo: HashMap<u32, u128> = HashMap::default();
         self.sat_edge(f, n as u32, &mut memo)
+    }
+
+    /// [`Bbdd::sat_count`], or `None` when the manager has more than 127
+    /// variables (the count could overflow `u128`; `u128::MAX` itself is
+    /// never a valid count at ≤ 127 variables, so `Some` values are exact).
+    #[must_use]
+    pub fn sat_count_checked(&self, f: Edge) -> Option<u128> {
+        if self.num_vars() > 127 {
+            None
+        } else {
+            Some(self.sat_count(f))
+        }
+    }
+
+    /// [`Bbdd::sat_count`] under a resource budget: the budget is polled
+    /// at every memo-miss (each counted node once), so a deadline or
+    /// cancellation aborts a count over a huge diagram promptly. Counting
+    /// allocates no nodes; an abort leaves no trace in the manager at all.
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    ///
+    /// # Panics
+    /// Panics if `num_vars() > 127`, like [`Bbdd::sat_count`].
+    pub fn try_sat_count(&self, f: Edge, budget: &mut OpBudget) -> Result<u128, OpAbort> {
+        let n = self.num_vars();
+        assert!(n <= 127, "sat_count overflows u128 beyond 127 variables");
+        let mut memo: HashMap<u32, u128> = HashMap::default();
+        self.try_sat_edge(f, n as u32, &mut memo, budget)
     }
 
     /// `sat_count / 2^n` as a float (usable for any variable count).
@@ -142,6 +173,38 @@ impl Bbdd {
         signed << (k - level - 1)
     }
 
+    /// [`Bbdd::sat_edge`] with a budget checkpoint at every memo miss.
+    fn try_sat_edge(
+        &self,
+        e: Edge,
+        k: u32,
+        memo: &mut HashMap<u32, u128>,
+        budget: &mut OpBudget,
+    ) -> Result<u128, OpAbort> {
+        if e.is_constant() {
+            return Ok(if e == Edge::ONE { 1u128 << k } else { 0 });
+        }
+        let id = e.node();
+        let level = self.node(id).level() as u32;
+        debug_assert!(level < k);
+        let raw = if let Some(&r) = memo.get(&id) {
+            r
+        } else {
+            budget.checkpoint()?;
+            let n = *self.node(id);
+            let r = self.try_sat_edge(n.neq(), level, memo, budget)?
+                + self.try_sat_edge(n.eq(), level, memo, budget)?;
+            memo.insert(id, r);
+            r
+        };
+        let signed = if e.is_complemented() {
+            (1u128 << (level + 1)) - raw
+        } else {
+            raw
+        };
+        Ok(signed << (k - level - 1))
+    }
+
     /// The cofactor `f|_{var = value}` (single-variable restriction).
     ///
     /// In a BBDD a variable appears both as the PV of its own level and as
@@ -151,9 +214,29 @@ impl Bbdd {
     /// # Panics
     /// Panics if `var >= num_vars()`.
     pub fn restrict(&mut self, f: Edge, var: usize, value: bool) -> Edge {
+        self.try_restrict(f, var, value, &mut OpBudget::unlimited())
+            .expect("unlimited budget never aborts")
+    }
+
+    /// [`Bbdd::restrict`] under a resource budget; polled at every
+    /// memo-miss. On `Err` the manager stays fully usable and any partial
+    /// results are reclaimed by the next GC.
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    ///
+    /// # Panics
+    /// Panics if `var >= num_vars()`.
+    pub fn try_restrict(
+        &mut self,
+        f: Edge,
+        var: usize,
+        value: bool,
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
         let lv = self.level_of_var[var] as u16;
         let mut memo: HashMap<u32, Edge> = HashMap::default();
-        self.restrict_rec(f, lv, value, &mut memo)
+        self.restrict_rec(f, lv, value, &mut memo, budget)
     }
 
     fn restrict_rec(
@@ -162,19 +245,21 @@ impl Bbdd {
         lv: u16,
         value: bool,
         memo: &mut HashMap<u32, Edge>,
-    ) -> Edge {
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
         if f.is_constant() {
-            return f;
+            return Ok(f);
         }
         let id = f.node();
         let c = f.is_complemented();
         let n = *self.node(id);
         if n.level() < lv {
-            return f; // entirely below var: independent of it
+            return Ok(f); // entirely below var: independent of it
         }
         if let Some(&r) = memo.get(&id) {
-            return r.complement_if(c);
+            return Ok(r.complement_if(c));
         }
+        budget.checkpoint()?;
         let r = if n.level() == lv {
             if n.is_shannon() {
                 // The literal itself.
@@ -188,32 +273,32 @@ impl Bbdd {
                 //                    f|_{v=0} = ite(w, f_neq, f_eq).
                 let w = self.lit_below(lv);
                 if value {
-                    self.ite(w, n.eq(), n.neq())
+                    self.ite_rec(w, n.eq(), n.neq(), budget)?
                 } else {
-                    self.ite(w, n.neq(), n.eq())
+                    self.ite_rec(w, n.neq(), n.eq(), budget)?
                 }
             }
         } else if n.is_shannon() {
             // A literal of a higher variable: independent of var.
             Edge::new(id, false)
         } else {
-            let rd = self.restrict_rec(n.neq(), lv, value, memo);
-            let re = self.restrict_rec(n.eq(), lv, value, memo);
+            let rd = self.restrict_rec(n.neq(), lv, value, memo, budget)?;
+            let re = self.restrict_rec(n.eq(), lv, value, memo, budget)?;
             if n.level() == lv + 1 {
                 // Branching condition (u, v) mentions var as SV:
                 // f|_{v=1} = ite(u, E', D'),  f|_{v=0} = ite(u, D', E').
                 let u = self.shannon_node(n.level());
                 if value {
-                    self.ite(u, re, rd)
+                    self.ite_rec(u, re, rd, budget)?
                 } else {
-                    self.ite(u, rd, re)
+                    self.ite_rec(u, rd, re, budget)?
                 }
             } else {
                 self.make_node(n.level(), rd, re)
             }
         };
         memo.insert(id, r);
-        r.complement_if(c)
+        Ok(r.complement_if(c))
     }
 
     /// Does `f` semantically depend on `var`?
@@ -238,10 +323,27 @@ impl Bbdd {
     /// `(g ∧ f|_{var=1}) ∨ (¬g ∧ f|_{var=0})`. For simultaneous
     /// substitution of several variables see [`Bbdd::vector_compose`].
     pub fn compose(&mut self, f: Edge, var: usize, g: Edge) -> Edge {
+        self.try_compose(f, var, g, &mut OpBudget::unlimited())
+            .expect("unlimited budget never aborts")
+    }
+
+    /// [`Bbdd::compose`] under a resource budget; polled at every
+    /// cache/memo-miss of the underlying restrictions and `ite`. On `Err`
+    /// the manager stays fully usable.
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    pub fn try_compose(
+        &mut self,
+        f: Edge,
+        var: usize,
+        g: Edge,
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
         self.stats.compose_calls += 1;
-        let f1 = self.restrict(f, var, true);
-        let f0 = self.restrict(f, var, false);
-        self.ite(g, f1, f0)
+        let f1 = self.try_restrict(f, var, true, budget)?;
+        let f0 = self.try_restrict(f, var, false, budget)?;
+        self.ite_rec(g, f1, f0, budget)
     }
 
     /// The complete truth table of `f` as packed 64-bit words; bit `m` of

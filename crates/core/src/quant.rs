@@ -36,6 +36,7 @@ use crate::edge::Edge;
 use crate::manager::Bbdd;
 use ddcore::boolop::BoolOp;
 use ddcore::fxhash::FxHashMap;
+use ddcore::govern::{OpAbort, OpBudget};
 use ddcore::nary::NaryOp;
 use ddcore::optag;
 
@@ -76,9 +77,27 @@ impl Bbdd {
     /// # Panics
     /// Panics if any variable index is out of range.
     pub fn exists(&mut self, f: Edge, vars: &[usize]) -> Edge {
+        self.try_exists(f, vars, &mut OpBudget::unlimited())
+            .expect("unlimited budget never aborts")
+    }
+
+    /// [`Bbdd::exists`] under a resource budget (see [`Bbdd::try_apply`]
+    /// for the checkpoint and abort-safety contract).
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    ///
+    /// # Panics
+    /// Panics if any variable index is out of range.
+    pub fn try_exists(
+        &mut self,
+        f: Edge,
+        vars: &[usize],
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
         match self.quant_ctx(vars, BoolOp::OR, optag::EXISTS) {
-            Some(ctx) => self.quant_rec(f, &ctx),
-            None => f,
+            Some(ctx) => self.quant_rec(f, &ctx, budget),
+            None => Ok(f),
         }
     }
 
@@ -96,9 +115,26 @@ impl Bbdd {
     /// # Panics
     /// Panics if any variable index is out of range.
     pub fn forall(&mut self, f: Edge, vars: &[usize]) -> Edge {
+        self.try_forall(f, vars, &mut OpBudget::unlimited())
+            .expect("unlimited budget never aborts")
+    }
+
+    /// [`Bbdd::forall`] under a resource budget.
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    ///
+    /// # Panics
+    /// Panics if any variable index is out of range.
+    pub fn try_forall(
+        &mut self,
+        f: Edge,
+        vars: &[usize],
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
         match self.quant_ctx(vars, BoolOp::AND, optag::FORALL) {
-            Some(ctx) => self.quant_rec(f, &ctx),
-            None => f,
+            Some(ctx) => self.quant_rec(f, &ctx, budget),
+            None => Ok(f),
         }
     }
 
@@ -121,9 +157,27 @@ impl Bbdd {
     /// # Panics
     /// Panics if any variable index is out of range.
     pub fn and_exists(&mut self, f: Edge, g: Edge, vars: &[usize]) -> Edge {
+        self.try_and_exists(f, g, vars, &mut OpBudget::unlimited())
+            .expect("unlimited budget never aborts")
+    }
+
+    /// [`Bbdd::and_exists`] under a resource budget.
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    ///
+    /// # Panics
+    /// Panics if any variable index is out of range.
+    pub fn try_and_exists(
+        &mut self,
+        f: Edge,
+        g: Edge,
+        vars: &[usize],
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
         match self.quant_ctx(vars, BoolOp::OR, optag::EXISTS) {
-            Some(ctx) => self.and_exists_rec(f, g, &ctx),
-            None => self.and(f, g),
+            Some(ctx) => self.and_exists_rec(f, g, &ctx, budget),
+            None => self.apply_rec(BoolOp::AND, f, g, budget),
         }
     }
 
@@ -159,23 +213,29 @@ impl Bbdd {
         })
     }
 
-    fn quant_rec(&mut self, f: Edge, ctx: &QuantCtx) -> Edge {
+    fn quant_rec(
+        &mut self,
+        f: Edge,
+        ctx: &QuantCtx,
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
         if f.is_constant() {
-            return f;
+            return Ok(f);
         }
         let i = self.node(f.node()).level();
         if i < ctx.min_level {
-            return f; // no quantified variable at or below this node
+            return Ok(f); // no quantified variable at or below this node
         }
         self.stats.quant_calls += 1;
         let (k1, k2) = (f.bits() as u64, ctx.cube_bits);
         if let Some(r) = self.cache.get(k1, k2, ctx.tag) {
-            return Edge::from_bits(r as u32);
+            return Ok(Edge::from_bits(r as u32));
         }
+        budget.checkpoint()?;
         let (fd, fe) = self.cofactors(f, i);
         let r = if ctx.in_cube[i as usize] {
             // Case 1: the PV is quantified away.
-            let a = self.quant_rec(fd, ctx);
+            let a = self.quant_rec(fd, ctx, budget)?;
             let absorbing = if ctx.tag == optag::EXISTS {
                 Edge::ONE
             } else {
@@ -184,38 +244,44 @@ impl Bbdd {
             if a == absorbing {
                 absorbing
             } else {
-                let b = self.quant_rec(fe, ctx);
-                self.apply(ctx.combine, a, b)
+                let b = self.quant_rec(fe, ctx, budget)?;
+                self.apply_rec(ctx.combine, a, b, budget)?
             }
         } else if i > 0 && ctx.in_cube[i as usize - 1] {
             // Case 2: the SV is quantified but the PV is not.
             let w = self.shannon_node(i - 1);
-            let f1 = self.ite(w, fe, fd);
-            let f0 = self.ite(w, fd, fe);
-            let r1 = self.quant_rec(f1, ctx);
-            let r0 = self.quant_rec(f0, ctx);
+            let f1 = self.ite_rec(w, fe, fd, budget)?;
+            let f0 = self.ite_rec(w, fd, fe, budget)?;
+            let r1 = self.quant_rec(f1, ctx, budget)?;
+            let r0 = self.quant_rec(f0, ctx, budget)?;
             let v = self.shannon_node(i);
-            self.ite(v, r1, r0)
+            self.ite_rec(v, r1, r0, budget)?
         } else {
             // Case 3: the branch condition survives untouched.
-            let a = self.quant_rec(fd, ctx);
-            let b = self.quant_rec(fe, ctx);
+            let a = self.quant_rec(fd, ctx, budget)?;
+            let b = self.quant_rec(fe, ctx, budget)?;
             self.make_node(i, a, b)
         };
         self.cache.insert(k1, k2, ctx.tag, r.bits() as u64);
-        r
+        Ok(r)
     }
 
-    fn and_exists_rec(&mut self, f: Edge, g: Edge, ctx: &QuantCtx) -> Edge {
+    fn and_exists_rec(
+        &mut self,
+        f: Edge,
+        g: Edge,
+        ctx: &QuantCtx,
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
         // Terminal cases of the conjunction.
         if f == Edge::ZERO || g == Edge::ZERO || f == !g {
-            return Edge::ZERO;
+            return Ok(Edge::ZERO);
         }
         if f == Edge::ONE {
-            return self.quant_rec(g, ctx);
+            return self.quant_rec(g, ctx, budget);
         }
         if g == Edge::ONE || f == g {
-            return self.quant_rec(f, ctx);
+            return self.quant_rec(f, ctx, budget);
         }
         // AND is commutative: canonical operand order doubles cache reuse.
         let (f, g) = if f.bits() <= g.bits() { (f, g) } else { (g, f) };
@@ -223,42 +289,44 @@ impl Bbdd {
         let lg = self.node(g.node()).level();
         let i = lf.max(lg);
         if i < ctx.min_level {
-            return self.and(f, g); // below every quantified variable
+            // Below every quantified variable.
+            return self.apply_rec(BoolOp::AND, f, g, budget);
         }
         self.stats.quant_calls += 1;
         let k1 = f.bits() as u64;
         let k2 = ((g.bits() as u64) << 32) | ctx.cube_bits;
         if let Some(r) = self.cache.get(k1, k2, optag::AND_EXISTS) {
-            return Edge::from_bits(r as u32);
+            return Ok(Edge::from_bits(r as u32));
         }
+        budget.checkpoint()?;
         let (fd, fe) = self.cofactors(f, i);
         let (gd, ge) = self.cofactors(g, i);
         let r = if ctx.in_cube[i as usize] {
-            let a = self.and_exists_rec(fd, gd, ctx);
+            let a = self.and_exists_rec(fd, gd, ctx, budget)?;
             if a == Edge::ONE {
                 Edge::ONE
             } else {
-                let b = self.and_exists_rec(fe, ge, ctx);
-                self.or(a, b)
+                let b = self.and_exists_rec(fe, ge, ctx, budget)?;
+                self.apply_rec(BoolOp::OR, a, b, budget)?
             }
         } else if i > 0 && ctx.in_cube[i as usize - 1] {
             let w = self.shannon_node(i - 1);
-            let f1 = self.ite(w, fe, fd);
-            let f0 = self.ite(w, fd, fe);
-            let g1 = self.ite(w, ge, gd);
-            let g0 = self.ite(w, gd, ge);
-            let r1 = self.and_exists_rec(f1, g1, ctx);
-            let r0 = self.and_exists_rec(f0, g0, ctx);
+            let f1 = self.ite_rec(w, fe, fd, budget)?;
+            let f0 = self.ite_rec(w, fd, fe, budget)?;
+            let g1 = self.ite_rec(w, ge, gd, budget)?;
+            let g0 = self.ite_rec(w, gd, ge, budget)?;
+            let r1 = self.and_exists_rec(f1, g1, ctx, budget)?;
+            let r0 = self.and_exists_rec(f0, g0, ctx, budget)?;
             let v = self.shannon_node(i);
-            self.ite(v, r1, r0)
+            self.ite_rec(v, r1, r0, budget)?
         } else {
-            let a = self.and_exists_rec(fd, gd, ctx);
-            let b = self.and_exists_rec(fe, ge, ctx);
+            let a = self.and_exists_rec(fd, gd, ctx, budget)?;
+            let b = self.and_exists_rec(fe, ge, ctx, budget)?;
             self.make_node(i, a, b)
         };
         self.cache
             .insert(k1, k2, optag::AND_EXISTS, r.bits() as u64);
-        r
+        Ok(r)
     }
 
     /// Simultaneous composition: substitute `subs[v]` for every variable
@@ -492,6 +560,13 @@ impl Bbdd {
     /// enumeration). Models are complete assignments over all variables;
     /// each satisfying assignment appears exactly once (paths of a
     /// canonical diagram are disjoint). The order is unspecified.
+    ///
+    /// A path with ≥ 127 free (unconstrained) levels has more completions
+    /// than `u128` can count; the internal completion counter **saturates**
+    /// at `u128::MAX` there. This is harmless for enumeration (`limit` is a
+    /// `usize`, far below the saturation point), but it is the same
+    /// boundary at which [`Bbdd::sat_count`] refuses to answer — use
+    /// [`Bbdd::sat_count_checked`] for a non-panicking count.
     ///
     /// ```
     /// use bbdd::Bbdd;

@@ -9,6 +9,7 @@
 
 use crate::edge::Edge;
 use crate::manager::Bbdd;
+use ddcore::govern::{OpAbort, OpBudget};
 
 /// Tuning knobs for [`Bbdd::sift_with`].
 #[derive(Debug, Clone, Copy)]
@@ -58,7 +59,46 @@ impl Bbdd {
         self.sift_keeping(&[], cfg)
     }
 
+    /// [`Bbdd::sift`] under a resource budget: the budget is polled before
+    /// every adjacent-swap, so a node limit, deadline or cancellation stops
+    /// reordering promptly. On abort, the variable currently being sifted
+    /// is first parked back at the best position seen (a bounded amount of
+    /// un-budgeted work, at most one sweep across the order), so the
+    /// manager is left with a consistent variable order, canonical unique
+    /// tables and every registered handle semantically intact — the result
+    /// is simply a partially improved order.
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    pub fn sift_bounded(&mut self, budget: &mut OpBudget) -> Result<usize, OpAbort> {
+        self.sift_bounded_with(&SiftConfig::default(), budget)
+    }
+
+    /// [`Bbdd::sift_bounded`] with explicit [`SiftConfig`].
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    pub fn sift_bounded_with(
+        &mut self,
+        cfg: &SiftConfig,
+        budget: &mut OpBudget,
+    ) -> Result<usize, OpAbort> {
+        self.sift_keeping_bounded(&[], cfg, budget)
+            .map(|()| self.live_nodes())
+    }
+
     pub(crate) fn sift_keeping(&mut self, extra: &[Edge], cfg: &SiftConfig) -> usize {
+        self.sift_keeping_bounded(extra, cfg, &mut OpBudget::unlimited())
+            .expect("unlimited budget never aborts");
+        self.live_nodes()
+    }
+
+    fn sift_keeping_bounded(
+        &mut self,
+        extra: &[Edge],
+        cfg: &SiftConfig,
+        budget: &mut OpBudget,
+    ) -> Result<(), OpAbort> {
         for _ in 0..cfg.passes.max(1) {
             self.gc_keeping(extra);
             let n = self.num_vars();
@@ -71,11 +111,11 @@ impl Bbdd {
                 std::cmp::Reverse(self.subtables[self.level_of_var[v] as usize].len())
             });
             for var in vars {
-                self.sift_one(var, cfg, extra);
+                self.sift_one(var, cfg, extra, budget)?;
             }
             self.gc_keeping(extra);
         }
-        self.live_nodes()
+        Ok(())
     }
 
     /// Move `var` through every position, then park it at the best one.
@@ -83,7 +123,13 @@ impl Bbdd {
     /// Swaps leave behind nodes that are no longer reachable from the
     /// roots; sizes are measured after a sweep so that position decisions
     /// use exact live counts.
-    fn sift_one(&mut self, var: usize, cfg: &SiftConfig, extra: &[Edge]) {
+    fn sift_one(
+        &mut self,
+        var: usize,
+        cfg: &SiftConfig,
+        extra: &[Edge],
+        budget: &mut OpBudget,
+    ) -> Result<(), OpAbort> {
         let n = self.num_vars();
         let start = self.position_of(var);
         self.gc_keeping(extra);
@@ -98,18 +144,25 @@ impl Bbdd {
         } else {
             [false, true]
         };
-        for &down in &directions {
+        // On abort we fall through to the park-back loop below before
+        // returning the error, so the order is always left consistent.
+        let mut abort: Option<OpAbort> = None;
+        'exploration: for &down in &directions {
             loop {
                 let pos = self.position_of(var);
+                if down && pos + 1 >= n {
+                    break;
+                }
+                if !down && pos == 0 {
+                    break;
+                }
+                if let Err(reason) = budget.checkpoint() {
+                    abort = Some(reason);
+                    break 'exploration;
+                }
                 if down {
-                    if pos + 1 >= n {
-                        break;
-                    }
                     self.swap_adjacent(pos);
                 } else {
-                    if pos == 0 {
-                        break;
-                    }
                     self.swap_adjacent(pos - 1);
                 }
                 self.gc_keeping(extra);
@@ -123,7 +176,7 @@ impl Bbdd {
                 }
             }
         }
-        // Return to the best position.
+        // Return to the best position (un-budgeted: at most one sweep).
         loop {
             let pos = self.position_of(var);
             match pos.cmp(&best_pos) {
@@ -133,6 +186,10 @@ impl Bbdd {
             }
         }
         self.gc_keeping(extra);
+        match abort {
+            Some(reason) => Err(reason),
+            None => Ok(()),
+        }
     }
 
     /// Re-order the variables to the given order `π` (top first) by

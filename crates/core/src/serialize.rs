@@ -39,6 +39,25 @@ impl fmt::Display for LoadError {
 
 impl std::error::Error for LoadError {}
 
+/// Problems encountered while serializing a forest: a root (or a node
+/// reachable from one) is not stored in the manager — a stale [`Edge`]
+/// that survived past a GC of its function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SaveError {
+    /// Index into the caller's `roots` slice of the offending root.
+    pub root: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for SaveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BBDD save error at root {}: {}", self.root, self.message)
+    }
+}
+
+impl std::error::Error for SaveError {}
+
 fn err(line: usize, message: &str) -> LoadError {
     LoadError {
         line,
@@ -49,9 +68,41 @@ fn err(line: usize, message: &str) -> LoadError {
 impl Bbdd {
     /// Serialize the diagrams rooted at `roots` (named per `names`, or
     /// `f{i}`) into the textual format above.
+    ///
+    /// # Panics
+    /// Panics if a root is a stale edge (its node was freed by GC). Use
+    /// [`Bbdd::try_save`] to handle that case as an error instead.
     #[must_use]
     pub fn save(&self, roots: &[Edge], names: &[&str]) -> String {
+        match self.try_save(roots, names) {
+            Ok(text) => text,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Bbdd::save`], rejecting stale roots instead of panicking.
+    ///
+    /// An [`Edge`] kept as a plain value (outside an owned handle) can
+    /// outlive its nodes: after a GC it indexes freed storage, and the old
+    /// exporter silently wrote whatever bytes sat there. Every root is now
+    /// checked against the store before any output is produced.
+    ///
+    /// # Errors
+    /// [`SaveError`] naming the first root that is not stored.
+    pub fn try_save(&self, roots: &[Edge], names: &[&str]) -> Result<String, SaveError> {
         use std::fmt::Write as _;
+        for (i, e) in roots.iter().enumerate() {
+            if !self.edge_is_stored(*e) {
+                return Err(SaveError {
+                    root: i,
+                    message: format!(
+                        "edge to node {} is stale (freed or never stored); \
+                         hold functions as handles to keep them alive",
+                        e.node()
+                    ),
+                });
+            }
+        }
         let mut out = String::new();
         let _ = writeln!(out, "bbdd 1");
         let _ = writeln!(out, "vars {}", self.num_vars());
@@ -78,6 +129,10 @@ impl Bbdd {
             nodes.sort_by_key(|&id| self.node_info(Edge::new(id, false)).expect("node").level);
         }
         let fmt_edge = |e: Edge| -> String {
+            // `edge_id` is `None` exactly for constants, which the format
+            // encodes as the sink id 0; every non-constant edge written
+            // here hangs under a validated root, so its id is live.
+            debug_assert!(self.edge_is_stored(e));
             let id = self.edge_id(e).unwrap_or(0);
             format!("{}:{}", id, u8::from(e.is_complemented()))
         };
@@ -103,7 +158,7 @@ impl Bbdd {
             let _ = writeln!(out, "root {label} {}", fmt_edge(*r));
         }
         let _ = writeln!(out, "end");
-        out
+        Ok(out)
     }
 
     /// [`Bbdd::save`] over owned handles — the GC-safe spelling for
@@ -349,6 +404,36 @@ mod tests {
         assert_eq!(lroots[1].1, Edge::ZERO);
         assert!(loaded.eval(lroots[2].1, &[false, true]));
         assert!(!loaded.eval(lroots[3].1, &[false, true]));
+    }
+
+    #[test]
+    fn try_save_rejects_stale_roots() {
+        let mut mgr = Bbdd::new(3);
+        let roots = sample(&mut mgr);
+        // Pin only the first function; GC frees the second one's nodes.
+        let keep = mgr.pin(roots[0]);
+        mgr.gc();
+        let stale = roots[1];
+        let e = mgr.try_save(&[roots[0], stale], &["f", "ng"]).unwrap_err();
+        assert_eq!(e.root, 1, "second root is the stale one");
+        assert!(e.message.contains("stale"), "{e}");
+        // The live root alone still saves and round-trips.
+        let text = mgr.try_save(&[roots[0]], &["f"]).unwrap();
+        let (loaded, lroots) = Bbdd::load(&text).unwrap();
+        for m in 0..8u32 {
+            let v: Vec<bool> = (0..3).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(mgr.eval(roots[0], &v), loaded.eval(lroots[0].1, &v));
+        }
+        drop(keep);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale")]
+    fn save_panics_on_stale_roots() {
+        let mut mgr = Bbdd::new(3);
+        let roots = sample(&mut mgr);
+        mgr.gc(); // nothing pinned: all roots stale
+        let _ = mgr.save(&roots, &[]);
     }
 
     #[test]

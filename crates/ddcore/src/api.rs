@@ -56,6 +56,7 @@
 //! managers.)
 
 use crate::boolop::BoolOp;
+use crate::govern::{OpAbort, OpBudget};
 use crate::roots::RootSet;
 use std::cell::{Ref, RefCell, RefMut};
 use std::rc::Rc;
@@ -99,23 +100,96 @@ pub trait RawManager: Sized {
     /// `f ⊗ g` for an arbitrary binary operator.
     fn apply_edge(&mut self, op: BoolOp, f: Self::Edge, g: Self::Edge) -> Self::Edge;
 
+    /// [`RawManager::apply_edge`] under a resource budget (see
+    /// [`crate::govern::OpBudget`]). The backend polls the budget at its
+    /// recursion checkpoints; on `Err` the manager must remain fully
+    /// usable, with any partially built nodes reclaimed by the next GC.
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    fn try_apply_edge(
+        &mut self,
+        op: BoolOp,
+        f: Self::Edge,
+        g: Self::Edge,
+        budget: &mut OpBudget,
+    ) -> Result<Self::Edge, OpAbort>;
+
     /// If-then-else `f ? g : h`.
     fn ite_edge(&mut self, f: Self::Edge, g: Self::Edge, h: Self::Edge) -> Self::Edge;
+
+    /// [`RawManager::ite_edge`] under a resource budget.
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    fn try_ite_edge(
+        &mut self,
+        f: Self::Edge,
+        g: Self::Edge,
+        h: Self::Edge,
+        budget: &mut OpBudget,
+    ) -> Result<Self::Edge, OpAbort>;
 
     /// Existential cube quantification `∃ vars . f`.
     fn exists_edge(&mut self, f: Self::Edge, vars: &[usize]) -> Self::Edge;
 
+    /// [`RawManager::exists_edge`] under a resource budget.
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    fn try_exists_edge(
+        &mut self,
+        f: Self::Edge,
+        vars: &[usize],
+        budget: &mut OpBudget,
+    ) -> Result<Self::Edge, OpAbort>;
+
     /// Universal cube quantification `∀ vars . f`.
     fn forall_edge(&mut self, f: Self::Edge, vars: &[usize]) -> Self::Edge;
 
+    /// [`RawManager::forall_edge`] under a resource budget.
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    fn try_forall_edge(
+        &mut self,
+        f: Self::Edge,
+        vars: &[usize],
+        budget: &mut OpBudget,
+    ) -> Result<Self::Edge, OpAbort>;
+
     /// Fused relational product `∃ vars . (f ∧ g)`.
     fn and_exists_edge(&mut self, f: Self::Edge, g: Self::Edge, vars: &[usize]) -> Self::Edge;
+
+    /// [`RawManager::and_exists_edge`] under a resource budget.
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    fn try_and_exists_edge(
+        &mut self,
+        f: Self::Edge,
+        g: Self::Edge,
+        vars: &[usize],
+        budget: &mut OpBudget,
+    ) -> Result<Self::Edge, OpAbort>;
 
     /// Restriction `f|_{var = value}`.
     fn restrict_edge(&mut self, f: Self::Edge, var: usize, value: bool) -> Self::Edge;
 
     /// Substitution `f[var := g]`.
     fn compose_edge(&mut self, f: Self::Edge, var: usize, g: Self::Edge) -> Self::Edge;
+
+    /// [`RawManager::compose_edge`] under a resource budget.
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    fn try_compose_edge(
+        &mut self,
+        f: Self::Edge,
+        var: usize,
+        g: Self::Edge,
+        budget: &mut OpBudget,
+    ) -> Result<Self::Edge, OpAbort>;
 
     /// Simultaneous substitution (`subs[v]` replaces variable `v`).
     fn vector_compose_edge(&mut self, f: Self::Edge, subs: &[Option<Self::Edge>]) -> Self::Edge;
@@ -125,6 +199,17 @@ pub trait RawManager: Sized {
 
     /// Exact number of satisfying assignments over all variables.
     fn sat_count_edge(&self, f: Self::Edge) -> u128;
+
+    /// [`RawManager::sat_count_edge`], or `None` when the count could
+    /// overflow `u128` (more than 127 variables). `Some` values are exact.
+    fn sat_count_checked_edge(&self, f: Self::Edge) -> Option<u128>;
+
+    /// [`RawManager::sat_count_edge`] under a resource budget. Counting
+    /// allocates no nodes, so an abort leaves no trace in the manager.
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    fn try_sat_count_edge(&self, f: Self::Edge, budget: &mut OpBudget) -> Result<u128, OpAbort>;
 
     /// One satisfying assignment, or `None` for constant false.
     fn any_sat_edge(&self, f: Self::Edge) -> Option<Vec<bool>>;
@@ -175,6 +260,14 @@ pub trait RawManager: Sized {
     /// `None` when the backend does not support reordering (the parallel
     /// front-ends keep their op history deterministic instead).
     fn try_sift(&mut self) -> Option<usize>;
+
+    /// Bounded sifting under a resource budget: `None` when the backend
+    /// does not support reordering; otherwise the post-sift live node
+    /// count, or the budget's abort reason. On abort the variable order is
+    /// left consistent (the variable being sifted is parked back at its
+    /// best position first) and every registered handle stays valid — the
+    /// result is a partially improved order, not a corrupted one.
+    fn sift_bounded(&mut self, budget: &mut OpBudget) -> Option<Result<usize, OpAbort>>;
 
     /// Arm automatic reordering at a live-node threshold (no-op on backends
     /// without dynamic reordering).
@@ -272,6 +365,20 @@ impl<B: RawManager> ManagerRef<B> {
         let f = Function::register(b.root_registry(), e, Rc::clone(&self.inner));
         b.after_op();
         f
+    }
+
+    /// [`ManagerRef::finish`] for fallible operations. An abort is an
+    /// operation boundary too: the handle-boundary hook still runs, so a
+    /// latched GC can reclaim the aborted operation's partial results
+    /// before the error even reaches the caller.
+    fn finish_try(&self, b: &mut B, r: Result<B::Edge, OpAbort>) -> Result<Function<B>, OpAbort> {
+        match r {
+            Ok(e) => Ok(self.finish(b, e)),
+            Err(reason) => {
+                b.after_op();
+                Err(reason)
+            }
+        }
     }
 }
 
@@ -424,6 +531,12 @@ pub trait FunctionManager: Clone {
     /// support dynamic reordering (the parallel front-ends).
     fn reorder(&self) -> Option<usize>;
 
+    /// [`FunctionManager::reorder`] under a resource budget: `None` when
+    /// the backend does not support reordering, otherwise the post-sift
+    /// live node count or the budget's abort reason. On abort the order is
+    /// consistent and every handle stays valid.
+    fn try_reorder(&self, budget: &mut OpBudget) -> Option<Result<usize, OpAbort>>;
+
     /// Arm automatic reordering at a live-node threshold (no-op on
     /// backends without dynamic reordering).
     fn set_auto_reorder(&self, threshold: usize);
@@ -476,6 +589,40 @@ pub trait BooleanFunction: Clone + PartialEq + std::fmt::Debug + Sized {
     /// `self ⊗ g` for an arbitrary binary operator.
     fn apply(&self, op: BoolOp, g: &Self) -> Self;
 
+    /// [`BooleanFunction::apply`] under a resource budget — the fallible
+    /// entry point of the governed operation suite. The budget is caller
+    /// owned and spans as many operations as the caller threads it
+    /// through; on `Err` the manager stays fully usable and any partial
+    /// results are reclaimed at the abort's own operation boundary.
+    ///
+    /// # Errors
+    /// The budget's abort reason ([`OpAbort`]).
+    fn try_apply(&self, op: BoolOp, g: &Self, budget: &mut OpBudget) -> Result<Self, OpAbort>;
+
+    /// Budgeted conjunction.
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    fn try_and(&self, g: &Self, budget: &mut OpBudget) -> Result<Self, OpAbort> {
+        self.try_apply(BoolOp::AND, g, budget)
+    }
+
+    /// Budgeted disjunction.
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    fn try_or(&self, g: &Self, budget: &mut OpBudget) -> Result<Self, OpAbort> {
+        self.try_apply(BoolOp::OR, g, budget)
+    }
+
+    /// Budgeted exclusive or.
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    fn try_xor(&self, g: &Self, budget: &mut OpBudget) -> Result<Self, OpAbort> {
+        self.try_apply(BoolOp::XOR, g, budget)
+    }
+
     /// Complement (free — complement edges — and no collection point).
     #[must_use]
     fn not(&self) -> Self;
@@ -518,11 +665,26 @@ pub trait BooleanFunction: Clone + PartialEq + std::fmt::Debug + Sized {
     /// If-then-else `self ? g : h`.
     fn ite(&self, g: &Self, h: &Self) -> Self;
 
+    /// Budgeted if-then-else.
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    fn try_ite(&self, g: &Self, h: &Self, budget: &mut OpBudget) -> Result<Self, OpAbort>;
+
     /// Existential cube quantification `∃ vars . self`.
     ///
     /// # Panics
     /// Panics if any variable index is out of range.
     fn exists(&self, vars: &[usize]) -> Self;
+
+    /// Budgeted existential quantification.
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    ///
+    /// # Panics
+    /// Panics if any variable index is out of range.
+    fn try_exists(&self, vars: &[usize], budget: &mut OpBudget) -> Result<Self, OpAbort>;
 
     /// Universal cube quantification `∀ vars . self`.
     ///
@@ -530,12 +692,35 @@ pub trait BooleanFunction: Clone + PartialEq + std::fmt::Debug + Sized {
     /// Panics if any variable index is out of range.
     fn forall(&self, vars: &[usize]) -> Self;
 
+    /// Budgeted universal quantification.
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    ///
+    /// # Panics
+    /// Panics if any variable index is out of range.
+    fn try_forall(&self, vars: &[usize], budget: &mut OpBudget) -> Result<Self, OpAbort>;
+
     /// Fused relational product `∃ vars . (self ∧ g)` — never materializes
     /// the conjunction.
     ///
     /// # Panics
     /// Panics if any variable index is out of range.
     fn and_exists(&self, g: &Self, vars: &[usize]) -> Self;
+
+    /// Budgeted fused relational product.
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    ///
+    /// # Panics
+    /// Panics if any variable index is out of range.
+    fn try_and_exists(
+        &self,
+        g: &Self,
+        vars: &[usize],
+        budget: &mut OpBudget,
+    ) -> Result<Self, OpAbort>;
 
     /// Restriction `self|_{var = value}`.
     ///
@@ -548,6 +733,15 @@ pub trait BooleanFunction: Clone + PartialEq + std::fmt::Debug + Sized {
     /// # Panics
     /// Panics if `var` is out of range.
     fn compose(&self, var: usize, g: &Self) -> Self;
+
+    /// Budgeted substitution.
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    ///
+    /// # Panics
+    /// Panics if `var` is out of range.
+    fn try_compose(&self, var: usize, g: &Self, budget: &mut OpBudget) -> Result<Self, OpAbort>;
 
     /// Simultaneous substitution: `subs[v]` replaces variable `v`, `None`
     /// entries stay untouched.
@@ -568,6 +762,19 @@ pub trait BooleanFunction: Clone + PartialEq + std::fmt::Debug + Sized {
 
     /// Exact number of satisfying assignments over all manager variables.
     fn sat_count(&self) -> u128;
+
+    /// [`BooleanFunction::sat_count`], or `None` when the count could
+    /// overflow `u128` (more than 127 manager variables). `Some` values
+    /// are always exact — the saturating/panicking behavior of the
+    /// unchecked variant cannot be observed through this method.
+    fn sat_count_checked(&self) -> Option<u128>;
+
+    /// Budgeted model counting. Counting allocates no nodes, so an abort
+    /// leaves no trace in the manager.
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    fn try_sat_count(&self, budget: &mut OpBudget) -> Result<u128, OpAbort>;
 
     /// One satisfying assignment, or `None` for constant false.
     fn any_sat(&self) -> Option<Vec<bool>>;
@@ -635,6 +842,10 @@ impl<B: RawManager> FunctionManager for ManagerRef<B> {
         self.inner.borrow_mut().try_sift()
     }
 
+    fn try_reorder(&self, budget: &mut OpBudget) -> Option<Result<usize, OpAbort>> {
+        self.inner.borrow_mut().sift_bounded(budget)
+    }
+
     fn set_auto_reorder(&self, threshold: usize) {
         self.inner.borrow_mut().set_auto_reorder(threshold);
     }
@@ -682,6 +893,12 @@ impl<B: RawManager> BooleanFunction for Function<B> {
         m.finish(&mut b, e)
     }
 
+    fn try_apply(&self, op: BoolOp, g: &Self, budget: &mut OpBudget) -> Result<Self, OpAbort> {
+        let (m, mut b) = self.op_ctx(&[g]);
+        let r = b.try_apply_edge(op, self.edge, g.edge, budget);
+        m.finish_try(&mut b, r)
+    }
+
     fn not(&self) -> Self {
         // Complement edges make negation free; no op boundary needed.
         Function {
@@ -698,10 +915,22 @@ impl<B: RawManager> BooleanFunction for Function<B> {
         m.finish(&mut b, e)
     }
 
+    fn try_ite(&self, g: &Self, h: &Self, budget: &mut OpBudget) -> Result<Self, OpAbort> {
+        let (m, mut b) = self.op_ctx(&[g, h]);
+        let r = b.try_ite_edge(self.edge, g.edge, h.edge, budget);
+        m.finish_try(&mut b, r)
+    }
+
     fn exists(&self, vars: &[usize]) -> Self {
         let (m, mut b) = self.op_ctx(&[]);
         let e = b.exists_edge(self.edge, vars);
         m.finish(&mut b, e)
+    }
+
+    fn try_exists(&self, vars: &[usize], budget: &mut OpBudget) -> Result<Self, OpAbort> {
+        let (m, mut b) = self.op_ctx(&[]);
+        let r = b.try_exists_edge(self.edge, vars, budget);
+        m.finish_try(&mut b, r)
     }
 
     fn forall(&self, vars: &[usize]) -> Self {
@@ -710,10 +939,27 @@ impl<B: RawManager> BooleanFunction for Function<B> {
         m.finish(&mut b, e)
     }
 
+    fn try_forall(&self, vars: &[usize], budget: &mut OpBudget) -> Result<Self, OpAbort> {
+        let (m, mut b) = self.op_ctx(&[]);
+        let r = b.try_forall_edge(self.edge, vars, budget);
+        m.finish_try(&mut b, r)
+    }
+
     fn and_exists(&self, g: &Self, vars: &[usize]) -> Self {
         let (m, mut b) = self.op_ctx(&[g]);
         let e = b.and_exists_edge(self.edge, g.edge, vars);
         m.finish(&mut b, e)
+    }
+
+    fn try_and_exists(
+        &self,
+        g: &Self,
+        vars: &[usize],
+        budget: &mut OpBudget,
+    ) -> Result<Self, OpAbort> {
+        let (m, mut b) = self.op_ctx(&[g]);
+        let r = b.try_and_exists_edge(self.edge, g.edge, vars, budget);
+        m.finish_try(&mut b, r)
     }
 
     fn restrict(&self, var: usize, value: bool) -> Self {
@@ -726,6 +972,12 @@ impl<B: RawManager> BooleanFunction for Function<B> {
         let (m, mut b) = self.op_ctx(&[g]);
         let e = b.compose_edge(self.edge, var, g.edge);
         m.finish(&mut b, e)
+    }
+
+    fn try_compose(&self, var: usize, g: &Self, budget: &mut OpBudget) -> Result<Self, OpAbort> {
+        let (m, mut b) = self.op_ctx(&[g]);
+        let r = b.try_compose_edge(self.edge, var, g.edge, budget);
+        m.finish_try(&mut b, r)
     }
 
     fn vector_compose(&self, subs: &[Option<Self>]) -> Self {
@@ -756,6 +1008,14 @@ impl<B: RawManager> BooleanFunction for Function<B> {
 
     fn sat_count(&self) -> u128 {
         self.mgr.borrow().sat_count_edge(self.edge)
+    }
+
+    fn sat_count_checked(&self) -> Option<u128> {
+        self.mgr.borrow().sat_count_checked_edge(self.edge)
+    }
+
+    fn try_sat_count(&self, budget: &mut OpBudget) -> Result<u128, OpAbort> {
+        self.mgr.borrow().try_sat_count_edge(self.edge, budget)
     }
 
     fn any_sat(&self) -> Option<Vec<bool>> {
@@ -928,6 +1188,73 @@ mod tests {
             self.exists_edge(Tt(f.0 & g.0), vars)
         }
 
+        // The governed variants poll the budget once up front: truth-table
+        // ops are O(1)-ish, so a single checkpoint per call is both the
+        // natural granularity and enough for the generic-layer tests.
+        fn try_apply_edge(
+            &mut self,
+            op: BoolOp,
+            f: Tt,
+            g: Tt,
+            budget: &mut OpBudget,
+        ) -> Result<Tt, OpAbort> {
+            budget.checkpoint()?;
+            Ok(self.apply_edge(op, f, g))
+        }
+
+        fn try_ite_edge(
+            &mut self,
+            f: Tt,
+            g: Tt,
+            h: Tt,
+            budget: &mut OpBudget,
+        ) -> Result<Tt, OpAbort> {
+            budget.checkpoint()?;
+            Ok(self.ite_edge(f, g, h))
+        }
+
+        fn try_exists_edge(
+            &mut self,
+            f: Tt,
+            vars: &[usize],
+            budget: &mut OpBudget,
+        ) -> Result<Tt, OpAbort> {
+            budget.checkpoint()?;
+            Ok(self.exists_edge(f, vars))
+        }
+
+        fn try_forall_edge(
+            &mut self,
+            f: Tt,
+            vars: &[usize],
+            budget: &mut OpBudget,
+        ) -> Result<Tt, OpAbort> {
+            budget.checkpoint()?;
+            Ok(self.forall_edge(f, vars))
+        }
+
+        fn try_and_exists_edge(
+            &mut self,
+            f: Tt,
+            g: Tt,
+            vars: &[usize],
+            budget: &mut OpBudget,
+        ) -> Result<Tt, OpAbort> {
+            budget.checkpoint()?;
+            Ok(self.and_exists_edge(f, g, vars))
+        }
+
+        fn try_compose_edge(
+            &mut self,
+            f: Tt,
+            var: usize,
+            g: Tt,
+            budget: &mut OpBudget,
+        ) -> Result<Tt, OpAbort> {
+            budget.checkpoint()?;
+            Ok(self.compose_edge(f, var, g))
+        }
+
         fn restrict_edge(&mut self, f: Tt, var: usize, value: bool) -> Tt {
             Tt(restrict_table(f.0, var, value))
         }
@@ -972,6 +1299,15 @@ mod tests {
 
         fn sat_count_edge(&self, f: Tt) -> u128 {
             u128::from(f.0.count_ones())
+        }
+
+        fn sat_count_checked_edge(&self, f: Tt) -> Option<u128> {
+            Some(self.sat_count_edge(f))
+        }
+
+        fn try_sat_count_edge(&self, f: Tt, budget: &mut OpBudget) -> Result<u128, OpAbort> {
+            budget.checkpoint()?;
+            Ok(self.sat_count_edge(f))
         }
 
         fn any_sat_edge(&self, f: Tt) -> Option<Vec<bool>> {
@@ -1027,6 +1363,10 @@ mod tests {
         }
 
         fn try_sift(&mut self) -> Option<usize> {
+            None
+        }
+
+        fn sift_bounded(&mut self, _budget: &mut OpBudget) -> Option<Result<usize, OpAbort>> {
             None
         }
 

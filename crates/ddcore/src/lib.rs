@@ -45,6 +45,7 @@ pub mod boolop;
 pub mod cache;
 pub mod cantor;
 pub mod fxhash;
+pub mod govern;
 pub mod nary;
 pub mod optag;
 pub mod par;
@@ -57,6 +58,7 @@ pub use boolop::{BoolOp, Unary};
 pub use cache::{CacheStats, ComputedCache};
 pub use cantor::{cantor_pair, CantorHasher, HashArrangement};
 pub use fxhash::{FxHashMap, FxHashSet};
+pub use govern::{CancelToken, OpAbort, OpBudget};
 pub use nary::NaryOp;
 pub use par::{
     AtomicCache, AtomicCacheStats, OverlayArena, ParConfig, ParStats, ShardStats, ShardedTable,

@@ -669,7 +669,35 @@ pub fn try_fork_join<F: Fn(usize) + Sync>(
     tasks: usize,
     body: F,
 ) -> Result<FjStats, TaskPanic> {
+    let (stats, stopped) = try_fork_join_governed(threads, tasks, || false, body)?;
+    debug_assert!(!stopped, "a constant-false stop predicate never stops");
+    Ok(stats)
+}
+
+/// [`try_fork_join`] with a cooperative stop predicate, checked by every
+/// worker **between tasks** (the same boundary the panic flag uses): once
+/// `should_stop` returns `true`, no further tasks are claimed, the pool
+/// drains the in-flight ones and `stopped = true` comes back with the
+/// stats. This is how cancellation, deadlines and node budgets propagate
+/// through the parallel managers — see [`crate::govern::StopView`], whose
+/// `should_stop` the managers adapt into this predicate.
+///
+/// Tasks already running when the predicate first turns true complete
+/// normally; the stop latency is therefore one task body, which is why the
+/// managers keep split granularity fine (many small tasks) rather than
+/// spawning few large ones.
+///
+/// # Errors
+/// Returns the first captured [`TaskPanic`] when any task body panicked
+/// (a panic takes precedence over a cooperative stop).
+pub fn try_fork_join_governed<F: Fn(usize) + Sync, S: Fn() -> bool + Sync>(
+    threads: usize,
+    tasks: usize,
+    should_stop: S,
+    body: F,
+) -> Result<(FjStats, bool), TaskPanic> {
     let failed = AtomicBool::new(false);
+    let stopped = AtomicBool::new(false);
     let first_panic: Mutex<Option<TaskPanic>> = Mutex::new(None);
     let guarded = |i: usize| {
         // `body` only captures Sync state; a panic inside it cannot leave
@@ -686,11 +714,23 @@ pub fn try_fork_join<F: Fn(usize) + Sync>(
             failed.store(true, Ordering::Release);
         }
     };
+    // One predicate evaluation per between-task boundary; a true result is
+    // latched so every other worker sees it as one cheap flag load.
+    let stop_here = || {
+        if stopped.load(Ordering::Acquire) {
+            return true;
+        }
+        if should_stop() {
+            stopped.store(true, Ordering::Release);
+            return true;
+        }
+        false
+    };
     let workers = threads.max(1).min(tasks.max(1));
     let stats = if workers <= 1 {
         let mut done = 0u64;
         for i in 0..tasks {
-            if failed.load(Ordering::Acquire) {
+            if failed.load(Ordering::Acquire) || stop_here() {
                 break;
             }
             guarded(i);
@@ -707,7 +747,7 @@ pub fn try_fork_join<F: Fn(usize) + Sync>(
         let run = |w: usize| {
             let mut mine = 0u64;
             loop {
-                if failed.load(Ordering::Acquire) {
+                if failed.load(Ordering::Acquire) || stop_here() {
                     break;
                 }
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -740,7 +780,7 @@ pub fn try_fork_join<F: Fn(usize) + Sync>(
         .take();
     match outcome {
         Some(p) => Err(p),
-        None => Ok(stats),
+        None => Ok((stats, stopped.load(Ordering::Acquire))),
     }
 }
 
@@ -1013,6 +1053,36 @@ mod tests {
         t.clear();
         assert_eq!(t.get_or_insert_with(K2(5, 7), || 99), 99);
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn governed_fork_join_stops_between_tasks() {
+        for threads in [1usize, 4] {
+            let done = AtomicU64::new(0);
+            // Stop once 5 tasks have run: no worker may claim a new task
+            // after observing the predicate true.
+            let (stats, stopped) = try_fork_join_governed(
+                threads,
+                1000,
+                || done.load(Ordering::Relaxed) >= 5,
+                |_| {
+                    done.fetch_add(1, Ordering::Relaxed);
+                },
+            )
+            .expect("no panics");
+            assert!(stopped, "threads {threads}: predicate must stop the pool");
+            let ran = stats.executed.iter().sum::<u64>();
+            assert!(ran >= 5, "threads {threads}: ran {ran}");
+            // Stop latency is bounded by in-flight tasks: one per worker.
+            assert!(
+                ran <= 5 + threads as u64,
+                "threads {threads}: ran {ran} tasks after the stop"
+            );
+        }
+        // A never-true predicate runs everything and reports no stop.
+        let (stats, stopped) = try_fork_join_governed(4, 64, || false, |_| {}).unwrap();
+        assert!(!stopped);
+        assert_eq!(stats.executed.iter().sum::<u64>(), 64);
     }
 
     #[test]

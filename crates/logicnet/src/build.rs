@@ -20,6 +20,7 @@
 
 use crate::ir::{GateOp, Network};
 use ddcore::api::{BooleanFunction, FunctionManager};
+use ddcore::govern::{OpAbort, OpBudget};
 
 /// Gate-count interval between garbage-collection / dynamic-reordering
 /// opportunities while building large networks.
@@ -160,6 +161,159 @@ pub fn build_network_with_inputs<M: FunctionManager>(
         .collect()
 }
 
+/// A network build stopped by its [`OpBudget`].
+///
+/// All wire handles the interrupted build held are dropped before this is
+/// returned, so the manager is left with a balanced root registry and only
+/// unreferenced partial results — the next GC reclaims them (the managers'
+/// abort-safety contract).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildAborted {
+    /// Why the budget stopped the build.
+    pub reason: OpAbort,
+    /// Gates fully interpreted before the abort.
+    pub gates_built: usize,
+}
+
+impl std::fmt::Display for BuildAborted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "network build aborted ({}) after {} gate(s)",
+            self.reason, self.gates_built
+        )
+    }
+}
+
+impl std::error::Error for BuildAborted {}
+
+/// [`build_network`] under a resource budget: every gate's diagram
+/// operations run through the fallible `try_*` forms, so a node ceiling,
+/// deadline or cancellation stops the build mid-netlist instead of letting
+/// a pathological network grow the manager until the process dies.
+///
+/// # Errors
+/// Returns [`BuildAborted`] with the abort reason and the number of gates
+/// already interpreted.
+///
+/// # Panics
+/// Panics if the network fails [`Network::check`] or has more inputs than
+/// the manager has variables.
+pub fn try_build_network<M: FunctionManager>(
+    mgr: &M,
+    net: &Network,
+    budget: &mut OpBudget,
+) -> Result<Vec<M::Function>, BuildAborted> {
+    net.check().expect("network must be structurally valid");
+    let inputs: Vec<M::Function> = (0..net.num_inputs()).map(|i| mgr.var(i)).collect();
+    let mut wire: Vec<Option<M::Function>> = vec![None; net.num_signals()];
+    for (i, s) in net.inputs().iter().enumerate() {
+        wire[s.index()] = Some(inputs[i].clone());
+    }
+    let mut last_use = vec![usize::MAX; net.num_signals()];
+    for (gi, g) in net.gates().iter().enumerate() {
+        for inp in &g.inputs {
+            last_use[inp.index()] = gi;
+        }
+    }
+    for (_, s) in net.outputs() {
+        last_use[s.index()] = usize::MAX;
+    }
+    for s in net.inputs() {
+        last_use[s.index()] = usize::MAX;
+    }
+
+    for (gi, g) in net.gates().iter().enumerate() {
+        let ins: Vec<&M::Function> = g
+            .inputs
+            .iter()
+            .map(|s| wire[s.index()].as_ref().expect("topological order"))
+            .collect();
+        /// Budgeted left-fold of `op` over a fan-in list.
+        macro_rules! try_fold {
+            ($op:ident, $ins:expr, $budget:expr) => {
+                if $ins.len() == 1 {
+                    $ins[0].clone()
+                } else {
+                    let mut acc = $ins[0].$op($ins[1], $budget)?;
+                    for x in &$ins[2..] {
+                        acc = acc.$op(x, $budget)?;
+                    }
+                    acc
+                }
+            };
+        }
+        let out = (|| -> Result<M::Function, OpAbort> {
+            Ok(match g.op {
+                GateOp::Const0 => mgr.constant(false),
+                GateOp::Const1 => mgr.constant(true),
+                GateOp::Buf => ins[0].clone(),
+                GateOp::Not => ins[0].not(),
+                GateOp::And | GateOp::Nand => {
+                    let acc = try_fold!(try_and, ins, budget);
+                    if g.op == GateOp::Nand {
+                        acc.not()
+                    } else {
+                        acc
+                    }
+                }
+                GateOp::Or | GateOp::Nor => {
+                    let acc = try_fold!(try_or, ins, budget);
+                    if g.op == GateOp::Nor {
+                        acc.not()
+                    } else {
+                        acc
+                    }
+                }
+                GateOp::Xor | GateOp::Xnor => {
+                    let acc = try_fold!(try_xor, ins, budget);
+                    if g.op == GateOp::Xnor {
+                        acc.not()
+                    } else {
+                        acc
+                    }
+                }
+                GateOp::Maj => {
+                    let ab = ins[0].try_and(ins[1], budget)?;
+                    let bc = ins[1].try_and(ins[2], budget)?;
+                    let ac = ins[0].try_and(ins[2], budget)?;
+                    ab.try_or(&bc, budget)?.try_or(&ac, budget)?
+                }
+                GateOp::Mux => ins[0].try_ite(ins[1], ins[2], budget)?,
+            })
+        })();
+        let out = match out {
+            Ok(o) => o,
+            Err(reason) => {
+                // Drop every held handle before reporting: the registry
+                // must balance so the next GC can reclaim the partial
+                // build.
+                drop(ins);
+                wire.clear();
+                mgr.collect();
+                return Err(BuildAborted {
+                    reason,
+                    gates_built: gi,
+                });
+            }
+        };
+        wire[g.output.index()] = Some(out);
+        if (gi + 1) % GC_STRIDE == 0 {
+            for (idx, slot) in wire.iter_mut().enumerate() {
+                if last_use[idx] <= gi {
+                    *slot = None;
+                }
+            }
+            mgr.collect();
+        }
+    }
+    Ok(net
+        .outputs()
+        .iter()
+        .map(|(_, s)| wire[s.index()].clone().expect("outputs are driven"))
+        .collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,6 +362,37 @@ mod tests {
     #[test]
     fn robdd_build_matches_simulation() {
         check_backend(&RobddManager::with_vars(4));
+    }
+
+    #[test]
+    fn governed_build_matches_ungoverned_when_unlimited() {
+        let net = ripple2();
+        let mgr = BbddManager::with_vars(net.num_inputs());
+        let outs = try_build_network(&mgr, &net, &mut OpBudget::unlimited())
+            .expect("unlimited budget never aborts");
+        for m in 0..16u32 {
+            let v: Vec<bool> = (0..4).map(|i| (m >> i) & 1 == 1).collect();
+            let expect = net.simulate(&v);
+            for (o, e) in outs.iter().zip(&expect) {
+                assert_eq!(o.eval(&v), *e, "vector {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn governed_build_aborts_and_balances_registry() {
+        let net = ripple2();
+        let mgr = BbddManager::with_vars(net.num_inputs());
+        let mut budget = OpBudget::unlimited().with_node_limit(1);
+        let aborted = try_build_network(&mgr, &net, &mut budget)
+            .expect_err("a one-node budget cannot build a 2-bit adder");
+        assert_eq!(aborted.reason, OpAbort::NodeBudget);
+        assert!(aborted.gates_built < net.num_gates());
+        // Registry balanced, partial results reclaimed, manager usable.
+        assert_eq!(mgr.external_roots(), 0);
+        mgr.gc();
+        let outs = build_network(&mgr, &net);
+        assert_eq!(outs.len(), net.num_outputs());
     }
 
     #[test]

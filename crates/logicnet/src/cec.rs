@@ -42,12 +42,16 @@
 use crate::build::build_network_with_inputs;
 use crate::ir::Network;
 use ddcore::api::{BooleanFunction, FunctionManager};
+use ddcore::govern::{OpAbort, OpBudget};
 use std::collections::HashMap;
 
-/// Number of satisfying assignments of `f`, or `None` when the manager's
-/// variable count makes the exact count unrepresentable in 128 bits.
-fn model_count<M: FunctionManager>(mgr: &M, f: &M::Function) -> Option<u128> {
-    (mgr.num_vars() <= 127).then(|| f.sat_count())
+/// Number of satisfying assignments of `f`, or `None` when the count is
+/// unrepresentable in 128 bits. Routed through
+/// [`BooleanFunction::sat_count_checked`] so the backend itself reports
+/// saturation instead of this driver re-deriving the representability
+/// bound from the variable count.
+fn model_count<M: FunctionManager>(f: &M::Function) -> Option<u128> {
+    f.sat_count_checked()
 }
 
 /// A concrete refutation of one output pair.
@@ -176,11 +180,96 @@ pub fn check_equivalence<M: FunctionManager>(mgr: &M, a: &Network, b: &Network) 
                 output: k,
                 output_name: name.clone(),
                 inputs,
-                distinguishing: model_count(mgr, &miter),
+                distinguishing: model_count::<M>(&miter),
             });
         }
     }
     CecVerdict::Equivalent
+}
+
+/// A CEC run cut short by its [`OpBudget`]: the partial verdict.
+///
+/// `outputs_checked` counts the output pairs fully decided (proved equal
+/// or refuted) before the abort, in the first network's port order for the
+/// sequential driver. A refutation found before the abort is definitive —
+/// one counterexample proves inequivalence no matter how many outputs went
+/// unchecked — so [`try_check_equivalence_parallel`] reports it as a full
+/// [`CecVerdict::Inequivalent`] rather than an abort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CecAborted {
+    /// Why the budget stopped the run.
+    pub reason: OpAbort,
+    /// Output pairs fully decided before the abort.
+    pub outputs_checked: usize,
+}
+
+impl std::fmt::Display for CecAborted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "equivalence check aborted ({}) after {} output(s)",
+            self.reason, self.outputs_checked
+        )
+    }
+}
+
+impl std::error::Error for CecAborted {}
+
+/// [`check_equivalence`] under a resource budget: each per-output miter
+/// and quantification runs through the fallible `try_*` operations, and
+/// the first abort surfaces as [`CecAborted`] with the number of outputs
+/// already decided — a partial verdict the caller can act on.
+///
+/// The two network *builds* are not governed (they are cheap next to the
+/// per-output quantifications for CEC-sized netlists); the budget begins
+/// metering at the first miter.
+///
+/// # Errors
+/// Returns [`CecAborted`] when the budget's node ceiling, deadline or
+/// cancellation token stops the run before every output is decided.
+///
+/// # Panics
+/// Panics if the interfaces have different arities or the manager has too
+/// few variables.
+pub fn try_check_equivalence<M: FunctionManager>(
+    mgr: &M,
+    a: &Network,
+    b: &Network,
+    budget: &mut OpBudget,
+) -> Result<CecVerdict, CecAborted> {
+    let n = a.num_inputs();
+    let (input_map, output_map, _) = match_interfaces(a, b);
+    let vars: Vec<M::Function> = (0..n).map(|i| mgr.var(i)).collect();
+    let a_outs = build_network_with_inputs(mgr, a, &vars);
+    let b_inputs: Vec<M::Function> = input_map.iter().map(|&i| vars[i].clone()).collect();
+    let b_outs = build_network_with_inputs(mgr, b, &b_inputs);
+
+    let all_inputs: Vec<usize> = (0..n).collect();
+    for (k, (name, _)) in a.outputs().iter().enumerate() {
+        let step = a_outs[k]
+            .try_xor(&b_outs[output_map[k]], budget)
+            .and_then(|miter| {
+                let q = miter.try_exists(&all_inputs, budget)?;
+                Ok((miter, q))
+            });
+        let (miter, quantified) = step.map_err(|reason| CecAborted {
+            reason,
+            outputs_checked: k,
+        })?;
+        if !quantified.is_false() {
+            let inputs = miter
+                .any_sat()
+                .map(|m| m[..n].to_vec())
+                .expect("a non-false miter has a model");
+            return Ok(CecVerdict::Inequivalent(Counterexample {
+                output: k,
+                output_name: name.clone(),
+                inputs,
+                distinguishing: model_count::<M>(&miter),
+            }));
+        }
+    }
+    Ok(CecVerdict::Equivalent)
 }
 
 /// Execution statistics of one [`check_equivalence_parallel`] run.
@@ -259,7 +348,7 @@ where
                     output: k,
                     output_name: name.clone(),
                     inputs,
-                    distinguishing: model_count(&mgr, &miter),
+                    distinguishing: model_count::<M>(&miter),
                 });
             }
         }
@@ -276,6 +365,158 @@ where
         }
     }
     (CecVerdict::Equivalent, stats)
+}
+
+/// [`check_equivalence_parallel`] under a resource budget: chunks run
+/// through [`try_check_equivalence`]'s per-output fallible pipeline, and
+/// pool workers observe the budget's stop conditions **between chunk
+/// tasks** ([`ddcore::par::try_fork_join_governed`]), so a raised
+/// [`ddcore::govern::CancelToken`] or an expired deadline stops the whole
+/// fan-out after at most the chunks already in flight.
+///
+/// Budget semantics in the parallel driver: the budget's *stop conditions*
+/// (token, deadline, fault injection) are shared by every chunk, while the
+/// **node ceiling applies per chunk** — each chunk clones the budget for
+/// its own manager, since per-chunk managers are what keep the fan-out
+/// contention-free and a shared depleting counter would reintroduce the
+/// contention. An unlimited budget routes to the ordinary un-governed
+/// driver, leaving that hot path untouched.
+///
+/// A refutation found by any chunk before the stop is returned as a full
+/// [`CecVerdict::Inequivalent`] (lowest output index wins, so the verdict
+/// is deterministic): one counterexample is definitive regardless of how
+/// many outputs went unchecked.
+///
+/// # Errors
+/// Returns [`CecAborted`] when the run stopped before every output was
+/// decided and no refutation was found; `outputs_checked` counts outputs
+/// decided across all chunks.
+///
+/// # Panics
+/// Panics if the interfaces have different arities, a manager has too few
+/// variables, or a pool task panics.
+pub fn try_check_equivalence_parallel<M, F>(
+    a: &Network,
+    b: &Network,
+    threads: usize,
+    make_mgr: F,
+    budget: &mut OpBudget,
+) -> Result<(CecVerdict, CecParStats), CecAborted>
+where
+    M: FunctionManager,
+    F: Fn() -> M + Sync,
+{
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    let view = budget.stop_view();
+    if !view.is_limited() {
+        return Ok(check_equivalence_parallel(a, b, threads, make_mgr));
+    }
+    let n = a.num_inputs();
+    let n_out = a.num_outputs();
+    if n_out == 0 {
+        return Ok((CecVerdict::Equivalent, CecParStats::default()));
+    }
+    let (input_map, output_map, _) = match_interfaces(a, b);
+    let per = n_out.div_ceil((threads.max(1) * 2).min(n_out));
+    let chunks = n_out.div_ceil(per);
+    let refuted: Vec<std::sync::Mutex<Option<Counterexample>>> =
+        (0..n_out).map(|_| std::sync::Mutex::new(None)).collect();
+    let all_inputs: Vec<usize> = (0..n).collect();
+    let decided = AtomicUsize::new(0);
+    // First abort reason any chunk hit, encoded ordinally (0 = none);
+    // stop-condition reasons agree across chunks up to benign races
+    // (deadline vs token raised in the same stride), so "first recorded"
+    // is as deterministic as the conditions themselves.
+    let abort_code = AtomicU64::new(0);
+    let encode = |r: OpAbort| match r {
+        OpAbort::NodeBudget => 1u64,
+        OpAbort::Deadline => 2,
+        OpAbort::Cancelled => 3,
+    };
+    let decode = |c: u64| match c {
+        1 => OpAbort::NodeBudget,
+        2 => OpAbort::Deadline,
+        _ => OpAbort::Cancelled,
+    };
+    let chunk_proto = budget.clone();
+    let fj_result = ddcore::par::try_fork_join_governed(
+        threads,
+        chunks,
+        || view.should_stop(0).is_some(),
+        |c| {
+            let lo = c * per;
+            let hi = ((c + 1) * per).min(n_out);
+            let mut chunk_budget = chunk_proto.clone();
+            let mgr = make_mgr();
+            let vars: Vec<M::Function> = (0..n).map(|i| mgr.var(i)).collect();
+            let a_outs = build_network_with_inputs(&mgr, a, &vars);
+            let b_inputs: Vec<M::Function> = input_map.iter().map(|&i| vars[i].clone()).collect();
+            let b_outs = build_network_with_inputs(&mgr, b, &b_inputs);
+            for (k, (name, _)) in a.outputs().iter().enumerate().take(hi).skip(lo) {
+                let step = a_outs[k]
+                    .try_xor(&b_outs[output_map[k]], &mut chunk_budget)
+                    .and_then(|miter| {
+                        let q = miter.try_exists(&all_inputs, &mut chunk_budget)?;
+                        Ok((miter, q))
+                    });
+                let (miter, quantified) = match step {
+                    Ok(pair) => pair,
+                    Err(reason) => {
+                        let _ = abort_code.compare_exchange(
+                            0,
+                            encode(reason),
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        );
+                        return;
+                    }
+                };
+                if !quantified.is_false() {
+                    let inputs = miter
+                        .any_sat()
+                        .map(|m| m[..n].to_vec())
+                        .expect("a non-false miter has a model");
+                    *refuted[k].lock().expect("cec result lock") = Some(Counterexample {
+                        output: k,
+                        output_name: name.clone(),
+                        inputs,
+                        distinguishing: model_count::<M>(&miter),
+                    });
+                }
+                decided.fetch_add(1, Ordering::Relaxed);
+            }
+        },
+    );
+    let (fj, stopped) = match fj_result {
+        Ok(x) => x,
+        Err(p) => panic!("{p}"),
+    };
+    let stats = CecParStats {
+        outputs: n_out,
+        chunks,
+        workers: fj.workers,
+        chunks_by_worker: fj.executed,
+    };
+    for slot in &refuted {
+        if let Some(cex) = slot.lock().expect("cec result lock").take() {
+            return Ok((CecVerdict::Inequivalent(cex), stats));
+        }
+    }
+    let outputs_checked = decided.load(Ordering::Relaxed);
+    let code = abort_code.load(Ordering::Acquire);
+    if code != 0 || stopped || outputs_checked < n_out {
+        let reason = if code != 0 {
+            decode(code)
+        } else {
+            view.should_stop(0).unwrap_or(OpAbort::Cancelled)
+        };
+        return Err(CecAborted {
+            reason,
+            outputs_checked,
+        });
+    }
+    Ok((CecVerdict::Equivalent, stats))
 }
 
 /// [`check_equivalence_parallel`] over fresh sequential BBDD managers
@@ -507,6 +748,148 @@ mod tests {
             },
         ));
         assert_eq!(check_equivalence(&mgr, &x, &y), CecVerdict::Equivalent);
+    }
+
+    #[test]
+    fn model_count_saturates_exactly_beyond_127_variables() {
+        // The 127/128 boundary of `sat_count_checked`: a constant-true
+        // miter over n variables has 2^n distinguishing assignments, which
+        // fits u128 at n = 127 and saturates at n = 128. The driver must
+        // report the count exactly at 127 and None (not a clamped value)
+        // at 128.
+        for n in [127usize, 128] {
+            let mut p = Network::new("p");
+            for i in 0..n {
+                p.add_input(&format!("x{i}"));
+            }
+            let one = p.add_gate(GateOp::Const1, &[]);
+            p.set_output("f", one);
+            let mut q = Network::new("q");
+            for i in 0..n {
+                q.add_input(&format!("x{i}"));
+            }
+            let zero = q.add_gate(GateOp::Const0, &[]);
+            q.set_output("f", zero);
+
+            for verdict in [
+                check_equivalence(&bbdd::BbddManager::with_vars(n), &p, &q),
+                check_equivalence(&robdd::RobddManager::with_vars(n), &p, &q),
+            ] {
+                match verdict {
+                    CecVerdict::Inequivalent(cex) => {
+                        let expected = (n == 127).then_some(1u128 << 127);
+                        assert_eq!(cex.distinguishing, expected, "n = {n}");
+                    }
+                    CecVerdict::Equivalent => panic!("constants must differ"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_cec_matches_unbudgeted_when_unlimited() {
+        let x = half_adder("x", false);
+        let y = half_adder("y", true);
+        let mgr = bbdd::BbddManager::with_vars(2);
+        assert_eq!(
+            try_check_equivalence(&mgr, &x, &y, &mut OpBudget::unlimited()),
+            Ok(CecVerdict::Equivalent)
+        );
+        let mgr = robdd::RobddManager::with_vars(2);
+        assert_eq!(
+            try_check_equivalence(&mgr, &x, &y, &mut OpBudget::unlimited()),
+            Ok(CecVerdict::Equivalent)
+        );
+    }
+
+    #[test]
+    fn budgeted_cec_surfaces_partial_verdict() {
+        // Against the OR-carry mutant, output "s" is decided for free
+        // (same canonical edge, miter collapses terminally, zero
+        // checkpoints) but the "c" miter AND(a,b) ⊕ OR(a,b) forces real
+        // apply recursion — so a pre-cancelled token with stride 1 aborts
+        // there, with exactly one output decided.
+        let x = half_adder("x", false);
+        let mut bad = Network::new("bad");
+        let a = bad.add_input("a");
+        let b = bad.add_input("b");
+        let s = bad.add_gate(GateOp::Xor, &[a, b]);
+        let c = bad.add_gate(GateOp::Or, &[a, b]);
+        bad.set_output("s", s);
+        bad.set_output("c", c);
+        let token = ddcore::govern::CancelToken::new();
+        token.cancel();
+        let mut budget = OpBudget::unlimited()
+            .with_cancel(&token)
+            .with_poll_stride(1);
+        let mgr = bbdd::BbddManager::with_vars(2);
+        let aborted = try_check_equivalence(&mgr, &x, &bad, &mut budget)
+            .expect_err("cancelled budget must abort");
+        assert_eq!(aborted.reason, OpAbort::Cancelled);
+        assert_eq!(aborted.outputs_checked, 1);
+        // The manager survives the abort: the same check completes
+        // under a fresh unlimited budget and finds the real refutation.
+        match try_check_equivalence(&mgr, &x, &bad, &mut OpBudget::unlimited()) {
+            Ok(CecVerdict::Inequivalent(cex)) => assert_eq!(cex.output_name, "c"),
+            other => panic!("expected refutation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn governed_parallel_cec_stops_between_chunks() {
+        let x = half_adder("x", false);
+        let y = half_adder("y", true);
+        // Unlimited budget routes to the ordinary driver.
+        let (verdict, stats) = try_check_equivalence_parallel(
+            &x,
+            &y,
+            2,
+            || bbdd::BbddManager::with_vars(2),
+            &mut OpBudget::unlimited(),
+        )
+        .expect("unlimited budget never aborts");
+        assert!(verdict.is_equivalent());
+        assert_eq!(stats.outputs, 2);
+        // A pre-raised token stops the fan-out before any chunk runs.
+        let token = ddcore::govern::CancelToken::new();
+        token.cancel();
+        let mut budget = OpBudget::unlimited()
+            .with_cancel(&token)
+            .with_poll_stride(1);
+        for threads in [1usize, 4] {
+            let aborted = try_check_equivalence_parallel(
+                &x,
+                &y,
+                threads,
+                || bbdd::BbddManager::with_vars(2),
+                &mut budget,
+            )
+            .expect_err("raised token must abort the parallel check");
+            assert_eq!(aborted.reason, OpAbort::Cancelled, "threads {threads}");
+            assert_eq!(aborted.outputs_checked, 0, "threads {threads}");
+        }
+        // A refutation found under a live budget is definitive.
+        let mut bad = Network::new("bad");
+        let a = bad.add_input("a");
+        let b = bad.add_input("b");
+        let s = bad.add_gate(GateOp::Xor, &[a, b]);
+        let c = bad.add_gate(GateOp::Or, &[a, b]);
+        bad.set_output("s", s);
+        bad.set_output("c", c);
+        let live = ddcore::govern::CancelToken::new();
+        let mut budget = OpBudget::unlimited().with_cancel(&live);
+        let (verdict, _) = try_check_equivalence_parallel(
+            &x,
+            &bad,
+            2,
+            || bbdd::BbddManager::with_vars(2),
+            &mut budget,
+        )
+        .expect("live token, small nets: run completes");
+        match verdict {
+            CecVerdict::Inequivalent(cex) => assert_eq!(cex.output_name, "c"),
+            CecVerdict::Equivalent => panic!("mutation missed"),
+        }
     }
 
     #[test]

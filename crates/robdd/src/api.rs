@@ -21,6 +21,7 @@ use crate::manager::Robdd;
 use crate::par::ParRobdd;
 use ddcore::api::{ManagerRef, RawManager};
 use ddcore::boolop::BoolOp;
+use ddcore::govern::{OpAbort, OpBudget};
 use ddcore::roots::{RootGuard, RootSet};
 
 /// The trait-level ROBDD manager.
@@ -86,6 +87,64 @@ impl RawManager for Robdd {
         self.and_exists(f, g, vars)
     }
 
+    fn try_apply_edge(
+        &mut self,
+        op: BoolOp,
+        f: Edge,
+        g: Edge,
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
+        self.try_apply(op, f, g, budget)
+    }
+
+    fn try_ite_edge(
+        &mut self,
+        f: Edge,
+        g: Edge,
+        h: Edge,
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
+        self.try_ite(f, g, h, budget)
+    }
+
+    fn try_exists_edge(
+        &mut self,
+        f: Edge,
+        vars: &[usize],
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
+        self.try_exists(f, vars, budget)
+    }
+
+    fn try_forall_edge(
+        &mut self,
+        f: Edge,
+        vars: &[usize],
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
+        self.try_forall(f, vars, budget)
+    }
+
+    fn try_and_exists_edge(
+        &mut self,
+        f: Edge,
+        g: Edge,
+        vars: &[usize],
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
+        self.try_and_exists(f, g, vars, budget)
+    }
+
+    fn try_compose_edge(
+        &mut self,
+        f: Edge,
+        var: usize,
+        g: Edge,
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
+        self.try_compose(f, var, g, budget)
+    }
+
     fn restrict_edge(&mut self, f: Edge, var: usize, value: bool) -> Edge {
         self.restrict(f, var, value)
     }
@@ -104,6 +163,14 @@ impl RawManager for Robdd {
 
     fn sat_count_edge(&self, f: Edge) -> u128 {
         self.sat_count(f)
+    }
+
+    fn sat_count_checked_edge(&self, f: Edge) -> Option<u128> {
+        self.sat_count_checked(f)
+    }
+
+    fn try_sat_count_edge(&self, f: Edge, budget: &mut OpBudget) -> Result<u128, OpAbort> {
+        self.try_sat_count(f, budget)
     }
 
     fn any_sat_edge(&self, f: Edge) -> Option<Vec<bool>> {
@@ -156,6 +223,10 @@ impl RawManager for Robdd {
 
     fn try_sift(&mut self) -> Option<usize> {
         Some(self.sift())
+    }
+
+    fn sift_bounded(&mut self, budget: &mut OpBudget) -> Option<Result<usize, OpAbort>> {
+        Some(Robdd::sift_bounded(self, budget))
     }
 
     fn variable_order(&self) -> Vec<usize> {
@@ -241,6 +312,64 @@ impl RawManager for ParRobdd {
         self.and_exists(f, g, vars)
     }
 
+    fn try_apply_edge(
+        &mut self,
+        op: BoolOp,
+        f: Edge,
+        g: Edge,
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
+        self.try_apply(op, f, g, budget)
+    }
+
+    fn try_ite_edge(
+        &mut self,
+        f: Edge,
+        g: Edge,
+        h: Edge,
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
+        self.try_ite(f, g, h, budget)
+    }
+
+    fn try_exists_edge(
+        &mut self,
+        f: Edge,
+        vars: &[usize],
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
+        self.try_exists(f, vars, budget)
+    }
+
+    fn try_forall_edge(
+        &mut self,
+        f: Edge,
+        vars: &[usize],
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
+        self.try_forall(f, vars, budget)
+    }
+
+    fn try_and_exists_edge(
+        &mut self,
+        f: Edge,
+        g: Edge,
+        vars: &[usize],
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
+        self.try_and_exists(f, g, vars, budget)
+    }
+
+    fn try_compose_edge(
+        &mut self,
+        f: Edge,
+        var: usize,
+        g: Edge,
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
+        self.try_compose(f, var, g, budget)
+    }
+
     // Non-parallelized ops run on the wrapped sequential manager as part
     // of the same deterministic history.
 
@@ -262,6 +391,14 @@ impl RawManager for ParRobdd {
 
     fn sat_count_edge(&self, f: Edge) -> u128 {
         self.sat_count(f)
+    }
+
+    fn sat_count_checked_edge(&self, f: Edge) -> Option<u128> {
+        self.sat_count_checked(f)
+    }
+
+    fn try_sat_count_edge(&self, f: Edge, budget: &mut OpBudget) -> Result<u128, OpAbort> {
+        self.try_sat_count(f, budget)
     }
 
     fn any_sat_edge(&self, f: Edge) -> Option<Vec<bool>> {
@@ -317,6 +454,10 @@ impl RawManager for ParRobdd {
 
     /// The parallel front-ends never reorder (deterministic op history).
     fn try_sift(&mut self) -> Option<usize> {
+        None
+    }
+
+    fn sift_bounded(&mut self, _budget: &mut OpBudget) -> Option<Result<usize, OpAbort>> {
         None
     }
 

@@ -8,6 +8,7 @@
 use crate::edge::Edge;
 use crate::manager::Robdd;
 use ddcore::boolop::{BoolOp, Unary};
+use ddcore::govern::{OpAbort, OpBudget};
 use ddcore::optag;
 
 const TAG_ITE: u32 = optag::ITE;
@@ -15,42 +16,61 @@ const TAG_ITE: u32 = optag::ITE;
 impl Robdd {
     /// Compute `f ⊗ g` for an arbitrary two-operand Boolean operator.
     pub fn apply(&mut self, op: BoolOp, f: Edge, g: Edge) -> Edge {
-        self.apply_rec(op, f, g)
+        self.try_apply(op, f, g, &mut OpBudget::unlimited())
+            .expect("unlimited budget never aborts")
+    }
+
+    /// [`Robdd::apply`] under a resource budget: the budget is polled at
+    /// every computed-cache miss (i.e. once per node the operation may
+    /// materialize). On `Err` the manager stays fully usable — tables are
+    /// canonical, the cache holds only committed results, and any nodes
+    /// built before the abort are reclaimed by the next GC.
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    pub fn try_apply(
+        &mut self,
+        op: BoolOp,
+        f: Edge,
+        g: Edge,
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
+        self.apply_rec(op, f, g, budget)
     }
 
     /// `f ∧ g`.
     pub fn and(&mut self, f: Edge, g: Edge) -> Edge {
-        self.apply_rec(BoolOp::AND, f, g)
+        self.apply(BoolOp::AND, f, g)
     }
 
     /// `f ∨ g`.
     pub fn or(&mut self, f: Edge, g: Edge) -> Edge {
-        self.apply_rec(BoolOp::OR, f, g)
+        self.apply(BoolOp::OR, f, g)
     }
 
     /// `f ⊕ g`.
     pub fn xor(&mut self, f: Edge, g: Edge) -> Edge {
-        self.apply_rec(BoolOp::XOR, f, g)
+        self.apply(BoolOp::XOR, f, g)
     }
 
     /// `f ⊙ g`.
     pub fn xnor(&mut self, f: Edge, g: Edge) -> Edge {
-        self.apply_rec(BoolOp::XNOR, f, g)
+        self.apply(BoolOp::XNOR, f, g)
     }
 
     /// `¬(f ∧ g)`.
     pub fn nand(&mut self, f: Edge, g: Edge) -> Edge {
-        self.apply_rec(BoolOp::NAND, f, g)
+        self.apply(BoolOp::NAND, f, g)
     }
 
     /// `¬(f ∨ g)`.
     pub fn nor(&mut self, f: Edge, g: Edge) -> Edge {
-        self.apply_rec(BoolOp::NOR, f, g)
+        self.apply(BoolOp::NOR, f, g)
     }
 
     /// `f → g`.
     pub fn implies(&mut self, f: Edge, g: Edge) -> Edge {
-        self.apply_rec(BoolOp::IMPLIES, f, g)
+        self.apply(BoolOp::IMPLIES, f, g)
     }
 
     fn unary(&self, u: Unary, x: Edge) -> Edge {
@@ -62,19 +82,25 @@ impl Robdd {
         }
     }
 
-    fn apply_rec(&mut self, mut op: BoolOp, mut f: Edge, mut g: Edge) -> Edge {
+    pub(crate) fn apply_rec(
+        &mut self,
+        mut op: BoolOp,
+        mut f: Edge,
+        mut g: Edge,
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
         self.stats.apply_calls += 1;
         if f == g {
-            return self.unary(op.on_equal_operands(), f);
+            return Ok(self.unary(op.on_equal_operands(), f));
         }
         if f == !g {
-            return self.unary(op.on_complement_operands(), f);
+            return Ok(self.unary(op.on_complement_operands(), f));
         }
         if f.is_constant() {
-            return self.unary(op.on_first_const(f == Edge::ONE), g);
+            return Ok(self.unary(op.on_first_const(f == Edge::ONE), g));
         }
         if g.is_constant() {
-            return self.unary(op.on_second_const(g == Edge::ONE), f);
+            return Ok(self.unary(op.on_second_const(g == Edge::ONE), f));
         }
         if f.is_complemented() {
             f = !f;
@@ -94,19 +120,24 @@ impl Robdd {
             out_c = true;
         }
         if op == BoolOp::FALSE {
-            return Edge::ZERO.complement_if(out_c);
+            return Ok(Edge::ZERO.complement_if(out_c));
         }
         if op == BoolOp::FIRST {
-            return f.complement_if(out_c);
+            return Ok(f.complement_if(out_c));
         }
         if op == BoolOp::SECOND {
-            return g.complement_if(out_c);
+            return Ok(g.complement_if(out_c));
         }
 
         let (k1, k2, tag) = (f.bits() as u64, g.bits() as u64, op.table() as u32);
         if let Some(r) = self.cache.get(k1, k2, tag) {
-            return Edge::from_bits(r as u32).complement_if(out_c);
+            return Ok(Edge::from_bits(r as u32).complement_if(out_c));
         }
+        // Abort-consistency: poll on the miss, *before* building anything.
+        // The cache insert below runs strictly after a successful
+        // make_node, so an abort can never leave the cache pointing at a
+        // node that was never committed.
+        budget.checkpoint()?;
 
         // Shannon expansion at the top variable (minimal order position).
         let (pf, pg) = (self.edge_pos(f), self.edge_pos(g));
@@ -117,46 +148,68 @@ impl Robdd {
         };
         let (f1, f0) = self.cofactors(f, var);
         let (g1, g0) = self.cofactors(g, var);
-        let t = self.apply_rec(op, f1, g1);
-        let e = self.apply_rec(op, f0, g0);
+        let t = self.apply_rec(op, f1, g1, budget)?;
+        let e = self.apply_rec(op, f0, g0, budget)?;
         let r = self.make_node(var, t, e);
         self.cache.insert(k1, k2, tag, r.bits() as u64);
-        r.complement_if(out_c)
+        Ok(r.complement_if(out_c))
     }
 
     /// If-then-else with the classic normalizations.
     pub fn ite(&mut self, f: Edge, g: Edge, h: Edge) -> Edge {
-        self.ite_rec(f, g, h)
+        self.try_ite(f, g, h, &mut OpBudget::unlimited())
+            .expect("unlimited budget never aborts")
     }
 
-    fn ite_rec(&mut self, mut f: Edge, mut g: Edge, mut h: Edge) -> Edge {
+    /// [`Robdd::ite`] under a resource budget; see [`Robdd::try_apply`]
+    /// for the polling and abort-safety contract.
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    pub fn try_ite(
+        &mut self,
+        f: Edge,
+        g: Edge,
+        h: Edge,
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
+        self.ite_rec(f, g, h, budget)
+    }
+
+    pub(crate) fn ite_rec(
+        &mut self,
+        mut f: Edge,
+        mut g: Edge,
+        mut h: Edge,
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
         self.stats.apply_calls += 1;
         if f == Edge::ONE {
-            return g;
+            return Ok(g);
         }
         if f == Edge::ZERO {
-            return h;
+            return Ok(h);
         }
         if g == h {
-            return g;
+            return Ok(g);
         }
         if g == Edge::ONE && h == Edge::ZERO {
-            return f;
+            return Ok(f);
         }
         if g == Edge::ZERO && h == Edge::ONE {
-            return !f;
+            return Ok(!f);
         }
         if f == g || g == Edge::ONE {
-            return self.apply_rec(BoolOp::OR, f, h);
+            return self.apply_rec(BoolOp::OR, f, h, budget);
         }
         if f == !g || g == Edge::ZERO {
-            return self.apply_rec(BoolOp::NOT_AND, f, h);
+            return self.apply_rec(BoolOp::NOT_AND, f, h, budget);
         }
         if f == h || h == Edge::ZERO {
-            return self.apply_rec(BoolOp::AND, f, g);
+            return self.apply_rec(BoolOp::AND, f, g, budget);
         }
         if f == !h || h == Edge::ONE {
-            return self.apply_rec(BoolOp::IMPLIES, f, g);
+            return self.apply_rec(BoolOp::IMPLIES, f, g, budget);
         }
         if f.is_complemented() {
             f = !f;
@@ -171,8 +224,10 @@ impl Robdd {
         let k1 = f.bits() as u64;
         let k2 = ((g.bits() as u64) << 32) | h.bits() as u64;
         if let Some(r) = self.cache.get(k1, k2, TAG_ITE) {
-            return Edge::from_bits(r as u32).complement_if(out_c);
+            return Ok(Edge::from_bits(r as u32).complement_if(out_c));
         }
+        // Poll on the miss, before materializing (see apply_rec).
+        budget.checkpoint()?;
         let mut best = self.edge_pos(f);
         for e in [g, h] {
             best = best.min(self.edge_pos(e));
@@ -181,11 +236,11 @@ impl Robdd {
         let (f1, f0) = self.cofactors(f, var);
         let (g1, g0) = self.cofactors(g, var);
         let (h1, h0) = self.cofactors(h, var);
-        let t = self.ite_rec(f1, g1, h1);
-        let e = self.ite_rec(f0, g0, h0);
+        let t = self.ite_rec(f1, g1, h1, budget)?;
+        let e = self.ite_rec(f0, g0, h0, budget)?;
         let r = self.make_node(var, t, e);
         self.cache.insert(k1, k2, TAG_ITE, r.bits() as u64);
-        r.complement_if(out_c)
+        Ok(r.complement_if(out_c))
     }
 }
 

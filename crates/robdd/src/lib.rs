@@ -45,6 +45,7 @@ mod reorder;
 pub use api::prelude;
 pub use api::{ParRobddFn, ParRobddManager, RobddFn, RobddManager};
 pub use ddcore::boolop::{BoolOp, Unary};
+pub use ddcore::govern::{CancelToken, OpAbort, OpBudget};
 pub use ddcore::nary::NaryOp;
 pub use edge::Edge;
 pub use manager::{Robdd, RobddNodeInfo, RobddStats};

@@ -4,6 +4,7 @@
 
 use crate::edge::Edge;
 use crate::manager::Robdd;
+use ddcore::govern::{OpAbort, OpBudget};
 use std::collections::{HashMap, HashSet};
 
 impl Robdd {
@@ -65,13 +66,41 @@ impl Robdd {
     /// Number of satisfying assignments over all variables.
     ///
     /// # Panics
-    /// Panics if `num_vars() > 127`.
+    /// Panics if `num_vars() > 127`. For a non-panicking variant see
+    /// [`Robdd::sat_count_checked`].
     #[must_use]
     pub fn sat_count(&self, f: Edge) -> u128 {
         let n = self.num_vars();
         assert!(n <= 127, "sat_count overflows u128 beyond 127 variables");
         let mut memo: HashMap<u32, u128> = HashMap::new();
         self.sat_edge(f, n as u32, &mut memo)
+    }
+
+    /// [`Robdd::sat_count`], or `None` when the manager has more than 127
+    /// variables (the count could overflow `u128`; `Some` values are
+    /// always exact).
+    #[must_use]
+    pub fn sat_count_checked(&self, f: Edge) -> Option<u128> {
+        if self.num_vars() > 127 {
+            None
+        } else {
+            Some(self.sat_count(f))
+        }
+    }
+
+    /// [`Robdd::sat_count`] under a resource budget, polled at every
+    /// memo-miss. Counting allocates no nodes; an abort leaves no trace.
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    ///
+    /// # Panics
+    /// Panics if `num_vars() > 127`, like [`Robdd::sat_count`].
+    pub fn try_sat_count(&self, f: Edge, budget: &mut OpBudget) -> Result<u128, OpAbort> {
+        let n = self.num_vars();
+        assert!(n <= 127, "sat_count overflows u128 beyond 127 variables");
+        let mut memo: HashMap<u32, u128> = HashMap::new();
+        self.try_sat_edge(f, n as u32, &mut memo, budget)
     }
 
     /// Count of `e` over the `k` variables strictly below its reference
@@ -98,6 +127,38 @@ impl Robdd {
             raw
         };
         adjusted << (k - u)
+    }
+
+    /// [`Robdd::sat_edge`] with a budget checkpoint at every memo miss.
+    fn try_sat_edge(
+        &self,
+        e: Edge,
+        k: u32,
+        memo: &mut HashMap<u32, u128>,
+        budget: &mut OpBudget,
+    ) -> Result<u128, OpAbort> {
+        if e.is_constant() {
+            return Ok(if e == Edge::ONE { 1u128 << k } else { 0 });
+        }
+        let id = e.node();
+        let n = *self.node(id);
+        let u = (self.num_vars() - self.pos_of_var[n.var() as usize] as usize) as u32;
+        debug_assert!(u <= k);
+        let raw = if let Some(&r) = memo.get(&id) {
+            r
+        } else {
+            budget.checkpoint()?;
+            let r = self.try_sat_edge(n.then_(), u - 1, memo, budget)?
+                + self.try_sat_edge(n.else_(), u - 1, memo, budget)?;
+            memo.insert(id, r);
+            r
+        };
+        let adjusted = if e.is_complemented() {
+            (1u128 << u) - raw
+        } else {
+            raw
+        };
+        Ok(adjusted << (k - u))
     }
 
     /// The cofactor `f|_{var = value}`.

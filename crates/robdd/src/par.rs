@@ -22,8 +22,11 @@ use crate::node::BddKey;
 use ddcore::boolop::{BoolOp, Unary};
 use ddcore::cantor::CantorHasher;
 use ddcore::fxhash::{FxHashMap, FxHashSet};
+use ddcore::govern::{OpAbort, OpBudget};
 use ddcore::optag;
-use ddcore::par::{fork_join, threads_from_env, AtomicCache, OverlayArena, ShardedTable};
+use ddcore::par::{
+    fork_join, threads_from_env, try_fork_join_governed, AtomicCache, OverlayArena, ShardedTable,
+};
 pub use ddcore::par::{ParConfig, ParStats};
 use ddcore::table::TableKey;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -711,6 +714,192 @@ impl ParRobdd {
         self.execute(&plan, &tasks, Some(&q))
     }
 
+    // ── governed operations ───────────────────────────────────────────
+    //
+    // Mirror of `bbdd::ParBbdd`'s governed suite: an unlimited budget
+    // short-circuits to the ordinary path (the infallible ops pay
+    // nothing), a limited one routes the sequential fallback through the
+    // inner manager's governed recursion and the parallel phase through
+    // the cooperative stop predicate (workers consult the budget's
+    // [`StopView`](ddcore::govern::StopView) between tasks); the commit
+    // charges every imported node. Aborts are structurally safe: workers
+    // only write the overlay (recycled by the next op) and mid-commit
+    // orphans are unreferenced, reclaimed by the next GC.
+
+    /// [`ParRobdd::apply`] under a resource budget.
+    ///
+    /// # Errors
+    /// The budget's abort reason; the manager stays fully usable.
+    pub fn try_apply(
+        &mut self,
+        op: BoolOp,
+        f: Edge,
+        g: Edge,
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
+        if !budget.stop_view().is_limited() {
+            return Ok(self.apply(op, f, g));
+        }
+        if !self.worth_splitting(&[f, g]) {
+            self.stats.ops_sequential += 1;
+            return self.inner.try_apply(op, f, g, budget);
+        }
+        let depth = self.split_depth();
+        let mut tasks = Vec::new();
+        let mut dedup = FxHashMap::default();
+        let plan = self.split_apply(op, f, g, depth, &mut tasks, &mut dedup);
+        self.try_execute(&plan, &tasks, None, budget)
+    }
+
+    /// [`ParRobdd::ite`] under a resource budget.
+    ///
+    /// # Errors
+    /// The budget's abort reason; the manager stays fully usable.
+    pub fn try_ite(
+        &mut self,
+        f: Edge,
+        g: Edge,
+        h: Edge,
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
+        if !budget.stop_view().is_limited() {
+            return Ok(self.ite(f, g, h));
+        }
+        if !self.worth_splitting(&[f, g, h]) {
+            self.stats.ops_sequential += 1;
+            return self.inner.try_ite(f, g, h, budget);
+        }
+        let depth = self.split_depth();
+        let mut tasks = Vec::new();
+        let mut dedup = FxHashMap::default();
+        let plan = self.split_ite(f, g, h, depth, &mut tasks, &mut dedup);
+        self.try_execute(&plan, &tasks, None, budget)
+    }
+
+    /// [`ParRobdd::exists`] under a resource budget.
+    ///
+    /// # Errors
+    /// The budget's abort reason; the manager stays fully usable.
+    ///
+    /// # Panics
+    /// Panics if any variable index is out of range.
+    pub fn try_exists(
+        &mut self,
+        f: Edge,
+        vars: &[usize],
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
+        self.try_quantify(f, vars, BoolOp::OR, optag::EXISTS, budget)
+    }
+
+    /// [`ParRobdd::forall`] under a resource budget.
+    ///
+    /// # Errors
+    /// The budget's abort reason; the manager stays fully usable.
+    ///
+    /// # Panics
+    /// Panics if any variable index is out of range.
+    pub fn try_forall(
+        &mut self,
+        f: Edge,
+        vars: &[usize],
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
+        self.try_quantify(f, vars, BoolOp::AND, optag::FORALL, budget)
+    }
+
+    /// [`ParRobdd::and_exists`] under a resource budget.
+    ///
+    /// # Errors
+    /// The budget's abort reason; the manager stays fully usable.
+    ///
+    /// # Panics
+    /// Panics if any variable index is out of range.
+    pub fn try_and_exists(
+        &mut self,
+        f: Edge,
+        g: Edge,
+        vars: &[usize],
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
+        if !budget.stop_view().is_limited() {
+            return Ok(self.and_exists(f, g, vars));
+        }
+        if !self.worth_splitting(&[f, g]) {
+            self.stats.ops_sequential += 1;
+            return self.inner.try_and_exists(f, g, vars, budget);
+        }
+        let Some(q) = self.build_quant(vars, BoolOp::OR, optag::EXISTS) else {
+            return self.try_apply(BoolOp::AND, f, g, budget);
+        };
+        let depth = self.split_depth();
+        let mut tasks = Vec::new();
+        let mut dedup = FxHashMap::default();
+        let plan = self.split_and_exists(f, g, &q, depth, &mut tasks, &mut dedup);
+        self.try_execute(&plan, &tasks, Some(&q), budget)
+    }
+
+    /// [`Robdd::try_compose`] on the wrapped sequential manager (no
+    /// parallel phase).
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    pub fn try_compose(
+        &mut self,
+        f: Edge,
+        var: usize,
+        g: Edge,
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
+        self.inner.try_compose(f, var, g, budget)
+    }
+
+    /// [`Robdd::sat_count_checked`] on the wrapped sequential manager.
+    #[must_use]
+    pub fn sat_count_checked(&self, f: Edge) -> Option<u128> {
+        self.inner.sat_count_checked(f)
+    }
+
+    /// [`Robdd::try_sat_count`] on the wrapped sequential manager.
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    ///
+    /// # Panics
+    /// Panics if the manager has more than 127 variables.
+    pub fn try_sat_count(&self, f: Edge, budget: &mut OpBudget) -> Result<u128, OpAbort> {
+        self.inner.try_sat_count(f, budget)
+    }
+
+    fn try_quantify(
+        &mut self,
+        f: Edge,
+        vars: &[usize],
+        combine: BoolOp,
+        tag: u32,
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
+        if !budget.stop_view().is_limited() {
+            return Ok(self.quantify(f, vars, combine, tag));
+        }
+        if !self.worth_splitting(&[f]) {
+            self.stats.ops_sequential += 1;
+            return if tag == optag::EXISTS {
+                self.inner.try_exists(f, vars, budget)
+            } else {
+                self.inner.try_forall(f, vars, budget)
+            };
+        }
+        let Some(q) = self.build_quant(vars, combine, tag) else {
+            return Ok(f);
+        };
+        let depth = self.split_depth();
+        let mut tasks = Vec::new();
+        let mut dedup = FxHashMap::default();
+        let plan = self.split_quant(f, &q, depth, &mut tasks, &mut dedup);
+        self.try_execute(&plan, &tasks, Some(&q), budget)
+    }
+
     fn quantify(&mut self, f: Edge, vars: &[usize], combine: BoolOp, tag: u32) -> Edge {
         if !self.worth_splitting(&[f]) {
             self.stats.ops_sequential += 1;
@@ -1101,6 +1290,124 @@ impl ParRobdd {
                 match how {
                     Combine::Node(var) => self.inner.make_node(*var, tt, ee),
                     Combine::Op(op) => self.apply(*op, tt, ee),
+                }
+            }
+        }
+    }
+
+    /// Governed phases 2 + 3 — [`ParRobdd::execute`] under an
+    /// [`OpBudget`]. See `bbdd::ParBbdd::try_execute` for the abort-safety
+    /// argument: workers only write the overlay, the commit charges every
+    /// imported node per leaf, and mid-commit orphans are unreferenced.
+    fn try_execute(
+        &mut self,
+        plan: &Plan,
+        tasks: &[Task],
+        quant: Option<&PQuant>,
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
+        self.sync_cache_epoch();
+        let view = budget.stop_view();
+        if let Some(reason) = view.should_stop(0) {
+            return Err(reason);
+        }
+        if tasks.is_empty() {
+            return self.try_resolve(plan, &[], budget);
+        }
+        self.stats.ops_parallel += 1;
+        self.table.clear();
+        self.arena.reset();
+        self.cache.bump_epoch();
+        let base_len = u32::try_from(self.inner.nodes.len()).expect("arena fits u32");
+        let results: Vec<AtomicU64> = tasks.iter().map(|_| AtomicU64::new(0)).collect();
+        let recursions = AtomicU64::new(0);
+        let (fj, stopped) = {
+            let ctx = PCtx {
+                base: &self.inner,
+                base_len,
+                table: &self.table,
+                arena: &self.arena,
+                cache: &self.cache,
+                quant,
+            };
+            let arena = &self.arena;
+            match try_fork_join_governed(
+                self.cfg.threads,
+                tasks.len(),
+                || view.should_stop(u64::from(arena.len())).is_some(),
+                |i| {
+                    let (r, calls) = ctx.run_task(&tasks[i]);
+                    results[i].store(u64::from(r.bits()), Ordering::Release);
+                    recursions.fetch_add(calls, Ordering::Relaxed);
+                },
+            ) {
+                Ok(x) => x,
+                Err(p) => panic!("{p}"),
+            }
+        };
+        self.stats.tasks_executed += fj.executed.iter().sum::<u64>();
+        self.stats.tasks_stolen += fj.stolen;
+        if self.stats.tasks_by_worker.len() < fj.executed.len() {
+            self.stats.tasks_by_worker.resize(fj.executed.len(), 0);
+        }
+        for (slot, n) in self.stats.tasks_by_worker.iter_mut().zip(&fj.executed) {
+            *slot += n;
+        }
+        self.stats.par_recursions += recursions.load(Ordering::Relaxed);
+        self.stats.overlay_nodes += u64::from(self.arena.len());
+        self.stats.last_shard_occupancy = self.table.shard_stats().iter().map(|s| s.len).collect();
+        if stopped {
+            // Unclaimed result slots hold garbage; nothing reads them.
+            return Err(view
+                .should_stop(u64::from(self.arena.len()))
+                .unwrap_or(OpAbort::Cancelled));
+        }
+        let mut memo: FxHashMap<u32, Edge> = FxHashMap::default();
+        let mut leaf_edges: Vec<Edge> = Vec::with_capacity(results.len());
+        let mut abort: Option<OpAbort> = None;
+        for slot in &results {
+            let e = Edge::from_bits(slot.load(Ordering::Acquire) as u32);
+            let before = memo.len();
+            leaf_edges.push(Self::import(
+                &mut self.inner,
+                &self.arena,
+                base_len,
+                &mut memo,
+                e,
+            ));
+            if let Err(reason) = budget.charge((memo.len() - before) as u64) {
+                abort = Some(reason);
+                break;
+            }
+        }
+        self.stats.nodes_imported += memo.len() as u64;
+        if let Some(reason) = abort {
+            return Err(reason);
+        }
+        self.try_resolve(plan, &leaf_edges, budget)
+    }
+
+    /// Governed combine-tree resolution: structural joins poll the budget
+    /// before each `make_node`, operator joins recurse through the
+    /// governed apply.
+    fn try_resolve(
+        &mut self,
+        plan: &Plan,
+        leaf_edges: &[Edge],
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
+        match plan {
+            Plan::Done(e) => Ok(*e),
+            Plan::Leaf(i) => Ok(leaf_edges[*i]),
+            Plan::Join { how, t, e } => {
+                let tt = self.try_resolve(t, leaf_edges, budget)?;
+                let ee = self.try_resolve(e, leaf_edges, budget)?;
+                match how {
+                    Combine::Node(var) => {
+                        budget.checkpoint()?;
+                        Ok(self.inner.make_node(*var, tt, ee))
+                    }
+                    Combine::Op(op) => self.try_apply(*op, tt, ee, budget),
                 }
             }
         }

@@ -14,6 +14,7 @@ use crate::edge::Edge;
 use crate::manager::Robdd;
 use ddcore::boolop::BoolOp;
 use ddcore::fxhash::FxHashMap;
+use ddcore::govern::{OpAbort, OpBudget};
 use ddcore::nary::NaryOp;
 use ddcore::optag;
 
@@ -47,9 +48,27 @@ impl Robdd {
     /// # Panics
     /// Panics if any variable index is out of range.
     pub fn exists(&mut self, f: Edge, vars: &[usize]) -> Edge {
+        self.try_exists(f, vars, &mut OpBudget::unlimited())
+            .expect("unlimited budget never aborts")
+    }
+
+    /// [`Robdd::exists`] under a resource budget; see [`Robdd::try_apply`]
+    /// for the polling and abort-safety contract.
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    ///
+    /// # Panics
+    /// Panics if any variable index is out of range.
+    pub fn try_exists(
+        &mut self,
+        f: Edge,
+        vars: &[usize],
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
         match self.quant_ctx(vars, BoolOp::OR, optag::EXISTS) {
-            Some(ctx) => self.quant_rec(f, &ctx),
-            None => f,
+            Some(ctx) => self.quant_rec(f, &ctx, budget),
+            None => Ok(f),
         }
     }
 
@@ -66,9 +85,26 @@ impl Robdd {
     /// # Panics
     /// Panics if any variable index is out of range.
     pub fn forall(&mut self, f: Edge, vars: &[usize]) -> Edge {
+        self.try_forall(f, vars, &mut OpBudget::unlimited())
+            .expect("unlimited budget never aborts")
+    }
+
+    /// [`Robdd::forall`] under a resource budget.
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    ///
+    /// # Panics
+    /// Panics if any variable index is out of range.
+    pub fn try_forall(
+        &mut self,
+        f: Edge,
+        vars: &[usize],
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
         match self.quant_ctx(vars, BoolOp::AND, optag::FORALL) {
-            Some(ctx) => self.quant_rec(f, &ctx),
-            None => f,
+            Some(ctx) => self.quant_rec(f, &ctx, budget),
+            None => Ok(f),
         }
     }
 
@@ -89,9 +125,27 @@ impl Robdd {
     /// # Panics
     /// Panics if any variable index is out of range.
     pub fn and_exists(&mut self, f: Edge, g: Edge, vars: &[usize]) -> Edge {
+        self.try_and_exists(f, g, vars, &mut OpBudget::unlimited())
+            .expect("unlimited budget never aborts")
+    }
+
+    /// [`Robdd::and_exists`] under a resource budget.
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    ///
+    /// # Panics
+    /// Panics if any variable index is out of range.
+    pub fn try_and_exists(
+        &mut self,
+        f: Edge,
+        g: Edge,
+        vars: &[usize],
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
         match self.quant_ctx(vars, BoolOp::OR, optag::EXISTS) {
-            Some(ctx) => self.and_exists_rec(f, g, &ctx),
-            None => self.and(f, g),
+            Some(ctx) => self.and_exists_rec(f, g, &ctx, budget),
+            None => self.apply_rec(BoolOp::AND, f, g, budget),
         }
     }
 
@@ -126,19 +180,26 @@ impl Robdd {
         })
     }
 
-    fn quant_rec(&mut self, f: Edge, ctx: &QuantCtx) -> Edge {
+    fn quant_rec(
+        &mut self,
+        f: Edge,
+        ctx: &QuantCtx,
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
         if f.is_constant() || self.edge_pos(f) > ctx.max_pos {
-            return f; // below every quantified variable
+            return Ok(f); // below every quantified variable
         }
         self.stats.quant_calls += 1;
         let (k1, k2) = (f.bits() as u64, ctx.cube_bits);
         if let Some(r) = self.cache.get(k1, k2, ctx.tag) {
-            return Edge::from_bits(r as u32);
+            return Ok(Edge::from_bits(r as u32));
         }
+        // Poll on the miss, before materializing (see apply_rec).
+        budget.checkpoint()?;
         let var = self.node(f.node()).var();
         let (f1, f0) = self.cofactors(f, var);
         let r = if ctx.in_cube[var as usize] {
-            let a = self.quant_rec(f1, ctx);
+            let a = self.quant_rec(f1, ctx, budget)?;
             let absorbing = if ctx.tag == optag::EXISTS {
                 Edge::ONE
             } else {
@@ -147,59 +208,67 @@ impl Robdd {
             if a == absorbing {
                 absorbing
             } else {
-                let b = self.quant_rec(f0, ctx);
-                self.apply(ctx.combine, a, b)
+                let b = self.quant_rec(f0, ctx, budget)?;
+                self.apply_rec(ctx.combine, a, b, budget)?
             }
         } else {
-            let a = self.quant_rec(f1, ctx);
-            let b = self.quant_rec(f0, ctx);
+            let a = self.quant_rec(f1, ctx, budget)?;
+            let b = self.quant_rec(f0, ctx, budget)?;
             self.make_node(var, a, b)
         };
         self.cache.insert(k1, k2, ctx.tag, r.bits() as u64);
-        r
+        Ok(r)
     }
 
-    fn and_exists_rec(&mut self, f: Edge, g: Edge, ctx: &QuantCtx) -> Edge {
+    fn and_exists_rec(
+        &mut self,
+        f: Edge,
+        g: Edge,
+        ctx: &QuantCtx,
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
         if f == Edge::ZERO || g == Edge::ZERO || f == !g {
-            return Edge::ZERO;
+            return Ok(Edge::ZERO);
         }
         if f == Edge::ONE {
-            return self.quant_rec(g, ctx);
+            return self.quant_rec(g, ctx, budget);
         }
         if g == Edge::ONE || f == g {
-            return self.quant_rec(f, ctx);
+            return self.quant_rec(f, ctx, budget);
         }
         let (f, g) = if f.bits() <= g.bits() { (f, g) } else { (g, f) };
         let (pf, pg) = (self.edge_pos(f), self.edge_pos(g));
         let pos = pf.min(pg);
         if pos > ctx.max_pos {
-            return self.and(f, g);
+            return self.apply_rec(BoolOp::AND, f, g, budget);
         }
         self.stats.quant_calls += 1;
         let k1 = f.bits() as u64;
         let k2 = ((g.bits() as u64) << 32) | ctx.cube_bits;
         if let Some(r) = self.cache.get(k1, k2, optag::AND_EXISTS) {
-            return Edge::from_bits(r as u32);
+            return Ok(Edge::from_bits(r as u32));
         }
+        // Poll on the miss, before materializing (see apply_rec).
+        budget.checkpoint()?;
         let var = self.var_at_pos[pos] as u16;
         let (f1, f0) = self.cofactors(f, var);
         let (g1, g0) = self.cofactors(g, var);
         let r = if ctx.in_cube[var as usize] {
-            let a = self.and_exists_rec(f1, g1, ctx);
+            let a = self.and_exists_rec(f1, g1, ctx, budget)?;
             if a == Edge::ONE {
                 Edge::ONE
             } else {
-                let b = self.and_exists_rec(f0, g0, ctx);
-                self.or(a, b)
+                let b = self.and_exists_rec(f0, g0, ctx, budget)?;
+                self.apply_rec(BoolOp::OR, a, b, budget)?
             }
         } else {
-            let a = self.and_exists_rec(f1, g1, ctx);
-            let b = self.and_exists_rec(f0, g0, ctx);
+            let a = self.and_exists_rec(f1, g1, ctx, budget)?;
+            let b = self.and_exists_rec(f0, g0, ctx, budget)?;
             self.make_node(var, a, b)
         };
         self.cache
             .insert(k1, k2, optag::AND_EXISTS, r.bits() as u64);
-        r
+        Ok(r)
     }
 
     /// Substitute `var := g` in `f` (Boolean composition), computed by the
@@ -218,34 +287,60 @@ impl Robdd {
     /// # Panics
     /// Panics if `var >= num_vars()`.
     pub fn compose(&mut self, f: Edge, var: usize, g: Edge) -> Edge {
-        assert!(var < self.num_vars(), "compose variable out of range");
-        self.compose_rec(f, var as u16, g)
+        self.try_compose(f, var, g, &mut OpBudget::unlimited())
+            .expect("unlimited budget never aborts")
     }
 
-    fn compose_rec(&mut self, f: Edge, var: u16, g: Edge) -> Edge {
+    /// [`Robdd::compose`] under a resource budget.
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    ///
+    /// # Panics
+    /// Panics if `var >= num_vars()`.
+    pub fn try_compose(
+        &mut self,
+        f: Edge,
+        var: usize,
+        g: Edge,
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
+        assert!(var < self.num_vars(), "compose variable out of range");
+        self.compose_rec(f, var as u16, g, budget)
+    }
+
+    fn compose_rec(
+        &mut self,
+        f: Edge,
+        var: u16,
+        g: Edge,
+        budget: &mut OpBudget,
+    ) -> Result<Edge, OpAbort> {
         // f independent of var once its top sits below var in the order.
         if f.is_constant() || self.edge_pos(f) > self.pos_of_var[var as usize] as usize {
-            return f;
+            return Ok(f);
         }
         self.stats.compose_calls += 1;
         let k1 = f.bits() as u64;
         let k2 = ((g.bits() as u64) << 32) | u64::from(var);
         if let Some(r) = self.cache.get(k1, k2, optag::COMPOSE) {
-            return Edge::from_bits(r as u32);
+            return Ok(Edge::from_bits(r as u32));
         }
+        // Poll on the miss, before materializing (see apply_rec).
+        budget.checkpoint()?;
         let n = *self.node(f.node());
         let c = f.is_complemented();
         let (f1, f0) = (n.then_().complement_if(c), n.else_().complement_if(c));
         let r = if n.var() == var {
-            self.ite(g, f1, f0)
+            self.ite_rec(g, f1, f0, budget)?
         } else {
-            let t = self.compose_rec(f1, var, g);
-            let e = self.compose_rec(f0, var, g);
+            let t = self.compose_rec(f1, var, g, budget)?;
+            let e = self.compose_rec(f0, var, g, budget)?;
             let lit = self.var(n.var() as usize);
-            self.ite(lit, t, e)
+            self.ite_rec(lit, t, e, budget)?
         };
         self.cache.insert(k1, k2, optag::COMPOSE, r.bits() as u64);
-        r
+        Ok(r)
     }
 
     /// Simultaneous composition: substitute `subs[v]` for every variable
@@ -410,6 +505,11 @@ impl Robdd {
 
     /// Enumerate up to `limit` satisfying assignments of `f` (model
     /// enumeration). Each model appears exactly once; order unspecified.
+    ///
+    /// With 127 or more *free* (unconstrained) variables on a path the
+    /// completion count saturates to `u128::MAX` instead of overflowing;
+    /// enumeration is still bounded by `limit`, only the internal total is
+    /// clamped. See [`Robdd::sat_count_checked`] for the counting analogue.
     ///
     /// ```
     /// use robdd::Robdd;

@@ -4,6 +4,7 @@
 use crate::edge::Edge;
 use crate::manager::Robdd;
 use crate::node::Node;
+use ddcore::govern::{OpAbort, OpBudget};
 
 /// Tuning knobs for [`Robdd::sift_with`].
 #[derive(Debug, Clone, Copy)]
@@ -96,7 +97,43 @@ impl Robdd {
         self.sift_keeping(&[], cfg)
     }
 
+    /// [`Robdd::sift`] under a resource budget, polled before every
+    /// adjacent swap. On abort, the variable currently being sifted is
+    /// first parked back at the best position seen (a bounded amount of
+    /// un-budgeted work), so the order, tables and every registered handle
+    /// stay consistent — the result is simply a partially improved order.
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    pub fn sift_bounded(&mut self, budget: &mut OpBudget) -> Result<usize, OpAbort> {
+        self.sift_bounded_with(&SiftConfig::default(), budget)
+    }
+
+    /// [`Robdd::sift_bounded`] with explicit [`SiftConfig`].
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    pub fn sift_bounded_with(
+        &mut self,
+        cfg: &SiftConfig,
+        budget: &mut OpBudget,
+    ) -> Result<usize, OpAbort> {
+        self.sift_keeping_bounded(&[], cfg, budget)
+            .map(|()| self.live_nodes())
+    }
+
     pub(crate) fn sift_keeping(&mut self, extra: &[Edge], cfg: &SiftConfig) -> usize {
+        self.sift_keeping_bounded(extra, cfg, &mut OpBudget::unlimited())
+            .expect("unlimited budget never aborts");
+        self.live_nodes()
+    }
+
+    fn sift_keeping_bounded(
+        &mut self,
+        extra: &[Edge],
+        cfg: &SiftConfig,
+        budget: &mut OpBudget,
+    ) -> Result<(), OpAbort> {
         for _ in 0..cfg.passes.max(1) {
             self.gc_keeping(extra);
             let n = self.num_vars();
@@ -106,14 +143,20 @@ impl Robdd {
             let mut vars: Vec<usize> = (0..n).collect();
             vars.sort_by_key(|&v| std::cmp::Reverse(self.subtables[v].len()));
             for var in vars {
-                self.sift_one(var, cfg, extra);
+                self.sift_one(var, cfg, extra, budget)?;
             }
             self.gc_keeping(extra);
         }
-        self.live_nodes()
+        Ok(())
     }
 
-    fn sift_one(&mut self, var: usize, cfg: &SiftConfig, extra: &[Edge]) {
+    fn sift_one(
+        &mut self,
+        var: usize,
+        cfg: &SiftConfig,
+        extra: &[Edge],
+        budget: &mut OpBudget,
+    ) -> Result<(), OpAbort> {
         let n = self.num_vars();
         let start = self.position_of(var);
         self.gc_keeping(extra);
@@ -133,18 +176,25 @@ impl Robdd {
         } else {
             [false, true]
         };
-        for &down in &directions {
+        // On abort we fall through to the park-back loop below before
+        // returning the error, so the order is always left consistent.
+        let mut abort: Option<OpAbort> = None;
+        'exploration: for &down in &directions {
             loop {
                 let pos = self.position_of(var);
+                if down && pos + 1 >= n {
+                    break;
+                }
+                if !down && pos == 0 {
+                    break;
+                }
+                if let Err(reason) = budget.checkpoint() {
+                    abort = Some(reason);
+                    break 'exploration;
+                }
                 if down {
-                    if pos + 1 >= n {
-                        break;
-                    }
                     self.swap_adjacent(pos);
                 } else {
-                    if pos == 0 {
-                        break;
-                    }
                     self.swap_adjacent(pos - 1);
                 }
                 since_gc += 1;
@@ -164,6 +214,7 @@ impl Robdd {
             self.gc_keeping(extra);
             since_gc = 0;
         }
+        // Return to the best position (un-budgeted: at most one sweep).
         loop {
             let pos = self.position_of(var);
             match pos.cmp(&best_pos) {
@@ -173,6 +224,10 @@ impl Robdd {
             }
         }
         self.gc_keeping(extra);
+        match abort {
+            Some(reason) => Err(reason),
+            None => Ok(()),
+        }
     }
 
     /// Re-order to the given permutation (top first) by adjacent swaps.

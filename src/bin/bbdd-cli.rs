@@ -16,7 +16,8 @@
 //! where `B` is one of `bbdd` (default), `robdd`, `par-bbdd`, `par-robdd`.
 
 use bbdd::prelude::*;
-use logicnet::build::build_network;
+use ddcore::govern::OpBudget;
+use logicnet::build::{build_network, try_build_network};
 use logicnet::{blif, verilog, Network};
 use robdd::prelude::*;
 use std::process::ExitCode;
@@ -37,14 +38,38 @@ struct Options {
     blif_in: bool,
     dot: bool,
     stats: bool,
+    /// Wall-clock budget for build + sift, in milliseconds.
+    time_limit_ms: Option<u64>,
+    /// Node-creation budget for build + sift.
+    node_limit: Option<u64>,
     bench: Option<String>,
     input: Option<String>,
     output: Option<String>,
 }
 
+impl Options {
+    /// One [`OpBudget`] spanning the whole request (build, then sift),
+    /// or `None` when no limit flag was given — the un-governed pipeline
+    /// stays byte-identical in that case.
+    fn budget(&self) -> Option<OpBudget> {
+        if self.time_limit_ms.is_none() && self.node_limit.is_none() {
+            return None;
+        }
+        let mut b = OpBudget::unlimited();
+        if let Some(ms) = self.time_limit_ms {
+            b = b.with_deadline_in(std::time::Duration::from_millis(ms));
+        }
+        if let Some(n) = self.node_limit {
+            b = b.with_node_limit(n);
+        }
+        Some(b)
+    }
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: bbdd-cli [--backend B] [--threads N] [--sift] [--blif] [--dot] [--stats]\n\
+         \x20               [--time-limit MS] [--node-limit N]\n\
          \x20               <input-file> [output-file]\n\
          \x20      bbdd-cli [options] --bench <name> [output-file]\n\
          \n\
@@ -54,11 +79,18 @@ fn usage() -> ExitCode {
          (stdout or file). --dot emits Graphviz instead of Verilog; --bench uses\n\
          a Table-I benchmark generator instead of a file.\n\
          \n\
-         --backend B   manager backend: bbdd (default), robdd, par-bbdd, par-robdd\n\
-         --threads N   worker threads for the par-* backends (default: BBDD_THREADS or 4)"
+         --backend B      manager backend: bbdd (default), robdd, par-bbdd, par-robdd\n\
+         --threads N      worker threads for the par-* backends (default: BBDD_THREADS or 4)\n\
+         --time-limit MS  wall-clock budget in milliseconds for build + sift; on\n\
+         \x20                expiry, print partial stats and exit with status 3\n\
+         --node-limit N   node-creation budget for build + sift; same abort behavior"
     );
     ExitCode::from(2)
 }
+
+/// Exit status for a run stopped by its resource budget (distinct from
+/// usage errors, 2, and I/O or parse failures, 1).
+const EXIT_ABORTED: u8 = 3;
 
 fn parse_args() -> Result<Options, ExitCode> {
     let mut opts = Options {
@@ -68,6 +100,8 @@ fn parse_args() -> Result<Options, ExitCode> {
         blif_in: false,
         dot: false,
         stats: false,
+        time_limit_ms: None,
+        node_limit: None,
         bench: None,
         input: None,
         output: None,
@@ -85,6 +119,14 @@ fn parse_args() -> Result<Options, ExitCode> {
             "--threads" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) if n > 0 => opts.threads = Some(n),
                 _ => return Err(usage()),
+            },
+            "--time-limit" => match args.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(ms) => opts.time_limit_ms = Some(ms),
+                None => return Err(usage()),
+            },
+            "--node-limit" => match args.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) => opts.node_limit = Some(n),
+                None => return Err(usage()),
             },
             "--sift" => opts.sift = true,
             "--blif" => opts.blif_in = true,
@@ -128,10 +170,32 @@ fn load(opts: &Options) -> Result<Network, String> {
 /// optionally sift, and dump either DOT or the rewritten Verilog netlist.
 /// `tag` labels the log lines with the selected backend.
 fn run<M: DiagramRewrite>(mgr: &M, net: &Network, opts: &Options, tag: &str) -> ExitCode {
+    let mut budget = opts.budget();
     let t0 = std::time::Instant::now();
     // The builder returns owned handles: the outputs are registered GC
     // roots from here on, so collection and sifting need no root lists.
-    let roots = build_network(mgr, net);
+    // With a limit flag the build runs governed; on abort the manager is
+    // left consistent (registry balanced, partial results unreferenced),
+    // so the partial stats below read a healthy manager.
+    let roots = match &mut budget {
+        None => build_network(mgr, net),
+        Some(b) => match try_build_network(mgr, net, b) {
+            Ok(r) => r,
+            Err(aborted) => {
+                eprintln!(
+                    "[{tag}] aborted: {} ({}/{} gates built in {:.3}s)",
+                    aborted.reason,
+                    aborted.gates_built,
+                    net.num_gates(),
+                    t0.elapsed().as_secs_f64(),
+                );
+                eprintln!("[{tag}] partial stats: {}", mgr.stats_line());
+                mgr.gc();
+                eprintln!("[{tag}] live nodes after GC: {}", mgr.live_nodes());
+                return ExitCode::from(EXIT_ABORTED);
+            }
+        },
+    };
     mgr.gc();
     let build_s = t0.elapsed().as_secs_f64();
     eprintln!(
@@ -141,7 +205,25 @@ fn run<M: DiagramRewrite>(mgr: &M, net: &Network, opts: &Options, tag: &str) -> 
 
     if opts.sift {
         let t1 = std::time::Instant::now();
-        match mgr.reorder() {
+        let sifted = match &mut budget {
+            None => mgr.reorder(),
+            Some(b) => match mgr.try_reorder(b) {
+                Some(Err(reason)) => {
+                    // Bounded sift restores a consistent order on abort;
+                    // the built diagram is intact, but the request ran out
+                    // of budget, so report and exit like the build abort.
+                    eprintln!(
+                        "[{tag}] aborted during sift: {reason} ({} nodes, order {:?})",
+                        mgr.shared_node_count(&roots),
+                        mgr.variable_order(),
+                    );
+                    eprintln!("[{tag}] partial stats: {}", mgr.stats_line());
+                    return ExitCode::from(EXIT_ABORTED);
+                }
+                other => other.map(|r| r.expect("Err handled above")),
+            },
+        };
+        match sifted {
             Some(_) => eprintln!(
                 "[{tag}] sifted: {} nodes in {:.3}s; order {:?}",
                 mgr.shared_node_count(&roots),

@@ -1,0 +1,523 @@
+//! The abort-safety proof harness for `ddcore::govern`: after **any**
+//! abort mid-recursion, the manager must remain fully usable.
+//!
+//! Three layers of evidence, each on all four managers (parallel pair at
+//! threads 1 and 4):
+//!
+//! 1. **Exhaustive fault-injection sweep** — a deterministic workload
+//!    exercising apply/ite/exists/forall/and_exists/compose/sat_count
+//!    through the fallible trait ops is first metered (total checkpoint
+//!    count N), then re-run N times with [`OpBudget::inject_cancel_at`]
+//!    forcing an abort at exactly the K-th checkpoint, for every K in
+//!    1..=N. After each abort: every surviving handle still denotes its
+//!    shadow truth table, the manager validates structurally, infallible
+//!    ops still work, and once all handles drop the GC returns to the
+//!    sink-only baseline with an empty registry (the PR 4 leak check).
+//! 2. **Randomized interleaving** — proptest scripts interleave random
+//!    ops with random injection points; the same invariants hold.
+//! 3. **Cancellation latency** — a token raised mid-request aborts within
+//!    one poll stride of further checkpoints, the documented bound.
+//!
+//! Bounded sifting gets its own sweep: an abort at any checkpoint of
+//! `try_reorder` must leave a consistent variable order and a diagram
+//! still denoting the same functions.
+
+use bbdd::prelude::*;
+use ddcore::govern::{CancelToken, OpAbort, OpBudget};
+use proptest::prelude::*;
+use robdd::prelude::*;
+
+const NV: usize = 5;
+const ROWS: u32 = 32;
+
+// ── Per-backend diagnostics (structural validation is deliberately not
+//    part of the public trait surface) ────────────────────────────────────
+
+trait Diagnostics: FunctionManager {
+    fn validate_all(&self) -> Result<(), String>;
+}
+
+impl Diagnostics for BbddManager {
+    fn validate_all(&self) -> Result<(), String> {
+        self.backend().validate()
+    }
+}
+
+impl Diagnostics for RobddManager {
+    fn validate_all(&self) -> Result<(), String> {
+        self.backend().validate()
+    }
+}
+
+impl Diagnostics for ParBbddManager {
+    fn validate_all(&self) -> Result<(), String> {
+        self.backend().inner().validate()
+    }
+}
+
+impl Diagnostics for ParRobddManager {
+    fn validate_all(&self) -> Result<(), String> {
+        self.backend().inner().validate()
+    }
+}
+
+// ── Truth-table shadow model (32-bit tables over 5 variables) ────────────
+
+fn tt_var(v: usize) -> u32 {
+    let mut t = 0u32;
+    for m in 0..ROWS {
+        if (m >> v) & 1 == 1 {
+            t |= 1 << m;
+        }
+    }
+    t
+}
+
+fn tt_restrict(t: u32, v: usize, value: bool) -> u32 {
+    let mut r = 0u32;
+    for m in 0..ROWS {
+        let source = if value { m | (1 << v) } else { m & !(1 << v) };
+        if (t >> source) & 1 == 1 {
+            r |= 1 << m;
+        }
+    }
+    r
+}
+
+fn tt_exists(t: u32, vars: &[usize]) -> u32 {
+    vars.iter().fold(t, |t, &v| {
+        tt_restrict(t, v, true) | tt_restrict(t, v, false)
+    })
+}
+
+fn tt_forall(t: u32, vars: &[usize]) -> u32 {
+    vars.iter().fold(t, |t, &v| {
+        tt_restrict(t, v, true) & tt_restrict(t, v, false)
+    })
+}
+
+fn check_tt<F: BooleanFunction>(label: &str, f: &F, tt: u32) {
+    for m in 0..ROWS {
+        let v: Vec<bool> = (0..NV).map(|i| (m >> i) & 1 == 1).collect();
+        assert_eq!(
+            f.eval(&v),
+            (tt >> m) & 1 == 1,
+            "{label}: eval disagrees on row {m}"
+        );
+    }
+}
+
+// ── The deterministic governed workload ──────────────────────────────────
+
+/// Run the whole fallible op mix under `budget`, pushing every completed
+/// (handle, shadow-table) pair into `survivors` as it is produced — so an
+/// abort leaves exactly the handles that were fully committed before it.
+fn workload<M: FunctionManager>(
+    mgr: &M,
+    budget: &mut OpBudget,
+    survivors: &mut Vec<(M::Function, u32)>,
+) -> Result<(), OpAbort> {
+    let vars: Vec<(M::Function, u32)> = (0..NV).map(|v| (mgr.var(v), tt_var(v))).collect();
+    // Parity chain: five entangled XORs.
+    let (mut p, mut tp) = (vars[0].0.clone(), vars[0].1);
+    for (f, tt) in &vars[1..] {
+        p = p.try_xor(f, budget)?;
+        tp ^= tt;
+        survivors.push((p.clone(), tp));
+    }
+    // A multiplexer on top of the parity.
+    let ite = vars[0].0.try_ite(&p, &vars[2].0, budget)?;
+    let t_ite = (vars[0].1 & tp) | (!vars[0].1 & vars[2].1);
+    survivors.push((ite.clone(), t_ite));
+    // Fused relational product, plain quantifications.
+    let ae = p.try_and_exists(&ite, &[1, 3], budget)?;
+    survivors.push((ae, tt_exists(tp & t_ite, &[1, 3])));
+    let ex = ite.try_exists(&[0, 4], budget)?;
+    survivors.push((ex, tt_exists(t_ite, &[0, 4])));
+    let fa = ite.try_forall(&[2], budget)?;
+    survivors.push((fa, tt_forall(t_ite, &[2])));
+    // Composition: substitute the parity for variable 1 of the mux.
+    let comp = ite.try_compose(1, &p, budget)?;
+    let t_comp = (tp & tt_restrict(t_ite, 1, true)) | (!tp & tt_restrict(t_ite, 1, false));
+    survivors.push((comp.clone(), t_comp));
+    // Governed counting over the final composite.
+    let count = comp.try_sat_count(budget)?;
+    assert_eq!(count, u128::from(t_comp.count_ones()), "sat_count");
+    Ok(())
+}
+
+/// The invariant bundle checked after every abort (and after clean runs).
+fn assert_consistent<M: Diagnostics>(mgr: &M, survivors: Vec<(M::Function, u32)>) {
+    mgr.validate_all()
+        .expect("structural invariants after abort");
+    for (idx, (f, tt)) in survivors.iter().enumerate() {
+        check_tt(&format!("survivor {idx}"), f, *tt);
+    }
+    // Infallible ops still work on a post-abort manager.
+    let mut acc = mgr.constant(false);
+    let mut acc_tt = 0u32;
+    for v in 0..NV {
+        acc = acc.xor(&mgr.var(v));
+        acc_tt ^= tt_var(v);
+    }
+    check_tt("post-abort parity", &acc, acc_tt);
+    drop(acc);
+    // Leak check: handles dropped → empty registry, sink-only baseline;
+    // whatever partial results the abort orphaned are reclaimed here.
+    drop(survivors);
+    mgr.gc();
+    assert_eq!(mgr.external_roots(), 0, "registry must drain after abort");
+    assert_eq!(mgr.live_nodes(), 0, "orphans must be GC-reclaimed");
+    mgr.validate_all().expect("structural invariants after GC");
+}
+
+/// A budget that takes the governed path everywhere (so its checkpoint
+/// stream matches an injection run) but never actually aborts: the huge
+/// node ceiling marks it "limited" without ever being reached.
+fn metering_budget() -> OpBudget {
+    OpBudget::unlimited().with_node_limit(1 << 40)
+}
+
+/// The exhaustive sweep: meter the workload's checkpoint count N, then
+/// force an abort at every K in 1..=N and check the invariant bundle.
+fn sweep<M: Diagnostics>(make: impl Fn() -> M) {
+    let mgr = make();
+    let mut meter = metering_budget();
+    let mut full = Vec::new();
+    workload(&mgr, &mut meter, &mut full).expect("metering run must complete");
+    let n = meter.used();
+    assert!(n > 0, "workload must pass checkpoints");
+    assert_consistent(&mgr, full);
+
+    for k in 1..=n {
+        let mgr = make();
+        let mut budget = metering_budget().inject_cancel_at(k);
+        let mut survivors = Vec::new();
+        let res = workload(&mgr, &mut budget, &mut survivors);
+        // The workload is deterministic and passed checkpoint k on the
+        // metering run, so injection at k must abort it — as Cancelled,
+        // injection's reuse of the cancellation path.
+        assert_eq!(res, Err(OpAbort::Cancelled), "k = {k} of {n}");
+        assert_consistent(&mgr, survivors);
+    }
+}
+
+fn par_bbdd(threads: usize) -> ParBbddManager {
+    ParBbddManager::new(ParBbdd::with_config(
+        NV,
+        bbdd::ParConfig {
+            threads,
+            cutoff: 0, // force the parallel pipeline on every operand size
+            split_depth: Some(2),
+            cache_ways: 1 << 10,
+            shards: 8,
+        },
+    ))
+}
+
+fn par_robdd(threads: usize) -> ParRobddManager {
+    ParRobddManager::new(ParRobdd::with_config(
+        NV,
+        robdd::ParConfig {
+            threads,
+            cutoff: 0,
+            split_depth: Some(2),
+            cache_ways: 1 << 10,
+            shards: 8,
+        },
+    ))
+}
+
+#[test]
+fn exhaustive_fault_injection_bbdd() {
+    sweep(|| BbddManager::with_vars(NV));
+}
+
+#[test]
+fn exhaustive_fault_injection_robdd() {
+    sweep(|| RobddManager::with_vars(NV));
+}
+
+#[test]
+fn exhaustive_fault_injection_par_bbdd() {
+    for threads in [1usize, 4] {
+        sweep(move || par_bbdd(threads));
+    }
+}
+
+#[test]
+fn exhaustive_fault_injection_par_robdd() {
+    for threads in [1usize, 4] {
+        sweep(move || par_robdd(threads));
+    }
+}
+
+// ── Cancellation latency ─────────────────────────────────────────────────
+
+/// The documented bound: once a token is raised, the operation aborts
+/// within at most one poll stride of further checkpoints. Run a prefix to
+/// put the budget mid-stride (worst case for the countdown), raise the
+/// token, and count the checkpoints the rest of the workload manages to
+/// pass.
+#[test]
+fn cancellation_aborts_within_one_poll_stride() {
+    const STRIDE: u64 = 16;
+    for threads in [1usize, 4] {
+        let mgr = par_bbdd(threads);
+        let token = CancelToken::new();
+        let mut budget = OpBudget::unlimited()
+            .with_cancel(&token)
+            .with_poll_stride(STRIDE);
+        // Prefix: entangle two variables so the budget's countdown is
+        // armed somewhere inside a stride.
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let _ab = a.try_xor(&b, &mut budget).expect("token not raised yet");
+        let before = budget.used();
+
+        token.cancel();
+        let mut survivors = Vec::new();
+        let res = workload(&mgr, &mut budget, &mut survivors);
+        assert_eq!(res, Err(OpAbort::Cancelled), "threads {threads}");
+        let after_raise = budget.used() - before;
+        assert!(
+            after_raise <= STRIDE,
+            "threads {threads}: {after_raise} checkpoints after the raise, stride {STRIDE}"
+        );
+    }
+    // Sequential managers: same bound.
+    let mgr = BbddManager::with_vars(NV);
+    let token = CancelToken::new();
+    let mut budget = OpBudget::unlimited()
+        .with_cancel(&token)
+        .with_poll_stride(16);
+    let _warm = mgr.var(0).try_xor(&mgr.var(1), &mut budget).expect("ok");
+    let before = budget.used();
+    token.cancel();
+    let res = workload(&mgr, &mut budget, &mut Vec::new());
+    assert_eq!(res, Err(OpAbort::Cancelled));
+    assert!(budget.used() - before <= 16);
+}
+
+// ── Bounded sifting ──────────────────────────────────────────────────────
+
+/// Meter a sift's checkpoints, then abort it at every K: the variable
+/// order must stay consistent and every root must still denote its
+/// function.
+fn sift_sweep<M: Diagnostics>(make: impl Fn() -> M) {
+    // A function whose sift actually moves variables: a lopsided mix of
+    // conjunctions and parities.
+    let build = |mgr: &M| -> (Vec<(M::Function, u32)>, ()) {
+        let v: Vec<(M::Function, u32)> = (0..NV).map(|i| (mgr.var(i), tt_var(i))).collect();
+        let and02 = v[0].0.and(&v[2].0);
+        let t_and02 = v[0].1 & v[2].1;
+        let par134 = v[1].0.xor(&v[3].0).xor(&v[4].0);
+        let t_par134 = v[1].1 ^ v[3].1 ^ v[4].1;
+        let mix = and02.or(&par134);
+        let t_mix = t_and02 | t_par134;
+        (vec![(and02, t_and02), (par134, t_par134), (mix, t_mix)], ())
+    };
+
+    let mgr = make();
+    let (roots, ()) = build(&mgr);
+    let mut meter = metering_budget();
+    let metered = mgr.try_reorder(&mut meter);
+    let Some(res) = metered else {
+        // Backend without dynamic reordering: nothing to sweep.
+        return;
+    };
+    res.expect("metering sift must complete");
+    let n = meter.used();
+    assert!(n > 0, "sift must pass checkpoints");
+    for (f, tt) in &roots {
+        check_tt("post-sift root", f, *tt);
+    }
+    drop(roots);
+
+    for k in 1..=n {
+        let mgr = make();
+        let (roots, ()) = build(&mgr);
+        let mut budget = metering_budget().inject_cancel_at(k);
+        let res = mgr
+            .try_reorder(&mut budget)
+            .expect("backend reorders (checked above)");
+        assert_eq!(res, Err(OpAbort::Cancelled), "sift k = {k} of {n}");
+        // A consistent order: a permutation of 0..NV.
+        let mut order = mgr.variable_order();
+        order.sort_unstable();
+        assert_eq!(order, (0..NV).collect::<Vec<_>>(), "order after abort");
+        mgr.validate_all()
+            .expect("structural invariants after sift abort");
+        for (f, tt) in &roots {
+            check_tt(&format!("root after sift abort k={k}"), f, *tt);
+        }
+        // The manager still sifts to completion afterwards.
+        mgr.reorder().expect("infallible sift after abort");
+        for (f, tt) in &roots {
+            check_tt("root after recovery sift", f, *tt);
+        }
+        drop(roots);
+        mgr.gc();
+        assert_eq!(mgr.external_roots(), 0);
+        assert_eq!(mgr.live_nodes(), 0);
+    }
+}
+
+#[test]
+fn bounded_sift_fault_injection_bbdd() {
+    sift_sweep(|| BbddManager::with_vars(NV));
+}
+
+#[test]
+fn bounded_sift_fault_injection_robdd() {
+    sift_sweep(|| RobddManager::with_vars(NV));
+}
+
+// ── Randomized aborts × random ops ───────────────────────────────────────
+
+type Step = (u8, u8, u8, u8);
+
+fn vars_of_mask(mask: u8) -> Vec<usize> {
+    (0..NV).filter(|v| (mask >> v) & 1 == 1).collect()
+}
+
+/// A random script of governed ops with a random injection point: every
+/// step that completes pushes its (handle, shadow) pair; the abort, if it
+/// fires, must leave the usual invariant bundle intact.
+fn random_abort_script<M: Diagnostics>(mgr: &M, steps: &[Step], inject_at: u64) {
+    let mut budget = metering_budget().inject_cancel_at(inject_at);
+    let mut slots: Vec<(M::Function, u32)> =
+        vec![(mgr.constant(false), 0), (mgr.constant(true), !0)];
+    for v in 0..NV {
+        slots.push((mgr.var(v), tt_var(v)));
+    }
+    let mut aborted = false;
+    for &(kind, a, b, c) in steps {
+        let pick = |x: u8| x as usize % slots.len();
+        let res: Result<Option<(M::Function, u32)>, OpAbort> = match kind % 6 {
+            0 => {
+                let (i, j) = (pick(a), pick(b));
+                let op = BoolOp::from_table(c % 16);
+                let mut t = 0u32;
+                for m in 0..ROWS {
+                    let x = (slots[i].1 >> m) & 1 == 1;
+                    let y = (slots[j].1 >> m) & 1 == 1;
+                    if op.eval(x, y) {
+                        t |= 1 << m;
+                    }
+                }
+                slots[i]
+                    .0
+                    .try_apply(op, &slots[j].0, &mut budget)
+                    .map(|f| Some((f, t)))
+            }
+            1 => {
+                let (i, j, k) = (pick(a), pick(b), pick(c));
+                let t = (slots[i].1 & slots[j].1) | (!slots[i].1 & slots[k].1);
+                slots[i]
+                    .0
+                    .try_ite(&slots[j].0, &slots[k].0, &mut budget)
+                    .map(|f| Some((f, t)))
+            }
+            2 => {
+                let i = pick(a);
+                let vs = vars_of_mask(b);
+                let t = tt_exists(slots[i].1, &vs);
+                slots[i]
+                    .0
+                    .try_exists(&vs, &mut budget)
+                    .map(|f| Some((f, t)))
+            }
+            3 => {
+                let i = pick(a);
+                let vs = vars_of_mask(b);
+                let t = tt_forall(slots[i].1, &vs);
+                slots[i]
+                    .0
+                    .try_forall(&vs, &mut budget)
+                    .map(|f| Some((f, t)))
+            }
+            4 => {
+                let (i, j) = (pick(a), pick(b));
+                let vs = vars_of_mask(c);
+                let t = tt_exists(slots[i].1 & slots[j].1, &vs);
+                slots[i]
+                    .0
+                    .try_and_exists(&slots[j].0, &vs, &mut budget)
+                    .map(|f| Some((f, t)))
+            }
+            _ => {
+                // Handle drop, mid-script: governance must compose with
+                // the GC machinery.
+                if slots.len() > 1 {
+                    let i = pick(a);
+                    slots.swap_remove(i);
+                }
+                Ok(None)
+            }
+        };
+        match res {
+            Ok(Some(pair)) => slots.push(pair),
+            Ok(None) => {}
+            Err(reason) => {
+                assert_eq!(reason, OpAbort::Cancelled, "only injection can fire");
+                aborted = true;
+                break;
+            }
+        }
+    }
+    let _ = aborted; // scripts short of the injection point finish clean
+    mgr.validate_all().unwrap();
+    for (idx, (f, tt)) in slots.iter().enumerate() {
+        check_tt(&format!("slot {idx}"), f, *tt);
+    }
+    drop(slots);
+    mgr.gc();
+    assert_eq!(mgr.external_roots(), 0, "registry must drain");
+    assert_eq!(mgr.live_nodes(), 0, "orphans must be GC-reclaimed");
+    mgr.validate_all().unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_aborts_bbdd(
+        steps in proptest::collection::vec(
+            (0u8..6, any::<u8>(), any::<u8>(), any::<u8>()), 1..24),
+        inject in 1u64..96,
+    ) {
+        random_abort_script(&BbddManager::with_vars(NV), &steps, inject);
+    }
+
+    #[test]
+    fn random_aborts_robdd(
+        steps in proptest::collection::vec(
+            (0u8..6, any::<u8>(), any::<u8>(), any::<u8>()), 1..24),
+        inject in 1u64..96,
+    ) {
+        random_abort_script(&RobddManager::with_vars(NV), &steps, inject);
+    }
+
+    #[test]
+    fn random_aborts_par_bbdd(
+        steps in proptest::collection::vec(
+            (0u8..6, any::<u8>(), any::<u8>(), any::<u8>()), 1..16),
+        inject in 1u64..96,
+    ) {
+        for threads in [1usize, 4] {
+            random_abort_script(&par_bbdd(threads), &steps, inject);
+        }
+    }
+
+    #[test]
+    fn random_aborts_par_robdd(
+        steps in proptest::collection::vec(
+            (0u8..6, any::<u8>(), any::<u8>(), any::<u8>()), 1..16),
+        inject in 1u64..96,
+    ) {
+        for threads in [1usize, 4] {
+            random_abort_script(&par_robdd(threads), &steps, inject);
+        }
+    }
+}

@@ -10,7 +10,9 @@
 //! invocation at the bottom.
 
 use bbdd::prelude::*;
+use ddcore::govern::{CancelToken, OpAbort, OpBudget};
 use robdd::prelude::*;
+use std::time::{Duration, Instant};
 
 const NV: usize = 5;
 const ROWS: u32 = 32;
@@ -263,6 +265,127 @@ fn conformance<M: FunctionManager>(mgr: &M) {
     assert_eq!(f, same, "manager() addresses the same backend");
 }
 
+/// The `try_*` conformance section: governed ops agree with their
+/// infallible twins under an unlimited budget, every abort reason
+/// surfaces through the trait, and the manager stays usable after each
+/// abort.
+fn govern_conformance<M: FunctionManager>(mgr: &M) {
+    // Fresh, entangled operands so the governed ops do real work (a
+    // cache-hit op passes no checkpoints and cannot abort).
+    let parity = |mgr: &M, budget: &mut OpBudget| -> Result<M::Function, OpAbort> {
+        let mut acc = mgr.var(0);
+        for v in 1..NV {
+            acc = acc.try_xor(&mgr.var(v), budget)?;
+        }
+        Ok(acc)
+    };
+    let parity_tt = (0..NV).fold(0u32, |t, v| t ^ tt_var(v));
+
+    // Unlimited budget: same result as the infallible op, no abort.
+    let f = parity(mgr, &mut OpBudget::unlimited()).expect("unlimited budget never aborts");
+    check("try parity", &f, parity_tt);
+    let g = f
+        .try_ite(&mgr.var(1), &mgr.var(3), &mut OpBudget::unlimited())
+        .expect("ite");
+    check(
+        "try ite",
+        &g,
+        (parity_tt & tt_var(1)) | (!parity_tt & tt_var(3)),
+    );
+    assert_eq!(
+        f.try_sat_count(&mut OpBudget::unlimited()),
+        Ok(f.sat_count()),
+        "governed counting agrees"
+    );
+    assert_eq!(
+        f.sat_count_checked(),
+        Some(f.sat_count()),
+        "checked counting agrees at 5 variables"
+    );
+    assert_eq!(
+        f.try_exists(&[0, 2], &mut OpBudget::unlimited()).as_ref(),
+        Ok(&f.exists(&[0, 2])),
+        "governed quantification agrees"
+    );
+    drop(g);
+    drop(f);
+    mgr.gc();
+
+    // Each abort reason surfaces, and the manager survives every abort:
+    // the same parity build completes infallibly right after.
+    let aborts: Vec<(&str, OpBudget, OpAbort)> = vec![
+        (
+            "node budget",
+            OpBudget::unlimited().with_node_limit(1),
+            OpAbort::NodeBudget,
+        ),
+        (
+            "deadline",
+            OpBudget::unlimited()
+                .with_deadline(Instant::now() - Duration::from_millis(1))
+                .with_poll_stride(1),
+            OpAbort::Deadline,
+        ),
+        (
+            "cancelled",
+            {
+                let token = CancelToken::new();
+                token.cancel();
+                OpBudget::unlimited()
+                    .with_cancel(&token)
+                    .with_poll_stride(1)
+            },
+            OpAbort::Cancelled,
+        ),
+    ];
+    for (label, mut budget, expect) in aborts {
+        let res = parity(mgr, &mut budget);
+        assert_eq!(res.err(), Some(expect), "{label}: abort reason");
+        mgr.gc();
+        // Usable after the abort, and no leaked registry slots.
+        let f = parity(mgr, &mut OpBudget::unlimited()).expect("post-abort build");
+        check(&format!("post-{label} parity"), &f, parity_tt);
+        drop(f);
+        mgr.gc();
+        assert_eq!(mgr.external_roots(), 0, "{label}: registry drains");
+        assert_eq!(mgr.live_nodes(), 0, "{label}: no leaked nodes");
+    }
+
+    // One budget spans a multi-op request: node headroom depletes across
+    // calls until the request as a whole runs out.
+    let mut budget = OpBudget::unlimited().with_node_limit(10_000);
+    let before = budget.nodes_remaining();
+    let f = parity(mgr, &mut budget).expect("plenty of headroom");
+    assert!(
+        budget.nodes_remaining() < before,
+        "a governed op must deplete the shared budget"
+    );
+    drop(f);
+    mgr.gc();
+
+    // Governed reordering either aborts cleanly or is unsupported; both
+    // answers must keep the manager consistent.
+    let keep = parity(mgr, &mut OpBudget::unlimited()).expect("build for sift");
+    match mgr.try_reorder(&mut OpBudget::unlimited().inject_cancel_at(1)) {
+        None => assert!(mgr.reorder().is_none(), "capability answers must agree"),
+        Some(res) => {
+            assert_eq!(res, Err(OpAbort::Cancelled), "injection at checkpoint 1");
+            let mut order = mgr.variable_order();
+            order.sort_unstable();
+            assert_eq!(
+                order,
+                (0..NV).collect::<Vec<_>>(),
+                "order stays a permutation"
+            );
+            check("post-sift-abort parity", &keep, parity_tt);
+        }
+    }
+    drop(keep);
+    mgr.gc();
+    assert_eq!(mgr.external_roots(), 0, "registry drains at section end");
+    assert_eq!(mgr.live_nodes(), 0, "sink-only at section end");
+}
+
 /// Instantiate the suite (plus the operator-overload sugar, which lives
 /// on the concrete handle type) for one backend per line.
 macro_rules! conformance_suite {
@@ -271,6 +394,7 @@ macro_rules! conformance_suite {
         fn $name() {
             let mgr = $mgr;
             conformance(&mgr);
+            govern_conformance(&mgr);
             // `std::ops` sugar on handle references — concrete types only.
             let a = mgr.var(0);
             let b = mgr.var(1);
