@@ -75,5 +75,54 @@ fn bench_sift(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_build, bench_sift);
+/// One row per reorder strategy of the DVO engine (`ddcore::dvo`): the
+/// same build+sift shape as `bench_sift`, dispatched through
+/// `FunctionManager::reorder_with` — full sift vs the bounded windows vs
+/// the BBDD pair-aware walk, on the misex1 stand-in.
+fn bench_sift_strategies(c: &mut Criterion) {
+    use ddcore::dvo::DvoStrategy;
+    let mut group = c.benchmark_group("sift_strategy");
+    group.sample_size(10);
+    let net = benchgen::mcnc::generate("misex1").unwrap();
+    for (label, strategy) in [
+        ("full", DvoStrategy::Full),
+        ("window1", DvoStrategy::Window(1)),
+        ("window2", DvoStrategy::Window(2)),
+        ("pair", DvoStrategy::Pair),
+    ] {
+        group.bench_with_input(BenchmarkId::new("bbdd", label), &net, |b, net| {
+            b.iter_batched(
+                || {
+                    let mgr = BbddManager::with_vars(net.num_inputs());
+                    let roots = build_network(&mgr, net);
+                    (mgr, roots)
+                },
+                |(mgr, roots)| {
+                    let live = mgr.reorder_with(strategy);
+                    drop(roots);
+                    live
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("robdd", label), &net, |b, net| {
+            b.iter_batched(
+                || {
+                    let mgr = RobddManager::with_vars(net.num_inputs());
+                    let roots = build_network(&mgr, net);
+                    (mgr, roots)
+                },
+                |(mgr, roots)| {
+                    let live = mgr.reorder_with(strategy);
+                    drop(roots);
+                    live
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_sift, bench_sift_strategies);
 criterion_main!(benches);

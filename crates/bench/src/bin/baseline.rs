@@ -279,6 +279,74 @@ fn main() {
         eprintln!("verification ops: done");
     }
 
+    // Dynamic variable ordering: per-strategy build+sift rows on the
+    // misex1 stand-in (both packages), and the pair-aware vs plain sift
+    // node-count comparison on the XOR-heavy C499 stand-in — the workload
+    // class where BBDD chain pairs should move as units.
+    {
+        use ddcore::dvo::DvoStrategy;
+        let strategies = [
+            ("full", DvoStrategy::Full),
+            ("window1", DvoStrategy::Window(1)),
+            ("window2", DvoStrategy::Window(2)),
+            ("pair", DvoStrategy::Pair),
+        ];
+        let net = mcnc::generate("misex1").expect("known benchmark");
+        let _ = writeln!(json, "  \"dvo\": {{");
+        let _ = writeln!(json, "    \"build_and_sift_misex1\": [");
+        for (idx, (name, strategy)) in strategies.iter().enumerate() {
+            let mut bbdd_nodes = 0;
+            let bbdd_us = min_time(5, || {
+                let mgr = BbddManager::with_vars(net.num_inputs());
+                let _roots = logicnet::build::build_network(&mgr, &net);
+                bbdd_nodes = mgr.reorder_with(*strategy).expect("strategy dispatch");
+            }) * 1e6;
+            let mut robdd_nodes = 0;
+            let robdd_us = min_time(5, || {
+                let mgr = robdd::RobddManager::with_vars(net.num_inputs());
+                let _roots = logicnet::build::build_network(&mgr, &net);
+                robdd_nodes = mgr.reorder_with(*strategy).expect("strategy dispatch");
+            }) * 1e6;
+            let comma = if idx + 1 < strategies.len() { "," } else { "" };
+            let _ = writeln!(
+                json,
+                "      {{\"strategy\": \"{name}\", \"bbdd_build_sift_us\": {bbdd_us:.2}, \
+                 \"bbdd_nodes\": {bbdd_nodes}, \"robdd_build_sift_us\": {robdd_us:.2}, \
+                 \"robdd_nodes\": {robdd_nodes}}}{comma}",
+            );
+        }
+        let _ = writeln!(json, "    ],");
+        let xor_net = mcnc::generate("C499").expect("known benchmark");
+        let built = {
+            let mgr = BbddManager::with_vars(xor_net.num_inputs());
+            let _roots = logicnet::build::build_network(&mgr, &xor_net);
+            mgr.gc();
+            mgr.live_nodes()
+        };
+        let mut plain_nodes = 0;
+        let plain_us = min_time(3, || {
+            let mgr = BbddManager::with_vars(xor_net.num_inputs());
+            let _roots = logicnet::build::build_network(&mgr, &xor_net);
+            plain_nodes = mgr.reorder_with(DvoStrategy::Full).expect("full sift");
+        }) * 1e6;
+        let mut pair_nodes = 0;
+        let pair_us = min_time(3, || {
+            let mgr = BbddManager::with_vars(xor_net.num_inputs());
+            let _roots = logicnet::build::build_network(&mgr, &xor_net);
+            pair_nodes = mgr.reorder_with(DvoStrategy::Pair).expect("pair sift");
+        }) * 1e6;
+        let _ = writeln!(
+            json,
+            "    \"pair_vs_plain_bbdd_C499\": {{\"built_nodes\": {built}, \
+             \"plain_sift_nodes\": {plain_nodes}, \"plain_sift_us\": {plain_us:.2}, \
+             \"pair_sift_nodes\": {pair_nodes}, \"pair_sift_us\": {pair_us:.2}, \
+             \"pair_minus_plain_nodes\": {}}}",
+            pair_nodes as i64 - plain_nodes as i64,
+        );
+        let _ = writeln!(json, "  }},");
+        eprintln!("dvo section: done");
+    }
+
     // Apply throughput, small and large scale.
     let ns = apply_throughput_ns();
     let _ = writeln!(json, "  \"apply_and_n20_ns\": {ns:.1},");

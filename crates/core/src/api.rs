@@ -228,11 +228,39 @@ impl RawManager for Bbdd {
     }
 
     fn try_sift(&mut self) -> Option<usize> {
-        Some(self.sift())
+        // An installed policy's strategy takes precedence over plain
+        // Rudell sifting, so `reorder()` and the scheduled firings agree
+        // on the algorithm.
+        match self.reorder_policy() {
+            Some(p) => Some(
+                self.sift_strategy(p.strategy, &mut OpBudget::unlimited())
+                    .expect("unlimited budget never aborts"),
+            ),
+            None => Some(self.sift()),
+        }
     }
 
     fn sift_bounded(&mut self, budget: &mut OpBudget) -> Option<Result<usize, OpAbort>> {
-        Some(Bbdd::sift_bounded(self, budget))
+        match self.reorder_policy() {
+            Some(p) => Some(self.sift_strategy(p.strategy, budget)),
+            None => Some(Bbdd::sift_bounded(self, budget)),
+        }
+    }
+
+    fn reorder_with(
+        &mut self,
+        strategy: ddcore::dvo::DvoStrategy,
+        budget: &mut OpBudget,
+    ) -> Option<Result<usize, OpAbort>> {
+        Some(self.sift_strategy(strategy, budget))
+    }
+
+    fn set_reorder_policy(&mut self, policy: Option<ddcore::dvo::DvoPolicy>) {
+        Bbdd::set_reorder_policy(self, policy);
+    }
+
+    fn reorder_policy(&self) -> Option<ddcore::dvo::DvoPolicy> {
+        Bbdd::reorder_policy(self)
     }
 
     fn set_auto_reorder(&mut self, threshold: usize) {
@@ -241,6 +269,15 @@ impl RawManager for Bbdd {
 
     fn reorder_if_needed(&mut self) -> bool {
         Bbdd::reorder_if_needed(self)
+    }
+
+    fn reorder_if_needed_bounded(&mut self, budget: &mut OpBudget) -> Result<bool, OpAbort> {
+        Bbdd::reorder_if_needed_bounded(self, budget)
+    }
+
+    fn set_order(&mut self, order: &[usize]) -> bool {
+        self.reorder_to(order);
+        true
     }
 
     fn variable_order(&self) -> Vec<usize> {
@@ -468,14 +505,65 @@ impl RawManager for ParBbdd {
         ParBbdd::live_nodes(self)
     }
 
-    /// The parallel front-ends do not reorder: their op history must stay
-    /// a deterministic function of the op sequence.
+    /// Reordering on the parallel front-end delegates to the inner
+    /// sequential manager. `&mut self` guarantees a quiescent point (no
+    /// fork-join op in flight can hold overlay edges), and the sift's own
+    /// collections advance the GC generation, so the epoch sync below
+    /// invalidates the id-keyed concurrent cache exactly as a collection
+    /// through any other path would.
     fn try_sift(&mut self) -> Option<usize> {
-        None
+        let n = self.inner_mut().try_sift();
+        self.sync_cache_epoch();
+        n
     }
 
-    fn sift_bounded(&mut self, _budget: &mut OpBudget) -> Option<Result<usize, OpAbort>> {
-        None
+    fn sift_bounded(&mut self, budget: &mut OpBudget) -> Option<Result<usize, OpAbort>> {
+        let r = <Bbdd as RawManager>::sift_bounded(self.inner_mut(), budget);
+        self.sync_cache_epoch();
+        r
+    }
+
+    fn reorder_with(
+        &mut self,
+        strategy: ddcore::dvo::DvoStrategy,
+        budget: &mut OpBudget,
+    ) -> Option<Result<usize, OpAbort>> {
+        let r = self.inner_mut().reorder_with(strategy, budget);
+        self.sync_cache_epoch();
+        r
+    }
+
+    fn set_reorder_policy(&mut self, policy: Option<ddcore::dvo::DvoPolicy>) {
+        self.inner_mut().set_reorder_policy(policy);
+    }
+
+    fn reorder_policy(&self) -> Option<ddcore::dvo::DvoPolicy> {
+        self.inner().reorder_policy()
+    }
+
+    fn set_auto_reorder(&mut self, threshold: usize) {
+        self.inner_mut().set_auto_reorder(threshold);
+    }
+
+    fn reorder_if_needed(&mut self) -> bool {
+        let ran = self.inner_mut().reorder_if_needed();
+        self.sync_cache_epoch();
+        ran
+    }
+
+    fn reorder_if_needed_bounded(&mut self, budget: &mut OpBudget) -> Result<bool, OpAbort> {
+        let r = self.inner_mut().reorder_if_needed_bounded(budget);
+        self.sync_cache_epoch();
+        r
+    }
+
+    fn set_order(&mut self, order: &[usize]) -> bool {
+        let ok = self.inner_mut().set_order(order);
+        // `reorder_to` swaps without collecting, so the GC generation may
+        // not have moved — collect explicitly to force the epoch bump
+        // (installing an order is a cold pre-build path).
+        self.collect();
+        ok
     }
 
     fn variable_order(&self) -> Vec<usize> {
@@ -598,6 +686,18 @@ mod tests {
         assert_eq!(f.sat_count(), 8);
         mgr.gc();
         assert!(f.eval(&[false, true, false, false]));
-        assert!(mgr.reorder().is_none(), "parallel backend never reorders");
+        assert!(
+            mgr.reorder().is_some(),
+            "parallel backend reorders via its inner manager"
+        );
+        assert!(
+            f.eval(&[true, false, false, false]),
+            "order change is semantic-free"
+        );
+        mgr.set_reorder_policy(Some("pair:growth2".parse().unwrap()));
+        assert_eq!(
+            mgr.reorder_policy().map(|p| p.strategy),
+            Some(ddcore::dvo::DvoStrategy::Pair)
+        );
     }
 }

@@ -5,6 +5,7 @@
 use crate::edge::Edge;
 use crate::node::{Node, NodeKey, TERMINAL_LEVEL};
 use ddcore::cache::ComputedCache;
+use ddcore::govern::{OpAbort, OpBudget};
 use ddcore::roots::RootSet;
 use ddcore::table::UniqueTable;
 
@@ -102,8 +103,9 @@ pub struct Bbdd {
     /// Reusable staging buffers for the CVO swap (allocation-churn
     /// avoidance; see `swap.rs`).
     pub(crate) swap_scratch: Option<crate::swap::SwapCtx>,
-    /// Live-node threshold that arms automatic reordering (0 = disabled).
-    auto_reorder_at: usize,
+    /// Dynamic-reordering policy and schedule baselines (see
+    /// [`ddcore::dvo`]); `None` policy = no scheduled reordering.
+    dvo: ddcore::dvo::DvoState,
     /// External-root registry behind the [`crate::BbddFn`] handles; GC and
     /// sifting trace from here instead of caller-supplied root lists.
     roots: RootSet,
@@ -144,7 +146,7 @@ impl Bbdd {
             cache: ComputedCache::default(),
             stats: BbddStats::default(),
             swap_scratch: None,
-            auto_reorder_at: 0,
+            dvo: ddcore::dvo::DvoState::default(),
             roots: RootSet::new(),
             root_scratch: Vec::new(),
             gc_latch: ddcore::roots::GcLatch::default(),
@@ -301,34 +303,72 @@ impl Bbdd {
 
     /// Arm automatic reordering: once the live node count crosses
     /// `threshold`, the next [`Bbdd::reorder_if_needed`] call (issued by
-    /// the network builders between gates) garbage-collects, sifts and
-    /// doubles the threshold — the dynamic-reordering discipline packages
-    /// use to survive order-hostile construction. `0` disables.
+    /// the network builders between gates, and by the handle-boundary GC
+    /// latch) garbage-collects, sifts and doubles the threshold — the
+    /// dynamic-reordering discipline packages use to survive order-hostile
+    /// construction. `0` disables. Sugar for installing a
+    /// full-sift/node-threshold [`ddcore::dvo::DvoPolicy`].
     pub fn set_auto_reorder(&mut self, threshold: usize) {
-        self.auto_reorder_at = threshold;
+        self.set_reorder_policy((threshold > 0).then_some(ddcore::dvo::DvoPolicy {
+            strategy: ddcore::dvo::DvoStrategy::Full,
+            schedule: ddcore::dvo::ReorderSchedule::NodeThreshold(threshold),
+        }));
     }
 
-    /// Collect (tracing the handle registry) and, if armed and past the
-    /// threshold, sift. Returns `true` when a reorder ran.
+    /// Install (or clear, with `None`) the dynamic-reordering policy:
+    /// which [`ddcore::dvo::DvoStrategy`] to run and when its
+    /// [`ddcore::dvo::ReorderSchedule`] fires. Scheduled firings happen at
+    /// handle boundaries (piggybacking on the automatic-GC latch) and at
+    /// the network builders' collection gates; the schedule's baselines
+    /// reset to the manager's current counters on installation.
+    pub fn set_reorder_policy(&mut self, policy: Option<ddcore::dvo::DvoPolicy>) {
+        let (live, created) = (self.live_nodes(), self.stats.nodes_created);
+        self.dvo.set_policy(policy, live, created);
+    }
+
+    /// The installed dynamic-reordering policy, if any.
+    #[must_use]
+    pub fn reorder_policy(&self) -> Option<ddcore::dvo::DvoPolicy> {
+        self.dvo.policy()
+    }
+
+    /// Scheduled reorders run so far (via [`Bbdd::reorder_if_needed`] and
+    /// its bounded variant).
+    #[must_use]
+    pub fn scheduled_reorders(&self) -> u64 {
+        self.dvo.reorders()
+    }
+
+    /// Collect (tracing the handle registry) and, if the installed
+    /// policy's schedule is due, run its strategy. Returns `true` when a
+    /// reorder ran.
     pub fn reorder_if_needed(&mut self) -> bool {
-        self.reorder_if_needed_keeping(&[])
+        self.reorder_if_needed_bounded(&mut OpBudget::unlimited())
+            .expect("unlimited budget never aborts")
     }
 
-    pub(crate) fn reorder_if_needed_keeping(&mut self, extra: &[Edge]) -> bool {
-        if self.auto_reorder_at == 0 {
-            return false;
+    /// [`Bbdd::reorder_if_needed`] under a resource budget. On abort the
+    /// variable order is consistent (the [`Bbdd::sift_bounded`] park-back
+    /// contract) and the schedule has re-armed — the trigger was consumed,
+    /// so the caller can simply continue with a partially improved order.
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    pub fn reorder_if_needed_bounded(&mut self, budget: &mut OpBudget) -> Result<bool, OpAbort> {
+        if !self.dvo.due(self.live_nodes(), self.stats.nodes_created) {
+            return Ok(false);
         }
-        if self.live_nodes() < self.auto_reorder_at {
-            return false;
+        // A collection may already dissolve the pressure (dead nodes, not
+        // a bad order) — re-check before paying for a sift.
+        self.gc_keeping(&[]);
+        if !self.dvo.due(self.live_nodes(), self.stats.nodes_created) {
+            return Ok(false);
         }
-        self.gc_keeping(extra);
-        if self.live_nodes() < self.auto_reorder_at {
-            return false;
-        }
-        self.sift_keeping(extra, &crate::reorder::SiftConfig::default());
-        // Re-arm above the post-sift size so repeated triggers pay off.
-        self.auto_reorder_at = (self.live_nodes() * 2).max(self.auto_reorder_at);
-        true
+        let strategy = self.dvo.strategy().expect("due implies a policy");
+        let res = self.sift_strategy(strategy, budget);
+        let (live, created) = (self.live_nodes(), self.stats.nodes_created);
+        self.dvo.note_reorder(live, created);
+        res.map(|_| true)
     }
 
     /// Bottom-based level of the node an edge points to (`-1`-like sentinel
@@ -508,6 +548,12 @@ impl Bbdd {
         }
         self.gc_keeping(&[]);
         self.gc_latch.rearm(self.live_nodes());
+        // The latch boundary doubles as the reorder schedule's firing
+        // point: with a policy installed, long handle-level construction
+        // runs reorder adaptively here, not just at explicit collect()
+        // gates. (The sift's own collections go through gc_keeping, so the
+        // generation counter the Par front-ends watch still advances.)
+        self.reorder_if_needed();
         true
     }
 

@@ -1,32 +1,73 @@
-//! Chain variable re-ordering: Rudell's sifting algorithm extended to the
-//! CVO (paper §IV-A4).
+//! Chain variable re-ordering: the [`ddcore::dvo`] engine instantiated for
+//! the BBDD manager (paper §IV-A4).
 //!
-//! Each variable is considered in succession (largest level first, the
-//! classic heuristic); adjacent [`Bbdd::swap_adjacent`] operations move it
-//! through all order positions while the sizes encountered are recorded,
-//! and it is parked back at the best position seen. A growth bound aborts
-//! unpromising directions early. `O(n²)` swaps in total.
+//! The sifting algorithms themselves — classic Rudell, window-bounded and
+//! the pair-aware group variant — live in [`ddcore::dvo`], generic over
+//! [`ReorderBackend`]. This module implements that backend contract for
+//! [`Bbdd`] (adjacent CVO swaps, registry-tracing sweeps, per-level widths
+//! and the *biconditional chain affinity* that drives pair-aware sifting)
+//! and keeps the manager's historical `sift*` entry points as thin
+//! wrappers.
+//!
+//! The affinity signal is what makes pair sifting meaningful here: a
+//! biconditional node at chain level `l` branches on `PV ⊕ SV`, coupling
+//! the variables at order positions `p = n-1-l` and `p+1`. The fraction of
+//! non-Shannon nodes at a level therefore measures how strongly the level
+//! is chained to the one below — pairs above the [`PairSift`] threshold
+//! move as rigid units, so sifting cannot break the chains that make the
+//! BBDD compact on XOR-rich logic.
 
-use crate::edge::Edge;
 use crate::manager::Bbdd;
+use ddcore::dvo::{DvoStrategy, FullSift, PairSift, ReorderBackend, ReorderStrategy};
 use ddcore::govern::{OpAbort, OpBudget};
 
-/// Tuning knobs for [`Bbdd::sift_with`].
-#[derive(Debug, Clone, Copy)]
-pub struct SiftConfig {
-    /// Abort a direction when the diagram grows beyond
-    /// `max_growth × best_size` (CUDD's classic 1.2).
-    pub max_growth: f64,
-    /// Number of complete sifting passes over all variables.
-    pub passes: usize,
-}
+/// Tuning knobs for [`Bbdd::sift_with`] (the shared engine's parameter
+/// block; re-exported under its historical name).
+pub use ddcore::dvo::SiftParams as SiftConfig;
 
-impl Default for SiftConfig {
-    fn default() -> Self {
-        SiftConfig {
-            max_growth: 1.2,
-            passes: 1,
+impl ReorderBackend for Bbdd {
+    fn num_vars(&self) -> usize {
+        Bbdd::num_vars(self)
+    }
+
+    fn position_of(&self, var: usize) -> usize {
+        Bbdd::position_of(self, var)
+    }
+
+    fn var_at_position(&self, pos: usize) -> usize {
+        let level = Bbdd::num_vars(self) - 1 - pos;
+        self.var_at_level[level] as usize
+    }
+
+    fn swap_positions(&mut self, pos: usize) {
+        self.swap_adjacent(pos);
+    }
+
+    fn sweep(&mut self) -> usize {
+        self.gc_keeping(&[]);
+        self.live_nodes()
+    }
+
+    fn var_width(&self, var: usize) -> usize {
+        self.subtables[self.level_of_var[var] as usize].len()
+    }
+
+    /// Fraction of biconditional (non-Shannon) nodes at the level of the
+    /// variable at `pos` — each one couples that variable (its PV) with
+    /// the variable below (its SV).
+    fn pair_affinity(&self, pos: usize) -> f64 {
+        let level = Bbdd::num_vars(self) - 1 - pos;
+        let table = &self.subtables[level];
+        let total = table.len();
+        if total == 0 {
+            return 0.0;
         }
+        let chained = table
+            .values()
+            .into_iter()
+            .filter(|&idx| !self.node(idx).is_shannon())
+            .count();
+        chained as f64 / total as f64
     }
 }
 
@@ -56,7 +97,9 @@ impl Bbdd {
 
     /// Sift with explicit [`SiftConfig`], tracing the handle registry.
     pub fn sift_with(&mut self, cfg: &SiftConfig) -> usize {
-        self.sift_keeping(&[], cfg)
+        FullSift { params: *cfg }
+            .reorder(self, &mut OpBudget::unlimited())
+            .expect("unlimited budget never aborts")
     }
 
     /// [`Bbdd::sift`] under a resource budget: the budget is polled before
@@ -83,113 +126,39 @@ impl Bbdd {
         cfg: &SiftConfig,
         budget: &mut OpBudget,
     ) -> Result<usize, OpAbort> {
-        self.sift_keeping_bounded(&[], cfg, budget)
-            .map(|()| self.live_nodes())
+        FullSift { params: *cfg }.reorder(self, budget)
     }
 
-    pub(crate) fn sift_keeping(&mut self, extra: &[Edge], cfg: &SiftConfig) -> usize {
-        self.sift_keeping_bounded(extra, cfg, &mut OpBudget::unlimited())
-            .expect("unlimited budget never aborts");
-        self.live_nodes()
-    }
-
-    fn sift_keeping_bounded(
-        &mut self,
-        extra: &[Edge],
-        cfg: &SiftConfig,
-        budget: &mut OpBudget,
-    ) -> Result<(), OpAbort> {
-        for _ in 0..cfg.passes.max(1) {
-            self.gc_keeping(extra);
-            let n = self.num_vars();
-            if n < 2 {
-                break;
-            }
-            // Process variables by decreasing level population.
-            let mut vars: Vec<usize> = (0..n).collect();
-            vars.sort_by_key(|&v| {
-                std::cmp::Reverse(self.subtables[self.level_of_var[v] as usize].len())
-            });
-            for var in vars {
-                self.sift_one(var, cfg, extra, budget)?;
-            }
-            self.gc_keeping(extra);
-        }
-        Ok(())
-    }
-
-    /// Move `var` through every position, then park it at the best one.
+    /// Run a specific [`DvoStrategy`] (full, window or pair-aware sift)
+    /// under a resource budget, with the [`Bbdd::sift_bounded`] abort
+    /// contract.
     ///
-    /// Swaps leave behind nodes that are no longer reachable from the
-    /// roots; sizes are measured after a sweep so that position decisions
-    /// use exact live counts.
-    fn sift_one(
+    /// # Errors
+    /// The budget's abort reason.
+    pub fn sift_strategy(
         &mut self,
-        var: usize,
-        cfg: &SiftConfig,
-        extra: &[Edge],
+        strategy: DvoStrategy,
         budget: &mut OpBudget,
-    ) -> Result<(), OpAbort> {
-        let n = self.num_vars();
-        let start = self.position_of(var);
-        self.gc_keeping(extra);
-        let mut best_size = self.live_nodes();
-        let mut best_pos = start;
-        let limit = |best: usize| (best as f64 * cfg.max_growth) as usize + 2;
+    ) -> Result<usize, OpAbort> {
+        strategy.run(self, budget)
+    }
 
-        // Visit the nearer end first to minimize swap work.
-        let down_first = start >= n / 2;
-        let directions: [bool; 2] = if down_first {
-            [true, false]
-        } else {
-            [false, true]
-        };
-        // On abort we fall through to the park-back loop below before
-        // returning the error, so the order is always left consistent.
-        let mut abort: Option<OpAbort> = None;
-        'exploration: for &down in &directions {
-            loop {
-                let pos = self.position_of(var);
-                if down && pos + 1 >= n {
-                    break;
-                }
-                if !down && pos == 0 {
-                    break;
-                }
-                if let Err(reason) = budget.checkpoint() {
-                    abort = Some(reason);
-                    break 'exploration;
-                }
-                if down {
-                    self.swap_adjacent(pos);
-                } else {
-                    self.swap_adjacent(pos - 1);
-                }
-                self.gc_keeping(extra);
-                let size = self.live_nodes();
-                if size < best_size {
-                    best_size = size;
-                    best_pos = self.position_of(var);
-                }
-                if size > limit(best_size) {
-                    break;
-                }
-            }
+    /// Pair-aware sifting with an explicit chain-affinity threshold (see
+    /// [`PairSift`]); `sift_strategy(DvoStrategy::Pair, …)` uses the
+    /// default threshold.
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    pub fn sift_pairs(
+        &mut self,
+        min_affinity: f64,
+        budget: &mut OpBudget,
+    ) -> Result<usize, OpAbort> {
+        PairSift {
+            min_affinity,
+            ..PairSift::default()
         }
-        // Return to the best position (un-budgeted: at most one sweep).
-        loop {
-            let pos = self.position_of(var);
-            match pos.cmp(&best_pos) {
-                std::cmp::Ordering::Less => self.swap_adjacent(pos),
-                std::cmp::Ordering::Greater => self.swap_adjacent(pos - 1),
-                std::cmp::Ordering::Equal => break,
-            }
-        }
-        self.gc_keeping(extra);
-        match abort {
-            Some(reason) => Err(reason),
-            None => Ok(()),
-        }
+        .reorder(self, budget)
     }
 
     /// Re-order the variables to the given order `π` (top first) by
@@ -220,6 +189,7 @@ impl Bbdd {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::edge::Edge;
 
     fn truth_of(mgr: &Bbdd, f: Edge, n: usize) -> Vec<bool> {
         (0..1u32 << n)
@@ -258,6 +228,66 @@ mod tests {
         // a little slack for a near-optimal order.
         assert!(after <= 2 * k, "near-linear size expected, got {after}");
         assert_eq!(truth_of(&mgr, f, 2 * k), tf, "functions preserved");
+        mgr.validate().unwrap();
+    }
+
+    #[test]
+    fn every_strategy_preserves_semantics_and_canonicity() {
+        for strategy in [DvoStrategy::Full, DvoStrategy::Window(2), DvoStrategy::Pair] {
+            let k = 4;
+            let mut mgr = Bbdd::new(2 * k);
+            let f = equality_bad_order(&mut mgr, k);
+            let tf = truth_of(&mgr, f, 2 * k);
+            let before = mgr.node_count(f);
+            let _fh = mgr.pin(f);
+            let after = mgr
+                .sift_strategy(strategy, &mut OpBudget::unlimited())
+                .expect("unlimited budget");
+            assert!(after <= before + 1, "{strategy}: {before} -> {after}");
+            assert_eq!(truth_of(&mgr, f, 2 * k), tf, "{strategy}");
+            mgr.validate().unwrap();
+            // The order is still a permutation.
+            let mut order = mgr.order();
+            order.sort_unstable();
+            assert_eq!(order, (0..2 * k).collect::<Vec<_>>());
+        }
+    }
+
+    /// On a pure biconditional chain the levels are chain-coupled, so the
+    /// affinity signal must read (close to) 1 and pair sifting must not
+    /// grow the diagram.
+    #[test]
+    fn chain_affinity_is_high_on_xor_ladders() {
+        let n = 6;
+        let mut mgr = Bbdd::new(n);
+        let mut f = mgr.var(0);
+        for v in 1..n {
+            let x = mgr.var(v);
+            f = mgr.xor(f, x);
+        }
+        let _fh = mgr.pin(f);
+        mgr.gc();
+        // Each biconditional chain node consumes a (PV, SV) *pair*, so the
+        // populated levels alternate: boundaries (0,1), (2,3), (4,5) are
+        // fully chained, the levels between them hold no nodes at all.
+        let hot = (0..n - 1)
+            .map(|p| ReorderBackend::pair_affinity(&mgr, p))
+            .collect::<Vec<_>>();
+        assert_eq!(
+            hot,
+            vec![1.0, 0.0, 1.0, 0.0, 1.0],
+            "parity chain should be chained exactly at the pair boundaries"
+        );
+        let before = mgr.live_nodes();
+        let tf = truth_of(&mgr, f, n);
+        let after = mgr
+            .sift_pairs(0.5, &mut OpBudget::unlimited())
+            .expect("unlimited budget");
+        assert!(
+            after <= before,
+            "pair sift must not grow: {before} -> {after}"
+        );
+        assert_eq!(truth_of(&mgr, f, n), tf);
         mgr.validate().unwrap();
     }
 

@@ -56,6 +56,7 @@
 //! managers.)
 
 use crate::boolop::BoolOp;
+use crate::dvo::{DvoPolicy, DvoStrategy};
 use crate::govern::{OpAbort, OpBudget};
 use crate::roots::RootSet;
 use std::cell::{Ref, RefCell, RefMut};
@@ -257,8 +258,9 @@ pub trait RawManager: Sized {
     fn live_nodes(&self) -> usize;
 
     /// Run Rudell sifting, returning the post-sift live node count, or
-    /// `None` when the backend does not support reordering (the parallel
-    /// front-ends keep their op history deterministic instead).
+    /// `None` when the backend does not support reordering at all (e.g.
+    /// table-less test backends; the parallel front-ends delegate to their
+    /// inner sequential manager at a handle boundary).
     fn try_sift(&mut self) -> Option<usize>;
 
     /// Bounded sifting under a resource budget: `None` when the backend
@@ -269,13 +271,57 @@ pub trait RawManager: Sized {
     /// result is a partially improved order, not a corrupted one.
     fn sift_bounded(&mut self, budget: &mut OpBudget) -> Option<Result<usize, OpAbort>>;
 
+    /// Run a specific [`DvoStrategy`] under a resource budget, with the
+    /// same contract as [`RawManager::sift_bounded`] (which is simply this
+    /// method with the installed policy's strategy, defaulting to full
+    /// sift). `None` when the backend does not support reordering.
+    fn reorder_with(
+        &mut self,
+        _strategy: DvoStrategy,
+        _budget: &mut OpBudget,
+    ) -> Option<Result<usize, OpAbort>> {
+        None
+    }
+
+    /// Install (or clear, with `None`) the dynamic-reordering policy:
+    /// which strategy to run and when the schedule fires. Scheduled
+    /// reorders run at operation boundaries (the GC-latch hook) and at the
+    /// drivers' collection gates. No-op on backends without reordering.
+    fn set_reorder_policy(&mut self, _policy: Option<DvoPolicy>) {}
+
+    /// The installed dynamic-reordering policy, if any.
+    fn reorder_policy(&self) -> Option<DvoPolicy> {
+        None
+    }
+
     /// Arm automatic reordering at a live-node threshold (no-op on backends
-    /// without dynamic reordering).
+    /// without dynamic reordering). Sugar for installing a
+    /// full-sift/node-threshold [`DvoPolicy`]; `0` clears the policy.
     fn set_auto_reorder(&mut self, _threshold: usize) {}
 
-    /// Collect and, when armed and past the threshold, reorder. Returns
-    /// `true` when a reorder ran. Defaults to `false` (nothing armed).
+    /// Collect and, when the installed policy's schedule is due, reorder.
+    /// Returns `true` when a reorder ran. Defaults to `false` (nothing
+    /// armed).
     fn reorder_if_needed(&mut self) -> bool {
+        false
+    }
+
+    /// [`RawManager::reorder_if_needed`] under a resource budget: `Ok`
+    /// whether a reorder ran, or the abort reason when a scheduled reorder
+    /// was cut short. On abort the order is consistent, every handle stays
+    /// valid, and the schedule re-arms (the trigger is consumed), so the
+    /// caller may simply continue.
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    fn reorder_if_needed_bounded(&mut self, _budget: &mut OpBudget) -> Result<bool, OpAbort> {
+        Ok(false)
+    }
+
+    /// Install a specific variable order (a permutation of `0..num_vars`,
+    /// top of the diagram first), e.g. one computed by a static-ordering
+    /// heuristic. Returns `false` on backends without reordering.
+    fn set_order(&mut self, _order: &[usize]) -> bool {
         false
     }
 
@@ -526,9 +572,10 @@ pub trait FunctionManager: Clone {
     /// Live handle slots registered with this manager.
     fn external_roots(&self) -> usize;
 
-    /// Run Rudell sifting (tracing the handle registry), returning the
+    /// Reorder with the installed policy's strategy (full sift when no
+    /// policy is installed), tracing the handle registry; returns the
     /// post-sift live node count — or `None` when the backend does not
-    /// support dynamic reordering (the parallel front-ends).
+    /// support dynamic reordering.
     fn reorder(&self) -> Option<usize>;
 
     /// [`FunctionManager::reorder`] under a resource budget: `None` when
@@ -537,21 +584,59 @@ pub trait FunctionManager: Clone {
     /// consistent and every handle stays valid.
     fn try_reorder(&self, budget: &mut OpBudget) -> Option<Result<usize, OpAbort>>;
 
+    /// Reorder with a specific [`DvoStrategy`], regardless of the
+    /// installed policy; `None` when the backend does not support
+    /// reordering.
+    fn reorder_with(&self, strategy: DvoStrategy) -> Option<usize>;
+
+    /// [`FunctionManager::reorder_with`] under a resource budget, with the
+    /// [`FunctionManager::try_reorder`] abort contract.
+    fn try_reorder_with(
+        &self,
+        strategy: DvoStrategy,
+        budget: &mut OpBudget,
+    ) -> Option<Result<usize, OpAbort>>;
+
+    /// Install (or clear) the dynamic-reordering policy. Scheduled firings
+    /// happen at operation boundaries and collection gates; explicit
+    /// [`FunctionManager::reorder`] calls use the policy's strategy.
+    fn set_reorder_policy(&self, policy: Option<DvoPolicy>);
+
+    /// The installed dynamic-reordering policy, if any.
+    fn reorder_policy(&self) -> Option<DvoPolicy>;
+
     /// Arm automatic reordering at a live-node threshold (no-op on
-    /// backends without dynamic reordering).
+    /// backends without dynamic reordering). Sugar for a
+    /// full-sift/node-threshold policy; `0` clears it.
     fn set_auto_reorder(&self, threshold: usize);
 
-    /// Collect and, when armed and past the threshold, reorder; `true`
-    /// when a reorder ran.
+    /// Collect and, when the installed policy's schedule is due, reorder;
+    /// `true` when a reorder ran.
     fn reorder_if_needed(&self) -> bool;
 
     /// The garbage-collection opportunity generic drivers offer between
-    /// construction batches: reorder if armed, otherwise plain GC.
+    /// construction batches: scheduled reorder if one is due, otherwise
+    /// plain GC.
     fn collect(&self) {
         if !self.reorder_if_needed() {
             self.gc();
         }
     }
+
+    /// [`FunctionManager::collect`] under a resource budget — the gate
+    /// governed drivers (`try_build_network`) use, so a scheduled reorder
+    /// firing mid-build stays abort-safe. Returns whether a reorder ran;
+    /// on abort the order is consistent, the schedule has re-armed, and
+    /// the manager stays fully usable.
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    fn try_collect(&self, budget: &mut OpBudget) -> Result<bool, OpAbort>;
+
+    /// Install a specific variable order (a permutation of `0..num_vars`,
+    /// top first), e.g. from a static-ordering heuristic; `false` on
+    /// backends without reordering.
+    fn set_order(&self, order: &[usize]) -> bool;
 
     /// Nodes reachable from any of `fns`, shared nodes counted once.
     fn shared_node_count(&self, fns: &[Self::Function]) -> usize;
@@ -846,12 +931,47 @@ impl<B: RawManager> FunctionManager for ManagerRef<B> {
         self.inner.borrow_mut().sift_bounded(budget)
     }
 
+    fn reorder_with(&self, strategy: DvoStrategy) -> Option<usize> {
+        self.inner
+            .borrow_mut()
+            .reorder_with(strategy, &mut OpBudget::unlimited())
+            .map(|r| r.unwrap_or_else(|_| unreachable!("unlimited budget cannot abort")))
+    }
+
+    fn try_reorder_with(
+        &self,
+        strategy: DvoStrategy,
+        budget: &mut OpBudget,
+    ) -> Option<Result<usize, OpAbort>> {
+        self.inner.borrow_mut().reorder_with(strategy, budget)
+    }
+
+    fn set_reorder_policy(&self, policy: Option<DvoPolicy>) {
+        self.inner.borrow_mut().set_reorder_policy(policy);
+    }
+
+    fn reorder_policy(&self) -> Option<DvoPolicy> {
+        self.inner.borrow().reorder_policy()
+    }
+
     fn set_auto_reorder(&self, threshold: usize) {
         self.inner.borrow_mut().set_auto_reorder(threshold);
     }
 
     fn reorder_if_needed(&self) -> bool {
         self.inner.borrow_mut().reorder_if_needed()
+    }
+
+    fn try_collect(&self, budget: &mut OpBudget) -> Result<bool, OpAbort> {
+        let reordered = self.inner.borrow_mut().reorder_if_needed_bounded(budget)?;
+        if !reordered {
+            self.gc();
+        }
+        Ok(reordered)
+    }
+
+    fn set_order(&self, order: &[usize]) -> bool {
+        self.inner.borrow_mut().set_order(order)
     }
 
     fn shared_node_count(&self, fns: &[Function<B>]) -> usize {
@@ -1467,6 +1587,20 @@ mod tests {
         assert_eq!(f, g, "same backend behind both references");
         assert!(mgr.reorder().is_none());
         assert!(!mgr.reorder_if_needed());
+        // The DVO defaults on a reorder-less backend: everything is a
+        // polite no-op.
+        assert!(mgr.reorder_with(DvoStrategy::Full).is_none());
+        assert!(mgr
+            .try_reorder_with(DvoStrategy::Pair, &mut OpBudget::unlimited())
+            .is_none());
+        mgr.set_reorder_policy(Some("full:growth2".parse().unwrap()));
+        assert!(mgr.reorder_policy().is_none(), "backend ignores policies");
+        assert!(!mgr.set_order(&[5, 4, 3, 2, 1, 0]));
+        assert_eq!(
+            mgr.try_collect(&mut OpBudget::unlimited()),
+            Ok(false),
+            "no reorder support: try_collect degrades to plain gc"
+        );
         mgr.collect();
         mgr.set_gc_threshold(7);
         assert_eq!(mgr.gc_threshold(), 7);

@@ -36,6 +36,11 @@
 //! concurrent unique table, a lossy lock-free computed cache, an
 //! append-only overlay arena and a std-only fork-join helper — all safe
 //! Rust (this crate forbids `unsafe`).
+//!
+//! The [`dvo`] module is the dynamic-variable-ordering engine: pluggable
+//! reorder strategies (full/window/pair-aware sifting) over a small
+//! [`dvo::ReorderBackend`] contract, plus the adaptive schedules that fire
+//! them mid-build at the managers' GC-latch boundaries.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,6 +49,7 @@ pub mod api;
 pub mod boolop;
 pub mod cache;
 pub mod cantor;
+pub mod dvo;
 pub mod fxhash;
 pub mod govern;
 pub mod nary;
@@ -57,6 +63,10 @@ pub use api::{BooleanFunction, Function, FunctionManager, ManagerRef, RawManager
 pub use boolop::{BoolOp, Unary};
 pub use cache::{CacheStats, ComputedCache};
 pub use cantor::{cantor_pair, CantorHasher, HashArrangement};
+pub use dvo::{
+    DvoPolicy, DvoState, DvoStrategy, FullSift, PairSift, ReorderBackend, ReorderSchedule,
+    ReorderStrategy, SiftParams, WindowSift,
+};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use govern::{CancelToken, OpAbort, OpBudget};
 pub use nary::NaryOp;

@@ -304,7 +304,18 @@ pub fn try_build_network<M: FunctionManager>(
                     *slot = None;
                 }
             }
-            mgr.collect();
+            // The budgeted collection gate: a scheduled reorder due here
+            // runs under the caller's budget, so even a mid-build sift is
+            // abort-safe — on abort the order is consistent and the same
+            // cleanup as an aborted operation applies.
+            if let Err(reason) = mgr.try_collect(budget) {
+                wire.clear();
+                mgr.collect();
+                return Err(BuildAborted {
+                    reason,
+                    gates_built: gi + 1,
+                });
+            }
         }
     }
     Ok(net

@@ -14,6 +14,8 @@
 //! * a **combinational equivalence checker** ([`cec`]) proving two
 //!   networks equal through XOR miters + existential quantification on
 //!   any decision-diagram backend;
+//! * **static variable-ordering heuristics** ([`order`]): FORCE and
+//!   fan-in DFS computed from network structure before any node is built;
 //! * one generic **decision-diagram builder** ([`build::build_network`]),
 //!   written against the [`ddcore::api`] trait family and therefore
 //!   driving all four managers in the workspace — exactly one traversal,
@@ -43,7 +45,9 @@ pub mod blif;
 pub mod build;
 pub mod cec;
 mod ir;
+pub mod order;
 pub mod sim;
 pub mod verilog;
 
 pub use ir::{Gate, GateOp, Network, NetworkError, Signal};
+pub use order::{apply_static_order, fanin_order, force_order, static_order, StaticOrder};

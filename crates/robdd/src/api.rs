@@ -222,11 +222,56 @@ impl RawManager for Robdd {
     }
 
     fn try_sift(&mut self) -> Option<usize> {
-        Some(self.sift())
+        // An installed policy's strategy takes precedence over plain
+        // Rudell sifting, so `reorder()` and the scheduled firings agree
+        // on the algorithm.
+        match self.reorder_policy() {
+            Some(p) => Some(
+                self.sift_strategy(p.strategy, &mut OpBudget::unlimited())
+                    .expect("unlimited budget never aborts"),
+            ),
+            None => Some(self.sift()),
+        }
     }
 
     fn sift_bounded(&mut self, budget: &mut OpBudget) -> Option<Result<usize, OpAbort>> {
-        Some(Robdd::sift_bounded(self, budget))
+        match self.reorder_policy() {
+            Some(p) => Some(self.sift_strategy(p.strategy, budget)),
+            None => Some(Robdd::sift_bounded(self, budget)),
+        }
+    }
+
+    fn reorder_with(
+        &mut self,
+        strategy: ddcore::dvo::DvoStrategy,
+        budget: &mut OpBudget,
+    ) -> Option<Result<usize, OpAbort>> {
+        Some(self.sift_strategy(strategy, budget))
+    }
+
+    fn set_reorder_policy(&mut self, policy: Option<ddcore::dvo::DvoPolicy>) {
+        Robdd::set_reorder_policy(self, policy);
+    }
+
+    fn reorder_policy(&self) -> Option<ddcore::dvo::DvoPolicy> {
+        Robdd::reorder_policy(self)
+    }
+
+    fn set_auto_reorder(&mut self, threshold: usize) {
+        Robdd::set_auto_reorder(self, threshold);
+    }
+
+    fn reorder_if_needed(&mut self) -> bool {
+        Robdd::reorder_if_needed(self)
+    }
+
+    fn reorder_if_needed_bounded(&mut self, budget: &mut OpBudget) -> Result<bool, OpAbort> {
+        Robdd::reorder_if_needed_bounded(self, budget)
+    }
+
+    fn set_order(&mut self, order: &[usize]) -> bool {
+        self.reorder_to(order);
+        true
     }
 
     fn variable_order(&self) -> Vec<usize> {
@@ -452,13 +497,64 @@ impl RawManager for ParRobdd {
         ParRobdd::live_nodes(self)
     }
 
-    /// The parallel front-ends never reorder (deterministic op history).
+    /// Reordering on the parallel front-end delegates to the inner
+    /// sequential manager. `&mut self` guarantees a quiescent point, and
+    /// the sift's own collections advance the GC generation, so the epoch
+    /// sync below invalidates the id-keyed concurrent cache exactly as a
+    /// collection through any other path would.
     fn try_sift(&mut self) -> Option<usize> {
-        None
+        let n = self.inner_mut().try_sift();
+        self.sync_cache_epoch();
+        n
     }
 
-    fn sift_bounded(&mut self, _budget: &mut OpBudget) -> Option<Result<usize, OpAbort>> {
-        None
+    fn sift_bounded(&mut self, budget: &mut OpBudget) -> Option<Result<usize, OpAbort>> {
+        let r = <Robdd as RawManager>::sift_bounded(self.inner_mut(), budget);
+        self.sync_cache_epoch();
+        r
+    }
+
+    fn reorder_with(
+        &mut self,
+        strategy: ddcore::dvo::DvoStrategy,
+        budget: &mut OpBudget,
+    ) -> Option<Result<usize, OpAbort>> {
+        let r = self.inner_mut().reorder_with(strategy, budget);
+        self.sync_cache_epoch();
+        r
+    }
+
+    fn set_reorder_policy(&mut self, policy: Option<ddcore::dvo::DvoPolicy>) {
+        self.inner_mut().set_reorder_policy(policy);
+    }
+
+    fn reorder_policy(&self) -> Option<ddcore::dvo::DvoPolicy> {
+        self.inner().reorder_policy()
+    }
+
+    fn set_auto_reorder(&mut self, threshold: usize) {
+        self.inner_mut().set_auto_reorder(threshold);
+    }
+
+    fn reorder_if_needed(&mut self) -> bool {
+        let ran = self.inner_mut().reorder_if_needed();
+        self.sync_cache_epoch();
+        ran
+    }
+
+    fn reorder_if_needed_bounded(&mut self, budget: &mut OpBudget) -> Result<bool, OpAbort> {
+        let r = self.inner_mut().reorder_if_needed_bounded(budget);
+        self.sync_cache_epoch();
+        r
+    }
+
+    fn set_order(&mut self, order: &[usize]) -> bool {
+        let ok = self.inner_mut().set_order(order);
+        // `reorder_to` swaps without collecting, so the GC generation may
+        // not have moved — collect explicitly to force the epoch bump
+        // (installing an order is a cold pre-build path).
+        self.collect();
+        ok
     }
 
     fn variable_order(&self) -> Vec<usize> {
@@ -547,7 +643,16 @@ mod tests {
         {
             assert_eq!(mgr_out[0], mgr_out[1], "bit-identical results");
         }
-        assert!(par.reorder().is_none());
+        assert!(
+            par.reorder().is_some(),
+            "parallel backend reorders via its inner manager"
+        );
         assert_eq!(seq.reorder(), Some(seq.live_nodes()));
+        // Both ends accept a policy; explicit reorder then uses it.
+        seq.set_reorder_policy(Some("window1:nodes64".parse().unwrap()));
+        par.set_reorder_policy(Some("window1:nodes64".parse().unwrap()));
+        assert_eq!(seq.reorder_policy(), par.reorder_policy());
+        assert!(seq.reorder().is_some());
+        assert!(par.reorder().is_some());
     }
 }

@@ -89,6 +89,9 @@ pub struct Robdd {
     /// The automatic-GC latch + collection generation (shared shape with
     /// the BBDD manager; see [`ddcore::roots::GcLatch`]).
     gc_latch: ddcore::roots::GcLatch,
+    /// Dynamic-reordering policy and schedule baselines (see
+    /// [`ddcore::dvo`]); `None` policy = no scheduled reordering.
+    dvo: ddcore::dvo::DvoState,
 }
 
 impl Robdd {
@@ -114,6 +117,7 @@ impl Robdd {
             roots: RootSet::new(),
             root_scratch: Vec::new(),
             gc_latch: ddcore::roots::GcLatch::default(),
+            dvo: ddcore::dvo::DvoState::default(),
         }
     }
 
@@ -369,7 +373,79 @@ impl Robdd {
         }
         self.gc_keeping(&[]);
         self.gc_latch.rearm(self.live_nodes());
+        // The latch boundary doubles as the reorder schedule's firing
+        // point (see the BBDD manager's twin).
+        self.reorder_if_needed();
         true
+    }
+
+    /// Arm automatic reordering at a live-node threshold: sugar for a
+    /// full-sift/node-threshold [`ddcore::dvo::DvoPolicy`] (the discipline
+    /// the BBDD manager has always offered; `0` disables).
+    pub fn set_auto_reorder(&mut self, threshold: usize) {
+        self.set_reorder_policy((threshold > 0).then_some(ddcore::dvo::DvoPolicy {
+            strategy: ddcore::dvo::DvoStrategy::Full,
+            schedule: ddcore::dvo::ReorderSchedule::NodeThreshold(threshold),
+        }));
+    }
+
+    /// Install (or clear, with `None`) the dynamic-reordering policy:
+    /// which [`ddcore::dvo::DvoStrategy`] to run and when its
+    /// [`ddcore::dvo::ReorderSchedule`] fires. Scheduled firings happen at
+    /// handle boundaries (piggybacking on the automatic-GC latch) and at
+    /// the network builders' collection gates; the schedule's baselines
+    /// reset to the manager's current counters on installation.
+    pub fn set_reorder_policy(&mut self, policy: Option<ddcore::dvo::DvoPolicy>) {
+        let (live, created) = (self.live_nodes(), self.stats.nodes_created);
+        self.dvo.set_policy(policy, live, created);
+    }
+
+    /// The installed dynamic-reordering policy, if any.
+    #[must_use]
+    pub fn reorder_policy(&self) -> Option<ddcore::dvo::DvoPolicy> {
+        self.dvo.policy()
+    }
+
+    /// Scheduled reorders run so far (via [`Robdd::reorder_if_needed`] and
+    /// its bounded variant).
+    #[must_use]
+    pub fn scheduled_reorders(&self) -> u64 {
+        self.dvo.reorders()
+    }
+
+    /// Collect (tracing the handle registry) and, if the installed
+    /// policy's schedule is due, run its strategy. Returns `true` when a
+    /// reorder ran.
+    pub fn reorder_if_needed(&mut self) -> bool {
+        self.reorder_if_needed_bounded(&mut ddcore::govern::OpBudget::unlimited())
+            .expect("unlimited budget never aborts")
+    }
+
+    /// [`Robdd::reorder_if_needed`] under a resource budget. On abort the
+    /// variable order is consistent (the [`Robdd::sift_bounded`] park-back
+    /// contract) and the schedule has re-armed — the trigger was consumed,
+    /// so the caller can simply continue with a partially improved order.
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    pub fn reorder_if_needed_bounded(
+        &mut self,
+        budget: &mut ddcore::govern::OpBudget,
+    ) -> Result<bool, ddcore::govern::OpAbort> {
+        if !self.dvo.due(self.live_nodes(), self.stats.nodes_created) {
+            return Ok(false);
+        }
+        // A collection may already dissolve the pressure (dead nodes, not
+        // a bad order) — re-check before paying for a sift.
+        self.gc_keeping(&[]);
+        if !self.dvo.due(self.live_nodes(), self.stats.nodes_created) {
+            return Ok(false);
+        }
+        let strategy = self.dvo.strategy().expect("due implies a policy");
+        let res = self.sift_strategy(strategy, budget);
+        let (live, created) = (self.live_nodes(), self.stats.nodes_created);
+        self.dvo.note_reorder(live, created);
+        res.map(|_| true)
     }
 
     /// Garbage-collect every node not reachable from a registered handle

@@ -1,27 +1,72 @@
-//! Dynamic variable ordering: the classic in-place adjacent swap and
-//! Rudell's sifting algorithm (the `sift` of CUDD used in Table I).
+//! Dynamic variable ordering: the classic in-place adjacent swap, plus the
+//! [`ddcore::dvo`] engine instantiated for the ROBDD manager (the `sift`
+//! of CUDD used in Table I).
+//!
+//! The sifting algorithms live in [`ddcore::dvo`], generic over
+//! [`ReorderBackend`]; this module supplies the backend contract (adjacent
+//! swaps, registry-tracing sweeps, per-variable widths and a structural
+//! pair-affinity analogue) and keeps the historical `sift*` entry points
+//! as thin wrappers.
 
-use crate::edge::Edge;
 use crate::manager::Robdd;
 use crate::node::Node;
+use ddcore::dvo::{DvoStrategy, FullSift, ReorderBackend, ReorderStrategy};
 use ddcore::govern::{OpAbort, OpBudget};
 
-/// Tuning knobs for [`Robdd::sift_with`].
-#[derive(Debug, Clone, Copy)]
-pub struct SiftConfig {
-    /// Abort a direction when the diagram grows beyond
-    /// `max_growth × best_size`.
-    pub max_growth: f64,
-    /// Complete passes over all variables.
-    pub passes: usize,
-}
+/// Tuning knobs for [`Robdd::sift_with`] (the shared engine's parameter
+/// block; re-exported under its historical name).
+pub use ddcore::dvo::SiftParams as SiftConfig;
 
-impl Default for SiftConfig {
-    fn default() -> Self {
-        SiftConfig {
-            max_growth: 1.2,
-            passes: 1,
+impl ReorderBackend for Robdd {
+    fn num_vars(&self) -> usize {
+        Robdd::num_vars(self)
+    }
+
+    fn position_of(&self, var: usize) -> usize {
+        Robdd::position_of(self, var)
+    }
+
+    fn var_at_position(&self, pos: usize) -> usize {
+        self.var_at_pos[pos] as usize
+    }
+
+    fn swap_positions(&mut self, pos: usize) {
+        self.swap_adjacent(pos);
+    }
+
+    fn sweep(&mut self) -> usize {
+        self.gc_keeping(&[]);
+        self.live_nodes()
+    }
+
+    fn var_width(&self, var: usize) -> usize {
+        self.subtables[var].len()
+    }
+
+    /// Structural analogue of the BBDD chain affinity: the fraction of the
+    /// upper variable's nodes with a cofactor testing the next variable in
+    /// the order directly. Those are exactly the nodes an adjacent swap
+    /// must rewrite, so a high fraction means the two levels are tightly
+    /// coupled.
+    fn pair_affinity(&self, pos: usize) -> f64 {
+        let x = self.var_at_pos[pos] as usize;
+        let y = self.var_at_pos[pos + 1] as u16;
+        let table = &self.subtables[x];
+        let total = table.len();
+        if total == 0 {
+            return 0.0;
         }
+        let coupled = table
+            .values()
+            .into_iter()
+            .filter(|&id| {
+                let nd = self.node(id);
+                let (t, e) = (nd.then_(), nd.else_());
+                (!t.is_constant() && self.node(t.node()).var() == y)
+                    || (!e.is_constant() && self.node(e.node()).var() == y)
+            })
+            .count();
+        coupled as f64 / total as f64
     }
 }
 
@@ -31,7 +76,7 @@ impl Robdd {
     /// Nodes of the upper variable whose cofactors involve the lower
     /// variable are rewritten (keeping their pointers) to test the lower
     /// variable first; all other nodes are untouched. Every existing
-    /// [`Edge`] keeps denoting the same function.
+    /// [`Edge`](crate::Edge) keeps denoting the same function.
     ///
     /// # Panics
     /// Panics if `pos + 1 >= num_vars()`.
@@ -94,7 +139,9 @@ impl Robdd {
 
     /// Sift with an explicit [`SiftConfig`], tracing the handle registry.
     pub fn sift_with(&mut self, cfg: &SiftConfig) -> usize {
-        self.sift_keeping(&[], cfg)
+        FullSift { params: *cfg }
+            .reorder(self, &mut OpBudget::unlimited())
+            .expect("unlimited budget never aborts")
     }
 
     /// [`Robdd::sift`] under a resource budget, polled before every
@@ -118,116 +165,21 @@ impl Robdd {
         cfg: &SiftConfig,
         budget: &mut OpBudget,
     ) -> Result<usize, OpAbort> {
-        self.sift_keeping_bounded(&[], cfg, budget)
-            .map(|()| self.live_nodes())
+        FullSift { params: *cfg }.reorder(self, budget)
     }
 
-    pub(crate) fn sift_keeping(&mut self, extra: &[Edge], cfg: &SiftConfig) -> usize {
-        self.sift_keeping_bounded(extra, cfg, &mut OpBudget::unlimited())
-            .expect("unlimited budget never aborts");
-        self.live_nodes()
-    }
-
-    fn sift_keeping_bounded(
+    /// Run a specific [`DvoStrategy`] (full, window or pair-aware sift)
+    /// under a resource budget, with the [`Robdd::sift_bounded`] abort
+    /// contract.
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    pub fn sift_strategy(
         &mut self,
-        extra: &[Edge],
-        cfg: &SiftConfig,
+        strategy: DvoStrategy,
         budget: &mut OpBudget,
-    ) -> Result<(), OpAbort> {
-        for _ in 0..cfg.passes.max(1) {
-            self.gc_keeping(extra);
-            let n = self.num_vars();
-            if n < 2 {
-                break;
-            }
-            let mut vars: Vec<usize> = (0..n).collect();
-            vars.sort_by_key(|&v| std::cmp::Reverse(self.subtables[v].len()));
-            for var in vars {
-                self.sift_one(var, cfg, extra, budget)?;
-            }
-            self.gc_keeping(extra);
-        }
-        Ok(())
-    }
-
-    fn sift_one(
-        &mut self,
-        var: usize,
-        cfg: &SiftConfig,
-        extra: &[Edge],
-        budget: &mut OpBudget,
-    ) -> Result<(), OpAbort> {
-        let n = self.num_vars();
-        let start = self.position_of(var);
-        self.gc_keeping(extra);
-        let mut best_size = self.live_nodes();
-        let mut best_pos = start;
-        let limit = |best: usize| (best as f64 * cfg.max_growth) as usize + 2;
-        // Swaps leave garbage behind, and garbage *compounds*: every swap
-        // rebuilds all nodes of the affected levels, dead or alive. A
-        // sweep per swap keeps the work proportional to the live size
-        // (invalidating the computed table is O(1) via its epoch).
-        const GC_STRIDE: usize = 1;
-        let mut since_gc = 0usize;
-
-        let down_first = start >= n / 2;
-        let directions: [bool; 2] = if down_first {
-            [true, false]
-        } else {
-            [false, true]
-        };
-        // On abort we fall through to the park-back loop below before
-        // returning the error, so the order is always left consistent.
-        let mut abort: Option<OpAbort> = None;
-        'exploration: for &down in &directions {
-            loop {
-                let pos = self.position_of(var);
-                if down && pos + 1 >= n {
-                    break;
-                }
-                if !down && pos == 0 {
-                    break;
-                }
-                if let Err(reason) = budget.checkpoint() {
-                    abort = Some(reason);
-                    break 'exploration;
-                }
-                if down {
-                    self.swap_adjacent(pos);
-                } else {
-                    self.swap_adjacent(pos - 1);
-                }
-                since_gc += 1;
-                if since_gc >= GC_STRIDE || self.live_nodes() > limit(best_size) {
-                    self.gc_keeping(extra);
-                    since_gc = 0;
-                }
-                let size = self.live_nodes();
-                if size < best_size {
-                    best_size = size;
-                    best_pos = self.position_of(var);
-                }
-                if size > limit(best_size) {
-                    break;
-                }
-            }
-            self.gc_keeping(extra);
-            since_gc = 0;
-        }
-        // Return to the best position (un-budgeted: at most one sweep).
-        loop {
-            let pos = self.position_of(var);
-            match pos.cmp(&best_pos) {
-                std::cmp::Ordering::Less => self.swap_adjacent(pos),
-                std::cmp::Ordering::Greater => self.swap_adjacent(pos - 1),
-                std::cmp::Ordering::Equal => break,
-            }
-        }
-        self.gc_keeping(extra);
-        match abort {
-            Some(reason) => Err(reason),
-            None => Ok(()),
-        }
+    ) -> Result<usize, OpAbort> {
+        strategy.run(self, budget)
     }
 
     /// Re-order to the given permutation (top first) by adjacent swaps.
@@ -255,6 +207,7 @@ impl Robdd {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::edge::Edge;
 
     fn truth_of(mgr: &Robdd, f: Edge, n: usize) -> Vec<bool> {
         (0..1u32 << n)

@@ -16,9 +16,10 @@
 //! where `B` is one of `bbdd` (default), `robdd`, `par-bbdd`, `par-robdd`.
 
 use bbdd::prelude::*;
+use ddcore::dvo::DvoPolicy;
 use ddcore::govern::OpBudget;
 use logicnet::build::{build_network, try_build_network};
-use logicnet::{blif, verilog, Network};
+use logicnet::{apply_static_order, blif, verilog, Network, StaticOrder};
 use robdd::prelude::*;
 use std::process::ExitCode;
 use synthkit::rewrite::DiagramRewrite;
@@ -42,6 +43,10 @@ struct Options {
     time_limit_ms: Option<u64>,
     /// Node-creation budget for build + sift.
     node_limit: Option<u64>,
+    /// Pre-build static ordering heuristic.
+    static_order: StaticOrder,
+    /// Dynamic-reordering policy installed before the build.
+    dvo: Option<DvoPolicy>,
     bench: Option<String>,
     input: Option<String>,
     output: Option<String>,
@@ -69,7 +74,7 @@ impl Options {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: bbdd-cli [--backend B] [--threads N] [--sift] [--blif] [--dot] [--stats]\n\
-         \x20               [--time-limit MS] [--node-limit N]\n\
+         \x20               [--static-order H] [--dvo S[:P]] [--time-limit MS] [--node-limit N]\n\
          \x20               <input-file> [output-file]\n\
          \x20      bbdd-cli [options] --bench <name> [output-file]\n\
          \n\
@@ -81,6 +86,12 @@ fn usage() -> ExitCode {
          \n\
          --backend B      manager backend: bbdd (default), robdd, par-bbdd, par-robdd\n\
          --threads N      worker threads for the par-* backends (default: BBDD_THREADS or 4)\n\
+         --static-order H pre-build structural ordering: none (default, file order),\n\
+         \x20                fanin (output-cone DFS) or force (hypergraph placement)\n\
+         --dvo S[:P]      install a dynamic-reordering policy before building.\n\
+         \x20                S: full | window | windowN | pair;  P: never | threshN |\n\
+         \x20                growth | growthF | nodesN (default growth2, e.g.\n\
+         \x20                --dvo pair:growth2, --dvo window3:nodes10000)\n\
          --time-limit MS  wall-clock budget in milliseconds for build + sift; on\n\
          \x20                expiry, print partial stats and exit with status 3\n\
          --node-limit N   node-creation budget for build + sift; same abort behavior"
@@ -102,6 +113,8 @@ fn parse_args() -> Result<Options, ExitCode> {
         stats: false,
         time_limit_ms: None,
         node_limit: None,
+        static_order: StaticOrder::None,
+        dvo: None,
         bench: None,
         input: None,
         output: None,
@@ -126,6 +139,14 @@ fn parse_args() -> Result<Options, ExitCode> {
             },
             "--node-limit" => match args.next().and_then(|n| n.parse::<u64>().ok()) {
                 Some(n) => opts.node_limit = Some(n),
+                None => return Err(usage()),
+            },
+            "--static-order" => match args.next().and_then(|s| s.parse::<StaticOrder>().ok()) {
+                Some(h) => opts.static_order = h,
+                None => return Err(usage()),
+            },
+            "--dvo" => match args.next().and_then(|s| s.parse::<DvoPolicy>().ok()) {
+                Some(p) => opts.dvo = Some(p),
                 None => return Err(usage()),
             },
             "--sift" => opts.sift = true,
@@ -171,6 +192,23 @@ fn load(opts: &Options) -> Result<Network, String> {
 /// `tag` labels the log lines with the selected backend.
 fn run<M: DiagramRewrite>(mgr: &M, net: &Network, opts: &Options, tag: &str) -> ExitCode {
     let mut budget = opts.budget();
+    // Static ordering and the dynamic-reordering policy both install
+    // before the first node is built: the heuristic sets the initial
+    // order, the policy arms the adaptive schedule the build's collection
+    // gates poll.
+    if opts.static_order != StaticOrder::None {
+        match apply_static_order(mgr, net, opts.static_order) {
+            Some(ord) => eprintln!("[{tag}] static order ({}): {ord:?}", opts.static_order),
+            None => eprintln!(
+                "[{tag}] --static-order {} ignored: this backend does not reorder",
+                opts.static_order
+            ),
+        }
+    }
+    if let Some(policy) = opts.dvo {
+        mgr.set_reorder_policy(Some(policy));
+        eprintln!("[{tag}] dvo policy: {policy}");
+    }
     let t0 = std::time::Instant::now();
     // The builder returns owned handles: the outputs are registered GC
     // roots from here on, so collection and sifting need no root lists.
@@ -199,8 +237,12 @@ fn run<M: DiagramRewrite>(mgr: &M, net: &Network, opts: &Options, tag: &str) -> 
     mgr.gc();
     let build_s = t0.elapsed().as_secs_f64();
     eprintln!(
-        "[{tag}] built: {} nodes in {build_s:.3}s (file variable order)",
-        mgr.shared_node_count(&roots)
+        "[{tag}] built: {} nodes in {build_s:.3}s ({} variable order)",
+        mgr.shared_node_count(&roots),
+        match opts.static_order {
+            StaticOrder::None => "file".to_string(),
+            h => h.to_string(),
+        },
     );
 
     if opts.sift {

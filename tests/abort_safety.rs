@@ -35,11 +35,16 @@ const ROWS: u32 = 32;
 
 trait Diagnostics: FunctionManager {
     fn validate_all(&self) -> Result<(), String>;
+    /// Scheduled (policy-fired) reorders so far, aborted ones included.
+    fn scheduled_reorders(&self) -> u64;
 }
 
 impl Diagnostics for BbddManager {
     fn validate_all(&self) -> Result<(), String> {
         self.backend().validate()
+    }
+    fn scheduled_reorders(&self) -> u64 {
+        self.backend().scheduled_reorders()
     }
 }
 
@@ -47,17 +52,26 @@ impl Diagnostics for RobddManager {
     fn validate_all(&self) -> Result<(), String> {
         self.backend().validate()
     }
+    fn scheduled_reorders(&self) -> u64 {
+        self.backend().scheduled_reorders()
+    }
 }
 
 impl Diagnostics for ParBbddManager {
     fn validate_all(&self) -> Result<(), String> {
         self.backend().inner().validate()
     }
+    fn scheduled_reorders(&self) -> u64 {
+        self.backend().inner().scheduled_reorders()
+    }
 }
 
 impl Diagnostics for ParRobddManager {
     fn validate_all(&self) -> Result<(), String> {
         self.backend().inner().validate()
+    }
+    fn scheduled_reorders(&self) -> u64 {
+        self.backend().inner().scheduled_reorders()
     }
 }
 
@@ -371,6 +385,159 @@ fn bounded_sift_fault_injection_bbdd() {
 #[test]
 fn bounded_sift_fault_injection_robdd() {
     sift_sweep(|| RobddManager::with_vars(NV));
+}
+
+// ── Scheduled reorders inside a governed network build ───────────────────
+
+/// A deterministic random netlist big enough to cross the builder's
+/// 1024-gate collection gate — the only place `try_build_network` can
+/// fire a scheduled reorder.
+fn long_netlist() -> logicnet::Network {
+    use logicnet::{GateOp, Network};
+    let mut net = Network::new("long");
+    let mut sigs: Vec<_> = (0..NV).map(|i| net.add_input(&format!("x{i}"))).collect();
+    let mut state = 0x5EEDu64;
+    for _ in 0..1100 {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let a = sigs[(state >> 11) as usize % sigs.len()];
+        let b = sigs[(state >> 33) as usize % sigs.len()];
+        let op = match (state >> 50) % 4 {
+            0 => GateOp::And,
+            1 => GateOp::Or,
+            2 => GateOp::Xor,
+            _ => GateOp::Nand,
+        };
+        sigs.push(net.add_gate(op, &[a, b]));
+    }
+    net.set_output("y", *sigs.last().unwrap());
+    net.set_output("z", sigs[NV + 700]);
+    net.check().unwrap();
+    net
+}
+
+/// Arm ONLY the DVO schedule (gc_threshold stays 0, so the op-boundary
+/// latch never fires): the one reorder opportunity is the budgeted
+/// `try_collect` gate at gate 1024 of `try_build_network`. Meter a clean
+/// governed build, prove the schedule fired there, then binary-search the
+/// injection point that lands the abort *inside* the scheduled sift and
+/// check the full consistency bundle at and after it.
+fn scheduled_build_abort_sweep<M: Diagnostics>(make: impl Fn() -> M) {
+    use logicnet::build::try_build_network;
+
+    let net = long_netlist();
+    let policy: ddcore::dvo::DvoPolicy = "full:thresh1".parse().expect("policy literal");
+
+    // Metering run: the governed build completes and the schedule fired
+    // exactly once, at the single 1024-gate boundary.
+    let mgr = make();
+    mgr.set_reorder_policy(Some(policy));
+    let mut meter = metering_budget();
+    let outs = try_build_network(&mgr, &net, &mut meter).expect("metering build must complete");
+    let n = meter.used();
+    assert!(n > 0, "build must pass checkpoints");
+    assert_eq!(
+        mgr.scheduled_reorders(),
+        1,
+        "the always-due schedule must fire at the builder's collection gate"
+    );
+    // Reference truth tables from network simulation.
+    for m in 0..ROWS {
+        let v: Vec<bool> = (0..NV).map(|i| (m >> i) & 1 == 1).collect();
+        let expect = net.simulate(&v);
+        for (o, e) in outs.iter().zip(&expect) {
+            assert_eq!(o.eval(&v), *e, "metering build row {m}");
+        }
+    }
+    drop(outs);
+
+    // gates_built at abort is monotone in the injection point; the
+    // smallest k reporting 1024 gates is an abort *at* the collection
+    // gate — i.e. inside the scheduled sift (plain GC passes no
+    // checkpoints).
+    let gates_at = |k: u64| -> Option<usize> {
+        let mgr = make();
+        mgr.set_reorder_policy(Some(policy));
+        let mut budget = metering_budget().inject_cancel_at(k);
+        match try_build_network(&mgr, &net, &mut budget) {
+            Ok(_) => None,
+            Err(aborted) => {
+                assert_eq!(aborted.reason, OpAbort::Cancelled, "k = {k}");
+                Some(aborted.gates_built)
+            }
+        }
+    };
+    let (mut lo, mut hi) = (1u64, n);
+    assert!(gates_at(lo).expect("k=1 must abort") < 1024);
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        match gates_at(mid) {
+            Some(g) if g < 1024 => lo = mid,
+            _ => hi = mid,
+        }
+    }
+    let k_sift = hi;
+
+    // The abort at k_sift and the next few checkpoints land inside (or
+    // just past) the scheduled sift; each must leave a consistent,
+    // reusable manager.
+    for k in [k_sift, k_sift + 1, k_sift + 2, k_sift + 7]
+        .into_iter()
+        .filter(|&k| k <= n)
+    {
+        let mgr = make();
+        mgr.set_reorder_policy(Some(policy));
+        let mut budget = metering_budget().inject_cancel_at(k);
+        let aborted = try_build_network(&mgr, &net, &mut budget)
+            .expect_err("k within the metered range must abort");
+        assert_eq!(aborted.reason, OpAbort::Cancelled, "k = {k}");
+        if k == k_sift {
+            assert_eq!(
+                aborted.gates_built, 1024,
+                "first ≥1024 abort must be at the collection gate (the sift)"
+            );
+            assert_eq!(
+                mgr.scheduled_reorders(),
+                1,
+                "an aborted scheduled sift still consumed its trigger"
+            );
+        }
+        // Consistent order, balanced registry, structurally valid.
+        let mut order = mgr.variable_order();
+        order.sort_unstable();
+        assert_eq!(order, (0..NV).collect::<Vec<_>>(), "order after k = {k}");
+        assert_eq!(mgr.external_roots(), 0, "builder cleanup after k = {k}");
+        mgr.validate_all().expect("structural invariants");
+        mgr.gc();
+        assert_eq!(mgr.live_nodes(), 0, "partial build reclaimed, k = {k}");
+        // The same manager rebuilds the full network correctly.
+        let outs = try_build_network(&mgr, &net, &mut metering_budget())
+            .expect("rebuild after aborted scheduled sift");
+        for m in 0..ROWS {
+            let v: Vec<bool> = (0..NV).map(|i| (m >> i) & 1 == 1).collect();
+            let expect = net.simulate(&v);
+            for (o, e) in outs.iter().zip(&expect) {
+                assert_eq!(o.eval(&v), *e, "rebuild row {m} after k = {k}");
+            }
+        }
+    }
+}
+
+#[test]
+fn scheduled_reorder_abort_inside_governed_build_bbdd() {
+    scheduled_build_abort_sweep(|| BbddManager::with_vars(NV));
+}
+
+#[test]
+fn scheduled_reorder_abort_inside_governed_build_robdd() {
+    scheduled_build_abort_sweep(|| RobddManager::with_vars(NV));
+}
+
+#[test]
+fn scheduled_reorder_abort_inside_governed_build_par() {
+    scheduled_build_abort_sweep(|| ParBbddManager::new(ParBbdd::new(NV, 2)));
+    scheduled_build_abort_sweep(|| ParRobddManager::new(ParRobdd::new(NV, 2)));
 }
 
 // ── Randomized aborts × random ops ───────────────────────────────────────

@@ -1,0 +1,272 @@
+//! The reorder-torture conformance suite for the dynamic-variable-ordering
+//! engine (`ddcore::dvo`): **semantic invariance under every strategy ×
+//! schedule combination**, on all four managers (the parallel pair at
+//! thread counts 1 and 4), proven against 32-entry shadow truth tables —
+//! including scheduled sifts that fire mid-construction and scheduled
+//! sifts that *abort* mid-move under an injected budget.
+//!
+//! Everything runs through the `ddcore::api` trait family only: the same
+//! driver torture-tests `bbdd`, `robdd` and both parallel front-ends, so a
+//! backend can only pass by implementing the whole reorder contract
+//! (policy install, strategy dispatch, scheduled firing, budgeted abort
+//! with order park-back, `set_order`).
+
+use bbdd::prelude::*;
+use ddcore::dvo::{DvoPolicy, DvoStrategy, ReorderSchedule};
+use ddcore::govern::{OpAbort, OpBudget};
+use robdd::prelude::*;
+
+const NV: usize = 5;
+const ROWS: u32 = 32;
+
+/// Truth table of variable `v`: row `m` has variable `v` = bit `v` of `m`.
+fn tt_var(v: usize) -> u32 {
+    let mut t = 0u32;
+    for m in 0..ROWS {
+        if (m >> v) & 1 == 1 {
+            t |= 1 << m;
+        }
+    }
+    t
+}
+
+fn assignment_of(m: u32) -> Vec<bool> {
+    (0..NV).map(|v| (m >> v) & 1 == 1).collect()
+}
+
+/// Every surviving handle must still denote its shadow table, bit by bit.
+fn check_all<F: BooleanFunction>(label: &str, pool: &[(F, u32)]) {
+    for (i, (f, tt)) in pool.iter().enumerate() {
+        for m in 0..ROWS {
+            assert_eq!(
+                f.eval(&assignment_of(m)),
+                (tt >> m) & 1 == 1,
+                "{label}: handle {i} disagrees with its shadow table on row {m}"
+            );
+        }
+        assert_eq!(
+            f.sat_count(),
+            u128::from(tt.count_ones()),
+            "{label}: handle {i} sat_count"
+        );
+    }
+}
+
+/// The variable order must stay a permutation of `0..NV` at all times.
+fn check_order<M: FunctionManager>(label: &str, mgr: &M) {
+    let mut order = mgr.variable_order();
+    order.sort_unstable();
+    assert_eq!(
+        order,
+        (0..NV).collect::<Vec<_>>(),
+        "{label}: order must stay a permutation"
+    );
+}
+
+/// A deterministic entangled workload: literals plus LCG-chosen binary
+/// combinations, kept alive with their shadow tables. Grows enough nodes
+/// to give growth/creation schedules something to fire on.
+fn workload<M: FunctionManager>(mgr: &M, rounds: usize) -> Vec<(M::Function, u32)> {
+    let mut pool: Vec<(M::Function, u32)> = Vec::new();
+    for v in 0..NV {
+        pool.push((mgr.var(v), tt_var(v)));
+    }
+    let mut state = 0xD1CE_5EEDu64;
+    for _ in 0..rounds {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let i = (state >> 18) as usize % pool.len();
+        let j = (state >> 34) as usize % pool.len();
+        let (f, tf) = (&pool[i].0, pool[i].1);
+        let (g, tg) = (&pool[j].0, pool[j].1);
+        let (h, th) = match (state >> 50) % 4 {
+            0 => (f.and(g), tf & tg),
+            1 => (f.or(g), tf | tg),
+            2 => (f.xor(g), tf ^ tg),
+            _ => (f.xnor(g), !(tf ^ tg)),
+        };
+        pool.push((h, th));
+        // The documented collection gate generic drivers poll — a due
+        // scheduled reorder fires here, mid-workload.
+        if pool.len() % 7 == 0 {
+            mgr.collect();
+        }
+    }
+    pool
+}
+
+const STRATEGIES: [DvoStrategy; 4] = [
+    DvoStrategy::Full,
+    DvoStrategy::Window(1),
+    DvoStrategy::Window(2),
+    DvoStrategy::Pair,
+];
+
+fn schedules() -> [ReorderSchedule; 4] {
+    [
+        ReorderSchedule::Never,
+        ReorderSchedule::NodeThreshold(24),
+        ReorderSchedule::GrowthFactor(1.5),
+        ReorderSchedule::EveryCreations(64),
+    ]
+}
+
+/// One strategy × schedule cell: install the policy, run the entangled
+/// workload with collection gates, reorder explicitly, install an
+/// adversarial static order — the truth tables must survive all of it.
+fn torture_cell<M: FunctionManager>(mgr: &M, policy: DvoPolicy) {
+    let label = format!("policy {policy}");
+    mgr.set_reorder_policy(Some(policy));
+    assert_eq!(mgr.reorder_policy(), Some(policy), "{label}: install");
+    // The GC latch boundary is the schedule's in-operation firing point.
+    mgr.set_gc_threshold(16);
+
+    let pool = workload(mgr, 40);
+    check_all(&label, &pool);
+    check_order(&label, mgr);
+
+    // Explicit reorder runs the installed policy's strategy.
+    let n = mgr
+        .reorder()
+        .expect("all four managers support dynamic reordering");
+    assert_eq!(n, mgr.live_nodes(), "{label}: reorder reports live count");
+    check_all(&format!("{label} after explicit reorder"), &pool);
+    check_order(&label, mgr);
+
+    // An adversarial static order (reversed) must also preserve handles.
+    let reversed: Vec<usize> = (0..NV).rev().collect();
+    assert!(mgr.set_order(&reversed), "{label}: set_order supported");
+    check_all(&format!("{label} after reversed set_order"), &pool);
+    check_order(&label, mgr);
+
+    // And every *other* strategy must be runnable over the same diagram
+    // regardless of the installed policy.
+    for strategy in STRATEGIES {
+        mgr.reorder_with(strategy)
+            .expect("strategy dispatch supported");
+        check_all(&format!("{label} after reorder_with {strategy}"), &pool);
+        check_order(&label, mgr);
+    }
+
+    drop(pool);
+    mgr.set_reorder_policy(None);
+    assert_eq!(mgr.reorder_policy(), None, "{label}: clear");
+    mgr.gc();
+    assert_eq!(mgr.external_roots(), 0, "{label}: registry drains");
+    assert_eq!(mgr.live_nodes(), 0, "{label}: no leaked nodes");
+}
+
+/// Budget-aborted sifts: explicit `try_reorder_with` at several injected
+/// checkpoints, and a *scheduled* sift aborted inside the governed
+/// collection gate. On every abort the order is consistent, every handle
+/// still evaluates correctly and the manager stays fully usable.
+fn abort_cell<M: FunctionManager>(mgr: &M, strategy: DvoStrategy) {
+    let label = format!("abort {strategy}");
+    let pool = workload(mgr, 30);
+
+    for checkpoint in [1u64, 2, 3, 5, 8] {
+        let mut budget = OpBudget::unlimited().inject_cancel_at(checkpoint);
+        match mgr.try_reorder_with(strategy, &mut budget) {
+            Some(Err(OpAbort::Cancelled)) => {}
+            Some(Ok(_)) => {} // strategy finished before the checkpoint
+            other => panic!("{label}: unexpected result {other:?}"),
+        }
+        check_order(&format!("{label} checkpoint {checkpoint}"), mgr);
+        check_all(&format!("{label} checkpoint {checkpoint}"), &pool);
+    }
+
+    // Scheduled firing through the governed gate: arm an immediately-due
+    // schedule, then collect under a budget that dies at the first
+    // checkpoint. try_collect must surface the abort, consume the trigger
+    // (no re-fire storm) and leave everything consistent.
+    mgr.set_reorder_policy(Some(DvoPolicy {
+        strategy,
+        schedule: ReorderSchedule::NodeThreshold(1),
+    }));
+    let mut budget = OpBudget::unlimited().inject_cancel_at(1);
+    match mgr.try_collect(&mut budget) {
+        Err(OpAbort::Cancelled) => {}
+        Ok(_) => panic!("{label}: a due scheduled sift must hit the injected cancel"),
+        Err(other) => panic!("{label}: wrong abort reason {other}"),
+    }
+    check_order(&format!("{label} scheduled abort"), mgr);
+    check_all(&format!("{label} scheduled abort"), &pool);
+    // The trigger was consumed: the next governed gate must not re-fire
+    // immediately (the workload has not grown since).
+    assert_eq!(
+        mgr.try_collect(&mut OpBudget::unlimited()),
+        Ok(false),
+        "{label}: aborted scheduled sift must consume its trigger"
+    );
+    // An unbudgeted reorder completes and the handles still check out.
+    mgr.reorder().expect("reorder after aborted schedule");
+    check_all(&format!("{label} post-abort reorder"), &pool);
+
+    drop(pool);
+    mgr.set_reorder_policy(None);
+    mgr.gc();
+    assert_eq!(mgr.external_roots(), 0, "{label}: registry drains");
+    assert_eq!(mgr.live_nodes(), 0, "{label}: no leaked nodes");
+}
+
+macro_rules! dvo_suite {
+    ($($name:ident => $mk:expr;)*) => {$(
+        mod $name {
+            use super::*;
+
+            #[test]
+            fn every_strategy_times_schedule_preserves_semantics() {
+                for strategy in STRATEGIES {
+                    for schedule in schedules() {
+                        let mgr = $mk;
+                        torture_cell(&mgr, DvoPolicy { strategy, schedule });
+                    }
+                }
+            }
+
+            #[test]
+            fn aborted_sifts_leave_a_consistent_manager() {
+                for strategy in STRATEGIES {
+                    let mgr = $mk;
+                    abort_cell(&mgr, strategy);
+                }
+            }
+        }
+    )*};
+}
+
+fn par_bbdd(threads: usize) -> ParBbddManager {
+    ParBbddManager::new(ParBbdd::with_config(
+        NV,
+        bbdd::ParConfig {
+            threads,
+            cutoff: 0,
+            split_depth: Some(2),
+            cache_ways: 1 << 10,
+            shards: 8,
+        },
+    ))
+}
+
+fn par_robdd(threads: usize) -> ParRobddManager {
+    ParRobddManager::new(ParRobdd::with_config(
+        NV,
+        robdd::ParConfig {
+            threads,
+            cutoff: 0,
+            split_depth: Some(2),
+            cache_ways: 1 << 10,
+            shards: 8,
+        },
+    ))
+}
+
+dvo_suite! {
+    bbdd_dvo => BbddManager::with_vars(NV);
+    robdd_dvo => RobddManager::with_vars(NV);
+    par_bbdd_dvo_t1 => par_bbdd(1);
+    par_bbdd_dvo_t4 => par_bbdd(4);
+    par_robdd_dvo_t1 => par_robdd(1);
+    par_robdd_dvo_t4 => par_robdd(4);
+}

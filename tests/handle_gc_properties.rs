@@ -2,11 +2,15 @@
 //! the unified `ddcore::api` trait layer, on all four managers.
 //!
 //! A random script interleaves function construction, handle clones and
-//! drops, explicit collections and a forced automatic-GC latch
-//! (`gc_threshold = 4`), while every live handle carries a 32-entry shadow
-//! truth table. Invariants, per manager:
+//! drops, explicit collections, a forced automatic-GC latch
+//! (`gc_threshold = 4`) and **randomly-triggered scheduled reorders**
+//! (random `DvoPolicy` installs plus collection gates and explicit
+//! reorders that fire them), while every live handle carries a 32-entry
+//! shadow truth table. Invariants, per manager:
 //!
-//! * every surviving handle still denotes its shadow table;
+//! * every surviving handle still denotes its shadow table — re-checked
+//!   immediately after every reorder opportunity, not just at the end;
+//! * the variable order stays a permutation through every reorder;
 //! * after a collection, `live_nodes` equals exactly the nodes reachable
 //!   from the registered handles;
 //! * once every handle drops, the manager returns to the sink-only
@@ -17,6 +21,7 @@
 //! now runs on `M: FunctionManager` directly.
 
 use bbdd::prelude::*;
+use ddcore::dvo::{DvoPolicy, DvoStrategy, ReorderSchedule};
 use proptest::prelude::*;
 use robdd::prelude::*;
 
@@ -102,6 +107,52 @@ fn vars_of_mask(mask: u8) -> Vec<usize> {
     (0..NV).filter(|v| (mask >> v) & 1 == 1).collect()
 }
 
+/// Decode a random reorder policy from two script bytes.
+fn policy_of(a: u8, b: u8) -> DvoPolicy {
+    let strategy = match a % 4 {
+        0 => DvoStrategy::Full,
+        1 => DvoStrategy::Window(1),
+        2 => DvoStrategy::Window(2),
+        _ => DvoStrategy::Pair,
+    };
+    let schedule = match b % 4 {
+        0 => ReorderSchedule::Never,
+        1 => ReorderSchedule::NodeThreshold(8),
+        2 => ReorderSchedule::GrowthFactor(1.5),
+        _ => ReorderSchedule::EveryCreations(32),
+    };
+    DvoPolicy { strategy, schedule }
+}
+
+/// The post-reorder invariants: permutation order, exact truth tables on
+/// every surviving handle, balanced registry (PR 4 leak check: the live
+/// set is exactly what the registry reaches).
+fn check_after_reorder<M: Diagnostics>(mgr: &M, slots: &[(M::Function, u32)]) {
+    let mut order = mgr.variable_order();
+    order.sort_unstable();
+    prop_assert_eq!(order, (0..NV).collect::<Vec<_>>(), "order permutation");
+    mgr.validate_all().unwrap();
+    for (idx, (f, tt)) in slots.iter().enumerate() {
+        for m in 0..32u32 {
+            let v: Vec<bool> = (0..NV).map(|i| (m >> i) & 1 == 1).collect();
+            prop_assert_eq!(
+                f.eval(&v),
+                (tt >> m) & 1 == 1,
+                "post-reorder slot {} assignment {}",
+                idx,
+                m
+            );
+        }
+    }
+    let handles: Vec<M::Function> = slots.iter().map(|(f, _)| f.clone()).collect();
+    mgr.gc();
+    prop_assert_eq!(
+        mgr.shared_node_count(&handles),
+        mgr.live_nodes(),
+        "post-reorder live nodes != nodes reachable from the registry"
+    );
+}
+
 /// Run a script on one manager, checking semantics and accounting.
 fn run_script<M: Diagnostics>(mgr: &M, steps: &[Step]) {
     // Force the automatic GC: latch at 4 live nodes, collect at every
@@ -111,7 +162,7 @@ fn run_script<M: Diagnostics>(mgr: &M, steps: &[Step]) {
     let mut slots: Vec<(M::Function, u32)> = Vec::new();
     for &(kind, a, b, c) in steps {
         let pick = |x: u8, len: usize| x as usize % len;
-        match kind % 9 {
+        match kind % 12 {
             0 => {
                 let v = a as usize % NV;
                 slots.push((mgr.var(v), tt_var(v)));
@@ -170,6 +221,21 @@ fn run_script<M: Diagnostics>(mgr: &M, steps: &[Step]) {
             }
             8 => {
                 mgr.gc();
+            }
+            9 => {
+                // Install (or, on repeat, replace) a random reorder policy:
+                // subsequent op boundaries and collect() gates may now fire
+                // scheduled sifts at random points of the script.
+                mgr.set_reorder_policy(Some(policy_of(a, b)));
+            }
+            10 => {
+                // The generic drivers' collection gate — where a due
+                // scheduled reorder fires.
+                mgr.collect();
+                check_after_reorder(mgr, &slots);
+            }
+            11 if mgr.reorder().is_some() => {
+                check_after_reorder(mgr, &slots);
             }
             _ => {}
         }
@@ -249,7 +315,7 @@ proptest! {
     #[test]
     fn bbdd_interleaved_handles_and_auto_gc(
         steps in proptest::collection::vec(
-            (0u8..9, any::<u8>(), any::<u8>(), any::<u8>()), 1..48)
+            (0u8..12, any::<u8>(), any::<u8>(), any::<u8>()), 1..48)
     ) {
         run_script(&BbddManager::with_vars(NV), &steps);
     }
@@ -257,7 +323,7 @@ proptest! {
     #[test]
     fn robdd_interleaved_handles_and_auto_gc(
         steps in proptest::collection::vec(
-            (0u8..9, any::<u8>(), any::<u8>(), any::<u8>()), 1..48)
+            (0u8..12, any::<u8>(), any::<u8>(), any::<u8>()), 1..48)
     ) {
         run_script(&RobddManager::with_vars(NV), &steps);
     }
@@ -265,7 +331,7 @@ proptest! {
     #[test]
     fn par_bbdd_interleaved_handles_and_auto_gc(
         steps in proptest::collection::vec(
-            (0u8..9, any::<u8>(), any::<u8>(), any::<u8>()), 1..32)
+            (0u8..12, any::<u8>(), any::<u8>(), any::<u8>()), 1..32)
     ) {
         for threads in [1usize, 4] {
             run_script(&par_bbdd(threads), &steps);
@@ -275,7 +341,7 @@ proptest! {
     #[test]
     fn par_robdd_interleaved_handles_and_auto_gc(
         steps in proptest::collection::vec(
-            (0u8..9, any::<u8>(), any::<u8>(), any::<u8>()), 1..32)
+            (0u8..12, any::<u8>(), any::<u8>(), any::<u8>()), 1..32)
     ) {
         for threads in [1usize, 4] {
             run_script(&par_robdd(threads), &steps);
