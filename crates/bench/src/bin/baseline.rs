@@ -163,8 +163,32 @@ fn main() {
         "open_tables"
     };
 
+    // Host/build provenance, so a baseline JSON is interpretable on its
+    // own: thread count, table variant, toolchain and source revision.
+    let host_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let run_cmd = |cmd: &str, args: &[&str]| -> String {
+        std::process::Command::new(cmd)
+            .args(args)
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string())
+    };
+    let git_rev = run_cmd("git", &["rev-parse", "--short", "HEAD"]);
+    let rustc_version = run_cmd("rustc", &["--version"]);
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "  \"meta\": {{\"host_threads\": {host_threads}, \"table_variant\": \"{variant}\", \
+         \"git_rev\": \"{git_rev}\", \"rustc\": \"{rustc_version}\"}},"
+    );
     let _ = writeln!(json, "  \"variant\": \"{variant}\",");
 
     // Quick Table-I subset: build + sift, both packages.

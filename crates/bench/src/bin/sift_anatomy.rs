@@ -1,12 +1,22 @@
 //! Scratch measurement: decompose robdd sift cost on one benchmark into
 //! swap work vs. per-swap GC work (root-causing the misex1 open-table
-//! sift regression). Usage:
+//! sift regression), measured through the `ddcore::obs` profiler — the
+//! same log2-latency histograms behind the CLI's `--profile` report —
+//! instead of ad-hoc `Instant` bookkeeping. Usage:
 //!   cargo run --release -p bbdd-bench --bin sift_anatomy [bench-name]
 //!   cargo run --release -p bbdd-bench --bin sift_anatomy --features chained_tables ...
 
 use ddcore::api::FunctionManager;
+use ddcore::obs;
 use logicnet::build::build_network;
-use std::time::Instant;
+
+/// Mean recorded latency of `op` in the snapshot, in nanoseconds.
+fn mean_ns(s: &obs::ProfileSnapshot, op: obs::Op) -> f64 {
+    s.ops
+        .iter()
+        .find(|r| r.op == op)
+        .map_or(0.0, |r| r.total_ns as f64 / r.count.max(1) as f64)
+}
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "misex1".into());
@@ -17,52 +27,55 @@ fn main() {
     };
     let net = benchgen::mcnc::generate(&name).expect("known benchmark");
     let n = net.num_inputs();
+    obs::set_profile_enabled(true);
 
-    // Reference sift time.
-    let mut best_sift = f64::MAX;
+    // Phase 1 — whole sifts: the Reorder histogram over 7 fresh managers
+    // gives the reference per-sift latency (p50 of the log2 buckets
+    // stands in for the old best-of-reps minimum).
+    obs::profile_reset();
     for _ in 0..7 {
         let mgr = robdd::RobddManager::with_vars(n);
         let _roots = build_network(&mgr, &net); // handles: registry roots
-        let t = Instant::now();
         mgr.reorder();
-        best_sift = best_sift.min(t.elapsed().as_secs_f64());
     }
+    let sift_phase = obs::profile_snapshot();
+    let sift_ns = mean_ns(&sift_phase, obs::Op::Reorder);
 
-    // Swap-only walk (no GC besides what swap itself does): sweep every
-    // variable down and back up once, repeated. The raw manager is driven
-    // directly through the backend escape hatch; the output handles stay
-    // registered roots throughout.
+    // Phase 2 — swap-only walk (no GC besides what swap itself does):
+    // sweep every variable down and back up, repeated. The raw manager is
+    // driven through the backend escape hatch; the profiler's Swap
+    // histogram replaces the stopwatch.
     let mgr = robdd::RobddManager::with_vars(n);
     let _roots = build_network(&mgr, &net);
     let mut mgr = mgr.backend_mut();
     mgr.gc();
     let reps = 200;
-    let t = Instant::now();
-    let mut swaps = 0u64;
+    obs::profile_reset();
     for _ in 0..reps {
         for p in 0..n - 1 {
             mgr.swap_adjacent(p);
-            swaps += 1;
         }
         for p in (0..n - 1).rev() {
             mgr.swap_adjacent(p);
-            swaps += 1;
         }
     }
-    let swap_ns = t.elapsed().as_secs_f64() * 1e9 / swaps as f64;
+    let swap_phase = obs::profile_snapshot();
+    let swap_ns = mean_ns(&swap_phase, obs::Op::Swap);
 
-    // GC-only: same diagram, repeated collections (nothing dies after the
-    // first), measuring the fixed sweep cost.
+    // Phase 3 — GC-only: same diagram, repeated collections (nothing dies
+    // after the first), isolating the fixed sweep cost via the Gc span
+    // histogram.
     mgr.gc();
-    let t = Instant::now();
-    let gcs = 4000u64;
-    for _ in 0..gcs {
+    obs::profile_reset();
+    for _ in 0..4000 {
         mgr.gc();
     }
-    let gc_ns = t.elapsed().as_secs_f64() * 1e9 / gcs as f64;
+    let gc_phase = obs::profile_snapshot();
+    let gc_ns = mean_ns(&gc_phase, obs::Op::Gc);
 
-    // Swap + per-swap GC (the sift inner loop shape).
-    let t = Instant::now();
+    // Phase 4 — swap + per-swap GC (the sift inner loop shape); the sum
+    // of both ops' totals over the shared call count is the pair cost.
+    obs::profile_reset();
     let mut both = 0u64;
     for _ in 0..reps {
         for p in 0..n - 1 {
@@ -76,7 +89,14 @@ fn main() {
             both += 1;
         }
     }
-    let both_ns = t.elapsed().as_secs_f64() * 1e9 / both as f64;
+    let pair_phase = obs::profile_snapshot();
+    let both_ns = pair_phase
+        .ops
+        .iter()
+        .filter(|r| matches!(r.op, obs::Op::Swap | obs::Op::Gc))
+        .map(|r| r.total_ns)
+        .sum::<u64>() as f64
+        / both.max(1) as f64;
 
     let ts = mgr.table_stats();
     println!(
@@ -84,10 +104,16 @@ fn main() {
          gc {gc_ns:.0} ns | swap+gc {both_ns:.0} ns | avg_probe {:.2} resizes {} \
          rearr {} batched_repairs {}",
         mgr.live_nodes(),
-        best_sift * 1e6,
+        sift_ns / 1e3,
         ts.avg_probe_length(),
         ts.resizes,
         ts.rearrangements,
         ts.batched_repairs,
     );
+    // The per-phase breakdown, in the same report format as `--profile`.
+    println!(
+        "-- whole-sift phase --\n{}",
+        obs::format_profile(&sift_phase)
+    );
+    println!("-- swap+gc phase --\n{}", obs::format_profile(&pair_phase));
 }

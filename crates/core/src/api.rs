@@ -298,6 +298,14 @@ impl RawManager for Bbdd {
             s.peak_live_nodes
         )
     }
+
+    fn observe(&self) -> ddcore::MetricsSnapshot {
+        self.metrics_snapshot()
+    }
+
+    fn note_governed(&mut self, checkpoints: u64, abort: Option<OpAbort>) {
+        self.govern.note(checkpoints, abort);
+    }
 }
 
 impl Bbdd {
@@ -583,6 +591,27 @@ impl RawManager for ParBbdd {
             p.ops_sequential,
             p.tasks_executed
         )
+    }
+
+    fn observe(&self) -> ddcore::MetricsSnapshot {
+        let mut m = ddcore::MetricsSnapshot::new("par-bbdd");
+        let p = self.par_stats();
+        // One unified cache.* section: the lock-free concurrent cache's
+        // counters are folded into the inner sequential cache's.
+        self.inner().fill_metrics(&mut m, Some(p.cache));
+        m.counter("par.ops_parallel", p.ops_parallel);
+        m.counter("par.ops_sequential", p.ops_sequential);
+        m.counter("par.tasks_executed", p.tasks_executed);
+        m.counter("par.tasks_stolen", p.tasks_stolen);
+        m.counter("par.recursions", p.par_recursions);
+        m.counter("par.nodes_imported", p.nodes_imported);
+        m.counter("par.overlay_nodes", p.overlay_nodes);
+        m.counter("par.shard_contention", p.shard_contention);
+        m
+    }
+
+    fn note_governed(&mut self, checkpoints: u64, abort: Option<OpAbort>) {
+        self.inner_mut().govern.note(checkpoints, abort);
     }
 }
 

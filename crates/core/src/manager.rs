@@ -115,6 +115,9 @@ pub struct Bbdd {
     /// The automatic-GC latch + collection generation (shared shape with
     /// the ROBDD manager; see [`ddcore::roots::GcLatch`]).
     gc_latch: ddcore::roots::GcLatch,
+    /// Governed-operation accounting (the `govern.*` metrics section),
+    /// fed by the generic handle layer via `RawManager::note_governed`.
+    pub(crate) govern: ddcore::obs::GovernCounters,
 }
 
 impl Bbdd {
@@ -150,6 +153,7 @@ impl Bbdd {
             roots: RootSet::new(),
             root_scratch: Vec::new(),
             gc_latch: ddcore::roots::GcLatch::default(),
+            govern: ddcore::obs::GovernCounters::default(),
         }
     }
 
@@ -240,6 +244,67 @@ impl Bbdd {
         s.cache_hits = c.hits;
         s.cache_evictions = c.evictions;
         s
+    }
+
+    /// One uniform [`ddcore::MetricsSnapshot`] over every counter the
+    /// manager maintains: node/op/cache/table/GC/roots/DVO/govern
+    /// sections under the registry's stable dotted names. This is what
+    /// `RawManager::observe` (and therefore the handle layer's
+    /// `metrics()`) returns for this backend.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> ddcore::MetricsSnapshot {
+        let mut m = ddcore::MetricsSnapshot::new("bbdd");
+        self.fill_metrics(&mut m, None);
+        m
+    }
+
+    /// Fill `m` with this manager's sections. The Par front-end passes its
+    /// lock-free cache counters as `par_cache` so the `cache.*` section
+    /// stays one unified tree (sequential + concurrent lookups summed,
+    /// tear misses appearing only when a concurrent cache exists).
+    pub(crate) fn fill_metrics(
+        &self,
+        m: &mut ddcore::MetricsSnapshot,
+        par_cache: Option<ddcore::AtomicCacheStats>,
+    ) {
+        let s = self.stats();
+        let c = self.cache.stats();
+        let t = self.table_stats();
+        m.gauge("nodes.live", self.live_nodes() as u64);
+        m.gauge("nodes.peak", s.peak_live_nodes as u64);
+        m.counter("nodes.created", s.nodes_created);
+        m.counter("ops.apply", s.apply_calls);
+        m.counter("ops.ite", s.ite_calls);
+        m.counter("ops.quant", s.quant_calls);
+        m.counter("ops.compose", s.compose_calls);
+        m.counter("ops.nary", s.nary_calls);
+        m.counter("ops.swaps", s.swaps);
+        let pc = par_cache.unwrap_or_default();
+        m.counter("cache.lookups", c.lookups + pc.lookups);
+        m.counter("cache.hits", c.hits + pc.hits);
+        m.counter("cache.misses", c.misses() + pc.misses());
+        m.counter("cache.inserts", c.inserts + pc.inserts);
+        m.counter("cache.evictions", c.evictions);
+        m.counter("cache.invalidations", c.invalidations + pc.invalidations);
+        if par_cache.is_some() {
+            m.counter("cache.tear_misses", pc.tear_misses);
+        }
+        m.counter("table.lookups", t.lookups);
+        m.counter("table.probes", t.probes);
+        m.counter("table.hits", t.hits);
+        m.counter("table.resizes", t.resizes);
+        m.counter("table.rearrangements", t.rearrangements);
+        m.counter("table.tombstone_repairs", t.batched_repairs);
+        m.counter("gc.runs", s.gc_runs);
+        m.counter("gc.nodes_freed", s.nodes_freed);
+        m.counter("gc.latch_firings", self.gc_latch.firings());
+        let (registered, retained, released) = self.roots.traffic();
+        m.gauge("roots.live", self.roots.len() as u64);
+        m.counter("roots.registered", registered);
+        m.counter("roots.retained", retained);
+        m.counter("roots.released", released);
+        m.counter("dvo.reorders", self.dvo.reorders());
+        self.govern.fill(m);
     }
 
     /// A stable identifier of the node an edge points to (`None` for the
@@ -365,6 +430,12 @@ impl Bbdd {
             return Ok(false);
         }
         let strategy = self.dvo.strategy().expect("due implies a policy");
+        // Scheduled-sift firing marker; the strategy's own Reorder span
+        // (opened in `ddcore::dvo`) carries the duration and result.
+        ddcore::obs::event(
+            ddcore::obs::Op::Reorder,
+            Some(("scheduled", self.dvo.reorders() + 1)),
+        );
         let res = self.sift_strategy(strategy, budget);
         let (live, created) = (self.live_nodes(), self.stats.nodes_created);
         self.dvo.note_reorder(live, created);
@@ -572,6 +643,7 @@ impl Bbdd {
     /// shims). The registry lock is *not* held across the trace — see the
     /// reentrancy rule in [`ddcore::roots`].
     pub(crate) fn gc_keeping(&mut self, extra: &[Edge]) -> usize {
+        let mut span = ddcore::obs::span(ddcore::obs::Op::Gc);
         self.stats.gc_runs += 1;
         self.gc_latch.note_collection();
         // Mark, starting from the registry snapshot + extra roots.
@@ -621,6 +693,7 @@ impl Bbdd {
         }
         self.cache.invalidate();
         self.stats.nodes_freed += freed as u64;
+        span.set_arg("freed", freed as u64);
         freed
     }
 

@@ -1364,6 +1364,8 @@ impl ParBbdd {
         let results: Vec<AtomicU64> = tasks.iter().map(|_| AtomicU64::new(0)).collect();
         let recursions = AtomicU64::new(0);
         let fj = {
+            let mut phase = ddcore::obs::span(ddcore::obs::Op::ParPhase);
+            phase.set_arg("tasks", tasks.len() as u64);
             let ctx = PCtx {
                 base: &self.inner,
                 base_len,
@@ -1392,6 +1394,7 @@ impl ParBbdd {
         // Deterministic commit: import each leaf result (depth-first over
         // the canonical overlay graph, fixed task order), then resolve the
         // combine tree.
+        let mut commit = ddcore::obs::span(ddcore::obs::Op::ParCommit);
         let mut memo: FxHashMap<u32, Edge> = FxHashMap::default();
         let leaf_edges: Vec<Edge> = results
             .iter()
@@ -1401,6 +1404,7 @@ impl ParBbdd {
             })
             .collect();
         self.stats.nodes_imported += memo.len() as u64;
+        commit.set_arg("imported", memo.len() as u64);
         self.resolve(plan, &leaf_edges)
     }
 
@@ -1489,6 +1493,8 @@ impl ParBbdd {
         let results: Vec<AtomicU64> = tasks.iter().map(|_| AtomicU64::new(0)).collect();
         let recursions = AtomicU64::new(0);
         let (fj, stopped) = {
+            let mut phase = ddcore::obs::span(ddcore::obs::Op::ParPhase);
+            phase.set_arg("tasks", tasks.len() as u64);
             let ctx = PCtx {
                 base: &self.inner,
                 base_len,
@@ -1529,6 +1535,7 @@ impl ParBbdd {
                 .should_stop(u64::from(self.arena.len()))
                 .unwrap_or(OpAbort::Cancelled));
         }
+        let mut commit = ddcore::obs::span(ddcore::obs::Op::ParCommit);
         let mut memo: FxHashMap<u32, Edge> = FxHashMap::default();
         let mut leaf_edges: Vec<Edge> = Vec::with_capacity(results.len());
         let mut abort: Option<OpAbort> = None;
@@ -1551,6 +1558,7 @@ impl ParBbdd {
         if let Some(reason) = abort {
             return Err(reason);
         }
+        commit.set_arg("imported", memo.len() as u64);
         self.try_resolve(plan, &leaf_edges, budget)
     }
 

@@ -188,6 +188,7 @@ impl Bbdd {
 
     /// Swap the PVs of bottom-based levels `lo+1` and `lo`.
     pub(crate) fn swap_levels(&mut self, lo: u16) {
+        let timer = ddcore::obs::prof_timer();
         let l0 = lo;
         let l1 = lo + 1;
         assert!((l1 as usize) < self.num_vars());
@@ -226,6 +227,7 @@ impl Bbdd {
         self.level_of_var[self.var_at_level[l0 as usize] as usize] = l0 as u32;
         self.level_of_var[self.var_at_level[l1 as usize] as usize] = l1 as u32;
         self.stats.swaps += 1;
+        ddcore::obs::prof_record(ddcore::obs::Op::Swap, timer);
     }
 
     /// Old level-`i` node `p` (pair `(y, z)`): its variable `y` moves up, so

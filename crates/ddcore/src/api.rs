@@ -58,6 +58,7 @@
 use crate::boolop::BoolOp;
 use crate::dvo::{DvoPolicy, DvoStrategy};
 use crate::govern::{OpAbort, OpBudget};
+use crate::obs::{self, MetricsSnapshot};
 use crate::roots::RootSet;
 use std::cell::{Ref, RefCell, RefMut};
 use std::rc::Rc;
@@ -330,6 +331,24 @@ pub trait RawManager: Sized {
 
     /// A one-line human-readable summary of the backend's counters.
     fn stats_line(&self) -> String;
+
+    /// Fill the unified metrics registry: a [`MetricsSnapshot`] with the
+    /// backend's counters under the stable section names (`nodes.*`,
+    /// `cache.*`, `table.*`, `gc.*`, `roots.*`, `dvo.*`, `govern.*`, and
+    /// `par.*` on parallel front-ends). This is the observability seam
+    /// every formatter, JSON export and metrics test goes through.
+    ///
+    /// The default returns an empty snapshot so minimal test backends
+    /// compile; real backends override it.
+    fn observe(&self) -> MetricsSnapshot {
+        MetricsSnapshot::new("unobserved")
+    }
+
+    /// Accounting hook for governed operations: the generic layer reports
+    /// each `try_*` call's budget-checkpoint spend and outcome here, and
+    /// backends accumulate it into their `govern.*` metrics (see
+    /// [`crate::obs::GovernCounters`]). Default: no accounting.
+    fn note_governed(&mut self, _checkpoints: u64, _abort: Option<OpAbort>) {}
 }
 
 /// A shared reference to a decision-diagram backend — the generic
@@ -481,6 +500,28 @@ impl<B: RawManager> Function<B> {
             inner: Rc::clone(&self.mgr),
         };
         (m, self.mgr.borrow_mut())
+    }
+
+    /// Run one governed edge operation with full observability: an op
+    /// span around the edge call, the backend's govern-accounting hook
+    /// fed with this operation's checkpoint spend, and an abort instant
+    /// event on `Err`. Free (two relaxed loads) when tracing and
+    /// profiling are off.
+    fn governed<E>(
+        b: &mut B,
+        op: obs::Op,
+        budget: &mut OpBudget,
+        run: impl FnOnce(&mut B, &mut OpBudget) -> Result<E, OpAbort>,
+    ) -> Result<E, OpAbort> {
+        let _span = obs::span(op);
+        let spent = budget.used();
+        let r = run(b, budget);
+        let abort = r.as_ref().err().copied();
+        b.note_governed(budget.used().saturating_sub(spent), abort);
+        if let Some(reason) = abort {
+            obs::abort_event(reason);
+        }
+        r
     }
 }
 
@@ -654,6 +695,11 @@ pub trait FunctionManager: Clone {
 
     /// One-line human-readable backend counter summary.
     fn stats_line(&self) -> String;
+
+    /// A [`MetricsSnapshot`] of the backend's unified metrics registry —
+    /// the backend-agnostic counters behind [`MetricsSnapshot::format`],
+    /// [`MetricsSnapshot::to_json`] and [`MetricsSnapshot::delta`].
+    fn metrics(&self) -> MetricsSnapshot;
 }
 
 /// The function half of the unified API: an owned handle with the full
@@ -996,6 +1042,10 @@ impl<B: RawManager> FunctionManager for ManagerRef<B> {
     fn stats_line(&self) -> String {
         self.inner.borrow().stats_line()
     }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        self.inner.borrow().observe()
+    }
 }
 
 impl<B: RawManager> BooleanFunction for Function<B> {
@@ -1009,13 +1059,18 @@ impl<B: RawManager> BooleanFunction for Function<B> {
 
     fn apply(&self, op: BoolOp, g: &Self) -> Self {
         let (m, mut b) = self.op_ctx(&[g]);
-        let e = b.apply_edge(op, self.edge, g.edge);
+        let e = {
+            let _span = obs::span(obs::Op::Apply);
+            b.apply_edge(op, self.edge, g.edge)
+        };
         m.finish(&mut b, e)
     }
 
     fn try_apply(&self, op: BoolOp, g: &Self, budget: &mut OpBudget) -> Result<Self, OpAbort> {
         let (m, mut b) = self.op_ctx(&[g]);
-        let r = b.try_apply_edge(op, self.edge, g.edge, budget);
+        let r = Self::governed(&mut b, obs::Op::Apply, budget, |b, budget| {
+            b.try_apply_edge(op, self.edge, g.edge, budget)
+        });
         m.finish_try(&mut b, r)
     }
 
@@ -1031,43 +1086,61 @@ impl<B: RawManager> BooleanFunction for Function<B> {
 
     fn ite(&self, g: &Self, h: &Self) -> Self {
         let (m, mut b) = self.op_ctx(&[g, h]);
-        let e = b.ite_edge(self.edge, g.edge, h.edge);
+        let e = {
+            let _span = obs::span(obs::Op::Ite);
+            b.ite_edge(self.edge, g.edge, h.edge)
+        };
         m.finish(&mut b, e)
     }
 
     fn try_ite(&self, g: &Self, h: &Self, budget: &mut OpBudget) -> Result<Self, OpAbort> {
         let (m, mut b) = self.op_ctx(&[g, h]);
-        let r = b.try_ite_edge(self.edge, g.edge, h.edge, budget);
+        let r = Self::governed(&mut b, obs::Op::Ite, budget, |b, budget| {
+            b.try_ite_edge(self.edge, g.edge, h.edge, budget)
+        });
         m.finish_try(&mut b, r)
     }
 
     fn exists(&self, vars: &[usize]) -> Self {
         let (m, mut b) = self.op_ctx(&[]);
-        let e = b.exists_edge(self.edge, vars);
+        let e = {
+            let _span = obs::span(obs::Op::Exists);
+            b.exists_edge(self.edge, vars)
+        };
         m.finish(&mut b, e)
     }
 
     fn try_exists(&self, vars: &[usize], budget: &mut OpBudget) -> Result<Self, OpAbort> {
         let (m, mut b) = self.op_ctx(&[]);
-        let r = b.try_exists_edge(self.edge, vars, budget);
+        let r = Self::governed(&mut b, obs::Op::Exists, budget, |b, budget| {
+            b.try_exists_edge(self.edge, vars, budget)
+        });
         m.finish_try(&mut b, r)
     }
 
     fn forall(&self, vars: &[usize]) -> Self {
         let (m, mut b) = self.op_ctx(&[]);
-        let e = b.forall_edge(self.edge, vars);
+        let e = {
+            let _span = obs::span(obs::Op::Forall);
+            b.forall_edge(self.edge, vars)
+        };
         m.finish(&mut b, e)
     }
 
     fn try_forall(&self, vars: &[usize], budget: &mut OpBudget) -> Result<Self, OpAbort> {
         let (m, mut b) = self.op_ctx(&[]);
-        let r = b.try_forall_edge(self.edge, vars, budget);
+        let r = Self::governed(&mut b, obs::Op::Forall, budget, |b, budget| {
+            b.try_forall_edge(self.edge, vars, budget)
+        });
         m.finish_try(&mut b, r)
     }
 
     fn and_exists(&self, g: &Self, vars: &[usize]) -> Self {
         let (m, mut b) = self.op_ctx(&[g]);
-        let e = b.and_exists_edge(self.edge, g.edge, vars);
+        let e = {
+            let _span = obs::span(obs::Op::AndExists);
+            b.and_exists_edge(self.edge, g.edge, vars)
+        };
         m.finish(&mut b, e)
     }
 
@@ -1078,25 +1151,35 @@ impl<B: RawManager> BooleanFunction for Function<B> {
         budget: &mut OpBudget,
     ) -> Result<Self, OpAbort> {
         let (m, mut b) = self.op_ctx(&[g]);
-        let r = b.try_and_exists_edge(self.edge, g.edge, vars, budget);
+        let r = Self::governed(&mut b, obs::Op::AndExists, budget, |b, budget| {
+            b.try_and_exists_edge(self.edge, g.edge, vars, budget)
+        });
         m.finish_try(&mut b, r)
     }
 
     fn restrict(&self, var: usize, value: bool) -> Self {
         let (m, mut b) = self.op_ctx(&[]);
-        let e = b.restrict_edge(self.edge, var, value);
+        let e = {
+            let _span = obs::span(obs::Op::Restrict);
+            b.restrict_edge(self.edge, var, value)
+        };
         m.finish(&mut b, e)
     }
 
     fn compose(&self, var: usize, g: &Self) -> Self {
         let (m, mut b) = self.op_ctx(&[g]);
-        let e = b.compose_edge(self.edge, var, g.edge);
+        let e = {
+            let _span = obs::span(obs::Op::Compose);
+            b.compose_edge(self.edge, var, g.edge)
+        };
         m.finish(&mut b, e)
     }
 
     fn try_compose(&self, var: usize, g: &Self, budget: &mut OpBudget) -> Result<Self, OpAbort> {
         let (m, mut b) = self.op_ctx(&[g]);
-        let r = b.try_compose_edge(self.edge, var, g.edge, budget);
+        let r = Self::governed(&mut b, obs::Op::Compose, budget, |b, budget| {
+            b.try_compose_edge(self.edge, var, g.edge, budget)
+        });
         m.finish_try(&mut b, r)
     }
 
@@ -1106,7 +1189,10 @@ impl<B: RawManager> BooleanFunction for Function<B> {
             .map(|s| s.as_ref().map(Function::edge))
             .collect();
         let (m, mut b) = self.op_ctx(&[]);
-        let e = b.vector_compose_edge(self.edge, &edges);
+        let e = {
+            let _span = obs::span(obs::Op::VectorCompose);
+            b.vector_compose_edge(self.edge, &edges)
+        };
         m.finish(&mut b, e)
     }
 
@@ -1127,6 +1213,7 @@ impl<B: RawManager> BooleanFunction for Function<B> {
     }
 
     fn sat_count(&self) -> u128 {
+        let _span = obs::span(obs::Op::SatCount);
         self.mgr.borrow().sat_count_edge(self.edge)
     }
 
@@ -1135,7 +1222,15 @@ impl<B: RawManager> BooleanFunction for Function<B> {
     }
 
     fn try_sat_count(&self, budget: &mut OpBudget) -> Result<u128, OpAbort> {
-        self.mgr.borrow().try_sat_count_edge(self.edge, budget)
+        // Counting is read-only (shared borrow), so the govern-accounting
+        // hook — which needs the backend mutably — is skipped here; the
+        // span and abort event still fire.
+        let _span = obs::span(obs::Op::SatCount);
+        let r = self.mgr.borrow().try_sat_count_edge(self.edge, budget);
+        if let Some(reason) = r.as_ref().err().copied() {
+            obs::abort_event(reason);
+        }
+        r
     }
 
     fn any_sat(&self) -> Option<Vec<bool>> {

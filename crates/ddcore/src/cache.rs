@@ -162,13 +162,16 @@ impl ComputedCache {
         let s0 = &self.slots[base];
         if s0.tag & TAG_MASK == tag && s0.epoch == epoch && s0.k1 == k1 && s0.k2 == k2 {
             self.stats.hits += 1;
+            crate::obs::cache_access(tag, true);
             return Some(s0.val);
         }
         let s1 = &self.slots[base + 1];
         if s1.tag == tag && s1.epoch == epoch && s1.k1 == k1 && s1.k2 == k2 {
             self.stats.hits += 1;
+            crate::obs::cache_access(tag, true);
             return Some(s1.val);
         }
+        crate::obs::cache_access(tag, false);
         None
     }
 

@@ -274,6 +274,10 @@ impl ReorderStrategy for FullSift {
         b: &mut B,
         budget: &mut OpBudget,
     ) -> Result<usize, OpAbort> {
+        // Span covers the whole strategy run; an abort (`?`) drops it
+        // without the live-count arg, which is how a cut-short reorder
+        // reads in a trace.
+        let mut span = crate::obs::span(crate::obs::Op::Reorder);
         for _ in 0..self.params.passes.max(1) {
             if b.num_vars() < 2 {
                 break;
@@ -281,7 +285,9 @@ impl ReorderStrategy for FullSift {
             let groups = singleton_groups(b);
             sift_pass(b, &groups, None, &self.params, budget)?;
         }
-        Ok(b.sweep())
+        let live = b.sweep();
+        span.set_arg("live_nodes", live as u64);
+        Ok(live)
     }
 }
 
@@ -316,6 +322,7 @@ impl ReorderStrategy for WindowSift {
         b: &mut B,
         budget: &mut OpBudget,
     ) -> Result<usize, OpAbort> {
+        let mut span = crate::obs::span(crate::obs::Op::Reorder);
         for _ in 0..self.params.passes.max(1) {
             if b.num_vars() < 2 {
                 break;
@@ -323,7 +330,9 @@ impl ReorderStrategy for WindowSift {
             let groups = singleton_groups(b);
             sift_pass(b, &groups, Some(self.radius.max(1)), &self.params, budget)?;
         }
-        Ok(b.sweep())
+        let live = b.sweep();
+        span.set_arg("live_nodes", live as u64);
+        Ok(live)
     }
 }
 
@@ -395,6 +404,7 @@ impl ReorderStrategy for PairSift {
         b: &mut B,
         budget: &mut OpBudget,
     ) -> Result<usize, OpAbort> {
+        let mut span = crate::obs::span(crate::obs::Op::Reorder);
         for _ in 0..self.params.passes.max(1) {
             if b.num_vars() < 2 {
                 break;
@@ -405,7 +415,9 @@ impl ReorderStrategy for PairSift {
             let groups = self.groups(b);
             sift_pass(b, &groups, None, &self.params, budget)?;
         }
-        Ok(b.sweep())
+        let live = b.sweep();
+        span.set_arg("live_nodes", live as u64);
+        Ok(live)
     }
 }
 

@@ -41,6 +41,12 @@
 //! reorder strategies (full/window/pair-aware sifting) over a small
 //! [`dvo::ReorderBackend`] contract, plus the adaptive schedules that fire
 //! them mid-build at the managers' GC-latch boundaries.
+//!
+//! The [`obs`] module is the unified observability layer: a cross-backend
+//! metrics registry ([`obs::MetricsSnapshot`], filled through
+//! [`api::RawManager::observe`]), a bounded trace ring exporting Chrome
+//! `trace_event` JSON, and per-op profiling histograms — all zero-cost
+//! when disabled.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -53,6 +59,7 @@ pub mod dvo;
 pub mod fxhash;
 pub mod govern;
 pub mod nary;
+pub mod obs;
 pub mod optag;
 pub mod par;
 pub mod roots;
@@ -70,6 +77,7 @@ pub use dvo::{
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use govern::{CancelToken, OpAbort, OpBudget};
 pub use nary::NaryOp;
+pub use obs::{GovernCounters, Metric, MetricKind, MetricsSnapshot, ProfileSnapshot, TraceEvent};
 pub use par::{
     AtomicCache, AtomicCacheStats, OverlayArena, ParConfig, ParStats, ShardStats, ShardedTable,
     TaskPanic,

@@ -316,6 +316,12 @@ pub struct AtomicCacheStats {
 }
 
 impl AtomicCacheStats {
+    /// Lookups that missed (tear misses included — a torn read is a miss).
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.lookups - self.hits
+    }
+
     /// Lifetime hit rate.
     #[must_use]
     pub fn hit_rate(&self) -> f64 {
@@ -438,6 +444,7 @@ impl AtomicCache {
                 let v = way.val.load(Ordering::Relaxed);
                 if (v >> 32) as u32 == (fp2 >> 32) as u32 {
                     self.hits.fetch_add(1, Ordering::Relaxed);
+                    crate::obs::cache_access(tag, true);
                     return Some(v as u32);
                 }
                 // Tag matched but the value belongs to another write: a
@@ -445,6 +452,7 @@ impl AtomicCache {
                 self.tear_misses.fetch_add(1, Ordering::Relaxed);
             }
         }
+        crate::obs::cache_access(tag, false);
         None
     }
 
@@ -700,6 +708,10 @@ pub fn try_fork_join_governed<F: Fn(usize) + Sync, S: Fn() -> bool + Sync>(
     let stopped = AtomicBool::new(false);
     let first_panic: Mutex<Option<TaskPanic>> = Mutex::new(None);
     let guarded = |i: usize| {
+        // Per-worker task span: each pool thread carries its own trace
+        // tid, so Perfetto shows one track per worker. Free when tracing
+        // and profiling are off.
+        let _task = crate::obs::span(crate::obs::Op::ParTask);
         // `body` only captures Sync state; a panic inside it cannot leave
         // our bookkeeping inconsistent, and any caller-side lock it held is
         // poisoned by the unwind exactly as without the catch.

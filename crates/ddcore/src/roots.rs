@@ -47,6 +47,8 @@ pub struct GcLatch {
     /// their own id-keyed caches (the Par front-ends) detect that node
     /// ids may have been recycled since they last looked.
     generation: u64,
+    /// Latch firings handed out by [`GcLatch::take_pending`], monotonic.
+    fired: u64,
 }
 
 impl GcLatch {
@@ -78,7 +80,11 @@ impl GcLatch {
     /// call [`GcLatch::rearm`] with the post-collection live count.
     #[must_use]
     pub fn take_pending(&mut self) -> bool {
-        std::mem::take(&mut self.pending)
+        let fired = std::mem::take(&mut self.pending);
+        if fired {
+            self.fired = self.fired.wrapping_add(1);
+        }
+        fired
     }
 
     /// Re-arm after a collection at `max(threshold, 2 × live)`.
@@ -97,6 +103,14 @@ impl GcLatch {
     pub fn generation(&self) -> u64 {
         self.generation
     }
+
+    /// Monotonic count of latch firings — how many times
+    /// [`GcLatch::take_pending`] handed a pending trigger to the caller
+    /// (the `gc.latch_firings` metric).
+    #[must_use]
+    pub fn firings(&self) -> u64 {
+        self.fired
+    }
 }
 
 /// The slab: parallel refcount/bits arrays plus a free list.
@@ -108,6 +122,11 @@ struct Slab {
     bits: Vec<u64>,
     /// Indices of free slots, reused LIFO.
     free: Vec<u32>,
+    /// Cumulative registry traffic (the `roots.*` metrics): slots
+    /// registered, refcount bumps, and reference drops.
+    registered: u64,
+    retained: u64,
+    released: u64,
 }
 
 /// A shared registry of externally-held roots (see the module docs).
@@ -149,6 +168,7 @@ impl RootSet {
     #[must_use]
     pub fn register(&self, bits: u64) -> u32 {
         let mut s = self.lock();
+        s.registered += 1;
         if let Some(slot) = s.free.pop() {
             s.refs[slot as usize] = 1;
             s.bits[slot as usize] = bits;
@@ -168,6 +188,7 @@ impl RootSet {
         let mut s = self.lock();
         assert!(s.refs[slot as usize] > 0, "retain of a free root slot");
         s.refs[slot as usize] += 1;
+        s.retained += 1;
     }
 
     /// Drop one reference to a slot, freeing it when the count reaches 0
@@ -180,6 +201,7 @@ impl RootSet {
         if *r == 0 {
             s.free.push(slot);
         }
+        s.released += 1;
     }
 
     /// Number of live (registered, not yet fully released) slots.
@@ -212,6 +234,15 @@ impl RootSet {
         let mut out = Vec::with_capacity(self.len());
         self.snapshot_into(&mut out);
         out
+    }
+
+    /// Cumulative registry traffic as `(registered, retained, released)`
+    /// — slot creations, refcount bumps, and reference drops since the
+    /// registry was created (the `roots.*` metrics section).
+    #[must_use]
+    pub fn traffic(&self) -> (u64, u64, u64) {
+        let s = self.lock();
+        (s.registered, s.retained, s.released)
     }
 
     /// Register `bits` and return an RAII guard releasing the slot on

@@ -63,6 +63,8 @@ pub fn build_network_with_inputs<M: FunctionManager>(
         inputs.len() >= net.num_inputs(),
         "one pre-bound handle per network input required"
     );
+    let mut obs_span = ddcore::obs::span(ddcore::obs::Op::BuildNetwork);
+    obs_span.set_arg("gates", net.gates().len() as u64);
     let mut wire: Vec<Option<M::Function>> = vec![None; net.num_signals()];
     for (i, s) in net.inputs().iter().enumerate() {
         wire[s.index()] = Some(inputs[i].clone());
@@ -205,6 +207,8 @@ pub fn try_build_network<M: FunctionManager>(
     budget: &mut OpBudget,
 ) -> Result<Vec<M::Function>, BuildAborted> {
     net.check().expect("network must be structurally valid");
+    let mut obs_span = ddcore::obs::span(ddcore::obs::Op::BuildNetwork);
+    obs_span.set_arg("gates", net.gates().len() as u64);
     let inputs: Vec<M::Function> = (0..net.num_inputs()).map(|i| mgr.var(i)).collect();
     let mut wire: Vec<Option<M::Function>> = vec![None; net.num_signals()];
     for (i, s) in net.inputs().iter().enumerate() {

@@ -155,6 +155,7 @@ pub fn match_interfaces(a: &Network, b: &Network) -> (Vec<usize>, Vec<usize>, Po
 /// Panics if the interfaces have different arities or the manager has too
 /// few variables.
 pub fn check_equivalence<M: FunctionManager>(mgr: &M, a: &Network, b: &Network) -> CecVerdict {
+    let _cec = ddcore::obs::span(ddcore::obs::Op::Cec);
     let n = a.num_inputs();
     let (input_map, output_map, _) = match_interfaces(a, b);
     let vars: Vec<M::Function> = (0..n).map(|i| mgr.var(i)).collect();
@@ -169,6 +170,8 @@ pub fn check_equivalence<M: FunctionManager>(mgr: &M, a: &Network, b: &Network) 
 
     let all_inputs: Vec<usize> = (0..n).collect();
     for (k, (name, _)) in a.outputs().iter().enumerate() {
+        let mut out_span = ddcore::obs::span(ddcore::obs::Op::CecOutput);
+        out_span.set_arg("output", k as u64);
         let miter = a_outs[k].xor(&b_outs[output_map[k]]);
         let quantified = miter.exists(&all_inputs);
         if !quantified.is_false() {
@@ -237,6 +240,7 @@ pub fn try_check_equivalence<M: FunctionManager>(
     b: &Network,
     budget: &mut OpBudget,
 ) -> Result<CecVerdict, CecAborted> {
+    let _cec = ddcore::obs::span(ddcore::obs::Op::Cec);
     let n = a.num_inputs();
     let (input_map, output_map, _) = match_interfaces(a, b);
     let vars: Vec<M::Function> = (0..n).map(|i| mgr.var(i)).collect();
@@ -246,6 +250,8 @@ pub fn try_check_equivalence<M: FunctionManager>(
 
     let all_inputs: Vec<usize> = (0..n).collect();
     for (k, (name, _)) in a.outputs().iter().enumerate() {
+        let mut out_span = ddcore::obs::span(ddcore::obs::Op::CecOutput);
+        out_span.set_arg("output", k as u64);
         let step = a_outs[k]
             .try_xor(&b_outs[output_map[k]], budget)
             .and_then(|miter| {
@@ -313,6 +319,7 @@ where
     M: FunctionManager,
     F: Fn() -> M + Sync,
 {
+    let _cec = ddcore::obs::span(ddcore::obs::Op::Cec);
     let n = a.num_inputs();
     let n_out = a.num_outputs();
     if n_out == 0 {
@@ -337,6 +344,8 @@ where
         let b_inputs: Vec<M::Function> = input_map.iter().map(|&i| vars[i].clone()).collect();
         let b_outs = build_network_with_inputs(&mgr, b, &b_inputs);
         for (k, (name, _)) in a.outputs().iter().enumerate().take(hi).skip(lo) {
+            let mut out_span = ddcore::obs::span(ddcore::obs::Op::CecOutput);
+            out_span.set_arg("output", k as u64);
             let miter = a_outs[k].xor(&b_outs[output_map[k]]);
             let quantified = miter.exists(&all_inputs);
             if !quantified.is_false() {
@@ -408,6 +417,7 @@ where
 {
     use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
+    let _cec = ddcore::obs::span(ddcore::obs::Op::Cec);
     let view = budget.stop_view();
     if !view.is_limited() {
         return Ok(check_equivalence_parallel(a, b, threads, make_mgr));
@@ -454,6 +464,8 @@ where
             let b_inputs: Vec<M::Function> = input_map.iter().map(|&i| vars[i].clone()).collect();
             let b_outs = build_network_with_inputs(&mgr, b, &b_inputs);
             for (k, (name, _)) in a.outputs().iter().enumerate().take(hi).skip(lo) {
+                let mut out_span = ddcore::obs::span(ddcore::obs::Op::CecOutput);
+                out_span.set_arg("output", k as u64);
                 let step = a_outs[k]
                     .try_xor(&b_outs[output_map[k]], &mut chunk_budget)
                     .and_then(|miter| {

@@ -1213,6 +1213,8 @@ impl ParRobdd {
         let results: Vec<AtomicU64> = tasks.iter().map(|_| AtomicU64::new(0)).collect();
         let recursions = AtomicU64::new(0);
         let fj = {
+            let mut phase = ddcore::obs::span(ddcore::obs::Op::ParPhase);
+            phase.set_arg("tasks", tasks.len() as u64);
             let ctx = PCtx {
                 base: &self.inner,
                 base_len,
@@ -1238,6 +1240,7 @@ impl ParRobdd {
         self.stats.par_recursions += recursions.load(Ordering::Relaxed);
         self.stats.overlay_nodes += u64::from(self.arena.len());
         self.stats.last_shard_occupancy = self.table.shard_stats().iter().map(|s| s.len).collect();
+        let mut commit = ddcore::obs::span(ddcore::obs::Op::ParCommit);
         let mut memo: FxHashMap<u32, Edge> = FxHashMap::default();
         let leaf_edges: Vec<Edge> = results
             .iter()
@@ -1247,6 +1250,7 @@ impl ParRobdd {
             })
             .collect();
         self.stats.nodes_imported += memo.len() as u64;
+        commit.set_arg("imported", memo.len() as u64);
         self.resolve(plan, &leaf_edges)
     }
 
@@ -1322,6 +1326,8 @@ impl ParRobdd {
         let results: Vec<AtomicU64> = tasks.iter().map(|_| AtomicU64::new(0)).collect();
         let recursions = AtomicU64::new(0);
         let (fj, stopped) = {
+            let mut phase = ddcore::obs::span(ddcore::obs::Op::ParPhase);
+            phase.set_arg("tasks", tasks.len() as u64);
             let ctx = PCtx {
                 base: &self.inner,
                 base_len,
@@ -1362,6 +1368,7 @@ impl ParRobdd {
                 .should_stop(u64::from(self.arena.len()))
                 .unwrap_or(OpAbort::Cancelled));
         }
+        let mut commit = ddcore::obs::span(ddcore::obs::Op::ParCommit);
         let mut memo: FxHashMap<u32, Edge> = FxHashMap::default();
         let mut leaf_edges: Vec<Edge> = Vec::with_capacity(results.len());
         let mut abort: Option<OpAbort> = None;
@@ -1384,6 +1391,7 @@ impl ParRobdd {
         if let Some(reason) = abort {
             return Err(reason);
         }
+        commit.set_arg("imported", memo.len() as u64);
         self.try_resolve(plan, &leaf_edges, budget)
     }
 

@@ -81,6 +81,7 @@ impl Robdd {
     /// # Panics
     /// Panics if `pos + 1 >= num_vars()`.
     pub fn swap_adjacent(&mut self, pos: usize) {
+        let timer = ddcore::obs::prof_timer();
         let n = self.num_vars();
         assert!(pos + 1 < n, "swap position out of range");
         let x = self.var_at_pos[pos] as u16;
@@ -128,6 +129,7 @@ impl Robdd {
         self.pos_of_var[self.var_at_pos[pos] as usize] = pos as u32;
         self.pos_of_var[self.var_at_pos[pos + 1] as usize] = (pos + 1) as u32;
         self.stats.swaps += 1;
+        ddcore::obs::prof_record(ddcore::obs::Op::Swap, timer);
     }
 
     /// Sift all variables once with default settings; returns the live

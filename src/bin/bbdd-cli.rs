@@ -39,6 +39,14 @@ struct Options {
     blif_in: bool,
     dot: bool,
     stats: bool,
+    /// Print the full metrics registry (every section) after the run.
+    metrics: bool,
+    /// Write the metrics registry as JSON to this file.
+    metrics_json: Option<String>,
+    /// Record a structured trace and write Chrome trace_event JSON here.
+    trace: Option<String>,
+    /// Collect per-op latency histograms and print the profile report.
+    profile: bool,
     /// Wall-clock budget for build + sift, in milliseconds.
     time_limit_ms: Option<u64>,
     /// Node-creation budget for build + sift.
@@ -94,7 +102,14 @@ fn usage() -> ExitCode {
          \x20                --dvo pair:growth2, --dvo window3:nodes10000)\n\
          --time-limit MS  wall-clock budget in milliseconds for build + sift; on\n\
          \x20                expiry, print partial stats and exit with status 3\n\
-         --node-limit N   node-creation budget for build + sift; same abort behavior"
+         --node-limit N   node-creation budget for build + sift; same abort behavior\n\
+         --metrics        print the full metrics registry (cache/table/GC/roots/\n\
+         \x20                dvo/govern sections) after the run\n\
+         --metrics-json F write the metrics registry as JSON to file F\n\
+         --trace F        record a structured event trace and write Chrome\n\
+         \x20                trace_event JSON to F (open in Perfetto / about:tracing)\n\
+         --profile        collect per-operation latency histograms and print the\n\
+         \x20                profile report (log2 buckets + per-tag cache hit rates)"
     );
     ExitCode::from(2)
 }
@@ -111,6 +126,10 @@ fn parse_args() -> Result<Options, ExitCode> {
         blif_in: false,
         dot: false,
         stats: false,
+        metrics: false,
+        metrics_json: None,
+        trace: None,
+        profile: false,
         time_limit_ms: None,
         node_limit: None,
         static_order: StaticOrder::None,
@@ -153,6 +172,16 @@ fn parse_args() -> Result<Options, ExitCode> {
             "--blif" => opts.blif_in = true,
             "--dot" => opts.dot = true,
             "--stats" => opts.stats = true,
+            "--metrics" => opts.metrics = true,
+            "--metrics-json" => match args.next() {
+                Some(f) => opts.metrics_json = Some(f),
+                None => return Err(usage()),
+            },
+            "--trace" => match args.next() {
+                Some(f) => opts.trace = Some(f),
+                None => return Err(usage()),
+            },
+            "--profile" => opts.profile = true,
             "--bench" => match args.next() {
                 Some(n) => opts.bench = Some(n),
                 None => return Err(usage()),
@@ -184,6 +213,37 @@ fn load(opts: &Options) -> Result<Network, String> {
         blif::parse_blif(&text).map_err(|e| e.to_string())
     } else {
         verilog::parse_verilog(&text).map_err(|e| e.to_string())
+    }
+}
+
+/// Emit the observability outputs — metrics registry (text and/or JSON),
+/// profile report, Chrome trace file — on every exit path of [`run`],
+/// abort included: a cut-short run is exactly when the trace and the
+/// partial counters are most interesting.
+fn emit_observability<M: DiagramRewrite>(mgr: &M, opts: &Options, tag: &str) {
+    if opts.metrics {
+        eprint!("{}", mgr.metrics().format());
+    }
+    if let Some(path) = &opts.metrics_json {
+        match std::fs::write(path, mgr.metrics().to_json()) {
+            Ok(()) => eprintln!("[{tag}] wrote metrics to {path}"),
+            Err(e) => eprintln!("error: {path}: {e}"),
+        }
+    }
+    if opts.profile {
+        eprint!(
+            "{}",
+            ddcore::obs::format_profile(&ddcore::obs::profile_snapshot())
+        );
+    }
+    if let Some(path) = &opts.trace {
+        match std::fs::write(path, ddcore::obs::chrome_trace_json()) {
+            Ok(()) => eprintln!(
+                "[{tag}] wrote trace ({} events) to {path}",
+                ddcore::obs::trace_events().len()
+            ),
+            Err(e) => eprintln!("error: {path}: {e}"),
+        }
     }
 }
 
@@ -227,9 +287,10 @@ fn run<M: DiagramRewrite>(mgr: &M, net: &Network, opts: &Options, tag: &str) -> 
                     net.num_gates(),
                     t0.elapsed().as_secs_f64(),
                 );
-                eprintln!("[{tag}] partial stats: {}", mgr.stats_line());
+                eprint!("{}", mgr.metrics().format());
                 mgr.gc();
                 eprintln!("[{tag}] live nodes after GC: {}", mgr.live_nodes());
+                emit_observability(mgr, opts, tag);
                 return ExitCode::from(EXIT_ABORTED);
             }
         },
@@ -259,7 +320,8 @@ fn run<M: DiagramRewrite>(mgr: &M, net: &Network, opts: &Options, tag: &str) -> 
                         mgr.shared_node_count(&roots),
                         mgr.variable_order(),
                     );
-                    eprintln!("[{tag}] partial stats: {}", mgr.stats_line());
+                    eprint!("{}", mgr.metrics().format());
+                    emit_observability(mgr, opts, tag);
                     return ExitCode::from(EXIT_ABORTED);
                 }
                 other => other.map(|r| r.expect("Err handled above")),
@@ -276,8 +338,11 @@ fn run<M: DiagramRewrite>(mgr: &M, net: &Network, opts: &Options, tag: &str) -> 
         }
     }
     if opts.stats {
-        eprintln!("[{tag}] stats: {}", mgr.stats_line());
-        eprintln!("[{tag}] live nodes: {}", mgr.live_nodes());
+        // One backend-agnostic formatter over the metrics registry — the
+        // same dotted names on all four backends (`stats_line` remains in
+        // the raw API for edge-level debugging, but the CLI reports from
+        // the registry only).
+        eprint!("{}", mgr.metrics().format());
         if let Some(profile) = mgr.level_profile(&roots) {
             eprintln!("[{tag}] level profile: {profile:?}");
         }
@@ -306,6 +371,7 @@ fn run<M: DiagramRewrite>(mgr: &M, net: &Network, opts: &Options, tag: &str) -> 
         }
         None => print!("{text}"),
     }
+    emit_observability(mgr, opts, tag);
     ExitCode::SUCCESS
 }
 
@@ -314,6 +380,14 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(code) => return code,
     };
+    // Flip the process-global observability switches before the first
+    // manager exists so every span/histogram from the run is captured.
+    if opts.trace.is_some() {
+        ddcore::obs::set_trace_enabled(true);
+    }
+    if opts.profile {
+        ddcore::obs::set_profile_enabled(true);
+    }
     let net = match load(&opts) {
         Ok(n) => n,
         Err(e) => {

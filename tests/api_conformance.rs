@@ -11,6 +11,8 @@
 
 use bbdd::prelude::*;
 use ddcore::govern::{CancelToken, OpAbort, OpBudget};
+use ddcore::obs;
+use ddcore::MetricKind;
 use robdd::prelude::*;
 use std::time::{Duration, Instant};
 
@@ -386,6 +388,106 @@ fn govern_conformance<M: FunctionManager>(mgr: &M) {
     assert_eq!(mgr.live_nodes(), 0, "sink-only at section end");
 }
 
+/// The observability conformance section, on a **fresh** manager (the
+/// gc-balance invariants need a complete creation/collection history):
+/// metric invariants every backend's [`FunctionManager::metrics`]
+/// registry must satisfy, under the registry's stable dotted names.
+fn obs_conformance<M: FunctionManager>(mgr: &M) {
+    let s0 = mgr.metrics();
+    assert!(!s0.backend().is_empty(), "snapshot names its backend");
+
+    // Work the registry: a pool of composites plus one governed op.
+    let pool = pool(mgr);
+    let s1 = mgr.metrics();
+
+    // Every section of the unified tree is present and populated.
+    for section in [
+        "nodes", "ops", "cache", "table", "gc", "roots", "dvo", "govern",
+    ] {
+        assert!(
+            s1.entries()
+                .iter()
+                .any(|m| m.name.starts_with(section) && m.name.as_bytes()[section.len()] == b'.'),
+            "section {section}.* present on {}",
+            s1.backend()
+        );
+    }
+
+    // Cache accounting closes: hits + misses == lookups.
+    assert_eq!(
+        s1.get("cache.hits").unwrap() + s1.get("cache.misses").unwrap(),
+        s1.get("cache.lookups").unwrap(),
+        "cache hits + misses == lookups on {}",
+        s1.backend()
+    );
+
+    // Counters are monotonic across snapshots.
+    for m in s1
+        .entries()
+        .iter()
+        .filter(|m| m.kind == MetricKind::Counter)
+    {
+        assert!(
+            m.value >= s0.get(m.name).unwrap_or(0),
+            "counter {} monotonic on {}",
+            m.name,
+            s1.backend()
+        );
+    }
+
+    // A governed op moves the govern.* section.
+    let f = pool[3]
+        .0
+        .try_xor(
+            &pool[7].0,
+            &mut OpBudget::unlimited().with_node_limit(1 << 20),
+        )
+        .expect("huge budget");
+    let s2 = mgr.metrics();
+    assert!(
+        s2.get("govern.ops").unwrap() > s1.get("govern.ops").unwrap_or(0),
+        "governed op counted on {}",
+        s2.backend()
+    );
+
+    // Snapshot/delta consistency: earlier + delta == later, per counter.
+    let d = s2.delta(&s1);
+    for m in s2
+        .entries()
+        .iter()
+        .filter(|m| m.kind == MetricKind::Counter)
+    {
+        assert_eq!(
+            s1.get(m.name).unwrap_or(0) + d.get(m.name).unwrap(),
+            m.value,
+            "delta consistency for {} on {}",
+            m.name,
+            s2.backend()
+        );
+    }
+
+    // All handles dropped + GC ⇒ the books balance: nothing live, the
+    // registry drained, and every node ever created was eventually freed.
+    drop(f);
+    drop(pool);
+    mgr.gc();
+    let s3 = mgr.metrics();
+    assert_eq!(s3.get("nodes.live"), Some(0), "live after full drop");
+    assert_eq!(s3.get("roots.live"), Some(0), "registry after full drop");
+    assert_eq!(
+        s3.get("nodes.created"),
+        s3.get("gc.nodes_freed"),
+        "created == freed once nothing is live on {}",
+        s3.backend()
+    );
+    assert_eq!(
+        s3.get("roots.registered").unwrap() + s3.get("roots.retained").unwrap(),
+        s3.get("roots.released").unwrap(),
+        "root registrations + retains == releases on {}",
+        s3.backend()
+    );
+}
+
 /// Instantiate the suite (plus the operator-overload sugar, which lives
 /// on the concrete handle type) for one backend per line.
 macro_rules! conformance_suite {
@@ -395,6 +497,9 @@ macro_rules! conformance_suite {
             let mgr = $mgr;
             conformance(&mgr);
             govern_conformance(&mgr);
+            // Observability invariants run on a fresh manager: the
+            // gc-balance checks need the full creation history.
+            obs_conformance(&$mgr);
             // `std::ops` sugar on handle references — concrete types only.
             let a = mgr.var(0);
             let b = mgr.var(1);
@@ -439,4 +544,65 @@ conformance_suite! {
     par_bbdd_conformance_t4 => par_bbdd(4);
     par_robdd_conformance_t1 => par_robdd(1);
     par_robdd_conformance_t4 => par_robdd(4);
+}
+
+/// Tracing conformance: every span begun on this thread is ended, even
+/// when the traced operation dies mid-flight on a budget abort. The ring
+/// is shared process-wide, so all assertions filter by [`obs::current_tid`]
+/// (other tests may trace concurrently when `BBDD_TRACE` is set).
+#[test]
+fn trace_spans_balance_across_abort() {
+    obs::set_trace_enabled(true);
+    // A roomy private capacity so concurrent traced tests cannot evict
+    // this thread's events between recording and the snapshot below.
+    obs::trace_set_capacity(1 << 17);
+
+    let mgr = BbddManager::with_vars(NV);
+    // A one-node budget aborts the parity build inside the recursion,
+    // after the op's span has opened.
+    let mut budget = OpBudget::unlimited().with_node_limit(1);
+    let aborted = (1..NV).try_fold(mgr.var(0), |acc, v| acc.try_xor(&mgr.var(v), &mut budget));
+    assert!(aborted.is_err(), "one-node budget must abort");
+    // And a healthy mix of ops on top, including a GC span.
+    let pool = pool(&mgr);
+    drop(pool);
+    mgr.gc();
+
+    let tid = obs::current_tid();
+    let events: Vec<ddcore::TraceEvent> = obs::trace_events()
+        .into_iter()
+        .filter(|e| e.tid == tid)
+        .collect();
+    assert!(!events.is_empty(), "tracing recorded this thread's ops");
+
+    // Per-op span depth never goes negative and ends the test at zero.
+    let mut depth: std::collections::HashMap<obs::Op, i64> = std::collections::HashMap::new();
+    let mut begins = 0u64;
+    let mut abort_instants = 0u64;
+    for e in &events {
+        match e.kind {
+            obs::EventKind::Begin => {
+                begins += 1;
+                *depth.entry(e.op).or_insert(0) += 1;
+            }
+            obs::EventKind::End => {
+                let d = depth.entry(e.op).or_insert(0);
+                *d -= 1;
+                assert!(*d >= 0, "end without begin for {:?}", e.op);
+            }
+            obs::EventKind::Instant => {
+                if e.op == obs::Op::Abort {
+                    abort_instants += 1;
+                }
+            }
+        }
+    }
+    assert!(begins > 0, "at least one span opened");
+    assert!(
+        abort_instants > 0,
+        "the budget abort left an instant marker"
+    );
+    for (op, d) in &depth {
+        assert_eq!(*d, 0, "unbalanced span for {op:?}");
+    }
 }
