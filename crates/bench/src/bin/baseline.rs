@@ -55,6 +55,52 @@ fn random_function(
     f
 }
 
+/// Requests/sec through the MVCC serving layer: `sessions` sessions forked
+/// off one published snapshot, request `i` on session `i mod sessions`
+/// (the serve front door's batch layout), over a fixed eval / sat_count /
+/// apply request mix against the misex1 library.
+fn serve_throughput(sessions: usize, requests: usize) -> f64 {
+    use ddcore::govern::OpBudget;
+    let net = mcnc::generate("misex1").expect("known benchmark");
+    let base = logicnet::publish::publish_networks::<Bbdd>(&[&net]).expect("publish");
+    let names: Vec<String> = base.library().names().to_vec();
+    let inputs = base.library().inputs().len();
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for w in 0..sessions {
+            let base = &base;
+            let names = &names;
+            scope.spawn(move || {
+                let mut s = base.session();
+                let mut budget = OpBudget::unlimited();
+                let mut i = w;
+                while i < requests {
+                    let f = names[i % names.len()].as_str();
+                    let g = names[(i / 3 + 1) % names.len()].as_str();
+                    match i % 3 {
+                        0 => {
+                            let v: Vec<bool> =
+                                (0..inputs).map(|x| (i >> (x % 8)) & 1 == 1).collect();
+                            std::hint::black_box(s.eval(f, &v).expect("published"));
+                        }
+                        1 => {
+                            std::hint::black_box(s.sat_count(f, &mut budget).expect("count"));
+                        }
+                        _ => {
+                            std::hint::black_box(
+                                s.apply(BoolOp::AND, f, g, None, &mut budget)
+                                    .expect("apply"),
+                            );
+                        }
+                    }
+                    i += sessions;
+                }
+            });
+        }
+    });
+    requests as f64 / t0.elapsed().as_secs_f64()
+}
+
 /// Sustained pairwise-AND throughput over 24 random 20-variable functions.
 fn apply_throughput_ns() -> f64 {
     let n = 20;
@@ -414,7 +460,7 @@ fn main() {
              \"big_apply_par_n26\": {{\"t1_ms\": {:.1}, \"t2_ms\": {:.1}, \"t4_ms\": {:.1}, \
              \"live_nodes\": {par_live}, \"speedup_t4_vs_t1\": {:.3}}}, \
              \"cec_adder24_multi_output\": {{\"t1_ms\": {:.2}, \"t2_ms\": {:.2}, \"t4_ms\": {:.2}, \
-             \"speedup_t4_vs_t1\": {:.3}}}}}",
+             \"speedup_t4_vs_t1\": {:.3}}}}},",
             par_ms[0],
             par_ms[1],
             par_ms[2],
@@ -425,6 +471,29 @@ fn main() {
             cec_ms[0] / cec_ms[2],
         );
         eprintln!("parallel section: done");
+    }
+
+    // The serving layer: batch requests/sec with 1 session vs 4 concurrent
+    // sessions (interpret against meta.host_threads — parallel speedups
+    // are only physically possible when it exceeds 1).
+    {
+        const REQS: usize = 3000;
+        let mut rps = [0f64; 2];
+        for (slot, sessions) in [1usize, 4].into_iter().enumerate() {
+            for _ in 0..3 {
+                rps[slot] = rps[slot].max(serve_throughput(sessions, REQS));
+            }
+            eprintln!("serve throughput s{sessions}: done");
+        }
+        let _ = writeln!(
+            json,
+            "  \"serve_throughput\": {{\"requests\": {REQS}, \"library\": \"misex1\", \
+             \"rps_1_session\": {:.0}, \"rps_4_sessions\": {:.0}, \
+             \"speedup_4_vs_1\": {:.3}}}",
+            rps[0],
+            rps[1],
+            rps[1] / rps[0],
+        );
     }
     let _ = writeln!(json, "}}");
 

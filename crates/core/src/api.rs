@@ -318,6 +318,12 @@ impl Bbdd {
     }
 }
 
+impl ddcore::session::SessionBackend for Bbdd {
+    fn fork(&self) -> Self {
+        self.fork_state()
+    }
+}
+
 impl RawManager for ParBbdd {
     type Edge = Edge;
 
@@ -621,6 +627,12 @@ impl ParBbdd {
     #[must_use]
     pub fn pin(&self, e: Edge) -> RootGuard {
         self.inner().pin(e)
+    }
+}
+
+impl ddcore::session::SessionBackend for ParBbdd {
+    fn fork(&self) -> Self {
+        self.fork_state()
     }
 }
 

@@ -157,6 +157,32 @@ impl Bbdd {
         }
     }
 
+    /// A private flat copy of the node store for an MVCC session fork
+    /// (`ddcore::session`): nodes, free list, unique tables, the variable
+    /// order and the computed cache are cloned, so every edge minted by
+    /// the original manager stays bit-valid and denotes the same function
+    /// in the fork. The external-root registry, GC latch, DVO state and
+    /// all statistics start fresh — they are semantics-free bookkeeping
+    /// that must not be shared between a base snapshot and its sessions.
+    #[must_use]
+    pub fn fork_state(&self) -> Self {
+        Bbdd {
+            nodes: self.nodes.clone(),
+            free: self.free.clone(),
+            subtables: self.subtables.clone(),
+            var_at_level: self.var_at_level.clone(),
+            level_of_var: self.level_of_var.clone(),
+            cache: self.cache.clone(),
+            stats: BbddStats::default(),
+            swap_scratch: None,
+            dvo: ddcore::dvo::DvoState::default(),
+            roots: RootSet::new(),
+            root_scratch: Vec::new(),
+            gc_latch: ddcore::roots::GcLatch::default(),
+            govern: ddcore::obs::GovernCounters::default(),
+        }
+    }
+
     /// Number of variables managed.
     #[must_use]
     pub fn num_vars(&self) -> usize {

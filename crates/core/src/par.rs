@@ -47,6 +47,7 @@ use ddcore::par::{
     fork_join, threads_from_env, try_fork_join_governed, AtomicCache, OverlayArena, ShardedTable,
 };
 pub use ddcore::par::{ParConfig, ParStats};
+use ddcore::session::OverlayFrame;
 use ddcore::table::TableKey;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -513,15 +514,11 @@ impl PCtx<'_> {
 pub struct ParBbdd {
     inner: Bbdd,
     cfg: ParConfig,
-    table: ShardedTable<LevelKey>,
-    arena: OverlayArena,
-    cache: AtomicCache,
+    /// The overlay scratch bundle (sharded table, append-only arena,
+    /// atomic cache, GC-generation sync) — see
+    /// [`ddcore::session::OverlayFrame`] for the shared lifecycle.
+    frame: OverlayFrame<LevelKey>,
     stats: ParStats,
-    /// Inner-manager GC generation at the last concurrent-cache epoch
-    /// bump: any collection the wrapper did not see directly (a latched
-    /// auto-GC behind a handle op, or an explicit `inner_mut().gc()`)
-    /// is caught by comparing generations before trusting the cache.
-    seen_gc_generation: u64,
     /// Reused size-probe scratch (the cutoff check).
     probe: FxHashSet<u32>,
 }
@@ -561,13 +558,23 @@ impl ParBbdd {
     pub fn with_config(num_vars: usize, cfg: ParConfig) -> Self {
         ParBbdd {
             inner: Bbdd::new(num_vars),
-            table: ShardedTable::new(cfg.shards, 64),
-            arena: OverlayArena::new(),
-            cache: AtomicCache::new(cfg.cache_ways),
+            frame: OverlayFrame::new(cfg.shards, 64, cfg.cache_ways),
             stats: ParStats::default(),
-            seen_gc_generation: 0,
             probe: FxHashSet::default(),
             cfg,
+        }
+    }
+
+    /// A private copy for the session layer: the sequential manager's node
+    /// store is forked, the overlay frame starts fresh (it is per-op
+    /// scratch, recycled at every parallel phase anyway).
+    pub(crate) fn fork_state(&self) -> Self {
+        ParBbdd {
+            inner: self.inner.fork_state(),
+            frame: OverlayFrame::new(self.cfg.shards, 64, self.cfg.cache_ways),
+            stats: ParStats::default(),
+            probe: FxHashSet::default(),
+            cfg: self.cfg,
         }
     }
 
@@ -606,8 +613,14 @@ impl ParBbdd {
     #[must_use]
     pub fn par_stats(&self) -> ParStats {
         let mut s = self.stats.clone();
-        s.cache = self.cache.stats();
-        s.shard_contention = self.table.shard_stats().iter().map(|x| x.contended).sum();
+        s.cache = self.frame.cache.stats();
+        s.shard_contention = self
+            .frame
+            .table
+            .shard_stats()
+            .iter()
+            .map(|x| x.contended)
+            .sum();
         s
     }
 
@@ -691,8 +704,7 @@ impl ParBbdd {
     /// [`crate::ParBbddFn`] handle denotes survives.
     pub fn collect(&mut self) -> usize {
         let freed = self.inner.gc();
-        self.seen_gc_generation = self.inner.gc_generation();
-        self.cache.bump_epoch();
+        self.frame.invalidate(self.inner.gc_generation());
         freed
     }
 
@@ -720,10 +732,7 @@ impl ParBbdd {
     /// stale id-keyed entries behind.
     pub(crate) fn sync_cache_epoch(&mut self) {
         let gen = self.inner.gc_generation();
-        if gen != self.seen_gc_generation {
-            self.seen_gc_generation = gen;
-            self.cache.bump_epoch();
-        }
+        self.frame.sync_generation(gen);
     }
 
     // ── parallel operations ───────────────────────────────────────────
@@ -1356,10 +1365,10 @@ impl ParBbdd {
         }
         self.stats.ops_parallel += 1;
         // Freeze the base: workers read `inner` only. Recycle the overlay
-        // workspace from the previous operation.
-        self.table.clear();
-        self.arena.reset();
-        self.cache.bump_epoch();
+        // workspace from the previous operation (cached overlay ids die
+        // with the arena reset, so the cache epoch must move too).
+        self.frame.recycle();
+        self.frame.cache.bump_epoch();
         let base_len = u32::try_from(self.inner.nodes.len()).expect("arena fits u32");
         let results: Vec<AtomicU64> = tasks.iter().map(|_| AtomicU64::new(0)).collect();
         let recursions = AtomicU64::new(0);
@@ -1369,9 +1378,9 @@ impl ParBbdd {
             let ctx = PCtx {
                 base: &self.inner,
                 base_len,
-                table: &self.table,
-                arena: &self.arena,
-                cache: &self.cache,
+                table: &self.frame.table,
+                arena: &self.frame.arena,
+                cache: &self.frame.cache,
                 quant,
             };
             fork_join(self.cfg.threads, tasks.len(), |i| {
@@ -1389,8 +1398,14 @@ impl ParBbdd {
             *slot += n;
         }
         self.stats.par_recursions += recursions.load(Ordering::Relaxed);
-        self.stats.overlay_nodes += u64::from(self.arena.len());
-        self.stats.last_shard_occupancy = self.table.shard_stats().iter().map(|s| s.len).collect();
+        self.stats.overlay_nodes += u64::from(self.frame.arena.len());
+        self.stats.last_shard_occupancy = self
+            .frame
+            .table
+            .shard_stats()
+            .iter()
+            .map(|s| s.len)
+            .collect();
         // Deterministic commit: import each leaf result (depth-first over
         // the canonical overlay graph, fixed task order), then resolve the
         // combine tree.
@@ -1400,7 +1415,7 @@ impl ParBbdd {
             .iter()
             .map(|slot| {
                 let e = Edge::from_bits(slot.load(Ordering::Acquire) as u32);
-                Self::import(&mut self.inner, &self.arena, base_len, &mut memo, e)
+                Self::import(&mut self.inner, &self.frame.arena, base_len, &mut memo, e)
             })
             .collect();
         self.stats.nodes_imported += memo.len() as u64;
@@ -1486,9 +1501,8 @@ impl ParBbdd {
             return self.try_resolve(plan, &[], budget);
         }
         self.stats.ops_parallel += 1;
-        self.table.clear();
-        self.arena.reset();
-        self.cache.bump_epoch();
+        self.frame.recycle();
+        self.frame.cache.bump_epoch();
         let base_len = u32::try_from(self.inner.nodes.len()).expect("arena fits u32");
         let results: Vec<AtomicU64> = tasks.iter().map(|_| AtomicU64::new(0)).collect();
         let recursions = AtomicU64::new(0);
@@ -1498,12 +1512,12 @@ impl ParBbdd {
             let ctx = PCtx {
                 base: &self.inner,
                 base_len,
-                table: &self.table,
-                arena: &self.arena,
-                cache: &self.cache,
+                table: &self.frame.table,
+                arena: &self.frame.arena,
+                cache: &self.frame.cache,
                 quant,
             };
-            let arena = &self.arena;
+            let arena = &self.frame.arena;
             match try_fork_join_governed(
                 self.cfg.threads,
                 tasks.len(),
@@ -1527,12 +1541,18 @@ impl ParBbdd {
             *slot += n;
         }
         self.stats.par_recursions += recursions.load(Ordering::Relaxed);
-        self.stats.overlay_nodes += u64::from(self.arena.len());
-        self.stats.last_shard_occupancy = self.table.shard_stats().iter().map(|s| s.len).collect();
+        self.stats.overlay_nodes += u64::from(self.frame.arena.len());
+        self.stats.last_shard_occupancy = self
+            .frame
+            .table
+            .shard_stats()
+            .iter()
+            .map(|s| s.len)
+            .collect();
         if stopped {
             // Unclaimed result slots hold garbage; nothing reads them.
             return Err(view
-                .should_stop(u64::from(self.arena.len()))
+                .should_stop(u64::from(self.frame.arena.len()))
                 .unwrap_or(OpAbort::Cancelled));
         }
         let mut commit = ddcore::obs::span(ddcore::obs::Op::ParCommit);
@@ -1544,7 +1564,7 @@ impl ParBbdd {
             let before = memo.len();
             leaf_edges.push(Self::import(
                 &mut self.inner,
-                &self.arena,
+                &self.frame.arena,
                 base_len,
                 &mut memo,
                 e,

@@ -424,6 +424,19 @@ impl<B: RawManager> ManagerRef<B> {
         Function::register(b.root_registry(), edge, Rc::clone(&self.inner))
     }
 
+    /// Unwrap the backend, consuming this reference — the bridge *out* of
+    /// the handle world, used by the session layer to freeze a built
+    /// function library into an immutable shared snapshot
+    /// (`ddcore::session::SharedBase`).
+    ///
+    /// Returns `None` (self is dropped) while any [`Function`] handle or
+    /// `ManagerRef` clone is still alive: handles hold the backend cell,
+    /// so extraction is only sound once the caller has released them all.
+    #[must_use]
+    pub fn into_backend(self) -> Option<B> {
+        Rc::try_unwrap(self.inner).ok().map(RefCell::into_inner)
+    }
+
     /// Register `e` as a handle, then run the handle-boundary hook (the
     /// result is pinned before any latched collection can fire).
     fn finish(&self, b: &mut B, e: B::Edge) -> Function<B> {

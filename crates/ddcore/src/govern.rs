@@ -346,6 +346,89 @@ impl StopView {
     }
 }
 
+/// Per-session admission control: the default resource envelope a serving
+/// session grants each request, plus the session-wide [`CancelToken`].
+///
+/// An `Admission` is the *policy*; [`Admission::mint`] turns it into the
+/// per-request [`OpBudget`] *mechanism*. Every minted budget carries the
+/// session's token, so cancelling the session aborts whatever request is
+/// in flight — and every request after it — without touching the shared
+/// base (see `ddcore::session`).
+///
+/// ```
+/// use ddcore::govern::{Admission, OpAbort};
+/// use std::time::Duration;
+/// let adm = Admission::unlimited()
+///     .with_node_limit(10_000)
+///     .with_time_limit(Duration::from_millis(50));
+/// let mut budget = adm.mint(); // one fresh envelope per request
+/// assert!(budget.checkpoint().is_ok());
+/// adm.cancel();
+/// assert_eq!(adm.mint().checkpoint(), Err(OpAbort::Cancelled));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Admission {
+    node_limit: Option<u64>,
+    time_limit: Option<Duration>,
+    token: CancelToken,
+}
+
+impl Admission {
+    /// No default limits; requests still honour the session token.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Default per-request node-creation ceiling.
+    #[must_use]
+    pub fn with_node_limit(mut self, n: u64) -> Self {
+        self.node_limit = Some(n);
+        self
+    }
+
+    /// Default per-request wall-clock allowance (the deadline is re-armed
+    /// at each [`Admission::mint`], not fixed at construction).
+    #[must_use]
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+
+    /// The session-wide cancellation token (clone it to other threads).
+    #[must_use]
+    pub fn token(&self) -> &CancelToken {
+        &self.token
+    }
+
+    /// Raise the session's token: the in-flight request and every later
+    /// one abort with [`OpAbort::Cancelled`].
+    pub fn cancel(&self) {
+        self.token.cancel();
+    }
+
+    /// Mint one request's [`OpBudget`] from the default envelope.
+    #[must_use]
+    pub fn mint(&self) -> OpBudget {
+        self.mint_with(None, None)
+    }
+
+    /// Mint a request budget with per-request overrides: an explicit
+    /// `nodes` / `time` replaces the session default for this request
+    /// only (it cannot escape the session token).
+    #[must_use]
+    pub fn mint_with(&self, nodes: Option<u64>, time: Option<Duration>) -> OpBudget {
+        let mut b = OpBudget::unlimited().with_cancel(&self.token);
+        if let Some(n) = nodes.or(self.node_limit) {
+            b = b.with_node_limit(n);
+        }
+        if let Some(t) = time.or(self.time_limit) {
+            b = b.with_deadline_in(t);
+        }
+        b
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -47,6 +47,14 @@
 //! [`api::RawManager::observe`]), a bounded trace ring exporting Chrome
 //! `trace_event` JSON, and per-op profiling histograms — all zero-cost
 //! when disabled.
+//!
+//! The [`session`] module is the MVCC serving layer built over the same
+//! frozen-base / overlay / deterministic-commit design the parallel
+//! managers use per operation: immutable `Arc`-shared base snapshots
+//! holding a published function library ([`session::SharedBase`]),
+//! per-client overlay sessions with budget-based admission control
+//! ([`session::Session`]), and epoch-based reclamation
+//! ([`session::EpochTracker`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -63,6 +71,7 @@ pub mod obs;
 pub mod optag;
 pub mod par;
 pub mod roots;
+pub mod session;
 pub mod stats;
 pub mod table;
 
@@ -75,7 +84,7 @@ pub use dvo::{
     ReorderStrategy, SiftParams, WindowSift,
 };
 pub use fxhash::{FxHashMap, FxHashSet};
-pub use govern::{CancelToken, OpAbort, OpBudget};
+pub use govern::{Admission, CancelToken, OpAbort, OpBudget};
 pub use nary::NaryOp;
 pub use obs::{GovernCounters, Metric, MetricKind, MetricsSnapshot, ProfileSnapshot, TraceEvent};
 pub use par::{
@@ -83,5 +92,9 @@ pub use par::{
     TaskPanic,
 };
 pub use roots::RootSet;
+pub use session::{
+    CecOutcome, EpochTracker, Library, OverlayFrame, Session, SessionBackend, SessionError,
+    SharedBase,
+};
 pub use stats::TableStats;
 pub use table::{BucketTable, OpenTable, UniqueTable, NIL};

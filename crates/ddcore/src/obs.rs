@@ -131,10 +131,17 @@ pub enum Op {
     ParTask,
     /// A budget abort surfaced by a governed `try_*` operation.
     Abort,
+    /// Forking a per-client session overlay off a shared base snapshot.
+    SessionFork,
+    /// The deterministic commit minting a new base snapshot
+    /// (`Session::publish`).
+    Publish,
+    /// One request handled by the serving front door.
+    ServeRequest,
 }
 
 /// Number of [`Op`] variants (histogram row count).
-const OP_COUNT: usize = 20;
+const OP_COUNT: usize = 23;
 
 /// Every variant, in histogram-index order.
 const ALL_OPS: [Op; OP_COUNT] = [
@@ -158,6 +165,9 @@ const ALL_OPS: [Op; OP_COUNT] = [
     Op::ParCommit,
     Op::ParTask,
     Op::Abort,
+    Op::SessionFork,
+    Op::Publish,
+    Op::ServeRequest,
 ];
 
 impl Op {
@@ -184,6 +194,9 @@ impl Op {
             Op::ParCommit => "par_commit",
             Op::ParTask => "par_task",
             Op::Abort => "abort",
+            Op::SessionFork => "session_fork",
+            Op::Publish => "publish",
+            Op::ServeRequest => "serve_request",
         }
     }
 
@@ -194,6 +207,7 @@ impl Op {
             Op::BuildNetwork | Op::Cec | Op::CecOutput => "logicnet",
             Op::ParPhase | Op::ParCommit | Op::ParTask => "par",
             Op::Abort => "govern",
+            Op::SessionFork | Op::Publish | Op::ServeRequest => "serve",
             _ => "op",
         }
     }

@@ -602,6 +602,14 @@ impl OverlayArena {
         self.len() == 0
     }
 
+    /// Segments with backing storage allocated — the arena's resident
+    /// footprint survives [`OverlayArena::reset`], so this is the
+    /// high-water mark the `session.*` metrics report.
+    #[must_use]
+    pub fn segments_allocated(&self) -> usize {
+        self.segs.iter().filter(|s| s.get().is_some()).count()
+    }
+
     /// Recycle the arena: existing segments stay allocated, indices restart
     /// at 0. Callers must ensure no stale index is dereferenced afterwards
     /// (the managers clear the sharded table and bump the cache epoch in

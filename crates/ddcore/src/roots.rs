@@ -256,6 +256,13 @@ impl RootSet {
             roots: self.clone(),
         }
     }
+
+    /// Pin a whole edge set at once (a published function library entering
+    /// a session overlay); one guard per edge, released independently.
+    #[must_use]
+    pub fn guard_many(&self, bits: impl IntoIterator<Item = u64>) -> Vec<RootGuard> {
+        bits.into_iter().map(|b| self.guard(b)).collect()
+    }
 }
 
 /// An RAII pin of one registered root slot (see [`RootSet::guard`]).

@@ -19,7 +19,11 @@
 //! * one generic **decision-diagram builder** ([`build::build_network`]),
 //!   written against the [`ddcore::api`] trait family and therefore
 //!   driving all four managers in the workspace — exactly one traversal,
-//!   backend chosen by the caller.
+//!   backend chosen by the caller;
+//! * a **library publisher** ([`publish::publish_networks`]) building one
+//!   or more networks over a shared variable space and freezing them into
+//!   an immutable `ddcore::session::SharedBase` snapshot, the entry point
+//!   of the MVCC serving layer.
 //!
 //! ```
 //! use logicnet::{Network, GateOp};
@@ -46,6 +50,7 @@ pub mod build;
 pub mod cec;
 mod ir;
 pub mod order;
+pub mod publish;
 pub mod sim;
 pub mod verilog;
 

@@ -1,0 +1,248 @@
+//! Publishing networks as an immutable serving library — the bridge from
+//! the gate-level IR into the MVCC session layer (`ddcore::session`).
+//!
+//! [`publish_networks`] builds one or more networks over a **shared
+//! variable space** (the by-name union of their primary inputs, first
+//! occurrence fixing the variable index), freezes the backend, and returns
+//! an `Arc`-shared [`SharedBase`] ready to fork [`Session`]s from. A
+//! single network publishes its outputs under their plain port names; with
+//! several networks each output is prefixed `<model>.<port>`, so two
+//! implementations of the same design can be published side by side and
+//! compared with an in-session CEC.
+//!
+//! The build runs through the ordinary owned-handle path
+//! ([`crate::build::build_network_with_inputs`]), then garbage-collects
+//! with only the outputs pinned, extracts the raw edges, and unwraps the
+//! backend ([`ddcore::ManagerRef::into_backend`]) — nothing about the
+//! library build is special-cased, and the snapshot that comes out holds
+//! exactly the published functions plus their shared subgraphs.
+//!
+//! [`Session`]: ddcore::session::Session
+
+use crate::build::build_network_with_inputs;
+use crate::ir::Network;
+use ddcore::api::{FunctionManager, ManagerRef};
+use ddcore::session::{Library, SessionBackend, SharedBase};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A library publish that could not produce a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PublishError {
+    /// No network was given.
+    Empty,
+    /// A network failed structural validation.
+    Network {
+        /// Model name of the offending network.
+        net: String,
+        /// The validation failure, rendered.
+        error: String,
+    },
+    /// The backend has fewer variables than the input union needs.
+    TooFewVars {
+        /// Variables the union of inputs requires.
+        needed: usize,
+        /// Variables the backend has.
+        have: usize,
+    },
+    /// Two outputs mapped to the same published name.
+    DuplicateName(String),
+}
+
+impl std::fmt::Display for PublishError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PublishError::Empty => write!(f, "no network to publish"),
+            PublishError::Network { net, error } => {
+                write!(f, "network '{net}' is invalid: {error}")
+            }
+            PublishError::TooFewVars { needed, have } => write!(
+                f,
+                "backend has {have} variables, input union needs {needed}"
+            ),
+            PublishError::DuplicateName(n) => {
+                write!(f, "duplicate published function name '{n}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PublishError {}
+
+/// The by-name union of the networks' primary inputs, in first-seen
+/// order: `union[i]` becomes manager variable `i` of the published
+/// snapshot, aligning same-named inputs of different networks on one
+/// variable (exactly how the equivalence checker matches interfaces).
+#[must_use]
+pub fn input_union(nets: &[&Network]) -> Vec<String> {
+    let mut union: Vec<String> = Vec::new();
+    let mut seen: HashMap<String, usize> = HashMap::new();
+    for net in nets {
+        for s in net.inputs() {
+            let name = net.signal_name(*s);
+            if !seen.contains_key(name) {
+                seen.insert(name.to_string(), union.len());
+                union.push(name.to_string());
+            }
+        }
+    }
+    union
+}
+
+/// Build `nets` into `backend` and publish the result as the first
+/// snapshot of a new lineage (see the module docs for the variable-space
+/// and naming rules). The backend must have at least as many variables as
+/// the input union; extra variables are allowed (and simply unused).
+///
+/// # Errors
+/// Returns a [`PublishError`] when no network is given, a network fails
+/// validation, the backend is too small, or two outputs collide on one
+/// published name.
+pub fn publish_networks_on<B: SessionBackend>(
+    backend: B,
+    nets: &[&Network],
+) -> Result<Arc<SharedBase<B>>, PublishError> {
+    if nets.is_empty() {
+        return Err(PublishError::Empty);
+    }
+    for net in nets {
+        if let Err(e) = net.check() {
+            return Err(PublishError::Network {
+                net: net.name().to_string(),
+                error: e.to_string(),
+            });
+        }
+    }
+    let union = input_union(nets);
+    let index: HashMap<&str, usize> = union
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect();
+    let mgr = ManagerRef::new(backend);
+    if mgr.num_vars() < union.len() {
+        return Err(PublishError::TooFewVars {
+            needed: union.len(),
+            have: mgr.num_vars(),
+        });
+    }
+    let prefixed = nets.len() > 1;
+    let mut library = Library::new(union.clone());
+    let mut outputs = Vec::new();
+    for net in nets {
+        let inputs: Vec<_> = net
+            .inputs()
+            .iter()
+            .map(|s| mgr.var(index[net.signal_name(*s)]))
+            .collect();
+        let outs = build_network_with_inputs(&mgr, net, &inputs);
+        for ((port, _), f) in net.outputs().iter().zip(outs) {
+            let name = if prefixed {
+                format!("{}.{}", net.name(), port)
+            } else {
+                port.clone()
+            };
+            if library.insert(&name, f.edge()) {
+                outputs.push(f);
+            } else {
+                return Err(PublishError::DuplicateName(name));
+            }
+        }
+    }
+    // Compact with only the outputs pinned, so the snapshot carries the
+    // published functions and their shared subgraphs — not the build's
+    // dead intermediates.
+    mgr.gc();
+    drop(outputs);
+    let backend = mgr
+        .into_backend()
+        .expect("publish holds the only manager reference");
+    Ok(SharedBase::publish(backend, library))
+}
+
+/// [`publish_networks_on`] over a fresh default-configured backend sized
+/// to the input union.
+///
+/// # Errors
+/// See [`publish_networks_on`].
+pub fn publish_networks<B: SessionBackend>(
+    nets: &[&Network],
+) -> Result<Arc<SharedBase<B>>, PublishError> {
+    if nets.is_empty() {
+        return Err(PublishError::Empty);
+    }
+    let union = input_union(nets);
+    publish_networks_on(B::with_vars(union.len().max(1)), nets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::GateOp;
+    use bbdd::Bbdd;
+    use ddcore::govern::OpBudget;
+
+    fn xor_net(name: &str) -> Network {
+        let mut net = Network::new(name);
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g = net.add_gate(GateOp::Xor, &[a, b]);
+        net.set_output("y", g);
+        net
+    }
+
+    fn xor_net_via_ors(name: &str) -> Network {
+        // a ⊕ b as (a ∨ b) ∧ ¬(a ∧ b)
+        let mut net = Network::new(name);
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let or = net.add_gate(GateOp::Or, &[a, b]);
+        let nand = net.add_gate(GateOp::Nand, &[a, b]);
+        let g = net.add_gate(GateOp::And, &[or, nand]);
+        net.set_output("y", g);
+        net
+    }
+
+    #[test]
+    fn single_network_publishes_plain_names() {
+        let net = xor_net("x1");
+        let base = publish_networks::<Bbdd>(&[&net]).unwrap();
+        assert_eq!(base.library().names(), ["y".to_string()]);
+        assert_eq!(base.library().inputs(), ["a".to_string(), "b".to_string()]);
+        assert_eq!(base.eval("y", &[true, false]), Some(true));
+        assert_eq!(base.eval("y", &[true, true]), Some(false));
+    }
+
+    #[test]
+    fn two_networks_prefix_and_align_inputs() {
+        let n1 = xor_net("golden");
+        let n2 = xor_net_via_ors("revised");
+        let base = publish_networks::<Bbdd>(&[&n1, &n2]).unwrap();
+        assert_eq!(
+            base.library().names(),
+            ["golden.y".to_string(), "revised.y".to_string()]
+        );
+        // Same variable space → an in-session CEC proves them equal.
+        let mut s = base.session();
+        let out = s
+            .cec("golden.y", "revised.y", &mut OpBudget::unlimited())
+            .unwrap();
+        assert!(out.equivalent);
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let n1 = xor_net("same");
+        let n2 = xor_net_via_ors("same");
+        let err = publish_networks::<Bbdd>(&[&n1, &n2]).unwrap_err();
+        assert_eq!(err, PublishError::DuplicateName("same.y".to_string()));
+    }
+
+    #[test]
+    fn empty_publish_is_an_error() {
+        assert_eq!(
+            publish_networks::<Bbdd>(&[]).unwrap_err(),
+            PublishError::Empty
+        );
+    }
+}

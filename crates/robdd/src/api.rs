@@ -312,6 +312,12 @@ impl Robdd {
     }
 }
 
+impl ddcore::session::SessionBackend for Robdd {
+    fn fork(&self) -> Self {
+        self.fork_state()
+    }
+}
+
 impl RawManager for ParRobdd {
     type Edge = Edge;
 
@@ -612,6 +618,12 @@ impl ParRobdd {
     #[must_use]
     pub fn pin(&self, e: Edge) -> RootGuard {
         self.inner().pin(e)
+    }
+}
+
+impl ddcore::session::SessionBackend for ParRobdd {
+    fn fork(&self) -> Self {
+        self.fork_state()
     }
 }
 

@@ -125,6 +125,29 @@ impl Robdd {
         }
     }
 
+    /// A private flat copy of the node store for an MVCC session fork
+    /// (`ddcore::session`), mirroring the BBDD manager's `fork_state`:
+    /// the node slab, free list, unique tables, variable order and
+    /// computed cache are cloned so every base edge stays bit-valid in
+    /// the fork; roots, GC latch, DVO state and statistics start fresh.
+    #[must_use]
+    pub fn fork_state(&self) -> Self {
+        Robdd {
+            nodes: self.nodes.clone(),
+            free: self.free.clone(),
+            subtables: self.subtables.clone(),
+            var_at_pos: self.var_at_pos.clone(),
+            pos_of_var: self.pos_of_var.clone(),
+            cache: self.cache.clone(),
+            stats: RobddStats::default(),
+            roots: RootSet::new(),
+            root_scratch: Vec::new(),
+            gc_latch: ddcore::roots::GcLatch::default(),
+            dvo: ddcore::dvo::DvoState::default(),
+            govern: ddcore::obs::GovernCounters::default(),
+        }
+    }
+
     /// Number of variables managed.
     #[must_use]
     pub fn num_vars(&self) -> usize {

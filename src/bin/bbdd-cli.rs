@@ -11,14 +11,21 @@
 //! ```text
 //! bbdd-cli [--backend B] [--threads N] [--sift] [--blif] [--dot] [--stats] <input> [output]
 //! bbdd-cli --bench <table1-name> [output-file]      # use a generated benchmark
+//! bbdd-cli serve [--sessions N] [--bench NAME]... [--listen ADDR] [files...]
 //! ```
 //!
 //! where `B` is one of `bbdd` (default), `robdd`, `par-bbdd`, `par-robdd`.
+//! The `serve` subcommand publishes the given networks as an immutable
+//! snapshot and answers newline-delimited JSON requests (stdio batch or
+//! TCP), one MVCC session per worker — see `bbdd_suite::serve`.
 
 use bbdd::prelude::*;
+use bbdd_suite::serve::{run_batch, serve_metrics, serve_tcp, ServeConfig, ServeOutcome};
 use ddcore::dvo::DvoPolicy;
 use ddcore::govern::OpBudget;
+use ddcore::session::SessionBackend;
 use logicnet::build::{build_network, try_build_network};
+use logicnet::publish::{input_union, publish_networks_on};
 use logicnet::{apply_static_order, blif, verilog, Network, StaticOrder};
 use robdd::prelude::*;
 use std::process::ExitCode;
@@ -85,6 +92,7 @@ fn usage() -> ExitCode {
          \x20               [--static-order H] [--dvo S[:P]] [--time-limit MS] [--node-limit N]\n\
          \x20               <input-file> [output-file]\n\
          \x20      bbdd-cli [options] --bench <name> [output-file]\n\
+         \x20      bbdd-cli serve --help       # the JSON request/response front door\n\
          \n\
          Reads a flattened combinational network (structural Verilog by default,\n\
          BLIF with --blif), builds its decision diagram with the file variable\n\
@@ -375,7 +383,301 @@ fn run<M: DiagramRewrite>(mgr: &M, net: &Network, opts: &Options, tag: &str) -> 
     ExitCode::SUCCESS
 }
 
+// ───────────────────────── serve subcommand ──────────────────────────────
+
+struct ServeOptions {
+    backend: Backend,
+    threads: Option<usize>,
+    /// Concurrent sessions in batch mode.
+    sessions: usize,
+    blif_in: bool,
+    /// Generated benchmarks to publish (repeatable).
+    bench: Vec<String>,
+    /// TCP listen address; stdio batch mode when absent.
+    listen: Option<String>,
+    /// Stop the TCP accept loop after this many connections (tests/smoke).
+    max_conns: Option<usize>,
+    node_limit: Option<u64>,
+    time_limit_ms: Option<u64>,
+    metrics: bool,
+    metrics_json: Option<String>,
+    trace: Option<String>,
+    profile: bool,
+    /// Network files to publish (repeatable).
+    inputs: Vec<String>,
+}
+
+fn serve_usage() -> ExitCode {
+    eprintln!(
+        "usage: bbdd-cli serve [--backend B] [--threads N] [--sessions N] [--blif]\n\
+         \x20                     [--node-limit N] [--time-limit MS] [--listen ADDR]\n\
+         \x20                     [--max-conns N] [--metrics] [--metrics-json F]\n\
+         \x20                     [--bench NAME]... [network-file]...\n\
+         \n\
+         Publishes the given networks (files and/or generated benchmarks) as one\n\
+         immutable snapshot over the by-name union of their inputs — several\n\
+         networks publish prefixed '<model>.<port>' functions — then answers\n\
+         newline-delimited JSON requests, one response line per request, in\n\
+         request order:\n\
+         \n\
+         \x20 {{\"op\":\"eval\",\"f\":\"cout\",\"assignment\":[true,false,true]}}\n\
+         \x20 {{\"op\":\"sat_count\",\"f\":\"cout\",\"budget\":{{\"nodes\":10000,\"ms\":50}}}}\n\
+         \x20 {{\"op\":\"apply\",\"how\":\"and\",\"f\":\"a\",\"g\":\"b\",\"store\":\"ab\"}}\n\
+         \x20 {{\"op\":\"quantify\",\"kind\":\"exists\",\"f\":\"ab\",\"vars\":[\"x\",1]}}\n\
+         \x20 {{\"op\":\"compose\"|\"cec\"|\"node_count\"|\"list\"|\"stats\", ...}}\n\
+         \n\
+         Responses carry \"status\":\"ok\"|\"aborted\"|\"error\"; a request stopped\n\
+         by its budget is a partial verdict ('aborted') and makes the process\n\
+         exit with status 3 once the batch completes — the session and the\n\
+         shared snapshot stay fully usable throughout.\n\
+         \n\
+         --sessions N     concurrent sessions in batch mode; request i runs on\n\
+         \x20                session i mod N (default 1). Stored names are\n\
+         \x20                session-local state.\n\
+         --node-limit N / --time-limit MS   default per-request budget\n\
+         \x20                (a request's \"budget\" field overrides it)\n\
+         --listen ADDR    serve TCP connections on ADDR (e.g. 127.0.0.1:7878),\n\
+         \x20                one session per connection, instead of a stdio batch\n\
+         --max-conns N    stop after N TCP connections (smoke tests)\n\
+         --metrics / --metrics-json F   the full registry incl. the serve.*,\n\
+         \x20                session.* and epoch.* sections, text or JSON"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_serve_args(args: impl Iterator<Item = String>) -> Result<ServeOptions, ExitCode> {
+    let mut o = ServeOptions {
+        backend: Backend::Bbdd,
+        threads: None,
+        sessions: 1,
+        blif_in: false,
+        bench: Vec::new(),
+        listen: None,
+        max_conns: None,
+        node_limit: None,
+        time_limit_ms: None,
+        metrics: false,
+        metrics_json: None,
+        trace: None,
+        profile: false,
+        inputs: Vec::new(),
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--backend" => match args.next().as_deref() {
+                Some("bbdd") => o.backend = Backend::Bbdd,
+                Some("robdd") => o.backend = Backend::Robdd,
+                Some("par-bbdd") => o.backend = Backend::ParBbdd,
+                Some("par-robdd") => o.backend = Backend::ParRobdd,
+                _ => return Err(serve_usage()),
+            },
+            "--threads" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => o.threads = Some(n),
+                _ => return Err(serve_usage()),
+            },
+            "--sessions" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => o.sessions = n,
+                _ => return Err(serve_usage()),
+            },
+            "--time-limit" => match args.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(ms) => o.time_limit_ms = Some(ms),
+                None => return Err(serve_usage()),
+            },
+            "--node-limit" => match args.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) => o.node_limit = Some(n),
+                None => return Err(serve_usage()),
+            },
+            "--max-conns" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => o.max_conns = Some(n),
+                _ => return Err(serve_usage()),
+            },
+            "--listen" => match args.next() {
+                Some(a) => o.listen = Some(a),
+                None => return Err(serve_usage()),
+            },
+            "--bench" => match args.next() {
+                Some(n) => o.bench.push(n),
+                None => return Err(serve_usage()),
+            },
+            "--blif" => o.blif_in = true,
+            "--metrics" => o.metrics = true,
+            "--metrics-json" => match args.next() {
+                Some(f) => o.metrics_json = Some(f),
+                None => return Err(serve_usage()),
+            },
+            "--trace" => match args.next() {
+                Some(f) => o.trace = Some(f),
+                None => return Err(serve_usage()),
+            },
+            "--profile" => o.profile = true,
+            "--help" | "-h" => return Err(serve_usage()),
+            _ if arg.starts_with("--") => return Err(serve_usage()),
+            _ => o.inputs.push(arg),
+        }
+    }
+    if o.bench.is_empty() && o.inputs.is_empty() {
+        return Err(serve_usage());
+    }
+    Ok(o)
+}
+
+fn load_serve_nets(o: &ServeOptions) -> Result<Vec<Network>, String> {
+    let mut nets = Vec::new();
+    for name in &o.bench {
+        nets.push(
+            benchgen::mcnc::generate(name)
+                .ok_or_else(|| format!("unknown benchmark {name} (see Table I names)"))?,
+        );
+    }
+    for file in &o.inputs {
+        let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+        let net = if o.blif_in || file.ends_with(".blif") {
+            blif::parse_blif(&text).map_err(|e| e.to_string())?
+        } else {
+            verilog::parse_verilog(&text).map_err(|e| e.to_string())?
+        };
+        nets.push(net);
+    }
+    Ok(nets)
+}
+
+/// Publish, serve (stdio batch or TCP), report — written once against
+/// [`SessionBackend`] and driven by all four managers.
+fn serve_run<B: SessionBackend>(backend: B, nets: &[&Network], o: &ServeOptions) -> ExitCode {
+    let base = match publish_networks_on(backend, nets) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = ServeConfig {
+        sessions: o.sessions,
+        node_limit: o.node_limit,
+        time_limit_ms: o.time_limit_ms,
+    };
+    eprintln!(
+        "[serve] published {} functions over {} inputs ({} nodes, epoch {})",
+        base.library().len(),
+        base.library().inputs().len(),
+        base.backend().live_nodes(),
+        base.epoch(),
+    );
+    let outcome: ServeOutcome = if let Some(addr) = &o.listen {
+        let listener = match std::net::TcpListener::bind(addr) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("error: {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match listener.local_addr() {
+            Ok(a) => eprintln!("[serve] listening on {a} (one session per connection)"),
+            Err(_) => eprintln!("[serve] listening on {addr}"),
+        }
+        match serve_tcp(&base, &cfg, &listener, o.max_conns) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let mut lines = Vec::new();
+        for line in std::io::stdin().lines() {
+            match line {
+                Ok(l) => lines.push(l),
+                Err(e) => {
+                    eprintln!("error: stdin: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let out = run_batch(&base, &cfg, &lines);
+        for resp in &out.responses {
+            println!("{resp}");
+        }
+        out
+    };
+    eprintln!(
+        "[serve] {} requests over {} session(s): {} ok, {} rejected, {} aborted",
+        outcome.requests,
+        cfg.sessions.max(1),
+        outcome.requests - outcome.rejected - outcome.aborted,
+        outcome.rejected,
+        outcome.aborted,
+    );
+    let m = serve_metrics(&base, &cfg, &outcome);
+    if o.metrics {
+        eprint!("{}", m.format());
+    }
+    if let Some(path) = &o.metrics_json {
+        match std::fs::write(path, m.to_json()) {
+            Ok(()) => eprintln!("[serve] wrote metrics to {path}"),
+            Err(e) => eprintln!("error: {path}: {e}"),
+        }
+    }
+    if o.profile {
+        eprint!(
+            "{}",
+            ddcore::obs::format_profile(&ddcore::obs::profile_snapshot())
+        );
+    }
+    if let Some(path) = &o.trace {
+        match std::fs::write(path, ddcore::obs::chrome_trace_json()) {
+            Ok(()) => eprintln!(
+                "[serve] wrote trace ({} events) to {path}",
+                ddcore::obs::trace_events().len()
+            ),
+            Err(e) => eprintln!("error: {path}: {e}"),
+        }
+    }
+    if outcome.any_aborted() {
+        ExitCode::from(EXIT_ABORTED)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn serve_main(args: impl Iterator<Item = String>) -> ExitCode {
+    let o = match parse_serve_args(args) {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+    if o.trace.is_some() {
+        ddcore::obs::set_trace_enabled(true);
+    }
+    if o.profile {
+        ddcore::obs::set_profile_enabled(true);
+    }
+    let nets_owned = match load_serve_nets(&o) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let nets: Vec<&Network> = nets_owned.iter().collect();
+    let n = input_union(&nets).len().max(1);
+    let threads = o
+        .threads
+        .unwrap_or_else(|| ddcore::par::threads_from_env(4));
+    match o.backend {
+        Backend::Bbdd => serve_run(Bbdd::new(n), &nets, &o),
+        Backend::Robdd => serve_run(Robdd::new(n), &nets, &o),
+        Backend::ParBbdd => serve_run(ParBbdd::new(n, threads), &nets, &o),
+        Backend::ParRobdd => serve_run(ParRobdd::new(n, threads), &nets, &o),
+    }
+}
+
 fn main() -> ExitCode {
+    let mut peek = std::env::args().skip(1).peekable();
+    if peek.peek().map(String::as_str) == Some("serve") {
+        peek.next();
+        return serve_main(peek);
+    }
+    drop(peek);
     let opts = match parse_args() {
         Ok(o) => o,
         Err(code) => return code,

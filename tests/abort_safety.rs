@@ -645,6 +645,162 @@ fn random_abort_script<M: Diagnostics>(mgr: &M, steps: &[Step], inject_at: u64) 
     mgr.validate_all().unwrap();
 }
 
+// ── Session-scoped fault injection (the MVCC serving layer) ──────────────
+//
+// Same discipline as the manager sweeps, one layer up: a deterministic
+// session workload (apply/quantify/compose/sat_count/CEC against published
+// functions) is metered, then aborted at every checkpoint. After each
+// abort the *session* must stay usable (the same session finishes the
+// whole workload clean), the *shared base* must be untouched (published
+// functions still evaluate correctly, fresh sessions still fork), and
+// once every session drops the epoch tracker must report zero live
+// overlay nodes — the no-leak proof for the serving layer.
+
+/// The published workload library: a parity and a lopsided mix over the
+/// same NV inputs as the manager sweeps.
+fn serving_net() -> logicnet::Network {
+    use logicnet::{GateOp, Network};
+    let mut net = Network::new("served");
+    let xs: Vec<_> = (0..NV).map(|i| net.add_input(&format!("x{i}"))).collect();
+    let p01 = net.add_gate(GateOp::Xor, &[xs[0], xs[1]]);
+    let par = net.add_gate(GateOp::Xor, &[p01, xs[2]]);
+    let and = net.add_gate(GateOp::And, &[xs[0], xs[3]]);
+    let mix = net.add_gate(GateOp::Or, &[and, xs[4]]);
+    net.set_output("par", par);
+    net.set_output("mix", mix);
+    net.check().unwrap();
+    net
+}
+
+/// The deterministic in-session op mix, all through one caller budget.
+fn session_workload<B: ddcore::session::SessionBackend>(
+    s: &mut ddcore::session::Session<B>,
+    budget: &mut OpBudget,
+) -> Result<(), ddcore::session::SessionError> {
+    s.apply(BoolOp::AND, "par", "mix", Some("t_and"), budget)?;
+    s.apply(BoolOp::XOR, "t_and", "mix", Some("t_xor"), budget)?;
+    s.quantify(true, "t_xor", &[0, 2], Some("t_ex"), budget)?;
+    s.quantify(false, "t_and", &[4], Some("t_fa"), budget)?;
+    s.compose("mix", 4, "par", Some("t_comp"), budget)?;
+    let _ = s.sat_count("t_comp", budget)?;
+    let _ = s.cec("par", "mix", budget)?;
+    Ok(())
+}
+
+fn session_sweep<B: ddcore::session::SessionBackend>(make: impl Fn() -> B) {
+    use ddcore::session::SessionError;
+    let net = serving_net();
+    let base = logicnet::publish::publish_networks_on(make(), &[&net])
+        .expect("publish the serving library");
+
+    // Metering run: count the workload's checkpoints.
+    let mut s = base.session();
+    let mut meter = metering_budget();
+    session_workload(&mut s, &mut meter).expect("metering session run must complete");
+    let n = meter.used();
+    assert!(n > 0, "session workload must pass checkpoints");
+    drop(s);
+
+    for k in 1..=n {
+        let mut s = base.session();
+        let mut budget = metering_budget().inject_cancel_at(k);
+        let res = session_workload(&mut s, &mut budget);
+        assert!(
+            matches!(res, Err(SessionError::Aborted(OpAbort::Cancelled))),
+            "session k = {k} of {n}: {res:?}"
+        );
+        // The aborted session is still serviceable: the identical workload
+        // completes on it (stores overwrite their earlier partial set).
+        session_workload(&mut s, &mut metering_budget())
+            .expect("aborted session must finish the workload clean");
+        drop(s);
+        // The shared base never felt the abort: every published function
+        // still denotes its network output, and fresh sessions fork fine.
+        for m in 0..ROWS {
+            let v: Vec<bool> = (0..NV).map(|i| (m >> i) & 1 == 1).collect();
+            let expect = net.simulate(&v);
+            assert_eq!(base.eval("par", &v), Some(expect[0]), "k = {k} row {m}");
+            assert_eq!(base.eval("mix", &v), Some(expect[1]), "k = {k} row {m}");
+        }
+    }
+
+    // No overlay leak across the whole sweep: every session dropped, so
+    // the tracker's session.* gauges must be back to zero while the
+    // reclaim counters prove the overlays were actually torn down.
+    let t = base.tracker();
+    assert_eq!(t.sessions_live(), 0, "all sweep sessions dropped");
+    assert_eq!(
+        t.overlay_nodes(),
+        0,
+        "overlay nodes leaked past session drop"
+    );
+    assert!(
+        t.nodes_reclaimed() > 0,
+        "the sweep must have reclaimed overlays"
+    );
+    let mut m = ddcore::obs::MetricsSnapshot::new("session-sweep");
+    t.fill(&mut m);
+    assert_eq!(m.get("session.live"), Some(0));
+    assert_eq!(m.get("session.nodes"), Some(0));
+    assert_eq!(
+        m.get("session.created"),
+        Some(n + 1),
+        "one session per k plus metering"
+    );
+    assert!(
+        m.get("session.ops_aborted").unwrap_or(0) >= n,
+        "every k aborted one op"
+    );
+}
+
+#[test]
+fn session_fault_injection_bbdd() {
+    session_sweep(|| Bbdd::new(NV));
+}
+
+#[test]
+fn session_fault_injection_robdd() {
+    session_sweep(|| Robdd::new(NV));
+}
+
+#[test]
+fn session_fault_injection_par_bbdd() {
+    for threads in [1usize, 4] {
+        session_sweep(move || {
+            ParBbdd::with_config(
+                NV,
+                bbdd::ParConfig {
+                    threads,
+                    cutoff: 0,
+                    split_depth: Some(2),
+                    cache_ways: 1 << 10,
+                    shards: 8,
+                },
+            )
+        });
+    }
+}
+
+#[test]
+fn session_fault_injection_par_robdd() {
+    for threads in [1usize, 4] {
+        session_sweep(move || {
+            ParRobdd::with_config(
+                NV,
+                robdd::ParConfig {
+                    threads,
+                    cutoff: 0,
+                    split_depth: Some(2),
+                    cache_ways: 1 << 10,
+                    shards: 8,
+                },
+            )
+        });
+    }
+}
+
+// ── Randomized-abort properties over the scripts above ───────────────────
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

@@ -1,0 +1,454 @@
+//! The MVCC serving contract (`ddcore::session`), proved on all four
+//! managers:
+//!
+//! 1. **Interleaved determinism** — N sessions forked off one published
+//!    base and run concurrently (their scripts interleaved across threads)
+//!    answer **bit-identically** to the same scripts run one-at-a-time on
+//!    fresh sessions, and every answer matches a truth-table shadow model
+//!    — i.e. sessions are fully isolated and a serve batch's results do
+//!    not depend on scheduling. Driven both by proptest scripts and a
+//!    deterministic threaded stress.
+//! 2. **Epoch reclamation** — dropping a session returns its overlay
+//!    nodes to zero in the tracker; `Session::publish` mints a new
+//!    snapshot in the same lineage (epoch bumped) while a still-held old
+//!    snapshot keeps serving until its own drop retires it — no live
+//!    snapshot is ever retired early.
+//! 3. **Serve front door determinism** — `bbdd_suite::serve::run_batch`
+//!    answers a mixed request batch identically for 1, 2 and 4 sessions.
+
+use bbdd::{Bbdd, ParBbdd};
+use ddcore::govern::OpBudget;
+use ddcore::session::{Session, SessionBackend, SharedBase};
+use ddcore::BoolOp;
+use logicnet::publish::publish_networks_on;
+use logicnet::{GateOp, Network};
+use proptest::prelude::*;
+use robdd::{ParRobdd, Robdd};
+use std::sync::Arc;
+
+const NV: usize = 5;
+const ROWS: u32 = 32;
+
+// ── Truth-table shadow model (32-bit tables over 5 variables) ────────────
+
+fn tt_var(v: usize) -> u32 {
+    let mut t = 0u32;
+    for m in 0..ROWS {
+        if (m >> v) & 1 == 1 {
+            t |= 1 << m;
+        }
+    }
+    t
+}
+
+fn tt_restrict(t: u32, v: usize, value: bool) -> u32 {
+    let mut r = 0u32;
+    for m in 0..ROWS {
+        let source = if value { m | (1 << v) } else { m & !(1 << v) };
+        if (t >> source) & 1 == 1 {
+            r |= 1 << m;
+        }
+    }
+    r
+}
+
+fn tt_quant(t: u32, exists: bool, vars: &[usize]) -> u32 {
+    vars.iter().fold(t, |t, &v| {
+        let (hi, lo) = (tt_restrict(t, v, true), tt_restrict(t, v, false));
+        if exists {
+            hi | lo
+        } else {
+            hi & lo
+        }
+    })
+}
+
+fn tt_compose(t: u32, v: usize, g: u32) -> u32 {
+    (g & tt_restrict(t, v, true)) | (!g & tt_restrict(t, v, false))
+}
+
+// ── The published library ────────────────────────────────────────────────
+
+/// Two functions over the shared inputs: a 3-input parity and a lopsided
+/// and-or mix — enough structure for apply/quantify/compose chains to
+/// produce non-trivial diagrams.
+fn serving_net() -> Network {
+    let mut net = Network::new("served");
+    let xs: Vec<_> = (0..NV).map(|i| net.add_input(&format!("x{i}"))).collect();
+    let p01 = net.add_gate(GateOp::Xor, &[xs[0], xs[1]]);
+    let par = net.add_gate(GateOp::Xor, &[p01, xs[2]]);
+    let and = net.add_gate(GateOp::And, &[xs[0], xs[3]]);
+    let mix = net.add_gate(GateOp::Or, &[and, xs[4]]);
+    net.set_output("par", par);
+    net.set_output("mix", mix);
+    net.check().unwrap();
+    net
+}
+
+fn shadow_par() -> u32 {
+    tt_var(0) ^ tt_var(1) ^ tt_var(2)
+}
+
+fn shadow_mix() -> u32 {
+    (tt_var(0) & tt_var(3)) | tt_var(4)
+}
+
+// ── Script interpreter ───────────────────────────────────────────────────
+
+type Step = (u8, u8, u8, u8);
+
+fn vars_of_mask(mask: u8) -> Vec<usize> {
+    (0..NV).filter(|v| (mask >> v) & 1 == 1).collect()
+}
+
+/// Run one script on a session, returning the full answer transcript.
+/// Every answer is simultaneously checked against the truth-table shadow,
+/// so two transcripts being equal means *semantically correct and
+/// bit-identical*, not merely mutually consistent.
+fn run_script<B: SessionBackend>(session: &mut Session<B>, steps: &[Step]) -> Vec<String> {
+    let mut budget = OpBudget::unlimited();
+    let mut slots: Vec<(String, u32)> = vec![
+        ("par".to_string(), shadow_par()),
+        ("mix".to_string(), shadow_mix()),
+    ];
+    let mut answers = Vec::new();
+    for (si, &(kind, a, b, c)) in steps.iter().enumerate() {
+        let pick = |x: u8| x as usize % slots.len();
+        match kind % 6 {
+            0 => {
+                let (i, j) = (pick(a), pick(b));
+                let op = BoolOp::from_table(c % 16);
+                let mut t = 0u32;
+                for m in 0..ROWS {
+                    let x = (slots[i].1 >> m) & 1 == 1;
+                    let y = (slots[j].1 >> m) & 1 == 1;
+                    if op.eval(x, y) {
+                        t |= 1 << m;
+                    }
+                }
+                let name = format!("t{si}");
+                let n = session
+                    .apply(
+                        op,
+                        &slots[i].0,
+                        &slots[j].0,
+                        Some(name.as_str()),
+                        &mut budget,
+                    )
+                    .expect("apply");
+                slots.push((name, t));
+                answers.push(format!("apply:{n}"));
+            }
+            1 => {
+                let i = pick(a);
+                let exists = c & 1 == 0;
+                let vs = vars_of_mask(b);
+                let t = tt_quant(slots[i].1, exists, &vs);
+                let name = format!("t{si}");
+                let n = session
+                    .quantify(exists, &slots[i].0, &vs, Some(name.as_str()), &mut budget)
+                    .expect("quantify");
+                slots.push((name, t));
+                answers.push(format!("quant:{n}"));
+            }
+            2 => {
+                let (i, j) = (pick(a), pick(b));
+                let v = c as usize % NV;
+                let t = tt_compose(slots[i].1, v, slots[j].1);
+                let name = format!("t{si}");
+                let n = session
+                    .compose(
+                        &slots[i].0,
+                        v,
+                        &slots[j].0,
+                        Some(name.as_str()),
+                        &mut budget,
+                    )
+                    .expect("compose");
+                slots.push((name, t));
+                answers.push(format!("compose:{n}"));
+            }
+            3 => {
+                let i = pick(a);
+                let count = session.sat_count(&slots[i].0, &mut budget).expect("count");
+                assert_eq!(
+                    count,
+                    u128::from(slots[i].1.count_ones()),
+                    "sat_count vs shadow at step {si}"
+                );
+                answers.push(format!("count:{count}"));
+            }
+            4 => {
+                let i = pick(a);
+                let m = u32::from(b) % ROWS;
+                let v: Vec<bool> = (0..NV).map(|x| (m >> x) & 1 == 1).collect();
+                let value = session.eval(&slots[i].0, &v).expect("eval");
+                assert_eq!(
+                    value,
+                    (slots[i].1 >> m) & 1 == 1,
+                    "eval vs shadow at step {si}"
+                );
+                answers.push(format!("eval:{value}"));
+            }
+            _ => {
+                let (i, j) = (pick(a), pick(b));
+                let out = session
+                    .cec(&slots[i].0, &slots[j].0, &mut budget)
+                    .expect("cec");
+                assert_eq!(
+                    out.equivalent,
+                    slots[i].1 == slots[j].1,
+                    "cec verdict vs shadow at step {si}"
+                );
+                let d = out.distinguishing.unwrap_or(0);
+                assert_eq!(
+                    d,
+                    u128::from((slots[i].1 ^ slots[j].1).count_ones()),
+                    "distinguishing count vs shadow at step {si}"
+                );
+                answers.push(format!("cec:{}:{d}", out.equivalent));
+            }
+        }
+    }
+    answers
+}
+
+/// The isolation/determinism contract: concurrent interleaved sessions
+/// answer exactly like fresh sessions run one at a time.
+fn assert_interleaved_matches_sequential<B: SessionBackend>(
+    base: &Arc<SharedBase<B>>,
+    scripts: &[Vec<Step>],
+) {
+    let concurrent: Vec<Vec<String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = scripts
+            .iter()
+            .map(|steps| {
+                scope.spawn(move || {
+                    let mut session = base.session();
+                    run_script(&mut session, steps)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let sequential: Vec<Vec<String>> = scripts
+        .iter()
+        .map(|steps| {
+            let mut session = base.session();
+            run_script(&mut session, steps)
+        })
+        .collect();
+    assert_eq!(concurrent, sequential, "interleaving changed an answer");
+}
+
+fn publish_base<B: SessionBackend>(backend: B) -> Arc<SharedBase<B>> {
+    publish_networks_on(backend, &[&serving_net()]).expect("publish")
+}
+
+// ── Deterministic threaded stress, all four backends ─────────────────────
+
+/// A fixed PRNG script set exercised on every backend: 4 concurrent
+/// sessions × 24 steps, compared against sequential, plus the no-leak
+/// postcondition.
+fn threaded_stress<B: SessionBackend>(backend: B) {
+    let base = publish_base(backend);
+    let mut state = 0x5EED_CAFEu64;
+    let mut rng = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 24) as u8
+    };
+    let scripts: Vec<Vec<Step>> = (0..4)
+        .map(|_| (0..24).map(|_| (rng(), rng(), rng(), rng())).collect())
+        .collect();
+    assert_interleaved_matches_sequential(&base, &scripts);
+    let t = base.tracker();
+    assert_eq!(t.sessions_live(), 0, "all stress sessions dropped");
+    assert_eq!(t.overlay_nodes(), 0, "no overlay leak after the stress");
+}
+
+#[test]
+fn threaded_sessions_deterministic_bbdd() {
+    threaded_stress(Bbdd::new(NV));
+}
+
+#[test]
+fn threaded_sessions_deterministic_robdd() {
+    threaded_stress(Robdd::new(NV));
+}
+
+#[test]
+fn threaded_sessions_deterministic_par_bbdd() {
+    threaded_stress(ParBbdd::new(NV, 2));
+}
+
+#[test]
+fn threaded_sessions_deterministic_par_robdd() {
+    threaded_stress(ParRobdd::new(NV, 2));
+}
+
+// ── Epoch lifecycle: publish chains and snapshot retirement ──────────────
+
+fn epoch_lifecycle<B: SessionBackend>(backend: B) {
+    let base1 = publish_base(backend);
+    let tracker = Arc::clone(base1.tracker());
+    assert_eq!(base1.epoch(), 1);
+    assert_eq!(tracker.snapshots_live(), 1);
+    assert_eq!(tracker.snapshots_retired(), 0);
+
+    // A session derives a new function and publishes: same lineage, next
+    // epoch, and the derived name is now part of the library.
+    let mut s = base1.session();
+    let mut budget = OpBudget::unlimited();
+    s.apply(BoolOp::XOR, "par", "mix", Some("twist"), &mut budget)
+        .expect("derive");
+    let base2 = s.publish();
+    assert_eq!(base2.epoch(), 2);
+    assert!(
+        Arc::ptr_eq(base2.tracker(), &tracker),
+        "one lineage, one tracker"
+    );
+    assert_eq!(tracker.published(), 1, "session commits count as publishes");
+    assert_eq!(tracker.snapshots_live(), 2, "both epochs still referenced");
+    assert_eq!(tracker.snapshots_retired(), 0, "nothing retired while held");
+
+    // The OLD snapshot keeps serving while anyone holds it — retirement
+    // is strictly drop-driven, never early.
+    let shadow_twist = shadow_par() ^ shadow_mix();
+    for m in 0..ROWS {
+        let v: Vec<bool> = (0..NV).map(|i| (m >> i) & 1 == 1).collect();
+        assert_eq!(base1.eval("par", &v), Some((shadow_par() >> m) & 1 == 1));
+        assert_eq!(
+            base1.eval("twist", &v),
+            None,
+            "epoch 1 must not see epoch 2 names"
+        );
+        assert_eq!(base2.eval("twist", &v), Some((shadow_twist >> m) & 1 == 1));
+    }
+
+    // Dropping the old snapshot retires exactly it; the new epoch and any
+    // sessions forked from it are untouched.
+    drop(base1);
+    assert_eq!(tracker.snapshots_live(), 1);
+    assert_eq!(tracker.snapshots_retired(), 1);
+    let mut s2 = base2.session();
+    assert!(s2
+        .eval("twist", &[true, false, false, false, false])
+        .expect("fork of epoch 2"));
+    drop(s2);
+    drop(base2);
+    assert_eq!(tracker.snapshots_live(), 0);
+    assert_eq!(tracker.snapshots_retired(), 2);
+    assert_eq!(tracker.sessions_live(), 0);
+    assert_eq!(tracker.overlay_nodes(), 0, "lineage fully reclaimed");
+}
+
+#[test]
+fn epoch_lifecycle_bbdd() {
+    epoch_lifecycle(Bbdd::new(NV));
+}
+
+#[test]
+fn epoch_lifecycle_robdd() {
+    epoch_lifecycle(Robdd::new(NV));
+}
+
+#[test]
+fn epoch_lifecycle_par_bbdd() {
+    epoch_lifecycle(ParBbdd::new(NV, 2));
+}
+
+#[test]
+fn epoch_lifecycle_par_robdd() {
+    epoch_lifecycle(ParRobdd::new(NV, 2));
+}
+
+// ── Serve front door: batch answers are session-count invariant ──────────
+
+#[test]
+fn serve_batch_is_session_count_invariant() {
+    use bbdd_suite::serve::{run_batch, ServeConfig};
+    let base = publish_base(Bbdd::new(NV));
+    let lines: Vec<String> = (0..30)
+        .map(|i| match i % 5 {
+            0 => format!(
+                r#"{{"op":"eval","id":{i},"f":"par","assignment":[{},{},{},false,true]}}"#,
+                i % 2 == 0,
+                i % 3 == 0,
+                i % 7 == 0
+            ),
+            1 => format!(r#"{{"op":"sat_count","id":{i},"f":"mix"}}"#),
+            2 => format!(r#"{{"op":"cec","id":{i},"f":"par","g":"mix"}}"#),
+            3 => format!(r#"{{"op":"node_count","id":{i},"f":"par"}}"#),
+            _ => format!(r#"{{"op":"quantify","id":{i},"kind":"forall","f":"mix","vars":[3,4]}}"#),
+        })
+        .collect();
+    let reference = run_batch(&base, &ServeConfig::default(), &lines);
+    assert_eq!(reference.rejected, 0);
+    for sessions in [2, 4] {
+        let out = run_batch(
+            &base,
+            &ServeConfig {
+                sessions,
+                ..ServeConfig::default()
+            },
+            &lines,
+        );
+        assert_eq!(
+            out.responses, reference.responses,
+            "{sessions}-session batch diverged from single-session"
+        );
+    }
+    assert_eq!(
+        base.tracker().overlay_nodes(),
+        0,
+        "serve sessions reclaimed"
+    );
+}
+
+// ── Randomized interleaving properties ───────────────────────────────────
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn interleaved_sessions_bit_identical_bbdd(
+        scripts in proptest::collection::vec(
+            proptest::collection::vec(
+                (0u8..6, any::<u8>(), any::<u8>(), any::<u8>()), 1..16),
+            2..5),
+    ) {
+        assert_interleaved_matches_sequential(&publish_base(Bbdd::new(NV)), &scripts);
+    }
+
+    #[test]
+    fn interleaved_sessions_bit_identical_robdd(
+        scripts in proptest::collection::vec(
+            proptest::collection::vec(
+                (0u8..6, any::<u8>(), any::<u8>(), any::<u8>()), 1..16),
+            2..5),
+    ) {
+        assert_interleaved_matches_sequential(&publish_base(Robdd::new(NV)), &scripts);
+    }
+
+    #[test]
+    fn interleaved_sessions_bit_identical_par_bbdd(
+        scripts in proptest::collection::vec(
+            proptest::collection::vec(
+                (0u8..6, any::<u8>(), any::<u8>(), any::<u8>()), 1..12),
+            2..4),
+    ) {
+        assert_interleaved_matches_sequential(&publish_base(ParBbdd::new(NV, 2)), &scripts);
+    }
+
+    #[test]
+    fn interleaved_sessions_bit_identical_par_robdd(
+        scripts in proptest::collection::vec(
+            proptest::collection::vec(
+                (0u8..6, any::<u8>(), any::<u8>(), any::<u8>()), 1..12),
+            2..4),
+    ) {
+        assert_interleaved_matches_sequential(&publish_base(ParRobdd::new(NV, 2)), &scripts);
+    }
+}
