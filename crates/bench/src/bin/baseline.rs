@@ -473,6 +473,94 @@ fn main() {
         eprintln!("parallel section: done");
     }
 
+    // The CNF front door: exact model counting through the clause-
+    // scheduled build. parity-16 is the XOR-heavy headline case (the
+    // biconditional expansion vs the ROBDD baseline), random 3-CNF the
+    // generic load; the sliced rows decompose the same random instance
+    // into 2^2 cofactor sub-problems (sequential vs the fork-join pool at
+    // 4 workers — interpret against meta.host_threads) and the recombined
+    // counts are asserted bit-equal to the whole-formula count.
+    {
+        use cnf::Schedule;
+        use ddcore::govern::OpBudget;
+        let whole_ms = |inst: &cnf::Cnf, robdd_pkg: bool| -> (f64, u128, u64) {
+            let mut best = (f64::MAX, 0u128, 0u64);
+            for _ in 0..3 {
+                let mut budget = OpBudget::unlimited();
+                let t0 = Instant::now();
+                let (count, stats) = if robdd_pkg {
+                    let mgr = robdd::RobddManager::with_vars(inst.num_vars);
+                    cnf::count_cnf(&mgr, inst, &Schedule::Bucket, &mut budget).expect("count")
+                } else {
+                    let mgr = BbddManager::with_vars(inst.num_vars);
+                    cnf::count_cnf(&mgr, inst, &Schedule::Bucket, &mut budget).expect("count")
+                };
+                let ms = t0.elapsed().as_secs_f64() * 1e3;
+                if ms < best.0 {
+                    best = (ms, count, stats.conj_peak_nodes);
+                }
+            }
+            best
+        };
+        let parity = benchgen::cnf::parity_chain(16);
+        let (pb_ms, pb_count, pb_peak) = whole_ms(&parity, false);
+        let (pr_ms, pr_count, pr_peak) = whole_ms(&parity, true);
+        assert_eq!(pb_count, pr_count, "packages disagree on parity-16");
+        assert_eq!(pb_count, 1u128 << 15);
+        let rand3 = benchgen::cnf::random3(26, 110, 7);
+        let (rb_ms, rb_count, rb_peak) = whole_ms(&rand3, false);
+        let sliced_ms = |threads: Option<usize>| -> (f64, u128) {
+            let mut best = (f64::MAX, 0u128);
+            for _ in 0..3 {
+                let t0 = Instant::now();
+                let make = || BbddManager::with_vars(rand3.num_vars);
+                let sliced = match threads {
+                    Some(t) => cnf::count_sliced_par(
+                        t,
+                        make,
+                        OpBudget::unlimited,
+                        &rand3,
+                        &Schedule::Bucket,
+                        2,
+                    ),
+                    None => {
+                        cnf::count_sliced(make, OpBudget::unlimited, &rand3, &Schedule::Bucket, 2)
+                    }
+                };
+                assert!(!sliced.partial);
+                assert_eq!(sliced.total, rb_count, "slices disagree with the whole");
+                let ms = t0.elapsed().as_secs_f64() * 1e3;
+                if ms < best.0 {
+                    best = (ms, sliced.total);
+                }
+            }
+            best
+        };
+        let (slice_seq_ms, _) = sliced_ms(None);
+        let (slice_par_ms, _) = sliced_ms(Some(4));
+        // host_threads: the sliced_k2_par4 row can only beat the
+        // sequential row when the host has more than one hardware thread.
+        let host = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let _ = writeln!(
+            json,
+            "  \"cnf\": {{\"schedule\": \"bucket\", \"host_threads\": {host}, \
+             \"parity16\": {{\"vars\": {}, \"clauses\": {}, \"count\": \"{pb_count}\", \
+             \"bbdd_ms\": {pb_ms:.2}, \"bbdd_peak_nodes\": {pb_peak}, \
+             \"robdd_ms\": {pr_ms:.2}, \"robdd_peak_nodes\": {pr_peak}}}, \
+             \"random3_n26\": {{\"vars\": {}, \"clauses\": {}, \"count\": \"{rb_count}\", \
+             \"bbdd_ms\": {rb_ms:.2}, \"bbdd_peak_nodes\": {rb_peak}, \
+             \"sliced_k2_seq_ms\": {slice_seq_ms:.2}, \
+             \"sliced_k2_par4_ms\": {slice_par_ms:.2}}}}},",
+            parity.num_vars,
+            parity.num_clauses(),
+            rand3.num_vars,
+            rand3.num_clauses(),
+        );
+        eprintln!("cnf section: done");
+    }
+
     // The serving layer: batch requests/sec with 1 session vs 4 concurrent
     // sessions (interpret against meta.host_threads — parallel speedups
     // are only physically possible when it exceeds 1).

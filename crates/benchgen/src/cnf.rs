@@ -1,0 +1,196 @@
+//! Deterministic CNF instance generators for the DIMACS front door.
+//!
+//! Three families, mirroring the workloads the `cnf` crate is measured
+//! on:
+//!
+//! * [`parity_chain`] — Tseitin-encoded XOR chains, the BBDD headline
+//!   case: biconditional expansion targets exactly this structure, and
+//!   the model count is known in closed form (`2^(n-1)` over the
+//!   `2n - 1` declared variables).
+//! * [`random3`] — uniform random 3-CNF at a caller-chosen clause/var
+//!   ratio, the classic hardness dial.
+//! * [`product_config`] — a product-configuration-style instance:
+//!   option groups with at-most-one constraints, dependency (requires)
+//!   clauses and cross-group conflicts, always satisfiable.
+//!
+//! Everything is deterministic: the same parameters produce the same
+//! instance, and every instance round-trips through the strict DIMACS
+//! parser.
+
+use cnf::Cnf;
+use logicnet::sim::SplitMix64;
+
+/// Domain-separation constant for this module's RNG streams.
+const CNF_MAGIC: u64 = 0xC4F_D1AC5;
+
+/// Tseitin-encoded odd-parity chain over `n ≥ 1` data variables:
+/// `x1 ⊕ x2 ⊕ … ⊕ xn = 1`.
+///
+/// Data variables are `1..=n`; chain variables `t_i = x1 ⊕ … ⊕ x_{i+1}`
+/// are `n+1..=2n-1`, each defined by the four XOR-equality clauses, with
+/// a final unit clause asserting the last chain variable. Every model
+/// assigns the chain variables functionally, so the count over the
+/// declared `2n - 1` variables is exactly `2^(n-1)`.
+///
+/// # Panics
+/// Panics if `n` is zero.
+#[must_use]
+pub fn parity_chain(n: usize) -> Cnf {
+    assert!(n > 0, "parity chain needs at least one variable");
+    if n == 1 {
+        let mut out = Cnf::new(1);
+        out.add_clause(&[1]);
+        return out;
+    }
+    let mut out = Cnf::new(2 * n - 1);
+    // t ↔ a ⊕ b as four clauses.
+    let mut xor_eq = |t: i32, a: i32, b: i32| {
+        out.add_clause(&[-t, a, b]);
+        out.add_clause(&[-t, -a, -b]);
+        out.add_clause(&[t, -a, b]);
+        out.add_clause(&[t, a, -b]);
+    };
+    let t = |i: usize| (n + i) as i32; // chain var i, 1-based, i ∈ 1..n
+    xor_eq(t(1), 1, 2);
+    for i in 2..n {
+        xor_eq(t(i), t(i - 1), (i + 1) as i32);
+    }
+    out.add_clause(&[t(n - 1)]);
+    out
+}
+
+/// Uniform random 3-CNF: `clauses` clauses over `n_vars ≥ 3` variables,
+/// each on three distinct variables with independent random polarities.
+/// Deterministic in `seed`.
+///
+/// # Panics
+/// Panics if `n_vars < 3`.
+#[must_use]
+pub fn random3(n_vars: usize, clauses: usize, seed: u64) -> Cnf {
+    assert!(n_vars >= 3, "random 3-CNF needs at least three variables");
+    let mut rng = SplitMix64::new(seed ^ CNF_MAGIC);
+    let mut out = Cnf::new(n_vars);
+    for _ in 0..clauses {
+        let mut vars: Vec<usize> = Vec::with_capacity(3);
+        while vars.len() < 3 {
+            let v = (rng.next_u64() % n_vars as u64) as usize;
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        let lits: Vec<i32> = vars
+            .into_iter()
+            .map(|v| {
+                let lit = (v + 1) as i32;
+                if rng.next_u64() & 1 == 1 {
+                    -lit
+                } else {
+                    lit
+                }
+            })
+            .collect();
+        out.add_clause(&lits);
+    }
+    out
+}
+
+/// A product-configuration-style instance over `features ≥ 6` feature
+/// variables, deterministic in `seed`:
+///
+/// * the first `⌊features/3⌋` triples of features are *option groups*
+///   with pairwise at-most-one clauses; the first group additionally
+///   requires at least one member (a mandatory selection);
+/// * every feature outside the groups *requires* one pseudo-random
+///   earlier feature (`¬f ∨ dep`);
+/// * one cross-group *conflict* clause (`¬a ∨ ¬b`) per group pair,
+///   between pseudo-random members.
+///
+/// Always satisfiable: pick one member of the mandatory group, leave
+/// everything else unselected.
+///
+/// # Panics
+/// Panics if `features < 6`.
+#[must_use]
+pub fn product_config(features: usize, seed: u64) -> Cnf {
+    assert!(features >= 6, "product config needs at least six features");
+    let mut rng = SplitMix64::new(seed ^ CNF_MAGIC.rotate_left(17));
+    let mut out = Cnf::new(features);
+    let groups = features / 3;
+    let lit = |v: usize| (v + 1) as i32;
+    // Option groups over features [3g, 3g+3).
+    for g in 0..groups {
+        let (a, b, c) = (3 * g, 3 * g + 1, 3 * g + 2);
+        out.add_clause(&[-lit(a), -lit(b)]);
+        out.add_clause(&[-lit(a), -lit(c)]);
+        out.add_clause(&[-lit(b), -lit(c)]);
+        if g == 0 {
+            out.add_clause(&[lit(a), lit(b), lit(c)]);
+        }
+    }
+    // Dependencies for the tail features.
+    for f in 3 * groups..features {
+        let dep = (rng.next_u64() % (3 * groups) as u64) as usize;
+        out.add_clause(&[-lit(f), lit(dep)]);
+    }
+    // One conflict per group pair.
+    for g in 0..groups {
+        for h in g + 1..groups {
+            let a = 3 * g + (rng.next_u64() % 3) as usize;
+            let b = 3 * h + (rng.next_u64() % 3) as usize;
+            out.add_clause(&[-lit(a), -lit(b)]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnf::parse_dimacs;
+
+    #[test]
+    fn parity_chain_has_closed_form_count() {
+        for n in 1..=8 {
+            let inst = parity_chain(n);
+            assert_eq!(
+                inst.brute_force_count(),
+                Some(1u128 << (n - 1)),
+                "parity_chain({n})"
+            );
+        }
+    }
+
+    #[test]
+    fn parity_chain_shape() {
+        let inst = parity_chain(8);
+        assert_eq!(inst.num_vars, 15);
+        assert_eq!(inst.num_clauses(), 4 * 7 + 1);
+    }
+
+    #[test]
+    fn generators_emit_valid_dimacs() {
+        for inst in [parity_chain(8), random3(12, 51, 7), product_config(12, 3)] {
+            let parsed = parse_dimacs(&inst.to_dimacs("generated")).unwrap();
+            assert_eq!(parsed, inst);
+        }
+    }
+
+    #[test]
+    fn random3_is_deterministic_and_shaped() {
+        let a = random3(20, 85, 42);
+        let b = random3(20, 85, 42);
+        assert_eq!(a, b);
+        assert_ne!(a, random3(20, 85, 43));
+        assert!(a.clauses.iter().all(|c| c.len() == 3));
+        assert_eq!(a.num_clauses(), 85);
+    }
+
+    #[test]
+    fn product_config_is_satisfiable() {
+        for seed in 0..4 {
+            let inst = product_config(15, seed);
+            let count = inst.brute_force_count().unwrap();
+            assert!(count > 0, "seed {seed} produced an unsatisfiable config");
+        }
+    }
+}

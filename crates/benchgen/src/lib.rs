@@ -10,7 +10,10 @@
 //!   function is not public — see `DESIGN.md` §5 for the substitution
 //!   table);
 //! * [`datapath`] — the adder / equality / magnitude / barrel-shifter
-//!   datapaths of Table II in 32- and 64-bit operand widths.
+//!   datapaths of Table II in 32- and 64-bit operand widths;
+//! * [`cnf`] — DIMACS CNF instances for the SAT-shaped front door:
+//!   Tseitin parity chains (the BBDD headline case), random 3-CNF, and a
+//!   product-configuration family.
 //!
 //! All generators are deterministic; PLA stand-ins take an explicit seed.
 //!
@@ -24,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod arith;
+pub mod cnf;
 pub mod datapath;
 pub mod mcnc;
 pub mod pla;

@@ -1,0 +1,255 @@
+//! Scheduled CNF → decision-diagram construction.
+//!
+//! Two entry points over the same plan semantics:
+//!
+//! * [`try_build_cnf`] — handle-based, generic over
+//!   [`FunctionManager`]: every `CLAUSE_STRIDE` clauses it runs the
+//!   manager's budgeted collection gate (`try_collect`), which is where
+//!   installed DVO schedules fire mid-build, exactly like the netlist
+//!   builder. This is the CLI and test path.
+//! * [`try_build_cnf_raw`] — edge-based, generic over [`RawManager`]:
+//!   no collection gates (the caller owns reclamation — session forks
+//!   reclaim the whole overlay at drop). This is the serve path, run
+//!   inside `Session::build_raw`.
+//!
+//! Both conjoin each plan group left to right, then merge group results
+//! pairwise (balanced tree), tracking the peak intermediate conjunction
+//! size for the `cnf.*` metrics.
+
+use crate::dimacs::Cnf;
+use crate::schedule::SchedulePlan;
+use ddcore::api::{BooleanFunction, FunctionManager, RawManager};
+use ddcore::boolop::BoolOp;
+use ddcore::govern::{OpAbort, OpBudget};
+
+/// Clauses conjoined between budgeted collection gates in the handle
+/// path (each gate may fire a scheduled DVO pass).
+pub const CLAUSE_STRIDE: usize = 64;
+
+/// Counters from one construction, feeding the `cnf.*` metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BuildStats {
+    /// Clauses conjoined into the result.
+    pub clauses_scheduled: u64,
+    /// Groups in the executed plan.
+    pub groups: u64,
+    /// Largest node count of any intermediate conjunction result — the
+    /// quantity clause scheduling exists to keep small.
+    pub conj_peak_nodes: u64,
+}
+
+impl BuildStats {
+    fn observe(&mut self, nodes: usize) {
+        self.conj_peak_nodes = self.conj_peak_nodes.max(nodes as u64);
+    }
+}
+
+/// A budgeted construction that ran out of road.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildAborted {
+    /// Why the budget stopped it.
+    pub reason: OpAbort,
+    /// Clauses successfully conjoined before the abort.
+    pub clauses_done: u64,
+}
+
+impl std::fmt::Display for BuildAborted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "CNF build aborted ({}) after {} clauses",
+            self.reason, self.clauses_done
+        )
+    }
+}
+
+impl std::error::Error for BuildAborted {}
+
+/// Build the conjunction of `cnf` under `plan` with unlimited resources.
+///
+/// # Panics
+/// Panics if the manager has fewer than `cnf.num_vars` variables or the
+/// plan does not cover the instance.
+pub fn build_cnf<M: FunctionManager>(
+    mgr: &M,
+    cnf: &Cnf,
+    plan: &SchedulePlan,
+) -> (M::Function, BuildStats) {
+    let mut budget = OpBudget::unlimited();
+    match try_build_cnf(mgr, cnf, plan, &mut budget) {
+        Ok(r) => r,
+        Err(e) => unreachable!("unlimited budget aborted: {e}"),
+    }
+}
+
+/// Build the conjunction of `cnf` under `plan` and `budget`, running the
+/// manager's collection gate (GC + scheduled DVO) every
+/// [`CLAUSE_STRIDE`] clauses. On abort every intermediate handle is
+/// dropped and the manager stays fully usable; the orphaned scratch
+/// nodes are swept by the next collection.
+///
+/// # Errors
+/// [`BuildAborted`] with the budget's reason and the progress made.
+///
+/// # Panics
+/// Panics if the manager has fewer than `cnf.num_vars` variables or the
+/// plan does not cover the instance.
+pub fn try_build_cnf<M: FunctionManager>(
+    mgr: &M,
+    cnf: &Cnf,
+    plan: &SchedulePlan,
+    budget: &mut OpBudget,
+) -> Result<(M::Function, BuildStats), BuildAborted> {
+    assert!(
+        mgr.num_vars() >= cnf.num_vars,
+        "manager has {} vars, instance declares {}",
+        mgr.num_vars(),
+        cnf.num_vars
+    );
+    assert!(
+        plan.covers_exactly(cnf.num_clauses()),
+        "schedule plan does not cover the instance"
+    );
+    let mut stats = BuildStats {
+        groups: plan.groups.len() as u64,
+        ..BuildStats::default()
+    };
+    let abort = |reason: OpAbort, stats: &BuildStats| BuildAborted {
+        reason,
+        clauses_done: stats.clauses_scheduled,
+    };
+
+    let mut group_fns: Vec<M::Function> = Vec::with_capacity(plan.groups.len());
+    for group in &plan.groups {
+        let mut acc = mgr.constant(true);
+        for &ci in group {
+            let clause = match try_clause_fn(mgr, &cnf.clauses[ci], budget) {
+                Ok(c) => c,
+                Err(r) => return Err(abort(r, &stats)),
+            };
+            acc = match acc.try_and(&clause, budget) {
+                Ok(f) => f,
+                Err(r) => return Err(abort(r, &stats)),
+            };
+            stats.clauses_scheduled += 1;
+            stats.observe(acc.node_count());
+            if stats.clauses_scheduled.is_multiple_of(CLAUSE_STRIDE as u64) {
+                // The DVO/GC gate: scheduled sifts fire here, abort-safely.
+                if let Err(r) = mgr.try_collect(budget) {
+                    return Err(abort(r, &stats));
+                }
+            }
+        }
+        group_fns.push(acc);
+    }
+
+    // Balanced pairwise merge of the group results.
+    while group_fns.len() > 1 {
+        let mut next: Vec<M::Function> = Vec::with_capacity(group_fns.len().div_ceil(2));
+        let mut it = group_fns.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => {
+                    let merged = match a.try_and(&b, budget) {
+                        Ok(f) => f,
+                        Err(r) => return Err(abort(r, &stats)),
+                    };
+                    stats.observe(merged.node_count());
+                    next.push(merged);
+                }
+                None => next.push(a),
+            }
+        }
+        group_fns = next;
+        if let Err(r) = mgr.try_collect(budget) {
+            return Err(abort(r, &stats));
+        }
+    }
+    let result = group_fns.pop().unwrap_or_else(|| mgr.constant(true));
+    stats.observe(result.node_count());
+    Ok((result, stats))
+}
+
+/// One clause as a function: the disjunction of its literals.
+fn try_clause_fn<M: FunctionManager>(
+    mgr: &M,
+    clause: &[i32],
+    budget: &mut OpBudget,
+) -> Result<M::Function, OpAbort> {
+    let mut acc = mgr.constant(false);
+    for &l in clause {
+        let v = (l.unsigned_abs() - 1) as usize;
+        let lit = if l > 0 { mgr.var(v) } else { mgr.var(v).not() };
+        acc = acc.try_or(&lit, budget)?;
+    }
+    Ok(acc)
+}
+
+// ───────────────────────── edge-level path ────────────────────────────────
+
+/// Edge-level [`try_build_cnf`] for callers that hold a raw backend —
+/// the serve layer building a DIMACS instance inside a session fork. No
+/// collection gates run (a fork reclaims its whole overlay at drop, and
+/// GC without root registration would sweep the intermediates).
+///
+/// # Errors
+/// The budget's abort reason; the backend keeps every node it allocated
+/// (the caller's reclamation policy applies).
+///
+/// # Panics
+/// Panics if the backend has fewer than `cnf.num_vars` variables or the
+/// plan does not cover the instance.
+pub fn try_build_cnf_raw<B: RawManager>(
+    mgr: &mut B,
+    cnf: &Cnf,
+    plan: &SchedulePlan,
+    budget: &mut OpBudget,
+) -> Result<(B::Edge, BuildStats), OpAbort> {
+    assert!(mgr.num_vars() >= cnf.num_vars);
+    assert!(plan.covers_exactly(cnf.num_clauses()));
+    let mut stats = BuildStats {
+        groups: plan.groups.len() as u64,
+        ..BuildStats::default()
+    };
+    let tru = mgr.constant_edge(true);
+    let fls = mgr.constant_edge(false);
+    let mut group_edges: Vec<B::Edge> = Vec::with_capacity(plan.groups.len());
+    for group in &plan.groups {
+        let mut acc = tru;
+        for &ci in group {
+            let mut clause = fls;
+            for &l in &cnf.clauses[ci] {
+                let v = (l.unsigned_abs() - 1) as usize;
+                let x = mgr.var_edge(v);
+                let lit = if l > 0 {
+                    x
+                } else {
+                    mgr.try_apply_edge(BoolOp::XOR, x, tru, budget)?
+                };
+                clause = mgr.try_apply_edge(BoolOp::OR, clause, lit, budget)?;
+            }
+            acc = mgr.try_apply_edge(BoolOp::AND, acc, clause, budget)?;
+            stats.clauses_scheduled += 1;
+            stats.observe(mgr.node_count_edge(acc));
+        }
+        group_edges.push(acc);
+    }
+    while group_edges.len() > 1 {
+        let mut next: Vec<B::Edge> = Vec::with_capacity(group_edges.len().div_ceil(2));
+        let mut it = group_edges.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => {
+                    let merged = mgr.try_apply_edge(BoolOp::AND, a, b, budget)?;
+                    stats.observe(mgr.node_count_edge(merged));
+                    next.push(merged);
+                }
+                None => next.push(a),
+            }
+        }
+        group_edges = next;
+    }
+    let result = group_edges.pop().unwrap_or(tru);
+    stats.observe(mgr.node_count_edge(result));
+    Ok((result, stats))
+}

@@ -1,0 +1,209 @@
+//! Static variable ordering for CNF instances.
+//!
+//! Two deterministic heuristics over the clause/variable incidence
+//! hypergraph, selected by [`CnfOrder`] and installed through
+//! `FunctionManager::set_order` before construction:
+//!
+//! * **freq** — variables by descending occurrence count (ties by index):
+//!   the classic "most constrained variable on top" rule.
+//! * **force** — the FORCE heuristic (Aloul–Markov–Sakallah): iterative
+//!   center-of-gravity placement on the hypergraph whose hyperedges are
+//!   the clauses, minimizing total clause span. Span correlates with the
+//!   width of the clause-conjunction frontier, which bounds intermediate
+//!   BDD growth during scheduled construction.
+
+use crate::dimacs::Cnf;
+use std::str::FromStr;
+
+/// Which static variable order to install before building.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CnfOrder {
+    /// Keep the DIMACS variable numbering.
+    #[default]
+    None,
+    /// Descending occurrence count.
+    Freq,
+    /// FORCE hypergraph placement.
+    Force,
+}
+
+impl std::fmt::Display for CnfOrder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CnfOrder::None => "none",
+            CnfOrder::Freq => "freq",
+            CnfOrder::Force => "force",
+        })
+    }
+}
+
+impl FromStr for CnfOrder {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "none" => Ok(CnfOrder::None),
+            "freq" => Ok(CnfOrder::Freq),
+            "force" => Ok(CnfOrder::Force),
+            other => Err(format!(
+                "unknown static order '{other}' (expected none|freq|force)"
+            )),
+        }
+    }
+}
+
+impl CnfOrder {
+    /// The variable permutation this heuristic proposes (top of the order
+    /// first), or `None` for [`CnfOrder::None`]. Always a permutation of
+    /// `0..cnf.num_vars`, and deterministic for a given instance.
+    #[must_use]
+    pub fn permutation(&self, cnf: &Cnf) -> Option<Vec<usize>> {
+        match self {
+            CnfOrder::None => None,
+            CnfOrder::Freq => Some(freq_order(cnf)),
+            CnfOrder::Force => Some(force_order(cnf)),
+        }
+    }
+}
+
+/// Variables by descending occurrence count, ties by ascending index.
+#[must_use]
+pub fn freq_order(cnf: &Cnf) -> Vec<usize> {
+    let occ = cnf.occurrences();
+    let mut vars: Vec<usize> = (0..cnf.num_vars).collect();
+    vars.sort_by_key(|&v| (std::cmp::Reverse(occ[v]), v));
+    vars
+}
+
+/// FORCE placement over the clause hypergraph: start from the identity
+/// placement, repeatedly move every variable to the mean center of
+/// gravity of its clauses, and keep the iteration with the smallest total
+/// clause span. Deterministic: fixed iteration count, stable sorts.
+#[must_use]
+pub fn force_order(cnf: &Cnf) -> Vec<usize> {
+    let n = cnf.num_vars;
+    if n == 0 {
+        return Vec::new();
+    }
+    // var -> clause indices it appears in.
+    let mut in_clauses: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (ci, c) in cnf.clauses.iter().enumerate() {
+        for &l in c {
+            let v = (l.unsigned_abs() - 1) as usize;
+            if in_clauses[v].last() != Some(&ci) {
+                in_clauses[v].push(ci);
+            }
+        }
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut pos: Vec<f64> = (0..n).map(|v| v as f64).collect();
+    let mut best = order.clone();
+    let mut best_span = total_span(cnf, &order);
+    let iters = (usize::BITS - n.leading_zeros()) as usize * 2 + 6;
+    for _ in 0..iters {
+        // Clause centers of gravity under the current placement.
+        let cogs: Vec<f64> = cnf
+            .clauses
+            .iter()
+            .map(|c| {
+                if c.is_empty() {
+                    0.0
+                } else {
+                    c.iter()
+                        .map(|&l| pos[(l.unsigned_abs() - 1) as usize])
+                        .sum::<f64>()
+                        / c.len() as f64
+                }
+            })
+            .collect();
+        // Each variable moves to the mean of its clauses' centers.
+        let keys: Vec<f64> = (0..n)
+            .map(|v| {
+                if in_clauses[v].is_empty() {
+                    pos[v]
+                } else {
+                    in_clauses[v].iter().map(|&ci| cogs[ci]).sum::<f64>()
+                        / in_clauses[v].len() as f64
+                }
+            })
+            .collect();
+        order.sort_by(|&a, &b| keys[a].partial_cmp(&keys[b]).unwrap().then(a.cmp(&b)));
+        for (p, &v) in order.iter().enumerate() {
+            pos[v] = p as f64;
+        }
+        let span = total_span(cnf, &order);
+        if span < best_span {
+            best_span = span;
+            best = order.clone();
+        }
+    }
+    best
+}
+
+/// Sum over clauses of (max var position − min var position) under the
+/// given placement — the quantity FORCE minimizes.
+fn total_span(cnf: &Cnf, order: &[usize]) -> u64 {
+    let mut pos = vec![0usize; order.len()];
+    for (p, &v) in order.iter().enumerate() {
+        pos[v] = p;
+    }
+    let mut span = 0u64;
+    for c in &cnf.clauses {
+        let ps = c.iter().map(|&l| pos[(l.unsigned_abs() - 1) as usize]);
+        if let (Some(lo), Some(hi)) = (ps.clone().min(), ps.max()) {
+            span += (hi - lo) as u64;
+        }
+    }
+    span
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dimacs::parse_dimacs;
+
+    fn is_permutation(p: &[usize], n: usize) -> bool {
+        let mut seen = vec![false; n];
+        p.len() == n
+            && p.iter().all(|&v| {
+                if v < n && !seen[v] {
+                    seen[v] = true;
+                    true
+                } else {
+                    false
+                }
+            })
+    }
+
+    #[test]
+    fn freq_puts_hot_variable_first() {
+        let cnf = parse_dimacs("p cnf 4 3\n2 3 0\n-2 4 0\n2 -1 0\n").unwrap();
+        let ord = freq_order(&cnf);
+        assert_eq!(ord[0], 1); // variable 2 (index 1) appears 3 times
+        assert!(is_permutation(&ord, 4));
+    }
+
+    #[test]
+    fn force_is_a_permutation_and_never_worse_than_identity() {
+        let cnf = parse_dimacs("p cnf 6 5\n1 6 0\n2 5 0\n3 4 0\n1 2 0\n5 6 0\n").unwrap();
+        let ord = force_order(&cnf);
+        assert!(is_permutation(&ord, 6));
+        let identity: Vec<usize> = (0..6).collect();
+        assert!(total_span(&cnf, &ord) <= total_span(&cnf, &identity));
+    }
+
+    #[test]
+    fn force_handles_degenerate_instances() {
+        assert_eq!(force_order(&Cnf::new(0)), Vec::<usize>::new());
+        let empty_clause = parse_dimacs("p cnf 3 1\n0\n").unwrap();
+        assert!(is_permutation(&force_order(&empty_clause), 3));
+    }
+
+    #[test]
+    fn order_enum_round_trips() {
+        for o in [CnfOrder::None, CnfOrder::Freq, CnfOrder::Force] {
+            assert_eq!(o.to_string().parse::<CnfOrder>().unwrap(), o);
+        }
+        assert!("bogus".parse::<CnfOrder>().is_err());
+    }
+}

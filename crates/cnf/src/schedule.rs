@@ -1,0 +1,225 @@
+//! Clause scheduling: in what order, and in what grouping, the clauses of
+//! a CNF are conjoined into a decision diagram.
+//!
+//! Conjunction order dominates intermediate diagram size — the same
+//! instance can be linear or exponential depending on when structurally
+//! related clauses meet. The seam is one trait, [`ClauseSchedule`],
+//! producing a [`SchedulePlan`]: an ordered list of clause groups. The
+//! builder conjoins the clauses of each group left to right, then merges
+//! the group results with a balanced binary tree, so a plan expresses
+//! both clustering ("these clauses belong together") and global shape
+//! ("merge clusters pairwise, not as one long chain").
+
+use crate::dimacs::Cnf;
+use crate::order::force_order;
+use std::str::FromStr;
+
+/// An ordered grouping of clause indices — the builder's work list.
+///
+/// Every clause index of the instance appears in exactly one group;
+/// groups are conjoined internally in order, then pairwise-merged
+/// balanced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulePlan {
+    /// Groups of clause indices into [`Cnf::clauses`].
+    pub groups: Vec<Vec<usize>>,
+}
+
+impl SchedulePlan {
+    /// Total clauses scheduled (the sum of group lengths).
+    #[must_use]
+    pub fn num_clauses(&self) -> usize {
+        self.groups.iter().map(Vec::len).sum()
+    }
+
+    /// Debug check: the plan covers `0..n` exactly once each.
+    #[must_use]
+    pub fn covers_exactly(&self, n: usize) -> bool {
+        let mut seen = vec![false; n];
+        for g in &self.groups {
+            for &ci in g {
+                if ci >= n || seen[ci] {
+                    return false;
+                }
+                seen[ci] = true;
+            }
+        }
+        seen.into_iter().all(|s| s)
+    }
+}
+
+/// A clause-scheduling heuristic: instance in, [`SchedulePlan`] out.
+///
+/// Implementations must be deterministic (same instance, same plan) and
+/// must cover every clause exactly once — the slicing recombination
+/// argument and the abort-resume accounting both rely on it.
+pub trait ClauseSchedule {
+    /// Stable name for CLI flags, logs and metrics.
+    fn name(&self) -> &'static str;
+
+    /// Produce the work list for `cnf`.
+    fn plan(&self, cnf: &Cnf) -> SchedulePlan;
+}
+
+/// The built-in schedules, selectable by name (`--schedule` on the CLI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Schedule {
+    /// File order, one linear chain — the baseline every heuristic must
+    /// beat.
+    Input,
+    /// Bucket clustering: clauses grouped by their lowest variable (the
+    /// bucket-elimination grouping), buckets merged as a balanced tree.
+    #[default]
+    Bucket,
+    /// FORCE-style clause order: clauses sorted by center of gravity
+    /// under the FORCE variable placement, conjoined in that order.
+    Force,
+}
+
+impl std::fmt::Display for Schedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(ClauseSchedule::name(self))
+    }
+}
+
+impl FromStr for Schedule {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "input" => Ok(Schedule::Input),
+            "bucket" => Ok(Schedule::Bucket),
+            "force" => Ok(Schedule::Force),
+            other => Err(format!(
+                "unknown schedule '{other}' (expected input|bucket|force)"
+            )),
+        }
+    }
+}
+
+impl ClauseSchedule for Schedule {
+    fn name(&self) -> &'static str {
+        match self {
+            Schedule::Input => "input",
+            Schedule::Bucket => "bucket",
+            Schedule::Force => "force",
+        }
+    }
+
+    fn plan(&self, cnf: &Cnf) -> SchedulePlan {
+        match self {
+            Schedule::Input => SchedulePlan {
+                groups: vec![(0..cnf.clauses.len()).collect()],
+            },
+            Schedule::Bucket => bucket_plan(cnf),
+            Schedule::Force => force_plan(cnf),
+        }
+    }
+}
+
+/// Bucket clustering: clauses keyed by their minimum variable index,
+/// buckets emitted in ascending key order; clauses without variables
+/// (empty clauses) land in a bucket of their own at the front.
+fn bucket_plan(cnf: &Cnf) -> SchedulePlan {
+    let m = cnf.clauses.len();
+    // key = min var index + 1, 0 for empty clauses.
+    let mut keyed: Vec<(usize, usize)> = (0..m)
+        .map(|ci| {
+            let key = cnf.clauses[ci]
+                .iter()
+                .map(|&l| l.unsigned_abs() as usize)
+                .min()
+                .unwrap_or(0);
+            (key, ci)
+        })
+        .collect();
+    keyed.sort(); // stable: by key, then by clause index
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut last_key = usize::MAX;
+    for (key, ci) in keyed {
+        if key != last_key {
+            groups.push(Vec::new());
+            last_key = key;
+        }
+        groups.last_mut().expect("group pushed above").push(ci);
+    }
+    SchedulePlan { groups }
+}
+
+/// FORCE clause order: place variables with [`force_order`], then sort
+/// clauses by their center of gravity under that placement (ties by
+/// clause index). One ordered group — the point is the order itself.
+fn force_plan(cnf: &Cnf) -> SchedulePlan {
+    let placement = force_order(cnf);
+    let mut pos = vec![0usize; cnf.num_vars];
+    for (p, &v) in placement.iter().enumerate() {
+        pos[v] = p;
+    }
+    let m = cnf.clauses.len();
+    let mut order: Vec<usize> = (0..m).collect();
+    let cog = |ci: usize| -> f64 {
+        let c = &cnf.clauses[ci];
+        if c.is_empty() {
+            -1.0
+        } else {
+            c.iter()
+                .map(|&l| pos[(l.unsigned_abs() - 1) as usize] as f64)
+                .sum::<f64>()
+                / c.len() as f64
+        }
+    };
+    order.sort_by(|&a, &b| cog(a).partial_cmp(&cog(b)).unwrap().then(a.cmp(&b)));
+    SchedulePlan {
+        groups: vec![order],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dimacs::parse_dimacs;
+
+    fn toy() -> Cnf {
+        parse_dimacs("p cnf 4 5\n3 4 0\n1 2 0\n-1 3 0\n0\n2 -4 0\n").unwrap()
+    }
+
+    #[test]
+    fn input_is_one_group_in_file_order() {
+        let plan = Schedule::Input.plan(&toy());
+        assert_eq!(plan.groups, vec![vec![0, 1, 2, 3, 4]]);
+    }
+
+    #[test]
+    fn every_schedule_covers_every_clause_once() {
+        let cnf = toy();
+        for s in [Schedule::Input, Schedule::Bucket, Schedule::Force] {
+            let plan = s.plan(&cnf);
+            assert!(plan.covers_exactly(cnf.num_clauses()), "{s}");
+            assert_eq!(plan.num_clauses(), cnf.num_clauses(), "{s}");
+        }
+    }
+
+    #[test]
+    fn bucket_groups_by_min_var() {
+        let plan = Schedule::Bucket.plan(&toy());
+        // empty clause (index 3) first, then min-var-1 clauses {1, 2},
+        // then min-var-2 clause {4}, then min-var-3 clause {0}.
+        assert_eq!(plan.groups, vec![vec![3], vec![1, 2], vec![4], vec![0]]);
+    }
+
+    #[test]
+    fn schedule_enum_round_trips() {
+        for s in [Schedule::Input, Schedule::Bucket, Schedule::Force] {
+            assert_eq!(s.to_string().parse::<Schedule>().unwrap(), s);
+        }
+        assert!("bogus".parse::<Schedule>().is_err());
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let cnf = toy();
+        for s in [Schedule::Input, Schedule::Bucket, Schedule::Force] {
+            assert_eq!(s.plan(&cnf), s.plan(&cnf));
+        }
+    }
+}

@@ -213,6 +213,64 @@ pub trait RawManager: Sized {
     /// The budget's abort reason.
     fn try_sat_count_edge(&self, f: Self::Edge, budget: &mut OpBudget) -> Result<u128, OpAbort>;
 
+    /// [`RawManager::sat_count_edge`] taken over a caller-declared
+    /// variable universe `0..n_vars` instead of the manager's own
+    /// `0..num_vars()` — the normalization CNF model counting needs when
+    /// the DIMACS header declares more (or fewer) variables than the
+    /// manager materialized.
+    ///
+    /// Writing `m = num_vars()` and `c` for the count over `0..m`:
+    /// the count over `0..n_vars` is `c · 2^(n_vars − m)` when
+    /// `n_vars ≥ m` (each model extends freely over the extra
+    /// variables), and exactly `c / 2^(m − n_vars)` when `n_vars < m`
+    /// *provided* the function does not depend on any variable
+    /// `≥ n_vars` (each declared-universe model then extends to exactly
+    /// `2^(m − n_vars)` manager-universe models).
+    ///
+    /// Returns `None` when the result is not exactly representable:
+    /// `n_vars > 127`, `num_vars() > 127`, or the function depends on a
+    /// variable outside `0..n_vars`. `Some` values are always exact.
+    fn sat_count_over_edge(&mut self, f: Self::Edge, n_vars: usize) -> Option<u128> {
+        let m = self.num_vars();
+        if n_vars > 127 || (n_vars < m && self.support_edge(f).iter().any(|&v| v >= n_vars)) {
+            return None;
+        }
+        let c = self.sat_count_checked_edge(f)?;
+        // `c ≤ 2^m` and `n_vars ≤ 127`, so the left shift cannot overflow.
+        Some(if n_vars >= m {
+            c << (n_vars - m)
+        } else {
+            c >> (m - n_vars)
+        })
+    }
+
+    /// [`RawManager::sat_count_over_edge`] under a resource budget.
+    /// `Ok(None)` means the count is not exactly representable (see the
+    /// unbudgeted variant); budget exhaustion is the `Err` arm.
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    fn try_sat_count_over_edge(
+        &mut self,
+        f: Self::Edge,
+        n_vars: usize,
+        budget: &mut OpBudget,
+    ) -> Result<Option<u128>, OpAbort> {
+        let m = self.num_vars();
+        if n_vars > 127
+            || m > 127
+            || (n_vars < m && self.support_edge(f).iter().any(|&v| v >= n_vars))
+        {
+            return Ok(None);
+        }
+        let c = self.try_sat_count_edge(f, budget)?;
+        Ok(Some(if n_vars >= m {
+            c << (n_vars - m)
+        } else {
+            c >> (m - n_vars)
+        }))
+    }
+
     /// One satisfying assignment, or `None` for constant false.
     fn any_sat_edge(&self, f: Self::Edge) -> Option<Vec<bool>>;
 
@@ -920,6 +978,26 @@ pub trait BooleanFunction: Clone + PartialEq + std::fmt::Debug + Sized {
     /// The budget's abort reason.
     fn try_sat_count(&self, budget: &mut OpBudget) -> Result<u128, OpAbort>;
 
+    /// Model count over a caller-declared variable universe `0..n_vars`
+    /// instead of the manager's `0..num_vars()` — e.g. the variable count
+    /// a DIMACS header declares. `None` when the result is not exactly
+    /// representable: `n_vars > 127`, more than 127 manager variables, or
+    /// the function depends on a variable outside `0..n_vars`. `Some`
+    /// values are always exact (see [`RawManager::sat_count_over_edge`]
+    /// for the normalization argument).
+    fn sat_count_over(&self, n_vars: usize) -> Option<u128>;
+
+    /// Budgeted [`BooleanFunction::sat_count_over`]; `Ok(None)` means not
+    /// exactly representable, budget exhaustion is the `Err` arm.
+    ///
+    /// # Errors
+    /// The budget's abort reason.
+    fn try_sat_count_over(
+        &self,
+        n_vars: usize,
+        budget: &mut OpBudget,
+    ) -> Result<Option<u128>, OpAbort>;
+
     /// One satisfying assignment, or `None` for constant false.
     fn any_sat(&self) -> Option<Vec<bool>>;
 
@@ -1240,6 +1318,26 @@ impl<B: RawManager> BooleanFunction for Function<B> {
         // span and abort event still fire.
         let _span = obs::span(obs::Op::SatCount);
         let r = self.mgr.borrow().try_sat_count_edge(self.edge, budget);
+        if let Some(reason) = r.as_ref().err().copied() {
+            obs::abort_event(reason);
+        }
+        r
+    }
+
+    fn sat_count_over(&self, n_vars: usize) -> Option<u128> {
+        self.mgr.borrow_mut().sat_count_over_edge(self.edge, n_vars)
+    }
+
+    fn try_sat_count_over(
+        &self,
+        n_vars: usize,
+        budget: &mut OpBudget,
+    ) -> Result<Option<u128>, OpAbort> {
+        let _span = obs::span(obs::Op::SatCount);
+        let r = self
+            .mgr
+            .borrow_mut()
+            .try_sat_count_over_edge(self.edge, n_vars, budget);
         if let Some(reason) = r.as_ref().err().copied() {
             obs::abort_event(reason);
         }

@@ -661,6 +661,64 @@ impl<M: SessionBackend> Session<M> {
         self.finish_op(r)
     }
 
+    /// Model-count a function over a caller-declared variable universe
+    /// `0..n_vars` (the normalization CNF counting needs — see
+    /// [`RawManager::sat_count_over_edge`]) under the request budget.
+    ///
+    /// # Errors
+    /// [`SessionError::InvalidRequest`] when the count is not exactly
+    /// representable (more than 127 declared or manager variables, or the
+    /// function depends on a variable outside `0..n_vars`).
+    pub fn sat_count_over(
+        &mut self,
+        name: &str,
+        n_vars: usize,
+        budget: &mut OpBudget,
+    ) -> Result<u128, SessionError> {
+        let f = self.edge(name)?;
+        let r = self
+            .overlay_mut()
+            .try_sat_count_over_edge(f, n_vars, budget);
+        match self.finish_op(r)? {
+            Some(c) => Ok(c),
+            None => Err(SessionError::InvalidRequest(format!(
+                "count over {n_vars} vars is not exactly representable"
+            ))),
+        }
+    }
+
+    /// Variables a visible function depends on, ascending. Pure read.
+    pub fn support(&mut self, name: &str) -> Result<Vec<usize>, SessionError> {
+        let f = self.edge(name)?;
+        let r = self.overlay_mut().support_edge(f);
+        self.finish_op(Ok(r))
+    }
+
+    /// Number of variables in the session's fork.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.overlay().num_vars()
+    }
+
+    /// Run a caller-supplied construction directly against the session's
+    /// fork under the request budget — the seam the CNF front door uses
+    /// to build a DIMACS instance inside a session (`load_cnf`) and to
+    /// count cofactor slices. The closure gets the fork and the budget;
+    /// nodes it allocates land in the overlay like any other session op
+    /// and are reclaimed on drop unless the result is [`Session::store`]d
+    /// and published.
+    ///
+    /// # Errors
+    /// The closure's abort, converted to [`SessionError::Aborted`].
+    pub fn build_raw<R>(
+        &mut self,
+        budget: &mut OpBudget,
+        build: impl FnOnce(&mut M, &mut OpBudget) -> Result<R, OpAbort>,
+    ) -> Result<R, SessionError> {
+        let r = build(self.overlay_mut(), budget);
+        self.finish_op(r)
+    }
+
     /// Canonical node count of a function (diagram size, not manager
     /// size).
     pub fn node_count(&mut self, name: &str) -> Result<usize, SessionError> {

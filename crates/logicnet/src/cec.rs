@@ -45,13 +45,13 @@ use ddcore::api::{BooleanFunction, FunctionManager};
 use ddcore::govern::{OpAbort, OpBudget};
 use std::collections::HashMap;
 
-/// Number of satisfying assignments of `f`, or `None` when the count is
-/// unrepresentable in 128 bits. Routed through
-/// [`BooleanFunction::sat_count_checked`] so the backend itself reports
-/// saturation instead of this driver re-deriving the representability
-/// bound from the variable count.
-fn model_count<M: FunctionManager>(f: &M::Function) -> Option<u128> {
-    f.sat_count_checked()
+/// Number of distinguishing assignments over the networks' `n_inputs`
+/// input universe, or `None` when the count is unrepresentable in 128
+/// bits. Routed through [`BooleanFunction::sat_count_over`] so the count
+/// is normalized to the *interface* — a manager sized larger than the
+/// input union no longer inflates the count by its spare variables.
+fn model_count<M: FunctionManager>(f: &M::Function, n_inputs: usize) -> Option<u128> {
+    f.sat_count_over(n_inputs)
 }
 
 /// A concrete refutation of one output pair.
@@ -183,7 +183,7 @@ pub fn check_equivalence<M: FunctionManager>(mgr: &M, a: &Network, b: &Network) 
                 output: k,
                 output_name: name.clone(),
                 inputs,
-                distinguishing: model_count::<M>(&miter),
+                distinguishing: model_count::<M>(&miter, n),
             });
         }
     }
@@ -271,7 +271,7 @@ pub fn try_check_equivalence<M: FunctionManager>(
                 output: k,
                 output_name: name.clone(),
                 inputs,
-                distinguishing: model_count::<M>(&miter),
+                distinguishing: model_count::<M>(&miter, n),
             }));
         }
     }
@@ -357,7 +357,7 @@ where
                     output: k,
                     output_name: name.clone(),
                     inputs,
-                    distinguishing: model_count::<M>(&miter),
+                    distinguishing: model_count::<M>(&miter, n),
                 });
             }
         }
@@ -493,7 +493,7 @@ where
                         output: k,
                         output_name: name.clone(),
                         inputs,
-                        distinguishing: model_count::<M>(&miter),
+                        distinguishing: model_count::<M>(&miter, n),
                     });
                 }
                 decided.fetch_add(1, Ordering::Relaxed);

@@ -1,0 +1,47 @@
+//! Emit a generated CNF benchmark instance as DIMACS on stdout.
+//!
+//! The committed `tests/data/*.cnf` fixtures are produced by this example
+//! (the generators are deterministic), so they can be regenerated at any
+//! time and diffed:
+//!
+//! ```sh
+//! cargo run --release --example gen_cnf -- parity 8 > tests/data/parity8.cnf
+//! cargo run --release --example gen_cnf -- random3 20 85 7
+//! cargo run --release --example gen_cnf -- product 16 3
+//! ```
+
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: gen_cnf parity <n>              Tseitin chain for x1 ⊕ … ⊕ xn = 1\n\
+         \u{20}      gen_cnf random3 <vars> <clauses> <seed>\n\
+         \u{20}      gen_cnf product <features> <seed>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let nums: Vec<u64> = args[1..]
+        .iter()
+        .map_while(|a| a.parse::<u64>().ok())
+        .collect();
+    let (inst, comment) = match (args.first().map(String::as_str), nums.as_slice()) {
+        (Some("parity"), [n]) => (
+            benchgen::cnf::parity_chain(*n as usize),
+            format!("parity chain, n = {n}"),
+        ),
+        (Some("random3"), [v, c, s]) => (
+            benchgen::cnf::random3(*v as usize, *c as usize, *s),
+            format!("random 3-CNF, {v} vars, {c} clauses, seed {s}"),
+        ),
+        (Some("product"), [f, s]) => (
+            benchgen::cnf::product_config(*f as usize, *s),
+            format!("product configuration, {f} features, seed {s}"),
+        ),
+        _ => return usage(),
+    };
+    print!("{}", inst.to_dimacs(&comment));
+    ExitCode::SUCCESS
+}

@@ -12,17 +12,25 @@
 //! bbdd-cli [--backend B] [--threads N] [--sift] [--blif] [--dot] [--stats] <input> [output]
 //! bbdd-cli --bench <table1-name> [output-file]      # use a generated benchmark
 //! bbdd-cli serve [--sessions N] [--bench NAME]... [--listen ADDR] [files...]
+//! bbdd-cli count [--schedule S] [--slice K] [--static-order H] <file.cnf>
 //! ```
 //!
 //! where `B` is one of `bbdd` (default), `robdd`, `par-bbdd`, `par-robdd`.
 //! The `serve` subcommand publishes the given networks as an immutable
 //! snapshot and answers newline-delimited JSON requests (stdio batch or
-//! TCP), one MVCC session per worker — see `bbdd_suite::serve`.
+//! TCP), one MVCC session per worker — see `bbdd_suite::serve`. The
+//! `count` subcommand is the DIMACS front door: it reads a CNF file and
+//! prints its exact model count (whole or sliced into cofactor
+//! sub-problems) as one JSON line — see the `cnf` crate.
 
 use bbdd::prelude::*;
-use bbdd_suite::serve::{run_batch, serve_metrics, serve_tcp, ServeConfig, ServeOutcome};
+use bbdd_suite::serve::{
+    json_string, run_batch, serve_metrics, serve_tcp, ServeConfig, ServeOutcome,
+};
+use cnf::{CnfOrder, CountError, Schedule};
 use ddcore::dvo::DvoPolicy;
-use ddcore::govern::OpBudget;
+use ddcore::govern::{OpAbort, OpBudget};
+use ddcore::obs::MetricsSnapshot;
 use ddcore::session::SessionBackend;
 use logicnet::build::{build_network, try_build_network};
 use logicnet::publish::{input_union, publish_networks_on};
@@ -93,6 +101,7 @@ fn usage() -> ExitCode {
          \x20               <input-file> [output-file]\n\
          \x20      bbdd-cli [options] --bench <name> [output-file]\n\
          \x20      bbdd-cli serve --help       # the JSON request/response front door\n\
+         \x20      bbdd-cli count --help       # exact model counting of DIMACS CNF\n\
          \n\
          Reads a flattened combinational network (structural Verilog by default,\n\
          BLIF with --blif), builds its decision diagram with the file variable\n\
@@ -671,11 +680,400 @@ fn serve_main(args: impl Iterator<Item = String>) -> ExitCode {
     }
 }
 
+// ───────────────────────── count subcommand ──────────────────────────────
+
+struct CountOptions {
+    backend: Backend,
+    threads: Option<usize>,
+    /// Clause-scheduling heuristic for the conjunction.
+    schedule: Schedule,
+    /// Slice the count into `2^k` cofactor sub-problems (0 = whole).
+    slice: usize,
+    /// Fan the slices out on the fork-join pool instead of sequentially.
+    slice_par: bool,
+    /// Pre-build static variable order derived from the CNF structure.
+    static_order: CnfOrder,
+    /// Dynamic-reordering policy installed before the build.
+    dvo: Option<DvoPolicy>,
+    time_limit_ms: Option<u64>,
+    node_limit: Option<u64>,
+    metrics: bool,
+    metrics_json: Option<String>,
+    input: String,
+}
+
+fn count_usage() -> ExitCode {
+    eprintln!(
+        "usage: bbdd-cli count [--backend B] [--threads N] [--schedule S] [--slice K]\n\
+         \x20                     [--slice-par] [--static-order H] [--dvo S[:P]]\n\
+         \x20                     [--time-limit MS] [--node-limit N] [--metrics]\n\
+         \x20                     [--metrics-json F] <file.cnf>\n\
+         \n\
+         Reads a strict DIMACS CNF file, builds its conjunction under a clause\n\
+         schedule, and prints the exact model count over the header-declared\n\
+         variable universe as one JSON line on stdout (the count itself is a\n\
+         decimal string — it is a u128).\n\
+         \n\
+         --backend B      manager backend: bbdd (default), robdd, par-bbdd, par-robdd\n\
+         --threads N      worker threads for par-* backends and --slice-par\n\
+         --schedule S     clause schedule: input (file order), bucket (default,\n\
+         \x20                by top variable with a balanced conjunction tree), force\n\
+         \x20                (clauses sorted by center of gravity under a FORCE placement)\n\
+         --slice K        split into 2^K cofactor sub-problems on the K most\n\
+         \x20                frequent variables, each counted in a private manager\n\
+         \x20                under its own budget, recombined exactly; aborted\n\
+         \x20                slices degrade the verdict to a partial lower bound\n\
+         --slice-par      run the slices on the fork-join pool (default sequential)\n\
+         --static-order H initial variable order from the CNF: none (default),\n\
+         \x20                freq (descending occurrence) or force (hypergraph placement)\n\
+         --dvo S[:P]      dynamic-reordering policy, as in the main command; fires\n\
+         \x20                at the build's collection gates\n\
+         --time-limit MS / --node-limit N   per-(slice-)build budget; a stopped\n\
+         \x20                whole count exits 3, a partially sliced count reports\n\
+         \x20                status \"partial\" and exits 3\n\
+         --metrics / --metrics-json F   metrics registry incl. the cnf.* section"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_count_args(args: impl Iterator<Item = String>) -> Result<CountOptions, ExitCode> {
+    let mut o = CountOptions {
+        backend: Backend::Bbdd,
+        threads: None,
+        schedule: Schedule::default(),
+        slice: 0,
+        slice_par: false,
+        static_order: CnfOrder::default(),
+        dvo: None,
+        time_limit_ms: None,
+        node_limit: None,
+        metrics: false,
+        metrics_json: None,
+        input: String::new(),
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--backend" => match args.next().as_deref() {
+                Some("bbdd") => o.backend = Backend::Bbdd,
+                Some("robdd") => o.backend = Backend::Robdd,
+                Some("par-bbdd") => o.backend = Backend::ParBbdd,
+                Some("par-robdd") => o.backend = Backend::ParRobdd,
+                _ => return Err(count_usage()),
+            },
+            "--threads" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => o.threads = Some(n),
+                _ => return Err(count_usage()),
+            },
+            "--schedule" => match args.next().and_then(|s| s.parse::<Schedule>().ok()) {
+                Some(s) => o.schedule = s,
+                None => return Err(count_usage()),
+            },
+            "--slice" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(k) if k <= 20 => o.slice = k,
+                _ => return Err(count_usage()),
+            },
+            "--slice-par" => o.slice_par = true,
+            "--static-order" => match args.next().and_then(|s| s.parse::<CnfOrder>().ok()) {
+                Some(h) => o.static_order = h,
+                None => return Err(count_usage()),
+            },
+            "--dvo" => match args.next().and_then(|s| s.parse::<DvoPolicy>().ok()) {
+                Some(p) => o.dvo = Some(p),
+                None => return Err(count_usage()),
+            },
+            "--time-limit" => match args.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(ms) => o.time_limit_ms = Some(ms),
+                None => return Err(count_usage()),
+            },
+            "--node-limit" => match args.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) => o.node_limit = Some(n),
+                None => return Err(count_usage()),
+            },
+            "--metrics" => o.metrics = true,
+            "--metrics-json" => match args.next() {
+                Some(f) => o.metrics_json = Some(f),
+                None => return Err(count_usage()),
+            },
+            "--help" | "-h" => return Err(count_usage()),
+            _ if arg.starts_with("--") => return Err(count_usage()),
+            _ if o.input.is_empty() => o.input = arg,
+            _ => return Err(count_usage()),
+        }
+    }
+    if o.input.is_empty() {
+        return Err(count_usage());
+    }
+    Ok(o)
+}
+
+/// Snake-case abort names for the JSON stats line (matches the serve
+/// protocol's `reason` vocabulary).
+fn count_abort_name(a: OpAbort) -> &'static str {
+    match a {
+        OpAbort::NodeBudget => "node_budget",
+        OpAbort::Deadline => "deadline",
+        OpAbort::Cancelled => "cancelled",
+    }
+}
+
+/// One per-(slice-)build budget from the limit flags.
+fn count_budget(o: &CountOptions) -> OpBudget {
+    let mut b = OpBudget::unlimited();
+    if let Some(ms) = o.time_limit_ms {
+        b = b.with_deadline_in(std::time::Duration::from_millis(ms));
+    }
+    if let Some(n) = o.node_limit {
+        b = b.with_node_limit(n);
+    }
+    b
+}
+
+/// Install the CNF-derived static order and the DVO policy on a fresh
+/// manager, before its first node is built.
+fn count_prep<M: FunctionManager>(mgr: &M, perm: Option<&Vec<usize>>, dvo: Option<DvoPolicy>) {
+    if let Some(p) = perm {
+        if p.len() == mgr.num_vars() && !mgr.set_order(p) {
+            eprintln!("[count] --static-order ignored: this backend does not reorder");
+        }
+    }
+    if let Some(policy) = dvo {
+        mgr.set_reorder_policy(Some(policy));
+    }
+}
+
+/// Emit the metrics registry with the `cnf.*` section appended. `base` is
+/// the counting manager's own registry for whole counts, or an empty
+/// snapshot for sliced counts (each slice had a private manager).
+fn count_observability(
+    mut base: MetricsSnapshot,
+    o: &CountOptions,
+    scheduled: u64,
+    peak: u64,
+    completed: u64,
+    aborted: u64,
+) {
+    if !o.metrics && o.metrics_json.is_none() {
+        return;
+    }
+    base.counter("cnf.clauses_scheduled", scheduled);
+    base.gauge("cnf.conj_peak_nodes", peak);
+    base.counter("cnf.slices_completed", completed);
+    base.counter("cnf.slices_aborted", aborted);
+    if o.metrics {
+        eprint!("{}", base.format());
+    }
+    if let Some(path) = &o.metrics_json {
+        match std::fs::write(path, base.to_json()) {
+            Ok(()) => eprintln!("[count] wrote metrics to {path}"),
+            Err(e) => eprintln!("error: {path}: {e}"),
+        }
+    }
+}
+
+/// The counting pipeline, written once against the trait API: whole-
+/// instance or sliced, one JSON stats line on stdout, exit 3 on any
+/// budget abort (whole) or partial verdict (sliced).
+fn count_run<M, F>(make_mgr: F, inst: &cnf::Cnf, o: &CountOptions, tag: &'static str) -> ExitCode
+where
+    M: FunctionManager,
+    F: Fn() -> M + Sync,
+{
+    let prefix = format!(
+        "\"file\":{},\"backend\":\"{tag}\",\"vars\":{},\"clauses\":{},\
+         \"schedule\":\"{}\",\"static_order\":\"{}\",\"slice\":{}",
+        json_string(&o.input),
+        inst.num_vars,
+        inst.num_clauses(),
+        o.schedule,
+        o.static_order,
+        o.slice,
+    );
+    let t0 = std::time::Instant::now();
+    if o.slice == 0 {
+        let mgr = make_mgr();
+        let mut budget = count_budget(o);
+        return match cnf::count_cnf(&mgr, inst, &o.schedule, &mut budget) {
+            Ok((count, stats)) => {
+                println!(
+                    "{{{prefix},\"status\":\"ok\",\"count\":\"{count}\",\"slices\":1,\
+                     \"completed\":1,\"aborted\":0,\"clauses_scheduled\":{},\"groups\":{},\
+                     \"peak_nodes\":{},\"build_ms\":{}}}",
+                    stats.clauses_scheduled,
+                    stats.groups,
+                    stats.conj_peak_nodes,
+                    t0.elapsed().as_millis(),
+                );
+                count_observability(
+                    mgr.metrics(),
+                    o,
+                    stats.clauses_scheduled,
+                    stats.conj_peak_nodes,
+                    1,
+                    0,
+                );
+                ExitCode::SUCCESS
+            }
+            Err(CountError::Aborted {
+                reason,
+                clauses_done,
+            }) => {
+                println!(
+                    "{{{prefix},\"status\":\"aborted\",\"reason\":\"{}\",\
+                     \"clauses_done\":{clauses_done},\"build_ms\":{}}}",
+                    count_abort_name(reason),
+                    t0.elapsed().as_millis(),
+                );
+                count_observability(mgr.metrics(), o, clauses_done, 0, 0, 1);
+                ExitCode::from(EXIT_ABORTED)
+            }
+            Err(CountError::Unrepresentable) => {
+                eprintln!("error: count not representable in u128 (more than 127 variables)");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if inst.num_vars > 127 {
+        eprintln!("error: count not representable in u128 (more than 127 variables)");
+        return ExitCode::FAILURE;
+    }
+    let sliced = if o.slice_par {
+        let threads = o
+            .threads
+            .unwrap_or_else(|| ddcore::par::threads_from_env(4));
+        cnf::count_sliced_par(
+            threads,
+            &make_mgr,
+            || count_budget(o),
+            inst,
+            &o.schedule,
+            o.slice,
+        )
+    } else {
+        cnf::count_sliced(&make_mgr, || count_budget(o), inst, &o.schedule, o.slice)
+    };
+    let completed = sliced.completed() as u64;
+    let aborted = sliced.aborted() as u64;
+    let scheduled: u64 = sliced
+        .slices
+        .iter()
+        .map(|s| s.stats.clauses_scheduled)
+        .sum();
+    let status = if sliced.partial { "partial" } else { "ok" };
+    println!(
+        "{{{prefix},\"status\":\"{status}\",\"count\":\"{}\",\"slices\":{},\
+         \"completed\":{completed},\"aborted\":{aborted},\"clauses_scheduled\":{scheduled},\
+         \"peak_nodes\":{},\"build_ms\":{}}}",
+        sliced.total,
+        sliced.slices.len(),
+        sliced.peak_nodes(),
+        t0.elapsed().as_millis(),
+    );
+    count_observability(
+        MetricsSnapshot::new(tag),
+        o,
+        scheduled,
+        sliced.peak_nodes(),
+        completed,
+        aborted,
+    );
+    if sliced.partial {
+        ExitCode::from(EXIT_ABORTED)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn count_main(args: impl Iterator<Item = String>) -> ExitCode {
+    let o = match parse_count_args(args) {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+    let text = match std::fs::read_to_string(&o.input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {}: {e}", o.input);
+            return ExitCode::FAILURE;
+        }
+    };
+    let inst = match cnf::parse_dimacs(&text) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("error: {}: {e}", o.input);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "[count] {}: {} vars, {} clauses ({} schedule, {} order{})",
+        o.input,
+        inst.num_vars,
+        inst.num_clauses(),
+        o.schedule,
+        o.static_order,
+        if o.slice > 0 {
+            format!(", 2^{} slices", o.slice)
+        } else {
+            String::new()
+        },
+    );
+    let n = inst.num_vars.max(1);
+    let perm = o.static_order.permutation(&inst);
+    let threads = o
+        .threads
+        .unwrap_or_else(|| ddcore::par::threads_from_env(4));
+    match o.backend {
+        Backend::Bbdd => count_run(
+            || {
+                let mgr = BbddManager::with_vars(n);
+                count_prep(&mgr, perm.as_ref(), o.dvo);
+                mgr
+            },
+            &inst,
+            &o,
+            "bbdd",
+        ),
+        Backend::Robdd => count_run(
+            || {
+                let mgr = RobddManager::with_vars(n);
+                count_prep(&mgr, perm.as_ref(), o.dvo);
+                mgr
+            },
+            &inst,
+            &o,
+            "robdd",
+        ),
+        Backend::ParBbdd => count_run(
+            || {
+                let mgr = ParBbddManager::new(ParBbdd::new(n, threads));
+                count_prep(&mgr, perm.as_ref(), o.dvo);
+                mgr
+            },
+            &inst,
+            &o,
+            "par-bbdd",
+        ),
+        Backend::ParRobdd => count_run(
+            || {
+                let mgr = ParRobddManager::new(ParRobdd::new(n, threads));
+                count_prep(&mgr, perm.as_ref(), o.dvo);
+                mgr
+            },
+            &inst,
+            &o,
+            "par-robdd",
+        ),
+    }
+}
+
 fn main() -> ExitCode {
     let mut peek = std::env::args().skip(1).peekable();
     if peek.peek().map(String::as_str) == Some("serve") {
         peek.next();
         return serve_main(peek);
+    }
+    if peek.peek().map(String::as_str) == Some("count") {
+        peek.next();
+        return count_main(peek);
     }
     drop(peek);
     let opts = match parse_args() {

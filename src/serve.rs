@@ -20,9 +20,23 @@
 //! {"op":"quantify","kind":"exists","f":"cout","vars":["a",1]}
 //! {"op":"compose","f":"cout","var":"a","g":"s"}
 //! {"op":"cec","f":"golden.y","g":"revised.y"}
+//! {"op":"load_cnf","name":"inst","text":"p cnf 3 2\n1 -2 0\n2 3 0\n","schedule":"bucket"}
+//! {"op":"count","f":"inst","over":3,"slice":2}
 //! {"op":"list"}
 //! {"op":"stats"}
 //! ```
+//!
+//! The two CNF verbs are the serving face of the `cnf` crate: `load_cnf`
+//! parses a strict DIMACS instance from the `"text"` field, builds its
+//! conjunction inside the session fork under the chosen clause schedule
+//! (`input` / `bucket` / `force`, default `bucket`) and stores it under
+//! `"name"`; `count` answers the exact model count of any visible
+//! function over a declared variable universe (`"over"`, default the
+//! manager width) as a decimal string. With `"slice":k` the count is
+//! split into `2^k` cofactor sub-problems on the first `k` support
+//! variables, each under a **fresh** budget minted from the request's
+//! spec; aborted slices degrade the answer to a partial verdict carrying
+//! the lower bound from the completed slices.
 //!
 //! Responses are `{"id":…,"status":"ok",…}` on success,
 //! `{"id":…,"status":"aborted","reason":"node_budget","partial":true}`
@@ -47,6 +61,7 @@
 //! The JSON layer is hand-rolled (~150 lines) because the workspace has no
 //! serde — the same choice the metrics registry made for its JSON export.
 
+use cnf::{parse_dimacs, ClauseSchedule, Schedule};
 use ddcore::boolop::BoolOp;
 use ddcore::govern::{Admission, OpAbort};
 use ddcore::obs::MetricsSnapshot;
@@ -333,6 +348,35 @@ impl ServeConfig {
     }
 }
 
+/// `cnf.*` accounting from the CNF front-door verbs (`load_cnf` /
+/// `count`), aggregated across every session of a batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CnfServeStats {
+    /// DIMACS instances built and stored by `load_cnf`.
+    pub instances_loaded: u64,
+    /// Clauses conjoined across all builds.
+    pub clauses_scheduled: u64,
+    /// Largest intermediate conjunction (nodes) seen by any build.
+    pub conj_peak_nodes: u64,
+    /// `count` requests answered (including partial verdicts).
+    pub counts: u64,
+    /// Cofactor slices counted to completion.
+    pub slices_completed: u64,
+    /// Cofactor slices stopped by their per-slice budget.
+    pub slices_aborted: u64,
+}
+
+impl CnfServeStats {
+    fn merge(&mut self, other: &CnfServeStats) {
+        self.instances_loaded += other.instances_loaded;
+        self.clauses_scheduled += other.clauses_scheduled;
+        self.conj_peak_nodes = self.conj_peak_nodes.max(other.conj_peak_nodes);
+        self.counts += other.counts;
+        self.slices_completed += other.slices_completed;
+        self.slices_aborted += other.slices_aborted;
+    }
+}
+
 /// Outcome of one served batch: the response lines (input order) plus the
 /// `serve.*` accounting.
 #[derive(Debug, Default)]
@@ -346,6 +390,8 @@ pub struct ServeOutcome {
     pub rejected: u64,
     /// Requests stopped by their budget (partial verdicts).
     pub aborted: u64,
+    /// CNF front-door accounting for the `cnf.*` metrics section.
+    pub cnf: CnfServeStats,
 }
 
 impl ServeOutcome {
@@ -385,12 +431,21 @@ fn parse_boolop(name: &str) -> Option<BoolOp> {
 enum Reply {
     Ok(String),
     Aborted(OpAbort),
+    /// A budget stopped part of the work but a usable lower bound
+    /// survived (sliced counts): rendered as an aborted response that
+    /// still carries a payload.
+    Partial(OpAbort, String),
     Error(String),
 }
 
 /// Execute one parsed request against a session. Returns the rendered
-/// payload fields (without `id`/`status` framing).
-fn execute<B: SessionBackend>(session: &mut Session<B>, req: &Json) -> Reply {
+/// payload fields (without `id`/`status` framing). CNF front-door
+/// accounting is accumulated into `tally`.
+fn execute<B: SessionBackend>(
+    session: &mut Session<B>,
+    req: &Json,
+    tally: &mut CnfServeStats,
+) -> Reply {
     let op = match req.get("op").and_then(Json::as_str) {
         Some(op) => op,
         None => return Reply::Error("missing 'op' field".to_string()),
@@ -471,6 +526,122 @@ fn execute<B: SessionBackend>(session: &mut Session<B>, req: &Json) -> Reply {
                 let g = fname("g")?;
                 let out = map_err(session.cec(&f, &g, &mut budget))?;
                 render_cec(&out)
+            }
+            "load_cnf" => {
+                let name = fname("name")?;
+                let text = fname("text")?;
+                let inst =
+                    parse_dimacs(&text).map_err(|e| Reply::Error(format!("bad DIMACS: {e}")))?;
+                if inst.num_vars > session.num_vars() {
+                    return Err(Reply::Error(format!(
+                        "instance declares {} vars but the base has {}",
+                        inst.num_vars,
+                        session.num_vars()
+                    )));
+                }
+                let schedule = match req.get("schedule").and_then(Json::as_str) {
+                    None => Schedule::default(),
+                    Some(s) => s.parse::<Schedule>().map_err(Reply::Error)?,
+                };
+                let plan = schedule.plan(&inst);
+                let (edge, stats) = map_err(session.build_raw(&mut budget, |m, b| {
+                    cnf::try_build_cnf_raw(m, &inst, &plan, b)
+                }))?;
+                session.store(&name, edge);
+                tally.instances_loaded += 1;
+                tally.clauses_scheduled += stats.clauses_scheduled;
+                tally.conj_peak_nodes = tally.conj_peak_nodes.max(stats.conj_peak_nodes);
+                let built = map_err(session.node_count(&name))?;
+                format!(
+                    "\"name\":{},\"vars\":{},\"clauses\":{},\"nodes\":{built},\"schedule\":\"{schedule}\"",
+                    json_string(&name),
+                    inst.num_vars,
+                    inst.num_clauses()
+                )
+            }
+            "count" => {
+                let f = fname("f")?;
+                let over = match req.get("over") {
+                    None => session.num_vars(),
+                    Some(j) => j.as_u64().ok_or_else(|| {
+                        Reply::Error("'over' must be a non-negative integer".into())
+                    })? as usize,
+                };
+                let k = match req.get("slice") {
+                    None => 0,
+                    Some(j) => j.as_u64().ok_or_else(|| {
+                        Reply::Error("'slice' must be a non-negative integer".into())
+                    })? as usize,
+                };
+                if k == 0 {
+                    let n = map_err(session.sat_count_over(&f, over, &mut budget))?;
+                    tally.counts += 1;
+                    format!("\"count\":\"{n}\",\"over\":{over}")
+                } else {
+                    if k > 20 {
+                        return Err(Reply::Error("'slice' must be at most 20".into()));
+                    }
+                    let e = map_err(session.edge(&f))?;
+                    let mut split = map_err(session.support(&f))?;
+                    split.truncate(k);
+                    if split.iter().any(|&v| v >= over) {
+                        return Err(Reply::Error(format!(
+                            "count over {over} vars is not exactly representable"
+                        )));
+                    }
+                    let slices = 1usize << split.len();
+                    let mut total: u128 = 0;
+                    let mut completed = 0u64;
+                    let mut aborted = 0u64;
+                    let mut first_abort: Option<OpAbort> = None;
+                    for idx in 0..slices {
+                        // Each slice runs under a fresh budget minted from
+                        // the request's spec: one runaway cofactor cannot
+                        // starve its siblings.
+                        let mut b = session
+                            .admission()
+                            .mint_with(nodes, ms.map(Duration::from_millis));
+                        let r = session.build_raw(&mut b, |m, bb| {
+                            let mut g = e;
+                            for (i, &v) in split.iter().enumerate() {
+                                g = m.restrict_edge(g, v, (idx >> i) & 1 == 1);
+                            }
+                            m.try_sat_count_over_edge(g, over, bb)
+                        });
+                        match r {
+                            Ok(Some(c)) => {
+                                // The cofactor no longer depends on the
+                                // split variables, so its count over the
+                                // declared universe carries a factor of
+                                // 2^k for them; dividing it out pins the
+                                // slice's assignment exactly.
+                                total += c >> split.len();
+                                completed += 1;
+                            }
+                            Ok(None) => {
+                                return Err(Reply::Error(format!(
+                                    "count over {over} vars is not exactly representable"
+                                )))
+                            }
+                            Err(SessionError::Aborted(a)) => {
+                                aborted += 1;
+                                first_abort.get_or_insert(a);
+                            }
+                            Err(other) => return Err(Reply::Error(other.to_string())),
+                        }
+                    }
+                    tally.counts += 1;
+                    tally.slices_completed += completed;
+                    tally.slices_aborted += aborted;
+                    let payload = format!(
+                        "\"count\":\"{total}\",\"over\":{over},\"slices\":{slices},\
+                         \"completed\":{completed},\"aborted\":{aborted}"
+                    );
+                    match first_abort {
+                        None => payload,
+                        Some(a) => return Err(Reply::Partial(a, payload)),
+                    }
+                }
             }
             "list" => {
                 let inputs: Vec<String> = session
@@ -596,6 +767,10 @@ fn render_response(id: Option<&Json>, reply: &Reply) -> String {
             "{{{id_field}\"status\":\"aborted\",\"reason\":\"{}\",\"partial\":true}}",
             abort_name(*a)
         ),
+        Reply::Partial(a, payload) => format!(
+            "{{{id_field}\"status\":\"aborted\",\"reason\":\"{}\",\"partial\":true,{payload}}}",
+            abort_name(*a)
+        ),
         Reply::Error(msg) => format!(
             "{{{id_field}\"status\":\"error\",\"error\":{}}}",
             json_string(msg)
@@ -605,7 +780,11 @@ fn render_response(id: Option<&Json>, reply: &Reply) -> String {
 
 /// Process one raw request line on a session. Returns the response line
 /// plus (rejected, aborted) accounting flags.
-fn serve_line<B: SessionBackend>(session: &mut Session<B>, line: &str) -> (String, bool, bool) {
+fn serve_line<B: SessionBackend>(
+    session: &mut Session<B>,
+    line: &str,
+    tally: &mut CnfServeStats,
+) -> (String, bool, bool) {
     let mut sp = ddcore::obs::span(ddcore::obs::Op::ServeRequest);
     let req = match parse_json(line) {
         Ok(r) => r,
@@ -614,12 +793,12 @@ fn serve_line<B: SessionBackend>(session: &mut Session<B>, line: &str) -> (Strin
             return (render_response(None, &reply), true, false);
         }
     };
-    let reply = execute(session, &req);
+    let reply = execute(session, &req, tally);
     sp.set_arg("overlay_nodes", session.overlay_nodes() as u64);
     let (rejected, aborted) = match &reply {
         Reply::Ok(_) => (false, false),
         Reply::Error(_) => (true, false),
-        Reply::Aborted(_) => (false, true),
+        Reply::Aborted(_) | Reply::Partial(..) => (false, true),
     };
     (render_response(req.get("id"), &reply), rejected, aborted)
 }
@@ -650,7 +829,7 @@ pub fn run_batch<B: SessionBackend>(
         requests
             .iter()
             .map(|&(i, line)| {
-                let (resp, rejected, aborted) = serve_line(&mut session, line);
+                let (resp, rejected, aborted) = serve_line(&mut session, line, &mut outcome.cnf);
                 (i, resp, rejected, aborted)
             })
             .collect()
@@ -666,19 +845,26 @@ pub fn run_batch<B: SessionBackend>(
                     let admission = cfg.admission();
                     scope.spawn(move || {
                         let mut session = base.session_with(admission);
-                        my.into_iter()
+                        let mut tally = CnfServeStats::default();
+                        let rows = my
+                            .into_iter()
                             .map(|(i, line)| {
-                                let (resp, rejected, aborted) = serve_line(&mut session, line);
+                                let (resp, rejected, aborted) =
+                                    serve_line(&mut session, line, &mut tally);
                                 (i, resp, rejected, aborted)
                             })
-                            .collect::<Vec<_>>()
+                            .collect::<Vec<_>>();
+                        (rows, tally)
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("serve worker panicked"))
-                .collect()
+            let mut rows = Vec::new();
+            for h in handles {
+                let (mine, tally) = h.join().expect("serve worker panicked");
+                outcome.cnf.merge(&tally);
+                rows.extend(mine);
+            }
+            rows
         })
     };
     indexed.sort_unstable_by_key(|(i, ..)| *i);
@@ -745,7 +931,8 @@ pub fn serve_tcp<B: SessionBackend>(
                 continue;
             }
             total.requests += 1;
-            let (resp, rejected, aborted) = serve_line(&mut session, line.trim_end());
+            let (resp, rejected, aborted) =
+                serve_line(&mut session, line.trim_end(), &mut total.cnf);
             total.rejected += u64::from(rejected);
             total.aborted += u64::from(aborted);
             if writeln!(writer, "{resp}")
@@ -782,6 +969,12 @@ pub fn serve_metrics<B: SessionBackend>(
     m.counter("serve.rejected", outcome.rejected);
     m.counter("serve.aborted", outcome.aborted);
     m.gauge("serve.sessions", cfg.sessions.max(1) as u64);
+    m.counter("cnf.instances_loaded", outcome.cnf.instances_loaded);
+    m.counter("cnf.clauses_scheduled", outcome.cnf.clauses_scheduled);
+    m.gauge("cnf.conj_peak_nodes", outcome.cnf.conj_peak_nodes);
+    m.counter("cnf.counts", outcome.cnf.counts);
+    m.counter("cnf.slices_completed", outcome.cnf.slices_completed);
+    m.counter("cnf.slices_aborted", outcome.cnf.slices_aborted);
     m
 }
 
@@ -934,6 +1127,88 @@ mod tests {
         assert!(json.contains("\"serve\":{"));
         assert!(json.contains("\"session\":{"));
         assert!(json.contains("\"epoch\":{"));
+    }
+
+    #[test]
+    fn load_cnf_and_count_roundtrip() {
+        let base = base();
+        let lines: Vec<String> = vec![
+            r#"{"op":"load_cnf","id":1,"name":"inst","text":"p cnf 3 2\n1 -2 0\n2 3 0\n"}"#.into(),
+            r#"{"op":"count","id":2,"f":"inst"}"#.into(),
+            r#"{"op":"count","id":3,"f":"inst","over":3,"slice":2}"#.into(),
+            r#"{"op":"count","id":4,"f":"inst","over":5}"#.into(),
+            r#"{"op":"load_cnf","id":5,"name":"bad","text":"p cnf 3\n"}"#.into(),
+            r#"{"op":"load_cnf","id":6,"name":"wide","text":"p cnf 9 1\n9 0\n"}"#.into(),
+        ];
+        let out = run_batch(&base, &ServeConfig::default(), &lines);
+        // (x1 ∨ ¬x2) ∧ (x2 ∨ x3) has exactly 4 models over 3 variables.
+        assert!(
+            out.responses[0].contains("\"status\":\"ok\"")
+                && out.responses[0].contains("\"clauses\":2")
+        );
+        assert!(out.responses[1].contains("\"count\":\"4\""));
+        // Slicing on 2 support variables recombines to the same count.
+        assert!(
+            out.responses[2].contains("\"count\":\"4\"")
+                && out.responses[2].contains("\"slices\":4")
+                && out.responses[2].contains("\"aborted\":0")
+        );
+        // A wider declared universe scales the count by 2^(5-3).
+        assert!(out.responses[3].contains("\"count\":\"16\""));
+        // Malformed DIMACS and an instance wider than the base are errors.
+        assert!(out.responses[4].contains("\"status\":\"error\""));
+        assert!(out.responses[5].contains("\"status\":\"error\""));
+        assert_eq!(out.cnf.instances_loaded, 1);
+        assert_eq!(out.cnf.counts, 3);
+        assert_eq!(out.cnf.slices_completed, 4);
+        assert_eq!(out.cnf.slices_aborted, 0);
+        let m = serve_metrics(&base, &ServeConfig::default(), &out);
+        assert_eq!(m.get("cnf.instances_loaded"), Some(1));
+        assert_eq!(m.get("cnf.clauses_scheduled"), Some(2));
+        assert_eq!(m.get("cnf.slices_completed"), Some(4));
+    }
+
+    #[test]
+    fn sliced_count_under_budget_is_a_partial_verdict() {
+        let base = base();
+        let lines: Vec<String> = vec![
+            r#"{"op":"load_cnf","id":1,"name":"inst","text":"p cnf 3 2\n1 -2 0\n2 3 0\n"}"#.into(),
+            r#"{"op":"count","id":2,"f":"inst","slice":1,"budget":{"nodes":1}}"#.into(),
+            r#"{"op":"eval","id":3,"f":"inst","assignment":[true,true,true]}"#.into(),
+        ];
+        let out = run_batch(&base, &ServeConfig::default(), &lines);
+        assert_eq!(out.aborted, 1);
+        // The partial verdict still carries the completed-slice lower bound.
+        assert!(out.responses[1].contains("\"status\":\"aborted\""));
+        assert!(out.responses[1].contains("\"partial\":true"));
+        assert!(out.responses[1].contains("\"count\":\""));
+        assert!(out.cnf.slices_aborted > 0);
+        // The session survived: the loaded instance still evaluates.
+        assert!(out.responses[2].contains("\"value\":true"));
+    }
+
+    #[test]
+    fn load_cnf_schedules_agree() {
+        let base = base();
+        for schedule in ["input", "bucket", "force"] {
+            let lines: Vec<String> = vec![
+                format!(
+                    r#"{{"op":"load_cnf","name":"i","text":"p cnf 3 3\n1 2 0\n-1 3 0\n2 -3 0\n","schedule":"{schedule}"}}"#
+                ),
+                r#"{"op":"count","f":"i","over":3}"#.into(),
+            ];
+            let out = run_batch(&base, &ServeConfig::default(), &lines);
+            assert!(
+                out.responses[0].contains(&format!("\"schedule\":\"{schedule}\"")),
+                "schedule {schedule}: {}",
+                out.responses[0]
+            );
+            assert!(
+                out.responses[1].contains("\"count\":\"3\""),
+                "schedule {schedule}: {}",
+                out.responses[1]
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,296 @@
+//! Cross-backend properties of the CNF front door (`cnf` crate):
+//!
+//! 1. **Exactness** — for random CNF instances up to 12 variables, the
+//!    diagram-based model count over the declared universe equals the
+//!    2^n brute-force count, on all four backends and all three clause
+//!    schedules.
+//! 2. **Slice invariance** — for k ∈ {0, 1, 2, 3}, the 2^k cofactor
+//!    slice counts recombine bit-exactly to the whole count, sequential
+//!    and fork-join alike, and per-slice budget aborts degrade the
+//!    verdict to a `partial` lower bound instead of failing.
+//! 3. **Order robustness** — CNF-derived static orders and mid-build DVO
+//!    firings never change the count.
+//! 4. **`sat_count_over` boundaries** — the 127/128-variable `u128`
+//!    ceiling and the support-escape rule for narrowing universes.
+
+use bbdd::prelude::*;
+use cnf::{count_cnf, count_sliced, count_sliced_par, ClauseSchedule, Cnf, CnfOrder, Schedule};
+use ddcore::govern::OpBudget;
+use proptest::prelude::*;
+use robdd::prelude::*;
+
+/// Deterministic splitmix64 stream for the random-instance generator.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A random CNF over `n_vars` with arbitrary clause widths (including
+/// unit clauses, duplicate and complementary literals — the parser
+/// accepts them, so the counter must handle them).
+fn random_cnf(n_vars: usize, n_clauses: usize, seed: u64) -> Cnf {
+    let mut s = seed;
+    let mut out = Cnf::new(n_vars);
+    for _ in 0..n_clauses {
+        let width = 1 + (mix(&mut s) % 4) as usize;
+        let lits: Vec<i32> = (0..width)
+            .map(|_| {
+                let v = (mix(&mut s) % n_vars as u64) as i32 + 1;
+                if mix(&mut s) & 1 == 1 {
+                    -v
+                } else {
+                    v
+                }
+            })
+            .collect();
+        out.add_clause(&lits);
+    }
+    out
+}
+
+fn whole_count<M: FunctionManager>(mgr: &M, inst: &Cnf, schedule: &Schedule) -> u128 {
+    let mut budget = OpBudget::unlimited();
+    count_cnf(mgr, inst, schedule, &mut budget)
+        .expect("unlimited count")
+        .0
+}
+
+/// The brute-force count, against every backend and every schedule.
+fn assert_exact_everywhere(inst: &Cnf) {
+    let expect = inst.brute_force_count().expect("≤ 24 vars");
+    let n = inst.num_vars.max(1);
+    for schedule in [Schedule::Input, Schedule::Bucket, Schedule::Force] {
+        assert_eq!(
+            whole_count(&BbddManager::with_vars(n), inst, &schedule),
+            expect,
+            "bbdd/{schedule}"
+        );
+        assert_eq!(
+            whole_count(&RobddManager::with_vars(n), inst, &schedule),
+            expect,
+            "robdd/{schedule}"
+        );
+        assert_eq!(
+            whole_count(&ParBbddManager::new(ParBbdd::new(n, 2)), inst, &schedule),
+            expect,
+            "par-bbdd/{schedule}"
+        );
+        assert_eq!(
+            whole_count(&ParRobddManager::new(ParRobdd::new(n, 2)), inst, &schedule),
+            expect,
+            "par-robdd/{schedule}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_cnf_counts_match_brute_force(
+        n_vars in 1usize..13,
+        n_clauses in 0usize..30,
+        seed in 0u64..1_000_000,
+    ) {
+        let inst = random_cnf(n_vars, n_clauses, seed);
+        assert_exact_everywhere(&inst);
+    }
+
+    #[test]
+    fn slice_counts_recombine_to_the_whole(
+        n_vars in 3usize..11,
+        n_clauses in 1usize..25,
+        seed in 0u64..1_000_000,
+    ) {
+        let inst = random_cnf(n_vars, n_clauses, seed);
+        let expect = inst.brute_force_count().expect("≤ 24 vars");
+        let n = inst.num_vars.max(1);
+        for k in 0usize..4 {
+            let sliced = count_sliced(
+                || BbddManager::with_vars(n),
+                OpBudget::unlimited,
+                &inst,
+                &Schedule::Bucket,
+                k,
+            );
+            prop_assert!(!sliced.partial, "unlimited slices never abort");
+            prop_assert_eq!(sliced.total, expect, "k={}", k);
+            prop_assert_eq!(sliced.completed(), sliced.slices.len());
+            // The fork-join fan-out recombines to the same total for
+            // every thread count.
+            for threads in [1usize, 3] {
+                let par = count_sliced_par(
+                    threads,
+                    || RobddManager::with_vars(n),
+                    OpBudget::unlimited,
+                    &inst,
+                    &Schedule::Bucket,
+                    k,
+                );
+                prop_assert_eq!(par.total, expect, "k={} threads={}", k, threads);
+                prop_assert!(!par.partial);
+            }
+        }
+    }
+}
+
+#[test]
+fn parity_chain_counts_are_closed_form_on_all_backends() {
+    // The BBDD headline case: x1 ⊕ … ⊕ xn = 1 has 2^(n-1) models over
+    // the 2n-1 Tseitin-declared variables.
+    for n in [1usize, 4, 8] {
+        let inst = benchgen::cnf::parity_chain(n);
+        assert_exact_everywhere(&inst);
+        assert_eq!(
+            whole_count(
+                &BbddManager::with_vars(inst.num_vars),
+                &inst,
+                &Schedule::Bucket
+            ),
+            1u128 << (n - 1)
+        );
+    }
+}
+
+#[test]
+fn budget_limited_slices_degrade_to_partial_lower_bound() {
+    let inst = benchgen::cnf::parity_chain(6); // 11 vars, 32 models
+    let n = inst.num_vars;
+    let whole = whole_count(&BbddManager::with_vars(n), &inst, &Schedule::Bucket);
+    assert_eq!(whole, 32);
+
+    // A node budget far below any slice's build size: every slice
+    // aborts, the verdict is partial, and the total is a lower bound.
+    let starved = count_sliced(
+        || BbddManager::with_vars(n),
+        || OpBudget::unlimited().with_node_limit(10),
+        &inst,
+        &Schedule::Bucket,
+        2,
+    );
+    assert!(starved.partial);
+    assert_eq!(
+        starved.completed() + starved.aborted(),
+        starved.slices.len()
+    );
+    assert!(starved.aborted() > 0);
+    assert!(starved.total <= whole);
+
+    // Node budgets are deterministic, so the fork-join fan-out reaches
+    // the identical partial verdict for every thread count.
+    for threads in [1usize, 4] {
+        let par = count_sliced_par(
+            threads,
+            || BbddManager::with_vars(n),
+            || OpBudget::unlimited().with_node_limit(10),
+            &inst,
+            &Schedule::Bucket,
+            2,
+        );
+        assert_eq!(par.total, starved.total, "threads={threads}");
+        assert_eq!(par.partial, starved.partial);
+        assert_eq!(par.completed(), starved.completed());
+    }
+
+    // Unlimited slices recombine exactly on the same instance.
+    let exact = count_sliced(
+        || BbddManager::with_vars(n),
+        OpBudget::unlimited,
+        &inst,
+        &Schedule::Bucket,
+        2,
+    );
+    assert!(!exact.partial);
+    assert_eq!(exact.total, whole);
+}
+
+#[test]
+fn cnf_static_orders_preserve_counts() {
+    let inst = benchgen::cnf::random3(10, 32, 5);
+    let expect = inst.brute_force_count().expect("10 vars");
+    for order in [CnfOrder::Freq, CnfOrder::Force] {
+        let perm = order.permutation(&inst).expect("non-trivial order");
+        let mgr = BbddManager::with_vars(inst.num_vars);
+        assert!(mgr.set_order(&perm), "bbdd reorders");
+        assert_eq!(
+            whole_count(&mgr, &inst, &Schedule::Bucket),
+            expect,
+            "{order}"
+        );
+        let mgr = RobddManager::with_vars(inst.num_vars);
+        assert!(mgr.set_order(&perm), "robdd reorders");
+        assert_eq!(
+            whole_count(&mgr, &inst, &Schedule::Bucket),
+            expect,
+            "{order}"
+        );
+    }
+}
+
+#[test]
+fn dvo_gates_fire_mid_build_without_changing_counts() {
+    // More clauses than one CLAUSE_STRIDE so the build's collection
+    // gates run with a hair-trigger reorder schedule installed.
+    let inst = benchgen::cnf::random3(12, 90, 11);
+    let expect = inst.brute_force_count().expect("12 vars");
+    let mgr = BbddManager::with_vars(inst.num_vars);
+    mgr.set_reorder_policy(Some("window2:nodes1".parse().expect("policy")));
+    assert_eq!(whole_count(&mgr, &inst, &Schedule::Bucket), expect);
+}
+
+// ───────────────────── sat_count_over boundaries ──────────────────────────
+
+#[test]
+fn sat_count_over_at_the_127_variable_ceiling() {
+    let mgr = BbddManager::with_vars(127);
+    let f = mgr.var(0);
+    assert_eq!(f.sat_count_over(127), Some(1u128 << 126));
+    // 128 declared variables would need 2^128: not representable.
+    assert_eq!(f.sat_count_over(128), None);
+    let mut b = OpBudget::unlimited();
+    assert_eq!(f.try_sat_count_over(128, &mut b).expect("no budget"), None);
+    // The tautology's count is the full 2^127 assignment space.
+    assert_eq!(mgr.constant(true).sat_count_over(127), Some(1u128 << 127));
+}
+
+#[test]
+fn sat_count_over_narrows_and_widens_exactly() {
+    let mgr = BbddManager::with_vars(3);
+    let x0 = mgr.var(0);
+    // Widening: each model extends freely over the extra variables.
+    assert_eq!(x0.sat_count_over(3), Some(4));
+    assert_eq!(x0.sat_count_over(5), Some(16));
+    // Narrowing: exact while the support stays inside the universe…
+    assert_eq!(x0.sat_count_over(1), Some(1));
+    // …and refused (None) the moment it escapes.
+    assert_eq!(mgr.var(2).sat_count_over(2), None);
+    let mut b = OpBudget::unlimited();
+    assert_eq!(
+        mgr.var(2).try_sat_count_over(2, &mut b).expect("no budget"),
+        None
+    );
+    // The empty universe still counts the constants.
+    assert_eq!(mgr.constant(true).sat_count_over(0), Some(1));
+    assert_eq!(mgr.constant(false).sat_count_over(0), Some(0));
+}
+
+#[test]
+fn sat_count_over_agrees_across_backends() {
+    let inst = random_cnf(6, 12, 99);
+    let expect = inst.brute_force_count().expect("6 vars");
+    // Build in a manager wider than the declared universe: the count
+    // over the declared 6 variables must not see the extra width.
+    for extra in [0usize, 3] {
+        let n = inst.num_vars + extra;
+        let mgr = BbddManager::with_vars(n);
+        let plan = cnf::Schedule::Bucket.plan(&inst);
+        let (f, _) = cnf::build_cnf(&mgr, &inst, &plan);
+        assert_eq!(f.sat_count_over(inst.num_vars), Some(expect), "+{extra}");
+        let mgr = RobddManager::with_vars(n);
+        let (f, _) = cnf::build_cnf(&mgr, &inst, &plan);
+        assert_eq!(f.sat_count_over(inst.num_vars), Some(expect), "+{extra}");
+    }
+}
